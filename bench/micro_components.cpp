@@ -1,0 +1,121 @@
+//===- bench/micro_components.cpp - Component micro-benchmarks -------------===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+// google-benchmark throughput measurements of the pipeline stages: parsing,
+// loop extraction + lowering, the machine model, path-context extraction,
+// code2vec encode/backward, and one PPO minibatch. These bound the
+// simulated "compilations per second" the RL training loop sustains.
+//
+//===----------------------------------------------------------------------===//
+
+#include "embedding/Code2Vec.h"
+#include "ir/Lowering.h"
+#include "lang/LoopExtractor.h"
+#include "lang/Parser.h"
+#include "sim/Compiler.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace nv;
+
+static const char *Kernel = R"(
+float A[256][256]; float B[256][256]; float C[256][256]; float alpha;
+void kernel() {
+  for (int i = 0; i < 256; i++) {
+    for (int j = 0; j < 256; j++) {
+      float sum = 0;
+      for (int k = 0; k < 256; k++) {
+        sum += alpha * A[i][k] * B[k][j];
+      }
+      C[i][j] = sum;
+    }
+  }
+})";
+
+static void BM_ParseProgram(benchmark::State &State) {
+  for (auto _ : State) {
+    std::optional<Program> P = parseSource(Kernel);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_ParseProgram);
+
+static void BM_ExtractAndLower(benchmark::State &State) {
+  std::optional<Program> P = parseSource(Kernel);
+  for (auto _ : State) {
+    std::vector<LoopSite> Sites = extractLoops(*P);
+    LoopSummary Summary = lowerLoop(*P, Sites[0], 64);
+    benchmark::DoNotOptimize(Summary);
+  }
+}
+BENCHMARK(BM_ExtractAndLower);
+
+static void BM_MachineModel(benchmark::State &State) {
+  std::optional<Program> P = parseSource(Kernel);
+  std::vector<LoopSite> Sites = extractLoops(*P);
+  LoopSummary Summary = lowerLoop(*P, Sites[0], 64);
+  Machine Mach;
+  int VF = 1;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Mach.loopCycles(Summary, VF, 4));
+    VF = VF == 64 ? 1 : VF * 2;
+  }
+}
+BENCHMARK(BM_MachineModel);
+
+static void BM_PrecompiledStep(benchmark::State &State) {
+  std::optional<Program> P = parseSource(Kernel);
+  SimCompiler Compiler;
+  SimCompiler::Precompiled Pre = Compiler.precompile(*P);
+  std::vector<VectorPlan> Plans(Pre.Summaries.size(), VectorPlan{8, 4});
+  for (auto _ : State) {
+    bool TimedOut = false;
+    benchmark::DoNotOptimize(
+        Compiler.runPrecompiled(Pre, Plans, TimedOut));
+  }
+}
+BENCHMARK(BM_PrecompiledStep);
+
+static void BM_PathContexts(benchmark::State &State) {
+  std::optional<Program> P = parseSource(Kernel);
+  std::vector<LoopSite> Sites = extractLoops(*P);
+  PathContextConfig Config;
+  for (auto _ : State) {
+    auto Contexts = extractPathContexts(*Sites[0].Outer, Config);
+    benchmark::DoNotOptimize(Contexts);
+  }
+}
+BENCHMARK(BM_PathContexts);
+
+static void BM_Code2VecEncode(benchmark::State &State) {
+  std::optional<Program> P = parseSource(Kernel);
+  std::vector<LoopSite> Sites = extractLoops(*P);
+  Code2VecConfig Config;
+  RNG Rng(1);
+  Code2Vec Embedder(Config, Rng);
+  auto Contexts = extractPathContexts(*Sites[0].Outer, Config.Paths);
+  for (auto _ : State) {
+    Matrix V = Embedder.encode(Contexts);
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_Code2VecEncode);
+
+static void BM_Code2VecBackward(benchmark::State &State) {
+  std::optional<Program> P = parseSource(Kernel);
+  std::vector<LoopSite> Sites = extractLoops(*P);
+  Code2VecConfig Config;
+  RNG Rng(1);
+  Code2Vec Embedder(Config, Rng);
+  auto Contexts = extractPathContexts(*Sites[0].Outer, Config.Paths);
+  Matrix dV(1, Config.CodeDim, 0.01);
+  for (auto _ : State) {
+    Matrix V = Embedder.encode(Contexts);
+    Embedder.backward(dV);
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_Code2VecBackward);
+
+BENCHMARK_MAIN();

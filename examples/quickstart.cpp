@@ -1,0 +1,66 @@
+//===- examples/quickstart.cpp - Minimal end-to-end walkthrough -----------===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+// The shortest path through the framework: generate a synthetic loop
+// dataset, train the end-to-end RL vectorizer (embedding + PPO agent),
+// then annotate the paper's dot-product kernel and report the speedup
+// over the stock cost model.
+//
+//   $ ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/NeuroVectorizer.h"
+#include "dataset/LoopGenerator.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace nv;
+
+static const char *DotProduct = R"(
+int vec[512];
+int example1() {
+  int sum = 0;
+  for (int i = 0; i < 512; i++) {
+    sum += vec[i] * vec[i];
+  }
+  return sum;
+}
+)";
+
+int main() {
+  // 1. Configure the framework. Defaults follow the paper (64x64 FCNN,
+  //    discrete joint VF/IF action space); we shrink the batch so this
+  //    demo trains in seconds.
+  NeuroVectorizerConfig Config;
+  Config.PPO.BatchSize = 500;
+  Config.PPO.LearningRate = 5e-4;
+  NeuroVectorizer NV(Config);
+
+  // 2. Build a training set with the synthetic generator (§3.2).
+  LoopGenerator Gen(/*Seed=*/42);
+  int Added = 0;
+  for (const GeneratedLoop &L : Gen.generateMany(300))
+    Added += NV.addTrainingProgram(L.Name, L.Source);
+  std::cout << "training programs: " << Added << "\n";
+
+  // 3. Train end-to-end: embedding and policy learn together from the
+  //    (t_baseline - t) / t_baseline reward.
+  TrainStats Stats = NV.train(/*Steps=*/6000);
+  std::cout << "trained " << Stats.Steps
+            << " steps; final reward mean = "
+            << Table::fmt(Stats.FinalRewardMean, 3) << "\n\n";
+
+  // 4. Inference: annotate unseen code (Fig 4 style output).
+  std::cout << "annotated dot-product kernel:\n"
+            << NV.annotate(DotProduct) << "\n";
+  std::cout << "speedup over baseline cost model: "
+            << Table::fmt(NV.speedupOverBaseline(DotProduct)) << "x\n";
+  std::cout << "brute-force oracle would give:    "
+            << Table::fmt(NV.speedupOverBaseline(
+                   DotProduct, PredictMethod::BruteForce))
+            << "x\n";
+  return 0;
+}

@@ -1,0 +1,176 @@
+//===- core/NeuroVectorizer.cpp - Public framework API ---------------------===//
+
+#include "core/NeuroVectorizer.h"
+
+#include "lang/Parser.h"
+#include "lang/PrettyPrinter.h"
+
+#include <cassert>
+
+using namespace nv;
+
+NeuroVectorizer::NeuroVectorizer(const NeuroVectorizerConfig &Config)
+    : Config(Config), Rng(Config.Seed) {
+  Env = std::make_unique<VectorizationEnv>(
+      SimCompiler(Config.Target, Config.Machine), Config.Embedding.Paths);
+  Embedder = std::make_unique<Code2Vec>(Config.Embedding, Rng);
+  const int NumVF = static_cast<int>(Config.Target.vfActions().size());
+  const int NumIF = static_cast<int>(Config.Target.ifActions().size());
+  Pol = std::make_unique<Policy>(Config.ActionSpace, Embedder->codeDim(),
+                                 Config.Hidden, NumVF, NumIF, Rng);
+  Runner = std::make_unique<PPORunner>(*Env, *Embedder, *Pol, Config.PPO,
+                                       Config.Seed ^ 0xABCDEF);
+}
+
+bool NeuroVectorizer::addTrainingProgram(const std::string &Name,
+                                         const std::string &Source) {
+  return Env->addProgram(Name, Source);
+}
+
+TrainStats NeuroVectorizer::train(long long Steps) {
+  assert(Env->size() > 0 && "no training programs added");
+  return Runner->train(Steps);
+}
+
+std::vector<double>
+NeuroVectorizer::embeddingOf(const std::vector<PathContext> &Contexts) {
+  Matrix V = Embedder->encode(Contexts);
+  std::vector<double> Row(V.raw().begin(), V.raw().end());
+  return Row;
+}
+
+int NeuroVectorizer::planToClass(const VectorPlan &Plan) const {
+  const std::vector<int> VFs = Config.Target.vfActions();
+  const std::vector<int> IFs = Config.Target.ifActions();
+  int VFIdx = 0, IFIdx = 0;
+  for (size_t I = 0; I < VFs.size(); ++I)
+    if (VFs[I] == Plan.VF)
+      VFIdx = static_cast<int>(I);
+  for (size_t I = 0; I < IFs.size(); ++I)
+    if (IFs[I] == Plan.IF)
+      IFIdx = static_cast<int>(I);
+  return VFIdx * static_cast<int>(IFs.size()) + IFIdx;
+}
+
+VectorPlan NeuroVectorizer::classToPlan(int Class) const {
+  const std::vector<int> VFs = Config.Target.vfActions();
+  const std::vector<int> IFs = Config.Target.ifActions();
+  const int NumIF = static_cast<int>(IFs.size());
+  VectorPlan Plan;
+  Plan.VF = VFs[std::min<size_t>(Class / NumIF, VFs.size() - 1)];
+  Plan.IF = IFs[Class % NumIF];
+  return Plan;
+}
+
+void NeuroVectorizer::fitSupervised(size_t MaxSamples) {
+  // Label with brute force (the paper runs the expensive search on a
+  // portion of the dataset to obtain supervised labels, §2.3).
+  std::vector<std::vector<double>> X;
+  std::vector<int> Y;
+  const size_t Count = std::min(MaxSamples, Env->size());
+  for (size_t I = 0; I < Count; ++I) {
+    const BruteForceResult Best = bruteForceSearch(*Env, I);
+    const EnvSample &Sample = Env->sample(I);
+    for (size_t S = 0; S < Sample.Sites.size(); ++S) {
+      std::vector<double> Emb = embeddingOf(Sample.Contexts[S]);
+      NNS.add(Emb, Best.Plans[S]);
+      X.push_back(std::move(Emb));
+      Y.push_back(planToClass(Best.Plans[S]));
+    }
+  }
+  const int NumClasses =
+      static_cast<int>(Config.Target.vfActions().size() *
+                       Config.Target.ifActions().size());
+  Tree.fit(X, Y, NumClasses);
+  SupervisedReady = true;
+}
+
+std::vector<VectorPlan>
+NeuroVectorizer::plansFor(const std::string &Source, PredictMethod Method) {
+  std::string Error;
+  std::optional<Program> Parsed = parseSource(Source, &Error);
+  assert(Parsed && "plansFor() requires a valid program");
+  clearAllPragmas(*Parsed);
+  std::vector<LoopSite> Sites = extractLoops(*Parsed);
+
+  // Methods that need a private environment entry (search-based).
+  if (Method == PredictMethod::BruteForce || Method == PredictMethod::Random ||
+      Method == PredictMethod::Baseline) {
+    VectorizationEnv Scratch(SimCompiler(Config.Target, Config.Machine),
+                             Config.Embedding.Paths);
+    const bool Added = Scratch.addProgram("query", Source);
+    assert(Added && "program with loops expected");
+    (void)Added;
+    switch (Method) {
+    case PredictMethod::BruteForce:
+      return bruteForceSearch(Scratch, 0).Plans;
+    case PredictMethod::Random:
+      return randomPlans(Scratch, 0, Rng);
+    default: { // Baseline: the cost model's own choices, no pragma.
+      CompileResult R = Scratch.compiler().compileBaseline(
+          const_cast<Program &>(*Scratch.sample(0).Prog));
+      std::vector<VectorPlan> Plans;
+      for (const CompiledLoop &L : R.Loops)
+        Plans.push_back(L.Effective);
+      return Plans;
+    }
+    }
+  }
+
+  std::vector<VectorPlan> Plans;
+  for (const LoopSite &Site : Sites) {
+    const std::vector<PathContext> Contexts =
+        extractPathContexts(*Site.Outer, Config.Embedding.Paths);
+    switch (Method) {
+    case PredictMethod::RL:
+      Plans.push_back(Runner->predict(Contexts));
+      break;
+    case PredictMethod::NNS:
+      assert(SupervisedReady && "call fitSupervised() first");
+      Plans.push_back(NNS.predict(embeddingOf(Contexts)));
+      break;
+    case PredictMethod::DecisionTree:
+      assert(SupervisedReady && "call fitSupervised() first");
+      Plans.push_back(classToPlan(Tree.predict(embeddingOf(Contexts))));
+      break;
+    default:
+      Plans.push_back({1, 1});
+      break;
+    }
+  }
+  return Plans;
+}
+
+std::string NeuroVectorizer::annotate(const std::string &Source,
+                                      PredictMethod Method) {
+  std::string Error;
+  std::optional<Program> Parsed = parseSource(Source, &Error);
+  assert(Parsed && "annotate() requires a valid program");
+  clearAllPragmas(*Parsed);
+  std::vector<LoopSite> Sites = extractLoops(*Parsed);
+  std::vector<VectorPlan> Plans = plansFor(Source, Method);
+  assert(Plans.size() == Sites.size());
+  for (size_t S = 0; S < Sites.size(); ++S)
+    injectPragma(Sites[S], {Plans[S].VF, Plans[S].IF});
+  return printProgram(*Parsed);
+}
+
+double NeuroVectorizer::cyclesFor(const std::string &Source,
+                                  PredictMethod Method) {
+  VectorizationEnv Scratch(SimCompiler(Config.Target, Config.Machine),
+                           Config.Embedding.Paths);
+  const bool Added = Scratch.addProgram("query", Source);
+  assert(Added && "program with loops expected");
+  (void)Added;
+  if (Method == PredictMethod::Baseline)
+    return Scratch.sample(0).BaselineCycles;
+  std::vector<VectorPlan> Plans = plansFor(Source, Method);
+  return Scratch.cyclesWith(0, Plans);
+}
+
+double NeuroVectorizer::speedupOverBaseline(const std::string &Source,
+                                            PredictMethod Method) {
+  const double Base = cyclesFor(Source, PredictMethod::Baseline);
+  const double Mine = cyclesFor(Source, Method);
+  return Base / Mine;
+}

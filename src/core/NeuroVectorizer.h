@@ -1,0 +1,122 @@
+//===- core/NeuroVectorizer.h - Public framework API ------------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end framework of the paper (Fig 3), as one facade class:
+/// programs in, annotated programs out. It wires together the loop
+/// extractor, the code2vec embedding generator, the learning agent (PPO
+/// contextual bandit by default), the simulated clang/LLVM toolchain, and
+/// the alternative prediction methods (random, NNS, decision tree,
+/// brute-force) that the framework is "extensible" to (§3.5).
+///
+/// Typical use (see examples/quickstart.cpp):
+/// \code
+///   NeuroVectorizer NV;
+///   for (auto &P : trainingPrograms) NV.addTrainingProgram(P.Name, P.Src);
+///   NV.train(20000);                      // end-to-end RL training
+///   std::string Annotated = NV.annotate(MyLoopSource);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_CORE_NEUROVECTORIZER_H
+#define NV_CORE_NEUROVECTORIZER_H
+
+#include "embedding/Code2Vec.h"
+#include "predictors/DecisionTree.h"
+#include "predictors/NearestNeighbor.h"
+#include "predictors/Search.h"
+#include "rl/PPO.h"
+#include "rl/Policy.h"
+
+#include <memory>
+#include <string>
+
+namespace nv {
+
+/// Framework-wide configuration.
+struct NeuroVectorizerConfig {
+  TargetInfo Target;
+  MachineConfig Machine;
+  Code2VecConfig Embedding;
+  PPOConfig PPO;
+  ActionSpaceKind ActionSpace = ActionSpaceKind::Discrete;
+  std::vector<int> Hidden = {64, 64}; ///< FCNN trunk (paper default).
+  uint64_t Seed = 1234;
+};
+
+/// Prediction method selector (the "learning agent" block of Fig 3 is
+/// swappable after end-to-end training, §3.5).
+enum class PredictMethod {
+  Baseline,     ///< Stock cost model (no pragma).
+  RL,           ///< Trained PPO policy (greedy).
+  NNS,          ///< Nearest neighbor over the learned embedding.
+  DecisionTree, ///< CART over the learned embedding.
+  Random,       ///< Uniformly random factors.
+  BruteForce,   ///< Exhaustive search (oracle).
+};
+
+/// The end-to-end framework facade.
+class NeuroVectorizer {
+public:
+  explicit NeuroVectorizer(
+      const NeuroVectorizerConfig &Config = NeuroVectorizerConfig());
+
+  /// Adds a training program; returns false if it fails to parse or has
+  /// no loops.
+  bool addTrainingProgram(const std::string &Name,
+                          const std::string &Source);
+
+  /// Trains the agent (and, end-to-end, the embedding) for \p Steps
+  /// environment interactions.
+  TrainStats train(long long Steps);
+
+  /// Fits the supervised predictors (NNS, decision tree): runs the
+  /// brute-force labeler over up to \p MaxSamples training programs and
+  /// indexes the learned embeddings (§3.5). Call after train().
+  void fitSupervised(size_t MaxSamples = 512);
+
+  /// Predicts factors for every vectorization site of \p Source using
+  /// \p Method; returns the annotated source (Fig 4 style).
+  std::string annotate(const std::string &Source,
+                       PredictMethod Method = PredictMethod::RL);
+
+  /// Predicted plans per site for \p Source.
+  std::vector<VectorPlan> plansFor(const std::string &Source,
+                                   PredictMethod Method = PredictMethod::RL);
+
+  /// Simulated execution cycles of \p Source under \p Method.
+  double cyclesFor(const std::string &Source, PredictMethod Method);
+
+  /// Speedup of \p Method over the baseline cost model on \p Source.
+  double speedupOverBaseline(const std::string &Source,
+                             PredictMethod Method = PredictMethod::RL);
+
+  VectorizationEnv &env() { return *Env; }
+  Code2Vec &embedder() { return *Embedder; }
+  Policy &policy() { return *Pol; }
+  PPORunner &runner() { return *Runner; }
+  const TargetInfo &target() const { return Config.Target; }
+
+private:
+  std::vector<double> embeddingOf(const std::vector<PathContext> &Contexts);
+  int planToClass(const VectorPlan &Plan) const;
+  VectorPlan classToPlan(int Class) const;
+
+  NeuroVectorizerConfig Config;
+  RNG Rng;
+  std::unique_ptr<VectorizationEnv> Env;
+  std::unique_ptr<Code2Vec> Embedder;
+  std::unique_ptr<Policy> Pol;
+  std::unique_ptr<PPORunner> Runner;
+  NearestNeighborPredictor NNS{3};
+  DecisionTree Tree;
+  bool SupervisedReady = false;
+};
+
+} // namespace nv
+
+#endif // NV_CORE_NEUROVECTORIZER_H

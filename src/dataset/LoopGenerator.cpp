@@ -1,0 +1,282 @@
+//===- dataset/LoopGenerator.cpp - Synthetic loop dataset ------------------===//
+
+#include "dataset/LoopGenerator.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace nv;
+
+std::string LoopGenerator::freshName(const char *Base) {
+  static const char *const Pool[] = {"a",   "b",   "c",    "d",   "src",
+                                     "dst", "buf", "vals", "img", "acc"};
+  std::string Name = Rng.nextBernoulli(0.5)
+                         ? Pool[Rng.nextBounded(std::size(Pool))]
+                         : std::string(Base);
+  return Name + std::to_string(Counter++);
+}
+
+std::string LoopGenerator::scalarTy() {
+  static const char *const Types[] = {"char",  "short", "int",
+                                      "int",   "long",  "float",
+                                      "float", "double"};
+  return Types[Rng.nextBounded(std::size(Types))];
+}
+
+long long LoopGenerator::tripCount() {
+  static const long long Trips[] = {32,  64,  128,  256,  512,
+                                    640, 1024, 2048, 4096};
+  return Trips[Rng.nextBounded(std::size(Trips))];
+}
+
+std::string LoopGenerator::boundExpr(long long N, std::string &Globals) {
+  if (Rng.nextBernoulli(0.25)) {
+    // Unknown loop bound: a symbolic global with a runtime value.
+    const std::string Name = freshName("n");
+    Globals += "int " + Name + " = " + std::to_string(N) + ";\n";
+    return Name;
+  }
+  return std::to_string(N);
+}
+
+GeneratedLoop LoopGenerator::generate() {
+  return generate(static_cast<int>(Rng.nextBounded(NumTemplates)));
+}
+
+std::vector<GeneratedLoop> LoopGenerator::generateMany(int Count) {
+  std::vector<GeneratedLoop> All;
+  All.reserve(Count);
+  for (int I = 0; I < Count; ++I)
+    All.push_back(generate());
+  return All;
+}
+
+GeneratedLoop LoopGenerator::generate(int Template) {
+  assert(Template >= 0 && Template < NumTemplates);
+  GeneratedLoop Out;
+  Out.Template = Template;
+  std::string Globals;
+  std::ostringstream Body;
+
+  const long long N = tripCount();
+  const std::string Ty = scalarTy();
+
+  switch (Template) {
+  case 0: {
+    // Paper example #1: unrolled type-conversion copies
+    // (short arrays converted into int arrays, step 2).
+    const std::string A1 = freshName("assign"), A2 = freshName("assign"),
+                      SA = freshName("short_a"), SB = freshName("short_b");
+    Globals += "int " + A1 + "[" + std::to_string(N) + "];\n";
+    Globals += "int " + A2 + "[" + std::to_string(N) + "];\n";
+    Globals += "short " + SA + "[" + std::to_string(N) + "];\n";
+    Globals += "short " + SB + "[" + std::to_string(N) + "];\n";
+    const std::string Bound = boundExpr(N - 1, Globals);
+    Body << "  for (int i = 0; i < " << Bound << "; i += 2) {\n"
+         << "    " << A1 << "[i] = (int) (" << SA << "[i]);\n"
+         << "    " << A1 << "[i + 1] = (int) (" << SA << "[i + 1]);\n"
+         << "    " << A2 << "[i] = (int) (" << SB << "[i]);\n"
+         << "    " << A2 << "[i + 1] = (int) (" << SB << "[i + 1]);\n"
+         << "  }\n";
+    Out.Name = "conversion";
+    break;
+  }
+  case 1: {
+    // Paper example #2: nested 2-D fill G[i][j] = x.
+    const long long M = std::min<long long>(N, 256);
+    const std::string G = freshName("G"), X = freshName("x");
+    Globals += Ty + " " + G + "[" + std::to_string(M) + "][" +
+               std::to_string(M) + "];\n";
+    Globals += Ty + " " + X + ";\n";
+    const std::string Bound = boundExpr(M, Globals);
+    Body << "  for (int i = 0; i < " << M << "; i++) {\n"
+         << "    for (int j = 0; j < " << Bound << "; j++) {\n"
+         << "      " << G << "[i][j] = " << X << ";\n"
+         << "    }\n"
+         << "  }\n";
+    Out.Name = "nested_fill";
+    break;
+  }
+  case 2: {
+    // Paper example #3: predicated clamp b[i] = (j > MAX ? MAX : 0).
+    const std::string A = freshName("a"), B = freshName("b");
+    const long long Max = Rng.nextInt(64, 1024);
+    Globals += "int " + A + "[" + std::to_string(2 * N) + "];\n";
+    Globals += "int " + B + "[" + std::to_string(2 * N) + "];\n";
+    const std::string Bound = boundExpr(N, Globals);
+    Body << "  for (int i = 0; i < " << Bound << " * 2; i++) {\n"
+         << "    int j = " << A << "[i];\n"
+         << "    " << B << "[i] = (j > " << Max << " ? " << Max
+         << " : 0);\n"
+         << "  }\n";
+    Out.Name = "predicated_clamp";
+    break;
+  }
+  case 3: {
+    // Paper example #4: triple-nested matmul-style reduction.
+    const long long M = 64;
+    const std::string A = freshName("A"), B = freshName("B"),
+                      C = freshName("C"), Alpha = freshName("alpha");
+    Globals += "float " + A + "[" + std::to_string(M) + "][" +
+               std::to_string(M) + "];\n";
+    Globals += "float " + B + "[" + std::to_string(M) + "][" +
+               std::to_string(M) + "];\n";
+    Globals += "float " + C + "[" + std::to_string(M) + "][" +
+               std::to_string(M) + "];\n";
+    Globals += "float " + Alpha + ";\n";
+    Body << "  for (int i = 0; i < " << M << "; i++) {\n"
+         << "    for (int j = 0; j < " << M << "; j++) {\n"
+         << "      float sum = 0;\n"
+         << "      for (int k = 0; k < " << M << "; k++) {\n"
+         << "        sum += " << Alpha << " * " << A << "[i][k] * " << B
+         << "[k][j];\n"
+         << "      }\n"
+         << "      " << C << "[i][j] = sum;\n"
+         << "    }\n"
+         << "  }\n";
+    Out.Name = "matmul_reduction";
+    break;
+  }
+  case 4: {
+    // Paper example #5: strided complex multiply.
+    const std::string A = freshName("a"), B = freshName("b"),
+                      C = freshName("c"), D = freshName("d");
+    Globals += "float " + A + "[" + std::to_string(N) + "];\n";
+    Globals += "float " + B + "[" + std::to_string(2 * N) + "];\n";
+    Globals += "float " + C + "[" + std::to_string(2 * N) + "];\n";
+    Globals += "float " + D + "[" + std::to_string(N) + "];\n";
+    const std::string Bound = boundExpr(N, Globals);
+    Body << "  for (int i = 0; i < " << Bound << " / 2 - 1; i++) {\n"
+         << "    " << A << "[i] = " << B << "[2 * i + 1] * " << C
+         << "[2 * i + 1] - " << B << "[2 * i] * " << C << "[2 * i];\n"
+         << "    " << D << "[i] = " << B << "[2 * i] * " << C
+         << "[2 * i + 1] + " << B << "[2 * i + 1] * " << C << "[2 * i];\n"
+         << "  }\n";
+    Out.Name = "strided_complex";
+    break;
+  }
+  case 5: {
+    // Elementwise arithmetic with a random operator mix.
+    const std::string A = freshName("a"), B = freshName("b"),
+                      C = freshName("c");
+    static const char *const Ops[] = {"+", "-", "*"};
+    const char *Op1 = Ops[Rng.nextBounded(3)];
+    const char *Op2 = Ops[Rng.nextBounded(3)];
+    Globals += Ty + " " + A + "[" + std::to_string(N) + "];\n";
+    Globals += Ty + " " + B + "[" + std::to_string(N) + "];\n";
+    Globals += Ty + " " + C + "[" + std::to_string(N) + "];\n";
+    const std::string Bound = boundExpr(N, Globals);
+    Body << "  for (int i = 0; i < " << Bound << "; i++) {\n"
+         << "    " << C << "[i] = (" << A << "[i] " << Op1 << " " << B
+         << "[i]) " << Op2 << " " << B << "[i];\n"
+         << "  }\n";
+    Out.Name = "elementwise";
+    break;
+  }
+  case 6: {
+    // Sum or max reduction (dot-product-like when it multiplies).
+    const std::string A = freshName("v"), B = freshName("w");
+    const bool Dot = Rng.nextBernoulli(0.5);
+    Globals += Ty + " " + A + "[" + std::to_string(N) + "];\n";
+    if (Dot)
+      Globals += Ty + " " + B + "[" + std::to_string(N) + "];\n";
+    const std::string Bound = boundExpr(N, Globals);
+    Body << "  " << Ty << " sum = 0;\n"
+         << "  for (int i = 0; i < " << Bound << "; i++) {\n";
+    if (Dot)
+      Body << "    sum += " << A << "[i] * " << B << "[i];\n";
+    else
+      Body << "    sum += " << A << "[i];\n";
+    Body << "  }\n  out0 = sum;\n";
+    Globals += Ty + " out0;\n";
+    Out.Name = Dot ? "dot_product" : "sum_reduction";
+    break;
+  }
+  case 7: {
+    // Bitwise / shift kernel on integers.
+    const std::string A = freshName("bits"), B = freshName("mask");
+    const int Shift = static_cast<int>(Rng.nextInt(1, 7));
+    Globals += "int " + A + "[" + std::to_string(N) + "];\n";
+    Globals += "int " + B + "[" + std::to_string(N) + "];\n";
+    const std::string Bound = boundExpr(N, Globals);
+    Body << "  for (int i = 0; i < " << Bound << "; i++) {\n"
+         << "    " << B << "[i] = ((" << A << "[i] >> " << Shift
+         << ") ^ " << A << "[i]) & 255;\n"
+         << "  }\n";
+    Out.Name = "bitwise";
+    break;
+  }
+  case 8: {
+    // Three-point stencil with a read-after-write distance: the distance
+    // caps the legal VF, so the agent must learn not to over-vectorize.
+    const std::string A = freshName("a");
+    const long long Dist = 1LL << Rng.nextInt(2, 6); // 4..64.
+    Globals += Ty + " " + A + "[" + std::to_string(N + Dist) + "];\n";
+    const std::string Bound = boundExpr(N, Globals);
+    Body << "  for (int i = 0; i < " << Bound << "; i++) {\n"
+         << "    " << A << "[i + " << Dist << "] = " << A << "[i] * 2 + "
+         << A << "[i + 1];\n"
+         << "  }\n";
+    Out.Name = "stencil_dep";
+    break;
+  }
+  case 9: {
+    // Gather through an index array (non-affine load).
+    const std::string A = freshName("data"), Idx = freshName("idx"),
+                      O = freshName("out");
+    Globals += Ty + " " + A + "[" + std::to_string(4 * N) + "];\n";
+    Globals += "int " + Idx + "[" + std::to_string(N) + "];\n";
+    Globals += Ty + " " + O + "[" + std::to_string(N) + "];\n";
+    const std::string Bound = boundExpr(N, Globals);
+    Body << "  for (int i = 0; i < " << Bound << "; i++) {\n"
+         << "    " << O << "[i] = " << A << "[" << Idx << "[i]] * 3;\n"
+         << "  }\n";
+    Out.Name = "gather";
+    break;
+  }
+  case 10: {
+    // saxpy with a random stride (possibly misaligned offset).
+    const std::string X = freshName("x"), Y = freshName("y"),
+                      Alpha = freshName("alpha");
+    const long long Stride = 1LL << Rng.nextInt(0, 2); // 1, 2, or 4.
+    const long long Off = Rng.nextBernoulli(0.3) ? 1 : 0;
+    Globals += Ty + " " + X + "[" + std::to_string(Stride * N + 8) + "];\n";
+    Globals += Ty + " " + Y + "[" + std::to_string(Stride * N + 8) + "];\n";
+    Globals += Ty + " " + Alpha + ";\n";
+    const std::string Bound = boundExpr(N, Globals);
+    Body << "  for (int i = 0; i < " << Bound << "; i++) {\n"
+         << "    " << Y << "[" << Stride << " * i + " << Off
+         << "] = " << Alpha << " * " << X << "[" << Stride << " * i + "
+         << Off << "] + " << Y << "[" << Stride << " * i + " << Off
+         << "];\n"
+         << "  }\n";
+    Out.Name = Stride == 1 ? "saxpy" : "saxpy_strided";
+    break;
+  }
+  case 11: {
+    // Conditional accumulate under an if-statement.
+    const std::string A = freshName("a"), B = freshName("b");
+    const long long Cut = Rng.nextInt(8, 512);
+    Globals += "int " + A + "[" + std::to_string(N) + "];\n";
+    Globals += "int " + B + "[" + std::to_string(N) + "];\n";
+    const std::string Bound = boundExpr(N, Globals);
+    Body << "  for (int i = 0; i < " << Bound << "; i++) {\n"
+         << "    if (" << A << "[i] > " << Cut << ") {\n"
+         << "      " << B << "[i] = " << B << "[i] + " << A << "[i];\n"
+         << "    } else {\n"
+         << "      " << B << "[i] = 0;\n"
+         << "    }\n"
+         << "  }\n";
+    Out.Name = "predicated_if";
+    break;
+  }
+  default:
+    assert(false && "template out of range");
+  }
+
+  std::ostringstream Full;
+  Full << Globals << "\nvoid kernel() {\n" << Body.str() << "}\n";
+  Out.Source = Full.str();
+  Out.Name += "_" + std::to_string(Counter++);
+  return Out;
+}

@@ -1,0 +1,69 @@
+//===- dataset/LoopGenerator.h - Synthetic loop dataset ---------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthetic dataset generator of §3.2: "We built generators that
+/// generate more than 10,000 synthetic loop examples automatically from
+/// the LLVM vectorization test-suite ... changing the names of the
+/// parameters ... the stride, the number of iterations, the functionality,
+/// the instructions, and the number of nested loops."
+///
+/// Each template mirrors a family from the paper (its five printed examples
+/// are all present) and randomizes names, bounds, element types, strides,
+/// constants, and whether the bound is a literal or a symbolic variable
+/// ("unknown loop bounds").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_DATASET_LOOPGENERATOR_H
+#define NV_DATASET_LOOPGENERATOR_H
+
+#include "support/RNG.h"
+
+#include <string>
+#include <vector>
+
+namespace nv {
+
+/// One generated single-kernel program.
+struct GeneratedLoop {
+  std::string Name;
+  std::string Source;
+  int Template = 0; ///< Which generator family produced it.
+};
+
+/// Template-based random loop program generator.
+class LoopGenerator {
+public:
+  explicit LoopGenerator(uint64_t Seed) : Rng(Seed) {}
+
+  /// Number of distinct templates.
+  static constexpr int NumTemplates = 12;
+
+  /// Generates one random program (uniform over templates).
+  GeneratedLoop generate();
+
+  /// Generates from a specific template family.
+  GeneratedLoop generate(int Template);
+
+  /// Generates \p Count programs.
+  std::vector<GeneratedLoop> generateMany(int Count);
+
+private:
+  std::string freshName(const char *Base);
+  std::string scalarTy();
+  long long tripCount();
+  /// Emits the bound expression: a literal or `name` of an initialized
+  /// global (unknown-at-compile-time bound), declared into \p Globals.
+  std::string boundExpr(long long N, std::string &Globals);
+
+  RNG Rng;
+  int Counter = 0;
+};
+
+} // namespace nv
+
+#endif // NV_DATASET_LOOPGENERATOR_H

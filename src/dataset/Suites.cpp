@@ -1,0 +1,382 @@
+//===- dataset/Suites.cpp - Fixed benchmark suites -------------------------===//
+
+#include "dataset/Suites.h"
+
+using namespace nv;
+
+std::vector<NamedProgram> nv::vectorizerTestSuite() {
+  return {
+      {"vt_copy", R"(
+int a[1024]; int b[1024];
+void kernel() {
+  for (int i = 0; i < 1024; i++) { b[i] = a[i]; }
+})"},
+      {"vt_add", R"(
+float a[1024]; float b[1024]; float c[1024];
+void kernel() {
+  for (int i = 0; i < 1024; i++) { c[i] = a[i] + b[i]; }
+})"},
+      {"vt_mul_scalar", R"(
+float a[2048]; float alpha;
+void kernel() {
+  for (int i = 0; i < 2048; i++) { a[i] = a[i] * alpha; }
+})"},
+      {"vt_sum_red", R"(
+int v[512]; int out;
+void kernel() {
+  int sum = 0;
+  for (int i = 0; i < 512; i++) { sum += v[i]; }
+  out = sum;
+})"},
+      {"vt_dot", R"(
+float x[1024]; float y[1024]; float out;
+void kernel() {
+  float sum = 0;
+  for (int i = 0; i < 1024; i++) { sum += x[i] * y[i]; }
+  out = sum;
+})"},
+      {"vt_conv_short", R"(
+short s[1024]; int d[1024];
+void kernel() {
+  for (int i = 0; i < 1024; i++) { d[i] = (int) (s[i]); }
+})"},
+      {"vt_select", R"(
+int a[1024]; int b[1024];
+void kernel() {
+  for (int i = 0; i < 1024; i++) { b[i] = (a[i] > 0 ? a[i] : 0); }
+})"},
+      {"vt_if_store", R"(
+int a[1024]; int b[1024];
+void kernel() {
+  for (int i = 0; i < 1024; i++) {
+    if (a[i] > 16) { b[i] = a[i] * 2; }
+  }
+})"},
+      {"vt_stride2", R"(
+float a[2048]; float b[1024];
+void kernel() {
+  for (int i = 0; i < 1024; i++) { b[i] = a[2 * i]; }
+})"},
+      {"vt_reverse_safe", R"(
+int a[1040];
+void kernel() {
+  for (int i = 0; i < 1024; i++) { a[i] = a[i + 16] + 1; }
+})"},
+      {"vt_unknown_bound", R"(
+int n = 1024; float a[1024]; float b[1024];
+void kernel() {
+  for (int i = 0; i < n; i++) { b[i] = a[i] * 3.0; }
+})"},
+      {"vt_2d_fill", R"(
+float G[128][128]; float x;
+void kernel() {
+  for (int i = 0; i < 128; i++) {
+    for (int j = 0; j < 128; j++) { G[i][j] = x; }
+  }
+})"},
+      {"vt_bitops", R"(
+int a[1024]; int b[1024];
+void kernel() {
+  for (int i = 0; i < 1024; i++) { b[i] = (a[i] << 2) ^ (a[i] & 15); }
+})"},
+      {"vt_minmax_red", R"(
+float v[2048]; float out;
+void kernel() {
+  float m = 0;
+  for (int i = 0; i < 2048; i++) { m = max(m, v[i]); }
+  out = m;
+})"},
+      {"vt_small_trip", R"(
+float a[8]; float b[8];
+void kernel() {
+  for (int i = 0; i < 8; i++) { b[i] = a[i] + 1.0; }
+})"},
+  };
+}
+
+std::vector<NamedProgram> nv::evaluationBenchmarks() {
+  return {
+      {"s_predicate", R"(
+int a[2048]; int b[2048];
+void kernel() {
+  for (int i = 0; i < 2048; i++) {
+    int j = a[i];
+    b[i] = (j > 255 ? 255 : 0);
+  }
+})"},
+      {"s_strided", R"(
+float a[1024]; float b[2048]; float c[2048]; float d[1024];
+void kernel() {
+  for (int i = 0; i < 1023; i++) {
+    a[i] = b[2 * i + 1] * c[2 * i + 1] - b[2 * i] * c[2 * i];
+    d[i] = b[2 * i] * c[2 * i + 1] + b[2 * i + 1] * c[2 * i];
+  }
+})"},
+      {"s_bitwise", R"(
+int bits[4096]; int out[4096];
+void kernel() {
+  for (int i = 0; i < 4096; i++) {
+    out[i] = ((bits[i] >> 3) ^ bits[i]) & 255;
+  }
+})"},
+      {"s_unknown_bounds", R"(
+int n = 2048; float x[2048]; float y[2048]; float alpha;
+void kernel() {
+  for (int i = 0; i < n; i++) { y[i] = alpha * x[i] + y[i]; }
+})"},
+      {"s_if_convert", R"(
+int a[2048]; int b[2048];
+void kernel() {
+  for (int i = 0; i < 2048; i++) {
+    if (a[i] > 64) { b[i] = b[i] + a[i]; } else { b[i] = 0; }
+  }
+})"},
+      {"s_misaligned", R"(
+float x[4100]; float y[4100]; float alpha;
+void kernel() {
+  for (int i = 0; i < 4096; i++) {
+    y[i + 1] = alpha * x[i + 1] + y[i + 1];
+  }
+})"},
+      {"s_multidim", R"(
+float A[128][128]; float B[128][128]; float x;
+void kernel() {
+  for (int i = 0; i < 128; i++) {
+    for (int j = 0; j < 128; j++) {
+      B[i][j] = A[i][j] * x;
+    }
+  }
+})"},
+      {"s_reduction", R"(
+float v[4096]; float w[4096]; float out;
+void kernel() {
+  float sum = 0;
+  for (int i = 0; i < 4096; i++) { sum += v[i] * w[i]; }
+  out = sum;
+})"},
+      {"s_conversion", R"(
+short src1[2048]; short src2[2048]; int dst1[2048]; int dst2[2048];
+void kernel() {
+  for (int i = 0; i < 2047; i += 2) {
+    dst1[i] = (int) (src1[i]);
+    dst1[i + 1] = (int) (src1[i + 1]);
+    dst2[i] = (int) (src2[i]);
+    dst2[i + 1] = (int) (src2[i + 1]);
+  }
+})"},
+      {"s_mixed_types", R"(
+char pix[4096]; float lum[4096]; float scale;
+void kernel() {
+  for (int i = 0; i < 4096; i++) {
+    lum[i] = (float) (pix[i]) * scale;
+  }
+})"},
+      {"s_stencil", R"(
+float a[2080];
+void kernel() {
+  for (int i = 0; i < 2048; i++) {
+    a[i + 8] = a[i] * 0.5 + a[i + 1] * 0.25;
+  }
+})"},
+      {"s_gather", R"(
+float data[8192]; int idx[2048]; float out[2048];
+void kernel() {
+  for (int i = 0; i < 2048; i++) {
+    out[i] = data[idx[i]] * 3.0;
+  }
+})"},
+  };
+}
+
+std::vector<NamedProgram> nv::polyBenchSuite() {
+  // Sizes chosen so per-row working sets exceed L1: polyhedral locality
+  // transforms (tiling / interchange) have real headroom, matching the
+  // paper's note that Polly shines at large iteration counts.
+  return {
+      // gemm in ijk order with a memory-resident accumulator: the stock
+      // vectorizer cannot touch it (output dependence on C[i][j]); Polly
+      // interchanges k and j and exposes stride-1 vectorization.
+      {"pb_gemm", R"(
+float A[256][256]; float B[256][256]; float C[256][256];
+void kernel() {
+  for (int i = 0; i < 256; i++) {
+    for (int k = 0; k < 256; k++) {
+      for (int j = 0; j < 256; j++) {
+        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+      }
+    }
+  }
+})"},
+      // 2mm: two back-to-back matmuls, same story as gemm.
+      {"pb_2mm", R"(
+float A[128][128]; float B[128][128]; float T[128][128];
+float C[128][128]; float D[128][128];
+void kernel() {
+  for (int i = 0; i < 128; i++) {
+    for (int k = 0; k < 128; k++) {
+      for (int j = 0; j < 128; j++) {
+        T[i][j] = T[i][j] + A[i][k] * B[k][j];
+      }
+    }
+  }
+  for (int i = 0; i < 128; i++) {
+    for (int k = 0; k < 128; k++) {
+      for (int j = 0; j < 128; j++) {
+        D[i][j] = D[i][j] + T[i][k] * C[k][j];
+      }
+    }
+  }
+})"},
+      // atax: y = A^T (A x). The second phase walks A by column (strided);
+      // interchange fixes it.
+      {"pb_atax", R"(
+float A[512][512]; float x[512]; float t[512]; float y[512];
+void kernel() {
+  for (int i = 0; i < 512; i++) {
+    float sum = 0;
+    for (int j = 0; j < 512; j++) { sum += A[i][j] * x[j]; }
+    t[i] = sum;
+  }
+  for (int j = 0; j < 512; j++) {
+    for (int i = 0; i < 512; i++) {
+      y[j] = y[j] + A[i][j] * t[i];
+    }
+  }
+})"},
+      // bicg: row-access and column-access products.
+      {"pb_bicg", R"(
+float A[512][512]; float p[512]; float r[512];
+float q[512]; float s[512];
+void kernel() {
+  for (int i = 0; i < 512; i++) {
+    float sum = 0;
+    for (int j = 0; j < 512; j++) { sum += A[i][j] * p[j]; }
+    q[i] = sum;
+  }
+  for (int j = 0; j < 512; j++) {
+    for (int i = 0; i < 512; i++) {
+      s[j] = s[j] + r[i] * A[i][j];
+    }
+  }
+})"},
+      // mvt: x1 = A y1 (rows) and x2 = A^T y2 (columns).
+      {"pb_mvt", R"(
+float A[512][512]; float x1[512]; float x2[512];
+float y1[512]; float y2[512];
+void kernel() {
+  for (int i = 0; i < 512; i++) {
+    float sum = 0;
+    for (int j = 0; j < 512; j++) { sum += A[i][j] * y1[j]; }
+    x1[i] = x1[i] + sum;
+  }
+  for (int j = 0; j < 512; j++) {
+    for (int i = 0; i < 512; i++) {
+      x2[j] = x2[j] + A[i][j] * y2[i];
+    }
+  }
+})"},
+      // gesummv: two row-major matrix-vector products; the vectorizer's
+      // own territory (Polly has little to add here — §4.1's "deep RL
+      // performed better with smaller number of loop iterations").
+      {"pb_gesummv", R"(
+float A[384][384]; float B[384][384]; float x[384]; float y[384];
+float alpha; float beta;
+void kernel() {
+  for (int i = 0; i < 384; i++) {
+    float ta = 0;
+    float tb = 0;
+    for (int j = 0; j < 384; j++) {
+      ta += A[i][j] * x[j];
+      tb += B[i][j] * x[j];
+    }
+    y[i] = alpha * ta + beta * tb;
+  }
+})"},
+  };
+}
+
+std::vector<NamedProgram> nv::miBenchSuite() {
+  // Embedded-style programs: runtime dominated by loops the vectorizer
+  // cannot touch (loop-carried scalar recurrences, indirect accesses),
+  // with a minor vectorizable share — hence Fig 9's modest 1.1x average.
+  return {
+      // CRC: a serial recurrence over the message plus a small table init.
+      {"mi_crc32", R"(
+int msg[8192]; int table[256]; int out;
+void kernel() {
+  for (int t = 0; t < 256; t++) { table[t] = (t << 3) ^ (t >> 2); }
+  int crc = 65535;
+  for (int i = 0; i < 8192; i++) {
+    crc = ((crc >> 8) ^ table[(crc ^ msg[i]) & 255]) & 16777215;
+  }
+  out = crc;
+})"},
+      // String search: indexed compare with early predicates (serialized
+      // by the match recurrence) plus a short hash precompute.
+      {"mi_stringsearch", R"(
+int text[16384]; int pat[16]; int hash[16384]; int found;
+void kernel() {
+  for (int i = 0; i < 16384; i++) { hash[i] = text[i] & 63; }
+  int matches = 0;
+  for (int i = 0; i < 16380; i++) {
+    matches = (hash[i] == pat[0] ? matches + (hash[i + 1] == pat[1] ? 1 : 0) : matches);
+  }
+  found = matches;
+})"},
+      // susan-style smoothing: one vectorizable blur plus a serial
+      // brightness adaptation recurrence that dominates.
+      {"mi_susan", R"(
+int img[16384]; int blur[16384]; int thresh;
+void kernel() {
+  for (int i = 0; i < 16382; i++) {
+    blur[i] = (img[i] + img[i + 1] + img[i + 2]) / 3;
+  }
+  int level = 128;
+  for (int i = 0; i < 16384; i++) {
+    level = (level * 7 + img[i]) >> 3;
+  }
+  thresh = level;
+})"},
+      // bitcount: a serial accumulation through a table gather.
+      {"mi_bitcount", R"(
+int words[32768]; int nibble[16]; int out;
+void kernel() {
+  int count = 0;
+  for (int i = 0; i < 32768; i++) {
+    count = count + nibble[words[i] & 15] + nibble[(words[i] >> 4) & 15];
+  }
+  out = count;
+})"},
+      // ADPCM-style decoder: state recurrences everywhere; tiny
+      // vectorizable delta precompute.
+      {"mi_adpcm", R"(
+int code[8192]; int delta[8192]; int out;
+void kernel() {
+  for (int i = 0; i < 8192; i++) { delta[i] = (code[i] & 7) * 2 + 1; }
+  int pred = 0;
+  int step = 7;
+  for (int i = 0; i < 8192; i++) {
+    pred = pred + ((code[i] & 8) > 0 ? 0 - step * delta[i] : step * delta[i]);
+    step = (step * 3 + delta[i]) >> 2;
+  }
+  out = pred;
+})"},
+      // FFT-like pass: strided butterflies (vectorizable with the right
+      // factors) plus a serial twiddle recurrence.
+      {"mi_fft", R"(
+float re[8192]; float im[8192]; float tw[4096]; float out;
+void kernel() {
+  for (int i = 0; i < 4095; i++) {
+    float a = re[2 * i] + re[2 * i + 1] * tw[i];
+    float b = im[2 * i] - im[2 * i + 1] * tw[i];
+    re[2 * i] = a;
+    im[2 * i] = b;
+  }
+  float w = 1.0;
+  for (int i = 0; i < 4096; i++) {
+    w = w * 0.9995 + tw[i] * 0.0005;
+  }
+  out = w;
+})"},
+  };
+}

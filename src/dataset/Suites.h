@@ -1,0 +1,46 @@
+//===- dataset/Suites.h - Fixed benchmark suites ----------------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fixed program suites behind the paper's evaluation figures:
+///
+///  - vectorizerTestSuite(): LoopLang ports in the style of LLVM's
+///    SingleSource/UnitTests/Vectorizer suite (Fig 2's x-axis).
+///  - evaluationBenchmarks(): the twelve held-out benchmarks of Fig 7,
+///    covering the features §4 lists (predicates, strided accesses,
+///    bitwise ops, unknown bounds, if statements, unknown misalignment,
+///    multidimensional arrays, reductions, type conversions, mixed data
+///    types).
+///  - polyBenchSuite(): six PolyBench-style linear-algebra kernels
+///    (Fig 8) written so that polyhedral transforms have real headroom.
+///  - miBenchSuite(): six MiBench-style embedded programs (Fig 9) whose
+///    runtime is dominated by loops that cannot be vectorized (serial
+///    dependences, indirect control), leaving only minor vector headroom.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_DATASET_SUITES_H
+#define NV_DATASET_SUITES_H
+
+#include <string>
+#include <vector>
+
+namespace nv {
+
+/// A named benchmark program.
+struct NamedProgram {
+  std::string Name;
+  std::string Source;
+};
+
+std::vector<NamedProgram> vectorizerTestSuite();
+std::vector<NamedProgram> evaluationBenchmarks();
+std::vector<NamedProgram> polyBenchSuite();
+std::vector<NamedProgram> miBenchSuite();
+
+} // namespace nv
+
+#endif // NV_DATASET_SUITES_H

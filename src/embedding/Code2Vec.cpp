@@ -1,0 +1,167 @@
+//===- embedding/Code2Vec.cpp - Attention code embedding ------------------===//
+
+#include "embedding/Code2Vec.h"
+
+#include "nn/Distributions.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace nv;
+
+Code2Vec::Code2Vec(const Code2VecConfig &Config, RNG &Rng)
+    : Config(Config),
+      TokenEmb(Config.Paths.TokenVocabSize, Config.TokenDim),
+      PathEmb(Config.Paths.PathVocabSize, Config.PathDim),
+      W(2 * Config.TokenDim + Config.PathDim, Config.CodeDim),
+      B(1, Config.CodeDim), Attn(1, Config.CodeDim) {
+  TokenEmb.Value.initGaussian(Rng, 0.5);
+  PathEmb.Value.initGaussian(Rng, 0.5);
+  W.Value.initXavier(Rng);
+  Attn.Value.initGaussian(Rng, 0.3);
+}
+
+std::vector<Param *> Code2Vec::params() {
+  return {&TokenEmb, &PathEmb, &W, &B, &Attn};
+}
+
+Matrix Code2Vec::encodeBatch(
+    const std::vector<std::vector<PathContext>> &Batch) {
+  const int InDim = 2 * Config.TokenDim + Config.PathDim;
+  Matrix V(static_cast<int>(Batch.size()), Config.CodeDim);
+  Cache.clear();
+  Cache.resize(Batch.size());
+
+  for (size_t S = 0; S < Batch.size(); ++S) {
+    SampleCache &SC = Cache[S];
+    SC.Contexts = Batch[S];
+    if (SC.Contexts.empty()) {
+      // Empty snippet: code vector is tanh(b)-weighted... simply zero.
+      SC.X = Matrix(0, InDim);
+      SC.C = Matrix(0, Config.CodeDim);
+      continue;
+    }
+    const int N = static_cast<int>(SC.Contexts.size());
+
+    // Gather embeddings.
+    SC.X = Matrix(N, InDim);
+    for (int I = 0; I < N; ++I) {
+      const PathContext &Ctx = SC.Contexts[I];
+      double *Row = SC.X.rowPtr(I);
+      const double *Src = TokenEmb.Value.rowPtr(Ctx.SrcToken);
+      const double *Path = PathEmb.Value.rowPtr(Ctx.Path);
+      const double *Dst = TokenEmb.Value.rowPtr(Ctx.DstToken);
+      for (int D = 0; D < Config.TokenDim; ++D)
+        Row[D] = Src[D];
+      for (int D = 0; D < Config.PathDim; ++D)
+        Row[Config.TokenDim + D] = Path[D];
+      for (int D = 0; D < Config.TokenDim; ++D)
+        Row[Config.TokenDim + Config.PathDim + D] = Dst[D];
+    }
+
+    // Combined context vectors with tanh.
+    SC.C = addRowBroadcast(matmul(SC.X, W.Value), B.Value);
+    for (double &Value : SC.C.raw())
+      Value = std::tanh(Value);
+
+    // Attention.
+    std::vector<double> Scores(N);
+    for (int I = 0; I < N; ++I) {
+      double Dot = 0.0;
+      const double *CRow = SC.C.rowPtr(I);
+      for (int D = 0; D < Config.CodeDim; ++D)
+        Dot += CRow[D] * Attn.Value.at(0, D);
+      Scores[I] = Dot;
+    }
+    SC.Alpha = softmax(Scores);
+
+    // Weighted sum.
+    double *VRow = V.rowPtr(static_cast<int>(S));
+    for (int I = 0; I < N; ++I) {
+      const double *CRow = SC.C.rowPtr(I);
+      for (int D = 0; D < Config.CodeDim; ++D)
+        VRow[D] += SC.Alpha[I] * CRow[D];
+    }
+  }
+  return V;
+}
+
+Matrix Code2Vec::encode(const std::vector<PathContext> &Contexts) {
+  return encodeBatch({Contexts});
+}
+
+void Code2Vec::backward(const Matrix &dV) {
+  assert(dV.rows() == static_cast<int>(Cache.size()) &&
+         "backward batch size mismatch with last encodeBatch");
+  assert(dV.cols() == Config.CodeDim && "backward width mismatch");
+
+  for (size_t S = 0; S < Cache.size(); ++S) {
+    SampleCache &SC = Cache[S];
+    const int N = static_cast<int>(SC.Contexts.size());
+    if (N == 0)
+      continue;
+    const double *dVRow = dV.rowPtr(static_cast<int>(S));
+
+    // v = sum alpha_i c_i.
+    //   dAlpha_i = c_i . dv        dC_i += alpha_i dv
+    std::vector<double> dAlpha(N, 0.0);
+    Matrix dC(N, Config.CodeDim);
+    for (int I = 0; I < N; ++I) {
+      const double *CRow = SC.C.rowPtr(I);
+      double *dCRow = dC.rowPtr(I);
+      double Dot = 0.0;
+      for (int D = 0; D < Config.CodeDim; ++D) {
+        Dot += CRow[D] * dVRow[D];
+        dCRow[D] += SC.Alpha[I] * dVRow[D];
+      }
+      dAlpha[I] = Dot;
+    }
+
+    // Softmax backward: dScore_i = alpha_i (dAlpha_i - sum_j alpha_j
+    // dAlpha_j).
+    double Weighted = 0.0;
+    for (int I = 0; I < N; ++I)
+      Weighted += SC.Alpha[I] * dAlpha[I];
+    std::vector<double> dScore(N);
+    for (int I = 0; I < N; ++I)
+      dScore[I] = SC.Alpha[I] * (dAlpha[I] - Weighted);
+
+    // Score_i = c_i . a:  dA += dScore_i c_i;  dC_i += dScore_i a.
+    for (int I = 0; I < N; ++I) {
+      const double *CRow = SC.C.rowPtr(I);
+      double *dCRow = dC.rowPtr(I);
+      for (int D = 0; D < Config.CodeDim; ++D) {
+        Attn.Grad.at(0, D) += dScore[I] * CRow[D];
+        dCRow[D] += dScore[I] * Attn.Value.at(0, D);
+      }
+    }
+
+    // tanh backward into the affine pre-activation.
+    for (int I = 0; I < N; ++I) {
+      const double *CRow = SC.C.rowPtr(I);
+      double *dCRow = dC.rowPtr(I);
+      for (int D = 0; D < Config.CodeDim; ++D)
+        dCRow[D] *= 1.0 - CRow[D] * CRow[D];
+    }
+
+    // Affine backward: pre = X W + b.
+    W.Grad += matmulTA(SC.X, dC);
+    B.Grad += sumRows(dC);
+    Matrix dX = matmulTB(dC, W.Value);
+
+    // Scatter into the embedding tables.
+    for (int I = 0; I < N; ++I) {
+      const PathContext &Ctx = SC.Contexts[I];
+      const double *Row = dX.rowPtr(I);
+      double *Src = TokenEmb.Grad.rowPtr(Ctx.SrcToken);
+      double *Path = PathEmb.Grad.rowPtr(Ctx.Path);
+      double *Dst = TokenEmb.Grad.rowPtr(Ctx.DstToken);
+      for (int D = 0; D < Config.TokenDim; ++D)
+        Src[D] += Row[D];
+      for (int D = 0; D < Config.PathDim; ++D)
+        Path[D] += Row[Config.TokenDim + D];
+      for (int D = 0; D < Config.TokenDim; ++D)
+        Dst[D] += Row[Config.TokenDim + Config.PathDim + D];
+    }
+  }
+}

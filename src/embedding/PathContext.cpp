@@ -1,0 +1,249 @@
+//===- embedding/PathContext.cpp - AST path-context extraction ------------===//
+
+#include "embedding/PathContext.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace nv;
+
+int nv::hashToken(const std::string &Token, int VocabSize) {
+  assert(VocabSize > 0);
+  return static_cast<int>(fnv1a(Token) % static_cast<uint64_t>(VocabSize));
+}
+
+namespace {
+
+/// A generic syntax-tree node for path extraction.
+struct TreeNode {
+  std::string Label;        ///< Node-kind label (inner nodes).
+  std::string Token;        ///< Terminal token (leaves only).
+  int Parent = -1;
+  bool IsTerminal = false;
+};
+
+/// Flattens the LoopLang AST into TreeNodes.
+class TreeBuilder {
+public:
+  std::vector<TreeNode> Nodes;
+
+  int addNode(const std::string &Label, int Parent) {
+    TreeNode N;
+    N.Label = Label;
+    N.Parent = Parent;
+    Nodes.push_back(N);
+    return static_cast<int>(Nodes.size()) - 1;
+  }
+
+  int addTerminal(const std::string &Token, int Parent) {
+    TreeNode N;
+    N.Token = Token;
+    N.Label = "T";
+    N.Parent = Parent;
+    N.IsTerminal = true;
+    Nodes.push_back(N);
+    return static_cast<int>(Nodes.size()) - 1;
+  }
+
+  void buildExpr(const Expr &E, int Parent);
+  void buildStmt(const Stmt &S, int Parent);
+};
+
+} // namespace
+
+void TreeBuilder::buildExpr(const Expr &E, int Parent) {
+  switch (E.kind()) {
+  case ExprKind::IntLit:
+    addTerminal(std::to_string(static_cast<const IntLit &>(E).Value),
+                addNode("Int", Parent));
+    return;
+  case ExprKind::FloatLit:
+    addTerminal("<flt>", addNode("Flt", Parent));
+    return;
+  case ExprKind::VarRef:
+    addTerminal(static_cast<const VarRef &>(E).Name,
+                addNode("Var", Parent));
+    return;
+  case ExprKind::ArrayRef: {
+    const auto &Ref = static_cast<const ArrayRef &>(E);
+    const int Node = addNode("Arr", Parent);
+    addTerminal(Ref.Name, Node);
+    for (const auto &Index : Ref.Indices)
+      buildExpr(*Index, addNode("Idx", Node));
+    return;
+  }
+  case ExprKind::Unary: {
+    const auto &U = static_cast<const UnaryExpr &>(E);
+    const char *Label = U.Op == UnaryOp::Neg   ? "Neg"
+                        : U.Op == UnaryOp::Not ? "LNot"
+                                               : "BNot";
+    buildExpr(*U.Sub, addNode(Label, Parent));
+    return;
+  }
+  case ExprKind::Binary: {
+    const auto &B = static_cast<const BinaryExpr &>(E);
+    const int Node =
+        addNode(std::string("Bin") + binaryOpSpelling(B.Op), Parent);
+    buildExpr(*B.LHS, Node);
+    buildExpr(*B.RHS, Node);
+    return;
+  }
+  case ExprKind::Ternary: {
+    const auto &T = static_cast<const TernaryExpr &>(E);
+    const int Node = addNode("Cond", Parent);
+    buildExpr(*T.Cond, Node);
+    buildExpr(*T.Then, Node);
+    buildExpr(*T.Else, Node);
+    return;
+  }
+  case ExprKind::Cast: {
+    const auto &C = static_cast<const CastExpr &>(E);
+    const int Node = addNode("Cast", Parent);
+    addTerminal(typeName(C.Ty), Node);
+    buildExpr(*C.Sub, Node);
+    return;
+  }
+  case ExprKind::Call: {
+    const auto &C = static_cast<const CallExpr &>(E);
+    const int Node = addNode("Call", Parent);
+    addTerminal(C.Callee, Node);
+    for (const auto &Arg : C.Args)
+      buildExpr(*Arg, Node);
+    return;
+  }
+  }
+}
+
+void TreeBuilder::buildStmt(const Stmt &S, int Parent) {
+  switch (S.kind()) {
+  case StmtKind::Block: {
+    const int Node = addNode("Block", Parent);
+    for (const auto &Child : static_cast<const BlockStmt &>(S).Stmts)
+      buildStmt(*Child, Node);
+    return;
+  }
+  case StmtKind::Decl: {
+    const auto &D = static_cast<const DeclStmt &>(S);
+    const int Node = addNode("Decl", Parent);
+    addTerminal(typeName(D.Ty), Node);
+    addTerminal(D.Name, Node);
+    if (D.Init)
+      buildExpr(*D.Init, Node);
+    return;
+  }
+  case StmtKind::Assign: {
+    const auto &A = static_cast<const AssignStmt &>(S);
+    const char *Label = A.Op == AssignOp::Assign      ? "Asg"
+                        : A.Op == AssignOp::AddAssign ? "Asg+"
+                        : A.Op == AssignOp::SubAssign ? "Asg-"
+                                                      : "Asg*";
+    const int Node = addNode(Label, Parent);
+    buildExpr(*A.LValue, Node);
+    buildExpr(*A.RHS, Node);
+    return;
+  }
+  case StmtKind::For: {
+    const auto &F = static_cast<const ForStmt &>(S);
+    const int Node = addNode("For", Parent);
+    addTerminal(F.IndexVar, Node);
+    buildExpr(*F.Init, addNode("Lo", Node));
+    buildExpr(*F.Bound, addNode("Hi", Node));
+    addTerminal(std::to_string(F.Step), addNode("Step", Node));
+    buildStmt(*F.Body, Node);
+    return;
+  }
+  case StmtKind::If: {
+    const auto &I = static_cast<const IfStmt &>(S);
+    const int Node = addNode("If", Parent);
+    buildExpr(*I.Cond, Node);
+    buildStmt(*I.Then, Node);
+    if (I.Else)
+      buildStmt(*I.Else, addNode("Else", Node));
+    return;
+  }
+  case StmtKind::Return: {
+    const auto &R = static_cast<const ReturnStmt &>(S);
+    const int Node = addNode("Ret", Parent);
+    if (R.Value)
+      buildExpr(*R.Value, Node);
+    return;
+  }
+  }
+}
+
+std::vector<PathContext>
+nv::extractPathContexts(const Stmt &S, const PathContextConfig &Config) {
+  TreeBuilder Builder;
+  Builder.buildStmt(S, /*Parent=*/-1);
+
+  // Gather terminals and their root paths.
+  std::vector<int> Terminals;
+  for (size_t I = 0; I < Builder.Nodes.size(); ++I)
+    if (Builder.Nodes[I].IsTerminal)
+      Terminals.push_back(static_cast<int>(I));
+
+  auto RootPath = [&](int Node) {
+    std::vector<int> Path;
+    for (int Cur = Builder.Nodes[Node].Parent; Cur != -1;
+         Cur = Builder.Nodes[Cur].Parent)
+      Path.push_back(Cur);
+    return Path; // Leaf's parent first, root last.
+  };
+
+  std::vector<std::vector<int>> Paths;
+  Paths.reserve(Terminals.size());
+  for (int T : Terminals)
+    Paths.push_back(RootPath(T));
+
+  std::vector<PathContext> Contexts;
+  const size_t NumTerminals = Terminals.size();
+  for (size_t I = 0; I < NumTerminals; ++I) {
+    for (size_t J = I + 1; J < NumTerminals; ++J) {
+      // Lowest common ancestor via suffix matching of root paths.
+      const std::vector<int> &PI = Paths[I];
+      const std::vector<int> &PJ = Paths[J];
+      size_t SI = PI.size(), SJ = PJ.size();
+      while (SI > 0 && SJ > 0 && PI[SI - 1] == PJ[SJ - 1]) {
+        --SI;
+        --SJ;
+      }
+      // The LCA is the last matched node.
+      const size_t UpLen = SI, DownLen = SJ;
+      if (static_cast<int>(UpLen + DownLen + 1) > Config.MaxPathLength)
+        continue;
+
+      std::string PathStr;
+      for (size_t K = 0; K < UpLen; ++K) {
+        PathStr += Builder.Nodes[PI[K]].Label;
+        PathStr += '^';
+      }
+      PathStr += Builder.Nodes[PI[UpLen]].Label; // LCA (exists: root).
+      for (size_t K = DownLen; K-- > 0;) {
+        PathStr += 'v';
+        PathStr += Builder.Nodes[PJ[K]].Label;
+      }
+
+      PathContext Ctx;
+      Ctx.SrcToken =
+          hashToken(Builder.Nodes[Terminals[I]].Token, Config.TokenVocabSize);
+      Ctx.Path = hashToken(PathStr, Config.PathVocabSize);
+      Ctx.DstToken =
+          hashToken(Builder.Nodes[Terminals[J]].Token, Config.TokenVocabSize);
+      Contexts.push_back(Ctx);
+    }
+  }
+
+  // Deterministic subsample when over budget: evenly strided selection
+  // keeps coverage of the whole snippet.
+  if (static_cast<int>(Contexts.size()) > Config.MaxContexts) {
+    std::vector<PathContext> Sampled;
+    Sampled.reserve(Config.MaxContexts);
+    const double Stride =
+        static_cast<double>(Contexts.size()) / Config.MaxContexts;
+    for (int K = 0; K < Config.MaxContexts; ++K)
+      Sampled.push_back(Contexts[static_cast<size_t>(K * Stride)]);
+    Contexts = std::move(Sampled);
+  }
+  return Contexts;
+}

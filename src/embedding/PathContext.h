@@ -1,0 +1,52 @@
+//===- embedding/PathContext.h - AST path-context extraction ----*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// code2vec-style decomposition of a loop's AST into path contexts: every
+/// pair of terminal tokens together with the syntactic path between them
+/// ("Code is first decomposed to a collection of paths in its abstract
+/// syntax tree", §3.1). The embedding network learns a vector per token and
+/// per path and aggregates them with attention (see Code2Vec.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_EMBEDDING_PATHCONTEXT_H
+#define NV_EMBEDDING_PATHCONTEXT_H
+
+#include "lang/AST.h"
+
+#include <string>
+#include <vector>
+
+namespace nv {
+
+/// One (source token, path, target token) triple, already hashed into
+/// vocabulary ids.
+struct PathContext {
+  int SrcToken = 0;
+  int Path = 0;
+  int DstToken = 0;
+};
+
+/// Extraction and vocabulary parameters.
+struct PathContextConfig {
+  int TokenVocabSize = 2048;
+  int PathVocabSize = 4096;
+  int MaxPathLength = 9;   ///< Node count cap on a path (else skipped).
+  int MaxContexts = 96;   ///< Per-snippet cap (deterministic subsample).
+};
+
+/// Extracts path contexts from the statement subtree \p S (typically the
+/// outermost loop of a vectorization site, per §3.3).
+std::vector<PathContext> extractPathContexts(const Stmt &S,
+                                             const PathContextConfig &Config);
+
+/// Hashes \p Token into [0, VocabSize) (stable across platforms).
+int hashToken(const std::string &Token, int VocabSize);
+
+} // namespace nv
+
+#endif // NV_EMBEDDING_PATHCONTEXT_H

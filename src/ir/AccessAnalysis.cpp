@@ -1,0 +1,138 @@
+//===- ir/AccessAnalysis.cpp - Affine index extraction --------------------===//
+
+#include "ir/AccessAnalysis.h"
+
+#include <algorithm>
+
+using namespace nv;
+
+AffineIndex nv::combineAffine(const AffineIndex &A, const AffineIndex &B,
+                              long long Scale) {
+  AffineIndex Result;
+  if (!A.IsAffine || !B.IsAffine) {
+    Result.IsAffine = false;
+    return Result;
+  }
+  Result.Const = A.Const + Scale * B.Const;
+  Result.Terms = A.Terms;
+  for (const auto &[Var, Coeff] : B.Terms) {
+    bool Found = false;
+    for (auto &[ExistingVar, ExistingCoeff] : Result.Terms) {
+      if (ExistingVar == Var) {
+        ExistingCoeff += Scale * Coeff;
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      Result.Terms.emplace_back(Var, Scale * Coeff);
+  }
+  // Drop zero coefficients so equality comparisons are canonical.
+  Result.Terms.erase(
+      std::remove_if(Result.Terms.begin(), Result.Terms.end(),
+                     [](const auto &Term) { return Term.second == 0; }),
+      Result.Terms.end());
+  return Result;
+}
+
+static AffineIndex nonAffine() {
+  AffineIndex Result;
+  Result.IsAffine = false;
+  return Result;
+}
+
+static AffineIndex constant(long long Value) {
+  AffineIndex Result;
+  Result.Const = Value;
+  return Result;
+}
+
+/// Multiplies two affine forms; affine only when one side is constant.
+static AffineIndex mulAffine(const AffineIndex &A, const AffineIndex &B) {
+  if (!A.IsAffine || !B.IsAffine)
+    return nonAffine();
+  if (A.Terms.empty())
+    return combineAffine(constant(0), B, A.Const);
+  if (B.Terms.empty())
+    return combineAffine(constant(0), A, B.Const);
+  return nonAffine();
+}
+
+AffineIndex nv::analyzeIndex(const Expr &E,
+                             const std::vector<std::string> &LoopVars) {
+  switch (E.kind()) {
+  case ExprKind::IntLit:
+    return constant(static_cast<const IntLit &>(E).Value);
+  case ExprKind::FloatLit:
+    return nonAffine();
+  case ExprKind::VarRef: {
+    const std::string &Name = static_cast<const VarRef &>(E).Name;
+    for (const std::string &Var : LoopVars) {
+      if (Var == Name) {
+        AffineIndex Result;
+        Result.Terms.emplace_back(Name, 1);
+        return Result;
+      }
+    }
+    // A non-induction variable in an index: loop-invariant offset. Model it
+    // as an unknown-but-fixed constant 0 contribution; conservatively this
+    // is fine for *stride* questions but dependence analysis must treat two
+    // different symbols as maybe-aliasing. We encode it as a pseudo-term so
+    // coefficient comparison keeps working.
+    AffineIndex Result;
+    Result.Terms.emplace_back("$sym:" + Name, 1);
+    return Result;
+  }
+  case ExprKind::ArrayRef:
+    return nonAffine(); // Indirect index => gather/scatter.
+  case ExprKind::Unary: {
+    const auto &U = static_cast<const UnaryExpr &>(E);
+    if (U.Op != UnaryOp::Neg)
+      return nonAffine();
+    AffineIndex Sub = analyzeIndex(*U.Sub, LoopVars);
+    return combineAffine(constant(0), Sub, -1);
+  }
+  case ExprKind::Binary: {
+    const auto &B = static_cast<const BinaryExpr &>(E);
+    AffineIndex L = analyzeIndex(*B.LHS, LoopVars);
+    AffineIndex R = analyzeIndex(*B.RHS, LoopVars);
+    switch (B.Op) {
+    case BinaryOp::Add:
+      return combineAffine(L, R, 1);
+    case BinaryOp::Sub:
+      return combineAffine(L, R, -1);
+    case BinaryOp::Mul:
+      return mulAffine(L, R);
+    case BinaryOp::Shl:
+      // `i << k` with constant k is an affine scale by 2^k.
+      if (R.IsAffine && R.Terms.empty() && R.Const >= 0 && R.Const < 16)
+        return combineAffine(constant(0), L, 1LL << R.Const);
+      return nonAffine();
+    default:
+      return nonAffine();
+    }
+  }
+  case ExprKind::Ternary:
+    return nonAffine();
+  case ExprKind::Cast:
+    return analyzeIndex(*static_cast<const CastExpr &>(E).Sub, LoopVars);
+  case ExprKind::Call:
+    return nonAffine();
+  }
+  return nonAffine();
+}
+
+AffineIndex nv::flattenIndex(const std::vector<AffineIndex> &PerDim,
+                             const std::vector<long long> &Dims) {
+  if (PerDim.size() != Dims.size() || PerDim.empty())
+    return nonAffine();
+  // Row-major: flat = (((i0 * D1) + i1) * D2 + i2) ...
+  AffineIndex Flat = PerDim[0];
+  for (size_t D = 1; D < PerDim.size(); ++D) {
+    if (!Flat.IsAffine)
+      return nonAffine();
+    AffineIndex Scaled = combineAffine(constant(0), Flat, Dims[D]);
+    Flat = combineAffine(Scaled, PerDim[D], 1);
+  }
+  return Flat;
+}

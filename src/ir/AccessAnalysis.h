@@ -1,0 +1,46 @@
+//===- ir/AccessAnalysis.h - Affine index extraction ------------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extracts the affine form of array index expressions with respect to the
+/// enclosing loop induction variables. This powers dependence analysis
+/// (maximum safe VF), stride classification (contiguous vs strided vs
+/// gather) and the polyhedral-lite transforms in src/polly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_IR_ACCESSANALYSIS_H
+#define NV_IR_ACCESSANALYSIS_H
+
+#include "ir/VecIR.h"
+#include "lang/AST.h"
+
+#include <string>
+#include <vector>
+
+namespace nv {
+
+/// Computes the affine form of \p E over the loop variables \p LoopVars.
+/// Any other variable reference, array reference, or non-linear operation
+/// yields IsAffine = false.
+AffineIndex analyzeIndex(const Expr &E,
+                         const std::vector<std::string> &LoopVars);
+
+/// Adds \p B scaled by \p Scale into \p A (affine combination); the result
+/// is non-affine if either input is.
+AffineIndex combineAffine(const AffineIndex &A, const AffineIndex &B,
+                          long long Scale);
+
+/// Flattens per-dimension indices into a single element index using
+/// row-major layout with the array dimensions \p Dims. If the number of
+/// indices does not match Dims, or any index is non-affine, the result is
+/// non-affine.
+AffineIndex flattenIndex(const std::vector<AffineIndex> &PerDim,
+                         const std::vector<long long> &Dims);
+
+} // namespace nv
+
+#endif // NV_IR_ACCESSANALYSIS_H

@@ -1,0 +1,159 @@
+//===- ir/ConstEval.cpp - Constant expression evaluation ------------------===//
+
+#include "ir/ConstEval.h"
+
+#include <cmath>
+
+using namespace nv;
+
+std::optional<double> nv::evalExpr(const Expr &E, const ValueEnv &Env) {
+  switch (E.kind()) {
+  case ExprKind::IntLit:
+    return static_cast<double>(static_cast<const IntLit &>(E).Value);
+  case ExprKind::FloatLit:
+    return static_cast<const FloatLit &>(E).Value;
+  case ExprKind::VarRef: {
+    auto It = Env.find(static_cast<const VarRef &>(E).Name);
+    if (It == Env.end())
+      return std::nullopt;
+    return It->second;
+  }
+  case ExprKind::ArrayRef:
+    return std::nullopt;
+  case ExprKind::Unary: {
+    const auto &U = static_cast<const UnaryExpr &>(E);
+    auto Sub = evalExpr(*U.Sub, Env);
+    if (!Sub)
+      return std::nullopt;
+    switch (U.Op) {
+    case UnaryOp::Neg:
+      return -*Sub;
+    case UnaryOp::Not:
+      return *Sub == 0.0 ? 1.0 : 0.0;
+    case UnaryOp::BitNot:
+      return static_cast<double>(~static_cast<long long>(*Sub));
+    }
+    return std::nullopt;
+  }
+  case ExprKind::Binary: {
+    const auto &B = static_cast<const BinaryExpr &>(E);
+    auto L = evalExpr(*B.LHS, Env);
+    auto R = evalExpr(*B.RHS, Env);
+    if (!L || !R)
+      return std::nullopt;
+    const long long LI = static_cast<long long>(*L);
+    const long long RI = static_cast<long long>(*R);
+    switch (B.Op) {
+    case BinaryOp::Add:
+      return *L + *R;
+    case BinaryOp::Sub:
+      return *L - *R;
+    case BinaryOp::Mul:
+      return *L * *R;
+    case BinaryOp::Div:
+      if (*R == 0.0)
+        return std::nullopt;
+      // Loop bound arithmetic is integral (`N/2 - 1`); keep C semantics.
+      if (*L == std::floor(*L) && *R == std::floor(*R))
+        return static_cast<double>(LI / RI);
+      return *L / *R;
+    case BinaryOp::Rem:
+      if (RI == 0)
+        return std::nullopt;
+      return static_cast<double>(LI % RI);
+    case BinaryOp::Shl:
+      return static_cast<double>(LI << (RI & 63));
+    case BinaryOp::Shr:
+      return static_cast<double>(LI >> (RI & 63));
+    case BinaryOp::And:
+      return static_cast<double>(LI & RI);
+    case BinaryOp::Or:
+      return static_cast<double>(LI | RI);
+    case BinaryOp::Xor:
+      return static_cast<double>(LI ^ RI);
+    case BinaryOp::LAnd:
+      return (*L != 0.0 && *R != 0.0) ? 1.0 : 0.0;
+    case BinaryOp::LOr:
+      return (*L != 0.0 || *R != 0.0) ? 1.0 : 0.0;
+    case BinaryOp::Lt:
+      return *L < *R ? 1.0 : 0.0;
+    case BinaryOp::Gt:
+      return *L > *R ? 1.0 : 0.0;
+    case BinaryOp::Le:
+      return *L <= *R ? 1.0 : 0.0;
+    case BinaryOp::Ge:
+      return *L >= *R ? 1.0 : 0.0;
+    case BinaryOp::Eq:
+      return *L == *R ? 1.0 : 0.0;
+    case BinaryOp::Ne:
+      return *L != *R ? 1.0 : 0.0;
+    }
+    return std::nullopt;
+  }
+  case ExprKind::Ternary: {
+    const auto &T = static_cast<const TernaryExpr &>(E);
+    auto C = evalExpr(*T.Cond, Env);
+    if (!C)
+      return std::nullopt;
+    return evalExpr(*C != 0.0 ? *T.Then : *T.Else, Env);
+  }
+  case ExprKind::Cast: {
+    const auto &C = static_cast<const CastExpr &>(E);
+    auto Sub = evalExpr(*C.Sub, Env);
+    if (!Sub)
+      return std::nullopt;
+    if (!isFloatTy(C.Ty))
+      return static_cast<double>(static_cast<long long>(*Sub));
+    return *Sub;
+  }
+  case ExprKind::Call: {
+    const auto &C = static_cast<const CallExpr &>(E);
+    auto Arg = [&](size_t I) -> std::optional<double> {
+      if (I >= C.Args.size())
+        return std::nullopt;
+      return evalExpr(*C.Args[I], Env);
+    };
+    if (C.Callee == "min" && C.Args.size() == 2) {
+      auto A = Arg(0), B = Arg(1);
+      if (A && B)
+        return std::min(*A, *B);
+    } else if (C.Callee == "max" && C.Args.size() == 2) {
+      auto A = Arg(0), B = Arg(1);
+      if (A && B)
+        return std::max(*A, *B);
+    } else if ((C.Callee == "abs" || C.Callee == "fabs") &&
+               C.Args.size() == 1) {
+      if (auto A = Arg(0))
+        return std::fabs(*A);
+    } else if (C.Callee == "sqrt" && C.Args.size() == 1) {
+      if (auto A = Arg(0); A && *A >= 0.0)
+        return std::sqrt(*A);
+    }
+    return std::nullopt;
+  }
+  }
+  return std::nullopt;
+}
+
+ValueEnv nv::runtimeEnv(const Program &P, double DefaultValue) {
+  ValueEnv Env;
+  for (const VarDecl &G : P.Globals)
+    if (!G.isArray())
+      Env[G.Name] = G.Init.value_or(DefaultValue);
+  return Env;
+}
+
+std::optional<long long> nv::tripCount(const ForStmt &Loop,
+                                       const ValueEnv &Env) {
+  auto Init = evalExpr(*Loop.Init, Env);
+  auto Bound = evalExpr(*Loop.Bound, Env);
+  if (!Init || !Bound)
+    return std::nullopt;
+  const long long Lo = static_cast<long long>(*Init);
+  long long Hi = static_cast<long long>(*Bound);
+  if (Loop.Cond == ForStmt::CondKind::LE)
+    ++Hi;
+  if (Hi <= Lo)
+    return 0;
+  return (Hi - Lo + Loop.Step - 1) / Loop.Step;
+}

@@ -1,0 +1,46 @@
+//===- ir/ConstEval.h - Constant expression evaluation ----------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates LoopLang expressions over an environment of scalar variable
+/// values. Used twice: at "compile time" with an empty environment (loop
+/// bounds that reference variables are *unknown trip counts*, a feature the
+/// baseline cost model must handle pessimistically, like LLVM does) and at
+/// "run time" with global initializers bound (the machine simulator needs
+/// concrete trip counts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_IR_CONSTEVAL_H
+#define NV_IR_CONSTEVAL_H
+
+#include "lang/AST.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace nv {
+
+/// Variable environment: name -> value.
+using ValueEnv = std::unordered_map<std::string, double>;
+
+/// Evaluates \p E over \p Env. Returns std::nullopt if the expression
+/// references an unbound variable, an array element, or an unknown call.
+std::optional<double> evalExpr(const Expr &E, const ValueEnv &Env);
+
+/// Builds the runtime environment from a program's global scalar
+/// initializers (`int N = 512;` binds N=512). Uninitialized scalars are
+/// bound to \p DefaultValue, so bounds always resolve at run time.
+ValueEnv runtimeEnv(const Program &P, double DefaultValue = 256.0);
+
+/// Trip count of a canonical loop `for (i = Init; i </<= Bound; i += Step)`
+/// over \p Env; std::nullopt if the bounds do not evaluate.
+std::optional<long long> tripCount(const ForStmt &Loop, const ValueEnv &Env);
+
+} // namespace nv
+
+#endif // NV_IR_CONSTEVAL_H

@@ -1,0 +1,50 @@
+//===- ir/Dependence.h - Memory dependence analysis -------------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop-carried memory dependence analysis for innermost loops. Computes
+/// the maximum safe vectorization factor: the paper notes that "predicates
+/// and memory dependency can hinder reaching high VF and IF" and that the
+/// compiler ignores infeasible pragmas — this analysis is what the
+/// simulated compiler uses to clamp the agent's requested factors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_IR_DEPENDENCE_H
+#define NV_IR_DEPENDENCE_H
+
+#include "ir/VecIR.h"
+
+#include <string>
+#include <vector>
+
+namespace nv {
+
+/// Result of a pairwise dependence test.
+struct DependenceResult {
+  bool Unknown = false;   ///< Analysis failed; assume the worst.
+  bool Exists = false;    ///< A loop-carried dependence exists.
+  long long Distance = 0; ///< Positive iteration distance when Exists.
+};
+
+/// Tests the dependence from store \p Store to access \p Other along the
+/// innermost induction variable \p InnerVar.
+DependenceResult testDependence(const MemAccess &Store,
+                                const MemAccess &Other,
+                                const std::string &InnerVar);
+
+/// Returns the largest power-of-two VF (<= \p HWMaxVF) that is legal for a
+/// loop with memory accesses \p Accesses along \p InnerVar. Returns 1 when
+/// any store is non-affine or a dependence cannot be disproven.
+int computeMaxSafeVF(const std::vector<MemAccess> &Accesses,
+                     const std::string &InnerVar, int HWMaxVF);
+
+/// Rounds \p X down to a power of two (minimum 1).
+int floorPow2(long long X);
+
+} // namespace nv
+
+#endif // NV_IR_DEPENDENCE_H

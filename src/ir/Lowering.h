@@ -1,0 +1,38 @@
+//===- ir/Lowering.h - AST to vector IR lowering ----------------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers an innermost loop (a vectorization site found by the loop
+/// extractor) into a LoopSummary: the per-iteration instruction list,
+/// memory access table, reduction/predication facts, trip counts, and the
+/// maximum legal VF. Everything downstream — the baseline cost model, the
+/// machine simulator, and Polly-lite — consumes this summary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_IR_LOWERING_H
+#define NV_IR_LOWERING_H
+
+#include "ir/VecIR.h"
+#include "lang/AST.h"
+#include "lang/LoopExtractor.h"
+
+#include <vector>
+
+namespace nv {
+
+/// Lowers vectorization site \p Site of program \p P. \p HWMaxVF is the
+/// widest VF the target supports (legality results are capped to it).
+LoopSummary lowerLoop(const Program &P, const LoopSite &Site, int HWMaxVF);
+
+/// Lowers every site of \p P (convenience used by the simulated compiler).
+std::vector<LoopSummary> lowerAllLoops(const Program &P,
+                                       std::vector<LoopSite> &Sites,
+                                       int HWMaxVF);
+
+} // namespace nv
+
+#endif // NV_IR_LOWERING_H

@@ -1,0 +1,158 @@
+//===- lang/AST.cpp - LoopLang abstract syntax tree -----------------------===//
+
+#include "lang/AST.h"
+
+using namespace nv;
+
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;
+
+bool nv::isComparisonOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Lt:
+  case BinaryOp::Gt:
+  case BinaryOp::Le:
+  case BinaryOp::Ge:
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const char *nv::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::Shl:
+    return "<<";
+  case BinaryOp::Shr:
+    return ">>";
+  case BinaryOp::And:
+    return "&";
+  case BinaryOp::Or:
+    return "|";
+  case BinaryOp::Xor:
+    return "^";
+  case BinaryOp::LAnd:
+    return "&&";
+  case BinaryOp::LOr:
+    return "||";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  }
+  return "?";
+}
+
+ExprPtr IntLit::clone() const { return std::make_unique<IntLit>(Value); }
+
+ExprPtr FloatLit::clone() const { return std::make_unique<FloatLit>(Value); }
+
+ExprPtr VarRef::clone() const { return std::make_unique<VarRef>(Name); }
+
+ExprPtr ArrayRef::clone() const {
+  std::vector<ExprPtr> ClonedIndices;
+  ClonedIndices.reserve(Indices.size());
+  for (const auto &Index : Indices)
+    ClonedIndices.push_back(Index->clone());
+  return std::make_unique<ArrayRef>(Name, std::move(ClonedIndices));
+}
+
+ExprPtr UnaryExpr::clone() const {
+  return std::make_unique<UnaryExpr>(Op, Sub->clone());
+}
+
+ExprPtr BinaryExpr::clone() const {
+  return std::make_unique<BinaryExpr>(Op, LHS->clone(), RHS->clone());
+}
+
+ExprPtr TernaryExpr::clone() const {
+  return std::make_unique<TernaryExpr>(Cond->clone(), Then->clone(),
+                                       Else->clone());
+}
+
+ExprPtr CastExpr::clone() const {
+  return std::make_unique<CastExpr>(Ty, Sub->clone());
+}
+
+ExprPtr CallExpr::clone() const {
+  std::vector<ExprPtr> ClonedArgs;
+  ClonedArgs.reserve(Args.size());
+  for (const auto &Arg : Args)
+    ClonedArgs.push_back(Arg->clone());
+  return std::make_unique<CallExpr>(Callee, std::move(ClonedArgs));
+}
+
+StmtPtr BlockStmt::clone() const {
+  std::vector<StmtPtr> ClonedStmts;
+  ClonedStmts.reserve(Stmts.size());
+  for (const auto &S : Stmts)
+    ClonedStmts.push_back(S->clone());
+  return std::make_unique<BlockStmt>(std::move(ClonedStmts));
+}
+
+StmtPtr DeclStmt::clone() const {
+  return std::make_unique<DeclStmt>(Ty, Name, Init ? Init->clone() : nullptr);
+}
+
+StmtPtr AssignStmt::clone() const {
+  return std::make_unique<AssignStmt>(LValue->clone(), Op, RHS->clone());
+}
+
+StmtPtr ForStmt::clone() const {
+  auto Cloned = std::make_unique<ForStmt>(IndexVar, Init->clone(), Cond,
+                                          Bound->clone(), Step,
+                                          Body->clone());
+  Cloned->DeclaresIndex = DeclaresIndex;
+  Cloned->Pragma = Pragma;
+  return Cloned;
+}
+
+StmtPtr IfStmt::clone() const {
+  return std::make_unique<IfStmt>(Cond->clone(), Then->clone(),
+                                  Else ? Else->clone() : nullptr);
+}
+
+StmtPtr ReturnStmt::clone() const {
+  return std::make_unique<ReturnStmt>(Value ? Value->clone() : nullptr);
+}
+
+Function::Function(const Function &Other)
+    : RetTy(Other.RetTy), IsVoid(Other.IsVoid), Name(Other.Name),
+      Body(Other.Body ? Other.Body->clone() : nullptr) {}
+
+Function &Function::operator=(const Function &Other) {
+  if (this == &Other)
+    return *this;
+  RetTy = Other.RetTy;
+  IsVoid = Other.IsVoid;
+  Name = Other.Name;
+  Body = Other.Body ? Other.Body->clone() : nullptr;
+  return *this;
+}
+
+const VarDecl *Program::findGlobal(const std::string &Name) const {
+  for (const VarDecl &G : Globals)
+    if (G.Name == Name)
+      return &G;
+  return nullptr;
+}

@@ -1,0 +1,416 @@
+//===- lang/AST.h - LoopLang abstract syntax tree ---------------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for LoopLang. Loops are kept canonical (`for (i = L; i < U; i += S)`),
+/// which matches the paper's synthetic dataset (§3.2) and makes affine
+/// access analysis exact. For-statements carry the optional vectorization
+/// pragma `#pragma clang loop vectorize_width(VF) interleave_count(IF)`
+/// the RL agent injects (paper Fig 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_LANG_AST_H
+#define NV_LANG_AST_H
+
+#include "lang/Type.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nv {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Expression node kinds (LLVM-style hand-rolled RTTI discriminator).
+enum class ExprKind {
+  IntLit,
+  FloatLit,
+  VarRef,
+  ArrayRef,
+  Unary,
+  Binary,
+  Ternary,
+  Cast,
+  Call,
+};
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Base class of all expressions.
+class Expr {
+public:
+  virtual ~Expr();
+
+  ExprKind kind() const { return Kind; }
+
+  /// Deep-copies this expression.
+  virtual ExprPtr clone() const = 0;
+
+protected:
+  explicit Expr(ExprKind Kind) : Kind(Kind) {}
+
+private:
+  ExprKind Kind;
+};
+
+/// Integer literal, e.g. `512`.
+class IntLit : public Expr {
+public:
+  explicit IntLit(long long Value) : Expr(ExprKind::IntLit), Value(Value) {}
+
+  long long Value;
+
+  ExprPtr clone() const override;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::IntLit; }
+};
+
+/// Floating-point literal, e.g. `0.5`.
+class FloatLit : public Expr {
+public:
+  explicit FloatLit(double Value) : Expr(ExprKind::FloatLit), Value(Value) {}
+
+  double Value;
+
+  ExprPtr clone() const override;
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::FloatLit;
+  }
+};
+
+/// Scalar variable reference, e.g. `sum` or a loop index `i`.
+class VarRef : public Expr {
+public:
+  explicit VarRef(std::string Name)
+      : Expr(ExprKind::VarRef), Name(std::move(Name)) {}
+
+  std::string Name;
+
+  ExprPtr clone() const override;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::VarRef; }
+};
+
+/// Array element reference, e.g. `A[i][j]`.
+class ArrayRef : public Expr {
+public:
+  ArrayRef(std::string Name, std::vector<ExprPtr> Indices)
+      : Expr(ExprKind::ArrayRef), Name(std::move(Name)),
+        Indices(std::move(Indices)) {}
+
+  std::string Name;
+  std::vector<ExprPtr> Indices;
+
+  ExprPtr clone() const override;
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::ArrayRef;
+  }
+};
+
+/// Unary operator kinds.
+enum class UnaryOp { Neg, Not, BitNot };
+
+/// Unary expression, e.g. `-x`.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, ExprPtr Sub)
+      : Expr(ExprKind::Unary), Op(Op), Sub(std::move(Sub)) {}
+
+  UnaryOp Op;
+  ExprPtr Sub;
+
+  ExprPtr clone() const override;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Unary; }
+};
+
+/// Binary operator kinds.
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  And,
+  Or,
+  Xor,
+  LAnd,
+  LOr,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  Eq,
+  Ne,
+};
+
+/// Returns true for the comparison operators (Lt..Ne).
+bool isComparisonOp(BinaryOp Op);
+
+/// Returns the C spelling of \p Op.
+const char *binaryOpSpelling(BinaryOp Op);
+
+/// Binary expression, e.g. `a * b`.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, ExprPtr LHS, ExprPtr RHS)
+      : Expr(ExprKind::Binary), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+
+  BinaryOp Op;
+  ExprPtr LHS;
+  ExprPtr RHS;
+
+  ExprPtr clone() const override;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Binary; }
+};
+
+/// Conditional expression `cond ? a : b` (maps to a vector select).
+class TernaryExpr : public Expr {
+public:
+  TernaryExpr(ExprPtr Cond, ExprPtr Then, ExprPtr Else)
+      : Expr(ExprKind::Ternary), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  ExprPtr Cond;
+  ExprPtr Then;
+  ExprPtr Else;
+
+  ExprPtr clone() const override;
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::Ternary;
+  }
+};
+
+/// Explicit cast `(type) expr`, used by the dataset's type-conversion loops.
+class CastExpr : public Expr {
+public:
+  CastExpr(ScalarType Ty, ExprPtr Sub)
+      : Expr(ExprKind::Cast), Ty(Ty), Sub(std::move(Sub)) {}
+
+  ScalarType Ty;
+  ExprPtr Sub;
+
+  ExprPtr clone() const override;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Cast; }
+};
+
+/// Builtin call, e.g. `sqrt(x)`, `min(a, b)`.
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args)
+      : Expr(ExprKind::Call), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+
+  ExprPtr clone() const override;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Call; }
+};
+
+/// dyn_cast-style helper (LLVM idiom without RTTI).
+template <typename T> T *dynCast(Expr *E) {
+  return E && T::classof(E) ? static_cast<T *>(E) : nullptr;
+}
+template <typename T> const T *dynCast(const Expr *E) {
+  return E && T::classof(E) ? static_cast<const T *>(E) : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Statement node kinds.
+enum class StmtKind { Block, Decl, Assign, For, If, Return };
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Base class of all statements.
+class Stmt {
+public:
+  virtual ~Stmt();
+
+  StmtKind kind() const { return Kind; }
+  virtual StmtPtr clone() const = 0;
+
+protected:
+  explicit Stmt(StmtKind Kind) : Kind(Kind) {}
+
+private:
+  StmtKind Kind;
+};
+
+/// `{ stmt* }`
+class BlockStmt : public Stmt {
+public:
+  explicit BlockStmt(std::vector<StmtPtr> Stmts = {})
+      : Stmt(StmtKind::Block), Stmts(std::move(Stmts)) {}
+
+  std::vector<StmtPtr> Stmts;
+
+  StmtPtr clone() const override;
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Block; }
+};
+
+/// Local declaration: `float sum = 0;` (scalars only inside functions).
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(ScalarType Ty, std::string Name, ExprPtr Init)
+      : Stmt(StmtKind::Decl), Ty(Ty), Name(std::move(Name)),
+        Init(std::move(Init)) {}
+
+  ScalarType Ty;
+  std::string Name;
+  ExprPtr Init; ///< May be null.
+
+  StmtPtr clone() const override;
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Decl; }
+};
+
+/// Assignment operator kinds (compound ops mark reduction candidates).
+enum class AssignOp { Assign, AddAssign, SubAssign, MulAssign };
+
+/// `lvalue op= expr;` where lvalue is a VarRef or ArrayRef.
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(ExprPtr LValue, AssignOp Op, ExprPtr RHS)
+      : Stmt(StmtKind::Assign), LValue(std::move(LValue)), Op(Op),
+        RHS(std::move(RHS)) {}
+
+  ExprPtr LValue;
+  AssignOp Op;
+  ExprPtr RHS;
+
+  StmtPtr clone() const override;
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Assign; }
+};
+
+/// The vectorization hint the agent injects before an innermost loop.
+struct VectorPragma {
+  int VF = 0; ///< vectorize_width
+  int IF = 0; ///< interleave_count
+};
+
+/// Canonical counted loop: `for (IndexVar = Init; IndexVar CondOp Bound;
+/// IndexVar += Step) Body`.
+class ForStmt : public Stmt {
+public:
+  /// Loop-exit comparison: `<` or `<=`.
+  enum class CondKind { LT, LE };
+
+  ForStmt(std::string IndexVar, ExprPtr Init, CondKind Cond, ExprPtr Bound,
+          long long Step, StmtPtr Body)
+      : Stmt(StmtKind::For), IndexVar(std::move(IndexVar)),
+        Init(std::move(Init)), Cond(Cond), Bound(std::move(Bound)),
+        Step(Step), Body(std::move(Body)) {}
+
+  std::string IndexVar;
+  ExprPtr Init;
+  CondKind Cond;
+  ExprPtr Bound;
+  long long Step;
+  StmtPtr Body; ///< Always a BlockStmt.
+  /// Whether the index variable is declared in the init clause
+  /// (`for (int i = ...)`); round-tripped by the printer.
+  bool DeclaresIndex = false;
+  std::optional<VectorPragma> Pragma;
+
+  StmtPtr clone() const override;
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::For; }
+};
+
+/// `if (cond) { ... } else { ... }`
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else)
+      : Stmt(StmtKind::If), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; ///< May be null.
+
+  StmtPtr clone() const override;
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::If; }
+};
+
+/// `return expr;`
+class ReturnStmt : public Stmt {
+public:
+  explicit ReturnStmt(ExprPtr Value)
+      : Stmt(StmtKind::Return), Value(std::move(Value)) {}
+
+  ExprPtr Value; ///< May be null.
+
+  StmtPtr clone() const override;
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Return; }
+};
+
+template <typename T> T *dynCast(Stmt *S) {
+  return S && T::classof(S) ? static_cast<T *>(S) : nullptr;
+}
+template <typename T> const T *dynCast(const Stmt *S) {
+  return S && T::classof(S) ? static_cast<const T *>(S) : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations and program
+//===----------------------------------------------------------------------===//
+
+/// A global scalar or array declaration.
+struct VarDecl {
+  ScalarType Ty = ScalarType::Int;
+  std::string Name;
+  std::vector<long long> Dims; ///< Empty for scalars; up to 3 dimensions.
+  /// Literal initializer for scalars (e.g. `int N = 512;`). The machine
+  /// simulator resolves symbolic loop bounds through this; the compile-time
+  /// cost model deliberately does not (such bounds are "unknown trip count",
+  /// one of the loop features the paper's benchmarks exercise).
+  std::optional<double> Init;
+
+  bool isArray() const { return !Dims.empty(); }
+  /// Total number of elements (1 for scalars).
+  long long numElements() const {
+    long long N = 1;
+    for (long long D : Dims)
+      N *= D;
+    return N;
+  }
+};
+
+/// A function definition.
+struct Function {
+  ScalarType RetTy = ScalarType::Int;
+  bool IsVoid = false;
+  std::string Name;
+  StmtPtr Body; ///< Always a BlockStmt.
+
+  Function() = default;
+  Function(Function &&) = default;
+  Function &operator=(Function &&) = default;
+  Function(const Function &Other);
+  Function &operator=(const Function &Other);
+};
+
+/// A whole translation unit.
+struct Program {
+  std::vector<VarDecl> Globals;
+  std::vector<Function> Functions;
+
+  /// Finds a global by name; returns nullptr if absent.
+  const VarDecl *findGlobal(const std::string &Name) const;
+};
+
+} // namespace nv
+
+#endif // NV_LANG_AST_H

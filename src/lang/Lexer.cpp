@@ -1,0 +1,393 @@
+//===- lang/Lexer.cpp - LoopLang lexer ------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace nv;
+
+const char *nv::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::End:
+    return "<eof>";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "float literal";
+  case TokenKind::Pragma:
+    return "#pragma";
+  case TokenKind::KwFor:
+    return "for";
+  case TokenKind::KwIf:
+    return "if";
+  case TokenKind::KwElse:
+    return "else";
+  case TokenKind::KwReturn:
+    return "return";
+  case TokenKind::KwChar:
+    return "char";
+  case TokenKind::KwShort:
+    return "short";
+  case TokenKind::KwInt:
+    return "int";
+  case TokenKind::KwLong:
+    return "long";
+  case TokenKind::KwFloat:
+    return "float";
+  case TokenKind::KwDouble:
+    return "double";
+  case TokenKind::KwUnsigned:
+    return "unsigned";
+  case TokenKind::KwVoid:
+    return "void";
+  case TokenKind::LParen:
+    return "(";
+  case TokenKind::RParen:
+    return ")";
+  case TokenKind::LBrace:
+    return "{";
+  case TokenKind::RBrace:
+    return "}";
+  case TokenKind::LBracket:
+    return "[";
+  case TokenKind::RBracket:
+    return "]";
+  case TokenKind::Semi:
+    return ";";
+  case TokenKind::Comma:
+    return ",";
+  case TokenKind::Question:
+    return "?";
+  case TokenKind::Colon:
+    return ":";
+  case TokenKind::Assign:
+    return "=";
+  case TokenKind::PlusAssign:
+    return "+=";
+  case TokenKind::MinusAssign:
+    return "-=";
+  case TokenKind::StarAssign:
+    return "*=";
+  case TokenKind::Plus:
+    return "+";
+  case TokenKind::Minus:
+    return "-";
+  case TokenKind::Star:
+    return "*";
+  case TokenKind::Slash:
+    return "/";
+  case TokenKind::Percent:
+    return "%";
+  case TokenKind::PlusPlus:
+    return "++";
+  case TokenKind::MinusMinus:
+    return "--";
+  case TokenKind::Less:
+    return "<";
+  case TokenKind::Greater:
+    return ">";
+  case TokenKind::LessEqual:
+    return "<=";
+  case TokenKind::GreaterEqual:
+    return ">=";
+  case TokenKind::EqualEqual:
+    return "==";
+  case TokenKind::NotEqual:
+    return "!=";
+  case TokenKind::AmpAmp:
+    return "&&";
+  case TokenKind::PipePipe:
+    return "||";
+  case TokenKind::Amp:
+    return "&";
+  case TokenKind::Pipe:
+    return "|";
+  case TokenKind::Caret:
+    return "^";
+  case TokenKind::Tilde:
+    return "~";
+  case TokenKind::Not:
+    return "!";
+  case TokenKind::Shl:
+    return "<<";
+  case TokenKind::Shr:
+    return ">>";
+  }
+  return "<unknown>";
+}
+
+Lexer::Lexer(std::string Source) : Source(std::move(Source)) {}
+
+char Lexer::peek(int Ahead) const {
+  const size_t Index = Pos + static_cast<size_t>(Ahead);
+  return Index < Source.size() ? Source[Index] : '\0';
+}
+
+char Lexer::advance() {
+  const char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+Token Lexer::makeToken(TokenKind Kind, std::string Text) {
+  Token T;
+  T.Kind = Kind;
+  T.Text = std::move(Text);
+  T.Line = TokLine;
+  T.Col = TokCol;
+  return T;
+}
+
+Token Lexer::errorToken(const std::string &Message) {
+  if (ErrorMessage.empty())
+    ErrorMessage = "line " + std::to_string(TokLine) + ": " + Message;
+  return makeToken(TokenKind::End);
+}
+
+bool Lexer::skipAttribute() {
+  // Consume `__attribute__ (( ... ))` with balanced parens.
+  const std::string Keyword = "__attribute__";
+  if (Source.compare(Pos, Keyword.size(), Keyword) != 0)
+    return false;
+  for (size_t I = 0; I < Keyword.size(); ++I)
+    advance();
+  skipTrivia();
+  if (peek() != '(')
+    return true;
+  int Depth = 0;
+  do {
+    const char C = advance();
+    if (C == '(')
+      ++Depth;
+    else if (C == ')')
+      --Depth;
+    else if (C == '\0')
+      return true;
+  } while (Depth > 0);
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    const char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/') && peek() != '\0')
+        advance();
+      if (peek() != '\0') {
+        advance();
+        advance();
+      }
+      continue;
+    }
+    if (C == '_' && skipAttribute())
+      continue;
+    return;
+  }
+}
+
+Token Lexer::lexPragma() {
+  // Pos currently at '#'. Capture the rest of the line.
+  std::string Text;
+  while (peek() != '\n' && peek() != '\0')
+    Text.push_back(advance());
+  // Strip the leading '#'.
+  return makeToken(TokenKind::Pragma, Text.substr(1));
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  std::string Text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Text.push_back(advance());
+
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"for", TokenKind::KwFor},         {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},       {"return", TokenKind::KwReturn},
+      {"char", TokenKind::KwChar},       {"short", TokenKind::KwShort},
+      {"int", TokenKind::KwInt},         {"long", TokenKind::KwLong},
+      {"float", TokenKind::KwFloat},     {"double", TokenKind::KwDouble},
+      {"unsigned", TokenKind::KwUnsigned}, {"void", TokenKind::KwVoid},
+  };
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end())
+    return makeToken(It->second, Text);
+  return makeToken(TokenKind::Identifier, Text);
+}
+
+Token Lexer::lexNumber() {
+  std::string Text;
+  bool IsFloat = false;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    Text.push_back(advance());
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsFloat = true;
+    Text.push_back(advance());
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Text.push_back(advance());
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    const char Next = peek(1);
+    const char Next2 = peek(2);
+    if (std::isdigit(static_cast<unsigned char>(Next)) ||
+        ((Next == '+' || Next == '-') &&
+         std::isdigit(static_cast<unsigned char>(Next2)))) {
+      IsFloat = true;
+      Text.push_back(advance());
+      if (peek() == '+' || peek() == '-')
+        Text.push_back(advance());
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Text.push_back(advance());
+    }
+  }
+  // Accept and drop C suffixes.
+  while (peek() == 'f' || peek() == 'F' || peek() == 'u' || peek() == 'U' ||
+         peek() == 'l' || peek() == 'L') {
+    if (peek() == 'f' || peek() == 'F')
+      IsFloat = true;
+    advance();
+  }
+  Token T = makeToken(IsFloat ? TokenKind::FloatLiteral
+                              : TokenKind::IntLiteral,
+                      Text);
+  if (IsFloat)
+    T.FloatValue = std::strtod(Text.c_str(), nullptr);
+  else
+    T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+  return T;
+}
+
+Token Lexer::lexToken() {
+  skipTrivia();
+  TokLine = Line;
+  TokCol = Col;
+  const char C = peek();
+  if (C == '\0')
+    return makeToken(TokenKind::End);
+  if (C == '#')
+    return lexPragma();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen);
+  case ')':
+    return makeToken(TokenKind::RParen);
+  case '{':
+    return makeToken(TokenKind::LBrace);
+  case '}':
+    return makeToken(TokenKind::RBrace);
+  case '[':
+    return makeToken(TokenKind::LBracket);
+  case ']':
+    return makeToken(TokenKind::RBracket);
+  case ';':
+    return makeToken(TokenKind::Semi);
+  case ',':
+    return makeToken(TokenKind::Comma);
+  case '?':
+    return makeToken(TokenKind::Question);
+  case ':':
+    return makeToken(TokenKind::Colon);
+  case '~':
+    return makeToken(TokenKind::Tilde);
+  case '^':
+    return makeToken(TokenKind::Caret);
+  case '%':
+    return makeToken(TokenKind::Percent);
+  case '/':
+    return makeToken(TokenKind::Slash);
+  case '+':
+    if (match('+'))
+      return makeToken(TokenKind::PlusPlus);
+    if (match('='))
+      return makeToken(TokenKind::PlusAssign);
+    return makeToken(TokenKind::Plus);
+  case '-':
+    if (match('-'))
+      return makeToken(TokenKind::MinusMinus);
+    if (match('='))
+      return makeToken(TokenKind::MinusAssign);
+    return makeToken(TokenKind::Minus);
+  case '*':
+    if (match('='))
+      return makeToken(TokenKind::StarAssign);
+    return makeToken(TokenKind::Star);
+  case '<':
+    if (match('<'))
+      return makeToken(TokenKind::Shl);
+    if (match('='))
+      return makeToken(TokenKind::LessEqual);
+    return makeToken(TokenKind::Less);
+  case '>':
+    if (match('>'))
+      return makeToken(TokenKind::Shr);
+    if (match('='))
+      return makeToken(TokenKind::GreaterEqual);
+    return makeToken(TokenKind::Greater);
+  case '=':
+    if (match('='))
+      return makeToken(TokenKind::EqualEqual);
+    return makeToken(TokenKind::Assign);
+  case '!':
+    if (match('='))
+      return makeToken(TokenKind::NotEqual);
+    return makeToken(TokenKind::Not);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp);
+    return makeToken(TokenKind::Amp);
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe);
+    return makeToken(TokenKind::Pipe);
+  default:
+    return errorToken(std::string("unexpected character '") + C + "'");
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token T = lexToken();
+    const bool AtEnd = T.is(TokenKind::End);
+    Tokens.push_back(std::move(T));
+    if (AtEnd || !ErrorMessage.empty())
+      break;
+  }
+  if (Tokens.empty() || !Tokens.back().is(TokenKind::End))
+    Tokens.push_back(makeToken(TokenKind::End));
+  return Tokens;
+}

@@ -1,0 +1,60 @@
+//===- lang/Lexer.h - LoopLang lexer ----------------------------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for LoopLang. Skips `//` and `/* */` comments and
+/// consumes `__attribute__((...))` annotations (the paper's kernels carry
+/// alignment/noinline attributes which we accept and ignore).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_LANG_LEXER_H
+#define NV_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <vector>
+
+namespace nv {
+
+/// Tokenizes a LoopLang source buffer.
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Lexes the whole buffer. On a lexical error, appends an End token and
+  /// records the message retrievable via \c error().
+  std::vector<Token> lexAll();
+
+  /// Returns the first error message, or an empty string on success.
+  const std::string &error() const { return ErrorMessage; }
+
+private:
+  Token lexToken();
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+  Token lexPragma();
+  void skipTrivia();
+  bool skipAttribute();
+
+  char peek(int Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  Token makeToken(TokenKind Kind, std::string Text = "");
+  Token errorToken(const std::string &Message);
+
+  std::string Source;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+  int TokLine = 1;
+  int TokCol = 1;
+  std::string ErrorMessage;
+};
+
+} // namespace nv
+
+#endif // NV_LANG_LEXER_H

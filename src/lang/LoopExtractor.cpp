@@ -1,0 +1,123 @@
+//===- lang/LoopExtractor.cpp - Find vectorization sites ------------------===//
+
+#include "lang/LoopExtractor.h"
+
+#include "lang/PrettyPrinter.h"
+
+#include <cassert>
+
+using namespace nv;
+
+namespace {
+
+/// Depth-first walker collecting innermost loops along with their outermost
+/// enclosing loop.
+class LoopWalker {
+public:
+  explicit LoopWalker(const Function &F) : Func(&F) {}
+
+  void walkStmt(Stmt &S) {
+    switch (S.kind()) {
+    case StmtKind::Block:
+      for (auto &Child : static_cast<BlockStmt &>(S).Stmts)
+        walkStmt(*Child);
+      return;
+    case StmtKind::For: {
+      auto &Loop = static_cast<ForStmt &>(S);
+      LoopStack.push_back(&Loop);
+      const size_t SitesBefore = Sites.size();
+      walkStmt(*Loop.Body);
+      // If no deeper loop produced a site, this loop is innermost.
+      if (Sites.size() == SitesBefore) {
+        LoopSite Site;
+        Site.Inner = &Loop;
+        Site.Outer = LoopStack.front();
+        Site.Func = Func;
+        Site.Depth = static_cast<int>(LoopStack.size());
+        Site.Nest = LoopStack;
+        Sites.push_back(Site);
+      }
+      LoopStack.pop_back();
+      return;
+    }
+    case StmtKind::If: {
+      auto &If = static_cast<IfStmt &>(S);
+      walkStmt(*If.Then);
+      if (If.Else)
+        walkStmt(*If.Else);
+      return;
+    }
+    case StmtKind::Decl:
+    case StmtKind::Assign:
+    case StmtKind::Return:
+      return;
+    }
+    assert(false && "covered switch");
+  }
+
+  std::vector<LoopSite> takeSites() { return std::move(Sites); }
+
+private:
+  const Function *Func;
+  std::vector<ForStmt *> LoopStack;
+  std::vector<LoopSite> Sites;
+};
+
+} // namespace
+
+std::vector<LoopSite> nv::extractLoops(Program &P) {
+  std::vector<LoopSite> AllSites;
+  for (Function &F : P.Functions) {
+    LoopWalker Walker(F);
+    if (F.Body)
+      Walker.walkStmt(*F.Body);
+    for (LoopSite &Site : Walker.takeSites())
+      AllSites.push_back(std::move(Site));
+  }
+  for (size_t I = 0; I < AllSites.size(); ++I) {
+    AllSites[I].Id = static_cast<int>(I);
+    AllSites[I].ContextText = printStmt(*AllSites[I].Outer);
+  }
+  return AllSites;
+}
+
+void nv::injectPragma(LoopSite &Site, const VectorPragma &Pragma) {
+  assert(Site.Inner && "site has no loop");
+  assert(Pragma.VF >= 1 && Pragma.IF >= 1 && "factors must be >= 1");
+  Site.Inner->Pragma = Pragma;
+}
+
+void nv::clearPragma(LoopSite &Site) {
+  assert(Site.Inner && "site has no loop");
+  Site.Inner->Pragma.reset();
+}
+
+static void clearPragmasIn(Stmt &S) {
+  switch (S.kind()) {
+  case StmtKind::Block:
+    for (auto &Child : static_cast<BlockStmt &>(S).Stmts)
+      clearPragmasIn(*Child);
+    return;
+  case StmtKind::For: {
+    auto &Loop = static_cast<ForStmt &>(S);
+    Loop.Pragma.reset();
+    clearPragmasIn(*Loop.Body);
+    return;
+  }
+  case StmtKind::If: {
+    auto &If = static_cast<IfStmt &>(S);
+    clearPragmasIn(*If.Then);
+    if (If.Else)
+      clearPragmasIn(*If.Else);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void nv::clearAllPragmas(Program &P) {
+  for (Function &F : P.Functions)
+    if (F.Body)
+      clearPragmasIn(*F.Body);
+}

@@ -1,0 +1,53 @@
+//===- lang/LoopExtractor.h - Find vectorization sites ----------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The automatic loop extractor from the paper's framework (Fig 3): walks a
+/// program and returns every vectorization site. A site is an *innermost*
+/// loop (where the pragma is injected, §3) together with its outermost
+/// enclosing loop (whose body text feeds the embedding generator — the paper
+/// found outer-loop context works better than inner-only, §3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_LANG_LOOPEXTRACTOR_H
+#define NV_LANG_LOOPEXTRACTOR_H
+
+#include "lang/AST.h"
+
+#include <string>
+#include <vector>
+
+namespace nv {
+
+/// One vectorization site.
+struct LoopSite {
+  int Id = 0;             ///< Sequential id in program traversal order.
+  ForStmt *Inner = nullptr; ///< Innermost loop; pragma injection point.
+  ForStmt *Outer = nullptr; ///< Outermost enclosing loop (== Inner if depth 1).
+  const Function *Func = nullptr;
+  int Depth = 1;          ///< Nesting depth of Inner (1 = not nested).
+  std::string ContextText; ///< Source text of Outer, fed to the embedder.
+  /// Full enclosing loop chain, outermost first; back() == Inner.
+  std::vector<ForStmt *> Nest;
+};
+
+/// Extracts all vectorization sites from \p P. Pointers remain valid while
+/// the program is alive and no statements are destroyed.
+std::vector<LoopSite> extractLoops(Program &P);
+
+/// Injects \p Pragma at site \p Site (sets it on the innermost loop).
+void injectPragma(LoopSite &Site, const VectorPragma &Pragma);
+
+/// Removes the pragma at \p Site.
+void clearPragma(LoopSite &Site);
+
+/// Removes every vectorization pragma in \p P.
+void clearAllPragmas(Program &P);
+
+} // namespace nv
+
+#endif // NV_LANG_LOOPEXTRACTOR_H

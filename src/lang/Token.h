@@ -1,0 +1,97 @@
+//===- lang/Token.h - LoopLang tokens ---------------------------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the LoopLang lexer. Pragma lines are lexed as a
+/// single token carrying the raw directive text, mirroring how the paper's
+/// framework treats `#pragma clang loop ...` as an opaque hint line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_LANG_TOKEN_H
+#define NV_LANG_TOKEN_H
+
+#include <string>
+
+namespace nv {
+
+/// Lexical token kind.
+enum class TokenKind {
+  End,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  Pragma, ///< A full `#pragma ...` line; Text holds the directive body.
+  // Keywords.
+  KwFor,
+  KwIf,
+  KwElse,
+  KwReturn,
+  KwChar,
+  KwShort,
+  KwInt,
+  KwLong,
+  KwFloat,
+  KwDouble,
+  KwUnsigned,
+  KwVoid,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Question,
+  Colon,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  PlusPlus,
+  MinusMinus,
+  Less,
+  Greater,
+  LessEqual,
+  GreaterEqual,
+  EqualEqual,
+  NotEqual,
+  AmpAmp,
+  PipePipe,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Not,
+  Shl,
+  Shr,
+};
+
+/// A single token with its source position (1-based line/column).
+struct Token {
+  TokenKind Kind = TokenKind::End;
+  std::string Text;   ///< Identifier spelling, literal text, or pragma body.
+  long long IntValue = 0;
+  double FloatValue = 0.0;
+  int Line = 0;
+  int Col = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Returns a printable name for \p Kind (used in parse diagnostics).
+const char *tokenKindName(TokenKind Kind);
+
+} // namespace nv
+
+#endif // NV_LANG_TOKEN_H

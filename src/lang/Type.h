@@ -1,0 +1,120 @@
+//===- lang/Type.h - Scalar types of the loop language ----------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar element types of LoopLang, the C-subset loop language this
+/// reproduction uses in place of full C (see DESIGN.md, substitution table).
+/// Element width drives both the machine model (lanes per vector register)
+/// and the baseline cost model's maximum vectorization factor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_LANG_TYPE_H
+#define NV_LANG_TYPE_H
+
+#include <cassert>
+#include <string>
+
+namespace nv {
+
+/// Scalar element type.
+enum class ScalarType {
+  Char,
+  UChar,
+  Short,
+  UShort,
+  Int,
+  UInt,
+  Long,
+  ULong,
+  Float,
+  Double,
+};
+
+/// Returns the size of \p Ty in bytes.
+inline unsigned sizeOf(ScalarType Ty) {
+  switch (Ty) {
+  case ScalarType::Char:
+  case ScalarType::UChar:
+    return 1;
+  case ScalarType::Short:
+  case ScalarType::UShort:
+    return 2;
+  case ScalarType::Int:
+  case ScalarType::UInt:
+  case ScalarType::Float:
+    return 4;
+  case ScalarType::Long:
+  case ScalarType::ULong:
+  case ScalarType::Double:
+    return 8;
+  }
+  assert(false && "covered switch");
+  return 4;
+}
+
+/// Returns true for float/double.
+inline bool isFloatTy(ScalarType Ty) {
+  return Ty == ScalarType::Float || Ty == ScalarType::Double;
+}
+
+/// Returns true for the unsigned integer types.
+inline bool isUnsignedTy(ScalarType Ty) {
+  switch (Ty) {
+  case ScalarType::UChar:
+  case ScalarType::UShort:
+  case ScalarType::UInt:
+  case ScalarType::ULong:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Renders \p Ty as LoopLang / C source text.
+inline std::string typeName(ScalarType Ty) {
+  switch (Ty) {
+  case ScalarType::Char:
+    return "char";
+  case ScalarType::UChar:
+    return "unsigned char";
+  case ScalarType::Short:
+    return "short";
+  case ScalarType::UShort:
+    return "unsigned short";
+  case ScalarType::Int:
+    return "int";
+  case ScalarType::UInt:
+    return "unsigned int";
+  case ScalarType::Long:
+    return "long";
+  case ScalarType::ULong:
+    return "unsigned long";
+  case ScalarType::Float:
+    return "float";
+  case ScalarType::Double:
+    return "double";
+  }
+  assert(false && "covered switch");
+  return "int";
+}
+
+/// Usual C arithmetic conversion result of combining two element types
+/// (simplified: wider wins; float beats int; unsigned beats signed at the
+/// same width). Used by the lowering to type IR instructions.
+inline ScalarType promote(ScalarType A, ScalarType B) {
+  if (A == ScalarType::Double || B == ScalarType::Double)
+    return ScalarType::Double;
+  if (A == ScalarType::Float || B == ScalarType::Float)
+    return ScalarType::Float;
+  if (sizeOf(A) != sizeOf(B))
+    return sizeOf(A) > sizeOf(B) ? A : B;
+  return isUnsignedTy(A) ? A : B;
+}
+
+} // namespace nv
+
+#endif // NV_LANG_TYPE_H

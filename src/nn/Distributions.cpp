@@ -1,0 +1,89 @@
+//===- nn/Distributions.cpp - Policy output distributions ------------------===//
+
+#include "nn/Distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace nv;
+
+std::vector<double> nv::softmax(const std::vector<double> &Logits) {
+  assert(!Logits.empty() && "softmax of empty logits");
+  const double MaxLogit = *std::max_element(Logits.begin(), Logits.end());
+  std::vector<double> Probs(Logits.size());
+  double Sum = 0.0;
+  for (size_t I = 0; I < Logits.size(); ++I) {
+    Probs[I] = std::exp(Logits[I] - MaxLogit);
+    Sum += Probs[I];
+  }
+  for (double &P : Probs)
+    P /= Sum;
+  return Probs;
+}
+
+double nv::logSoftmaxAt(const std::vector<double> &Logits, int Index) {
+  assert(Index >= 0 && Index < static_cast<int>(Logits.size()));
+  const double MaxLogit = *std::max_element(Logits.begin(), Logits.end());
+  double Sum = 0.0;
+  for (double L : Logits)
+    Sum += std::exp(L - MaxLogit);
+  return Logits[Index] - MaxLogit - std::log(Sum);
+}
+
+double nv::softmaxEntropy(const std::vector<double> &Logits) {
+  const std::vector<double> Probs = softmax(Logits);
+  double H = 0.0;
+  for (double P : Probs)
+    if (P > 0.0)
+      H -= P * std::log(P);
+  return H;
+}
+
+int nv::sampleCategorical(const std::vector<double> &Logits, RNG &Rng) {
+  const std::vector<double> Probs = softmax(Logits);
+  double Target = Rng.nextDouble();
+  for (size_t I = 0; I < Probs.size(); ++I) {
+    Target -= Probs[I];
+    if (Target < 0.0)
+      return static_cast<int>(I);
+  }
+  return static_cast<int>(Probs.size()) - 1;
+}
+
+int nv::argmax(const std::vector<double> &Logits) {
+  assert(!Logits.empty() && "argmax of empty logits");
+  return static_cast<int>(
+      std::max_element(Logits.begin(), Logits.end()) - Logits.begin());
+}
+
+std::vector<double>
+nv::categoricalLogProbGrad(const std::vector<double> &Logits, int Index) {
+  std::vector<double> Grad = softmax(Logits);
+  for (double &G : Grad)
+    G = -G;
+  Grad[Index] += 1.0;
+  return Grad;
+}
+
+double nv::gaussianLogProb(double X, double Mean, double LogStd) {
+  const double Std = std::exp(LogStd);
+  const double Z = (X - Mean) / Std;
+  return -0.5 * Z * Z - LogStd - 0.5 * std::log(2.0 * M_PI);
+}
+
+double nv::gaussianEntropy(double LogStd) {
+  return LogStd + 0.5 * std::log(2.0 * M_PI * std::exp(1.0));
+}
+
+double nv::sampleGaussian(double Mean, double LogStd, RNG &Rng) {
+  return Mean + std::exp(LogStd) * Rng.nextGaussian();
+}
+
+void nv::gaussianLogProbGrad(double X, double Mean, double LogStd,
+                             double &dMean, double &dLogStd) {
+  const double Std = std::exp(LogStd);
+  const double Z = (X - Mean) / Std;
+  dMean = Z / Std;
+  dLogStd = Z * Z - 1.0;
+}

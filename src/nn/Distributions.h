@@ -1,0 +1,55 @@
+//===- nn/Distributions.h - Policy output distributions ---------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Categorical (softmax) and diagonal-Gaussian distributions for the PPO
+/// policies. The paper's Fig 6 compares a discrete action space (two
+/// categorical heads indexing the VF/IF arrays) against one- and
+/// two-dimensional continuous (Gaussian) encodings; these helpers back all
+/// three.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_NN_DISTRIBUTIONS_H
+#define NV_NN_DISTRIBUTIONS_H
+
+#include "support/RNG.h"
+
+#include <vector>
+
+namespace nv {
+
+/// Numerically stable softmax of \p Logits.
+std::vector<double> softmax(const std::vector<double> &Logits);
+
+/// log(softmax(Logits)[Index]) computed stably.
+double logSoftmaxAt(const std::vector<double> &Logits, int Index);
+
+/// Entropy of softmax(Logits).
+double softmaxEntropy(const std::vector<double> &Logits);
+
+/// Samples an index from softmax(Logits).
+int sampleCategorical(const std::vector<double> &Logits, RNG &Rng);
+
+/// Index of the largest logit (greedy action at inference time).
+int argmax(const std::vector<double> &Logits);
+
+/// d log(softmax[Index]) / d logits; the gradient of a categorical log
+/// probability with respect to its logits: onehot(Index) - softmax.
+std::vector<double> categoricalLogProbGrad(const std::vector<double> &Logits,
+                                           int Index);
+
+/// Diagonal Gaussian helpers (parameterized by mean and log stddev).
+double gaussianLogProb(double X, double Mean, double LogStd);
+double gaussianEntropy(double LogStd);
+double sampleGaussian(double Mean, double LogStd, RNG &Rng);
+/// d logprob / d mean and d logprob / d logstd.
+void gaussianLogProbGrad(double X, double Mean, double LogStd, double &dMean,
+                         double &dLogStd);
+
+} // namespace nv
+
+#endif // NV_NN_DISTRIBUTIONS_H

@@ -1,0 +1,106 @@
+//===- nn/Layers.cpp - NN layers and the MLP -------------------------------===//
+
+#include "nn/Layers.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace nv;
+
+LinearLayer::LinearLayer(int In, int Out, RNG &Rng)
+    : W(In, Out), B(1, Out) {
+  W.Value.initXavier(Rng);
+  // Biases start at zero.
+}
+
+Matrix LinearLayer::forward(const Matrix &X) {
+  assert(X.cols() == W.Value.rows() && "input width mismatch");
+  CachedX = X;
+  return addRowBroadcast(matmul(X, W.Value), B.Value);
+}
+
+Matrix LinearLayer::backward(const Matrix &dY) {
+  assert(dY.cols() == W.Value.cols() && "gradient width mismatch");
+  assert(CachedX.rows() == dY.rows() && "forward/backward batch mismatch");
+  W.Grad += matmulTA(CachedX, dY);
+  B.Grad += sumRows(dY);
+  return matmulTB(dY, W.Value);
+}
+
+Matrix ActivationLayer::forward(const Matrix &X) {
+  Matrix Y = X;
+  switch (Kind) {
+  case Activation::Tanh:
+    for (double &V : Y.raw())
+      V = std::tanh(V);
+    break;
+  case Activation::ReLU:
+    for (double &V : Y.raw())
+      V = V > 0.0 ? V : 0.0;
+    break;
+  case Activation::Identity:
+    break;
+  }
+  CachedY = Y;
+  return Y;
+}
+
+Matrix ActivationLayer::backward(const Matrix &dY) {
+  assert(dY.rows() == CachedY.rows() && dY.cols() == CachedY.cols() &&
+         "forward/backward shape mismatch");
+  Matrix dX = dY;
+  switch (Kind) {
+  case Activation::Tanh:
+    for (size_t I = 0; I < dX.size(); ++I) {
+      const double Y = CachedY.raw()[I];
+      dX.raw()[I] *= 1.0 - Y * Y;
+    }
+    break;
+  case Activation::ReLU:
+    for (size_t I = 0; I < dX.size(); ++I)
+      if (CachedY.raw()[I] <= 0.0)
+        dX.raw()[I] = 0.0;
+    break;
+  case Activation::Identity:
+    break;
+  }
+  return dX;
+}
+
+MLP::MLP(const std::vector<int> &Sizes, Activation Act, RNG &Rng) {
+  assert(Sizes.size() >= 2 && "MLP needs at least input and output sizes");
+  for (size_t I = 0; I + 1 < Sizes.size(); ++I) {
+    Linears.push_back(
+        std::make_unique<LinearLayer>(Sizes[I], Sizes[I + 1], Rng));
+    if (I + 2 < Sizes.size())
+      Activations.push_back(std::make_unique<ActivationLayer>(Act));
+  }
+}
+
+Matrix MLP::forward(const Matrix &X) {
+  Matrix Cur = X;
+  for (size_t I = 0; I < Linears.size(); ++I) {
+    Cur = Linears[I]->forward(Cur);
+    if (I < Activations.size())
+      Cur = Activations[I]->forward(Cur);
+  }
+  return Cur;
+}
+
+Matrix MLP::backward(const Matrix &dY) {
+  Matrix Cur = dY;
+  for (size_t I = Linears.size(); I-- > 0;) {
+    if (I < Activations.size())
+      Cur = Activations[I]->backward(Cur);
+    Cur = Linears[I]->backward(Cur);
+  }
+  return Cur;
+}
+
+std::vector<Param *> MLP::params() {
+  std::vector<Param *> All;
+  for (auto &L : Linears)
+    for (Param *P : L->params())
+      All.push_back(P);
+  return All;
+}

@@ -1,0 +1,56 @@
+//===- nn/Optimizer.cpp - SGD and Adam optimizers --------------------------===//
+
+#include "nn/Optimizer.h"
+
+#include <cmath>
+
+using namespace nv;
+
+double nv::clipGradNorm(const std::vector<Param *> &Params, double MaxNorm) {
+  double Total = 0.0;
+  for (const Param *P : Params)
+    Total += P->Grad.squaredNorm();
+  const double Norm = std::sqrt(Total);
+  if (Norm > MaxNorm && Norm > 0.0) {
+    const double Scale = MaxNorm / Norm;
+    for (Param *P : Params)
+      P->Grad *= Scale;
+  }
+  return Norm;
+}
+
+void SGD::step(const std::vector<Param *> &Params) {
+  for (Param *P : Params) {
+    for (size_t I = 0; I < P->Value.size(); ++I)
+      P->Value.raw()[I] -= LearningRate * P->Grad.raw()[I];
+  }
+}
+
+Adam::Moments &Adam::momentsFor(const Param *P) {
+  for (auto &[Key, M] : State)
+    if (Key == P)
+      return M;
+  State.emplace_back(P, Moments{std::vector<double>(P->Value.size(), 0.0),
+                                std::vector<double>(P->Value.size(), 0.0)});
+  return State.back().second;
+}
+
+void Adam::step(const std::vector<Param *> &Params) {
+  ++StepCount;
+  const double BiasCorrection1 =
+      1.0 - std::pow(Beta1, static_cast<double>(StepCount));
+  const double BiasCorrection2 =
+      1.0 - std::pow(Beta2, static_cast<double>(StepCount));
+  for (Param *P : Params) {
+    Moments &Mom = momentsFor(P);
+    for (size_t I = 0; I < P->Value.size(); ++I) {
+      const double G = P->Grad.raw()[I];
+      Mom.M[I] = Beta1 * Mom.M[I] + (1.0 - Beta1) * G;
+      Mom.V[I] = Beta2 * Mom.V[I] + (1.0 - Beta2) * G * G;
+      const double MHat = Mom.M[I] / BiasCorrection1;
+      const double VHat = Mom.V[I] / BiasCorrection2;
+      P->Value.raw()[I] -=
+          LearningRate * MHat / (std::sqrt(VHat) + Epsilon);
+    }
+  }
+}

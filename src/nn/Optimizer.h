@@ -1,0 +1,67 @@
+//===- nn/Optimizer.h - SGD and Adam optimizers -----------------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Gradient-descent optimizers for Param sets. Adam is the default, as in
+/// the paper's RLlib PPO configuration; plain SGD is kept for tests and
+/// ablations. Both support global-norm gradient clipping (PPO stability).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_NN_OPTIMIZER_H
+#define NV_NN_OPTIMIZER_H
+
+#include "nn/Layers.h"
+
+#include <vector>
+
+namespace nv {
+
+/// Clips gradients of \p Params to a maximum global L2 norm; returns the
+/// pre-clip norm.
+double clipGradNorm(const std::vector<Param *> &Params, double MaxNorm);
+
+/// Plain SGD: value -= lr * grad.
+class SGD {
+public:
+  explicit SGD(double LearningRate) : LearningRate(LearningRate) {}
+
+  void step(const std::vector<Param *> &Params);
+  void setLearningRate(double LR) { LearningRate = LR; }
+
+private:
+  double LearningRate;
+};
+
+/// Adam (Kingma & Ba). State is keyed by parameter identity and allocated
+/// lazily, so one optimizer instance can drive a whole model.
+class Adam {
+public:
+  explicit Adam(double LearningRate, double Beta1 = 0.9,
+                double Beta2 = 0.999, double Epsilon = 1e-8)
+      : LearningRate(LearningRate), Beta1(Beta1), Beta2(Beta2),
+        Epsilon(Epsilon) {}
+
+  void step(const std::vector<Param *> &Params);
+  void setLearningRate(double LR) { LearningRate = LR; }
+  double learningRate() const { return LearningRate; }
+
+private:
+  struct Moments {
+    std::vector<double> M;
+    std::vector<double> V;
+  };
+  double LearningRate;
+  double Beta1, Beta2, Epsilon;
+  long long StepCount = 0;
+  std::vector<std::pair<const Param *, Moments>> State;
+
+  Moments &momentsFor(const Param *P);
+};
+
+} // namespace nv
+
+#endif // NV_NN_OPTIMIZER_H

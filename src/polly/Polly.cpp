@@ -1,0 +1,468 @@
+//===- polly/Polly.cpp - Polyhedral-lite loop optimizer --------------------===//
+
+#include "polly/Polly.h"
+
+#include "ir/AccessAnalysis.h"
+#include "ir/ConstEval.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace nv;
+
+namespace {
+
+/// Collects every array access (with per-dim affine forms) in a subtree.
+struct AccessRecord {
+  std::string Array;
+  ScalarType ElemTy;
+  bool IsStore;
+  AffineIndex Flat;
+  bool IsAffine;
+};
+
+class PollyPass {
+public:
+  PollyPass(const Program &P, const PollyConfig &Config, PollyReport &Report)
+      : Prog(P), Config(Config), Report(Report), Env(runtimeEnv(P)) {}
+
+  void run() {
+    for (Function &F : Prog.Functions) {
+      if (!F.Body)
+        continue;
+      auto *Body = dynCast<BlockStmt>(F.Body.get());
+      assert(Body && "function body is a block");
+      transformBlock(*Body, /*LoopVars=*/{});
+    }
+  }
+
+  Program take() { return std::move(Prog); }
+
+private:
+  void transformBlock(BlockStmt &Block,
+                      const std::vector<std::string> &LoopVars);
+  void transformLoop(StmtPtr &Slot, std::vector<std::string> LoopVars);
+  void tryInterchange(ForStmt &Outer);
+  void tryTile(StmtPtr &Slot, const std::vector<std::string> &LoopVars);
+  void tryFuse(BlockStmt &Block);
+
+  void collectAccesses(const Stmt &S, const std::vector<std::string> &Vars,
+                       std::vector<AccessRecord> &Out) const;
+  void collectExprAccesses(const Expr &E,
+                           const std::vector<std::string> &Vars,
+                           std::vector<AccessRecord> &Out) const;
+  bool isPerfectNest(const ForStmt &Outer, ForStmt *&Inner) const;
+  static void collectArrays(const Stmt &S, bool StoresOnly,
+                            std::vector<std::string> &Out);
+
+  Program Prog;
+  PollyConfig Config;
+  PollyReport &Report;
+  ValueEnv Env;
+  int TileCounter = 0;
+};
+
+} // namespace
+
+void PollyPass::collectExprAccesses(const Expr &E,
+                                    const std::vector<std::string> &Vars,
+                                    std::vector<AccessRecord> &Out) const {
+  switch (E.kind()) {
+  case ExprKind::ArrayRef: {
+    const auto &Ref = static_cast<const ArrayRef &>(E);
+    AccessRecord Rec;
+    Rec.Array = Ref.Name;
+    Rec.IsStore = false;
+    const VarDecl *Decl = Prog.findGlobal(Ref.Name);
+    Rec.ElemTy = Decl ? Decl->Ty : ScalarType::Int;
+    std::vector<long long> Dims =
+        Decl && Decl->isArray()
+            ? Decl->Dims
+            : std::vector<long long>(Ref.Indices.size(), 1 << 20);
+    std::vector<AffineIndex> PerDim;
+    for (const auto &Index : Ref.Indices) {
+      PerDim.push_back(analyzeIndex(*Index, Vars));
+      collectExprAccesses(*Index, Vars, Out);
+    }
+    Rec.Flat = flattenIndex(PerDim, Dims);
+    Rec.IsAffine = Rec.Flat.IsAffine;
+    Out.push_back(std::move(Rec));
+    return;
+  }
+  case ExprKind::Unary:
+    collectExprAccesses(*static_cast<const UnaryExpr &>(E).Sub, Vars, Out);
+    return;
+  case ExprKind::Binary: {
+    const auto &B = static_cast<const BinaryExpr &>(E);
+    collectExprAccesses(*B.LHS, Vars, Out);
+    collectExprAccesses(*B.RHS, Vars, Out);
+    return;
+  }
+  case ExprKind::Ternary: {
+    const auto &T = static_cast<const TernaryExpr &>(E);
+    collectExprAccesses(*T.Cond, Vars, Out);
+    collectExprAccesses(*T.Then, Vars, Out);
+    collectExprAccesses(*T.Else, Vars, Out);
+    return;
+  }
+  case ExprKind::Cast:
+    collectExprAccesses(*static_cast<const CastExpr &>(E).Sub, Vars, Out);
+    return;
+  case ExprKind::Call:
+    for (const auto &Arg : static_cast<const CallExpr &>(E).Args)
+      collectExprAccesses(*Arg, Vars, Out);
+    return;
+  default:
+    return;
+  }
+}
+
+void PollyPass::collectAccesses(const Stmt &S,
+                                const std::vector<std::string> &Vars,
+                                std::vector<AccessRecord> &Out) const {
+  switch (S.kind()) {
+  case StmtKind::Block:
+    for (const auto &Child : static_cast<const BlockStmt &>(S).Stmts)
+      collectAccesses(*Child, Vars, Out);
+    return;
+  case StmtKind::Decl: {
+    const auto &D = static_cast<const DeclStmt &>(S);
+    if (D.Init)
+      collectExprAccesses(*D.Init, Vars, Out);
+    return;
+  }
+  case StmtKind::Assign: {
+    const auto &A = static_cast<const AssignStmt &>(S);
+    collectExprAccesses(*A.RHS, Vars, Out);
+    const size_t Before = Out.size();
+    collectExprAccesses(*A.LValue, Vars, Out);
+    // The outermost lvalue access is the store (inner index loads stay
+    // loads); it is the last record produced by the lvalue walk.
+    if (Out.size() > Before)
+      Out.back().IsStore = true;
+    return;
+  }
+  case StmtKind::For: {
+    const auto &F = static_cast<const ForStmt &>(S);
+    std::vector<std::string> Inner = Vars;
+    Inner.push_back(F.IndexVar);
+    collectAccesses(*F.Body, Inner, Out);
+    return;
+  }
+  case StmtKind::If: {
+    const auto &I = static_cast<const IfStmt &>(S);
+    collectExprAccesses(*I.Cond, Vars, Out);
+    collectAccesses(*I.Then, Vars, Out);
+    if (I.Else)
+      collectAccesses(*I.Else, Vars, Out);
+    return;
+  }
+  case StmtKind::Return: {
+    const auto &R = static_cast<const ReturnStmt &>(S);
+    if (R.Value)
+      collectExprAccesses(*R.Value, Vars, Out);
+    return;
+  }
+  }
+}
+
+bool PollyPass::isPerfectNest(const ForStmt &Outer, ForStmt *&Inner) const {
+  const auto *Body = dynCast<BlockStmt>(Outer.Body.get());
+  if (!Body || Body->Stmts.size() != 1)
+    return false;
+  Inner = dynCast<ForStmt>(Body->Stmts[0].get());
+  return Inner != nullptr;
+}
+
+void PollyPass::tryInterchange(ForStmt &Outer) {
+  ForStmt *Inner = nullptr;
+  if (!isPerfectNest(Outer, Inner))
+    return;
+  // The inner loop must itself be innermost for this simple pattern.
+  ForStmt *Deeper = nullptr;
+  if (isPerfectNest(*Inner, Deeper))
+    return;
+  // Bounds must not reference the other induction variable (rectangular
+  // iteration space required for a plain interchange).
+  const std::vector<std::string> OuterVar = {Outer.IndexVar};
+  if (analyzeIndex(*Inner->Init, OuterVar).coeffOf(Outer.IndexVar) != 0 ||
+      analyzeIndex(*Inner->Bound, OuterVar).coeffOf(Outer.IndexVar) != 0)
+    return;
+
+  std::vector<AccessRecord> Accesses;
+  std::vector<std::string> Vars = {Outer.IndexVar, Inner->IndexVar};
+  collectAccesses(*Inner->Body, Vars, Accesses);
+  if (Accesses.empty())
+    return;
+
+  // Score: sum of |stride| along each candidate innermost variable.
+  long long InnerScore = 0, OuterScore = 0;
+  for (const AccessRecord &Rec : Accesses) {
+    if (!Rec.IsAffine)
+      return; // Indirect accesses: do not reorder.
+    InnerScore += std::llabs(Rec.Flat.coeffOf(Inner->IndexVar));
+    OuterScore += std::llabs(Rec.Flat.coeffOf(Outer.IndexVar));
+    // A store that would become invariant along the new innermost loop
+    // turns into a serial store-store dependence; never interchange into
+    // that.
+    if (Rec.IsStore && Rec.Flat.coeffOf(Outer.IndexVar) == 0)
+      return;
+  }
+  if (OuterScore >= InnerScore)
+    return; // Already the better order.
+
+  // Legality: no loop-carried dependences that reorder (conservative: any
+  // store whose index uses both variables with a constant offset blocks
+  // the interchange unless it is the only access to that array).
+  for (const AccessRecord &Store : Accesses) {
+    if (!Store.IsStore)
+      continue;
+    for (const AccessRecord &Other : Accesses) {
+      if (&Other == &Store || Other.Array != Store.Array)
+        continue;
+      if (!(Store.Flat.Terms == Other.Flat.Terms &&
+            Store.Flat.Const == Other.Flat.Const))
+        return; // Same array touched at different points: be conservative.
+    }
+  }
+
+  // Swap the headers; bodies stay in place.
+  std::swap(Outer.IndexVar, Inner->IndexVar);
+  std::swap(Outer.Init, Inner->Init);
+  std::swap(Outer.Cond, Inner->Cond);
+  std::swap(Outer.Bound, Inner->Bound);
+  std::swap(Outer.Step, Inner->Step);
+  ++Report.Interchanged;
+}
+
+void PollyPass::tryTile(StmtPtr &Slot,
+                        const std::vector<std::string> &LoopVars) {
+  auto *Outer = dynCast<ForStmt>(Slot.get());
+  assert(Outer && "tryTile expects a loop slot");
+  ForStmt *Inner = nullptr;
+  if (!isPerfectNest(*Outer, Inner))
+    return;
+  ForStmt *Deeper = nullptr;
+  if (isPerfectNest(*Inner, Deeper))
+    return; // Depth > 2 handled by recursion on the inner pair.
+
+  // Reuse exists when the inner loop's data is re-walked by the outer
+  // loop: some array indexed by the inner variable but not the outer one.
+  std::vector<std::string> Vars = LoopVars;
+  Vars.push_back(Outer->IndexVar);
+  Vars.push_back(Inner->IndexVar);
+  std::vector<AccessRecord> Accesses;
+  collectAccesses(*Inner->Body, Vars, Accesses);
+
+  long long ReusedBytes = 0;
+  const auto InnerTrip = tripCount(*Inner, Env);
+  if (!InnerTrip || *InnerTrip < Config.MinTileTrip)
+    return;
+  for (const AccessRecord &Rec : Accesses) {
+    if (!Rec.IsAffine)
+      return;
+    const long long StrideInner =
+        std::llabs(Rec.Flat.coeffOf(Inner->IndexVar));
+    const long long StrideOuter =
+        std::llabs(Rec.Flat.coeffOf(Outer->IndexVar));
+    if (StrideInner > 0 && StrideOuter == 0)
+      ReusedBytes += *InnerTrip *
+                     std::min<long long>(StrideInner, 16) *
+                     sizeOf(Rec.ElemTy);
+    if (Rec.IsStore && StrideInner == 0)
+      return; // Inner-invariant store: reordering would be unsafe.
+  }
+  // Tile only when the reused working set spills out of L1.
+  if (ReusedBytes <= Config.L1Bytes)
+    return;
+
+  // Strip-mine the inner loop by TileSize and hoist the tile loop out:
+  //   for (i ...) for (j = L; j < U; j += s) B
+  // becomes
+  //   for (jt = L; jt < U; jt += T*s)
+  //     for (i ...) for (j = jt; j < min(jt + T*s, U); j += s) B
+  const std::string TileVar =
+      Inner->IndexVar + "t" + std::to_string(TileCounter++);
+  const long long TileStep = Config.TileSize * Inner->Step;
+
+  ExprPtr TileInit = Inner->Init->clone();
+  ExprPtr TileBound = Inner->Bound->clone();
+
+  // New inner bounds: j from jt to min(jt + T*s, U).
+  Inner->Init = std::make_unique<VarRef>(TileVar);
+  std::vector<ExprPtr> MinArgs;
+  MinArgs.push_back(std::make_unique<BinaryExpr>(
+      BinaryOp::Add, std::make_unique<VarRef>(TileVar),
+      std::make_unique<IntLit>(TileStep)));
+  MinArgs.push_back(Inner->Bound->clone());
+  Inner->Bound = std::make_unique<CallExpr>("min", std::move(MinArgs));
+
+  auto TileBody = std::make_unique<BlockStmt>();
+  TileBody->Stmts.push_back(std::move(Slot)); // The old outer loop.
+  auto TileLoop = std::make_unique<ForStmt>(
+      TileVar, std::move(TileInit), Outer->Cond, std::move(TileBound),
+      TileStep, std::move(TileBody));
+  TileLoop->DeclaresIndex = true;
+  Slot = std::move(TileLoop);
+  ++Report.Tiled;
+}
+
+void PollyPass::collectArrays(const Stmt &S, bool StoresOnly,
+                              std::vector<std::string> &Out) {
+  switch (S.kind()) {
+  case StmtKind::Block:
+    for (const auto &Child : static_cast<const BlockStmt &>(S).Stmts)
+      collectArrays(*Child, StoresOnly, Out);
+    return;
+  case StmtKind::Assign: {
+    const auto &A = static_cast<const AssignStmt &>(S);
+    if (const auto *Ref = dynCast<ArrayRef>(A.LValue.get()))
+      Out.push_back(Ref->Name);
+    if (StoresOnly)
+      return;
+    // Loads: walk the RHS for array names (approximate but sufficient
+    // for the fusion safety check).
+    struct Walker {
+      static void walk(const Expr &E, std::vector<std::string> &Out) {
+        switch (E.kind()) {
+        case ExprKind::ArrayRef: {
+          const auto &Ref = static_cast<const ArrayRef &>(E);
+          Out.push_back(Ref.Name);
+          for (const auto &Index : Ref.Indices)
+            walk(*Index, Out);
+          return;
+        }
+        case ExprKind::Unary:
+          walk(*static_cast<const UnaryExpr &>(E).Sub, Out);
+          return;
+        case ExprKind::Binary: {
+          const auto &B = static_cast<const BinaryExpr &>(E);
+          walk(*B.LHS, Out);
+          walk(*B.RHS, Out);
+          return;
+        }
+        case ExprKind::Ternary: {
+          const auto &T = static_cast<const TernaryExpr &>(E);
+          walk(*T.Cond, Out);
+          walk(*T.Then, Out);
+          walk(*T.Else, Out);
+          return;
+        }
+        case ExprKind::Cast:
+          walk(*static_cast<const CastExpr &>(E).Sub, Out);
+          return;
+        case ExprKind::Call:
+          for (const auto &Arg : static_cast<const CallExpr &>(E).Args)
+            walk(*Arg, Out);
+          return;
+        default:
+          return;
+        }
+      }
+    };
+    Walker::walk(*A.RHS, Out);
+    return;
+  }
+  case StmtKind::For:
+    collectArrays(*static_cast<const ForStmt &>(S).Body, StoresOnly, Out);
+    return;
+  case StmtKind::If: {
+    const auto &I = static_cast<const IfStmt &>(S);
+    collectArrays(*I.Then, StoresOnly, Out);
+    if (I.Else)
+      collectArrays(*I.Else, StoresOnly, Out);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void PollyPass::tryFuse(BlockStmt &Block) {
+  for (size_t I = 0; I + 1 < Block.Stmts.size(); ++I) {
+    auto *First = dynCast<ForStmt>(Block.Stmts[I].get());
+    auto *Second = dynCast<ForStmt>(Block.Stmts[I + 1].get());
+    if (!First || !Second)
+      continue;
+    // Identical headers required (same range and step).
+    if (First->IndexVar != Second->IndexVar ||
+        First->Step != Second->Step || First->Cond != Second->Cond)
+      continue;
+    const auto Lo1 = evalExpr(*First->Init, Env);
+    const auto Lo2 = evalExpr(*Second->Init, Env);
+    const auto Hi1 = evalExpr(*First->Bound, Env);
+    const auto Hi2 = evalExpr(*Second->Bound, Env);
+    if (!Lo1 || !Lo2 || !Hi1 || !Hi2 || *Lo1 != *Lo2 || *Hi1 != *Hi2)
+      continue;
+    // Safety: the second loop must not read or write arrays the first
+    // writes (element-wise fusion only).
+    std::vector<std::string> FirstStores, SecondTouches;
+    collectArrays(*First->Body, /*StoresOnly=*/true, FirstStores);
+    collectArrays(*Second->Body, /*StoresOnly=*/false, SecondTouches);
+    bool Conflict = false;
+    for (const std::string &W : FirstStores)
+      for (const std::string &T : SecondTouches)
+        Conflict |= W == T;
+    if (Conflict)
+      continue;
+
+    auto *FirstBody = dynCast<BlockStmt>(First->Body.get());
+    auto *SecondBody = dynCast<BlockStmt>(Second->Body.get());
+    assert(FirstBody && SecondBody && "loop bodies are blocks");
+    for (auto &S : SecondBody->Stmts)
+      FirstBody->Stmts.push_back(std::move(S));
+    Block.Stmts.erase(Block.Stmts.begin() + static_cast<long>(I) + 1);
+    ++Report.Fused;
+    --I; // Retry fusing with the next sibling.
+  }
+}
+
+void PollyPass::transformLoop(StmtPtr &Slot,
+                              std::vector<std::string> LoopVars) {
+  auto *Loop = dynCast<ForStmt>(Slot.get());
+  assert(Loop && "transformLoop expects a loop slot");
+
+  tryInterchange(*Loop);
+
+  // Recurse first so inner nests are in final shape, then tile this level.
+  LoopVars.push_back(Loop->IndexVar);
+  auto *Body = dynCast<BlockStmt>(Loop->Body.get());
+  if (Body)
+    transformBlock(*Body, LoopVars);
+
+  tryTile(Slot, LoopVars);
+}
+
+void PollyPass::transformBlock(BlockStmt &Block,
+                               const std::vector<std::string> &LoopVars) {
+  tryFuse(Block);
+  for (auto &S : Block.Stmts) {
+    switch (S->kind()) {
+    case StmtKind::For:
+      transformLoop(S, LoopVars);
+      break;
+    case StmtKind::If: {
+      auto &If = static_cast<IfStmt &>(*S);
+      if (auto *Then = dynCast<BlockStmt>(If.Then.get()))
+        transformBlock(*Then, LoopVars);
+      if (If.Else)
+        if (auto *Else = dynCast<BlockStmt>(If.Else.get()))
+          transformBlock(*Else, LoopVars);
+      break;
+    }
+    default:
+      break;
+    }
+  }
+}
+
+Program nv::applyPolly(const Program &P, const PollyConfig &Config,
+                       PollyReport *Report) {
+  PollyReport Local;
+  Program Copy;
+  Copy.Globals = P.Globals;
+  Copy.Functions = P.Functions; // Deep copy via Function's copy ctor.
+  PollyPass Pass(Copy, Config, Report ? *Report : Local);
+  Pass.run();
+  return Pass.take();
+}

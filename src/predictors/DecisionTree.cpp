@@ -1,0 +1,149 @@
+//===- predictors/DecisionTree.cpp - CART over embeddings ------------------===//
+
+#include "predictors/DecisionTree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace nv;
+
+namespace {
+
+/// Gini impurity from class counts.
+double gini(const std::vector<int> &Counts, int Total) {
+  if (Total == 0)
+    return 0.0;
+  double SumSquares = 0.0;
+  for (int C : Counts) {
+    const double P = static_cast<double>(C) / Total;
+    SumSquares += P * P;
+  }
+  return 1.0 - SumSquares;
+}
+
+int majority(const std::vector<int> &Counts) {
+  return static_cast<int>(
+      std::max_element(Counts.begin(), Counts.end()) - Counts.begin());
+}
+
+} // namespace
+
+int DecisionTree::build(const std::vector<std::vector<double>> &X,
+                        const std::vector<int> &Y,
+                        std::vector<int> &Indices, int Depth) {
+  std::vector<int> Counts(NumClasses, 0);
+  for (int I : Indices)
+    ++Counts[Y[I]];
+  const int Total = static_cast<int>(Indices.size());
+
+  Node N;
+  N.Label = majority(Counts);
+  const double ParentGini = gini(Counts, Total);
+
+  const bool Stop = Depth >= Config.MaxDepth ||
+                    Total < Config.MinSamplesSplit || ParentGini <= 0.0;
+  if (!Stop) {
+    const int NumFeatures = static_cast<int>(X[Indices[0]].size());
+    double BestGain = 1e-9;
+    int BestFeature = -1;
+    double BestThreshold = 0.0;
+
+    for (int F = 0; F < NumFeatures; ++F) {
+      // Sort indices by feature value and sweep split points.
+      std::vector<int> Sorted = Indices;
+      std::sort(Sorted.begin(), Sorted.end(), [&](int A, int B) {
+        return X[A][F] < X[B][F];
+      });
+      std::vector<int> LeftCounts(NumClasses, 0);
+      std::vector<int> RightCounts = Counts;
+      for (int P = 0; P + 1 < Total; ++P) {
+        const int Idx = Sorted[P];
+        ++LeftCounts[Y[Idx]];
+        --RightCounts[Y[Idx]];
+        const double Here = X[Idx][F];
+        const double Next = X[Sorted[P + 1]][F];
+        if (Here == Next)
+          continue; // No separating threshold between equal values.
+        const int NumLeft = P + 1;
+        const int NumRight = Total - NumLeft;
+        if (NumLeft < Config.MinSamplesLeaf ||
+            NumRight < Config.MinSamplesLeaf)
+          continue;
+        const double Split =
+            (static_cast<double>(NumLeft) / Total) *
+                gini(LeftCounts, NumLeft) +
+            (static_cast<double>(NumRight) / Total) *
+                gini(RightCounts, NumRight);
+        const double Gain = ParentGini - Split;
+        if (Gain > BestGain) {
+          BestGain = Gain;
+          BestFeature = F;
+          BestThreshold = 0.5 * (Here + Next);
+        }
+      }
+    }
+
+    if (BestFeature >= 0) {
+      std::vector<int> LeftIdx, RightIdx;
+      for (int I : Indices) {
+        if (X[I][BestFeature] <= BestThreshold)
+          LeftIdx.push_back(I);
+        else
+          RightIdx.push_back(I);
+      }
+      assert(!LeftIdx.empty() && !RightIdx.empty() &&
+             "degenerate split slipped through");
+      N.Feature = BestFeature;
+      N.Threshold = BestThreshold;
+      const int Self = static_cast<int>(Nodes.size());
+      Nodes.push_back(N);
+      const int Left = build(X, Y, LeftIdx, Depth + 1);
+      const int Right = build(X, Y, RightIdx, Depth + 1);
+      Nodes[Self].Left = Left;
+      Nodes[Self].Right = Right;
+      return Self;
+    }
+  }
+
+  const int Self = static_cast<int>(Nodes.size());
+  Nodes.push_back(N); // Leaf.
+  return Self;
+}
+
+void DecisionTree::fit(const std::vector<std::vector<double>> &X,
+                       const std::vector<int> &Y, int NumClassesIn) {
+  assert(!X.empty() && X.size() == Y.size() && "bad training data");
+  NumClasses = NumClassesIn;
+  Nodes.clear();
+  std::vector<int> Indices(X.size());
+  std::iota(Indices.begin(), Indices.end(), 0);
+  build(X, Y, Indices, /*Depth=*/0);
+}
+
+int DecisionTree::predict(const std::vector<double> &Row) const {
+  assert(!Nodes.empty() && "predict() before fit()");
+  int Cur = 0;
+  for (;;) {
+    const Node &N = Nodes[Cur];
+    if (N.Feature < 0)
+      return N.Label;
+    Cur = Row[N.Feature] <= N.Threshold ? N.Left : N.Right;
+  }
+}
+
+int DecisionTree::depth() const {
+  // Depth via recursion over the node array.
+  if (Nodes.empty())
+    return 0;
+  struct Walker {
+    const std::vector<Node> &Nodes;
+    int walk(int Index) const {
+      const Node &N = Nodes[Index];
+      if (N.Feature < 0)
+        return 1;
+      return 1 + std::max(walk(N.Left), walk(N.Right));
+    }
+  };
+  return Walker{Nodes}.walk(0);
+}

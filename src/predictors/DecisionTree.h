@@ -1,0 +1,66 @@
+//===- predictors/DecisionTree.h - CART over embeddings ---------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CART decision-tree classifier (Gini impurity, axis-aligned splits) from
+/// embedding vectors to joint (VF, IF) classes — the second supervised
+/// method the framework supports after end-to-end training (§3.5; Quinlan
+/// [9]). Labels come from the brute-force sweep, like NNS.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_PREDICTORS_DECISIONTREE_H
+#define NV_PREDICTORS_DECISIONTREE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace nv {
+
+/// Decision-tree hyperparameters.
+struct DecisionTreeConfig {
+  int MaxDepth = 10;
+  int MinSamplesSplit = 4;
+  int MinSamplesLeaf = 2;
+};
+
+/// Axis-aligned CART classifier.
+class DecisionTree {
+public:
+  explicit DecisionTree(DecisionTreeConfig Config = DecisionTreeConfig())
+      : Config(Config) {}
+
+  /// Fits on rows \p X with integer class labels \p Y in [0, NumClasses).
+  void fit(const std::vector<std::vector<double>> &X,
+           const std::vector<int> &Y, int NumClasses);
+
+  /// Predicted class for \p Row. Must be fitted first.
+  int predict(const std::vector<double> &Row) const;
+
+  /// Number of nodes (tests/introspection).
+  std::size_t numNodes() const { return Nodes.size(); }
+  int depth() const;
+
+private:
+  struct Node {
+    int Feature = -1;       ///< -1 for leaves.
+    double Threshold = 0.0; ///< Go left when x[Feature] <= Threshold.
+    int Left = -1;
+    int Right = -1;
+    int Label = 0; ///< Majority class (used at leaves).
+  };
+
+  int build(const std::vector<std::vector<double>> &X,
+            const std::vector<int> &Y, std::vector<int> &Indices, int Depth);
+
+  DecisionTreeConfig Config;
+  int NumClasses = 0;
+  std::vector<Node> Nodes;
+};
+
+} // namespace nv
+
+#endif // NV_PREDICTORS_DECISIONTREE_H

@@ -1,0 +1,61 @@
+//===- predictors/NearestNeighbor.cpp - NNS over embeddings ----------------===//
+
+#include "predictors/NearestNeighbor.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace nv;
+
+double nv::squaredDistance(const std::vector<double> &A,
+                           const std::vector<double> &B) {
+  assert(A.size() == B.size() && "dimension mismatch");
+  double Sum = 0.0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    const double D = A[I] - B[I];
+    Sum += D * D;
+  }
+  return Sum;
+}
+
+void NearestNeighborPredictor::add(std::vector<double> Embedding,
+                                   VectorPlan Label) {
+  Examples.push_back({std::move(Embedding), Label});
+}
+
+VectorPlan
+NearestNeighborPredictor::predict(const std::vector<double> &Embedding) const {
+  assert(!Examples.empty() && "predict() on an empty NNS index");
+  // Collect the K nearest by partial sort of distances.
+  std::vector<std::pair<double, size_t>> Dist;
+  Dist.reserve(Examples.size());
+  for (size_t I = 0; I < Examples.size(); ++I)
+    Dist.emplace_back(squaredDistance(Embedding, Examples[I].Embedding), I);
+  const size_t Keep = std::min<size_t>(static_cast<size_t>(K), Dist.size());
+  std::partial_sort(Dist.begin(), Dist.begin() + Keep, Dist.end());
+
+  // Majority vote; nearer examples win ties (scan in distance order).
+  std::vector<std::pair<VectorPlan, int>> Votes;
+  for (size_t N = 0; N < Keep; ++N) {
+    const VectorPlan &Label = Examples[Dist[N].second].Label;
+    bool Found = false;
+    for (auto &[Plan, Count] : Votes) {
+      if (Plan == Label) {
+        ++Count;
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      Votes.emplace_back(Label, 1);
+  }
+  VectorPlan Best = Votes.front().first;
+  int BestCount = Votes.front().second;
+  for (const auto &[Plan, Count] : Votes) {
+    if (Count > BestCount) {
+      Best = Plan;
+      BestCount = Count;
+    }
+  }
+  return Best;
+}

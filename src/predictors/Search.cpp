@@ -1,0 +1,52 @@
+//===- predictors/Search.cpp - Brute-force and random search ---------------===//
+
+#include "predictors/Search.h"
+
+using namespace nv;
+
+BruteForceResult nv::bruteForceSearch(VectorizationEnv &Env, size_t Index,
+                                      int Passes) {
+  const TargetInfo &TI = Env.compiler().target();
+  const std::vector<int> VFs = TI.vfActions();
+  const std::vector<int> IFs = TI.ifActions();
+  const size_t NumSites = Env.sample(Index).Sites.size();
+
+  BruteForceResult Result;
+  Result.Plans.assign(NumSites, VectorPlan{1, 1});
+  Result.Cycles = Env.cyclesWith(Index, Result.Plans);
+  ++Result.Evaluations;
+
+  for (int Pass = 0; Pass < Passes; ++Pass) {
+    bool Improved = false;
+    for (size_t Site = 0; Site < NumSites; ++Site) {
+      for (int VF : VFs) {
+        for (int IF : IFs) {
+          std::vector<VectorPlan> Candidate = Result.Plans;
+          Candidate[Site] = {VF, IF};
+          const double Cycles = Env.cyclesWith(Index, Candidate);
+          ++Result.Evaluations;
+          if (Cycles < Result.Cycles) {
+            Result.Cycles = Cycles;
+            Result.Plans = Candidate;
+            Improved = true;
+          }
+        }
+      }
+    }
+    if (!Improved)
+      break;
+  }
+  return Result;
+}
+
+std::vector<VectorPlan> nv::randomPlans(const VectorizationEnv &Env,
+                                        size_t Index, RNG &Rng) {
+  const TargetInfo &TI = Env.compiler().target();
+  const std::vector<int> VFs = TI.vfActions();
+  const std::vector<int> IFs = TI.ifActions();
+  std::vector<VectorPlan> Plans;
+  for (size_t S = 0; S < Env.sample(Index).Sites.size(); ++S)
+    Plans.push_back({static_cast<int>(VFs[Rng.nextBounded(VFs.size())]),
+                     static_cast<int>(IFs[Rng.nextBounded(IFs.size())])});
+  return Plans;
+}

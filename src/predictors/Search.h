@@ -1,0 +1,51 @@
+//===- predictors/Search.h - Brute-force and random search ------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two non-learned baselines of the paper's framework:
+///
+///  - Brute-force search: tries every (VF, IF) pair per loop and keeps the
+///    fastest. This is the oracle Fig 7 compares against ("only 3% worse
+///    than the brute-force solution") and the labeler for the supervised
+///    methods (NNS, decision trees) — §2.3 and §3.5.
+///  - Random search: a uniformly random factor assignment. The paper
+///    reports it "performed much worse than the baseline", evidence that
+///    the RL policy learned structure rather than luck.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_PREDICTORS_SEARCH_H
+#define NV_PREDICTORS_SEARCH_H
+
+#include "rl/Env.h"
+#include "support/RNG.h"
+#include "target/CostModel.h"
+
+#include <vector>
+
+namespace nv {
+
+/// Result of a brute-force sweep over one environment sample.
+struct BruteForceResult {
+  std::vector<VectorPlan> Plans; ///< Best factors per site.
+  double Cycles = 0.0;           ///< Program cycles under Plans.
+  long long Evaluations = 0;     ///< Number of compile+run evaluations.
+};
+
+/// Exhaustively searches the (VF, IF) grid per vectorization site of
+/// sample \p Index. Multi-loop programs use coordinate descent (each site
+/// swept with the others held at their incumbent), \p Passes times —
+/// exact for single-loop programs, the common case in the dataset.
+BruteForceResult bruteForceSearch(VectorizationEnv &Env, size_t Index,
+                                  int Passes = 2);
+
+/// A uniformly random plan per site of sample \p Index.
+std::vector<VectorPlan> randomPlans(const VectorizationEnv &Env,
+                                    size_t Index, RNG &Rng);
+
+} // namespace nv
+
+#endif // NV_PREDICTORS_SEARCH_H

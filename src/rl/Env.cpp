@@ -1,0 +1,66 @@
+//===- rl/Env.cpp - The vectorization RL environment -----------------------===//
+
+#include "rl/Env.h"
+
+#include "lang/Parser.h"
+
+#include <cassert>
+
+using namespace nv;
+
+bool VectorizationEnv::addProgram(const std::string &Name,
+                                  const std::string &Source) {
+  std::string Error;
+  std::optional<Program> Parsed = parseSource(Source, &Error);
+  if (!Parsed)
+    return false;
+
+  EnvSample Sample;
+  Sample.Name = Name;
+  Sample.Prog = std::make_unique<Program>();
+  Sample.Prog->Globals = std::move(Parsed->Globals);
+  Sample.Prog->Functions = std::move(Parsed->Functions);
+  clearAllPragmas(*Sample.Prog);
+  Sample.Sites = extractLoops(*Sample.Prog);
+  if (Sample.Sites.empty())
+    return false;
+
+  for (const LoopSite &Site : Sample.Sites)
+    Sample.Contexts.push_back(extractPathContexts(
+        InnerContextOnly ? *Site.Inner : *Site.Outer, PathConfig));
+
+  Sample.Pre = Compiler.precompile(*Sample.Prog);
+  Sample.BaselineCycles = Sample.Pre.BaselineExecutionCycles;
+  Samples.push_back(std::move(Sample));
+  return true;
+}
+
+double VectorizationEnv::step(size_t Index,
+                              const std::vector<VectorPlan> &Plans) {
+  assert(Index < Samples.size() && "sample index out of range");
+  EnvSample &Sample = Samples[Index];
+  assert(Plans.size() == Sample.Sites.size() &&
+         "one plan per vectorization site required");
+
+  bool TimedOut = false;
+  const double Cycles =
+      Compiler.runPrecompiled(Sample.Pre, Plans, TimedOut);
+  if (TimedOut && PenalizeTimeouts)
+    return TimeoutPenalty;
+  const double TBase = Sample.BaselineCycles;
+  assert(TBase > 0.0 && "baseline time must be positive");
+  // Slowdowns beyond the timeout-equivalent penalty are clipped: the
+  // paper's -9 corresponds to "ten times the execution time of the
+  // baseline", the worst outcome it models.
+  return std::max((TBase - Cycles) / TBase, TimeoutPenalty);
+}
+
+double VectorizationEnv::cyclesWith(size_t Index,
+                                    const std::vector<VectorPlan> &Plans) {
+  assert(Index < Samples.size() && "sample index out of range");
+  EnvSample &Sample = Samples[Index];
+  assert(Plans.size() == Sample.Sites.size() &&
+         "one plan per vectorization site required");
+  bool TimedOut = false;
+  return Compiler.runPrecompiled(Sample.Pre, Plans, TimedOut);
+}

@@ -1,0 +1,90 @@
+//===- rl/Env.h - The vectorization RL environment --------------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contextual-bandit environment of the paper (§3.3): an episode is a
+/// single step — observe a loop's embedding, pick (VF, IF), inject the
+/// pragma, "compile and run", and collect
+///
+///     reward = (t_baseline - t_RL) / t_baseline            (Eq. 2)
+///
+/// with a penalty of -9 if compilation exceeds 10x the baseline compile
+/// time (§3.4). Baseline times are precomputed per sample so training
+/// steps cost one simulated compile+run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_RL_ENV_H
+#define NV_RL_ENV_H
+
+#include "embedding/PathContext.h"
+#include "lang/AST.h"
+#include "lang/LoopExtractor.h"
+#include "sim/Compiler.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nv {
+
+/// One dataset program loaded into the environment.
+struct EnvSample {
+  std::string Name;
+  std::unique_ptr<Program> Prog;
+  std::vector<LoopSite> Sites;
+  /// Path contexts per site (state observations), extracted once.
+  std::vector<std::vector<PathContext>> Contexts;
+  double BaselineCycles = 0.0;
+  /// Analysis cached by the simulated compiler so each training step is a
+  /// plan evaluation, not a full re-compile.
+  SimCompiler::Precompiled Pre;
+};
+
+/// The environment: a set of loop programs plus the simulated toolchain.
+class VectorizationEnv {
+public:
+  VectorizationEnv(SimCompiler Compiler, PathContextConfig PathConfig)
+      : Compiler(std::move(Compiler)), PathConfig(PathConfig) {}
+
+  /// Ablation (§3.3): observe only the innermost loop's body instead of
+  /// the outermost loop's. The paper found outer context works better.
+  /// Must be set before addProgram().
+  void setInnerContextOnly(bool Value) { InnerContextOnly = Value; }
+
+  /// Ablation (§3.4): disable the compile-timeout penalty.
+  void setTimeoutPenaltyEnabled(bool Value) { PenalizeTimeouts = Value; }
+
+  /// Parses and adds \p Source; returns false (and ignores the program) if
+  /// it does not parse or contains no loops.
+  bool addProgram(const std::string &Name, const std::string &Source);
+
+  size_t size() const { return Samples.size(); }
+  const EnvSample &sample(size_t Index) const { return Samples[Index]; }
+  const SimCompiler &compiler() const { return Compiler; }
+
+  /// Penalty reward for a compile timeout (§3.4: "a penalty reward of -9").
+  static constexpr double TimeoutPenalty = -9.0;
+
+  /// Applies one (VF, IF) action per site of sample \p Index, compiles,
+  /// runs, and returns the reward. \p Plans must have one entry per site.
+  double step(size_t Index, const std::vector<VectorPlan> &Plans);
+
+  /// Execution cycles for sample \p Index under \p Plans (no reward
+  /// shaping; used by the evaluation harnesses).
+  double cyclesWith(size_t Index, const std::vector<VectorPlan> &Plans);
+
+private:
+  SimCompiler Compiler;
+  PathContextConfig PathConfig;
+  std::vector<EnvSample> Samples;
+  bool InnerContextOnly = false;
+  bool PenalizeTimeouts = true;
+};
+
+} // namespace nv
+
+#endif // NV_RL_ENV_H

@@ -1,0 +1,190 @@
+//===- rl/PPO.cpp - Proximal Policy Optimization ---------------------------===//
+
+#include "rl/PPO.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace nv;
+
+PPORunner::PPORunner(VectorizationEnv &Env, Code2Vec &Embedder, Policy &Pol,
+                     const PPOConfig &Config, uint64_t Seed)
+    : Env(Env), Embedder(Embedder), Pol(Pol), Config(Config),
+      Optimizer(Config.LearningRate), Rng(Seed) {}
+
+std::vector<PPORunner::Transition> PPORunner::collectBatch() {
+  std::vector<Transition> Batch;
+  Batch.reserve(Config.BatchSize);
+  const TargetInfo &TI = Env.compiler().target();
+
+  while (static_cast<int>(Batch.size()) < Config.BatchSize) {
+    const size_t SampleIdx = Rng.nextBounded(Env.size());
+    const EnvSample &Sample = Env.sample(SampleIdx);
+    const size_t NumSites = Sample.Sites.size();
+
+    // Encode all sites of this program and act on each.
+    Matrix States = Embedder.encodeBatch(Sample.Contexts);
+    Pol.forward(States);
+
+    std::vector<VectorPlan> Plans(NumSites);
+    std::vector<ActionRecord> Actions(NumSites);
+    for (size_t S = 0; S < NumSites; ++S) {
+      Actions[S] = Pol.sampleAction(static_cast<int>(S), Rng);
+      Plans[S] = Pol.toPlan(Actions[S], TI);
+    }
+    const double Reward = Env.step(SampleIdx, Plans);
+
+    for (size_t S = 0; S < NumSites; ++S) {
+      Transition T;
+      T.SampleIdx = SampleIdx;
+      T.SiteIdx = S;
+      T.Action = Actions[S];
+      T.Reward = Reward;
+      Batch.push_back(T);
+    }
+  }
+  return Batch;
+}
+
+double PPORunner::update(const std::vector<Transition> &Batch,
+                         double EntropyCoef) {
+  const int B = static_cast<int>(Batch.size());
+
+  // Advantages from the sampling-time critic (single-step episodes:
+  // A = r - V(s)).
+  std::vector<double> Advantages(B);
+  for (int I = 0; I < B; ++I)
+    Advantages[I] = Batch[I].Reward - Batch[I].Action.Value;
+  if (Config.NormalizeAdvantages && B > 1) {
+    const double Mean = nv::mean(Advantages);
+    double Std = nv::stddev(Advantages);
+    if (Std < 1e-6)
+      Std = 1.0;
+    for (double &A : Advantages)
+      A = (A - Mean) / Std;
+  }
+
+  // Gather the state contexts once.
+  std::vector<std::vector<PathContext>> Contexts;
+  Contexts.reserve(B);
+  for (const Transition &T : Batch)
+    Contexts.push_back(Env.sample(T.SampleIdx).Contexts[T.SiteIdx]);
+
+  std::vector<Param *> AllParams = Pol.params();
+  for (Param *P : Embedder.params())
+    AllParams.push_back(P);
+
+  // Minibatched SGD epochs over the batch (RLlib-style).
+  std::vector<int> Order(B);
+  for (int I = 0; I < B; ++I)
+    Order[I] = I;
+  const int MB = std::max(1, std::min(Config.MiniBatchSize, B));
+
+  double TotalLoss = 0.0;
+  int NumMinibatches = 0;
+  for (int Epoch = 0; Epoch < Config.Epochs; ++Epoch) {
+    Rng.shuffle(Order);
+    for (int Start = 0; Start < B; Start += MB) {
+      const int End = std::min(Start + MB, B);
+      const int M = End - Start;
+
+      for (Param *P : AllParams)
+        P->zeroGrad();
+
+      std::vector<std::vector<PathContext>> MiniContexts;
+      MiniContexts.reserve(M);
+      for (int I = Start; I < End; ++I)
+        MiniContexts.push_back(Contexts[Order[I]]);
+      Matrix States = Embedder.encodeBatch(MiniContexts);
+      Pol.forward(States);
+
+      std::vector<ActionRecord> Actions(M);
+      std::vector<double> dLogProb(M, 0.0), dValue(M, 0.0);
+      double PolicyLoss = 0.0, ValueLoss = 0.0, EntropyTerm = 0.0;
+      for (int I = 0; I < M; ++I) {
+        const Transition &T = Batch[Order[Start + I]];
+        Actions[I] = T.Action;
+        const double LogPNew = Pol.logProb(I, Actions[I]);
+        const double Ratio = std::exp(
+            std::clamp(LogPNew - T.Action.LogProb, -20.0, 20.0));
+        const double A = Advantages[Order[Start + I]];
+        const double Unclipped = Ratio * A;
+        const double Clipped =
+            std::clamp(Ratio, 1.0 - Config.ClipEps, 1.0 + Config.ClipEps) *
+            A;
+        PolicyLoss += -std::min(Unclipped, Clipped);
+        // Gradient flows only through the unclipped branch when active.
+        if (Unclipped <= Clipped)
+          dLogProb[I] = -A * Ratio / M;
+
+        const double V = Pol.value(I);
+        ValueLoss += 0.5 * (V - T.Reward) * (V - T.Reward);
+        dValue[I] = Config.ValueCoef * (V - T.Reward) / M;
+
+        EntropyTerm += Pol.entropy(I);
+      }
+      PolicyLoss /= M;
+      ValueLoss /= M;
+      EntropyTerm /= M;
+      TotalLoss += PolicyLoss + Config.ValueCoef * ValueLoss -
+                   EntropyCoef * EntropyTerm;
+      ++NumMinibatches;
+
+      Matrix dStates =
+          Pol.backward(Actions, dLogProb, dValue, EntropyCoef / M);
+      Embedder.backward(dStates);
+      clipGradNorm(AllParams, Config.MaxGradNorm);
+      Optimizer.step(AllParams);
+    }
+  }
+  return TotalLoss / std::max(1, NumMinibatches);
+}
+
+TrainStats PPORunner::train(long long TotalSteps) {
+  assert(Env.size() > 0 && "environment has no samples");
+  TrainStats Stats;
+  long long Steps = 0;
+  while (Steps < TotalSteps) {
+    std::vector<Transition> Batch = collectBatch();
+    Steps += Config.BatchSize;
+
+    double BatchReward = 0.0;
+    for (const Transition &T : Batch)
+      BatchReward += T.Reward;
+    BatchReward /= static_cast<double>(Batch.size());
+    RewardEMA.add(BatchReward);
+
+    // Linear entropy annealing across the training budget.
+    const double Progress =
+        std::min(1.0, static_cast<double>(Steps) /
+                          std::max<long long>(1, TotalSteps));
+    const double EntropyCoef =
+        Config.EntropyCoef +
+        (Config.FinalEntropyCoef - Config.EntropyCoef) * Progress;
+    const double Loss = update(Batch, EntropyCoef);
+    Stats.RewardMean.add(static_cast<double>(Steps), RewardEMA.value());
+    Stats.Loss.add(static_cast<double>(Steps), Loss);
+    Stats.FinalRewardMean = RewardEMA.value();
+  }
+  Stats.Steps = Steps;
+  return Stats;
+}
+
+VectorPlan PPORunner::predict(const std::vector<PathContext> &Contexts) {
+  Matrix State = Embedder.encode(Contexts);
+  Pol.forward(State);
+  return Pol.toPlan(Pol.greedyAction(0), Env.compiler().target());
+}
+
+std::vector<VectorPlan> PPORunner::predictSample(size_t Index) {
+  const EnvSample &Sample = Env.sample(Index);
+  Matrix States = Embedder.encodeBatch(Sample.Contexts);
+  Pol.forward(States);
+  std::vector<VectorPlan> Plans;
+  Plans.reserve(Sample.Sites.size());
+  for (size_t S = 0; S < Sample.Sites.size(); ++S)
+    Plans.push_back(Pol.toPlan(Pol.greedyAction(static_cast<int>(S)),
+                               Env.compiler().target()));
+  return Plans;
+}

@@ -1,0 +1,100 @@
+//===- rl/PPO.h - Proximal Policy Optimization ------------------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single-step (contextual bandit) PPO with the clipped surrogate
+/// objective, a learned value baseline, and an entropy bonus — the
+/// algorithm the paper drives through RLlib (§2.3, §4). Training is fully
+/// end-to-end: the policy gradient w.r.t. the state flows back into the
+/// code2vec embedding generator, so "the loop embedding is learned during
+/// the end to end training with the RL agent".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_RL_PPO_H
+#define NV_RL_PPO_H
+
+#include "embedding/Code2Vec.h"
+#include "nn/Optimizer.h"
+#include "rl/Env.h"
+#include "rl/Policy.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <vector>
+
+namespace nv {
+
+/// PPO hyperparameters. Defaults mirror the paper's §4 setup (lr 5e-5,
+/// batch 4000); the bench harnesses sweep these (Fig 5).
+struct PPOConfig {
+  double LearningRate = 5e-5;
+  int BatchSize = 4000;
+  int MiniBatchSize = 128; ///< SGD minibatch (RLlib: sgd_minibatch_size).
+  int Epochs = 3;
+  double ClipEps = 0.3;
+  double ValueCoef = 0.5;
+  /// Entropy bonus, annealed linearly to FinalEntropyCoef over the course
+  /// of train(): exploration early, specialization late.
+  double EntropyCoef = 0.05;
+  double FinalEntropyCoef = 0.0;
+  double MaxGradNorm = 40.0;
+  bool NormalizeAdvantages = true;
+};
+
+/// Training curves sampled per batch (the paper's Figs 5-6 plot reward
+/// mean and total training loss vs training steps).
+struct TrainStats {
+  Series RewardMean{"reward_mean"};
+  Series Loss{"total_loss"};
+  double FinalRewardMean = 0.0;
+  long long Steps = 0;
+};
+
+/// Orchestrates environment, embedding generator, policy, and optimizer.
+class PPORunner {
+public:
+  PPORunner(VectorizationEnv &Env, Code2Vec &Embedder, Policy &Pol,
+            const PPOConfig &Config, uint64_t Seed);
+
+  /// Trains for (at least) \p TotalSteps environment steps, i.e.
+  /// compilations (the x-axis of Figs 5-6).
+  TrainStats train(long long TotalSteps);
+
+  /// Greedy factors for a raw context bag (inference path).
+  VectorPlan predict(const std::vector<PathContext> &Contexts);
+
+  /// Greedy factors for every site of env sample \p Index.
+  std::vector<VectorPlan> predictSample(size_t Index);
+
+  VectorizationEnv &env() { return Env; }
+  Policy &policy() { return Pol; }
+  Code2Vec &embedder() { return Embedder; }
+
+private:
+  /// One collected transition.
+  struct Transition {
+    size_t SampleIdx = 0;
+    size_t SiteIdx = 0;
+    ActionRecord Action;
+    double Reward = 0.0;
+  };
+
+  std::vector<Transition> collectBatch();
+  double update(const std::vector<Transition> &Batch, double EntropyCoef);
+
+  VectorizationEnv &Env;
+  Code2Vec &Embedder;
+  Policy &Pol;
+  PPOConfig Config;
+  Adam Optimizer;
+  RNG Rng;
+  EMA RewardEMA{0.1};
+};
+
+} // namespace nv
+
+#endif // NV_RL_PPO_H

@@ -1,0 +1,270 @@
+//===- rl/Policy.cpp - PPO policy networks --------------------------------===//
+
+#include "rl/Policy.h"
+
+#include "nn/Distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace nv;
+
+static int actionHeadWidth(ActionSpaceKind Kind,
+                           const std::vector<int> &HeadSizes) {
+  switch (Kind) {
+  case ActionSpaceKind::Discrete: {
+    int W = 0;
+    for (int S : HeadSizes)
+      W += S;
+    return W;
+  }
+  case ActionSpaceKind::Continuous1:
+    return 1;
+  case ActionSpaceKind::Continuous2:
+    return 2;
+  }
+  return 1;
+}
+
+static std::vector<int> makeTrunkSizes(int InputDim,
+                                       const std::vector<int> &Hidden) {
+  std::vector<int> Sizes = {InputDim};
+  Sizes.insert(Sizes.end(), Hidden.begin(), Hidden.end());
+  assert(Sizes.size() >= 2 && "policy needs at least one hidden layer");
+  return Sizes;
+}
+
+Policy::Policy(ActionSpaceKind Kind, int InputDim, std::vector<int> Hidden,
+               int NumVF, int NumIF, RNG &Rng, bool JointHeads)
+    : Kind(Kind), NumVF(NumVF), NumIF(NumIF), JointHeads(JointHeads),
+      HeadSizes(JointHeads ? std::vector<int>{NumVF, NumIF}
+                           : std::vector<int>{NumVF}),
+      Trunk(makeTrunkSizes(InputDim, Hidden), Activation::Tanh, Rng),
+      ActionHead(Hidden.back(), actionHeadWidth(Kind, HeadSizes), Rng),
+      ValueHead(Hidden.back(), 1, Rng),
+      LogStd(1, actionHeadWidth(Kind, HeadSizes)) {
+  // Continuous policies start with a healthy exploration stddev that
+  // covers several action indices.
+  LogStd.Value.fill(std::log(2.0));
+  // Small initial head weights keep the initial policy near-uniform.
+  ActionHead.W.Value *= 0.1;
+}
+
+int Policy::headOffset(int Head) const {
+  int Offset = 0;
+  for (int H = 0; H < Head; ++H)
+    Offset += HeadSizes[H];
+  return Offset;
+}
+
+int Policy::headSize(int Head) const { return HeadSizes[Head]; }
+
+void Policy::forward(const Matrix &States) {
+  // The trunk's last Linear has no built-in activation; apply tanh here so
+  // heads see bounded features (standard RLlib FCNN behaviour).
+  Matrix H = Trunk.forward(States);
+  for (double &V : H.raw())
+    V = std::tanh(V);
+  TrunkOut = H;
+  HeadOut = ActionHead.forward(TrunkOut);
+  ValueOut = ValueHead.forward(TrunkOut);
+}
+
+std::vector<double> Policy::headLogits(int Row, int Head) const {
+  const int Offset = headOffset(Head);
+  const int Size = headSize(Head);
+  std::vector<double> Logits(Size);
+  for (int I = 0; I < Size; ++I)
+    Logits[I] = HeadOut.at(Row, Offset + I);
+  return Logits;
+}
+
+double Policy::value(int Row) const { return ValueOut.at(Row, 0); }
+
+ActionRecord Policy::sampleAction(int Row, RNG &Rng) {
+  ActionRecord Rec;
+  Rec.Value = value(Row);
+  switch (Kind) {
+  case ActionSpaceKind::Discrete: {
+    Rec.VFIdx = sampleCategorical(headLogits(Row, 0), Rng);
+    if (JointHeads)
+      Rec.IFIdx = sampleCategorical(headLogits(Row, 1), Rng);
+    break;
+  }
+  case ActionSpaceKind::Continuous1: {
+    Rec.Raw[0] = sampleGaussian(HeadOut.at(Row, 0), LogStd.Value.at(0, 0),
+                                Rng);
+    const int K = std::clamp<int>(
+        static_cast<int>(std::lround(Rec.Raw[0])), 0, NumVF * NumIF - 1);
+    Rec.VFIdx = K / NumIF;
+    Rec.IFIdx = K % NumIF;
+    break;
+  }
+  case ActionSpaceKind::Continuous2: {
+    Rec.Raw[0] = sampleGaussian(HeadOut.at(Row, 0), LogStd.Value.at(0, 0),
+                                Rng);
+    Rec.Raw[1] = sampleGaussian(HeadOut.at(Row, 1), LogStd.Value.at(0, 1),
+                                Rng);
+    Rec.VFIdx = std::clamp<int>(static_cast<int>(std::lround(Rec.Raw[0])),
+                                0, NumVF - 1);
+    Rec.IFIdx = std::clamp<int>(static_cast<int>(std::lround(Rec.Raw[1])),
+                                0, NumIF - 1);
+    break;
+  }
+  }
+  Rec.LogProb = logProb(Row, Rec);
+  return Rec;
+}
+
+ActionRecord Policy::greedyAction(int Row) {
+  ActionRecord Rec;
+  Rec.Value = value(Row);
+  switch (Kind) {
+  case ActionSpaceKind::Discrete:
+    Rec.VFIdx = argmax(headLogits(Row, 0));
+    if (JointHeads)
+      Rec.IFIdx = argmax(headLogits(Row, 1));
+    break;
+  case ActionSpaceKind::Continuous1: {
+    Rec.Raw[0] = HeadOut.at(Row, 0);
+    const int K = std::clamp<int>(
+        static_cast<int>(std::lround(Rec.Raw[0])), 0, NumVF * NumIF - 1);
+    Rec.VFIdx = K / NumIF;
+    Rec.IFIdx = K % NumIF;
+    break;
+  }
+  case ActionSpaceKind::Continuous2:
+    Rec.Raw[0] = HeadOut.at(Row, 0);
+    Rec.Raw[1] = HeadOut.at(Row, 1);
+    Rec.VFIdx = std::clamp<int>(static_cast<int>(std::lround(Rec.Raw[0])),
+                                0, NumVF - 1);
+    Rec.IFIdx = std::clamp<int>(static_cast<int>(std::lround(Rec.Raw[1])),
+                                0, NumIF - 1);
+    break;
+  }
+  Rec.LogProb = logProb(Row, Rec);
+  return Rec;
+}
+
+double Policy::logProb(int Row, const ActionRecord &Action) const {
+  switch (Kind) {
+  case ActionSpaceKind::Discrete: {
+    double LP = logSoftmaxAt(headLogits(Row, 0), Action.VFIdx);
+    if (JointHeads)
+      LP += logSoftmaxAt(headLogits(Row, 1), Action.IFIdx);
+    return LP;
+  }
+  case ActionSpaceKind::Continuous1:
+    return gaussianLogProb(Action.Raw[0], HeadOut.at(Row, 0),
+                           LogStd.Value.at(0, 0));
+  case ActionSpaceKind::Continuous2:
+    return gaussianLogProb(Action.Raw[0], HeadOut.at(Row, 0),
+                           LogStd.Value.at(0, 0)) +
+           gaussianLogProb(Action.Raw[1], HeadOut.at(Row, 1),
+                           LogStd.Value.at(0, 1));
+  }
+  return 0.0;
+}
+
+double Policy::entropy(int Row) const {
+  switch (Kind) {
+  case ActionSpaceKind::Discrete: {
+    double H = softmaxEntropy(headLogits(Row, 0));
+    if (JointHeads)
+      H += softmaxEntropy(headLogits(Row, 1));
+    return H;
+  }
+  case ActionSpaceKind::Continuous1:
+    return gaussianEntropy(LogStd.Value.at(0, 0));
+  case ActionSpaceKind::Continuous2:
+    return gaussianEntropy(LogStd.Value.at(0, 0)) +
+           gaussianEntropy(LogStd.Value.at(0, 1));
+  }
+  return 0.0;
+}
+
+Matrix Policy::backward(const std::vector<ActionRecord> &Actions,
+                        const std::vector<double> &dLogProb,
+                        const std::vector<double> &dValue,
+                        double EntropyCoef) {
+  const int Batch = TrunkOut.rows();
+  assert(static_cast<int>(Actions.size()) == Batch &&
+         static_cast<int>(dLogProb.size()) == Batch &&
+         static_cast<int>(dValue.size()) == Batch &&
+         "batch size mismatch in policy backward");
+
+  Matrix dHead(Batch, HeadOut.cols());
+  Matrix dVal(Batch, 1);
+  for (int Row = 0; Row < Batch; ++Row) {
+    dVal.at(Row, 0) = dValue[Row];
+    switch (Kind) {
+    case ActionSpaceKind::Discrete: {
+      const int NumHeads = static_cast<int>(HeadSizes.size());
+      for (int Head = 0; Head < NumHeads; ++Head) {
+        const std::vector<double> Logits = headLogits(Row, Head);
+        const int Choice = Head == 0 ? Actions[Row].VFIdx
+                                     : Actions[Row].IFIdx;
+        const std::vector<double> LPGrad =
+            categoricalLogProbGrad(Logits, Choice);
+        // Entropy gradient: dH/dz_k = -p_k (log p_k + H).
+        const std::vector<double> Probs = softmax(Logits);
+        const double H = softmaxEntropy(Logits);
+        const int Offset = headOffset(Head);
+        for (int I = 0; I < headSize(Head); ++I) {
+          double G = dLogProb[Row] * LPGrad[I];
+          if (EntropyCoef != 0.0 && Probs[I] > 0.0)
+            G += EntropyCoef * Probs[I] * (std::log(Probs[I]) + H);
+          dHead.at(Row, Offset + I) += G;
+        }
+      }
+      break;
+    }
+    case ActionSpaceKind::Continuous1:
+    case ActionSpaceKind::Continuous2: {
+      const int K = Kind == ActionSpaceKind::Continuous1 ? 1 : 2;
+      for (int D = 0; D < K; ++D) {
+        double dMean = 0.0, dLS = 0.0;
+        gaussianLogProbGrad(Actions[Row].Raw[D], HeadOut.at(Row, D),
+                            LogStd.Value.at(0, D), dMean, dLS);
+        dHead.at(Row, D) += dLogProb[Row] * dMean;
+        // Loss has -EntropyCoef * H and H = logstd + const.
+        LogStd.Grad.at(0, D) += dLogProb[Row] * dLS - EntropyCoef;
+      }
+      break;
+    }
+    }
+  }
+
+  Matrix dTrunkOut = ActionHead.backward(dHead);
+  dTrunkOut += ValueHead.backward(dVal);
+  // tanh applied in forward() after the trunk.
+  for (size_t I = 0; I < dTrunkOut.size(); ++I) {
+    const double Y = TrunkOut.raw()[I];
+    dTrunkOut.raw()[I] *= 1.0 - Y * Y;
+  }
+  return Trunk.backward(dTrunkOut);
+}
+
+std::vector<Param *> Policy::params() {
+  std::vector<Param *> All = Trunk.params();
+  for (Param *P : ActionHead.params())
+    All.push_back(P);
+  for (Param *P : ValueHead.params())
+    All.push_back(P);
+  if (Kind != ActionSpaceKind::Discrete)
+    All.push_back(&LogStd);
+  return All;
+}
+
+VectorPlan Policy::toPlan(const ActionRecord &Action,
+                          const TargetInfo &TI) const {
+  const std::vector<int> VFs = TI.vfActions();
+  const std::vector<int> IFs = TI.ifActions();
+  VectorPlan Plan;
+  Plan.VF = VFs[std::clamp<int>(Action.VFIdx, 0,
+                                static_cast<int>(VFs.size()) - 1)];
+  Plan.IF = IFs[std::clamp<int>(Action.IFIdx, 0,
+                                static_cast<int>(IFs.size()) - 1)];
+  return Plan;
+}

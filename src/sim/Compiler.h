@@ -1,0 +1,116 @@
+//===- sim/Compiler.h - Simulated clang/LLVM pipeline -----------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stand-in for "compile the program with clang/LLVM and run it" from
+/// the paper's training loop (Fig 3). It:
+///
+///  1. extracts and lowers every loop,
+///  2. honors injected pragmas but *clamps them to legality* (the paper:
+///     "sometimes the compiler can decide not to consider these pragmas if
+///     it is not feasible ... if the agent accidentally injected bad
+///     pragmas, the compiler will ignore it"),
+///  3. falls back to the baseline cost model where no pragma is present,
+///  4. models compile time, which grows superlinearly with the amount of
+///     vector code emitted — the basis of the paper's §3.4 compile-timeout
+///     penalty (reward -9 beyond 10x the baseline compile time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SIM_COMPILER_H
+#define NV_SIM_COMPILER_H
+
+#include "ir/VecIR.h"
+#include "lang/AST.h"
+#include "lang/LoopExtractor.h"
+#include "sim/Machine.h"
+#include "target/CostModel.h"
+#include "target/TargetInfo.h"
+
+#include <vector>
+
+namespace nv {
+
+/// One compiled loop: the summary plus requested and effective factors.
+struct CompiledLoop {
+  LoopSummary Summary;
+  VectorPlan Requested;     ///< Pragma (or baseline choice).
+  VectorPlan Effective;     ///< After legality clamping.
+  bool FromPragma = false;  ///< True if the factors came from a pragma.
+  double Cycles = 0.0;      ///< Execution cycles of this loop.
+};
+
+/// Result of compiling (and timing) a whole program.
+struct CompileResult {
+  std::vector<CompiledLoop> Loops;
+  double CompileCycles = 0.0;
+  double BaselineCompileCycles = 0.0; ///< Same program, baseline plans.
+  bool CompileTimedOut = false;       ///< > Timeout x baseline (§3.4).
+  double ExecutionCycles = 0.0;       ///< Total program run time.
+};
+
+/// The simulated compiler + runner.
+class SimCompiler {
+public:
+  SimCompiler(const TargetInfo &TI = TargetInfo(),
+              const MachineConfig &MC = MachineConfig())
+      : TI(TI), Mach(MC), Baseline(TI) {}
+
+  const TargetInfo &target() const { return TI; }
+  const Machine &machine() const { return Mach; }
+  const BaselineCostModel &baselineModel() const { return Baseline; }
+
+  /// Compiles \p P, taking factors from pragmas where present and from the
+  /// baseline cost model otherwise, then simulates execution.
+  CompileResult compileAndRun(Program &P) const;
+
+  /// Compiles \p P ignoring all pragmas (pure baseline). Convenience for
+  /// reward normalization.
+  CompileResult compileBaseline(Program &P) const;
+
+  /// Legalizes a requested plan against a loop's constraints: rounds to
+  /// powers of two, clamps VF to MaxSafeVF and the action-space bounds.
+  VectorPlan legalize(const LoopSummary &Loop, VectorPlan Requested) const;
+
+  /// Compile-time model (cycles) for one loop at the *requested* factors;
+  /// superlinear in emitted vector code size.
+  double loopCompileCycles(const LoopSummary &Loop,
+                           VectorPlan Requested) const;
+
+  /// Compile-timeout multiplier (paper: 10x baseline).
+  static constexpr double TimeoutFactor = 10.0;
+
+  /// A program analyzed once so that many (VF, IF) assignments can be
+  /// timed without re-extracting/re-lowering (the RL training loop costs
+  /// one of these evaluations per step).
+  struct Precompiled {
+    std::vector<LoopSummary> Summaries;
+    std::vector<VectorPlan> BaselinePlans; ///< Cost-model choices.
+    double BaselineCompileCycles = 0.0;
+    double BaselineExecutionCycles = 0.0;
+  };
+
+  /// Analyzes \p P once (ignoring pragmas).
+  Precompiled precompile(Program &P) const;
+
+  /// Times \p Pre under \p Requested factors (one per loop). Legalizes,
+  /// runs the machine model, and sets \p TimedOut per the compile-time
+  /// model.
+  double runPrecompiled(const Precompiled &Pre,
+                        const std::vector<VectorPlan> &Requested,
+                        bool &TimedOut) const;
+
+private:
+  CompileResult compileWith(Program &P, bool UsePragmas) const;
+
+  TargetInfo TI;
+  Machine Mach;
+  BaselineCostModel Baseline;
+};
+
+} // namespace nv
+
+#endif // NV_SIM_COMPILER_H

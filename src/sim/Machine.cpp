@@ -1,0 +1,295 @@
+//===- sim/Machine.cpp - Cycle-level SIMD machine model -------------------===//
+
+#include "sim/Machine.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace nv;
+
+double Machine::opLatency(VROp Op, ScalarType Ty) const {
+  const bool IsFloat = isFloatTy(Ty);
+  switch (Op) {
+  case VROp::Add:
+  case VROp::Sub:
+    return IsFloat ? Config.FloatAddLatency : Config.IntAddLatency;
+  case VROp::Mul:
+    return IsFloat ? Config.FloatMulLatency : Config.IntMulLatency;
+  case VROp::Div:
+  case VROp::Rem:
+    return Config.DivLatency;
+  case VROp::Sqrt:
+    return Config.SqrtLatency;
+  case VROp::Min:
+  case VROp::Max:
+    return Config.MinMaxLatency;
+  default:
+    return 1.0;
+  }
+}
+
+double Machine::loopFootprintBytes(const LoopSummary &Loop) const {
+  // Max bytes touched per distinct array over one inner-loop execution.
+  std::vector<std::pair<std::string, double>> PerArray;
+  for (const MemAccess &Access : Loop.Accesses) {
+    const double ElemBytes = sizeOf(Access.ElemTy);
+    const double ArrayBytes =
+        static_cast<double>(Access.ArrayElements) * ElemBytes;
+    double Touched;
+    if (!Access.IsAffine) {
+      Touched = ArrayBytes; // Random access pattern: whole array.
+    } else {
+      const double Stride =
+          std::max<double>(1.0, std::llabs(Access.InnerStride));
+      Touched = std::min(ArrayBytes,
+                         static_cast<double>(Loop.RuntimeTrip) * Stride *
+                             ElemBytes);
+    }
+    bool Merged = false;
+    for (auto &[Name, Bytes] : PerArray) {
+      if (Name == Access.Array) {
+        Bytes = std::max(Bytes, Touched);
+        Merged = true;
+        break;
+      }
+    }
+    if (!Merged)
+      PerArray.emplace_back(Access.Array, Touched);
+  }
+  double Total = 0.0;
+  for (const auto &[Name, Bytes] : PerArray)
+    Total += Bytes;
+  return Total;
+}
+
+double Machine::lineCost(double FootprintBytes) const {
+  if (FootprintBytes <= static_cast<double>(Config.L1Bytes))
+    return Config.L1LineCost;
+  if (FootprintBytes <= static_cast<double>(Config.L2Bytes))
+    return Config.L2LineCost;
+  return Config.MemLineCost;
+}
+
+double Machine::scalarIterCycles(const LoopSummary &Loop, int Unroll) const {
+  Unroll = std::max(1, Unroll);
+  double Uops = 0.0;
+  double ChainLatency = 0.0;
+  for (const VecInst &Inst : Loop.Body) {
+    double C = 1.0;
+    if (Inst.Op == VROp::Div || Inst.Op == VROp::Rem ||
+        Inst.Op == VROp::Sqrt)
+      C = 6.0;
+    Uops += C;
+    if (Inst.ReductionUpdate)
+      ChainLatency += opLatency(Inst.Op, Inst.Ty);
+  }
+  // Loop control is one macro-fused uop per iteration, amortized by
+  // unrolling.
+  const double Throughput =
+      (Uops + 1.0 / Unroll) / Config.ScalarIssueWidth;
+
+  // Memory: cost per element = lines per element * line cost, with scalar
+  // MLP limited by the unroll factor.
+  const double LineCostCycles = lineCost(loopFootprintBytes(Loop));
+  double MemCycles = 0.0;
+  for (const MemAccess &Access : Loop.Accesses) {
+    const double ElemBytes = sizeOf(Access.ElemTy);
+    double LinesPerElem;
+    double PerLine = LineCostCycles;
+    if (!Access.IsAffine) {
+      LinesPerElem = 1.0; // Unpredictable: full miss cost.
+    } else if (Access.InnerStride == 0) {
+      LinesPerElem = 0.0; // Register-resident across iterations.
+    } else {
+      LinesPerElem = std::min(
+          1.0, std::llabs(Access.InnerStride) * ElemBytes /
+                   static_cast<double>(Config.CacheLineBytes));
+      // Constant strides are prefetchable.
+      PerLine = std::min(PerLine, Config.PrefetchedLineCost);
+    }
+    MemCycles += LinesPerElem * PerLine;
+  }
+  if (LineCostCycles > Config.L1LineCost) {
+    const double MLP = std::min<double>(Unroll, Config.MaxMLP);
+    MemCycles /= std::max(1.0, 0.5 * (1.0 + MLP));
+  }
+
+  // Data-dependent branches miss sometimes in scalar code; vector code
+  // replaces them with masks.
+  double BranchCycles = 0.0;
+  if (Loop.HasPredicate)
+    BranchCycles = Config.PredicateMissRate * Config.BranchMissPenalty;
+
+  // Reduction chains limit scalar ILP; unrolling with multiple
+  // accumulators relaxes them. A genuine serial recurrence (crc-style)
+  // cannot be broken by unrolling: its chain advances once per iteration
+  // no matter what.
+  double Latency = ChainLatency / static_cast<double>(Unroll);
+  if (Loop.HasScalarCycle) {
+    double SerialChain = 0.0;
+    for (const VecInst &Inst : Loop.Body)
+      if (Inst.Op != VROp::Load && Inst.Op != VROp::Store)
+        SerialChain += 0.5 * opLatency(Inst.Op, Inst.Ty);
+    Latency = std::max(Latency, std::max(SerialChain, 2.0));
+  }
+
+  return std::max({Throughput, Latency, MemCycles}) + BranchCycles;
+}
+
+LoopTiming Machine::timeLoop(const LoopSummary &Loop, int VF, int IF) const {
+  LoopTiming T;
+  VF = std::max(1, VF);
+  IF = std::max(1, IF);
+  const long long N = std::max<long long>(0, Loop.RuntimeTrip);
+  const double OuterIters =
+      static_cast<double>(std::max<long long>(1, Loop.OuterIterations));
+
+  if (N == 0) {
+    T.TotalCycles = Config.LoopSetupCycles * OuterIters;
+    return T;
+  }
+
+  if (VF == 1) {
+    // Scalar execution; IF acts as an unroll factor.
+    const double PerIter = scalarIterCycles(Loop, IF);
+    T.TotalCycles =
+        (static_cast<double>(N) * PerIter + Config.LoopSetupCycles) *
+        OuterIters;
+    T.ThroughputCycles = PerIter;
+    return T;
+  }
+
+  const long long ChunkElems = static_cast<long long>(VF) * IF;
+  const long long Chunks = N / ChunkElems;
+  const long long Remainder = N - Chunks * ChunkElems;
+  T.Chunks = Chunks;
+  T.RemainderIters = Remainder;
+
+  // --- Port throughput per chunk -----------------------------------------
+  double AluUops = 0.0, LoadUops = 0.0, StoreUops = 0.0;
+  double RedLatencyPerChunk = 0.0;
+  for (const VecInst &Inst : Loop.Body) {
+    const int Bits = static_cast<int>(sizeOf(Inst.Ty)) * 8 * VF;
+    // Port occupancy in native-width slots. Sub-native operations still
+    // consume an issue slot (the 0.25 floor), so very narrow VFs waste
+    // bandwidth, but a half-width op does not cost a full slot.
+    const double SlotCost =
+        std::max(static_cast<double>(Bits) / Config.VectorBits, 0.25);
+    double Uops = SlotCost * IF;
+    if (Inst.Predicated)
+      Uops *= 1.0 + Config.MaskedOverhead;
+    if (Inst.Op == VROp::Div || Inst.Op == VROp::Rem ||
+        Inst.Op == VROp::Sqrt)
+      Uops *= 6.0; // Long-latency, partially pipelined units.
+
+    switch (Inst.Op) {
+    case VROp::Load:
+      LoadUops += Uops;
+      break;
+    case VROp::Store:
+      StoreUops += Uops;
+      break;
+    default:
+      AluUops += Uops;
+      break;
+    }
+    if (Inst.ReductionUpdate) {
+      // One chain step per chunk: each accumulator advances once per
+      // chunk, and the IF accumulators (and native sub-registers of a
+      // wide VF) advance in parallel.
+      RedLatencyPerChunk += opLatency(Inst.Op, Inst.Ty);
+    }
+  }
+
+  // Gathers/scatters add per-element uops on the load/store ports; line
+  // traffic is priced per access (constant strides are prefetchable).
+  const double LineCostCycles = lineCost(loopFootprintBytes(Loop));
+  double MemCyclesRaw = 0.0;
+  for (const MemAccess &Access : Loop.Accesses) {
+    const double ElemBytes = sizeOf(Access.ElemTy);
+    const double Elems = static_cast<double>(ChunkElems);
+    if (!Access.IsAffine) {
+      (Access.IsStore ? StoreUops : LoadUops) +=
+          Elems * (Access.IsStore ? Config.ScatterPerElement
+                                  : Config.GatherPerElement);
+      MemCyclesRaw += Elems * LineCostCycles; // Unpredictable misses.
+      continue;
+    }
+    const long long Stride = std::llabs(Access.InnerStride);
+    if (Stride == 0)
+      continue; // Invariant: hoisted to a register.
+    if (Stride == 1) {
+      MemCyclesRaw += Elems * ElemBytes / Config.CacheLineBytes *
+                      std::min(LineCostCycles, Config.PrefetchedLineCost);
+      continue;
+    }
+    // Strided: gather uops plus one (prefetched) line per element, up to
+    // the stride density limit.
+    (Access.IsStore ? StoreUops : LoadUops) +=
+        Elems * (Access.IsStore ? Config.ScatterPerElement
+                                : Config.GatherPerElement);
+    MemCyclesRaw += Elems *
+                    std::min(1.0, static_cast<double>(Stride) * ElemBytes /
+                                      Config.CacheLineBytes) *
+                    std::min(LineCostCycles, Config.PrefetchedLineCost);
+  }
+
+  // Register pressure. Only values that persist across the interleaved
+  // copies replicate with IF (reduction accumulators); body temporaries
+  // are renamed/reused. Everything splits into native parts at wide VF.
+  const int WidestBits = static_cast<int>(sizeOf(Loop.WidestType)) * 8;
+  const double PartsPerValue =
+      std::max(1.0, static_cast<double>(WidestBits) * VF /
+                        Config.VectorBits);
+  const double Accumulators =
+      Loop.Reduction.Kind != ReductionKind::None ? 1.0 : 0.0;
+  const double RegsUsed =
+      PartsPerValue * (Accumulators * IF + Loop.LiveValues);
+  double SpillUops = 0.0;
+  if (RegsUsed > Config.NumVecRegs)
+    SpillUops = (RegsUsed - Config.NumVecRegs) * Config.SpillCostPerReg;
+  LoadUops += SpillUops;
+  StoreUops += SpillUops;
+
+  const double Throughput =
+      std::max({AluUops / Config.VecIssueWidth,
+                LoadUops / Config.LoadPorts,
+                StoreUops / Config.StorePorts}) +
+      Config.LoopOverheadCycles;
+
+  // --- Memory per chunk ----------------------------------------------------
+  double MemCycles = MemCyclesRaw;
+  if (LineCostCycles > Config.L1LineCost) {
+    // Out-of-L1 misses overlap; more interleaving sustains more misses.
+    const double MLP = std::min<double>(IF * 2.0, Config.MaxMLP);
+    MemCycles /= std::max(1.0, 0.5 * (1.0 + MLP));
+  }
+
+  const double PerChunk =
+      std::max({Throughput, MemCycles, RedLatencyPerChunk});
+
+  // --- Remainder and epilogue ---------------------------------------------
+  const double RemainderCycles =
+      static_cast<double>(Remainder) * scalarIterCycles(Loop, 1);
+  double Epilogue = 0.0;
+  if (Loop.Reduction.Kind != ReductionKind::None) {
+    const double Steps = std::log2(static_cast<double>(VF)) +
+                         std::log2(static_cast<double>(IF)) +
+                         PartsPerValue - 1.0;
+    Epilogue = 2.0 * std::max(0.0, Steps);
+  }
+
+  T.ThroughputCycles = Throughput;
+  T.MemoryCycles = MemCycles;
+  T.LatencyCycles = RedLatencyPerChunk;
+  T.RemainderCycles = RemainderCycles;
+  T.EpilogueCycles = Epilogue;
+  T.TotalCycles = (static_cast<double>(Chunks) * PerChunk +
+                   RemainderCycles + Epilogue + Config.LoopSetupCycles) *
+                  OuterIters;
+  return T;
+}
+
+double Machine::loopCycles(const LoopSummary &Loop, int VF, int IF) const {
+  return timeLoop(Loop, VF, IF).TotalCycles;
+}

@@ -1,0 +1,83 @@
+//===- sim/Machine.h - Cycle-level SIMD machine model -----------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "hardware" the paper ran on (an AVX-capable Intel i7) is replaced by
+/// this deterministic cycle model. For a loop executed at a given (VF, IF)
+/// it accounts for:
+///
+///  - port throughput (vector ALU, load, store issue widths, native-width
+///    uop splitting for wide VFs),
+///  - dependence-chain latency (reduction accumulators; IF independent
+///    accumulators shorten the chain — why IF matters for dot product),
+///  - the memory hierarchy (footprint-classified line costs, strided
+///    access and gather/scatter penalties, memory-level parallelism that
+///    grows with IF),
+///  - masking overhead for predicated bodies vs branch misses when scalar,
+///  - remainder iterations, reduction epilogues, register spills, and
+///    per-chunk loop overhead.
+///
+/// None of this is visible to the baseline cost model — the gap between
+/// the two surfaces is precisely what the RL agent learns to exploit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SIM_MACHINE_H
+#define NV_SIM_MACHINE_H
+
+#include "ir/VecIR.h"
+#include "target/TargetInfo.h"
+
+namespace nv {
+
+/// Detailed per-loop timing breakdown (exposed for tests and debugging).
+struct LoopTiming {
+  double TotalCycles = 0.0;
+  double ThroughputCycles = 0.0; ///< Port-bound component per chunk.
+  double MemoryCycles = 0.0;     ///< Memory component per chunk.
+  double LatencyCycles = 0.0;    ///< Dep-chain component per chunk.
+  double RemainderCycles = 0.0;
+  double EpilogueCycles = 0.0;
+  long long Chunks = 0;
+  long long RemainderIters = 0;
+};
+
+/// The simulated machine.
+class Machine {
+public:
+  explicit Machine(const MachineConfig &Config = MachineConfig())
+      : Config(Config) {}
+
+  const MachineConfig &config() const { return Config; }
+
+  /// Cycles to execute \p Loop once (all OuterIterations included) at the
+  /// already-legalized factors \p VF and \p IF.
+  double loopCycles(const LoopSummary &Loop, int VF, int IF) const;
+
+  /// Like loopCycles but returns the breakdown.
+  LoopTiming timeLoop(const LoopSummary &Loop, int VF, int IF) const;
+
+  /// Cycles for one scalar iteration of \p Loop (used for remainders and
+  /// as the VF=1 path), with \p Unroll-way unrolling (IF acts as an
+  /// unroll factor for scalar loops).
+  double scalarIterCycles(const LoopSummary &Loop, int Unroll) const;
+
+  /// Operation latency in cycles for dependence chains.
+  double opLatency(VROp Op, ScalarType Ty) const;
+
+  /// Bytes the inner loop touches per full execution (capped per array).
+  double loopFootprintBytes(const LoopSummary &Loop) const;
+
+  /// Cycles per cache line given a footprint classification.
+  double lineCost(double FootprintBytes) const;
+
+private:
+  MachineConfig Config;
+};
+
+} // namespace nv
+
+#endif // NV_SIM_MACHINE_H

@@ -1,0 +1,76 @@
+//===- support/Stats.cpp - Small statistics helpers -----------------------===//
+
+#include "support/Stats.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace nv;
+
+double nv::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double nv::stddev(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  const double M = mean(Values);
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += (V - M) * (V - M);
+  return std::sqrt(Sum / static_cast<double>(Values.size()));
+}
+
+double nv::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geomean() requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double nv::minOf(const std::vector<double> &Values) {
+  double M = std::numeric_limits<double>::infinity();
+  for (double V : Values)
+    M = std::min(M, V);
+  return M;
+}
+
+double nv::maxOf(const std::vector<double> &Values) {
+  double M = -std::numeric_limits<double>::infinity();
+  for (double V : Values)
+    M = std::max(M, V);
+  return M;
+}
+
+void RunningStats::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++N;
+  const double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  return N ? Min : std::numeric_limits<double>::infinity();
+}
+
+double RunningStats::max() const {
+  return N ? Max : -std::numeric_limits<double>::infinity();
+}

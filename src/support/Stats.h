@@ -1,0 +1,80 @@
+//===- support/Stats.h - Small statistics helpers ---------------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mean / stddev / geomean / min / max over value sequences, plus a running
+/// accumulator. Used by the RL trainer (reward statistics) and the bench
+/// harnesses (speedup summaries, matching the paper's "average speedup").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SUPPORT_STATS_H
+#define NV_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace nv {
+
+/// Arithmetic mean of \p Values; 0 when empty.
+double mean(const std::vector<double> &Values);
+
+/// Population standard deviation of \p Values; 0 when size < 2.
+double stddev(const std::vector<double> &Values);
+
+/// Geometric mean of \p Values (all must be positive); 0 when empty.
+double geomean(const std::vector<double> &Values);
+
+/// Minimum of \p Values; +inf when empty.
+double minOf(const std::vector<double> &Values);
+
+/// Maximum of \p Values; -inf when empty.
+double maxOf(const std::vector<double> &Values);
+
+/// Numerically stable running mean/variance accumulator (Welford).
+class RunningStats {
+public:
+  void add(double X);
+  void clear() { *this = RunningStats(); }
+
+  size_t count() const { return N; }
+  double mean() const { return N ? Mean : 0.0; }
+  double variance() const { return N > 1 ? M2 / static_cast<double>(N) : 0.0; }
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Exponential moving average, used for the "reward mean" training curves
+/// (Figs 5 and 6 plot a smoothed reward mean).
+class EMA {
+public:
+  explicit EMA(double Alpha = 0.05) : Alpha(Alpha) {}
+
+  double add(double X) {
+    Value = Seen ? (1.0 - Alpha) * Value + Alpha * X : X;
+    Seen = true;
+    return Value;
+  }
+  double value() const { return Value; }
+  bool seen() const { return Seen; }
+
+private:
+  double Alpha;
+  double Value = 0.0;
+  bool Seen = false;
+};
+
+} // namespace nv
+
+#endif // NV_SUPPORT_STATS_H

@@ -1,0 +1,51 @@
+//===- support/StringUtils.h - String helpers -------------------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string utilities shared by the lexer, the pragma injector, and the
+/// dataset generators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SUPPORT_STRINGUTILS_H
+#define NV_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nv {
+
+/// Splits \p Text on \p Sep, keeping empty fields.
+std::vector<std::string> split(const std::string &Text, char Sep);
+
+/// Splits \p Text into lines (splitting on '\n').
+std::vector<std::string> splitLines(const std::string &Text);
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Removes leading and trailing whitespace.
+std::string trim(const std::string &Text);
+
+/// Returns true if \p Text starts with \p Prefix.
+bool startsWith(const std::string &Text, const std::string &Prefix);
+
+/// Returns true if \p Text contains \p Needle.
+bool contains(const std::string &Text, const std::string &Needle);
+
+/// Replaces every occurrence of \p From in \p Text with \p To.
+std::string replaceAll(std::string Text, const std::string &From,
+                       const std::string &To);
+
+/// Stable 64-bit FNV-1a hash; the embedding vocabularies hash token and
+/// path strings with this so that vocab ids are platform independent.
+uint64_t fnv1a(const std::string &Text);
+
+} // namespace nv
+
+#endif // NV_SUPPORT_STRINGUTILS_H

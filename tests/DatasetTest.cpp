@@ -1,0 +1,210 @@
+//===- tests/DatasetTest.cpp - generator and suite property tests ---------===//
+//
+// Property-style checks over the synthetic generator (every generated
+// program must parse, contain loops, lower cleanly, and run on the
+// simulator) and over the fixed suites.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataset/LoopGenerator.h"
+#include "dataset/Suites.h"
+#include "ir/Lowering.h"
+#include "lang/LoopExtractor.h"
+#include "lang/Parser.h"
+#include "lang/PrettyPrinter.h"
+#include "rl/Env.h"
+#include "sim/Compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace nv;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Parameterized sweep over generator templates.
+//===----------------------------------------------------------------------===//
+
+class GeneratorTemplateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorTemplateTest, ProgramsParseAndLower) {
+  LoopGenerator Gen(1000 + GetParam());
+  for (int I = 0; I < 8; ++I) {
+    GeneratedLoop L = Gen.generate(GetParam());
+    std::string Error;
+    std::optional<Program> P = parseSource(L.Source, &Error);
+    ASSERT_TRUE(P.has_value()) << L.Name << ": " << Error << "\n"
+                               << L.Source;
+    std::vector<LoopSite> Sites = extractLoops(*P);
+    ASSERT_FALSE(Sites.empty()) << L.Source;
+    for (const LoopSite &Site : Sites) {
+      LoopSummary S = lowerLoop(*P, Site, 64);
+      EXPECT_GE(S.MaxSafeVF, 1);
+      EXPECT_GT(S.RuntimeTrip, 0) << L.Source;
+      EXPECT_FALSE(S.Body.empty()) << L.Source;
+    }
+  }
+}
+
+TEST_P(GeneratorTemplateTest, ProgramsRunOnSimulator) {
+  LoopGenerator Gen(2000 + GetParam());
+  SimCompiler C;
+  for (int I = 0; I < 4; ++I) {
+    GeneratedLoop L = Gen.generate(GetParam());
+    std::optional<Program> P = parseSource(L.Source);
+    ASSERT_TRUE(P.has_value());
+    CompileResult R = C.compileBaseline(*P);
+    EXPECT_GT(R.ExecutionCycles, 0.0) << L.Source;
+    EXPECT_GT(R.CompileCycles, 0.0);
+  }
+}
+
+TEST_P(GeneratorTemplateTest, PrintedProgramsRoundTrip) {
+  LoopGenerator Gen(3000 + GetParam());
+  GeneratedLoop L = Gen.generate(GetParam());
+  std::string Error;
+  std::optional<Program> P1 = parseSource(L.Source, &Error);
+  ASSERT_TRUE(P1.has_value()) << Error;
+  const std::string Printed = printProgram(*P1);
+  std::optional<Program> P2 = parseSource(Printed, &Error);
+  ASSERT_TRUE(P2.has_value()) << Error << "\n" << Printed;
+  EXPECT_EQ(Printed, printProgram(*P2));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTemplates, GeneratorTemplateTest,
+                         ::testing::Range(0, LoopGenerator::NumTemplates));
+
+TEST(Generator, ManyProgramsAreDistinct) {
+  LoopGenerator Gen(5);
+  std::vector<GeneratedLoop> Loops = Gen.generateMany(100);
+  int Distinct = 0;
+  for (size_t I = 1; I < Loops.size(); ++I)
+    Distinct += Loops[I].Source != Loops[0].Source;
+  EXPECT_GT(Distinct, 95);
+}
+
+TEST(Generator, DeterministicForSeed) {
+  LoopGenerator A(99), B(99);
+  for (int I = 0; I < 20; ++I)
+    EXPECT_EQ(A.generate().Source, B.generate().Source);
+}
+
+//===----------------------------------------------------------------------===//
+// Fixed suites.
+//===----------------------------------------------------------------------===//
+
+struct SuiteCase {
+  const char *Name;
+  std::vector<NamedProgram> (*Get)();
+  size_t ExpectedCount;
+};
+
+class SuiteTest : public ::testing::TestWithParam<SuiteCase> {};
+
+TEST_P(SuiteTest, AllProgramsLoadIntoTheEnvironment) {
+  VectorizationEnv Env{SimCompiler(), PathContextConfig()};
+  for (const NamedProgram &P : GetParam().Get())
+    EXPECT_TRUE(Env.addProgram(P.Name, P.Source)) << P.Name;
+  EXPECT_EQ(Env.size(), GetParam().ExpectedCount);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSuites, SuiteTest,
+    ::testing::Values(
+        SuiteCase{"vectorizer", &vectorizerTestSuite, 15},
+        SuiteCase{"evaluation", &evaluationBenchmarks, 12},
+        SuiteCase{"polybench", &polyBenchSuite, 6},
+        SuiteCase{"mibench", &miBenchSuite, 6}),
+    [](const ::testing::TestParamInfo<SuiteCase> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(Suites, MiBenchIsMostlyNotVectorizable) {
+  // The defining property of Fig 9's workloads: the dominant loops have
+  // MaxSafeVF == 1 (serial recurrences / unknown calls).
+  for (const NamedProgram &B : miBenchSuite()) {
+    std::optional<Program> P = parseSource(B.Source);
+    ASSERT_TRUE(P.has_value()) << B.Name;
+    std::vector<LoopSite> Sites = extractLoops(*P);
+    bool HasSerialLoop = false;
+    for (const LoopSite &Site : Sites)
+      HasSerialLoop |= lowerLoop(*P, Site, 64).MaxSafeVF == 1;
+    EXPECT_TRUE(HasSerialLoop) << B.Name;
+  }
+}
+
+TEST(Suites, PolyBenchHasInterchangeHeadroom) {
+  // At least atax/bicg/mvt contain a column-major phase Polly can fix.
+  int WithStridedPhase = 0;
+  for (const NamedProgram &B : polyBenchSuite()) {
+    std::optional<Program> P = parseSource(B.Source);
+    ASSERT_TRUE(P.has_value()) << B.Name;
+    std::vector<LoopSite> Sites = extractLoops(*P);
+    for (const LoopSite &Site : Sites) {
+      LoopSummary S = lowerLoop(*P, Site, 64);
+      for (const MemAccess &A : S.Accesses)
+        if (A.IsAffine && A.InnerStride > 1) {
+          ++WithStridedPhase;
+          break;
+        }
+    }
+  }
+  EXPECT_GE(WithStridedPhase, 3);
+}
+
+//===----------------------------------------------------------------------===//
+// Simulator invariants swept over the whole action grid (property test).
+//===----------------------------------------------------------------------===//
+
+class ActionGridTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ActionGridTest, SimulatorIsFiniteAndPositiveEverywhere) {
+  auto [VF, IF] = GetParam();
+  LoopGenerator Gen(77);
+  SimCompiler C;
+  for (int I = 0; I < LoopGenerator::NumTemplates; ++I) {
+    GeneratedLoop L = Gen.generate(I);
+    std::optional<Program> P = parseSource(L.Source);
+    ASSERT_TRUE(P.has_value());
+    SimCompiler::Precompiled Pre = C.precompile(*P);
+    std::vector<VectorPlan> Plans(Pre.Summaries.size(),
+                                  VectorPlan{VF, IF});
+    bool TimedOut = false;
+    const double Cycles = C.runPrecompiled(Pre, Plans, TimedOut);
+    EXPECT_TRUE(std::isfinite(Cycles)) << L.Source;
+    EXPECT_GT(Cycles, 0.0) << L.Source;
+  }
+}
+
+TEST_P(ActionGridTest, LegalizationAlwaysWithinBounds) {
+  auto [VF, IF] = GetParam();
+  LoopGenerator Gen(78);
+  SimCompiler C;
+  for (int I = 0; I < LoopGenerator::NumTemplates; ++I) {
+    GeneratedLoop L = Gen.generate(I);
+    std::optional<Program> P = parseSource(L.Source);
+    ASSERT_TRUE(P.has_value());
+    std::vector<LoopSite> Sites = extractLoops(*P);
+    for (const LoopSite &Site : Sites) {
+      LoopSummary S = lowerLoop(*P, Site, 64);
+      VectorPlan Legal = C.legalize(S, {VF, IF});
+      EXPECT_GE(Legal.VF, 1);
+      EXPECT_LE(Legal.VF, S.MaxSafeVF);
+      EXPECT_GE(Legal.IF, 1);
+      EXPECT_LE(Legal.IF, 16);
+      // Powers of two only (Eq. 3).
+      EXPECT_EQ(Legal.VF & (Legal.VF - 1), 0);
+      EXPECT_EQ(Legal.IF & (Legal.IF - 1), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullGrid, ActionGridTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16, 32, 64),
+                       ::testing::Values(1, 2, 4, 8, 16)));
+
+} // namespace

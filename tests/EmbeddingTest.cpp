@@ -1,0 +1,197 @@
+//===- tests/EmbeddingTest.cpp - path-context and code2vec tests ----------===//
+
+#include "embedding/Code2Vec.h"
+#include "embedding/PathContext.h"
+#include "lang/LoopExtractor.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace nv;
+
+namespace {
+
+std::vector<PathContext> contextsOf(const std::string &Source,
+                                    const PathContextConfig &Config) {
+  std::string Error;
+  std::optional<Program> P = parseSource(Source, &Error);
+  EXPECT_TRUE(P.has_value()) << Error;
+  std::vector<LoopSite> Sites = extractLoops(*P);
+  EXPECT_FALSE(Sites.empty());
+  return extractPathContexts(*Sites[0].Outer, Config);
+}
+
+TEST(PathContext, DeterministicExtraction) {
+  PathContextConfig Config;
+  const char *Src = "int a[8]; void f() { for (int i = 0; i < 8; i++) { "
+                    "a[i] = i * 2; } }";
+  auto C1 = contextsOf(Src, Config);
+  auto C2 = contextsOf(Src, Config);
+  ASSERT_EQ(C1.size(), C2.size());
+  for (size_t I = 0; I < C1.size(); ++I) {
+    EXPECT_EQ(C1[I].SrcToken, C2[I].SrcToken);
+    EXPECT_EQ(C1[I].Path, C2[I].Path);
+    EXPECT_EQ(C1[I].DstToken, C2[I].DstToken);
+  }
+  EXPECT_FALSE(C1.empty());
+}
+
+TEST(PathContext, VocabularyBounds) {
+  PathContextConfig Config;
+  Config.TokenVocabSize = 64;
+  Config.PathVocabSize = 32;
+  auto Contexts = contextsOf(
+      "float x[64]; float y[64]; void f() { for (int i = 0; i < 64; i++) "
+      "{ y[i] = x[i] * 3.0 + y[i]; } }",
+      Config);
+  for (const PathContext &C : Contexts) {
+    EXPECT_GE(C.SrcToken, 0);
+    EXPECT_LT(C.SrcToken, 64);
+    EXPECT_GE(C.Path, 0);
+    EXPECT_LT(C.Path, 32);
+    EXPECT_GE(C.DstToken, 0);
+    EXPECT_LT(C.DstToken, 64);
+  }
+}
+
+TEST(PathContext, MaxContextsCapRespected) {
+  PathContextConfig Config;
+  Config.MaxContexts = 10;
+  auto Contexts = contextsOf(
+      "float A[32][32]; float B[32][32]; float C[32][32]; void f() { for "
+      "(int i = 0; i < 32; i++) { for (int j = 0; j < 32; j++) { C[i][j] "
+      "= A[i][j] * B[i][j] + C[i][j]; } } }",
+      Config);
+  EXPECT_LE(Contexts.size(), 10u);
+  EXPECT_FALSE(Contexts.empty());
+}
+
+TEST(PathContext, DifferentLoopsDifferentContexts) {
+  PathContextConfig Config;
+  auto A = contextsOf("int a[8]; void f() { for (int i = 0; i < 8; i++) { "
+                      "a[i] = 1; } }",
+                      Config);
+  auto B = contextsOf("float s[64]; float o; void f() { float m = 0; for "
+                      "(int i = 0; i < 64; i++) { m += s[i] * s[i]; } o = "
+                      "m; }",
+                      Config);
+  // At least the context multisets must differ.
+  EXPECT_NE(A.size(), B.size());
+}
+
+TEST(PathContext, RenamedVariablesChangeTokensNotPaths) {
+  // The paper's generators rename parameters to de-bias the embedding;
+  // renaming must keep the *path* structure identical.
+  PathContextConfig Config;
+  auto A = contextsOf("int a[8]; void f() { for (int i = 0; i < 8; i++) { "
+                      "a[i] = i; } }",
+                      Config);
+  auto B = contextsOf("int zz[8]; void f() { for (int k = 0; k < 8; k++) "
+                      "{ zz[k] = k; } }",
+                      Config);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(A[I].Path, B[I].Path);
+}
+
+TEST(Code2Vec, OutputShapeAndDeterminism) {
+  RNG R(5);
+  Code2VecConfig Config;
+  Code2Vec Embedder(Config, R);
+  auto Contexts = contextsOf(
+      "int a[8]; void f() { for (int i = 0; i < 8; i++) { a[i] = i; } }",
+      Config.Paths);
+  Matrix V1 = Embedder.encode(Contexts);
+  Matrix V2 = Embedder.encode(Contexts);
+  ASSERT_EQ(V1.rows(), 1);
+  ASSERT_EQ(V1.cols(), Config.CodeDim);
+  for (int D = 0; D < Config.CodeDim; ++D)
+    EXPECT_DOUBLE_EQ(V1.at(0, D), V2.at(0, D));
+}
+
+TEST(Code2Vec, EmptyContextsEncodeToZero) {
+  RNG R(5);
+  Code2VecConfig Config;
+  Code2Vec Embedder(Config, R);
+  Matrix V = Embedder.encode({});
+  for (int D = 0; D < Config.CodeDim; ++D)
+    EXPECT_DOUBLE_EQ(V.at(0, D), 0.0);
+  // Backward through the empty sample must be a no-op, not a crash.
+  Matrix G(1, Config.CodeDim, 1.0);
+  Embedder.backward(G);
+}
+
+TEST(Code2Vec, GradientsMatchFiniteDifferences) {
+  RNG R(3);
+  Code2VecConfig Config;
+  Config.Paths.TokenVocabSize = 32;
+  Config.Paths.PathVocabSize = 32;
+  Config.TokenDim = 4;
+  Config.PathDim = 4;
+  Config.CodeDim = 5;
+  Code2Vec Embedder(Config, R);
+  std::vector<PathContext> Contexts = {
+      {1, 2, 3}, {4, 5, 6}, {1, 5, 3}, {7, 8, 9}};
+  Matrix G(1, 5);
+  for (int I = 0; I < 5; ++I)
+    G.at(0, I) = 0.3 * I - 0.5;
+
+  auto LossOf = [&]() {
+    Matrix V = Embedder.encode(Contexts);
+    double L = 0;
+    for (int I = 0; I < 5; ++I)
+      L += V.at(0, I) * G.at(0, I);
+    return L;
+  };
+
+  for (Param *P : Embedder.params())
+    P->zeroGrad();
+  (void)LossOf();
+  Embedder.backward(G);
+
+  const double Eps = 1e-6;
+  double MaxRel = 0.0;
+  int Checked = 0;
+  for (Param *P : Embedder.params()) {
+    const size_t Stride = std::max<size_t>(1, P->Value.size() / 16);
+    for (size_t I = 0; I < P->Value.size(); I += Stride) {
+      const double Old = P->Value.raw()[I];
+      P->Value.raw()[I] = Old + Eps;
+      const double L1 = LossOf();
+      P->Value.raw()[I] = Old - Eps;
+      const double L2 = LossOf();
+      P->Value.raw()[I] = Old;
+      const double Num = (L1 - L2) / (2 * Eps);
+      const double Ana = P->Grad.raw()[I];
+      if (std::fabs(Num) + std::fabs(Ana) > 1e-10) {
+        MaxRel = std::max(MaxRel, std::fabs(Num - Ana) /
+                                      (std::fabs(Num) + std::fabs(Ana)));
+        ++Checked;
+      }
+    }
+  }
+  EXPECT_GT(Checked, 10);
+  EXPECT_LT(MaxRel, 1e-6);
+}
+
+TEST(Code2Vec, AttentionWeightsAreADistribution) {
+  // Indirectly: scaling one context's embedding shifts the output but the
+  // encoding stays bounded by the max context norm (convex combination of
+  // tanh vectors: every output dim stays within [-1, 1]).
+  RNG R(9);
+  Code2VecConfig Config;
+  Code2Vec Embedder(Config, R);
+  auto Contexts = contextsOf(
+      "float A[32][32]; void f() { for (int i = 0; i < 32; i++) { for "
+      "(int j = 0; j < 32; j++) { A[i][j] = 0.5; } } }",
+      Config.Paths);
+  Matrix V = Embedder.encode(Contexts);
+  for (int D = 0; D < Config.CodeDim; ++D) {
+    EXPECT_LE(V.at(0, D), 1.0);
+    EXPECT_GE(V.at(0, D), -1.0);
+  }
+}
+
+} // namespace

@@ -1,0 +1,254 @@
+//===- tests/NNTest.cpp - Matrix/layers/optimizer/distribution tests ------===//
+
+#include "nn/Distributions.h"
+#include "nn/Layers.h"
+#include "nn/Matrix.h"
+#include "nn/Optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace nv;
+
+namespace {
+
+TEST(Matrix, BasicOps) {
+  Matrix A(2, 3, 1.0);
+  Matrix B(2, 3, 2.0);
+  A += B;
+  EXPECT_DOUBLE_EQ(A.at(1, 2), 3.0);
+  A *= 2.0;
+  EXPECT_DOUBLE_EQ(A.at(0, 0), 6.0);
+  A -= B;
+  EXPECT_DOUBLE_EQ(A.at(0, 1), 4.0);
+}
+
+TEST(Matrix, Matmul) {
+  Matrix A(2, 3);
+  Matrix B(3, 2);
+  int K = 0;
+  for (int I = 0; I < 2; ++I)
+    for (int J = 0; J < 3; ++J)
+      A.at(I, J) = ++K;
+  K = 0;
+  for (int I = 0; I < 3; ++I)
+    for (int J = 0; J < 2; ++J)
+      B.at(I, J) = ++K;
+  Matrix C = matmul(A, B);
+  EXPECT_DOUBLE_EQ(C.at(0, 0), 22.0);
+  EXPECT_DOUBLE_EQ(C.at(0, 1), 28.0);
+  EXPECT_DOUBLE_EQ(C.at(1, 0), 49.0);
+  EXPECT_DOUBLE_EQ(C.at(1, 1), 64.0);
+}
+
+TEST(Matrix, TransposedMultiplies) {
+  RNG R(5);
+  Matrix A(4, 3), B(4, 2), C(1, 3);
+  A.initGaussian(R, 1.0);
+  B.initGaussian(R, 1.0);
+  C.initGaussian(R, 1.0);
+  // A^T B == matmul of explicit transpose.
+  Matrix TA = matmulTA(A, B);
+  for (int I = 0; I < 3; ++I)
+    for (int J = 0; J < 2; ++J) {
+      double Want = 0;
+      for (int K = 0; K < 4; ++K)
+        Want += A.at(K, I) * B.at(K, J);
+      EXPECT_NEAR(TA.at(I, J), Want, 1e-12);
+    }
+  // A C^T.
+  Matrix TB = matmulTB(A, C); // (4x3) * (1x3)^T = 4x1.
+  for (int I = 0; I < 4; ++I) {
+    double Want = 0;
+    for (int K = 0; K < 3; ++K)
+      Want += A.at(I, K) * C.at(0, K);
+    EXPECT_NEAR(TB.at(I, 0), Want, 1e-12);
+  }
+}
+
+TEST(Matrix, SumRowsAndBroadcast) {
+  Matrix A(2, 2);
+  A.at(0, 0) = 1;
+  A.at(0, 1) = 2;
+  A.at(1, 0) = 3;
+  A.at(1, 1) = 4;
+  Matrix S = sumRows(A);
+  EXPECT_DOUBLE_EQ(S.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(S.at(0, 1), 6.0);
+  Matrix B = addRowBroadcast(A, S);
+  EXPECT_DOUBLE_EQ(B.at(1, 0), 7.0);
+}
+
+/// Finite-difference gradient check of an MLP through a linear loss.
+TEST(Layers, MLPGradientsMatchFiniteDifferences) {
+  RNG R(11);
+  MLP Net({5, 7, 4}, Activation::Tanh, R);
+  Matrix X(3, 5);
+  X.initGaussian(R, 1.0);
+  Matrix G(3, 4);
+  G.initGaussian(R, 1.0);
+
+  auto LossOf = [&]() {
+    Matrix Y = Net.forward(X);
+    double L = 0;
+    for (size_t I = 0; I < Y.size(); ++I)
+      L += Y.raw()[I] * G.raw()[I];
+    return L;
+  };
+
+  for (Param *P : Net.params())
+    P->zeroGrad();
+  (void)Net.forward(X);
+  Matrix dX = Net.backward(G);
+
+  const double Eps = 1e-6;
+  double MaxRel = 0.0;
+  for (Param *P : Net.params()) {
+    for (size_t I = 0; I < P->Value.size(); I += 3) {
+      const double Old = P->Value.raw()[I];
+      P->Value.raw()[I] = Old + Eps;
+      const double L1 = LossOf();
+      P->Value.raw()[I] = Old - Eps;
+      const double L2 = LossOf();
+      P->Value.raw()[I] = Old;
+      const double Num = (L1 - L2) / (2 * Eps);
+      const double Ana = P->Grad.raw()[I];
+      if (std::fabs(Num) + std::fabs(Ana) > 1e-10)
+        MaxRel = std::max(MaxRel, std::fabs(Num - Ana) /
+                                      (std::fabs(Num) + std::fabs(Ana)));
+    }
+  }
+  EXPECT_LT(MaxRel, 1e-6);
+
+  // Input gradient too.
+  for (int Row = 0; Row < 3; ++Row)
+    for (int Col = 0; Col < 5; ++Col) {
+      const double Old = X.at(Row, Col);
+      X.at(Row, Col) = Old + Eps;
+      const double L1 = LossOf();
+      X.at(Row, Col) = Old - Eps;
+      const double L2 = LossOf();
+      X.at(Row, Col) = Old;
+      EXPECT_NEAR(dX.at(Row, Col), (L1 - L2) / (2 * Eps), 1e-5);
+    }
+}
+
+TEST(Layers, ReLUBlocksNegativeGradient) {
+  RNG R(3);
+  ActivationLayer A(Activation::ReLU);
+  Matrix X(1, 2);
+  X.at(0, 0) = -1.0;
+  X.at(0, 1) = 2.0;
+  Matrix Y = A.forward(X);
+  EXPECT_DOUBLE_EQ(Y.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Y.at(0, 1), 2.0);
+  Matrix G(1, 2, 1.0);
+  Matrix dX = A.backward(G);
+  EXPECT_DOUBLE_EQ(dX.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(dX.at(0, 1), 1.0);
+}
+
+TEST(Optimizer, SGDMinimizesQuadratic) {
+  Param P(1, 1);
+  P.Value.at(0, 0) = 5.0;
+  SGD Opt(0.1);
+  for (int I = 0; I < 200; ++I) {
+    P.zeroGrad();
+    P.Grad.at(0, 0) = 2.0 * P.Value.at(0, 0); // d/dx x^2.
+    Opt.step({&P});
+  }
+  EXPECT_NEAR(P.Value.at(0, 0), 0.0, 1e-6);
+}
+
+TEST(Optimizer, AdamMinimizesQuadratic) {
+  Param P(1, 2);
+  P.Value.at(0, 0) = 4.0;
+  P.Value.at(0, 1) = -3.0;
+  Adam Opt(0.1);
+  for (int I = 0; I < 500; ++I) {
+    P.zeroGrad();
+    P.Grad.at(0, 0) = 2.0 * (P.Value.at(0, 0) - 1.0);
+    P.Grad.at(0, 1) = 2.0 * (P.Value.at(0, 1) + 2.0);
+    Opt.step({&P});
+  }
+  EXPECT_NEAR(P.Value.at(0, 0), 1.0, 1e-3);
+  EXPECT_NEAR(P.Value.at(0, 1), -2.0, 1e-3);
+}
+
+TEST(Optimizer, GradClipScalesDown) {
+  Param P(1, 2);
+  P.Grad.at(0, 0) = 3.0;
+  P.Grad.at(0, 1) = 4.0; // Norm 5.
+  const double Norm = clipGradNorm({&P}, 1.0);
+  EXPECT_NEAR(Norm, 5.0, 1e-12);
+  EXPECT_NEAR(P.Grad.at(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(P.Grad.at(0, 1), 0.8, 1e-12);
+}
+
+TEST(Distributions, SoftmaxNormalizes) {
+  std::vector<double> Probs = softmax({1.0, 2.0, 3.0});
+  double Sum = 0;
+  for (double P : Probs)
+    Sum += P;
+  EXPECT_NEAR(Sum, 1.0, 1e-12);
+  EXPECT_GT(Probs[2], Probs[1]);
+  EXPECT_GT(Probs[1], Probs[0]);
+}
+
+TEST(Distributions, SoftmaxStableForHugeLogits) {
+  std::vector<double> Probs = softmax({1000.0, 1001.0});
+  EXPECT_NEAR(Probs[0] + Probs[1], 1.0, 1e-12);
+  EXPECT_FALSE(std::isnan(Probs[0]));
+}
+
+TEST(Distributions, LogSoftmaxMatchesSoftmax) {
+  std::vector<double> Logits = {0.3, -1.2, 2.0, 0.0};
+  std::vector<double> Probs = softmax(Logits);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_NEAR(logSoftmaxAt(Logits, I), std::log(Probs[I]), 1e-12);
+}
+
+TEST(Distributions, EntropyMaxAtUniform) {
+  EXPECT_NEAR(softmaxEntropy({1.0, 1.0, 1.0, 1.0}), std::log(4.0), 1e-12);
+  EXPECT_LT(softmaxEntropy({10.0, 0.0, 0.0, 0.0}), 0.1);
+}
+
+TEST(Distributions, CategoricalSamplingFollowsProbs) {
+  RNG R(19);
+  std::vector<double> Logits = {0.0, std::log(3.0)}; // probs 1/4, 3/4.
+  int Ones = 0;
+  for (int I = 0; I < 8000; ++I)
+    Ones += sampleCategorical(Logits, R);
+  EXPECT_NEAR(Ones / 8000.0, 0.75, 0.03);
+}
+
+TEST(Distributions, CategoricalGradIsOneHotMinusProbs) {
+  std::vector<double> Logits = {0.5, -0.5, 1.5};
+  std::vector<double> Probs = softmax(Logits);
+  std::vector<double> Grad = categoricalLogProbGrad(Logits, 1);
+  EXPECT_NEAR(Grad[0], -Probs[0], 1e-12);
+  EXPECT_NEAR(Grad[1], 1.0 - Probs[1], 1e-12);
+  EXPECT_NEAR(Grad[2], -Probs[2], 1e-12);
+}
+
+TEST(Distributions, GaussianLogProbAndGrad) {
+  const double LP = gaussianLogProb(0.0, 0.0, 0.0);
+  EXPECT_NEAR(LP, -0.5 * std::log(2.0 * M_PI), 1e-12);
+  // Finite-difference check of the gradients.
+  const double X = 0.7, Mean = 0.2, LogStd = -0.3, Eps = 1e-6;
+  double dMean, dLogStd;
+  gaussianLogProbGrad(X, Mean, LogStd, dMean, dLogStd);
+  EXPECT_NEAR(dMean,
+              (gaussianLogProb(X, Mean + Eps, LogStd) -
+               gaussianLogProb(X, Mean - Eps, LogStd)) /
+                  (2 * Eps),
+              1e-6);
+  EXPECT_NEAR(dLogStd,
+              (gaussianLogProb(X, Mean, LogStd + Eps) -
+               gaussianLogProb(X, Mean, LogStd - Eps)) /
+                  (2 * Eps),
+              1e-6);
+}
+
+} // namespace

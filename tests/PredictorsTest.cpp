@@ -1,0 +1,141 @@
+//===- tests/PredictorsTest.cpp - search/NNS/decision-tree tests ----------===//
+
+#include "predictors/DecisionTree.h"
+#include "predictors/NearestNeighbor.h"
+#include "predictors/Search.h"
+
+#include <gtest/gtest.h>
+
+using namespace nv;
+
+namespace {
+
+const char *DotProduct =
+    "int vec[512]; int out; void f() { int sum = 0; for (int i = 0; i < "
+    "512; i++) { sum += vec[i] * vec[i]; } out = sum; }";
+
+TEST(BruteForce, FindsAtLeastBaselinePerformance) {
+  VectorizationEnv Env{SimCompiler(), PathContextConfig()};
+  ASSERT_TRUE(Env.addProgram("dot", DotProduct));
+  BruteForceResult Best = bruteForceSearch(Env, 0);
+  EXPECT_LE(Best.Cycles, Env.sample(0).BaselineCycles);
+  EXPECT_GT(Best.Evaluations, 35); // Swept the whole grid at least once.
+}
+
+TEST(BruteForce, BeatsEveryGridPoint) {
+  VectorizationEnv Env{SimCompiler(), PathContextConfig()};
+  ASSERT_TRUE(Env.addProgram("dot", DotProduct));
+  BruteForceResult Best = bruteForceSearch(Env, 0);
+  const TargetInfo &TI = Env.compiler().target();
+  for (int VF : TI.vfActions())
+    for (int IF : TI.ifActions())
+      EXPECT_LE(Best.Cycles, Env.cyclesWith(0, {{VF, IF}}) + 1e-9);
+}
+
+TEST(BruteForce, CoordinateDescentOnMultiLoopPrograms) {
+  VectorizationEnv Env{SimCompiler(), PathContextConfig()};
+  ASSERT_TRUE(Env.addProgram("two", R"(
+    float a[2048]; float v[2048]; float out;
+    void f() {
+      for (int i = 0; i < 2048; i++) { a[i] = a[i] * 2.0; }
+      float s = 0;
+      for (int i = 0; i < 2048; i++) { s += v[i] * v[i]; }
+      out = s;
+    })"));
+  BruteForceResult Best = bruteForceSearch(Env, 0);
+  ASSERT_EQ(Best.Plans.size(), 2u);
+  EXPECT_LE(Best.Cycles, Env.sample(0).BaselineCycles);
+}
+
+TEST(RandomSearch, ProducesLegalActions) {
+  VectorizationEnv Env{SimCompiler(), PathContextConfig()};
+  ASSERT_TRUE(Env.addProgram("dot", DotProduct));
+  RNG R(3);
+  for (int I = 0; I < 100; ++I) {
+    std::vector<VectorPlan> Plans = randomPlans(Env, 0, R);
+    ASSERT_EQ(Plans.size(), 1u);
+    EXPECT_GE(Plans[0].VF, 1);
+    EXPECT_LE(Plans[0].VF, 64);
+    EXPECT_GE(Plans[0].IF, 1);
+    EXPECT_LE(Plans[0].IF, 16);
+  }
+}
+
+TEST(NNS, ExactMatchWins) {
+  NearestNeighborPredictor NNS(1);
+  NNS.add({0.0, 0.0}, {4, 2});
+  NNS.add({1.0, 1.0}, {16, 8});
+  EXPECT_EQ(NNS.predict({0.05, -0.05}).VF, 4);
+  EXPECT_EQ(NNS.predict({0.9, 1.1}).VF, 16);
+}
+
+TEST(NNS, MajorityVoteWithK3) {
+  NearestNeighborPredictor NNS(3);
+  NNS.add({0.0, 0.0}, {4, 2});
+  NNS.add({0.1, 0.0}, {4, 2});
+  NNS.add({0.0, 0.1}, {64, 16});
+  VectorPlan P = NNS.predict({0.02, 0.02});
+  EXPECT_EQ(P.VF, 4);
+  EXPECT_EQ(P.IF, 2);
+}
+
+TEST(NNS, SquaredDistance) {
+  EXPECT_DOUBLE_EQ(squaredDistance({1.0, 2.0}, {4.0, 6.0}), 25.0);
+}
+
+TEST(DecisionTree, LearnsAxisAlignedSplit) {
+  std::vector<std::vector<double>> X;
+  std::vector<int> Y;
+  for (int I = 0; I < 50; ++I) {
+    X.push_back({I < 25 ? -1.0 - I * 0.01 : 1.0 + I * 0.01, 0.5});
+    Y.push_back(I < 25 ? 0 : 1);
+  }
+  DecisionTree Tree;
+  Tree.fit(X, Y, 2);
+  EXPECT_EQ(Tree.predict({-2.0, 0.5}), 0);
+  EXPECT_EQ(Tree.predict({2.0, 0.5}), 1);
+  EXPECT_LE(Tree.depth(), 3);
+}
+
+TEST(DecisionTree, FitsXorWithDepth) {
+  std::vector<std::vector<double>> X;
+  std::vector<int> Y;
+  RNG R(5);
+  for (int I = 0; I < 200; ++I) {
+    const double A = R.nextUniform(-1, 1), B = R.nextUniform(-1, 1);
+    X.push_back({A, B});
+    Y.push_back((A > 0) != (B > 0) ? 1 : 0);
+  }
+  DecisionTree Tree;
+  Tree.fit(X, Y, 2);
+  int Correct = 0;
+  for (size_t I = 0; I < X.size(); ++I)
+    Correct += Tree.predict(X[I]) == Y[I];
+  EXPECT_GT(Correct, 180); // Trees handle XOR with two levels.
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  std::vector<std::vector<double>> X;
+  std::vector<int> Y;
+  RNG R(7);
+  for (int I = 0; I < 300; ++I) {
+    X.push_back({R.nextUniform(-1, 1), R.nextUniform(-1, 1)});
+    Y.push_back(static_cast<int>(R.nextBounded(8))); // Pure noise.
+  }
+  DecisionTreeConfig Config;
+  Config.MaxDepth = 3;
+  DecisionTree Tree(Config);
+  Tree.fit(X, Y, 8);
+  EXPECT_LE(Tree.depth(), 4); // Root at depth 1.
+}
+
+TEST(DecisionTree, PureLeafStopsEarly) {
+  std::vector<std::vector<double>> X = {{0.0}, {1.0}, {2.0}, {3.0}};
+  std::vector<int> Y = {1, 1, 1, 1};
+  DecisionTree Tree;
+  Tree.fit(X, Y, 2);
+  EXPECT_EQ(Tree.numNodes(), 1u);
+  EXPECT_EQ(Tree.predict({5.0}), 1);
+}
+
+} // namespace

@@ -1,0 +1,208 @@
+//===- tests/SimTest.cpp - cost model, machine, compiler tests ------------===//
+
+#include "ir/Lowering.h"
+#include "lang/LoopExtractor.h"
+#include "lang/Parser.h"
+#include "sim/Compiler.h"
+#include "target/CostModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace nv;
+
+namespace {
+
+struct Loaded {
+  std::unique_ptr<Program> P;
+  std::vector<LoopSite> Sites;
+  LoopSummary Summary;
+};
+
+Loaded load(const std::string &Source) {
+  std::string Error;
+  std::optional<Program> Parsed = parseSource(Source, &Error);
+  EXPECT_TRUE(Parsed.has_value()) << Error;
+  Loaded L;
+  L.P = std::make_unique<Program>(std::move(*Parsed));
+  L.Sites = extractLoops(*L.P);
+  EXPECT_FALSE(L.Sites.empty());
+  L.Summary = lowerLoop(*L.P, L.Sites[0], 64);
+  return L;
+}
+
+const char *DotProduct =
+    "int vec[512]; int out; void f() { int sum = 0; for (int i = 0; i < "
+    "512; i++) { sum += vec[i] * vec[i]; } out = sum; }";
+
+TEST(CostModel, DotProductMatchesPaperBaseline) {
+  // Paper Fig 1: "The best VF and IF corresponding to the baseline cost
+  // model are (VF = 4, IF = 2)".
+  Loaded L = load(DotProduct);
+  BaselineCostModel Model{TargetInfo()};
+  VectorPlan Plan = Model.choose(L.Summary);
+  EXPECT_EQ(Plan.VF, 4);
+  EXPECT_EQ(Plan.IF, 2);
+}
+
+TEST(CostModel, LegacyWidthCapsVF) {
+  // Doubles: 128-bit thinking allows at most VF 2.
+  Loaded L = load("double a[256]; double b[256]; void f() { for (int i = "
+                  "0; i < 256; i++) { b[i] = a[i] + 1.0; } }");
+  BaselineCostModel Model{TargetInfo()};
+  EXPECT_LE(Model.choose(L.Summary).VF, 2);
+}
+
+TEST(CostModel, RefusesStridedLoops) {
+  // The legacy model scalarizes strided accesses -> stays scalar.
+  Loaded L = load("float a[64]; float b[128]; void f() { for (int i = 0; "
+                  "i < 64; i++) { a[i] = b[2 * i]; } }");
+  BaselineCostModel Model{TargetInfo()};
+  EXPECT_EQ(Model.choose(L.Summary).VF, 1);
+}
+
+TEST(CostModel, RefusesTinyTripCounts) {
+  Loaded L = load("float a[8]; void f() { for (int i = 0; i < 8; i++) { "
+                  "a[i] = 1.0; } }");
+  BaselineCostModel Model{TargetInfo()};
+  EXPECT_EQ(Model.choose(L.Summary).VF, 1);
+}
+
+TEST(CostModel, CostPerLaneDropsWithVF) {
+  Loaded L = load("float a[1024]; float b[1024]; void f() { for (int i = "
+                  "0; i < 1024; i++) { b[i] = a[i] * 2.0; } }");
+  BaselineCostModel Model{TargetInfo()};
+  EXPECT_LT(Model.costPerLane(L.Summary, 4),
+            Model.costPerLane(L.Summary, 1));
+}
+
+TEST(Machine, MoreLanesNeverSlowerOnCleanKernel) {
+  // On a simple contiguous kernel, VF 8 beats VF 1.
+  Loaded L = load("float a[4096]; float b[4096]; void f() { for (int i = "
+                  "0; i < 4096; i++) { b[i] = a[i] + 1.0; } }");
+  Machine M;
+  EXPECT_LT(M.loopCycles(L.Summary, 8, 2), M.loopCycles(L.Summary, 1, 1));
+}
+
+TEST(Machine, InterleavingHelpsReductions) {
+  // The accumulator chain limits IF=1; independent accumulators help.
+  Loaded L = load(DotProduct);
+  Machine M;
+  EXPECT_LT(M.loopCycles(L.Summary, 8, 4), M.loopCycles(L.Summary, 8, 1));
+}
+
+TEST(Machine, ExtremeFactorsSpill) {
+  // (64, 16) blows the register file on a reduction: worse than (16, 4).
+  Loaded L = load(DotProduct);
+  Machine M;
+  EXPECT_GT(M.loopCycles(L.Summary, 64, 16),
+            M.loopCycles(L.Summary, 16, 4));
+}
+
+TEST(Machine, GathersCostMoreThanContiguous) {
+  Loaded Contig =
+      load("float a[4096]; float b[4096]; void f() { for (int i = 0; i < "
+           "2048; i++) { b[i] = a[i]; } }");
+  Loaded Strided =
+      load("float a[8192]; float b[4096]; void f() { for (int i = 0; i < "
+           "2048; i++) { b[i] = a[4 * i]; } }");
+  Machine M;
+  EXPECT_GT(M.loopCycles(Strided.Summary, 16, 2),
+            M.loopCycles(Contig.Summary, 16, 2));
+}
+
+TEST(Machine, FootprintDrivesLineCost) {
+  Machine M;
+  EXPECT_LT(M.lineCost(16 * 1024), M.lineCost(256 * 1024));
+  EXPECT_LT(M.lineCost(256 * 1024), M.lineCost(64 * 1024 * 1024));
+}
+
+TEST(Machine, RemainderIterationsAccounted) {
+  // Trip 100 with chunk 64 leaves 36 scalar iterations.
+  Loaded L = load("float a[128]; void f() { for (int i = 0; i < 100; i++) "
+                  "{ a[i] = 1.0; } }");
+  Machine M;
+  LoopTiming T = M.timeLoop(L.Summary, 16, 4);
+  EXPECT_EQ(T.Chunks, 1);
+  EXPECT_EQ(T.RemainderIters, 36);
+  EXPECT_GT(T.RemainderCycles, 0.0);
+}
+
+TEST(Machine, ZeroTripLoopCostsOnlySetup) {
+  Loaded L = load("float a[8]; void f() { for (int i = 0; i < 0; i++) { "
+                  "a[i] = 1.0; } }");
+  Machine M;
+  EXPECT_LE(M.loopCycles(L.Summary, 8, 2), M.config().LoopSetupCycles + 1);
+}
+
+TEST(Compiler, PragmaHonoredWhenLegal) {
+  std::string Error;
+  std::optional<Program> P = parseSource(
+      "float a[256]; void f() { #pragma clang loop vectorize_width(16) "
+      "interleave_count(4)\n for (int i = 0; i < 256; i++) { a[i] = 1.0; "
+      "} }",
+      &Error);
+  ASSERT_TRUE(P.has_value()) << Error;
+  SimCompiler C;
+  CompileResult R = C.compileAndRun(*P);
+  ASSERT_EQ(R.Loops.size(), 1u);
+  EXPECT_TRUE(R.Loops[0].FromPragma);
+  EXPECT_EQ(R.Loops[0].Effective.VF, 16);
+  EXPECT_EQ(R.Loops[0].Effective.IF, 4);
+}
+
+TEST(Compiler, IllegalPragmaIsClamped) {
+  // Paper: "if the agent accidentally injected bad pragmas, the compiler
+  // will ignore it". Dependence distance 4 clamps VF 64 -> 4.
+  std::string Error;
+  std::optional<Program> P = parseSource(
+      "float a[260]; void f() { #pragma clang loop vectorize_width(64) "
+      "interleave_count(2)\n for (int i = 0; i < 256; i++) { a[i + 4] = "
+      "a[i]; } }",
+      &Error);
+  ASSERT_TRUE(P.has_value()) << Error;
+  SimCompiler C;
+  CompileResult R = C.compileAndRun(*P);
+  ASSERT_EQ(R.Loops.size(), 1u);
+  EXPECT_EQ(R.Loops[0].Requested.VF, 64);
+  EXPECT_EQ(R.Loops[0].Effective.VF, 4);
+}
+
+TEST(Compiler, CompileTimeGrowsWithFactors) {
+  Loaded L = load(DotProduct);
+  SimCompiler C;
+  EXPECT_GT(C.loopCompileCycles(L.Summary, {64, 16}),
+            C.loopCompileCycles(L.Summary, {4, 2}));
+}
+
+TEST(Compiler, PrecompiledMatchesFullPipeline) {
+  std::string Error;
+  std::optional<Program> P = parseSource(DotProduct, &Error);
+  ASSERT_TRUE(P.has_value()) << Error;
+  SimCompiler C;
+  SimCompiler::Precompiled Pre = C.precompile(*P);
+
+  std::vector<LoopSite> Sites = extractLoops(*P);
+  injectPragma(Sites[0], {16, 4});
+  CompileResult Full = C.compileAndRun(*P);
+
+  bool TimedOut = false;
+  const double Fast = C.runPrecompiled(Pre, {{16, 4}}, TimedOut);
+  EXPECT_DOUBLE_EQ(Fast, Full.ExecutionCycles);
+  EXPECT_EQ(TimedOut, Full.CompileTimedOut);
+}
+
+TEST(Compiler, BaselineIgnoresPragmas) {
+  std::string Error;
+  std::optional<Program> P = parseSource(
+      "float a[256]; void f() { #pragma clang loop vectorize_width(32) "
+      "interleave_count(8)\n for (int i = 0; i < 256; i++) { a[i] = 1.0; "
+      "} }",
+      &Error);
+  ASSERT_TRUE(P.has_value()) << Error;
+  SimCompiler C;
+  CompileResult R = C.compileBaseline(*P);
+  EXPECT_FALSE(R.Loops[0].FromPragma);
+  EXPECT_NE(R.Loops[0].Effective.VF, 32);
+}
+
+} // namespace

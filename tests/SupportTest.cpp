@@ -1,0 +1,173 @@
+//===- tests/SupportTest.cpp - support library tests ----------------------===//
+
+#include "support/RNG.h"
+#include "support/Stats.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+using namespace nv;
+
+namespace {
+
+TEST(RNG, DeterministicAcrossInstances) {
+  RNG A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNG, DifferentSeedsDiffer) {
+  RNG A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 2);
+}
+
+TEST(RNG, BoundedStaysInRange) {
+  RNG R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBounded(17), 17u);
+}
+
+TEST(RNG, IntRangeInclusive) {
+  RNG R(7);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 500; ++I) {
+    int64_t V = R.nextInt(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 7u); // All values hit.
+}
+
+TEST(RNG, DoubleInUnitInterval) {
+  RNG R(9);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RNG, GaussianMoments) {
+  RNG R(11);
+  RunningStats S;
+  for (int I = 0; I < 20000; ++I)
+    S.add(R.nextGaussian());
+  EXPECT_NEAR(S.mean(), 0.0, 0.05);
+  EXPECT_NEAR(S.stddev(), 1.0, 0.05);
+}
+
+TEST(RNG, SampleWeightedRespectsWeights) {
+  RNG R(13);
+  int Counts[3] = {0, 0, 0};
+  for (int I = 0; I < 9000; ++I)
+    ++Counts[R.sampleWeighted({1.0, 2.0, 6.0})];
+  EXPECT_LT(Counts[0], Counts[1]);
+  EXPECT_LT(Counts[1], Counts[2]);
+  EXPECT_NEAR(Counts[2] / 9000.0, 6.0 / 9.0, 0.05);
+}
+
+TEST(RNG, ShufflePreservesElements) {
+  RNG R(17);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+TEST(Stats, MeanStd) {
+  std::vector<double> V = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(V), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(V), 2.0);
+}
+
+TEST(Stats, Geomean) {
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, RunningMatchesBatch) {
+  RNG R(3);
+  std::vector<double> V;
+  RunningStats S;
+  for (int I = 0; I < 500; ++I) {
+    double X = R.nextUniform(-5, 11);
+    V.push_back(X);
+    S.add(X);
+  }
+  EXPECT_NEAR(S.mean(), mean(V), 1e-9);
+  EXPECT_NEAR(S.stddev(), stddev(V), 1e-9);
+  EXPECT_DOUBLE_EQ(S.min(), minOf(V));
+  EXPECT_DOUBLE_EQ(S.max(), maxOf(V));
+}
+
+TEST(Stats, EMAConverges) {
+  EMA E(0.5);
+  for (int I = 0; I < 40; ++I)
+    E.add(3.0);
+  EXPECT_NEAR(E.value(), 3.0, 1e-9);
+}
+
+TEST(StringUtils, SplitJoin) {
+  auto Parts = split("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(join(Parts, ","), "a,b,,c");
+}
+
+TEST(StringUtils, TrimAndPredicates) {
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_TRUE(startsWith("pragma clang", "pragma"));
+  EXPECT_FALSE(startsWith("pr", "pragma"));
+  EXPECT_TRUE(contains("hello world", "lo w"));
+}
+
+TEST(StringUtils, ReplaceAll) {
+  EXPECT_EQ(replaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replaceAll("xyx", "y", ""), "xx");
+}
+
+TEST(StringUtils, FNVIsStable) {
+  // Regression-pinned: vocabulary ids must never change across platforms.
+  EXPECT_EQ(fnv1a(""), 0xCBF29CE484222325ull);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+}
+
+TEST(Table, PrintsAlignedRows) {
+  Table T({"name", "value"});
+  T.addRow({"x", "1.00"});
+  T.addRow({"longer", "2.50"});
+  std::ostringstream OS;
+  T.print(OS);
+  const std::string Out = OS.str();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("longer"), std::string::npos);
+  EXPECT_NE(Out.find("----"), std::string::npos);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(1.234, 2), "1.23");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(Series, PrintsSampledPoints) {
+  Series S("test");
+  for (int I = 0; I < 100; ++I)
+    S.add(I, I * 2.0);
+  std::ostringstream OS;
+  S.print(OS, 5);
+  EXPECT_NE(OS.str().find("test"), std::string::npos);
+  // Last point always included.
+  EXPECT_NE(OS.str().find("198"), std::string::npos);
+}
+
+} // namespace
