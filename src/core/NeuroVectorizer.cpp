@@ -4,6 +4,7 @@
 
 #include "lang/Parser.h"
 #include "lang/PrettyPrinter.h"
+#include "serve/ModelSerializer.h"
 
 #include <cassert>
 
@@ -63,6 +64,9 @@ VectorPlan NeuroVectorizer::classToPlan(int Class) const {
 }
 
 void NeuroVectorizer::fitSupervised(size_t MaxSamples) {
+  // Refitting replaces the index wholesale: stale entries would mix
+  // embeddings from different weight sets (e.g. after load()).
+  NNS.clear();
   // Label with brute force (the paper runs the expensive search on a
   // portion of the dataset to obtain supervised labels, §2.3).
   std::vector<std::vector<double>> X;
@@ -173,4 +177,39 @@ double NeuroVectorizer::speedupOverBaseline(const std::string &Source,
   const double Base = cyclesFor(Source, PredictMethod::Baseline);
   const double Mine = cyclesFor(Source, Method);
   return Base / Mine;
+}
+
+bool NeuroVectorizer::save(const std::string &Path, std::string *Error) {
+  return ModelSerializer::save(Path, *Embedder, *Pol, Error);
+}
+
+bool NeuroVectorizer::load(const std::string &Path, std::string *Error) {
+  if (!ModelSerializer::load(Path, *Embedder, *Pol, Error))
+    return false;
+  // The plan cache and the supervised predictors were derived from the old
+  // weights. The NNS index is cleared eagerly (not just flagged) so stale
+  // entries cannot survive into a release build where the
+  // SupervisedReady asserts compile out.
+  if (Service)
+    Service->clearCache();
+  NNS.clear();
+  SupervisedReady = false;
+  return true;
+}
+
+AnnotationService &NeuroVectorizer::service(const ServeConfig &Serve) {
+  Service = std::make_unique<AnnotationService>(
+      *Embedder, *Pol, Config.Embedding.Paths, Config.Target, Serve);
+  return *Service;
+}
+
+AnnotationService &NeuroVectorizer::service() {
+  if (!Service)
+    return service(ServeConfig());
+  return *Service;
+}
+
+std::vector<AnnotationResult> NeuroVectorizer::annotateBatch(
+    const std::vector<AnnotationRequest> &Requests) {
+  return service().annotateBatch(Requests);
 }

@@ -31,6 +31,7 @@
 #include "predictors/Search.h"
 #include "rl/PPO.h"
 #include "rl/Policy.h"
+#include "serve/AnnotationService.h"
 
 #include <memory>
 #include <string>
@@ -95,6 +96,31 @@ public:
   double speedupOverBaseline(const std::string &Source,
                              PredictMethod Method = PredictMethod::RL);
 
+  /// Persists the trained model (embedding generator + policy) to \p Path
+  /// (see serve/ModelSerializer.h for the format). Returns false and sets
+  /// \p Error on failure.
+  bool save(const std::string &Path, std::string *Error = nullptr);
+
+  /// Restores a model previously written by save() into this instance.
+  /// The instance must have been constructed with the same configuration
+  /// (architecture shapes are validated). All-or-nothing: on failure the
+  /// current weights are untouched. Invalidates the serving plan cache and
+  /// any fitted supervised predictors.
+  bool load(const std::string &Path, std::string *Error = nullptr);
+
+  /// The batched, multi-threaded serving front-end over this instance's
+  /// model (created on first use with default ServeConfig).
+  AnnotationService &service();
+
+  /// Rebuilds the serving front-end with \p Serve (pool size, cache size).
+  AnnotationService &service(const ServeConfig &Serve);
+
+  /// Annotates many programs at once through service(); results are
+  /// parallel to \p Requests. Equivalent to annotate() per program but
+  /// cached, batched, and multi-threaded.
+  std::vector<AnnotationResult>
+  annotateBatch(const std::vector<AnnotationRequest> &Requests);
+
   VectorizationEnv &env() { return *Env; }
   Code2Vec &embedder() { return *Embedder; }
   Policy &policy() { return *Pol; }
@@ -115,6 +141,7 @@ private:
   NearestNeighborPredictor NNS{3};
   DecisionTree Tree;
   bool SupervisedReady = false;
+  std::unique_ptr<AnnotationService> Service;
 };
 
 } // namespace nv

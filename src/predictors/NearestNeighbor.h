@@ -30,6 +30,10 @@ public:
   /// Adds one labeled example.
   void add(std::vector<double> Embedding, VectorPlan Label);
 
+  /// Drops every example (e.g. when the embedding that produced them is
+  /// replaced by NeuroVectorizer::load()).
+  void clear() { Examples.clear(); }
+
   size_t size() const { return Examples.size(); }
 
   /// Majority label among the K nearest examples (L2 distance); ties

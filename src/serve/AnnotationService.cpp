@@ -1,0 +1,226 @@
+//===- serve/AnnotationService.cpp - Batched annotation serving ------------===//
+
+#include "serve/AnnotationService.h"
+
+#include "lang/LoopExtractor.h"
+#include "lang/Parser.h"
+#include "lang/PrettyPrinter.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace nv;
+
+bool PlanCache::lookup(uint64_t Key, VectorPlan &Out) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Index.find(Key);
+  if (It == Index.end())
+    return false;
+  Order.splice(Order.begin(), Order, It->second);
+  Out = It->second->second;
+  return true;
+}
+
+void PlanCache::insert(uint64_t Key, VectorPlan Plan) {
+  if (Capacity == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    It->second->second = Plan;
+    Order.splice(Order.begin(), Order, It->second);
+    return;
+  }
+  Order.emplace_front(Key, Plan);
+  Index[Key] = Order.begin();
+  while (Order.size() > Capacity) {
+    Index.erase(Order.back().first);
+    Order.pop_back();
+  }
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Order.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Order.clear();
+  Index.clear();
+}
+
+uint64_t nv::contextBagKey(const std::vector<PathContext> &Contexts) {
+  uint64_t Hash = 0xCBF29CE484222325ull;
+  auto Mix = [&Hash](uint64_t Value) {
+    // FNV-1a a byte at a time over the 32-bit id.
+    for (int Shift = 0; Shift < 32; Shift += 8) {
+      Hash ^= (Value >> Shift) & 0xFF;
+      Hash *= 0x100000001B3ull;
+    }
+  };
+  for (const PathContext &Ctx : Contexts) {
+    Mix(static_cast<uint32_t>(Ctx.SrcToken));
+    Mix(static_cast<uint32_t>(Ctx.Path));
+    Mix(static_cast<uint32_t>(Ctx.DstToken));
+  }
+  return Hash;
+}
+
+AnnotationService::AnnotationService(Code2Vec &Embedder, Policy &Pol,
+                                     const PathContextConfig &Paths,
+                                     const TargetInfo &TI,
+                                     const ServeConfig &Config)
+    : Embedder(Embedder), Pol(Pol), Paths(Paths), TI(TI),
+      Pool(Config.Threads), Cache(Config.CacheCapacity) {}
+
+AnnotationResult AnnotationService::annotateOne(const std::string &Name,
+                                                const std::string &Source) {
+  return annotateBatch({{Name, Source}}).front();
+}
+
+namespace {
+
+/// Per-request working state threaded through the three phases.
+struct WorkItem {
+  std::unique_ptr<Program> Prog;
+  std::vector<LoopSite> Sites;
+  std::vector<std::vector<PathContext>> Contexts; ///< Per site.
+  std::vector<uint64_t> Keys;                     ///< Per site.
+};
+
+uint64_t microsSince(std::chrono::steady_clock::time_point Start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+}
+
+} // namespace
+
+std::vector<AnnotationResult> AnnotationService::annotateBatch(
+    const std::vector<AnnotationRequest> &Requests) {
+  const auto BatchStart = std::chrono::steady_clock::now();
+  const size_t N = Requests.size();
+  std::vector<AnnotationResult> Results(N);
+  std::vector<WorkItem> Items(N);
+
+  // --- Phase 1: parse + extract, in parallel ------------------------------
+  const auto ExtractStart = std::chrono::steady_clock::now();
+  Pool.parallelFor(0, N, [&](size_t I) {
+    const AnnotationRequest &Req = Requests[I];
+    AnnotationResult &Res = Results[I];
+    Res.Name = Req.Name;
+    std::string ParseError;
+    std::optional<Program> Parsed = parseSource(Req.Source, &ParseError);
+    if (!Parsed) {
+      Res.Error = "parse error: " + ParseError;
+      return;
+    }
+    WorkItem &Item = Items[I];
+    Item.Prog = std::make_unique<Program>(std::move(*Parsed));
+    clearAllPragmas(*Item.Prog);
+    Item.Sites = extractLoops(*Item.Prog);
+    if (Item.Sites.empty()) {
+      Item.Prog.reset();
+      Res.Error = "no vectorizable loops";
+      return;
+    }
+    for (const LoopSite &Site : Item.Sites) {
+      Item.Contexts.push_back(extractPathContexts(*Site.Outer, Paths));
+      Item.Keys.push_back(contextBagKey(Item.Contexts.back()));
+    }
+  });
+  Stats.ExtractMicros += microsSince(ExtractStart);
+
+  // --- Phase 2: cache lookups + one batched forward -----------------------
+  const auto InferStart = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> Lock(ModelMutex);
+
+    // Gather the sites the cache cannot answer, deduplicating identical
+    // loops within the batch so each distinct key is embedded once.
+    struct PendingSite {
+      size_t Request;
+      size_t Site;
+      size_t BatchRow; ///< Row in the miss batch.
+    };
+    std::vector<PendingSite> Pending;
+    std::vector<std::vector<PathContext>> MissContexts;
+    std::unordered_map<uint64_t, size_t> RowByKey;
+
+    for (size_t I = 0; I < N; ++I) {
+      WorkItem &Item = Items[I];
+      if (!Item.Prog)
+        continue;
+      Results[I].Plans.assign(Item.Sites.size(), VectorPlan{});
+      for (size_t S = 0; S < Item.Sites.size(); ++S) {
+        VectorPlan Hit;
+        if (Cache.lookup(Item.Keys[S], Hit)) {
+          Results[I].Plans[S] = Hit;
+          ++Results[I].CachedSites;
+          ++Stats.CacheHits;
+          continue;
+        }
+        auto [It, Inserted] =
+            RowByKey.try_emplace(Item.Keys[S], MissContexts.size());
+        if (Inserted) {
+          MissContexts.push_back(Item.Contexts[S]);
+          ++Stats.CacheMisses;
+        } else {
+          ++Stats.DedupHits; // Same loop earlier in this batch.
+        }
+        Pending.push_back({I, S, It->second});
+      }
+    }
+
+    if (!MissContexts.empty()) {
+      // The whole miss set goes through the embedder and the FCNN as one
+      // (rows x dim) batch — the single matrix-matrix multiply this
+      // subsystem exists for.
+      Matrix States = Embedder.encodeBatch(MissContexts);
+      Pol.forward(States);
+      ++Stats.ForwardPasses;
+      Stats.LoopsPerForward += MissContexts.size();
+
+      std::vector<VectorPlan> RowPlans(MissContexts.size());
+      for (size_t Row = 0; Row < MissContexts.size(); ++Row)
+        RowPlans[Row] =
+            Pol.toPlan(Pol.greedyAction(static_cast<int>(Row)), TI);
+
+      for (const PendingSite &P : Pending)
+        Results[P.Request].Plans[P.Site] = RowPlans[P.BatchRow];
+      for (const auto &[Key, Row] : RowByKey)
+        Cache.insert(Key, RowPlans[Row]);
+    }
+  }
+  Stats.InferMicros += microsSince(InferStart);
+
+  // --- Phase 3: inject pragmas + re-print, in parallel --------------------
+  const auto RenderStart = std::chrono::steady_clock::now();
+  Pool.parallelFor(0, N, [&](size_t I) {
+    WorkItem &Item = Items[I];
+    if (!Item.Prog)
+      return;
+    AnnotationResult &Res = Results[I];
+    for (size_t S = 0; S < Item.Sites.size(); ++S)
+      injectPragma(Item.Sites[S],
+                   {Res.Plans[S].VF, Res.Plans[S].IF});
+    Res.Annotated = printProgram(*Item.Prog);
+    Res.Ok = true;
+  });
+  Stats.RenderMicros += microsSince(RenderStart);
+
+  // --- Bookkeeping ---------------------------------------------------------
+  ++Stats.BatchesServed;
+  for (const AnnotationResult &Res : Results) {
+    if (Res.Ok) {
+      ++Stats.ProgramsServed;
+      Stats.LoopsServed += Res.Plans.size();
+    } else {
+      ++Stats.ProgramsRejected;
+    }
+  }
+  Stats.TotalMicros += microsSince(BatchStart);
+  return Results;
+}

@@ -1,0 +1,143 @@
+//===- serve/AnnotationService.h - Batched annotation serving ---*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The high-throughput inference front-end over a trained model. Where
+/// NeuroVectorizer::annotate handles one program on one thread, this
+/// service takes a whole batch and pipelines it in three phases:
+///
+///   1. extract  (parallel)  parse, strip pragmas, extract loop sites and
+///                           their path contexts; hash each site's
+///                           canonical context bag into a cache key.
+///   2. infer    (serial)    answer sites from the LRU plan cache where
+///                           possible; deduplicate the remaining sites by
+///                           key and run ONE Code2Vec::encodeBatch and ONE
+///                           Policy::forward over all of them — the FCNN
+///                           trunk becomes a single matrix-matrix multiply
+///                           instead of per-loop vector products.
+///   3. render   (parallel)  inject the chosen pragmas and re-print each
+///                           program.
+///
+/// Results are deterministic: phase 2 walks sites in request order, the
+/// policy is evaluated greedily, and phases 1/3 are pure per-item work —
+/// so the pool size never changes the output, only the wall clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SERVE_ANNOTATIONSERVICE_H
+#define NV_SERVE_ANNOTATIONSERVICE_H
+
+#include "embedding/Code2Vec.h"
+#include "rl/Policy.h"
+#include "serve/ServeStats.h"
+#include "serve/ThreadPool.h"
+#include "target/TargetInfo.h"
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace nv {
+
+/// Service tuning knobs.
+struct ServeConfig {
+  int Threads = 4;            ///< Worker pool size.
+  size_t CacheCapacity = 4096; ///< LRU plan-cache entries (0 disables).
+};
+
+/// One program to annotate.
+struct AnnotationRequest {
+  std::string Name;
+  std::string Source;
+};
+
+/// One annotated program (or a rejection).
+struct AnnotationResult {
+  std::string Name;
+  bool Ok = false;
+  std::string Error;    ///< Parse error / "no loops" when !Ok.
+  std::string Annotated; ///< Source with pragmas injected.
+  std::vector<VectorPlan> Plans; ///< One per vectorization site.
+  int CachedSites = 0;  ///< Sites answered from the plan cache.
+};
+
+/// LRU cache mapping a context-bag hash to the plan the policy chose for
+/// it. Identical loops (after canonicalization into path contexts) are the
+/// common case in generated and templated code, so batches full of
+/// near-duplicates skip the network entirely.
+class PlanCache {
+public:
+  explicit PlanCache(size_t Capacity) : Capacity(Capacity) {}
+
+  /// Returns true and sets \p Out on a hit (refreshing recency).
+  bool lookup(uint64_t Key, VectorPlan &Out);
+
+  /// Inserts (or refreshes) \p Key, evicting the least recently used entry
+  /// beyond capacity.
+  void insert(uint64_t Key, VectorPlan Plan);
+
+  size_t size() const;
+  void clear();
+
+private:
+  using Entry = std::pair<uint64_t, VectorPlan>;
+
+  size_t Capacity;
+  mutable std::mutex Mutex;
+  std::list<Entry> Order; ///< Front = most recently used.
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> Index;
+};
+
+/// Stable 64-bit key for a canonical path-context bag (FNV-1a over the
+/// vocabulary ids in extraction order).
+uint64_t contextBagKey(const std::vector<PathContext> &Contexts);
+
+/// The batched, multi-threaded annotation engine.
+class AnnotationService {
+public:
+  /// The service borrows \p Embedder and \p Pol (the trained model); they
+  /// must outlive it. \p Paths must match the configuration the embedder
+  /// was trained with, and \p TI supplies the action arrays for decoding.
+  AnnotationService(Code2Vec &Embedder, Policy &Pol,
+                    const PathContextConfig &Paths, const TargetInfo &TI,
+                    const ServeConfig &Config = ServeConfig());
+
+  /// Annotates every request; the result vector is parallel to
+  /// \p Requests. Thread-safe: concurrent callers share the model under an
+  /// internal lock and the cache under its own.
+  std::vector<AnnotationResult>
+  annotateBatch(const std::vector<AnnotationRequest> &Requests);
+
+  /// Convenience single-program entry point (still goes through the cache).
+  AnnotationResult annotateOne(const std::string &Name,
+                               const std::string &Source);
+
+  const ServeStats &stats() const { return Stats; }
+  void resetStats() { Stats.reset(); }
+
+  size_t cacheSize() const { return Cache.size(); }
+  void clearCache() { Cache.clear(); }
+
+  int threads() const { return Pool.size(); }
+
+private:
+  Code2Vec &Embedder;
+  Policy &Pol;
+  PathContextConfig Paths;
+  TargetInfo TI;
+
+  ThreadPool Pool;
+  PlanCache Cache;
+  ServeStats Stats;
+  std::mutex ModelMutex; ///< Serializes phase-2 use of the shared model.
+};
+
+} // namespace nv
+
+#endif // NV_SERVE_ANNOTATIONSERVICE_H

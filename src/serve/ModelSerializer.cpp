@@ -1,0 +1,176 @@
+//===- serve/ModelSerializer.cpp - Versioned model save/load ---------------===//
+
+#include "serve/ModelSerializer.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+using namespace nv;
+
+namespace {
+
+void setError(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+}
+
+void appendBytes(std::vector<char> &Buffer, const void *Data, size_t Size) {
+  const char *Bytes = static_cast<const char *>(Data);
+  Buffer.insert(Buffer.end(), Bytes, Bytes + Size);
+}
+
+template <typename T> void appendValue(std::vector<char> &Buffer, T Value) {
+  appendBytes(Buffer, &Value, sizeof(T));
+}
+
+template <typename T>
+bool readValue(const std::vector<char> &Buffer, size_t &Offset, T &Out) {
+  if (Offset + sizeof(T) > Buffer.size())
+    return false;
+  std::memcpy(&Out, Buffer.data() + Offset, sizeof(T));
+  Offset += sizeof(T);
+  return true;
+}
+
+/// Every learnable parameter of the pair, in a fixed order.
+std::vector<Param *> allParams(Code2Vec &Embedder, Policy &Pol) {
+  std::vector<Param *> Params = Embedder.params();
+  for (Param *P : Pol.params())
+    Params.push_back(P);
+  return Params;
+}
+
+} // namespace
+
+uint64_t ModelSerializer::checksum(const void *Data, size_t Size) {
+  const unsigned char *Bytes = static_cast<const unsigned char *>(Data);
+  uint64_t Hash = 0xCBF29CE484222325ull;
+  for (size_t I = 0; I < Size; ++I) {
+    Hash ^= Bytes[I];
+    Hash *= 0x100000001B3ull;
+  }
+  return Hash;
+}
+
+bool ModelSerializer::save(const std::string &Path, Code2Vec &Embedder,
+                           Policy &Pol, std::string *Error) {
+  std::vector<Param *> Params = allParams(Embedder, Pol);
+
+  std::vector<char> Buffer;
+  appendValue(Buffer, Magic);
+  appendValue(Buffer, FormatVersion);
+  appendValue(Buffer, static_cast<uint32_t>(Params.size()));
+  for (Param *P : Params) {
+    appendValue(Buffer, static_cast<uint32_t>(P->Value.rows()));
+    appendValue(Buffer, static_cast<uint32_t>(P->Value.cols()));
+    appendBytes(Buffer, P->Value.raw().data(),
+                P->Value.raw().size() * sizeof(double));
+  }
+  appendValue(Buffer, checksum(Buffer.data(), Buffer.size()));
+
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out) {
+    setError(Error, "cannot open '" + Path + "' for writing");
+    return false;
+  }
+  Out.write(Buffer.data(), static_cast<std::streamsize>(Buffer.size()));
+  Out.flush();
+  if (!Out) {
+    setError(Error, "short write to '" + Path + "'");
+    return false;
+  }
+  return true;
+}
+
+bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
+                           Policy &Pol, std::string *Error) {
+  std::ifstream In(Path, std::ios::binary | std::ios::ate);
+  if (!In) {
+    setError(Error, "cannot open '" + Path + "'");
+    return false;
+  }
+  const std::streamsize Size = In.tellg();
+  In.seekg(0);
+  std::vector<char> Buffer(static_cast<size_t>(Size));
+  if (!In.read(Buffer.data(), Size)) {
+    setError(Error, "short read from '" + Path + "'");
+    return false;
+  }
+
+  // Validate the envelope before looking inside.
+  if (Buffer.size() < 3 * sizeof(uint32_t) + sizeof(uint64_t)) {
+    setError(Error, "file too small to be a model");
+    return false;
+  }
+  const size_t PayloadSize = Buffer.size() - sizeof(uint64_t);
+  uint64_t StoredSum = 0;
+  std::memcpy(&StoredSum, Buffer.data() + PayloadSize, sizeof(uint64_t));
+  if (StoredSum != checksum(Buffer.data(), PayloadSize)) {
+    setError(Error, "checksum mismatch: file is corrupt or truncated");
+    return false;
+  }
+
+  size_t Offset = 0;
+  uint32_t FileMagic = 0, Version = 0, Count = 0;
+  readValue(Buffer, Offset, FileMagic);
+  readValue(Buffer, Offset, Version);
+  readValue(Buffer, Offset, Count);
+  if (FileMagic != Magic) {
+    setError(Error, "bad magic: not a NeuroVectorizer model file");
+    return false;
+  }
+  if (Version != FormatVersion) {
+    setError(Error, "unsupported format version " + std::to_string(Version));
+    return false;
+  }
+
+  std::vector<Param *> Params = allParams(Embedder, Pol);
+  if (Count != Params.size()) {
+    setError(Error, "model has " + std::to_string(Count) +
+                        " parameters, expected " +
+                        std::to_string(Params.size()) +
+                        " (architecture mismatch)");
+    return false;
+  }
+
+  // Two passes: validate every shape first so a mismatch midway cannot
+  // leave the destination half-overwritten.
+  std::vector<size_t> Offsets(Params.size());
+  for (size_t I = 0; I < Params.size(); ++I) {
+    uint32_t Rows = 0, Cols = 0;
+    if (!readValue(Buffer, Offset, Rows) ||
+        !readValue(Buffer, Offset, Cols)) {
+      setError(Error, "unexpected end of file in parameter header");
+      return false;
+    }
+    const Matrix &Dest = Params[I]->Value;
+    if (Rows != static_cast<uint32_t>(Dest.rows()) ||
+        Cols != static_cast<uint32_t>(Dest.cols())) {
+      setError(Error, "parameter " + std::to_string(I) + " is " +
+                          std::to_string(Rows) + "x" + std::to_string(Cols) +
+                          ", expected " + std::to_string(Dest.rows()) + "x" +
+                          std::to_string(Dest.cols()) +
+                          " (architecture mismatch)");
+      return false;
+    }
+    const size_t Bytes = static_cast<size_t>(Rows) * Cols * sizeof(double);
+    if (Offset + Bytes > PayloadSize) {
+      setError(Error, "unexpected end of file in parameter data");
+      return false;
+    }
+    Offsets[I] = Offset;
+    Offset += Bytes;
+  }
+  if (Offset != PayloadSize) {
+    setError(Error, "trailing bytes after last parameter");
+    return false;
+  }
+
+  for (size_t I = 0; I < Params.size(); ++I) {
+    std::vector<double> &Dest = Params[I]->Value.raw();
+    std::memcpy(Dest.data(), Buffer.data() + Offsets[I],
+                Dest.size() * sizeof(double));
+  }
+  return true;
+}

@@ -1,0 +1,62 @@
+//===- serve/ModelSerializer.h - Versioned model save/load ------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary persistence for a trained model: the Code2Vec embedding
+/// generator (token/path tables, attention) and the PPO Policy (trunk,
+/// heads). The paper trains once and deploys the frozen policy for
+/// inference on unseen programs; this file is that deployment artifact.
+///
+/// Format (little-endian, doubles written raw so a round trip is bitwise
+/// exact):
+///
+///   u32 magic 'NVMF'   u32 version
+///   u32 paramCount
+///   per param:  u32 rows, u32 cols, rows*cols f64 values
+///   u64 FNV-1a checksum over everything before it
+///
+/// Loading validates magic, version, per-parameter shapes against the
+/// *destination* model (so a file trained with one architecture cannot be
+/// loaded into another), byte counts, and the checksum — truncated or
+/// bit-flipped files are rejected without touching the destination.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SERVE_MODELSERIALIZER_H
+#define NV_SERVE_MODELSERIALIZER_H
+
+#include "embedding/Code2Vec.h"
+#include "rl/Policy.h"
+
+#include <cstdint>
+#include <string>
+
+namespace nv {
+
+/// Save/load for the (embedder, policy) pair.
+class ModelSerializer {
+public:
+  static constexpr uint32_t Magic = 0x4E564D46;  ///< 'NVMF'.
+  static constexpr uint32_t FormatVersion = 1;
+
+  /// Writes \p Embedder and \p Pol to \p Path. Returns false (and sets
+  /// \p Error) on I/O failure.
+  static bool save(const std::string &Path, Code2Vec &Embedder, Policy &Pol,
+                   std::string *Error = nullptr);
+
+  /// Reads \p Path into \p Embedder and \p Pol. All-or-nothing: on any
+  /// validation failure the destination parameters are left untouched and
+  /// \p Error describes the problem.
+  static bool load(const std::string &Path, Code2Vec &Embedder, Policy &Pol,
+                   std::string *Error = nullptr);
+
+  /// FNV-1a 64-bit over \p Size bytes (exposed for tests).
+  static uint64_t checksum(const void *Data, size_t Size);
+};
+
+} // namespace nv
+
+#endif // NV_SERVE_MODELSERIALIZER_H

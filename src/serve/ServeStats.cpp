@@ -1,0 +1,67 @@
+//===- serve/ServeStats.cpp - Serving throughput/latency counters ----------===//
+
+#include "serve/ServeStats.h"
+
+#include <ostream>
+
+using namespace nv;
+
+double ServeStats::hitRate() const {
+  const uint64_t Hits = CacheHits.load() + DedupHits.load();
+  const uint64_t Total = Hits + CacheMisses.load();
+  return Total == 0 ? 0.0 : static_cast<double>(Hits) / Total;
+}
+
+double ServeStats::throughput() const {
+  const uint64_t Micros = TotalMicros.load();
+  if (Micros == 0)
+    return 0.0;
+  return static_cast<double>(ProgramsServed.load()) * 1e6 / Micros;
+}
+
+void ServeStats::reset() {
+  BatchesServed = 0;
+  ProgramsServed = 0;
+  ProgramsRejected = 0;
+  LoopsServed = 0;
+  CacheHits = 0;
+  DedupHits = 0;
+  CacheMisses = 0;
+  ForwardPasses = 0;
+  LoopsPerForward = 0;
+  ExtractMicros = 0;
+  InferMicros = 0;
+  RenderMicros = 0;
+  TotalMicros = 0;
+}
+
+Table ServeStats::toTable() const {
+  Table T({"metric", "value"});
+  auto AddCount = [&T](const char *Name, uint64_t Value) {
+    T.addRow({Name, std::to_string(Value)});
+  };
+  AddCount("batches", BatchesServed.load());
+  AddCount("programs served", ProgramsServed.load());
+  AddCount("programs rejected", ProgramsRejected.load());
+  AddCount("loops served", LoopsServed.load());
+  AddCount("cache hits", CacheHits.load());
+  AddCount("dedup hits", DedupHits.load());
+  AddCount("cache misses", CacheMisses.load());
+  T.addRow({"cache hit rate", Table::fmt(hitRate(), 3)});
+  AddCount("forward passes", ForwardPasses.load());
+  const uint64_t Passes = ForwardPasses.load();
+  T.addRow({"loops per forward",
+            Table::fmt(Passes == 0 ? 0.0
+                                   : static_cast<double>(
+                                         LoopsPerForward.load()) /
+                                         Passes,
+                       1)});
+  T.addRow({"extract ms", Table::fmt(ExtractMicros.load() / 1e3)});
+  T.addRow({"infer ms", Table::fmt(InferMicros.load() / 1e3)});
+  T.addRow({"render ms", Table::fmt(RenderMicros.load() / 1e3)});
+  T.addRow({"total ms", Table::fmt(TotalMicros.load() / 1e3)});
+  T.addRow({"programs/s", Table::fmt(throughput(), 0)});
+  return T;
+}
+
+void ServeStats::print(std::ostream &OS) const { toTable().print(OS); }

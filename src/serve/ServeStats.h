@@ -1,0 +1,65 @@
+//===- serve/ServeStats.h - Serving throughput/latency counters -*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operational counters for the annotation service: programs and loops
+/// served, plan-cache hits/misses, batched forward passes, and wall time
+/// split across the pipeline phases. All counters are atomic so worker
+/// threads update them without coordination; rendering goes through
+/// support/Table so service reports look like every other harness table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SERVE_SERVESTATS_H
+#define NV_SERVE_SERVESTATS_H
+
+#include "support/Table.h"
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+
+namespace nv {
+
+/// Counters accumulated across annotateBatch() calls.
+class ServeStats {
+public:
+  std::atomic<uint64_t> BatchesServed{0};
+  std::atomic<uint64_t> ProgramsServed{0}; ///< Successfully annotated.
+  std::atomic<uint64_t> ProgramsRejected{0}; ///< Parse failures / no loops.
+  std::atomic<uint64_t> LoopsServed{0};
+  std::atomic<uint64_t> CacheHits{0};
+  std::atomic<uint64_t> DedupHits{0}; ///< Served by intra-batch dedup.
+  std::atomic<uint64_t> CacheMisses{0}; ///< Distinct loops sent to the net.
+  std::atomic<uint64_t> ForwardPasses{0}; ///< Batched policy forwards run.
+  std::atomic<uint64_t> LoopsPerForward{0}; ///< Rows across all forwards.
+
+  /// Wall time (microseconds) per phase, summed over batches.
+  std::atomic<uint64_t> ExtractMicros{0}; ///< Parse + path contexts.
+  std::atomic<uint64_t> InferMicros{0};   ///< Embed + policy forward.
+  std::atomic<uint64_t> RenderMicros{0};  ///< Pragma injection + printing.
+  std::atomic<uint64_t> TotalMicros{0};   ///< End-to-end annotateBatch time.
+
+  /// Fraction of loop lookups answered without a fresh forward row
+  /// (LRU cache hits + intra-batch dedup hits).
+  double hitRate() const;
+
+  /// Programs per second over the accumulated total time (0 if no time).
+  double throughput() const;
+
+  /// Resets every counter to zero.
+  void reset();
+
+  /// Renders the counters as a two-column table.
+  Table toTable() const;
+
+  /// Prints toTable() to \p OS.
+  void print(std::ostream &OS) const;
+};
+
+} // namespace nv
+
+#endif // NV_SERVE_SERVESTATS_H

@@ -1,0 +1,76 @@
+//===- serve/ThreadPool.cpp - Worker pool for the serving layer ------------===//
+
+#include "serve/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+
+using namespace nv;
+
+ThreadPool::ThreadPool(int Threads) {
+  const int Count = std::max(1, Threads);
+  Workers.reserve(Count);
+  for (int I = 0; I < Count; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    ShuttingDown = true;
+  }
+  JobReady.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::run(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Jobs.push(std::move(Job));
+    ++InFlight;
+  }
+  JobReady.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(QueueMutex);
+  AllIdle.wait(Lock, [this] { return InFlight == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      JobReady.wait(Lock, [this] { return ShuttingDown || !Jobs.empty(); });
+      if (Jobs.empty())
+        return; // Shutting down and drained.
+      Job = std::move(Jobs.front());
+      Jobs.pop();
+    }
+    Job();
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      --InFlight;
+      if (InFlight == 0)
+        AllIdle.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(size_t Begin, size_t End,
+                             const std::function<void(size_t)> &Fn) {
+  if (Begin >= End)
+    return;
+  auto Next = std::make_shared<std::atomic<size_t>>(Begin);
+  const int Lanes =
+      static_cast<int>(std::min<size_t>(Workers.size(), End - Begin));
+  for (int L = 0; L < Lanes; ++L) {
+    run([Next, End, &Fn] {
+      for (size_t I = (*Next)++; I < End; I = (*Next)++)
+        Fn(I);
+    });
+  }
+  wait();
+}

@@ -1,0 +1,69 @@
+//===- serve/ThreadPool.h - Worker pool for the serving layer ---*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool used by the annotation service to parallelize
+/// the embarrassingly-parallel phases of batched inference (parsing, path-
+/// context extraction, pragma injection and re-printing). Deliberately
+/// small: a job queue for fire-and-forget work plus a work-stealing-free
+/// parallelFor that hands out indices through one atomic counter, which is
+/// all the service needs and keeps scheduling deterministic-cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SERVE_THREADPOOL_H
+#define NV_SERVE_THREADPOOL_H
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace nv {
+
+/// Fixed-size thread pool.
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers. Values < 1 are clamped to 1; a pool of
+  /// size 1 still runs jobs on the worker thread (uniform behaviour), so
+  /// callers never need a special single-threaded path.
+  explicit ThreadPool(int Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  int size() const { return static_cast<int>(Workers.size()); }
+
+  /// Enqueues \p Job for execution on some worker.
+  void run(std::function<void()> Job);
+
+  /// Blocks until every enqueued job has finished.
+  void wait();
+
+  /// Runs Fn(I) for every I in [Begin, End) across the pool and blocks
+  /// until all indices are done. Indices are claimed through an atomic
+  /// counter, so work distribution adapts to uneven item costs.
+  void parallelFor(size_t Begin, size_t End,
+                   const std::function<void(size_t)> &Fn);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Jobs;
+  std::mutex QueueMutex;
+  std::condition_variable JobReady;  ///< Signals workers.
+  std::condition_variable AllIdle;   ///< Signals wait().
+  size_t InFlight = 0;               ///< Queued + currently running jobs.
+  bool ShuttingDown = false;
+};
+
+} // namespace nv
+
+#endif // NV_SERVE_THREADPOOL_H

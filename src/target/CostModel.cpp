@@ -1,0 +1,114 @@
+//===- target/CostModel.cpp - Legacy baseline cost model -------------------===//
+
+#include "target/CostModel.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace nv;
+
+bool BaselineCostModel::profitableToVectorize(const LoopSummary &Loop) const {
+  if (Loop.HasUnknownCall || Loop.HasScalarCycle)
+    return false;
+  if (Loop.MaxSafeVF <= 1)
+    return false;
+  // Known-small trip counts are vetoed outright ("not beneficial").
+  if (Loop.CompileTrip >= 0 && Loop.CompileTrip < TI.MinProfitableTrip)
+    return false;
+  // The legacy model scalarizes non-unit-stride and indirect accesses,
+  // which makes the vector cost explode — it refuses such loops instead.
+  for (const MemAccess &Access : Loop.Accesses) {
+    if (!Access.IsAffine)
+      return false;
+    if (std::llabs(Access.InnerStride) > 1)
+      return false;
+  }
+  return true;
+}
+
+double BaselineCostModel::instCost(const VecInst &Inst,
+                                   const LoopSummary &Loop, int VF) const {
+  // Everything is priced in "legacy register parts": how many 128-bit
+  // operations the instruction expands to at this VF.
+  const int Bits = static_cast<int>(sizeOf(Inst.Ty)) * 8;
+  const double Parts =
+      VF == 1 ? 1.0
+              : std::max(1.0, static_cast<double>(Bits) * VF /
+                                  TI.LegacyVectorBits);
+
+  double Cost;
+  switch (Inst.Op) {
+  case VROp::Div:
+  case VROp::Rem:
+  case VROp::Sqrt:
+    Cost = 10.0 * Parts; // Long-latency units, linearly priced.
+    break;
+  case VROp::Load:
+  case VROp::Store: {
+    if (Inst.AccessIdx >= 0 &&
+        Inst.AccessIdx < static_cast<int>(Loop.Accesses.size())) {
+      const MemAccess &Access = Loop.Accesses[Inst.AccessIdx];
+      if (Access.IsAffine && Access.InnerStride == 0)
+        return 0.0; // Loop-invariant: hoisted to a register.
+      if (VF > 1 && (!Access.IsAffine || std::llabs(Access.InnerStride) > 1)) {
+        // Scalarized: one extract/insert plus one scalar access per lane.
+        return 2.0 * VF;
+      }
+    }
+    Cost = Parts;
+    break;
+  }
+  default:
+    Cost = Parts;
+    break;
+  }
+  // If-converted bodies pay for mask management on every predicated op.
+  if (Inst.Predicated && VF > 1)
+    Cost *= 1.5;
+  return Cost;
+}
+
+double BaselineCostModel::costPerLane(const LoopSummary &Loop, int VF) const {
+  VF = std::max(1, VF);
+  double Total = 0.0;
+  for (const VecInst &Inst : Loop.Body)
+    Total += instCost(Inst, Loop, VF);
+  // Loop control (index update + compare + branch), amortized over lanes
+  // like everything else.
+  Total += 1.0;
+  // Reductions pay a log2(VF) shuffle epilogue, amortized over the trip
+  // count the model assumes (it uses a fixed small divisor — it has no
+  // notion of the actual iteration count beyond the profitability veto).
+  if (Loop.Reduction.Kind != ReductionKind::None && VF > 1)
+    Total += std::log2(static_cast<double>(VF)) / 8.0;
+  return Total / VF;
+}
+
+VectorPlan BaselineCostModel::choose(const LoopSummary &Loop) const {
+  if (!profitableToVectorize(Loop))
+    return {1, 1};
+
+  // Width cap: the model thinks in LegacyVectorBits-wide registers and
+  // never picks a VF whose widest element type would exceed one register.
+  const int WidestBits = static_cast<int>(sizeOf(Loop.WidestType)) * 8;
+  const int WidthCap = std::max(1, TI.LegacyVectorBits / WidestBits);
+
+  int BestVF = 1;
+  double BestCost = costPerLane(Loop, 1);
+  for (int VF = 2; VF <= WidthCap && VF <= Loop.MaxSafeVF && VF <= TI.MaxVF;
+       VF *= 2) {
+    const double Cost = costPerLane(Loop, VF);
+    if (Cost < BestCost - 1e-12) {
+      BestVF = VF;
+      BestCost = Cost;
+    }
+  }
+  if (BestVF == 1)
+    return {1, 1};
+
+  // Interleaving: the stock heuristic only interleaves to break reduction
+  // dependence chains, and conservatively uses two accumulators.
+  const int IF =
+      Loop.Reduction.Kind != ReductionKind::None ? std::min(2, TI.MaxIF) : 1;
+  return {BestVF, IF};
+}

@@ -1,0 +1,55 @@
+//===- target/CostModel.h - Legacy baseline cost model ----------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stock compiler's vectorization cost model — the baseline the RL
+/// agent is measured against (Fig 1). It is deliberately the *class* of
+/// model the paper criticizes: linear per-instruction cost tables over the
+/// loop body, reasoning in legacy 128-bit registers, with hard
+/// profitability vetoes (strided or indirect accesses, tiny or unknown
+/// trip counts, calls). It never sees port pressure, dependence-chain
+/// latency, the cache hierarchy, or register spills — all of which the
+/// simulated machine (sim/Machine.h) does model, so a learned policy can
+/// beat these choices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_TARGET_COSTMODEL_H
+#define NV_TARGET_COSTMODEL_H
+
+#include "ir/VecIR.h"
+#include "target/TargetInfo.h"
+
+namespace nv {
+
+/// LLVM-like linear cost model choosing (VF, IF) for a lowered loop.
+class BaselineCostModel {
+public:
+  explicit BaselineCostModel(const TargetInfo &TI = TargetInfo()) : TI(TI) {}
+
+  /// Picks the (VF, IF) the stock compiler would use for \p Loop.
+  VectorPlan choose(const LoopSummary &Loop) const;
+
+  /// Modeled cost of one loop iteration divided by \p VF lanes — the
+  /// quantity the model minimizes over the legal VFs.
+  double costPerLane(const LoopSummary &Loop, int VF) const;
+
+  /// True if the legacy profitability vetoes allow vectorizing \p Loop at
+  /// all (no calls, no scalar recurrences, no strided/indirect accesses,
+  /// trip count known-large-enough or unknown-but-assumed-large).
+  bool profitableToVectorize(const LoopSummary &Loop) const;
+
+private:
+  /// Linear per-instruction cost at \p VF in legacy-width register parts.
+  double instCost(const VecInst &Inst, const LoopSummary &Loop,
+                  int VF) const;
+
+  TargetInfo TI;
+};
+
+} // namespace nv
+
+#endif // NV_TARGET_COSTMODEL_H

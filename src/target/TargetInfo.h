@@ -1,0 +1,125 @@
+//===- target/TargetInfo.h - Target and machine parameters ------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The target description shared by every layer: the (VF, IF) action space
+/// the agent chooses from (§3.3: powers of two up to MAX_VF/MAX_IF), the
+/// assumptions the legacy baseline cost model is allowed to make, and the
+/// parameters of the simulated machine (an AVX2-class Intel i7, the class
+/// of hardware the paper evaluates on).
+///
+/// The split mirrors the paper's central observation: the *cost model*
+/// reasons about a much simpler machine (128-bit SSE-era registers, linear
+/// per-instruction costs) than the *hardware* actually is — the gap between
+/// TargetInfo::LegacyVectorBits and MachineConfig::VectorBits is where the
+/// learned policy finds its speedups.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_TARGET_TARGETINFO_H
+#define NV_TARGET_TARGETINFO_H
+
+#include <vector>
+
+namespace nv {
+
+/// One vectorization decision: the factors named by
+/// `#pragma clang loop vectorize_width(VF) interleave_count(IF)`.
+struct VectorPlan {
+  int VF = 1; ///< vectorize_width
+  int IF = 1; ///< interleave_count
+};
+
+inline bool operator==(const VectorPlan &A, const VectorPlan &B) {
+  return A.VF == B.VF && A.IF == B.IF;
+}
+inline bool operator!=(const VectorPlan &A, const VectorPlan &B) {
+  return !(A == B);
+}
+
+/// The action space and the baseline model's assumptions.
+struct TargetInfo {
+  /// Largest vectorization factor in the action space (2^6, §3.3).
+  int MaxVF = 64;
+  /// Largest interleaving factor in the action space (2^4, §3.3).
+  int MaxIF = 16;
+
+  /// Register width (bits) the *legacy* baseline cost model reasons in.
+  /// Deliberately a generation behind the simulated hardware.
+  int LegacyVectorBits = 128;
+  /// Known trip counts below this are "not worth vectorizing" to the
+  /// baseline model.
+  long long MinProfitableTrip = 16;
+
+  /// The discrete VF actions: {1, 2, 4, ..., MaxVF}.
+  std::vector<int> vfActions() const {
+    std::vector<int> Actions;
+    for (int VF = 1; VF <= MaxVF; VF *= 2)
+      Actions.push_back(VF);
+    return Actions;
+  }
+
+  /// The discrete IF actions: {1, 2, 4, ..., MaxIF}.
+  std::vector<int> ifActions() const {
+    std::vector<int> Actions;
+    for (int IF = 1; IF <= MaxIF; IF *= 2)
+      Actions.push_back(IF);
+    return Actions;
+  }
+};
+
+/// Parameters of the simulated machine (sim/Machine.h). Defaults model an
+/// AVX2-class out-of-order core with a three-level memory hierarchy.
+struct MachineConfig {
+  // --- Issue resources (uops per cycle) -----------------------------------
+  double ScalarIssueWidth = 4.0; ///< Scalar pipes.
+  double VecIssueWidth = 2.0;    ///< Vector ALU pipes.
+  double LoadPorts = 2.0;
+  double StorePorts = 1.0;
+
+  /// Native SIMD register width in bits (AVX2). Wider requests split into
+  /// multiple native uops.
+  double VectorBits = 256.0;
+
+  /// Architectural vector registers; beyond this, values spill.
+  double NumVecRegs = 16.0;
+  /// Extra load+store uops per spilled register per chunk.
+  double SpillCostPerReg = 2.0;
+
+  // --- Operation latencies (cycles), for dependence chains ----------------
+  double IntAddLatency = 3.0; ///< Incl. accumulator forwarding in SIMD loops.
+  double IntMulLatency = 3.0;
+  double FloatAddLatency = 4.0;
+  double FloatMulLatency = 4.0;
+  double DivLatency = 20.0;
+  double SqrtLatency = 15.0;
+  double MinMaxLatency = 2.0;
+
+  // --- Memory hierarchy ----------------------------------------------------
+  long long L1Bytes = 32 * 1024;
+  long long L2Bytes = 1024 * 1024;
+  double CacheLineBytes = 64.0;
+  double L1LineCost = 2.0;         ///< Cycles per line, L1-resident footprint.
+  double L2LineCost = 8.0;         ///< ... L2-resident footprint.
+  double MemLineCost = 30.0;       ///< ... DRAM-resident footprint.
+  double PrefetchedLineCost = 4.0; ///< Constant-stride streams prefetch.
+  double MaxMLP = 10.0;            ///< Max overlapped outstanding misses.
+  double GatherPerElement = 0.7;   ///< Extra load-port uops per gathered lane.
+  double ScatterPerElement = 1.0;  ///< Extra store-port uops per scattered lane.
+
+  // --- Control flow ---------------------------------------------------------
+  double PredicateMissRate = 0.15; ///< Data-dependent branch miss rate.
+  double BranchMissPenalty = 14.0; ///< Cycles per miss (scalar loops only).
+  double MaskedOverhead = 0.3;     ///< Relative uop overhead of masked ops.
+
+  // --- Loop overheads -------------------------------------------------------
+  double LoopSetupCycles = 10.0;  ///< Per loop entry.
+  double LoopOverheadCycles = 1.0; ///< Per vector chunk (index update, branch).
+};
+
+} // namespace nv
+
+#endif // NV_TARGET_TARGETINFO_H

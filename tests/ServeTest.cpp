@@ -1,0 +1,289 @@
+//===- tests/ServeTest.cpp - serializer, cache, batched service tests ------===//
+
+#include "core/NeuroVectorizer.h"
+#include "dataset/LoopGenerator.h"
+#include "serve/ModelSerializer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+using namespace nv;
+
+namespace {
+
+const char *DotProduct =
+    "int vec[512]; int out; void f() { int sum = 0; for (int i = 0; i < "
+    "512; i++) { sum += vec[i] * vec[i]; } out = sum; }";
+
+/// Small, fast configuration (matches CoreTest's integration config).
+NeuroVectorizerConfig testConfig(uint64_t Seed = 1234) {
+  NeuroVectorizerConfig Config;
+  Config.PPO.BatchSize = 64;
+  Config.PPO.MiniBatchSize = 32;
+  Config.PPO.LearningRate = 3e-3;
+  Config.Embedding.CodeDim = 16;
+  Config.Embedding.TokenDim = 8;
+  Config.Embedding.PathDim = 8;
+  Config.Seed = Seed;
+  return Config;
+}
+
+/// A scratch model path that is removed on scope exit.
+struct TempModel {
+  std::string Path;
+  explicit TempModel(const std::string &Name)
+      : Path(::testing::TempDir() + Name) {}
+  ~TempModel() { std::remove(Path.c_str()); }
+};
+
+std::vector<AnnotationRequest> generatedRequests(int Count,
+                                                 uint64_t Seed = 99) {
+  LoopGenerator Gen(Seed);
+  std::vector<AnnotationRequest> Requests;
+  for (const GeneratedLoop &L : Gen.generateMany(Count))
+    Requests.push_back({L.Name, L.Source});
+  return Requests;
+}
+
+TEST(ModelSerializer, RoundTripIsBitwiseExact) {
+  TempModel File("serve_roundtrip.nvm");
+
+  NeuroVectorizer Trained(testConfig(/*Seed=*/1));
+  ASSERT_TRUE(Trained.addTrainingProgram("dot", DotProduct));
+  Trained.train(128);
+  ASSERT_TRUE(Trained.save(File.Path));
+
+  // A different seed guarantees the fresh instance starts from different
+  // weights, so equality after load() proves the file carried everything.
+  NeuroVectorizer Fresh(testConfig(/*Seed=*/2));
+  ASSERT_NE(Trained.annotate(DotProduct), Fresh.annotate(DotProduct));
+  std::string Error;
+  ASSERT_TRUE(Fresh.load(File.Path, &Error)) << Error;
+
+  std::vector<Param *> A = Trained.embedder().params();
+  std::vector<Param *> B = Fresh.embedder().params();
+  for (Param *P : Trained.policy().params())
+    A.push_back(P);
+  for (Param *P : Fresh.policy().params())
+    B.push_back(P);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(A[I]->Value.raw(), B[I]->Value.raw()) << "param " << I;
+
+  // Identical weights must mean identical annotations on unseen programs.
+  for (const AnnotationRequest &Req : generatedRequests(8))
+    EXPECT_EQ(Trained.annotate(Req.Source), Fresh.annotate(Req.Source));
+}
+
+TEST(ModelSerializer, RejectsTruncatedFile) {
+  TempModel File("serve_truncated.nvm");
+  NeuroVectorizer NV(testConfig());
+  ASSERT_TRUE(NV.save(File.Path));
+
+  std::ifstream In(File.Path, std::ios::binary);
+  std::string Bytes((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  In.close();
+  ASSERT_GT(Bytes.size(), 64u);
+
+  for (size_t Keep : {size_t(0), size_t(3), size_t(17), Bytes.size() / 2,
+                      Bytes.size() - 1}) {
+    std::ofstream Out(File.Path, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Keep));
+    Out.close();
+    std::string Error;
+    EXPECT_FALSE(NV.load(File.Path, &Error)) << "kept " << Keep;
+    EXPECT_FALSE(Error.empty());
+  }
+}
+
+TEST(ModelSerializer, RejectsBitFlipAndLeavesModelUntouched) {
+  TempModel File("serve_corrupt.nvm");
+  NeuroVectorizer NV(testConfig());
+  ASSERT_TRUE(NV.addTrainingProgram("dot", DotProduct));
+  NV.train(64);
+  const std::string Before = NV.annotate(DotProduct);
+  ASSERT_TRUE(NV.save(File.Path));
+
+  std::fstream F(File.Path,
+                 std::ios::binary | std::ios::in | std::ios::out);
+  F.seekp(128);
+  char Byte = 0;
+  F.seekg(128);
+  F.read(&Byte, 1);
+  Byte ^= 0x40;
+  F.seekp(128);
+  F.write(&Byte, 1);
+  F.close();
+
+  std::string Error;
+  EXPECT_FALSE(NV.load(File.Path, &Error));
+  EXPECT_NE(Error.find("checksum"), std::string::npos) << Error;
+  // Failed loads must not clobber the live model.
+  EXPECT_EQ(NV.annotate(DotProduct), Before);
+}
+
+TEST(ModelSerializer, RejectsForeignFile) {
+  TempModel File("serve_foreign.nvm");
+  std::ofstream Out(File.Path, std::ios::binary);
+  Out << "definitely not a model file, but long enough to have a header";
+  Out.close();
+  NeuroVectorizer NV(testConfig());
+  std::string Error;
+  EXPECT_FALSE(NV.load(File.Path, &Error));
+  EXPECT_FALSE(NV.load(File.Path + ".does-not-exist", &Error));
+}
+
+TEST(ModelSerializer, RejectsArchitectureMismatch) {
+  TempModel File("serve_arch.nvm");
+  NeuroVectorizer Small(testConfig());
+  ASSERT_TRUE(Small.save(File.Path));
+
+  NeuroVectorizerConfig BigConfig = testConfig();
+  BigConfig.Embedding.CodeDim = 32; // Different code-vector width.
+  NeuroVectorizer Big(BigConfig);
+  std::string Error;
+  EXPECT_FALSE(Big.load(File.Path, &Error));
+  EXPECT_NE(Error.find("mismatch"), std::string::npos) << Error;
+}
+
+TEST(PlanCache, LRUEvictsOldest) {
+  PlanCache Cache(2);
+  Cache.insert(1, {2, 2});
+  Cache.insert(2, {4, 4});
+  VectorPlan Out;
+  ASSERT_TRUE(Cache.lookup(1, Out)); // Refreshes key 1.
+  Cache.insert(3, {8, 8});           // Evicts key 2.
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_TRUE(Cache.lookup(1, Out));
+  EXPECT_EQ(Out.VF, 2);
+  EXPECT_FALSE(Cache.lookup(2, Out));
+  EXPECT_TRUE(Cache.lookup(3, Out));
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Seen(1000);
+  Pool.parallelFor(0, Seen.size(), [&](size_t I) { ++Seen[I]; });
+  for (size_t I = 0; I < Seen.size(); ++I)
+    EXPECT_EQ(Seen[I].load(), 1) << "index " << I;
+}
+
+TEST(AnnotationService, MatchesSingleProgramAnnotate) {
+  NeuroVectorizer NV(testConfig());
+  ASSERT_TRUE(NV.addTrainingProgram("dot", DotProduct));
+  NV.train(128);
+
+  const std::vector<AnnotationRequest> Requests = generatedRequests(16);
+  std::vector<AnnotationResult> Results = NV.annotateBatch(Requests);
+  ASSERT_EQ(Results.size(), Requests.size());
+  for (size_t I = 0; I < Requests.size(); ++I) {
+    ASSERT_TRUE(Results[I].Ok) << Results[I].Error;
+    EXPECT_EQ(Results[I].Annotated, NV.annotate(Requests[I].Source))
+        << Requests[I].Name;
+  }
+}
+
+TEST(AnnotationService, CacheHitsAreCorrectAndCounted) {
+  NeuroVectorizer NV(testConfig());
+  AnnotationService &Service = NV.service();
+
+  const AnnotationResult First = Service.annotateOne("dot", DotProduct);
+  ASSERT_TRUE(First.Ok);
+  EXPECT_EQ(First.CachedSites, 0);
+  EXPECT_EQ(Service.stats().CacheMisses.load(), 1u);
+
+  const AnnotationResult Second = Service.annotateOne("dot", DotProduct);
+  ASSERT_TRUE(Second.Ok);
+  EXPECT_EQ(Second.CachedSites, 1);
+  EXPECT_EQ(Service.stats().CacheHits.load(), 1u);
+  EXPECT_EQ(Second.Annotated, First.Annotated);
+  ASSERT_EQ(Second.Plans.size(), First.Plans.size());
+  EXPECT_EQ(Second.Plans[0], First.Plans[0]);
+}
+
+TEST(AnnotationService, DeduplicatesIdenticalLoopsWithinBatch) {
+  NeuroVectorizer NV(testConfig());
+  AnnotationService &Service = NV.service();
+
+  std::vector<AnnotationRequest> Requests(10, {"dot", DotProduct});
+  std::vector<AnnotationResult> Results = Service.annotateBatch(Requests);
+  // Ten identical programs, one distinct loop: a single forward row, the
+  // other nine sites served by intra-batch dedup.
+  EXPECT_EQ(Service.stats().ForwardPasses.load(), 1u);
+  EXPECT_EQ(Service.stats().LoopsPerForward.load(), 1u);
+  EXPECT_EQ(Service.stats().CacheMisses.load(), 1u);
+  EXPECT_EQ(Service.stats().DedupHits.load(), 9u);
+  EXPECT_GT(Service.stats().hitRate(), 0.85);
+  for (const AnnotationResult &Res : Results) {
+    ASSERT_TRUE(Res.Ok);
+    EXPECT_EQ(Res.Annotated, Results.front().Annotated);
+  }
+}
+
+TEST(AnnotationService, RejectsBadProgramsWithoutPoisoningBatch) {
+  NeuroVectorizer NV(testConfig());
+  std::vector<AnnotationRequest> Requests = {
+      {"good", DotProduct},
+      {"broken", "int 3x;"},
+      {"noloops", "int x; void f() { x = 1; }"},
+  };
+  std::vector<AnnotationResult> Results = NV.annotateBatch(Requests);
+  EXPECT_TRUE(Results[0].Ok);
+  EXPECT_FALSE(Results[1].Ok);
+  EXPECT_NE(Results[1].Error.find("parse"), std::string::npos);
+  EXPECT_FALSE(Results[2].Ok);
+  EXPECT_NE(Results[2].Error.find("no vectorizable"), std::string::npos);
+  EXPECT_EQ(NV.service().stats().ProgramsRejected.load(), 2u);
+}
+
+TEST(AnnotationService, PoolSizeNeverChangesResults) {
+  NeuroVectorizer NV(testConfig());
+  ASSERT_TRUE(NV.addTrainingProgram("dot", DotProduct));
+  NV.train(128);
+  const std::vector<AnnotationRequest> Requests = generatedRequests(32);
+
+  std::vector<std::string> Reference;
+  for (int Threads : {1, 2, 8}) {
+    ServeConfig Serve;
+    Serve.Threads = Threads;
+    std::vector<AnnotationResult> Results =
+        NV.service(Serve).annotateBatch(Requests);
+    if (Reference.empty()) {
+      for (const AnnotationResult &Res : Results) {
+        ASSERT_TRUE(Res.Ok) << Res.Error;
+        Reference.push_back(Res.Annotated);
+      }
+      continue;
+    }
+    for (size_t I = 0; I < Results.size(); ++I)
+      EXPECT_EQ(Results[I].Annotated, Reference[I])
+          << "threads=" << Threads << " request " << I;
+  }
+}
+
+TEST(AnnotationService, LoadedModelServesIdenticalAnnotations) {
+  TempModel File("serve_e2e.nvm");
+
+  NeuroVectorizer Trained(testConfig(/*Seed=*/7));
+  ASSERT_TRUE(Trained.addTrainingProgram("dot", DotProduct));
+  Trained.train(256);
+  ASSERT_TRUE(Trained.save(File.Path));
+
+  NeuroVectorizer Fresh(testConfig(/*Seed=*/8));
+  std::string Error;
+  ASSERT_TRUE(Fresh.load(File.Path, &Error)) << Error;
+
+  const std::vector<AnnotationRequest> Requests = generatedRequests(24);
+  std::vector<AnnotationResult> A = Trained.annotateBatch(Requests);
+  std::vector<AnnotationResult> B = Fresh.annotateBatch(Requests);
+  for (size_t I = 0; I < Requests.size(); ++I) {
+    ASSERT_TRUE(A[I].Ok && B[I].Ok);
+    EXPECT_EQ(A[I].Annotated, B[I].Annotated) << Requests[I].Name;
+  }
+}
+
+} // namespace
