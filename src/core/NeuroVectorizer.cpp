@@ -2,6 +2,7 @@
 
 #include "core/NeuroVectorizer.h"
 
+#include "dataset/Suites.h"
 #include "lang/Parser.h"
 #include "lang/PrettyPrinter.h"
 #include "serve/ModelSerializer.h"
@@ -31,6 +32,32 @@ bool NeuroVectorizer::addTrainingProgram(const std::string &Name,
 TrainStats NeuroVectorizer::train(long long Steps) {
   assert(Env->size() > 0 && "no training programs added");
   return Runner->train(Steps);
+}
+
+RolloutModelSpec NeuroVectorizer::rolloutSpec() const {
+  RolloutModelSpec Spec;
+  Spec.Embedding = Config.Embedding;
+  Spec.ActionSpace = Config.ActionSpace;
+  Spec.Hidden = Config.Hidden;
+  Spec.NumVF = static_cast<int>(Config.Target.vfActions().size());
+  Spec.NumIF = static_cast<int>(Config.Target.ifActions().size());
+  return Spec;
+}
+
+TrainReport NeuroVectorizer::trainParallel(const TrainerConfig &TrainConfig) {
+  Trainer T(*Runner, rolloutSpec(), TrainConfig);
+  // Held-out by construction: the Fig 7 evaluation benchmarks are never in
+  // the training distribution (curriculum stages draw from the generator
+  // and the vectorizer test suite).
+  T.addEvalSuite("benchmarks", evaluationBenchmarks());
+  TrainReport Report = T.run();
+  // Same invalidation as load(): the serving cache and the supervised
+  // predictors were derived from the pre-training weights.
+  if (Service)
+    Service->clearCache();
+  NNS.clear();
+  SupervisedReady = false;
+  return Report;
 }
 
 std::vector<double>

@@ -32,6 +32,7 @@
 #include "rl/PPO.h"
 #include "rl/Policy.h"
 #include "serve/AnnotationService.h"
+#include "train/Trainer.h"
 
 #include <memory>
 #include <string>
@@ -72,8 +73,20 @@ public:
                           const std::string &Source);
 
   /// Trains the agent (and, end-to-end, the embedding) for \p Steps
-  /// environment interactions.
+  /// environment interactions. Single-threaded rollout collection; see
+  /// trainParallel() for the scalable path.
   TrainStats train(long long Steps);
+
+  /// Trains through the train/ subsystem: parallel rollout workers,
+  /// optional curriculum, periodic checkpointing with bit-reproducible
+  /// resume, and best-model tracking against the held-out evaluation
+  /// benchmarks. Invalidates the serving plan cache and any fitted
+  /// supervised predictors (the weights they were derived from changed).
+  TrainReport trainParallel(const TrainerConfig &TrainConfig);
+
+  /// The worker-replica architecture spec matching this instance's model
+  /// (for driving train/Trainer or train/RolloutWorkers directly).
+  RolloutModelSpec rolloutSpec() const;
 
   /// Fits the supervised predictors (NNS, decision tree): runs the
   /// brute-force labeler over up to \p MaxSamples training programs and

@@ -35,6 +35,35 @@ Adam::Moments &Adam::momentsFor(const Param *P) {
   return State.back().second;
 }
 
+std::vector<double> Adam::exportMoments(const std::vector<Param *> &Params) {
+  std::vector<double> Blob;
+  for (const Param *P : Params) {
+    const Moments &Mom = momentsFor(P);
+    Blob.insert(Blob.end(), Mom.M.begin(), Mom.M.end());
+    Blob.insert(Blob.end(), Mom.V.begin(), Mom.V.end());
+  }
+  return Blob;
+}
+
+bool Adam::importMoments(const std::vector<Param *> &Params,
+                         const std::vector<double> &Blob, long long Steps) {
+  size_t Total = 0;
+  for (const Param *P : Params)
+    Total += 2 * P->Value.size();
+  if (Blob.size() != Total)
+    return false;
+  size_t Offset = 0;
+  for (const Param *P : Params) {
+    Moments &Mom = momentsFor(P);
+    const size_t N = P->Value.size();
+    Mom.M.assign(Blob.begin() + Offset, Blob.begin() + Offset + N);
+    Mom.V.assign(Blob.begin() + Offset + N, Blob.begin() + Offset + 2 * N);
+    Offset += 2 * N;
+  }
+  StepCount = Steps;
+  return true;
+}
+
 void Adam::step(const std::vector<Param *> &Params) {
   ++StepCount;
   const double BiasCorrection1 =

@@ -49,6 +49,21 @@ public:
   void setLearningRate(double LR) { LearningRate = LR; }
   double learningRate() const { return LearningRate; }
 
+  /// Number of step() calls so far (drives bias correction; checkpointed
+  /// together with the moments so a resumed run corrects identically).
+  long long stepCount() const { return StepCount; }
+
+  /// Checkpointing: flattens first/second moments for \p Params, in order
+  /// (per param: all of M, then all of V). Parameters never stepped yet
+  /// export zeros.
+  std::vector<double> exportMoments(const std::vector<Param *> &Params);
+
+  /// Restores moments exported with the same parameter list and the saved
+  /// step count. Returns false (leaving the optimizer untouched) if
+  /// \p Blob does not match the total element count of \p Params.
+  bool importMoments(const std::vector<Param *> &Params,
+                     const std::vector<double> &Blob, long long Steps);
+
 private:
   struct Moments {
     std::vector<double> M;

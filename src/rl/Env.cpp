@@ -36,9 +36,9 @@ bool VectorizationEnv::addProgram(const std::string &Name,
 }
 
 double VectorizationEnv::step(size_t Index,
-                              const std::vector<VectorPlan> &Plans) {
+                              const std::vector<VectorPlan> &Plans) const {
   assert(Index < Samples.size() && "sample index out of range");
-  EnvSample &Sample = Samples[Index];
+  const EnvSample &Sample = Samples[Index];
   assert(Plans.size() == Sample.Sites.size() &&
          "one plan per vectorization site required");
 
@@ -55,10 +55,10 @@ double VectorizationEnv::step(size_t Index,
   return std::max((TBase - Cycles) / TBase, TimeoutPenalty);
 }
 
-double VectorizationEnv::cyclesWith(size_t Index,
-                                    const std::vector<VectorPlan> &Plans) {
+double VectorizationEnv::cyclesWith(
+    size_t Index, const std::vector<VectorPlan> &Plans) const {
   assert(Index < Samples.size() && "sample index out of range");
-  EnvSample &Sample = Samples[Index];
+  const EnvSample &Sample = Samples[Index];
   assert(Plans.size() == Sample.Sites.size() &&
          "one plan per vectorization site required");
   bool TimedOut = false;

@@ -71,11 +71,13 @@ public:
 
   /// Applies one (VF, IF) action per site of sample \p Index, compiles,
   /// runs, and returns the reward. \p Plans must have one entry per site.
-  double step(size_t Index, const std::vector<VectorPlan> &Plans);
+  /// Const (pure plan evaluation), so concurrent rollout workers can step
+  /// a shared environment without synchronization.
+  double step(size_t Index, const std::vector<VectorPlan> &Plans) const;
 
   /// Execution cycles for sample \p Index under \p Plans (no reward
   /// shaping; used by the evaluation harnesses).
-  double cyclesWith(size_t Index, const std::vector<VectorPlan> &Plans);
+  double cyclesWith(size_t Index, const std::vector<VectorPlan> &Plans) const;
 
 private:
   SimCompiler Compiler;

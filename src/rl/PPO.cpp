@@ -5,15 +5,46 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 using namespace nv;
+
+void PPOConfig::validate() const {
+  if (BatchSize <= 0)
+    throw std::invalid_argument("PPOConfig: BatchSize must be positive");
+  if (MiniBatchSize <= 0)
+    throw std::invalid_argument("PPOConfig: MiniBatchSize must be positive");
+  if (MiniBatchSize > BatchSize)
+    throw std::invalid_argument(
+        "PPOConfig: MiniBatchSize must not exceed BatchSize");
+  if (Epochs <= 0)
+    throw std::invalid_argument("PPOConfig: Epochs must be positive");
+  if (ClipEps <= 0.0)
+    throw std::invalid_argument("PPOConfig: ClipEps must be positive");
+  if (LearningRate <= 0.0)
+    throw std::invalid_argument("PPOConfig: LearningRate must be positive");
+  if (MaxGradNorm <= 0.0)
+    throw std::invalid_argument("PPOConfig: MaxGradNorm must be positive");
+  if (EntropyCoef < 0.0 || FinalEntropyCoef < 0.0)
+    throw std::invalid_argument(
+        "PPOConfig: entropy coefficients must be non-negative");
+}
 
 PPORunner::PPORunner(VectorizationEnv &Env, Code2Vec &Embedder, Policy &Pol,
                      const PPOConfig &Config, uint64_t Seed)
     : Env(Env), Embedder(Embedder), Pol(Pol), Config(Config),
-      Optimizer(Config.LearningRate), Rng(Seed) {}
+      Optimizer(Config.LearningRate), Rng(Seed) {
+  Config.validate();
+}
 
-std::vector<PPORunner::Transition> PPORunner::collectBatch() {
+std::vector<Param *> PPORunner::trainableParams() {
+  std::vector<Param *> AllParams = Pol.params();
+  for (Param *P : Embedder.params())
+    AllParams.push_back(P);
+  return AllParams;
+}
+
+std::vector<Transition> PPORunner::collectBatch() {
   std::vector<Transition> Batch;
   Batch.reserve(Config.BatchSize);
   const TargetInfo &TI = Env.compiler().target();
@@ -71,9 +102,7 @@ double PPORunner::update(const std::vector<Transition> &Batch,
   for (const Transition &T : Batch)
     Contexts.push_back(Env.sample(T.SampleIdx).Contexts[T.SiteIdx]);
 
-  std::vector<Param *> AllParams = Pol.params();
-  for (Param *P : Embedder.params())
-    AllParams.push_back(P);
+  std::vector<Param *> AllParams = trainableParams();
 
   // Minibatched SGD epochs over the batch (RLlib-style).
   std::vector<int> Order(B);
@@ -141,6 +170,17 @@ double PPORunner::update(const std::vector<Transition> &Batch,
   return TotalLoss / std::max(1, NumMinibatches);
 }
 
+double PPORunner::trainOnBatch(const std::vector<Transition> &Batch,
+                               double EntropyCoef) {
+  assert(!Batch.empty() && "trainOnBatch() requires a non-empty batch");
+  double BatchReward = 0.0;
+  for (const Transition &T : Batch)
+    BatchReward += T.Reward;
+  BatchReward /= static_cast<double>(Batch.size());
+  RewardEMA.add(BatchReward);
+  return update(Batch, EntropyCoef);
+}
+
 TrainStats PPORunner::train(long long TotalSteps) {
   assert(Env.size() > 0 && "environment has no samples");
   TrainStats Stats;
@@ -149,12 +189,6 @@ TrainStats PPORunner::train(long long TotalSteps) {
     std::vector<Transition> Batch = collectBatch();
     Steps += Config.BatchSize;
 
-    double BatchReward = 0.0;
-    for (const Transition &T : Batch)
-      BatchReward += T.Reward;
-    BatchReward /= static_cast<double>(Batch.size());
-    RewardEMA.add(BatchReward);
-
     // Linear entropy annealing across the training budget.
     const double Progress =
         std::min(1.0, static_cast<double>(Steps) /
@@ -162,7 +196,7 @@ TrainStats PPORunner::train(long long TotalSteps) {
     const double EntropyCoef =
         Config.EntropyCoef +
         (Config.FinalEntropyCoef - Config.EntropyCoef) * Progress;
-    const double Loss = update(Batch, EntropyCoef);
+    const double Loss = trainOnBatch(Batch, EntropyCoef);
     Stats.RewardMean.add(static_cast<double>(Steps), RewardEMA.value());
     Stats.Loss.add(static_cast<double>(Steps), Loss);
     Stats.FinalRewardMean = RewardEMA.value();

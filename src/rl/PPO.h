@@ -43,6 +43,21 @@ struct PPOConfig {
   double FinalEntropyCoef = 0.0;
   double MaxGradNorm = 40.0;
   bool NormalizeAdvantages = true;
+
+  /// Throws std::invalid_argument on an unusable configuration (e.g.
+  /// BatchSize <= 0, MiniBatchSize > BatchSize, ClipEps <= 0). Called by
+  /// PPORunner on construction so misconfigurations fail loudly instead of
+  /// silently misbehaving.
+  void validate() const;
+};
+
+/// One collected transition. Public (not a PPORunner detail) so external
+/// collectors — the parallel rollout workers in train/ — can fill batches.
+struct Transition {
+  size_t SampleIdx = 0;
+  size_t SiteIdx = 0;
+  ActionRecord Action;
+  double Reward = 0.0;
 };
 
 /// Training curves sampled per batch (the paper's Figs 5-6 plot reward
@@ -57,12 +72,25 @@ struct TrainStats {
 /// Orchestrates environment, embedding generator, policy, and optimizer.
 class PPORunner {
 public:
+  /// Throws std::invalid_argument if \p Config fails validate().
   PPORunner(VectorizationEnv &Env, Code2Vec &Embedder, Policy &Pol,
             const PPOConfig &Config, uint64_t Seed);
 
   /// Trains for (at least) \p TotalSteps environment steps, i.e.
-  /// compilations (the x-axis of Figs 5-6).
+  /// compilations (the x-axis of Figs 5-6). Serial collection; the
+  /// parallel path is train/Trainer, which fills batches with rollout
+  /// workers and feeds them to trainOnBatch().
   TrainStats train(long long TotalSteps);
+
+  /// Collects (at least) Config.BatchSize transitions serially with the
+  /// runner's own RNG (the single-threaded rollout path).
+  std::vector<Transition> collectBatch();
+
+  /// Applies one PPO update to an externally collected batch: folds the
+  /// batch's mean reward into the running reward EMA, then runs the
+  /// clipped-surrogate minibatch epochs. Returns the mean total loss.
+  double trainOnBatch(const std::vector<Transition> &Batch,
+                      double EntropyCoef);
 
   /// Greedy factors for a raw context bag (inference path).
   VectorPlan predict(const std::vector<PathContext> &Contexts);
@@ -73,17 +101,20 @@ public:
   VectorizationEnv &env() { return Env; }
   Policy &policy() { return Pol; }
   Code2Vec &embedder() { return Embedder; }
+  const PPOConfig &config() const { return Config; }
+
+  /// Every learnable parameter (policy first, then embedder) in the order
+  /// the optimizer steps them — the canonical order for checkpointing.
+  std::vector<Param *> trainableParams();
+
+  /// Mutable internals exposed for train/TrainCheckpoint: a resumed run is
+  /// bit-reproducible only if optimizer moments, RNG state, and the reward
+  /// EMA all survive the round trip.
+  Adam &optimizer() { return Optimizer; }
+  RNG &rng() { return Rng; }
+  EMA &rewardEMA() { return RewardEMA; }
 
 private:
-  /// One collected transition.
-  struct Transition {
-    size_t SampleIdx = 0;
-    size_t SiteIdx = 0;
-    ActionRecord Action;
-    double Reward = 0.0;
-  };
-
-  std::vector<Transition> collectBatch();
   double update(const std::vector<Transition> &Batch, double EntropyCoef);
 
   VectorizationEnv &Env;

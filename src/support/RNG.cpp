@@ -99,3 +99,32 @@ std::size_t RNG::sampleWeighted(const std::vector<double> &Weights) {
 }
 
 RNG RNG::split() { return RNG(next() ^ 0xD1B54A32D192ED03ull); }
+
+RNG RNG::split(uint64_t StreamId) const {
+  // Fold the stream id and all four state words through SplitMix64. Each
+  // fold rekeys the chain, so nearby ids (0, 1, 2, ...) land in unrelated
+  // seeds. Const: the parent state is read, never advanced.
+  uint64_t X = StreamId ^ 0xD1B54A32D192ED03ull;
+  uint64_t Seed = splitMix64(X);
+  for (uint64_t Word : State) {
+    X ^= Word;
+    Seed ^= splitMix64(X);
+  }
+  return RNG(Seed);
+}
+
+RNG::Snapshot RNG::snapshot() const {
+  Snapshot S;
+  for (int I = 0; I < 4; ++I)
+    S.State[I] = State[I];
+  S.HasSpareGaussian = HasSpareGaussian;
+  S.SpareGaussian = SpareGaussian;
+  return S;
+}
+
+void RNG::restore(const Snapshot &S) {
+  for (int I = 0; I < 4; ++I)
+    State[I] = S.State[I];
+  HasSpareGaussian = S.HasSpareGaussian;
+  SpareGaussian = S.SpareGaussian;
+}

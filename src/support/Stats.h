@@ -69,6 +69,12 @@ public:
   double value() const { return Value; }
   bool seen() const { return Seen; }
 
+  /// Checkpoint restore: overwrites the running state.
+  void restore(double NewValue, bool NewSeen) {
+    Value = NewValue;
+    Seen = NewSeen;
+  }
+
 private:
   double Alpha;
   double Value = 0.0;

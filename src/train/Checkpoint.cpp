@@ -1,0 +1,229 @@
+//===- train/Checkpoint.cpp - Resumable training state ---------------------===//
+
+#include "train/Checkpoint.h"
+
+#include "serve/ModelSerializer.h"
+
+#include <cassert>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+using namespace nv;
+
+namespace {
+
+void setError(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+}
+
+void appendBytes(std::vector<char> &Buffer, const void *Data, size_t Size) {
+  const char *Bytes = static_cast<const char *>(Data);
+  Buffer.insert(Buffer.end(), Bytes, Bytes + Size);
+}
+
+template <typename T> void appendValue(std::vector<char> &Buffer, T Value) {
+  appendBytes(Buffer, &Value, sizeof(T));
+}
+
+template <typename T>
+bool readValue(const std::vector<char> &Buffer, size_t &Offset, T &Out) {
+  if (Offset + sizeof(T) > Buffer.size())
+    return false;
+  std::memcpy(&Out, Buffer.data() + Offset, sizeof(T));
+  Offset += sizeof(T);
+  return true;
+}
+
+bool readDoubles(const std::vector<char> &Buffer, size_t &Offset,
+                 std::vector<double> &Out, size_t Count) {
+  const size_t Bytes = Count * sizeof(double);
+  if (Offset + Bytes > Buffer.size())
+    return false;
+  Out.resize(Count);
+  std::memcpy(Out.data(), Buffer.data() + Offset, Bytes);
+  Offset += Bytes;
+  return true;
+}
+
+} // namespace
+
+bool TrainCheckpoint::save(const std::string &Path, PPORunner &Runner,
+                           const TrainProgress &Progress,
+                           std::string *Error) {
+  std::vector<Param *> Params = Runner.trainableParams();
+  std::vector<double> Moments = Runner.optimizer().exportMoments(Params);
+  const RNG::Snapshot Rng = Runner.rng().snapshot();
+
+  std::vector<char> Buffer;
+  appendValue(Buffer, Magic);
+  appendValue(Buffer, FormatVersion);
+  appendValue(Buffer, static_cast<int64_t>(Progress.StepsDone));
+  appendValue(Buffer, static_cast<int64_t>(Progress.BatchesDone));
+  appendValue(Buffer, Progress.BestEvalReward);
+  appendValue(Buffer, static_cast<uint8_t>(Progress.RewardEMASeen));
+  appendValue(Buffer, Progress.RewardEMAValue);
+  appendValue(Buffer, static_cast<int32_t>(Progress.Stage.Stage));
+  appendValue(Buffer, static_cast<int64_t>(Progress.Stage.StepsInStage));
+  for (uint64_t Word : Rng.State)
+    appendValue(Buffer, Word);
+  appendValue(Buffer, static_cast<uint8_t>(Rng.HasSpareGaussian));
+  appendValue(Buffer, Rng.SpareGaussian);
+  appendValue(Buffer, static_cast<int64_t>(Runner.optimizer().stepCount()));
+  appendValue(Buffer, static_cast<uint32_t>(Params.size()));
+  size_t MomentOffset = 0;
+  for (Param *P : Params) {
+    appendValue(Buffer, static_cast<uint32_t>(P->Value.rows()));
+    appendValue(Buffer, static_cast<uint32_t>(P->Value.cols()));
+    const size_t N = P->Value.size();
+    appendBytes(Buffer, P->Value.raw().data(), N * sizeof(double));
+    appendBytes(Buffer, Moments.data() + MomentOffset,
+                2 * N * sizeof(double));
+    MomentOffset += 2 * N;
+  }
+  appendValue(Buffer,
+              ModelSerializer::checksum(Buffer.data(), Buffer.size()));
+
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out) {
+    setError(Error, "cannot open '" + Path + "' for writing");
+    return false;
+  }
+  Out.write(Buffer.data(), static_cast<std::streamsize>(Buffer.size()));
+  Out.flush();
+  if (!Out) {
+    setError(Error, "short write to '" + Path + "'");
+    return false;
+  }
+  return true;
+}
+
+bool TrainCheckpoint::load(const std::string &Path, PPORunner &Runner,
+                           TrainProgress &Progress, std::string *Error) {
+  std::ifstream In(Path, std::ios::binary | std::ios::ate);
+  if (!In) {
+    setError(Error, "cannot open '" + Path + "'");
+    return false;
+  }
+  const std::streamsize Size = In.tellg();
+  In.seekg(0);
+  std::vector<char> Buffer(static_cast<size_t>(Size));
+  if (!In.read(Buffer.data(), Size)) {
+    setError(Error, "short read from '" + Path + "'");
+    return false;
+  }
+
+  if (Buffer.size() < 3 * sizeof(uint32_t) + sizeof(uint64_t)) {
+    setError(Error, "file too small to be a checkpoint");
+    return false;
+  }
+  const size_t PayloadSize = Buffer.size() - sizeof(uint64_t);
+  uint64_t StoredSum = 0;
+  std::memcpy(&StoredSum, Buffer.data() + PayloadSize, sizeof(uint64_t));
+  if (StoredSum != ModelSerializer::checksum(Buffer.data(), PayloadSize)) {
+    setError(Error, "checksum mismatch: checkpoint is corrupt or truncated");
+    return false;
+  }
+
+  size_t Offset = 0;
+  uint32_t FileMagic = 0, Version = 0;
+  readValue(Buffer, Offset, FileMagic);
+  readValue(Buffer, Offset, Version);
+  if (FileMagic != Magic) {
+    setError(Error, "bad magic: not a NeuroVectorizer checkpoint");
+    return false;
+  }
+  if (Version != FormatVersion) {
+    setError(Error,
+             "unsupported checkpoint version " + std::to_string(Version));
+    return false;
+  }
+
+  // Parse the whole file into temporaries; nothing touches the runner
+  // until every field and shape has validated.
+  TrainProgress NewProgress;
+  RNG::Snapshot Rng;
+  int64_t StepsDone = 0, BatchesDone = 0, StepsInStage = 0, AdamSteps = 0;
+  int32_t Stage = 0;
+  uint8_t EMASeen = 0, RngHasSpare = 0;
+  uint32_t Count = 0;
+  bool Ok = readValue(Buffer, Offset, StepsDone) &&
+            readValue(Buffer, Offset, BatchesDone) &&
+            readValue(Buffer, Offset, NewProgress.BestEvalReward) &&
+            readValue(Buffer, Offset, EMASeen) &&
+            readValue(Buffer, Offset, NewProgress.RewardEMAValue) &&
+            readValue(Buffer, Offset, Stage) &&
+            readValue(Buffer, Offset, StepsInStage);
+  for (uint64_t &Word : Rng.State)
+    Ok = Ok && readValue(Buffer, Offset, Word);
+  Ok = Ok && readValue(Buffer, Offset, RngHasSpare) &&
+       readValue(Buffer, Offset, Rng.SpareGaussian) &&
+       readValue(Buffer, Offset, AdamSteps) &&
+       readValue(Buffer, Offset, Count);
+  if (!Ok) {
+    setError(Error, "unexpected end of file in checkpoint header");
+    return false;
+  }
+
+  std::vector<Param *> Params = Runner.trainableParams();
+  if (Count != Params.size()) {
+    setError(Error, "checkpoint has " + std::to_string(Count) +
+                        " parameters, expected " +
+                        std::to_string(Params.size()) +
+                        " (architecture mismatch)");
+    return false;
+  }
+
+  std::vector<std::vector<double>> Values(Params.size());
+  std::vector<double> Moments;
+  for (size_t I = 0; I < Params.size(); ++I) {
+    uint32_t Rows = 0, Cols = 0;
+    if (!readValue(Buffer, Offset, Rows) ||
+        !readValue(Buffer, Offset, Cols)) {
+      setError(Error, "unexpected end of file in parameter header");
+      return false;
+    }
+    const Matrix &Dest = Params[I]->Value;
+    if (Rows != static_cast<uint32_t>(Dest.rows()) ||
+        Cols != static_cast<uint32_t>(Dest.cols())) {
+      setError(Error, "parameter " + std::to_string(I) + " is " +
+                          std::to_string(Rows) + "x" + std::to_string(Cols) +
+                          ", expected " + std::to_string(Dest.rows()) + "x" +
+                          std::to_string(Dest.cols()) +
+                          " (architecture mismatch)");
+      return false;
+    }
+    const size_t N = static_cast<size_t>(Rows) * Cols;
+    std::vector<double> MV;
+    if (!readDoubles(Buffer, Offset, Values[I], N) ||
+        !readDoubles(Buffer, Offset, MV, 2 * N)) {
+      setError(Error, "unexpected end of file in parameter data");
+      return false;
+    }
+    Moments.insert(Moments.end(), MV.begin(), MV.end());
+  }
+  if (Offset != PayloadSize) {
+    setError(Error, "trailing bytes after last parameter");
+    return false;
+  }
+
+  // Commit.
+  NewProgress.StepsDone = StepsDone;
+  NewProgress.BatchesDone = BatchesDone;
+  NewProgress.RewardEMASeen = EMASeen != 0;
+  NewProgress.Stage.Stage = Stage;
+  NewProgress.Stage.StepsInStage = StepsInStage;
+  Rng.HasSpareGaussian = RngHasSpare != 0;
+  for (size_t I = 0; I < Params.size(); ++I)
+    Params[I]->Value.raw() = Values[I];
+  const bool Imported =
+      Runner.optimizer().importMoments(Params, Moments, AdamSteps);
+  assert(Imported && "moment blob size was validated against the params");
+  (void)Imported;
+  Runner.rng().restore(Rng);
+  Runner.rewardEMA().restore(NewProgress.RewardEMAValue,
+                             NewProgress.RewardEMASeen);
+  Progress = NewProgress;
+  return true;
+}

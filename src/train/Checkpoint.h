@@ -1,0 +1,77 @@
+//===- train/Checkpoint.h - Resumable training state ------------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checkpoint persistence for the Trainer. A model file (serve/
+/// ModelSerializer) freezes weights for deployment; a checkpoint addition-
+/// ally captures everything a resumed run needs to be *bit-identical* to
+/// the uninterrupted one: optimizer moments and step count, the master RNG
+/// state (including a buffered Box-Muller spare), the reward EMA, the
+/// curriculum cursor, and the step/batch counters.
+///
+/// Format (little-endian, doubles raw — same conventions as the model
+/// file):
+///
+///   u32 magic 'NVCK'   u32 version
+///   i64 stepsDone  i64 batchesDone  f64 bestEvalReward
+///   u8 emaSeen  f64 emaValue
+///   i32 curriculumStage  i64 stepsInStage
+///   4 x u64 rngState  u8 rngHasSpare  f64 rngSpare
+///   i64 adamStepCount
+///   u32 paramCount
+///   per param: u32 rows, u32 cols, rows*cols f64 values,
+///              rows*cols f64 adamM, rows*cols f64 adamV
+///   u64 FNV-1a checksum over everything before it
+///
+/// Loading is all-or-nothing: magic, version, checksum, and every shape
+/// are validated against the destination runner before anything is
+/// written, so a truncated, corrupted, or architecture-mismatched file
+/// leaves the live training state untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_TRAIN_CHECKPOINT_H
+#define NV_TRAIN_CHECKPOINT_H
+
+#include "rl/PPO.h"
+#include "train/Curriculum.h"
+
+#include <cstdint>
+#include <string>
+
+namespace nv {
+
+/// Trainer progress riding along with the weights.
+struct TrainProgress {
+  long long StepsDone = 0;
+  long long BatchesDone = 0;
+  double BestEvalReward = -1e300;
+  double RewardEMAValue = 0.0;
+  bool RewardEMASeen = false;
+  Curriculum::Cursor Stage;
+};
+
+/// Save/load of the full training state of a PPORunner.
+class TrainCheckpoint {
+public:
+  static constexpr uint32_t Magic = 0x4E56434B; ///< 'NVCK'.
+  static constexpr uint32_t FormatVersion = 1;
+
+  /// Writes the runner's weights, optimizer state, RNG, reward EMA, and
+  /// \p Progress to \p Path. Returns false (and sets \p Error) on I/O
+  /// failure.
+  static bool save(const std::string &Path, PPORunner &Runner,
+                   const TrainProgress &Progress,
+                   std::string *Error = nullptr);
+
+  /// Restores \p Path into \p Runner and \p Progress. All-or-nothing.
+  static bool load(const std::string &Path, PPORunner &Runner,
+                   TrainProgress &Progress, std::string *Error = nullptr);
+};
+
+} // namespace nv
+
+#endif // NV_TRAIN_CHECKPOINT_H

@@ -1,0 +1,122 @@
+//===- train/Curriculum.cpp - Staged training distribution -----------------===//
+
+#include "train/Curriculum.h"
+
+#include "dataset/LoopGenerator.h"
+
+#include <cassert>
+
+using namespace nv;
+
+CurriculumConfig CurriculumConfig::standard(int GeneratedPerStage) {
+  CurriculumConfig Config;
+
+  CurriculumStageConfig Warmup;
+  Warmup.Name = "warmup";
+  // Elementwise arithmetic, reductions, saxpy: single flat loops with
+  // plenty of vector headroom — rewards are easy to find here.
+  Warmup.Templates = {5, 6, 10};
+  Warmup.GeneratedCount = GeneratedPerStage;
+  Warmup.AdvanceReward = 0.05;
+  Warmup.AdvanceSteps = 4000;
+  Config.Stages.push_back(std::move(Warmup));
+
+  CurriculumStageConfig Full;
+  Full.Name = "full-synthetic";
+  for (int T = 0; T < LoopGenerator::NumTemplates; ++T)
+    Full.Templates.push_back(T);
+  Full.GeneratedCount = 2 * GeneratedPerStage;
+  Full.AdvanceReward = 0.15;
+  Full.AdvanceSteps = 12000;
+  Config.Stages.push_back(std::move(Full));
+
+  CurriculumStageConfig Suites;
+  Suites.Name = "suites";
+  Suites.Programs = vectorizerTestSuite();
+  Config.Stages.push_back(std::move(Suites));
+
+  return Config;
+}
+
+Curriculum::Curriculum(const CurriculumConfig &Config) {
+  Stages.reserve(Config.Stages.size());
+  for (size_t S = 0; S < Config.Stages.size(); ++S) {
+    Stage St;
+    St.Config = Config.Stages[S];
+    St.Name = St.Config.Name;
+    if (!St.Config.Programs.empty()) {
+      St.Materialized = St.Config.Programs;
+    } else {
+      assert(!St.Config.Templates.empty() && St.Config.GeneratedCount > 0 &&
+             "generated stage needs templates and a count");
+      // Per-stage generator seed: stage programs stay identical even if
+      // other stages' configurations change.
+      LoopGenerator Gen(Config.Seed ^
+                        (0x9E3779B97F4A7C15ull * (S + 1)));
+      St.Materialized.reserve(St.Config.GeneratedCount);
+      for (int I = 0; I < St.Config.GeneratedCount; ++I) {
+        const int Template =
+            St.Config.Templates[I % St.Config.Templates.size()];
+        GeneratedLoop L = Gen.generate(Template);
+        St.Materialized.push_back({L.Name, L.Source});
+      }
+    }
+    Stages.push_back(std::move(St));
+  }
+}
+
+namespace {
+
+bool envContains(const VectorizationEnv &Env, const std::string &Name) {
+  for (size_t I = 0; I < Env.size(); ++I)
+    if (Env.sample(I).Name == Name)
+      return true;
+  return false;
+}
+
+} // namespace
+
+void Curriculum::activate(VectorizationEnv &Env) {
+  for (int S = ActivatedThrough + 1; S <= CurrentStage && S < numStages();
+       ++S) {
+    for (const NamedProgram &P : Stages[S].Materialized) {
+      // Idempotent by name: a second Trainer over the same environment
+      // (continue-training or same-process resume) must not duplicate the
+      // distribution. Stage program names are deterministic and unique.
+      if (envContains(Env, P.Name))
+        continue;
+      const bool Added = Env.addProgram(P.Name, P.Source);
+      assert(Added && "curriculum program failed to load");
+      (void)Added;
+    }
+    ActivatedThrough = S;
+  }
+}
+
+bool Curriculum::observe(double RewardEMA, long long BatchSteps,
+                         VectorizationEnv &Env) {
+  if (Stages.empty() || CurrentStage >= numStages() - 1) {
+    StepsInStage += BatchSteps;
+    return false;
+  }
+  StepsInStage += BatchSteps;
+  const CurriculumStageConfig &Cfg = Stages[CurrentStage].Config;
+  const bool RewardTrigger = RewardEMA >= Cfg.AdvanceReward;
+  const bool StepTrigger =
+      Cfg.AdvanceSteps >= 0 && StepsInStage >= Cfg.AdvanceSteps;
+  if (!RewardTrigger && !StepTrigger)
+    return false;
+  ++CurrentStage;
+  StepsInStage = 0;
+  activate(Env);
+  return true;
+}
+
+void Curriculum::restore(const Cursor &C) {
+  assert(C.Stage >= 0 && (Stages.empty() || C.Stage < numStages()) &&
+         "cursor stage out of range");
+  CurrentStage = C.Stage;
+  StepsInStage = C.StepsInStage;
+  // ActivatedThrough is left alone: a fresh curriculum has -1, so the next
+  // activate() replays stages 0..CurrentStage onto the (fresh) env.
+}

@@ -1,0 +1,118 @@
+//===- train/Curriculum.h - Staged training distribution --------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stage scheduler for what the agent trains on. The paper trains on
+/// >10,000 generated programs at once; at production scale it pays to
+/// start narrow (a few easy template families), widen to the full
+/// generator, and finish on the fixed benchmark suites — advancing when
+/// the reward EMA clears a threshold or after a step budget, whichever
+/// fires first.
+///
+/// Stages only ever *append* programs to the environment, so earlier
+/// distributions stay in the mix (no catastrophic forgetting of the easy
+/// cases) and sample indices remain stable — which is what lets a resumed
+/// run rebuild the exact environment by replaying stage activations.
+/// All stage programs are materialized deterministically at construction
+/// from the curriculum seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_TRAIN_CURRICULUM_H
+#define NV_TRAIN_CURRICULUM_H
+
+#include "dataset/Suites.h"
+#include "rl/Env.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nv {
+
+/// One curriculum stage: either generated programs (template ids cycled
+/// GeneratedCount times) or a fixed program list (benchmark suites).
+struct CurriculumStageConfig {
+  std::string Name;
+  /// Generator template ids to cycle through; ignored when Programs is
+  /// non-empty.
+  std::vector<int> Templates;
+  int GeneratedCount = 0;
+  /// Fixed programs (e.g. a dataset/Suites suite).
+  std::vector<NamedProgram> Programs;
+  /// Advance when the reward EMA reaches this... (default: never)
+  double AdvanceReward = 1e18;
+  /// ...or after this many steps in the stage (default: never). The last
+  /// stage typically never advances.
+  long long AdvanceSteps = -1;
+};
+
+struct CurriculumConfig {
+  uint64_t Seed = 0xC0FFEE;
+  std::vector<CurriculumStageConfig> Stages;
+
+  /// The default three-stage schedule: easy template families (elementwise,
+  /// reductions, saxpy) -> all generator templates -> the fixed vectorizer
+  /// test suite.
+  static CurriculumConfig standard(int GeneratedPerStage = 24);
+};
+
+/// Stage scheduler. An empty config (no stages) is a valid inert
+/// curriculum: activate()/observe() are no-ops and training uses whatever
+/// the environment already contains.
+class Curriculum {
+public:
+  explicit Curriculum(const CurriculumConfig &Config);
+
+  int numStages() const { return static_cast<int>(Stages.size()); }
+  int stage() const { return CurrentStage; }
+  long long stepsInStage() const { return StepsInStage; }
+  bool empty() const { return Stages.empty(); }
+  const std::string &stageName(int S) const { return Stages[S].Name; }
+
+  /// Programs stage \p S contributes (materialized at construction).
+  const std::vector<NamedProgram> &stagePrograms(int S) const {
+    return Stages[S].Materialized;
+  }
+
+  /// Adds every not-yet-activated stage up to the current one to \p Env.
+  /// Call once on a fresh environment; after a cursor restore this replays
+  /// all stages the checkpointed run had reached, in the same order.
+  void activate(VectorizationEnv &Env);
+
+  /// Observes one training batch (\p BatchSteps environment steps at
+  /// reward EMA \p RewardEMA). Fires the advance trigger when due, adding
+  /// the next stage's programs to \p Env. Returns true on advance.
+  bool observe(double RewardEMA, long long BatchSteps,
+               VectorizationEnv &Env);
+
+  /// Checkpoint cursor: enough to resume the schedule bit-for-bit.
+  struct Cursor {
+    int Stage = 0;
+    long long StepsInStage = 0;
+  };
+
+  Cursor cursor() const { return {CurrentStage, StepsInStage}; }
+
+  /// Restores the cursor (call activate() afterwards to rebuild the env).
+  void restore(const Cursor &C);
+
+private:
+  struct Stage {
+    CurriculumStageConfig Config;
+    std::vector<NamedProgram> Materialized;
+    std::string Name;
+  };
+
+  std::vector<Stage> Stages;
+  int CurrentStage = 0;
+  int ActivatedThrough = -1; ///< Highest stage already added to the env.
+  long long StepsInStage = 0;
+};
+
+} // namespace nv
+
+#endif // NV_TRAIN_CURRICULUM_H

@@ -1,0 +1,89 @@
+//===- train/Evaluator.cpp - Held-out policy evaluation --------------------===//
+
+#include "train/Evaluator.h"
+
+#include "support/Stats.h"
+
+#include <algorithm>
+
+using namespace nv;
+
+Table EvalReport::summaryTable() const {
+  Table T({"suite", "programs", "mean reward", "geomean speedup",
+           "min speedup"});
+  for (const EvalSuite &S : Suites)
+    T.addRow({S.Name, std::to_string(S.Programs.size()),
+              Table::fmt(S.MeanReward, 3), Table::fmt(S.GeomeanSpeedup, 3),
+              Table::fmt(S.MinSpeedup, 3)});
+  return T;
+}
+
+Table EvalReport::programTable() const {
+  Table T({"suite", "program", "reward", "speedup"});
+  for (const EvalSuite &S : Suites)
+    for (const EvalProgram &P : S.Programs)
+      T.addRow({S.Name, P.Name, Table::fmt(P.Reward, 3),
+                Table::fmt(P.Speedup, 3)});
+  return T;
+}
+
+size_t Evaluator::addSuite(const std::string &Name,
+                           const std::vector<NamedProgram> &Programs) {
+  auto Suite = std::make_unique<SuiteEnv>(Name, Compiler, Paths);
+  size_t Accepted = 0;
+  for (const NamedProgram &P : Programs)
+    Accepted += Suite->Env.addProgram(P.Name, P.Source) ? 1 : 0;
+  Suites.push_back(std::move(Suite));
+  return Accepted;
+}
+
+EvalReport Evaluator::evaluate(Code2Vec &Embedder, Policy &Pol) const {
+  EvalReport Report;
+  double RewardTotal = 0.0;
+
+  for (const auto &Suite : Suites) {
+    EvalSuite Out;
+    Out.Name = Suite->Name;
+    std::vector<double> Speedups;
+
+    for (size_t I = 0; I < Suite->Env.size(); ++I) {
+      const EnvSample &Sample = Suite->Env.sample(I);
+      Matrix States = Embedder.encodeBatch(Sample.Contexts);
+      Pol.forward(States);
+      std::vector<VectorPlan> Plans;
+      Plans.reserve(Sample.Sites.size());
+      for (size_t S = 0; S < Sample.Sites.size(); ++S)
+        Plans.push_back(Pol.toPlan(Pol.greedyAction(static_cast<int>(S)),
+                                   Suite->Env.compiler().target()));
+
+      // One simulation yields both metrics (Env::step would re-run the
+      // identical plans just to derive the reward from the same cycles).
+      bool TimedOut = false;
+      const double Cycles = Suite->Env.compiler().runPrecompiled(
+          Sample.Pre, Plans, TimedOut);
+      const double TBase = Sample.BaselineCycles;
+      EvalProgram P;
+      P.Name = Sample.Name;
+      P.Reward = TimedOut ? VectorizationEnv::TimeoutPenalty
+                          : std::max((TBase - Cycles) / TBase,
+                                     VectorizationEnv::TimeoutPenalty);
+      P.Speedup = Cycles > 0.0 ? TBase / Cycles : 0.0;
+      Out.MeanReward += P.Reward;
+      RewardTotal += P.Reward;
+      Speedups.push_back(P.Speedup);
+      Out.Programs.push_back(std::move(P));
+    }
+
+    if (!Out.Programs.empty()) {
+      Out.MeanReward /= static_cast<double>(Out.Programs.size());
+      Out.GeomeanSpeedup = geomean(Speedups);
+      Out.MinSpeedup = minOf(Speedups);
+    }
+    Report.NumPrograms += Out.Programs.size();
+    Report.Suites.push_back(std::move(Out));
+  }
+
+  if (Report.NumPrograms > 0)
+    Report.MeanReward = RewardTotal / static_cast<double>(Report.NumPrograms);
+  return Report;
+}

@@ -1,0 +1,93 @@
+//===- train/Evaluator.h - Held-out policy evaluation -----------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy-policy evaluation over held-out suites, producing the per-suite
+/// reward/speedup tables of the paper's Figs 7-9. Deterministic (greedy
+/// actions, no RNG), so the Trainer can run it mid-training for best-model
+/// tracking without perturbing bit-reproducible resume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_TRAIN_EVALUATOR_H
+#define NV_TRAIN_EVALUATOR_H
+
+#include "dataset/Suites.h"
+#include "embedding/Code2Vec.h"
+#include "rl/Env.h"
+#include "rl/Policy.h"
+#include "support/Table.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nv {
+
+/// One evaluated program.
+struct EvalProgram {
+  std::string Name;
+  double Reward = 0.0;  ///< (t_base - t_RL) / t_base, Eq. 2.
+  double Speedup = 1.0; ///< t_base / t_RL.
+};
+
+/// One evaluated suite.
+struct EvalSuite {
+  std::string Name;
+  std::vector<EvalProgram> Programs;
+  double MeanReward = 0.0;
+  double GeomeanSpeedup = 1.0;
+  double MinSpeedup = 1.0;
+};
+
+/// A full evaluation pass.
+struct EvalReport {
+  std::vector<EvalSuite> Suites;
+  double MeanReward = 0.0; ///< Over all programs of all suites.
+  size_t NumPrograms = 0;
+
+  /// One row per suite: programs, mean reward, geomean/min speedup.
+  Table summaryTable() const;
+  /// One row per program.
+  Table programTable() const;
+};
+
+/// Held-out evaluation harness. Suites are parsed and precompiled once at
+/// registration; each evaluate() then costs one plan evaluation per
+/// program.
+class Evaluator {
+public:
+  Evaluator(SimCompiler Compiler, PathContextConfig Paths)
+      : Compiler(std::move(Compiler)), Paths(Paths) {}
+
+  /// Registers a suite; programs that fail to parse or contain no loops
+  /// are skipped. Returns the number of programs accepted.
+  size_t addSuite(const std::string &Name,
+                  const std::vector<NamedProgram> &Programs);
+
+  size_t numSuites() const { return Suites.size(); }
+
+  /// Greedy evaluation of the (embedder, policy) pair on every suite.
+  EvalReport evaluate(Code2Vec &Embedder, Policy &Pol) const;
+
+private:
+  struct SuiteEnv {
+    std::string Name;
+    VectorizationEnv Env;
+
+    SuiteEnv(std::string Name, SimCompiler Compiler,
+             PathContextConfig Paths)
+        : Name(std::move(Name)), Env(std::move(Compiler), Paths) {}
+  };
+
+  SimCompiler Compiler;
+  PathContextConfig Paths;
+  std::vector<std::unique_ptr<SuiteEnv>> Suites;
+};
+
+} // namespace nv
+
+#endif // NV_TRAIN_EVALUATOR_H

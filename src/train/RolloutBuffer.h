@@ -1,0 +1,38 @@
+//===- train/RolloutBuffer.h - Shared rollout storage -----------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared buffer that parallel rollout workers fill with (state,
+/// action, logp, value, reward) tuples. Slots are laid out per episode
+/// before collection starts (the number of sites per program is known in
+/// advance), so workers write disjoint ranges without locking and the
+/// finished buffer is in deterministic episode order regardless of how the
+/// episodes were scheduled across threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_TRAIN_ROLLOUTBUFFER_H
+#define NV_TRAIN_ROLLOUTBUFFER_H
+
+#include "rl/PPO.h"
+
+#include <vector>
+
+namespace nv {
+
+/// A batch of transitions in episode order. Reward aggregation lives in
+/// PPORunner::trainOnBatch, the single consumer.
+struct RolloutBuffer {
+  std::vector<Transition> Transitions;
+
+  size_t size() const { return Transitions.size(); }
+  bool empty() const { return Transitions.empty(); }
+  void clear() { Transitions.clear(); }
+};
+
+} // namespace nv
+
+#endif // NV_TRAIN_ROLLOUTBUFFER_H

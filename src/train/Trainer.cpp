@@ -1,0 +1,167 @@
+//===- train/Trainer.cpp - Parallel rollout training driver ----------------===//
+
+#include "train/Trainer.h"
+
+#include "serve/ModelSerializer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <stdexcept>
+
+using namespace nv;
+
+Trainer::Trainer(PPORunner &Runner, const RolloutModelSpec &Spec,
+                 const TrainerConfig &Config)
+    : Runner(Runner), Spec(Spec), Config(Config),
+      Stages(Config.Curriculum),
+      Eval(Runner.env().compiler(), Spec.Embedding.Paths) {}
+
+size_t Trainer::addEvalSuite(const std::string &Name,
+                             const std::vector<NamedProgram> &Programs) {
+  return Eval.addSuite(Name, Programs);
+}
+
+EvalReport Trainer::runEval(TrainProgress &Progress) {
+  EvalReport Report = Eval.evaluate(Runner.embedder(), Runner.policy());
+  if (Report.NumPrograms == 0)
+    return Report;
+  if (Report.MeanReward > Progress.BestEvalReward) {
+    Progress.BestEvalReward = Report.MeanReward;
+    if (!Config.BestModelPath.empty()) {
+      std::string Error;
+      if (!ModelSerializer::save(Config.BestModelPath, Runner.embedder(),
+                                 Runner.policy(), &Error) &&
+          Config.Verbose)
+        std::cout << "[train] best-model save failed: " << Error << "\n";
+    }
+  }
+  return Report;
+}
+
+TrainReport Trainer::run() {
+  TrainReport Report;
+  TrainProgress Progress;
+
+  // Resume, if asked and possible. A missing or invalid checkpoint is not
+  // fatal: the run simply starts from scratch.
+  if (Config.Resume && !Config.CheckpointPath.empty()) {
+    std::string Error;
+    if (TrainCheckpoint::load(Config.CheckpointPath, Runner, Progress,
+                              &Error)) {
+      Stages.restore(Progress.Stage);
+      Report.Resumed = true;
+      if (Config.Verbose)
+        std::cout << "[train] resumed at step " << Progress.StepsDone
+                  << " (stage " << Progress.Stage.Stage << ")\n";
+    } else if (Config.Verbose) {
+      std::cout << "[train] no resume: " << Error << "\n";
+    }
+  }
+
+  // Build (or, after a resume, replay) the training distribution. An
+  // empty set would reach nextBounded(0) in episode planning — fail
+  // loudly, release builds included.
+  Stages.activate(Runner.env());
+  if (Runner.env().size() == 0)
+    throw std::invalid_argument(
+        "Trainer: no training programs — add programs to the environment "
+        "or configure a curriculum");
+
+  RolloutWorkers Workers(Runner.env(), Spec, Config.NumWorkers);
+  const PPOConfig &PPO = Runner.config();
+  const auto Start = std::chrono::steady_clock::now();
+  const long long StepsAtStart = Progress.StepsDone;
+
+  auto hitRunCap = [&] {
+    if (Config.MaxStepsThisRun > 0 &&
+        Progress.StepsDone - StepsAtStart >= Config.MaxStepsThisRun)
+      return true;
+    if (Config.MaxSecondsThisRun > 0.0) {
+      const std::chrono::duration<double> Elapsed =
+          std::chrono::steady_clock::now() - Start;
+      if (Elapsed.count() >= Config.MaxSecondsThisRun)
+        return true;
+    }
+    return false;
+  };
+
+  RolloutBuffer Buffer;
+  while (Progress.StepsDone < Config.TotalSteps) {
+    if (hitRunCap()) {
+      Report.Interrupted = true;
+      break;
+    }
+
+    // Parallel collection off the master RNG state, then one serial
+    // advance so the next batch derives fresh episode streams.
+    Workers.collect(Runner.embedder(), Runner.policy(), Runner.rng(),
+                    Runner.env().size(), PPO.BatchSize, Buffer);
+    Runner.rng().next();
+    Progress.StepsDone += PPO.BatchSize;
+
+    // Entropy annealing against the *total* budget (same schedule as the
+    // serial PPORunner::train), so interrupted + resumed == uninterrupted.
+    const double Fraction =
+        std::min(1.0, static_cast<double>(Progress.StepsDone) /
+                          std::max<long long>(1, Config.TotalSteps));
+    const double EntropyCoef =
+        PPO.EntropyCoef +
+        (PPO.FinalEntropyCoef - PPO.EntropyCoef) * Fraction;
+    const double Loss = Runner.trainOnBatch(Buffer.Transitions, EntropyCoef);
+    ++Progress.BatchesDone;
+    ++Report.BatchesRun;
+
+    Report.Stats.RewardMean.add(static_cast<double>(Progress.StepsDone),
+                                Runner.rewardEMA().value());
+    Report.Stats.Loss.add(static_cast<double>(Progress.StepsDone), Loss);
+
+    if (Stages.observe(Runner.rewardEMA().value(), PPO.BatchSize,
+                       Runner.env()) &&
+        Config.Verbose)
+      std::cout << "[train] curriculum -> stage " << Stages.stage() << " ("
+                << Stages.stageName(Stages.stage()) << "), "
+                << Runner.env().size() << " programs\n";
+
+    if (Config.EvalEveryBatches > 0 &&
+        Progress.BatchesDone % Config.EvalEveryBatches == 0)
+      runEval(Progress);
+
+    Progress.Stage = Stages.cursor();
+    Progress.RewardEMAValue = Runner.rewardEMA().value();
+    Progress.RewardEMASeen = Runner.rewardEMA().seen();
+    if (!Config.CheckpointPath.empty() && Config.CheckpointEveryBatches > 0 &&
+        Progress.BatchesDone % Config.CheckpointEveryBatches == 0) {
+      std::string Error;
+      if (!TrainCheckpoint::save(Config.CheckpointPath, Runner, Progress,
+                                 &Error) &&
+          Config.Verbose)
+        std::cout << "[train] checkpoint failed: " << Error << "\n";
+    }
+
+    if (Config.Verbose)
+      std::cout << "[train] step " << Progress.StepsDone << "/"
+                << Config.TotalSteps << "  reward EMA "
+                << Runner.rewardEMA().value() << "  loss " << Loss << "\n";
+  }
+
+  // Final evaluation (and best-model update), then a final checkpoint so a
+  // later Resume continues from the exact stopping point.
+  Report.FinalEval = runEval(Progress);
+  Progress.Stage = Stages.cursor();
+  if (!Config.CheckpointPath.empty()) {
+    std::string Error;
+    if (!TrainCheckpoint::save(Config.CheckpointPath, Runner, Progress,
+                               &Error) &&
+        Config.Verbose)
+      std::cout << "[train] final checkpoint failed: " << Error << "\n";
+  }
+
+  // Outside the loop: a resume of an already-completed run (zero batches)
+  // must still report the restored EMA, not a default zero.
+  Report.Stats.FinalRewardMean = Runner.rewardEMA().value();
+  Report.Stats.Steps = Progress.StepsDone;
+  Report.FinalStage = Stages.stage();
+  Report.BestEvalReward = Progress.BestEvalReward;
+  return Report;
+}

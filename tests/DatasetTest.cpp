@@ -73,6 +73,32 @@ TEST_P(GeneratorTemplateTest, PrintedProgramsRoundTrip) {
   EXPECT_EQ(Printed, printProgram(*P2));
 }
 
+TEST_P(GeneratorTemplateTest, ProgramsYieldVectorizableSites) {
+  // Every template must produce programs the RL environment accepts: they
+  // parse and expose at least one vectorization site with path contexts.
+  LoopGenerator Gen(4000 + GetParam());
+  VectorizationEnv Env{SimCompiler(), PathContextConfig()};
+  for (int I = 0; I < 4; ++I) {
+    GeneratedLoop L = Gen.generate(GetParam());
+    ASSERT_TRUE(Env.addProgram(L.Name, L.Source)) << L.Source;
+    const EnvSample &Sample = Env.sample(Env.size() - 1);
+    EXPECT_GE(Sample.Sites.size(), 1u) << L.Source;
+    EXPECT_EQ(Sample.Contexts.size(), Sample.Sites.size());
+    EXPECT_GT(Sample.BaselineCycles, 0.0);
+  }
+}
+
+TEST_P(GeneratorTemplateTest, DeterministicPerSeedAndTemplate) {
+  LoopGenerator A(5000 + GetParam()), B(5000 + GetParam());
+  for (int I = 0; I < 6; ++I) {
+    GeneratedLoop LA = A.generate(GetParam());
+    GeneratedLoop LB = B.generate(GetParam());
+    EXPECT_EQ(LA.Name, LB.Name);
+    EXPECT_EQ(LA.Source, LB.Source);
+    EXPECT_EQ(LA.Template, GetParam());
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllTemplates, GeneratorTemplateTest,
                          ::testing::Range(0, LoopGenerator::NumTemplates));
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 using namespace nv;
 
@@ -131,6 +132,44 @@ TEST(Policy, EntropyDecreasesWhenLogitsSharpen) {
   EXPECT_NEAR(H0, std::log(7.0) + std::log(5.0), 0.35);
 }
 
+TEST(PPO, ConfigValidationRejectsBadValues) {
+  EXPECT_NO_THROW(PPOConfig().validate());
+
+  auto reject = [](void (*Mutate)(PPOConfig &)) {
+    PPOConfig Config;
+    Mutate(Config);
+    EXPECT_THROW(Config.validate(), std::invalid_argument);
+  };
+  reject([](PPOConfig &C) { C.BatchSize = 0; });
+  reject([](PPOConfig &C) { C.BatchSize = -5; });
+  reject([](PPOConfig &C) { C.MiniBatchSize = 0; });
+  reject([](PPOConfig &C) {
+    C.BatchSize = 64;
+    C.MiniBatchSize = 128;
+  });
+  reject([](PPOConfig &C) { C.Epochs = 0; });
+  reject([](PPOConfig &C) { C.ClipEps = 0.0; });
+  reject([](PPOConfig &C) { C.ClipEps = -0.3; });
+  reject([](PPOConfig &C) { C.LearningRate = 0.0; });
+  reject([](PPOConfig &C) { C.MaxGradNorm = 0.0; });
+  reject([](PPOConfig &C) { C.EntropyCoef = -0.1; });
+}
+
+TEST(PPO, RunnerConstructionValidatesConfig) {
+  VectorizationEnv Env{SimCompiler(), PathContextConfig()};
+  ASSERT_TRUE(Env.addProgram("dot", DotProduct));
+  RNG R(13);
+  Code2VecConfig CC;
+  Code2Vec Embedder(CC, R);
+  Policy Pol(ActionSpaceKind::Discrete, CC.CodeDim, {16}, 7, 5, R);
+  PPOConfig Config;
+  Config.BatchSize = 32; // Default MiniBatchSize of 128 now exceeds it.
+  EXPECT_THROW(PPORunner(Env, Embedder, Pol, Config, 13),
+               std::invalid_argument);
+  Config.MiniBatchSize = 32;
+  EXPECT_NO_THROW(PPORunner(Env, Embedder, Pol, Config, 13));
+}
+
 TEST(PPO, LearnsSingleStateBandit) {
   // One program, tabular-like setting: PPO must find a better-than-
   // baseline factor assignment quickly.
@@ -185,6 +224,7 @@ TEST(PPO, PredictReturnsLegalFactors) {
   Policy Pol(ActionSpaceKind::Discrete, CC.CodeDim, {64, 64}, 7, 5, R);
   PPOConfig Config;
   Config.BatchSize = 32;
+  Config.MiniBatchSize = 32;
   PPORunner Runner(Env, Embedder, Pol, Config, 11);
   std::vector<VectorPlan> Plans = Runner.predictSample(0);
   ASSERT_EQ(Plans.size(), 1u);

@@ -84,6 +84,53 @@ TEST(RNG, ShufflePreservesElements) {
   EXPECT_EQ(V, Orig);
 }
 
+TEST(RNG, SplitStreamIsReproducible) {
+  // Same parent state + same stream id => identical stream.
+  RNG A(123), B(123);
+  RNG SA = A.split(uint64_t(7)), SB = B.split(uint64_t(7));
+  for (int I = 0; I < 32; ++I)
+    EXPECT_EQ(SA.next(), SB.next());
+}
+
+TEST(RNG, SplitStreamDoesNotAdvanceParent) {
+  RNG A(99), B(99);
+  (void)A.split(uint64_t(0));
+  (void)A.split(uint64_t(1));
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNG, SplitStreamsAreDecorrelated) {
+  // Nearby ids must produce unrelated streams, and every stream must
+  // differ from the parent's own output.
+  RNG Parent(2026);
+  RNG S0 = Parent.split(uint64_t(0));
+  RNG S1 = Parent.split(uint64_t(1));
+  int SameAsSibling = 0, SameAsParent = 0;
+  for (int I = 0; I < 64; ++I) {
+    const uint64_t A = S0.next(), B = S1.next(), P = Parent.next();
+    SameAsSibling += A == B;
+    SameAsParent += A == P;
+  }
+  EXPECT_EQ(SameAsSibling, 0);
+  EXPECT_EQ(SameAsParent, 0);
+}
+
+TEST(RNG, SnapshotRestoreResumesSequence) {
+  RNG A(55);
+  for (int I = 0; I < 10; ++I)
+    (void)A.next();
+  (void)A.nextGaussian(); // Leaves a buffered Box-Muller spare.
+  const RNG::Snapshot Snap = A.snapshot();
+  std::vector<double> Expected;
+  for (int I = 0; I < 8; ++I)
+    Expected.push_back(A.nextGaussian());
+  RNG B(1); // Unrelated state, fully overwritten by restore().
+  B.restore(Snap);
+  for (int I = 0; I < 8; ++I)
+    EXPECT_EQ(Expected[I], B.nextGaussian());
+}
+
 TEST(Stats, MeanStd) {
   std::vector<double> V = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
   EXPECT_DOUBLE_EQ(mean(V), 5.0);
