@@ -57,6 +57,8 @@ int main() {
   std::cout << "requests: " << Requests.size() << "\n\n";
 
   Table T({"method", "ms", "programs/s", "speedup"});
+  BenchJson Json("serve_throughput");
+  Json.add("requests", Requests.size());
 
   // --- Reference: the one-at-a-time API -----------------------------------
   const auto LoopStart = std::chrono::steady_clock::now();
@@ -68,6 +70,8 @@ int main() {
   T.addRow({"annotate() loop", Table::fmt(LoopMs),
             Table::fmt(Requests.size() * 1000.0 / LoopMs, 0),
             Table::fmt(1.0) + "x"});
+  Json.add("annotate_loop_programs_per_sec",
+           Requests.size() * 1000.0 / LoopMs);
 
   // --- Batched service at several pool sizes ------------------------------
   double PooledMs4 = 0.0;
@@ -91,6 +95,8 @@ int main() {
     T.addRow({"annotateBatch, " + std::to_string(Threads) + " thr",
               Table::fmt(Ms), Table::fmt(Requests.size() * 1000.0 / Ms, 0),
               Table::fmt(LoopMs / Ms) + "x"});
+    Json.add("batch_" + std::to_string(Threads) + "thr_programs_per_sec",
+             Requests.size() * 1000.0 / Ms);
 
     if (Threads == 8) {
       // Warm pass: every site is now in the plan cache.
@@ -100,15 +106,28 @@ int main() {
       T.addRow({"annotateBatch, warm cache", Table::fmt(WarmMs),
                 Table::fmt(Requests.size() * 1000.0 / WarmMs, 0),
                 Table::fmt(LoopMs / WarmMs) + "x"});
+      Json.add("warm_cache_programs_per_sec",
+               Requests.size() * 1000.0 / WarmMs);
       std::cout << "\nservice counters (8-thread service, both passes):\n";
       Service.stats().print(std::cout);
       std::cout << "\n";
+      // Phase split of the 8-thread service (cold + warm pass combined).
+      Json.add("phase_extract_micros",
+               static_cast<double>(Service.stats().ExtractMicros.load()));
+      Json.add("phase_infer_micros",
+               static_cast<double>(Service.stats().InferMicros.load()));
+      Json.add("phase_render_micros",
+               static_cast<double>(Service.stats().RenderMicros.load()));
+      Json.add("phase_total_micros",
+               static_cast<double>(Service.stats().TotalMicros.load()));
     }
   }
 
   T.print(std::cout);
   std::cout << "\n4-thread pool vs single-thread loop: "
             << Table::fmt(LoopMs / PooledMs4) << "x\n";
+  Json.add("speedup_4thr_vs_loop", LoopMs / PooledMs4);
+  Json.write("serve");
   // Exit status reflects correctness only (checked above); timing is
   // reported, not gated, so contended CI runners cannot flake this bench.
   return 0;

@@ -65,6 +65,9 @@ int main() {
   std::cout << "\n";
 
   Table T({"collector", "ms/batch", "transitions/s", "speedup"});
+  BenchJson Json("train_throughput");
+  Json.add("programs", NV.env().size());
+  Json.add("batch_size", BatchSize);
 
   // --- Reference: the serial collector ------------------------------------
   const auto SerialStart = std::chrono::steady_clock::now();
@@ -75,6 +78,9 @@ int main() {
   T.addRow({"serial collectBatch", Table::fmt(SerialMs),
             Table::fmt(SerialCount / Repeats * 1000.0 / SerialMs, 0),
             Table::fmt(1.0) + "x"});
+  Json.add("serial_transitions_per_sec",
+           SerialCount / Repeats * 1000.0 / SerialMs);
+  Json.add("serial_batch_micros", SerialMs * 1000.0);
 
   // --- Worker pools --------------------------------------------------------
   const RolloutModelSpec Spec = NV.rolloutSpec();
@@ -100,6 +106,10 @@ int main() {
     T.addRow({"workers, " + std::to_string(Workers), Table::fmt(Ms),
               Table::fmt(Count / Repeats * 1000.0 / Ms, 0),
               Table::fmt(SerialMs / Ms) + "x"});
+    Json.add("workers_" + std::to_string(Workers) + "_transitions_per_sec",
+             Count / Repeats * 1000.0 / Ms);
+    Json.add("workers_" + std::to_string(Workers) + "_batch_micros",
+             Ms * 1000.0);
   }
 
   T.print(std::cout);
@@ -130,6 +140,8 @@ int main() {
   }
   std::cout << "determinism guard: 1-worker and 4-worker batches are "
                "bit-identical\n";
+  Json.add("determinism_guard_ok", 1);
+  Json.write("train");
   // Exit status reflects correctness only; timing is reported, not gated,
   // so contended CI runners cannot flake this bench.
   return 0;

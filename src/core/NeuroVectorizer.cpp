@@ -150,8 +150,14 @@ NeuroVectorizer::plansFor(const std::string &Source, PredictMethod Method) {
 
   std::vector<VectorPlan> Plans;
   for (const LoopSite &Site : Sites) {
+    // Mirror the environment's extraction setting: predicting from the
+    // other loop body would hand the model embeddings it never trained on
+    // (the same train/serve skew AnnotationService guards against).
+    const Stmt &ContextRoot =
+        Env->innerContextOnly() ? static_cast<const Stmt &>(*Site.Inner)
+                                : static_cast<const Stmt &>(*Site.Outer);
     const std::vector<PathContext> Contexts =
-        extractPathContexts(*Site.Outer, Config.Embedding.Paths);
+        extractPathContexts(ContextRoot, Config.Embedding.Paths);
     switch (Method) {
     case PredictMethod::RL:
       Plans.push_back(Runner->predict(Contexts));
@@ -207,26 +213,42 @@ double NeuroVectorizer::speedupOverBaseline(const std::string &Source,
 }
 
 bool NeuroVectorizer::save(const std::string &Path, std::string *Error) {
-  return ModelSerializer::save(Path, *Embedder, *Pol, Error);
+  // The file carries the extraction setting the model was trained with so
+  // a loading deployment reproduces the training-side embeddings.
+  ModelMeta Meta;
+  Meta.InnerContextOnly = Env->innerContextOnly();
+  return ModelSerializer::save(Path, *Embedder, *Pol, Meta, Error);
 }
 
 bool NeuroVectorizer::load(const std::string &Path, std::string *Error) {
-  if (!ModelSerializer::load(Path, *Embedder, *Pol, Error))
+  ModelMeta Meta;
+  if (!ModelSerializer::load(Path, *Embedder, *Pol, &Meta, Error))
     return false;
+  // The loaded model dictates how loops must be embedded from now on:
+  // predictions, serving, and training all follow it (the env re-extracts
+  // the contexts of any programs it already holds, so a warm-start
+  // train() after load() sees the right flavour too).
+  Env->setInnerContextOnly(Meta.InnerContextOnly);
   // The plan cache and the supervised predictors were derived from the old
   // weights. The NNS index is cleared eagerly (not just flagged) so stale
   // entries cannot survive into a release build where the
   // SupervisedReady asserts compile out.
-  if (Service)
+  if (Service) {
+    Service->setContextExtraction(Meta.InnerContextOnly);
     Service->clearCache();
+  }
   NNS.clear();
   SupervisedReady = false;
   return true;
 }
 
 AnnotationService &NeuroVectorizer::service(const ServeConfig &Serve) {
+  // The facade owns the consistency guarantee: whatever the caller set,
+  // the service extracts contexts the way this instance's model does.
+  ServeConfig Cfg = Serve;
+  Cfg.InnerContextOnly = Env->innerContextOnly();
   Service = std::make_unique<AnnotationService>(
-      *Embedder, *Pol, Config.Embedding.Paths, Config.Target, Serve);
+      *Embedder, *Pol, Config.Embedding.Paths, Config.Target, Cfg);
   return *Service;
 }
 

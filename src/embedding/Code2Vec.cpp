@@ -3,6 +3,7 @@
 #include "embedding/Code2Vec.h"
 
 #include "nn/Distributions.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <cmath>
@@ -25,64 +26,93 @@ std::vector<Param *> Code2Vec::params() {
   return {&TokenEmb, &PathEmb, &W, &B, &Attn};
 }
 
+void Code2Vec::encodeSample(SampleCache &SC,
+                            const std::vector<PathContext> &Contexts,
+                            double *VRow, ThreadPool *Pool) {
+  const int InDim = 2 * Config.TokenDim + Config.PathDim;
+  SC.Contexts = Contexts;
+  for (int D = 0; D < Config.CodeDim; ++D)
+    VRow[D] = 0.0;
+  if (SC.Contexts.empty()) {
+    // Empty snippet: code vector is zero.
+    SC.X.resize(0, InDim);
+    SC.C.resize(0, Config.CodeDim);
+    SC.Alpha.clear();
+    return;
+  }
+  const int N = static_cast<int>(SC.Contexts.size());
+
+  // Gather embeddings.
+  SC.X.resize(N, InDim);
+  for (int I = 0; I < N; ++I) {
+    const PathContext &Ctx = SC.Contexts[I];
+    double *Row = SC.X.rowPtr(I);
+    const double *Src = TokenEmb.Value.rowPtr(Ctx.SrcToken);
+    const double *Path = PathEmb.Value.rowPtr(Ctx.Path);
+    const double *Dst = TokenEmb.Value.rowPtr(Ctx.DstToken);
+    for (int D = 0; D < Config.TokenDim; ++D)
+      Row[D] = Src[D];
+    for (int D = 0; D < Config.PathDim; ++D)
+      Row[Config.TokenDim + D] = Path[D];
+    for (int D = 0; D < Config.TokenDim; ++D)
+      Row[Config.TokenDim + Config.PathDim + D] = Dst[D];
+  }
+
+  // Combined context vectors: fused affine + tanh.
+  gemmInto(SC.C, SC.X, W.Value, &B.Value, Activation::Tanh, Pool);
+
+  // Attention scores, softmaxed in place.
+  SC.Alpha.resize(N);
+  const double *AttnRow = Attn.Value.rowPtr(0);
+  double MaxScore = -1e300;
+  for (int I = 0; I < N; ++I) {
+    double Dot = 0.0;
+    const double *CRow = SC.C.rowPtr(I);
+    for (int D = 0; D < Config.CodeDim; ++D)
+      Dot += CRow[D] * AttnRow[D];
+    SC.Alpha[I] = Dot;
+    MaxScore = std::max(MaxScore, Dot);
+  }
+  double Norm = 0.0;
+  for (int I = 0; I < N; ++I) {
+    SC.Alpha[I] = std::exp(SC.Alpha[I] - MaxScore);
+    Norm += SC.Alpha[I];
+  }
+  for (int I = 0; I < N; ++I)
+    SC.Alpha[I] /= Norm;
+
+  // Weighted sum.
+  for (int I = 0; I < N; ++I) {
+    const double *CRow = SC.C.rowPtr(I);
+    const double Alpha = SC.Alpha[I];
+    for (int D = 0; D < Config.CodeDim; ++D)
+      VRow[D] += Alpha * CRow[D];
+  }
+}
+
+void Code2Vec::encodeBatchInto(
+    const std::vector<std::vector<PathContext>> &Batch, Matrix &V,
+    ThreadPool *Pool) {
+  V.resize(static_cast<int>(Batch.size()), Config.CodeDim);
+  Cache.resize(Batch.size()); // Existing SampleCaches keep their buffers.
+
+  if (Pool && Batch.size() > 1) {
+    // Samples are independent: fan them out and keep each sample's inner
+    // GEMM serial. Per-sample results do not depend on the partition.
+    Pool->parallelFor(0, Batch.size(), [&](size_t S) {
+      encodeSample(Cache[S], Batch[S], V.rowPtr(static_cast<int>(S)),
+                   nullptr);
+    });
+    return;
+  }
+  for (size_t S = 0; S < Batch.size(); ++S)
+    encodeSample(Cache[S], Batch[S], V.rowPtr(static_cast<int>(S)), Pool);
+}
+
 Matrix Code2Vec::encodeBatch(
     const std::vector<std::vector<PathContext>> &Batch) {
-  const int InDim = 2 * Config.TokenDim + Config.PathDim;
-  Matrix V(static_cast<int>(Batch.size()), Config.CodeDim);
-  Cache.clear();
-  Cache.resize(Batch.size());
-
-  for (size_t S = 0; S < Batch.size(); ++S) {
-    SampleCache &SC = Cache[S];
-    SC.Contexts = Batch[S];
-    if (SC.Contexts.empty()) {
-      // Empty snippet: code vector is tanh(b)-weighted... simply zero.
-      SC.X = Matrix(0, InDim);
-      SC.C = Matrix(0, Config.CodeDim);
-      continue;
-    }
-    const int N = static_cast<int>(SC.Contexts.size());
-
-    // Gather embeddings.
-    SC.X = Matrix(N, InDim);
-    for (int I = 0; I < N; ++I) {
-      const PathContext &Ctx = SC.Contexts[I];
-      double *Row = SC.X.rowPtr(I);
-      const double *Src = TokenEmb.Value.rowPtr(Ctx.SrcToken);
-      const double *Path = PathEmb.Value.rowPtr(Ctx.Path);
-      const double *Dst = TokenEmb.Value.rowPtr(Ctx.DstToken);
-      for (int D = 0; D < Config.TokenDim; ++D)
-        Row[D] = Src[D];
-      for (int D = 0; D < Config.PathDim; ++D)
-        Row[Config.TokenDim + D] = Path[D];
-      for (int D = 0; D < Config.TokenDim; ++D)
-        Row[Config.TokenDim + Config.PathDim + D] = Dst[D];
-    }
-
-    // Combined context vectors with tanh.
-    SC.C = addRowBroadcast(matmul(SC.X, W.Value), B.Value);
-    for (double &Value : SC.C.raw())
-      Value = std::tanh(Value);
-
-    // Attention.
-    std::vector<double> Scores(N);
-    for (int I = 0; I < N; ++I) {
-      double Dot = 0.0;
-      const double *CRow = SC.C.rowPtr(I);
-      for (int D = 0; D < Config.CodeDim; ++D)
-        Dot += CRow[D] * Attn.Value.at(0, D);
-      Scores[I] = Dot;
-    }
-    SC.Alpha = softmax(Scores);
-
-    // Weighted sum.
-    double *VRow = V.rowPtr(static_cast<int>(S));
-    for (int I = 0; I < N; ++I) {
-      const double *CRow = SC.C.rowPtr(I);
-      for (int D = 0; D < Config.CodeDim; ++D)
-        VRow[D] += SC.Alpha[I] * CRow[D];
-    }
-  }
+  Matrix V;
+  encodeBatchInto(Batch, V);
   return V;
 }
 
@@ -105,14 +135,15 @@ void Code2Vec::backward(const Matrix &dV) {
     // v = sum alpha_i c_i.
     //   dAlpha_i = c_i . dv        dC_i += alpha_i dv
     std::vector<double> dAlpha(N, 0.0);
-    Matrix dC(N, Config.CodeDim);
+    Matrix &dC = BackdC;
+    dC.resize(N, Config.CodeDim);
     for (int I = 0; I < N; ++I) {
       const double *CRow = SC.C.rowPtr(I);
       double *dCRow = dC.rowPtr(I);
       double Dot = 0.0;
       for (int D = 0; D < Config.CodeDim; ++D) {
         Dot += CRow[D] * dVRow[D];
-        dCRow[D] += SC.Alpha[I] * dVRow[D];
+        dCRow[D] = SC.Alpha[I] * dVRow[D];
       }
       dAlpha[I] = Dot;
     }
@@ -145,9 +176,10 @@ void Code2Vec::backward(const Matrix &dV) {
     }
 
     // Affine backward: pre = X W + b.
-    W.Grad += matmulTA(SC.X, dC);
-    B.Grad += sumRows(dC);
-    Matrix dX = matmulTB(dC, W.Value);
+    gemmTAInto(W.Grad, SC.X, dC, /*Accumulate=*/true);
+    sumRowsInto(B.Grad, dC, /*Accumulate=*/true);
+    Matrix &dX = BackdX;
+    gemmTBInto(dX, dC, W.Value);
 
     // Scatter into the embedding tables.
     for (int I = 0; I < N; ++I) {

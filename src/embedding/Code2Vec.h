@@ -18,6 +18,12 @@
 /// *end-to-end with the RL agent*: PPO's gradient w.r.t. the state vector
 /// flows through the attention into the embedding tables.
 ///
+/// encodeBatchInto is the hot path: it runs the affine+tanh step through
+/// the fused blocked kernels (nn/Kernels.h), reuses the per-sample caches
+/// across calls (zero steady-state allocation), and can spread samples of
+/// a batch across a ThreadPool — deterministically, since samples are
+/// independent and every reduction order is fixed.
+///
 /// The paper uses a 340-dimensional code vector; the default here is 64
 /// so the bench harnesses train in seconds (configurable; the hyper-
 /// parameter sweep bench exercises other sizes).
@@ -33,6 +39,8 @@
 #include <vector>
 
 namespace nv {
+
+class ThreadPool;
 
 /// Code2Vec hyperparameters.
 struct Code2VecConfig {
@@ -50,8 +58,14 @@ public:
   const Code2VecConfig &config() const { return Config; }
   int codeDim() const { return Config.CodeDim; }
 
-  /// Encodes a batch of context bags into a (batch x CodeDim) matrix and
-  /// caches everything needed for backward().
+  /// Encodes a batch of context bags into \p V (resized to batch x
+  /// CodeDim) and caches everything needed for backward(). Allocation-free
+  /// once warm; samples fan out across \p Pool when provided (results are
+  /// bit-identical with or without a pool, at any pool size).
+  void encodeBatchInto(const std::vector<std::vector<PathContext>> &Batch,
+                       Matrix &V, ThreadPool *Pool = nullptr);
+
+  /// Allocating convenience wrapper around encodeBatchInto.
   Matrix encodeBatch(const std::vector<std::vector<PathContext>> &Batch);
 
   /// Convenience single-snippet encode (1 x CodeDim).
@@ -72,7 +86,8 @@ private:
   Param B;        ///< (1 x CodeDim)
   Param Attn;     ///< (1 x CodeDim)
 
-  /// Cached forward state per batch row.
+  /// Cached forward state per batch row. Reused across batches: growing a
+  /// vector member reuses its allocation whenever the new size fits.
   struct SampleCache {
     std::vector<PathContext> Contexts;
     Matrix X;     ///< (n x inDim) concatenated embeddings.
@@ -80,6 +95,12 @@ private:
     std::vector<double> Alpha; ///< Attention weights (n).
   };
   std::vector<SampleCache> Cache;
+  Matrix BackdC; ///< Backward scratch (n x CodeDim).
+  Matrix BackdX; ///< Backward scratch (n x inDim).
+
+  void encodeSample(SampleCache &SC,
+                    const std::vector<PathContext> &Contexts, double *VRow,
+                    ThreadPool *Pool);
 };
 
 } // namespace nv

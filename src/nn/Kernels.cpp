@@ -1,0 +1,262 @@
+//===- nn/Kernels.cpp - Blocked, in-place NN math kernels -------------------===//
+
+#include "nn/Kernels.h"
+
+#include "nn/VecMath.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace nv;
+
+void nv::applyActivation(Matrix &Y, Activation Act) {
+  switch (Act) {
+  case Activation::Tanh:
+    vecTanh(Y.raw().data(), Y.raw().size());
+    break;
+  case Activation::ReLU:
+    for (double &V : Y.raw())
+      V = V > 0.0 ? V : 0.0;
+    break;
+  case Activation::Identity:
+    break;
+  }
+}
+
+namespace {
+
+/// Register-blocking factors. MR rows of the output are produced together
+/// (each B element loaded once feeds MR FMAs); NB output columns are
+/// accumulated in a stack tile that stays in L1, so C is touched once per
+/// block instead of once per k step.
+constexpr int MR = 4;
+constexpr int NB = 64;
+
+/// Problems below this many multiply-adds are not worth fanning out.
+constexpr long long MinParallelWork = 1 << 15;
+
+inline double activate(double V, Activation Act) {
+  switch (Act) {
+  case Activation::Tanh:
+    return std::tanh(V);
+  case Activation::ReLU:
+    return V > 0.0 ? V : 0.0;
+  case Activation::Identity:
+    break;
+  }
+  return V;
+}
+
+/// Runs \p PanelFn(RowBegin, RowEnd) over [0, M) in MR-row panels, across
+/// the pool when the problem justifies it. Panel boundaries are fixed
+/// multiples of MR either way, and every output element's reduction order
+/// is internal to its panel — bit-identical results at any pool size.
+template <typename PanelFn>
+void forEachRowPanel(ThreadPool *Pool, int M, long long Work,
+                     const PanelFn &Panel) {
+  const int NumPanels = (M + MR - 1) / MR;
+  if (!Pool || NumPanels < 2 || Work < MinParallelWork) {
+    Panel(0, M);
+    return;
+  }
+  Pool->parallelFor(0, static_cast<size_t>(NumPanels), [&](size_t P) {
+    const int Begin = static_cast<int>(P) * MR;
+    Panel(Begin, std::min(M, Begin + MR));
+  });
+}
+
+} // namespace
+
+void nv::gemmInto(Matrix &C, const Matrix &A, const Matrix &B,
+                  const Matrix *BiasRow, Activation Act, ThreadPool *Pool) {
+  assert(A.cols() == B.rows() && "gemmInto shape mismatch");
+  assert(!BiasRow ||
+         (BiasRow->rows() == 1 && BiasRow->cols() == B.cols()) &&
+             "bias must be 1 x B.cols()");
+  const int M = A.rows(), K = A.cols(), N = B.cols();
+  C.resize(M, N);
+  const double *Bias = BiasRow ? BiasRow->rowPtr(0) : nullptr;
+
+  auto Panel = [&](int RowBegin, int RowEnd) {
+    double Acc[MR][NB];
+    for (int I0 = RowBegin; I0 < RowEnd; I0 += MR) {
+      const int MCur = std::min(MR, RowEnd - I0);
+      for (int J0 = 0; J0 < N; J0 += NB) {
+        const int NCur = std::min(NB, N - J0);
+        for (int R = 0; R < MCur; ++R)
+          for (int J = 0; J < NCur; ++J)
+            Acc[R][J] = 0.0;
+
+        if (MCur == MR) {
+          const double *A0 = A.rowPtr(I0 + 0);
+          const double *A1 = A.rowPtr(I0 + 1);
+          const double *A2 = A.rowPtr(I0 + 2);
+          const double *A3 = A.rowPtr(I0 + 3);
+          for (int Kk = 0; Kk < K; ++Kk) {
+            const double *BRow = B.rowPtr(Kk) + J0;
+            const double V0 = A0[Kk], V1 = A1[Kk], V2 = A2[Kk],
+                         V3 = A3[Kk];
+            for (int J = 0; J < NCur; ++J) {
+              const double Bv = BRow[J];
+              Acc[0][J] += V0 * Bv;
+              Acc[1][J] += V1 * Bv;
+              Acc[2][J] += V2 * Bv;
+              Acc[3][J] += V3 * Bv;
+            }
+          }
+        } else {
+          for (int Kk = 0; Kk < K; ++Kk) {
+            const double *BRow = B.rowPtr(Kk) + J0;
+            for (int R = 0; R < MCur; ++R) {
+              const double V = A.rowPtr(I0 + R)[Kk];
+              for (int J = 0; J < NCur; ++J)
+                Acc[R][J] += V * BRow[J];
+            }
+          }
+        }
+
+        for (int R = 0; R < MCur; ++R) {
+          double *CRow = C.rowPtr(I0 + R) + J0;
+          if (Act == Activation::Tanh) {
+            // Store bias-added values, then one vector-tanh sweep: the
+            // transcendental is the dominant epilogue cost.
+            for (int J = 0; J < NCur; ++J)
+              CRow[J] = Acc[R][J] + (Bias ? Bias[J0 + J] : 0.0);
+            vecTanh(CRow, static_cast<size_t>(NCur));
+          } else {
+            for (int J = 0; J < NCur; ++J) {
+              double V = Acc[R][J];
+              if (Bias)
+                V += Bias[J0 + J];
+              CRow[J] = activate(V, Act);
+            }
+          }
+        }
+      }
+    }
+  };
+  forEachRowPanel(Pool, M, static_cast<long long>(M) * K * N, Panel);
+}
+
+void nv::gemmTAInto(Matrix &C, const Matrix &A, const Matrix &B,
+                    bool Accumulate, ThreadPool *Pool) {
+  assert(A.rows() == B.rows() && "gemmTAInto shape mismatch");
+  const int R = A.rows(), M = A.cols(), N = B.cols();
+  if (Accumulate)
+    assert(C.rows() == M && C.cols() == N && "accumulate shape mismatch");
+  else
+    C.resize(M, N);
+
+  auto Panel = [&](int RowBegin, int RowEnd) {
+    double Acc[MR][NB];
+    for (int I0 = RowBegin; I0 < RowEnd; I0 += MR) {
+      const int MCur = std::min(MR, RowEnd - I0);
+      for (int J0 = 0; J0 < N; J0 += NB) {
+        const int NCur = std::min(NB, N - J0);
+        for (int Rr = 0; Rr < MCur; ++Rr)
+          for (int J = 0; J < NCur; ++J)
+            Acc[Rr][J] = 0.0;
+
+        // Output rows are columns I0..I0+MCur of A; the needed A values
+        // sit contiguously in each A row.
+        if (MCur == MR) {
+          for (int Kk = 0; Kk < R; ++Kk) {
+            const double *AVals = A.rowPtr(Kk) + I0;
+            const double *BRow = B.rowPtr(Kk) + J0;
+            const double V0 = AVals[0], V1 = AVals[1], V2 = AVals[2],
+                         V3 = AVals[3];
+            for (int J = 0; J < NCur; ++J) {
+              const double Bv = BRow[J];
+              Acc[0][J] += V0 * Bv;
+              Acc[1][J] += V1 * Bv;
+              Acc[2][J] += V2 * Bv;
+              Acc[3][J] += V3 * Bv;
+            }
+          }
+        } else {
+          for (int Kk = 0; Kk < R; ++Kk) {
+            const double *AVals = A.rowPtr(Kk) + I0;
+            const double *BRow = B.rowPtr(Kk) + J0;
+            for (int Rr = 0; Rr < MCur; ++Rr) {
+              const double V = AVals[Rr];
+              for (int J = 0; J < NCur; ++J)
+                Acc[Rr][J] += V * BRow[J];
+            }
+          }
+        }
+
+        for (int Rr = 0; Rr < MCur; ++Rr) {
+          double *CRow = C.rowPtr(I0 + Rr) + J0;
+          if (Accumulate)
+            for (int J = 0; J < NCur; ++J)
+              CRow[J] += Acc[Rr][J];
+          else
+            for (int J = 0; J < NCur; ++J)
+              CRow[J] = Acc[Rr][J];
+        }
+      }
+    }
+  };
+  forEachRowPanel(Pool, M, static_cast<long long>(M) * R * N, Panel);
+}
+
+void nv::gemmTBInto(Matrix &C, const Matrix &A, const Matrix &B,
+                    ThreadPool *Pool) {
+  assert(A.cols() == B.cols() && "gemmTBInto shape mismatch");
+  const int M = A.rows(), K = A.cols(), N = B.rows();
+  C.resize(M, N);
+
+  // Dot-product kernel: four B rows stream against one A row, so each A
+  // load feeds four accumulators.
+  auto Panel = [&](int RowBegin, int RowEnd) {
+    for (int I = RowBegin; I < RowEnd; ++I) {
+      const double *ARow = A.rowPtr(I);
+      double *CRow = C.rowPtr(I);
+      int J = 0;
+      for (; J + 4 <= N; J += 4) {
+        const double *B0 = B.rowPtr(J + 0);
+        const double *B1 = B.rowPtr(J + 1);
+        const double *B2 = B.rowPtr(J + 2);
+        const double *B3 = B.rowPtr(J + 3);
+        double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
+        for (int Kk = 0; Kk < K; ++Kk) {
+          const double V = ARow[Kk];
+          S0 += V * B0[Kk];
+          S1 += V * B1[Kk];
+          S2 += V * B2[Kk];
+          S3 += V * B3[Kk];
+        }
+        CRow[J + 0] = S0;
+        CRow[J + 1] = S1;
+        CRow[J + 2] = S2;
+        CRow[J + 3] = S3;
+      }
+      for (; J < N; ++J) {
+        const double *BRow = B.rowPtr(J);
+        double Sum = 0.0;
+        for (int Kk = 0; Kk < K; ++Kk)
+          Sum += ARow[Kk] * BRow[Kk];
+        CRow[J] = Sum;
+      }
+    }
+  };
+  forEachRowPanel(Pool, M, static_cast<long long>(M) * K * N, Panel);
+}
+
+void nv::sumRowsInto(Matrix &Out, const Matrix &A, bool Accumulate) {
+  if (Accumulate)
+    assert(Out.rows() == 1 && Out.cols() == A.cols() &&
+           "accumulate shape mismatch");
+  else {
+    Out.resize(1, A.cols());
+    Out.zero();
+  }
+  double *Row = Out.rowPtr(0);
+  for (int I = 0; I < A.rows(); ++I) {
+    const double *ARow = A.rowPtr(I);
+    for (int J = 0; J < A.cols(); ++J)
+      Row[J] += ARow[J];
+  }
+}

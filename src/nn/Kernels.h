@@ -1,0 +1,62 @@
+//===- nn/Kernels.h - Blocked, in-place NN math kernels ---------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The NN hot-path kernels: cache-blocked GEMM variants that write into
+/// caller-owned matrices (no per-call temporaries), with a fused
+/// bias + activation epilogue and optional row-panel parallelism over a
+/// ThreadPool.
+///
+/// Determinism contract: for every output element the reduction runs in
+/// ascending-k order, independent of the row-panel partition — so results
+/// are bit-identical regardless of pool size (or no pool at all), and the
+/// training subsystem's "bit-identical across worker counts" guarantee
+/// survives kernel parallelism. The kernels also match the naive reference
+/// implementations in nn/Matrix.h element for element (asserted in
+/// tests/NNTest.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_NN_KERNELS_H
+#define NV_NN_KERNELS_H
+
+#include "nn/Matrix.h"
+
+namespace nv {
+
+class ThreadPool;
+
+/// Supported activation functions (fusable into the GEMM epilogue).
+enum class Activation { Tanh, ReLU, Identity };
+
+/// Applies \p Act element-wise in place.
+void applyActivation(Matrix &Y, Activation Act);
+
+/// C = act(A * B + bias): the fused linear-layer forward. \p BiasRow may
+/// be null (no bias) and must be 1 x B.cols() otherwise. C is resized to
+/// A.rows() x B.cols(); it must not alias A or B. When \p Pool is non-null
+/// and the problem is big enough, row panels of C run across the pool.
+void gemmInto(Matrix &C, const Matrix &A, const Matrix &B,
+              const Matrix *BiasRow = nullptr,
+              Activation Act = Activation::Identity,
+              ThreadPool *Pool = nullptr);
+
+/// C (+)= A^T * B with A (R x M), B (R x N), C (M x N). \p Accumulate
+/// selects += (gradient accumulation) vs overwrite. C must not alias.
+void gemmTAInto(Matrix &C, const Matrix &A, const Matrix &B,
+                bool Accumulate = false, ThreadPool *Pool = nullptr);
+
+/// C = A * B^T with A (M x K), B (N x K), C (M x N). C must not alias.
+void gemmTBInto(Matrix &C, const Matrix &A, const Matrix &B,
+                ThreadPool *Pool = nullptr);
+
+/// Out (+)= column-wise sums of A; Out is resized to 1 x A.cols() when not
+/// accumulating (and must already be 1 x A.cols() when it is).
+void sumRowsInto(Matrix &Out, const Matrix &A, bool Accumulate = false);
+
+} // namespace nv
+
+#endif // NV_NN_KERNELS_H

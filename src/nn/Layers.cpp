@@ -13,34 +13,40 @@ LinearLayer::LinearLayer(int In, int Out, RNG &Rng)
   // Biases start at zero.
 }
 
-Matrix LinearLayer::forward(const Matrix &X) {
+void LinearLayer::forwardInto(const Matrix &X, Matrix &Y, Activation Fused,
+                              ThreadPool *Pool, bool CacheInput) {
   assert(X.cols() == W.Value.rows() && "input width mismatch");
-  CachedX = X;
-  return addRowBroadcast(matmul(X, W.Value), B.Value);
+  assert(&X != &Y && "forwardInto must not alias input and output");
+  if (CacheInput)
+    CachedX = X; // Copy-assign reuses CachedX's allocation once warm.
+  gemmInto(Y, X, W.Value, &B.Value, Fused, Pool);
+}
+
+void LinearLayer::backwardInto(const Matrix &dY, Matrix &dX,
+                               ThreadPool *Pool) {
+  assert(dY.cols() == W.Value.cols() && "gradient width mismatch");
+  assert(CachedX.rows() == dY.rows() && "forward/backward batch mismatch");
+  assert(&dY != &dX && "backwardInto must not alias input and output");
+  gemmTAInto(W.Grad, CachedX, dY, /*Accumulate=*/true, Pool);
+  sumRowsInto(B.Grad, dY, /*Accumulate=*/true);
+  gemmTBInto(dX, dY, W.Value, Pool);
+}
+
+Matrix LinearLayer::forward(const Matrix &X) {
+  Matrix Y;
+  forwardInto(X, Y);
+  return Y;
 }
 
 Matrix LinearLayer::backward(const Matrix &dY) {
-  assert(dY.cols() == W.Value.cols() && "gradient width mismatch");
-  assert(CachedX.rows() == dY.rows() && "forward/backward batch mismatch");
-  W.Grad += matmulTA(CachedX, dY);
-  B.Grad += sumRows(dY);
-  return matmulTB(dY, W.Value);
+  Matrix dX;
+  backwardInto(dY, dX);
+  return dX;
 }
 
 Matrix ActivationLayer::forward(const Matrix &X) {
   Matrix Y = X;
-  switch (Kind) {
-  case Activation::Tanh:
-    for (double &V : Y.raw())
-      V = std::tanh(V);
-    break;
-  case Activation::ReLU:
-    for (double &V : Y.raw())
-      V = V > 0.0 ? V : 0.0;
-    break;
-  case Activation::Identity:
-    break;
-  }
+  applyActivation(Y, Kind);
   CachedY = Y;
   return Y;
 }
@@ -67,34 +73,77 @@ Matrix ActivationLayer::backward(const Matrix &dY) {
   return dX;
 }
 
-MLP::MLP(const std::vector<int> &Sizes, Activation Act, RNG &Rng) {
+MLP::MLP(const std::vector<int> &Sizes, Activation Act, RNG &Rng)
+    : Act(Act) {
   assert(Sizes.size() >= 2 && "MLP needs at least input and output sizes");
-  for (size_t I = 0; I + 1 < Sizes.size(); ++I) {
+  for (size_t I = 0; I + 1 < Sizes.size(); ++I)
     Linears.push_back(
         std::make_unique<LinearLayer>(Sizes[I], Sizes[I + 1], Rng));
-    if (I + 2 < Sizes.size())
-      Activations.push_back(std::make_unique<ActivationLayer>(Act));
+  HiddenOut.assign(Linears.size() > 0 ? Linears.size() - 1 : 0, nullptr);
+}
+
+void MLP::forwardInto(const Matrix &X, Matrix &Out, ThreadPool *Pool,
+                      bool ActivateLast, bool ForBackward) {
+  assert(&X != &Out && "forwardInto must not alias input and output");
+  const Matrix *Cur = &X;
+  for (size_t I = 0; I + 1 < Linears.size(); ++I) {
+    Matrix &H = Hidden.get(I, Cur->rows(), Linears[I]->outputSize());
+    Linears[I]->forwardInto(*Cur, H, Act, Pool, ForBackward);
+    HiddenOut[I] = &H;
+    Cur = &H;
   }
+  Linears.back()->forwardInto(*Cur, Out,
+                              ActivateLast ? Act : Activation::Identity,
+                              Pool, ForBackward);
 }
 
 Matrix MLP::forward(const Matrix &X) {
-  Matrix Cur = X;
-  for (size_t I = 0; I < Linears.size(); ++I) {
-    Cur = Linears[I]->forward(Cur);
-    if (I < Activations.size())
-      Cur = Activations[I]->forward(Cur);
-  }
-  return Cur;
+  Matrix Out;
+  forwardInto(X, Out);
+  return Out;
 }
 
 Matrix MLP::backward(const Matrix &dY) {
-  Matrix Cur = dY;
+  // Ping-pong between two scratch buffers; the hidden-activation
+  // derivative is applied from the saved activated outputs before each
+  // hidden layer's affine backward (the fused-forward counterpart of the
+  // old standalone ActivationLayer::backward).
+  const Matrix *Cur = &dY;
   for (size_t I = Linears.size(); I-- > 0;) {
-    if (I < Activations.size())
-      Cur = Activations[I]->backward(Cur);
-    Cur = Linears[I]->backward(Cur);
+    if (I + 1 < Linears.size()) {
+      // Entering hidden layer I+1's input gradient; first undo layer I's
+      // fused activation using its activated output.
+      const Matrix &H = *HiddenOut[I];
+      Matrix &Scaled = BackScratch.get(2, Cur->rows(), Cur->cols());
+      const std::vector<double> &HRaw = H.raw();
+      const std::vector<double> &CurRaw = Cur->raw();
+      std::vector<double> &OutRaw = Scaled.raw();
+      switch (Act) {
+      case Activation::Tanh:
+        for (size_t E = 0; E < OutRaw.size(); ++E)
+          OutRaw[E] = CurRaw[E] * (1.0 - HRaw[E] * HRaw[E]);
+        break;
+      case Activation::ReLU:
+        for (size_t E = 0; E < OutRaw.size(); ++E)
+          OutRaw[E] = HRaw[E] > 0.0 ? CurRaw[E] : 0.0;
+        break;
+      case Activation::Identity:
+        for (size_t E = 0; E < OutRaw.size(); ++E)
+          OutRaw[E] = CurRaw[E];
+        break;
+      }
+      Matrix &Next = BackScratch.get(I % 2, Scaled.rows(),
+                                     Linears[I]->inputSize());
+      Linears[I]->backwardInto(Scaled, Next);
+      Cur = &Next;
+    } else {
+      Matrix &Next = BackScratch.get(I % 2, Cur->rows(),
+                                     Linears[I]->inputSize());
+      Linears[I]->backwardInto(*Cur, Next);
+      Cur = &Next;
+    }
   }
-  return Cur;
+  return *Cur;
 }
 
 std::vector<Param *> MLP::params() {

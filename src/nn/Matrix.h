@@ -58,6 +58,17 @@ public:
   std::vector<double> &raw() { return Data; }
   const std::vector<double> &raw() const { return Data; }
 
+  /// Reshapes to Rows x Cols reusing the existing allocation when it is
+  /// large enough (the backbone of the allocation-free forward path: a
+  /// buffer resized to the same shape every batch never reallocates).
+  /// Contents are unspecified after a shape change.
+  void resize(int Rows, int Cols) {
+    assert(Rows >= 0 && Cols >= 0);
+    NumRows = Rows;
+    NumCols = Cols;
+    Data.resize(static_cast<size_t>(Rows) * Cols);
+  }
+
   /// Sets every element to \p Value.
   void fill(double Value);
   /// Sets every element to 0.
@@ -88,6 +99,11 @@ private:
   int NumCols = 0;
   std::vector<double> Data;
 };
+
+// Naive reference kernels. Each allocates its result and accumulates in
+// k-ascending order. The production forward/backward paths use the blocked,
+// in-place, optionally thread-parallel kernels in nn/Kernels.h; the test
+// suite asserts the two families agree.
 
 /// C = A * B.
 Matrix matmul(const Matrix &A, const Matrix &B);

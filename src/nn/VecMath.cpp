@@ -1,0 +1,18 @@
+//===- nn/VecMath.cpp - Vectorized element-wise math ------------------------===//
+//
+// Built with vector-math flags (see CMakeLists.txt: NV_NATIVE_KERNELS);
+// keep this TU free of reduction loops — the fast-math flags that unlock
+// libmvec must never touch code whose summation order carries a
+// determinism contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/VecMath.h"
+
+#include <cmath>
+
+void nv::vecTanh(double *X, size_t N) {
+#pragma omp simd
+  for (size_t I = 0; I < N; ++I)
+    X[I] = std::tanh(X[I]);
+}

@@ -1,0 +1,34 @@
+//===- nn/VecMath.h - Vectorized element-wise math --------------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SIMD element-wise transcendentals for the kernel epilogues. tanh over
+/// the context/trunk activations is the single largest non-GEMM cost of a
+/// batched forward (~60% pre-vectorization on one core), so this one
+/// function gets its own translation unit built with the flags that let
+/// the compiler emit libmvec vector calls (see CMakeLists.txt). On
+/// toolchains without vector math it degrades to the scalar libm loop —
+/// same results, same API.
+///
+/// Determinism: the vector/scalar split inside vecTanh depends only on
+/// \p N, never on threading, so the blocked kernels stay bit-identical
+/// across pool sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_NN_VECMATH_H
+#define NV_NN_VECMATH_H
+
+#include <cstddef>
+
+namespace nv {
+
+/// X[i] = tanh(X[i]) for i in [0, N).
+void vecTanh(double *X, size_t N);
+
+} // namespace nv
+
+#endif // NV_NN_VECMATH_H

@@ -1,0 +1,49 @@
+//===- nn/Workspace.h - Reusable scratch-matrix arena -----------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny arena of reusable scratch matrices for the in-place forward and
+/// backward paths. A network owns one Workspace and addresses its scratch
+/// by slot index; Matrix::resize reuses the slot's allocation whenever the
+/// requested shape fits, so steady-state forwards (same batch shape every
+/// call) perform zero heap allocations.
+///
+/// Slots live in a deque, so references handed out stay valid when later
+/// requests grow the slot table. A Workspace is not thread-safe; replicas
+/// (train/RolloutWorkers) and the serving layer each drive their own
+/// networks, which own their own workspaces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_NN_WORKSPACE_H
+#define NV_NN_WORKSPACE_H
+
+#include "nn/Matrix.h"
+
+#include <deque>
+
+namespace nv {
+
+/// Slot-addressed scratch matrices.
+class Workspace {
+public:
+  /// Returns slot \p Slot resized to Rows x Cols. Contents are
+  /// unspecified; the reference stays valid for the Workspace's lifetime.
+  Matrix &get(size_t Slot, int Rows, int Cols) {
+    if (Slot >= Slots.size())
+      Slots.resize(Slot + 1);
+    Matrix &M = Slots[Slot];
+    M.resize(Rows, Cols);
+    return M;
+  }
+
+private:
+  std::deque<Matrix> Slots;
+};
+
+} // namespace nv
+
+#endif // NV_NN_WORKSPACE_H

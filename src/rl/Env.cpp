@@ -8,6 +8,18 @@
 
 using namespace nv;
 
+void VectorizationEnv::setInnerContextOnly(bool Value) {
+  if (Value == InnerContextOnly)
+    return;
+  InnerContextOnly = Value;
+  for (EnvSample &Sample : Samples) {
+    Sample.Contexts.clear();
+    for (const LoopSite &Site : Sample.Sites)
+      Sample.Contexts.push_back(extractPathContexts(
+          InnerContextOnly ? *Site.Inner : *Site.Outer, PathConfig));
+  }
+}
+
 bool VectorizationEnv::addProgram(const std::string &Name,
                                   const std::string &Source) {
   std::string Error;

@@ -52,8 +52,17 @@ public:
 
   /// Ablation (§3.3): observe only the innermost loop's body instead of
   /// the outermost loop's. The paper found outer context works better.
-  /// Must be set before addProgram().
-  void setInnerContextOnly(bool Value) { InnerContextOnly = Value; }
+  /// Changing the value re-extracts the contexts of every program already
+  /// in the environment, so samples are never mixed-flavour (continued
+  /// training after loading a model with the other setting would
+  /// otherwise fine-tune on embeddings the model must never see). Not
+  /// safe concurrently with rollouts.
+  void setInnerContextOnly(bool Value);
+  /// The active context-extraction selection. Serving must mirror it: the
+  /// agent only ever saw embeddings extracted this way, so an annotation
+  /// service embedding the other loop body would feed the policy states
+  /// from a distribution it was never trained on (train/serve skew).
+  bool innerContextOnly() const { return InnerContextOnly; }
 
   /// Ablation (§3.4): disable the compile-timeout penalty.
   void setTimeoutPenaltyEnabled(bool Value) { PenalizeTimeouts = Value; }

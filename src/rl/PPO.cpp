@@ -54,9 +54,11 @@ std::vector<Transition> PPORunner::collectBatch() {
     const EnvSample &Sample = Env.sample(SampleIdx);
     const size_t NumSites = Sample.Sites.size();
 
-    // Encode all sites of this program and act on each.
-    Matrix States = Embedder.encodeBatch(Sample.Contexts);
-    Pol.forward(States);
+    // Encode all sites of this program and act on each. Rollout forwards
+    // never backprop (update() re-forwards per minibatch), so skip the
+    // backward caches.
+    Embedder.encodeBatchInto(Sample.Contexts, StatesBuf, MathPool);
+    Pol.forward(StatesBuf, MathPool, /*ForBackward=*/false);
 
     std::vector<VectorPlan> Plans(NumSites);
     std::vector<ActionRecord> Actions(NumSites);
@@ -125,8 +127,8 @@ double PPORunner::update(const std::vector<Transition> &Batch,
       MiniContexts.reserve(M);
       for (int I = Start; I < End; ++I)
         MiniContexts.push_back(Contexts[Order[I]]);
-      Matrix States = Embedder.encodeBatch(MiniContexts);
-      Pol.forward(States);
+      Embedder.encodeBatchInto(MiniContexts, StatesBuf, MathPool);
+      Pol.forward(StatesBuf, MathPool);
 
       std::vector<ActionRecord> Actions(M);
       std::vector<double> dLogProb(M, 0.0), dValue(M, 0.0);
@@ -206,15 +208,15 @@ TrainStats PPORunner::train(long long TotalSteps) {
 }
 
 VectorPlan PPORunner::predict(const std::vector<PathContext> &Contexts) {
-  Matrix State = Embedder.encode(Contexts);
-  Pol.forward(State);
+  Embedder.encodeBatchInto({Contexts}, StatesBuf, MathPool);
+  Pol.forward(StatesBuf, MathPool, /*ForBackward=*/false);
   return Pol.toPlan(Pol.greedyAction(0), Env.compiler().target());
 }
 
 std::vector<VectorPlan> PPORunner::predictSample(size_t Index) {
   const EnvSample &Sample = Env.sample(Index);
-  Matrix States = Embedder.encodeBatch(Sample.Contexts);
-  Pol.forward(States);
+  Embedder.encodeBatchInto(Sample.Contexts, StatesBuf, MathPool);
+  Pol.forward(StatesBuf, MathPool, /*ForBackward=*/false);
   std::vector<VectorPlan> Plans;
   Plans.reserve(Sample.Sites.size());
   for (size_t S = 0; S < Sample.Sites.size(); ++S)

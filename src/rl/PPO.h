@@ -92,6 +92,11 @@ public:
   double trainOnBatch(const std::vector<Transition> &Batch,
                       double EntropyCoef);
 
+  /// Optional pool for the NN math kernels (encode/forward/update GEMMs).
+  /// Safe for the determinism contract: the blocked kernels are
+  /// bit-identical at any pool size. Default is serial (nullptr).
+  void setMathPool(ThreadPool *Pool) { MathPool = Pool; }
+
   /// Greedy factors for a raw context bag (inference path).
   VectorPlan predict(const std::vector<PathContext> &Contexts);
 
@@ -124,6 +129,8 @@ private:
   Adam Optimizer;
   RNG Rng;
   EMA RewardEMA{0.1};
+  ThreadPool *MathPool = nullptr;
+  Matrix StatesBuf; ///< Reused encode output (allocation-free forwards).
 };
 
 } // namespace nv

@@ -60,15 +60,17 @@ int Policy::headOffset(int Head) const {
 
 int Policy::headSize(int Head) const { return HeadSizes[Head]; }
 
-void Policy::forward(const Matrix &States) {
-  // The trunk's last Linear has no built-in activation; apply tanh here so
-  // heads see bounded features (standard RLlib FCNN behaviour).
-  Matrix H = Trunk.forward(States);
-  for (double &V : H.raw())
-    V = std::tanh(V);
-  TrunkOut = H;
-  HeadOut = ActionHead.forward(TrunkOut);
-  ValueOut = ValueHead.forward(TrunkOut);
+void Policy::forward(const Matrix &States, ThreadPool *Pool,
+                     bool ForBackward) {
+  // The trunk's last Linear has no built-in activation; fuse a tanh onto
+  // it so heads see bounded features (standard RLlib FCNN behaviour).
+  // backward() applies the matching derivative before Trunk.backward().
+  Trunk.forwardInto(States, TrunkOut, Pool, /*ActivateLast=*/true,
+                    ForBackward);
+  ActionHead.forwardInto(TrunkOut, HeadOut, Activation::Identity, Pool,
+                         ForBackward);
+  ValueHead.forwardInto(TrunkOut, ValueOut, Activation::Identity, Pool,
+                        ForBackward);
 }
 
 std::vector<double> Policy::headLogits(int Row, int Head) const {
@@ -194,8 +196,10 @@ Matrix Policy::backward(const std::vector<ActionRecord> &Actions,
          static_cast<int>(dValue.size()) == Batch &&
          "batch size mismatch in policy backward");
 
-  Matrix dHead(Batch, HeadOut.cols());
-  Matrix dVal(Batch, 1);
+  Matrix &dHead = Back.get(0, Batch, HeadOut.cols());
+  Matrix &dVal = Back.get(1, Batch, 1);
+  dHead.zero();
+  dVal.zero();
   for (int Row = 0; Row < Batch; ++Row) {
     dVal.at(Row, 0) = dValue[Row];
     switch (Kind) {
@@ -236,9 +240,12 @@ Matrix Policy::backward(const std::vector<ActionRecord> &Actions,
     }
   }
 
-  Matrix dTrunkOut = ActionHead.backward(dHead);
-  dTrunkOut += ValueHead.backward(dVal);
-  // tanh applied in forward() after the trunk.
+  Matrix &dTrunkOut = Back.get(2, Batch, TrunkOut.cols());
+  Matrix &dTrunkVal = Back.get(3, Batch, TrunkOut.cols());
+  ActionHead.backwardInto(dHead, dTrunkOut);
+  ValueHead.backwardInto(dVal, dTrunkVal);
+  dTrunkOut += dTrunkVal;
+  // tanh fused onto the trunk's last layer in forward().
   for (size_t I = 0; I < dTrunkOut.size(); ++I) {
     const double Y = TrunkOut.raw()[I];
     dTrunkOut.raw()[I] *= 1.0 - Y * Y;

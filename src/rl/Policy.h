@@ -55,7 +55,13 @@ public:
   int numIF() const { return NumIF; }
 
   /// Runs the trunk + heads on a batch (B x InputDim); caches activations.
-  void forward(const Matrix &States);
+  /// Allocation-free once warm (member buffers + fused kernels); when
+  /// \p Pool is given the GEMMs run row-panel-parallel with bit-identical
+  /// results at any pool size. \p ForBackward = false skips the per-layer
+  /// input caching (sampling/greedy inference; backward() then requires a
+  /// ForBackward pass first).
+  void forward(const Matrix &States, ThreadPool *Pool = nullptr,
+               bool ForBackward = true);
 
   /// Samples an action for batch row \p Row from the last forward().
   ActionRecord sampleAction(int Row, RNG &Rng);
@@ -104,6 +110,7 @@ private:
   Matrix TrunkOut;  ///< Cached (B x H).
   Matrix HeadOut;   ///< Cached (B x logits/means).
   Matrix ValueOut;  ///< Cached (B x 1).
+  Workspace Back;   ///< Backward scratch (head/value gradients).
 };
 
 } // namespace nv

@@ -11,7 +11,7 @@
 
 using namespace nv;
 
-bool PlanCache::lookup(uint64_t Key, VectorPlan &Out) {
+bool PlanCache::lookup(const ContextKey &Key, VectorPlan &Out) {
   std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Index.find(Key);
   if (It == Index.end())
@@ -21,7 +21,7 @@ bool PlanCache::lookup(uint64_t Key, VectorPlan &Out) {
   return true;
 }
 
-void PlanCache::insert(uint64_t Key, VectorPlan Plan) {
+void PlanCache::insert(const ContextKey &Key, VectorPlan Plan) {
   if (Capacity == 0)
     return;
   std::lock_guard<std::mutex> Lock(Mutex);
@@ -50,21 +50,43 @@ void PlanCache::clear() {
   Index.clear();
 }
 
-uint64_t nv::contextBagKey(const std::vector<PathContext> &Contexts) {
-  uint64_t Hash = 0xCBF29CE484222325ull;
-  auto Mix = [&Hash](uint64_t Value) {
-    // FNV-1a a byte at a time over the 32-bit id.
+namespace {
+
+/// splitmix64 finalizer: the second, FNV-independent hash stream.
+uint64_t mix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+ContextKey nv::contextBagKey(const std::vector<PathContext> &Contexts,
+                             bool InnerContextOnly) {
+  ContextKey Key;
+  Key.Lo = 0xCBF29CE484222325ull;
+  Key.Hi = 0x2545F4914F6CDD1Dull;
+  auto Mix = [&Key](uint64_t Value) {
+    // Lo: FNV-1a a byte at a time over the 32-bit id.
     for (int Shift = 0; Shift < 32; Shift += 8) {
-      Hash ^= (Value >> Shift) & 0xFF;
-      Hash *= 0x100000001B3ull;
+      Key.Lo ^= (Value >> Shift) & 0xFF;
+      Key.Lo *= 0x100000001B3ull;
     }
+    // Hi: splitmix64 absorption of the id (independent of FNV's
+    // byte-serial structure, so a Lo collision almost surely differs in
+    // Hi).
+    Key.Hi = mix64(Key.Hi ^ Value);
   };
+  // The extraction flavour is part of the identity: an inner-context bag
+  // must never answer for an outer-context bag of the same loop.
+  Mix(InnerContextOnly ? 0x1u : 0x0u);
   for (const PathContext &Ctx : Contexts) {
     Mix(static_cast<uint32_t>(Ctx.SrcToken));
     Mix(static_cast<uint32_t>(Ctx.Path));
     Mix(static_cast<uint32_t>(Ctx.DstToken));
   }
-  return Hash;
+  return Key;
 }
 
 AnnotationService::AnnotationService(Code2Vec &Embedder, Policy &Pol,
@@ -72,7 +94,12 @@ AnnotationService::AnnotationService(Code2Vec &Embedder, Policy &Pol,
                                      const TargetInfo &TI,
                                      const ServeConfig &Config)
     : Embedder(Embedder), Pol(Pol), Paths(Paths), TI(TI),
-      Pool(Config.Threads), Cache(Config.CacheCapacity) {}
+      Pool(Config.Threads), Cache(Config.CacheCapacity),
+      InnerContext(Config.InnerContextOnly) {}
+
+void AnnotationService::setContextExtraction(bool InnerOnly) {
+  InnerContext.store(InnerOnly);
+}
 
 AnnotationResult AnnotationService::annotateOne(const std::string &Name,
                                                 const std::string &Source) {
@@ -86,7 +113,7 @@ struct WorkItem {
   std::unique_ptr<Program> Prog;
   std::vector<LoopSite> Sites;
   std::vector<std::vector<PathContext>> Contexts; ///< Per site.
-  std::vector<uint64_t> Keys;                     ///< Per site.
+  std::vector<ContextKey> Keys;                   ///< Per site.
 };
 
 uint64_t microsSince(std::chrono::steady_clock::time_point Start) {
@@ -104,6 +131,9 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
   const size_t N = Requests.size();
   std::vector<AnnotationResult> Results(N);
   std::vector<WorkItem> Items(N);
+  // One flavour per batch: a concurrent setContextExtraction flips future
+  // batches, never this one.
+  const bool InnerOnly = InnerContext.load();
 
   // --- Phase 1: parse + extract, in parallel ------------------------------
   const auto ExtractStart = std::chrono::steady_clock::now();
@@ -127,8 +157,13 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
       return;
     }
     for (const LoopSite &Site : Item.Sites) {
-      Item.Contexts.push_back(extractPathContexts(*Site.Outer, Paths));
-      Item.Keys.push_back(contextBagKey(Item.Contexts.back()));
+      // Mirror the training-side extraction (VectorizationEnv::addProgram)
+      // so the policy sees the embedding distribution it was trained on.
+      const Stmt &ContextRoot =
+          InnerOnly ? static_cast<const Stmt &>(*Site.Inner)
+                    : static_cast<const Stmt &>(*Site.Outer);
+      Item.Contexts.push_back(extractPathContexts(ContextRoot, Paths));
+      Item.Keys.push_back(contextBagKey(Item.Contexts.back(), InnerOnly));
     }
   });
   Stats.ExtractMicros += microsSince(ExtractStart);
@@ -147,7 +182,7 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
     };
     std::vector<PendingSite> Pending;
     std::vector<std::vector<PathContext>> MissContexts;
-    std::unordered_map<uint64_t, size_t> RowByKey;
+    std::unordered_map<ContextKey, size_t, ContextKeyHash> RowByKey;
 
     for (size_t I = 0; I < N; ++I) {
       WorkItem &Item = Items[I];
@@ -177,9 +212,10 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
     if (!MissContexts.empty()) {
       // The whole miss set goes through the embedder and the FCNN as one
       // (rows x dim) batch — the single matrix-matrix multiply this
-      // subsystem exists for.
-      Matrix States = Embedder.encodeBatch(MissContexts);
-      Pol.forward(States);
+      // subsystem exists for. The same pool that ran phase 1 now runs the
+      // GEMM row panels (bit-identical at any pool size).
+      Embedder.encodeBatchInto(MissContexts, StatesBuf, &Pool);
+      Pol.forward(StatesBuf, &Pool, /*ForBackward=*/false);
       ++Stats.ForwardPasses;
       Stats.LoopsPerForward += MissContexts.size();
 

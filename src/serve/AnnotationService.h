@@ -14,16 +14,24 @@
 ///                           canonical context bag into a cache key.
 ///   2. infer    (serial)    answer sites from the LRU plan cache where
 ///                           possible; deduplicate the remaining sites by
-///                           key and run ONE Code2Vec::encodeBatch and ONE
-///                           Policy::forward over all of them — the FCNN
-///                           trunk becomes a single matrix-matrix multiply
-///                           instead of per-loop vector products.
+///                           key and run ONE Code2Vec::encodeBatchInto and
+///                           ONE Policy::forward over all of them — the
+///                           FCNN trunk becomes a single matrix-matrix
+///                           multiply instead of per-loop vector products,
+///                           and the GEMMs themselves run row-panel-
+///                           parallel on the same pool.
 ///   3. render   (parallel)  inject the chosen pragmas and re-print each
 ///                           program.
 ///
+/// Path contexts are extracted with the same inner/outer-loop selection
+/// the training environment used (ServeConfig::InnerContextOnly, mirrored
+/// from VectorizationEnv and persisted in the model file) — serving a
+/// model on embeddings it was never trained on is silent skew.
+///
 /// Results are deterministic: phase 2 walks sites in request order, the
-/// policy is evaluated greedily, and phases 1/3 are pure per-item work —
-/// so the pool size never changes the output, only the wall clock.
+/// policy is evaluated greedily, the kernels are bit-identical at any pool
+/// size, and phases 1/3 are pure per-item work — so the pool size never
+/// changes the output, only the wall clock.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,9 +41,10 @@
 #include "embedding/Code2Vec.h"
 #include "rl/Policy.h"
 #include "serve/ServeStats.h"
-#include "serve/ThreadPool.h"
+#include "support/ThreadPool.h"
 #include "target/TargetInfo.h"
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -49,6 +58,11 @@ namespace nv {
 struct ServeConfig {
   int Threads = 4;            ///< Worker pool size.
   size_t CacheCapacity = 4096; ///< LRU plan-cache entries (0 disables).
+  /// Embed the innermost loop's body instead of the outermost's. Must
+  /// match the setting the model was trained with
+  /// (VectorizationEnv::innerContextOnly); NeuroVectorizer::service()
+  /// fills it in automatically and load() restores it from the model file.
+  bool InnerContextOnly = false;
 };
 
 /// One program to annotate.
@@ -67,7 +81,35 @@ struct AnnotationResult {
   int CachedSites = 0;  ///< Sites answered from the plan cache.
 };
 
-/// LRU cache mapping a context-bag hash to the plan the policy chose for
+/// 128-bit cache key for a canonical path-context bag. A single 64-bit
+/// hash over thousands of cached loops leaves a real birthday-collision
+/// risk, and a collision silently serves the wrong plan; two independent
+/// 64-bit hashes push that risk below any practical cache size.
+struct ContextKey {
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+
+  bool operator==(const ContextKey &O) const {
+    return Lo == O.Lo && Hi == O.Hi;
+  }
+  bool operator!=(const ContextKey &O) const { return !(*this == O); }
+};
+
+/// Hash functor for unordered containers (the key is already uniform).
+struct ContextKeyHash {
+  size_t operator()(const ContextKey &K) const {
+    return static_cast<size_t>(K.Lo ^ (K.Hi * 0x9E3779B97F4A7C15ull));
+  }
+};
+
+/// Stable 128-bit key for a canonical path-context bag (two independent
+/// hashes over the vocabulary ids in extraction order). The extraction
+/// flavour is mixed in so inner- and outer-context embeddings of the same
+/// loop can never answer for each other.
+ContextKey contextBagKey(const std::vector<PathContext> &Contexts,
+                         bool InnerContextOnly = false);
+
+/// LRU cache mapping a context-bag key to the plan the policy chose for
 /// it. Identical loops (after canonicalization into path contexts) are the
 /// common case in generated and templated code, so batches full of
 /// near-duplicates skip the network entirely.
@@ -76,27 +118,24 @@ public:
   explicit PlanCache(size_t Capacity) : Capacity(Capacity) {}
 
   /// Returns true and sets \p Out on a hit (refreshing recency).
-  bool lookup(uint64_t Key, VectorPlan &Out);
+  bool lookup(const ContextKey &Key, VectorPlan &Out);
 
   /// Inserts (or refreshes) \p Key, evicting the least recently used entry
   /// beyond capacity.
-  void insert(uint64_t Key, VectorPlan Plan);
+  void insert(const ContextKey &Key, VectorPlan Plan);
 
   size_t size() const;
   void clear();
 
 private:
-  using Entry = std::pair<uint64_t, VectorPlan>;
+  using Entry = std::pair<ContextKey, VectorPlan>;
 
   size_t Capacity;
   mutable std::mutex Mutex;
   std::list<Entry> Order; ///< Front = most recently used.
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> Index;
+  std::unordered_map<ContextKey, std::list<Entry>::iterator, ContextKeyHash>
+      Index;
 };
-
-/// Stable 64-bit key for a canonical path-context bag (FNV-1a over the
-/// vocabulary ids in extraction order).
-uint64_t contextBagKey(const std::vector<PathContext> &Contexts);
 
 /// The batched, multi-threaded annotation engine.
 class AnnotationService {
@@ -118,6 +157,13 @@ public:
   AnnotationResult annotateOne(const std::string &Name,
                                const std::string &Source);
 
+  /// Switches the context-extraction flavour (e.g. after loading a model
+  /// trained the other way). Thread-safe; in-flight batches finish with
+  /// whichever flavour they started, and the flavour is part of the cache
+  /// key, so stale entries cannot answer for the new one.
+  void setContextExtraction(bool InnerOnly);
+  bool innerContextOnly() const { return InnerContext.load(); }
+
   const ServeStats &stats() const { return Stats; }
   void resetStats() { Stats.reset(); }
 
@@ -135,7 +181,9 @@ private:
   ThreadPool Pool;
   PlanCache Cache;
   ServeStats Stats;
+  std::atomic<bool> InnerContext;
   std::mutex ModelMutex; ///< Serializes phase-2 use of the shared model.
+  Matrix StatesBuf; ///< Reused encode output (guarded by ModelMutex).
 };
 
 } // namespace nv

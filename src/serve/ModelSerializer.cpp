@@ -54,12 +54,18 @@ uint64_t ModelSerializer::checksum(const void *Data, size_t Size) {
 }
 
 bool ModelSerializer::save(const std::string &Path, Code2Vec &Embedder,
-                           Policy &Pol, std::string *Error) {
+                           Policy &Pol, const ModelMeta &Meta,
+                           std::string *Error) {
   std::vector<Param *> Params = allParams(Embedder, Pol);
+
+  uint32_t Flags = 0;
+  if (Meta.InnerContextOnly)
+    Flags |= 1u;
 
   std::vector<char> Buffer;
   appendValue(Buffer, Magic);
   appendValue(Buffer, FormatVersion);
+  appendValue(Buffer, Flags);
   appendValue(Buffer, static_cast<uint32_t>(Params.size()));
   for (Param *P : Params) {
     appendValue(Buffer, static_cast<uint32_t>(P->Value.rows()));
@@ -84,7 +90,8 @@ bool ModelSerializer::save(const std::string &Path, Code2Vec &Embedder,
 }
 
 bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
-                           Policy &Pol, std::string *Error) {
+                           Policy &Pol, ModelMeta *Meta,
+                           std::string *Error) {
   std::ifstream In(Path, std::ios::binary | std::ios::ate);
   if (!In) {
     setError(Error, "cannot open '" + Path + "'");
@@ -98,7 +105,8 @@ bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
     return false;
   }
 
-  // Validate the envelope before looking inside.
+  // Validate the envelope before looking inside (v1 header is the
+  // smallest: magic, version, count).
   if (Buffer.size() < 3 * sizeof(uint32_t) + sizeof(uint64_t)) {
     setError(Error, "file too small to be a model");
     return false;
@@ -112,18 +120,22 @@ bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
   }
 
   size_t Offset = 0;
-  uint32_t FileMagic = 0, Version = 0, Count = 0;
+  uint32_t FileMagic = 0, Version = 0, Flags = 0, Count = 0;
   readValue(Buffer, Offset, FileMagic);
   readValue(Buffer, Offset, Version);
-  readValue(Buffer, Offset, Count);
   if (FileMagic != Magic) {
     setError(Error, "bad magic: not a NeuroVectorizer model file");
     return false;
   }
-  if (Version != FormatVersion) {
+  if (Version != 1 && Version != FormatVersion) {
     setError(Error, "unsupported format version " + std::to_string(Version));
     return false;
   }
+  // v1 had no flags word; those models could only have been trained with
+  // the default outer-context extraction, so Flags = 0 is exact.
+  if (Version >= 2)
+    readValue(Buffer, Offset, Flags);
+  readValue(Buffer, Offset, Count);
 
   std::vector<Param *> Params = allParams(Embedder, Pol);
   if (Count != Params.size()) {
@@ -172,5 +184,7 @@ bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
     std::memcpy(Dest.data(), Buffer.data() + Offsets[I],
                 Dest.size() * sizeof(double));
   }
+  if (Meta)
+    Meta->InnerContextOnly = (Flags & 1u) != 0;
   return true;
 }

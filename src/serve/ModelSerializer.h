@@ -10,13 +10,20 @@
 /// heads). The paper trains once and deploys the frozen policy for
 /// inference on unseen programs; this file is that deployment artifact.
 ///
-/// Format (little-endian, doubles written raw so a round trip is bitwise
-/// exact):
+/// Format v2 (little-endian, doubles written raw so a round trip is
+/// bitwise exact):
 ///
 ///   u32 magic 'NVMF'   u32 version
+///   u32 flags          (bit 0: trained on inner-context embeddings)
 ///   u32 paramCount
 ///   per param:  u32 rows, u32 cols, rows*cols f64 values
 ///   u64 FNV-1a checksum over everything before it
+///
+/// The flags word exists because weights alone under-specify a model: the
+/// agent was trained on embeddings of a *particular* loop body selection
+/// (inner vs outer context, §3.3), and a deployment that extracts the
+/// other one silently serves a skewed distribution. A loaded model
+/// therefore carries its own extraction setting.
 ///
 /// Loading validates magic, version, per-parameter shapes against the
 /// *destination* model (so a file trained with one architecture cannot be
@@ -36,22 +43,42 @@
 
 namespace nv {
 
+/// Model-level settings persisted alongside the weights.
+struct ModelMeta {
+  /// The context-extraction selection the model was trained with
+  /// (VectorizationEnv::innerContextOnly).
+  bool InnerContextOnly = false;
+};
+
 /// Save/load for the (embedder, policy) pair.
 class ModelSerializer {
 public:
   static constexpr uint32_t Magic = 0x4E564D46;  ///< 'NVMF'.
-  static constexpr uint32_t FormatVersion = 1;
+  static constexpr uint32_t FormatVersion = 2;
 
-  /// Writes \p Embedder and \p Pol to \p Path. Returns false (and sets
-  /// \p Error) on I/O failure.
+  /// Writes \p Embedder and \p Pol (with \p Meta in the header) to
+  /// \p Path. Returns false (and sets \p Error) on I/O failure.
   static bool save(const std::string &Path, Code2Vec &Embedder, Policy &Pol,
-                   std::string *Error = nullptr);
+                   const ModelMeta &Meta, std::string *Error = nullptr);
 
-  /// Reads \p Path into \p Embedder and \p Pol. All-or-nothing: on any
-  /// validation failure the destination parameters are left untouched and
-  /// \p Error describes the problem.
+  /// Back-compat overload: default metadata (outer-context model).
+  static bool save(const std::string &Path, Code2Vec &Embedder, Policy &Pol,
+                   std::string *Error = nullptr) {
+    return save(Path, Embedder, Pol, ModelMeta(), Error);
+  }
+
+  /// Reads \p Path into \p Embedder and \p Pol, and the header settings
+  /// into \p Meta (may be null). All-or-nothing: on any validation failure
+  /// the destination parameters are left untouched and \p Error describes
+  /// the problem.
   static bool load(const std::string &Path, Code2Vec &Embedder, Policy &Pol,
-                   std::string *Error = nullptr);
+                   ModelMeta *Meta, std::string *Error = nullptr);
+
+  /// Back-compat overload discarding the metadata.
+  static bool load(const std::string &Path, Code2Vec &Embedder, Policy &Pol,
+                   std::string *Error = nullptr) {
+    return load(Path, Embedder, Pol, nullptr, Error);
+  }
 
   /// FNV-1a 64-bit over \p Size bytes (exposed for tests).
   static uint64_t checksum(const void *Data, size_t Size);

@@ -1,0 +1,129 @@
+//===- support/ThreadPool.cpp - Shared worker pool --------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+using namespace nv;
+
+ThreadPool::ThreadPool(int Threads) {
+  const int Count = std::max(1, Threads);
+  Workers.reserve(Count);
+  for (int I = 0; I < Count; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    ShuttingDown = true;
+  }
+  JobReady.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::run(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Jobs.push(std::move(Job));
+    ++InFlight;
+  }
+  JobReady.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(QueueMutex);
+  AllIdle.wait(Lock, [this] { return InFlight == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      JobReady.wait(Lock, [this] { return ShuttingDown || !Jobs.empty(); });
+      if (Jobs.empty())
+        return; // Shutting down and drained.
+      Job = std::move(Jobs.front());
+      Jobs.pop();
+    }
+    Job();
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      --InFlight;
+      if (InFlight == 0)
+        AllIdle.notify_all();
+    }
+  }
+}
+
+namespace {
+
+/// Per-parallelFor completion state. Lanes are opportunistic helpers: the
+/// call is complete when every *index* has run, not when every lane job has
+/// been scheduled — so a lane that never gets a worker (all of them busy,
+/// or the caller drained the range first) is not waited on. The callback
+/// lives *in* the shared state: a stale lane job may run after the call
+/// returned (it finds Next >= End and exits), and the shared_ptr keeps
+/// everything it can touch alive until then.
+struct ForState {
+  std::function<void(size_t)> Fn;
+  std::atomic<size_t> Next{0};
+  std::atomic<size_t> Completed{0};
+  size_t End = 0;
+  size_t Total = 0;
+  std::mutex Mutex;
+  std::condition_variable AllDone;
+};
+
+/// Claims indices until the range is drained. Returns true if this lane
+/// completed the final index.
+bool drainRange(ForState &State, const std::function<void(size_t)> &Fn) {
+  bool FinishedLast = false;
+  for (size_t I = State.Next.fetch_add(1); I < State.End;
+       I = State.Next.fetch_add(1)) {
+    Fn(I);
+    if (State.Completed.fetch_add(1) + 1 == State.Total)
+      FinishedLast = true;
+  }
+  return FinishedLast;
+}
+
+} // namespace
+
+void ThreadPool::parallelFor(size_t Begin, size_t End,
+                             const std::function<void(size_t)> &Fn) {
+  if (Begin >= End)
+    return;
+  if (End - Begin == 1) {
+    Fn(Begin);
+    return;
+  }
+
+  auto State = std::make_shared<ForState>();
+  State->Fn = Fn;
+  State->Next = Begin;
+  State->End = End;
+  State->Total = End - Begin;
+
+  // The caller is one lane, so enqueue at most (range - 1) helper jobs.
+  const size_t Lanes = std::min<size_t>(Workers.size(), End - Begin - 1);
+  for (size_t L = 0; L < Lanes; ++L) {
+    run([State] {
+      if (drainRange(*State, State->Fn)) {
+        std::lock_guard<std::mutex> Lock(State->Mutex);
+        State->AllDone.notify_all();
+      }
+    });
+  }
+
+  drainRange(*State, Fn);
+  if (State->Completed.load() == State->Total)
+    return;
+  std::unique_lock<std::mutex> Lock(State->Mutex);
+  State->AllDone.wait(
+      Lock, [&] { return State->Completed.load() == State->Total; });
+}

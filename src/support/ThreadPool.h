@@ -1,0 +1,80 @@
+//===- support/ThreadPool.h - Shared worker pool ----------------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool shared by the serving layer (parallel parse /
+/// extract / render phases), the training rollout workers, and the NN math
+/// kernels (row-panel-parallel GEMM, see nn/Kernels.h). Deliberately
+/// small: a job queue for fire-and-forget work plus a parallelFor that
+/// hands out indices through one atomic counter.
+///
+/// parallelFor tracks completion *per call* (a completed-index count owned
+/// by the call, not the pool-global in-flight counter), so concurrent
+/// callers never wait on each other's work, and the calling thread itself
+/// claims indices alongside the workers — a parallelFor issued from inside
+/// a pool job completes even when every worker is busy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SUPPORT_THREADPOOL_H
+#define NV_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace nv {
+
+/// Fixed-size thread pool.
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers. Values < 1 are clamped to 1; a pool of
+  /// size 1 still runs jobs on the worker thread (uniform behaviour), so
+  /// callers never need a special single-threaded path.
+  explicit ThreadPool(int Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  int size() const { return static_cast<int>(Workers.size()); }
+
+  /// Enqueues \p Job for execution on some worker.
+  void run(std::function<void()> Job);
+
+  /// Blocks until every enqueued job has finished — pool-global, so only
+  /// meaningful for single-owner pools (e.g. train/RolloutWorkers, which
+  /// pairs its own run() calls with one wait()). Concurrent-use paths
+  /// should use parallelFor, which waits on its own work only.
+  void wait();
+
+  /// Runs Fn(I) for every I in [Begin, End) across the pool and the
+  /// calling thread, returning when all indices are done. Indices are
+  /// claimed through an atomic counter, so work distribution adapts to
+  /// uneven item costs; completion is counted per call, so concurrent
+  /// parallelFor calls (and nested ones issued from pool jobs) never
+  /// block on each other's work.
+  void parallelFor(size_t Begin, size_t End,
+                   const std::function<void(size_t)> &Fn);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Jobs;
+  std::mutex QueueMutex;
+  std::condition_variable JobReady;  ///< Signals workers.
+  std::condition_variable AllIdle;   ///< Signals wait().
+  size_t InFlight = 0;               ///< Queued + currently running jobs.
+  bool ShuttingDown = false;
+};
+
+} // namespace nv
+
+#endif // NV_SUPPORT_THREADPOOL_H

@@ -49,7 +49,7 @@ EvalReport Evaluator::evaluate(Code2Vec &Embedder, Policy &Pol) const {
     for (size_t I = 0; I < Suite->Env.size(); ++I) {
       const EnvSample &Sample = Suite->Env.sample(I);
       Matrix States = Embedder.encodeBatch(Sample.Contexts);
-      Pol.forward(States);
+      Pol.forward(States, nullptr, /*ForBackward=*/false);
       std::vector<VectorPlan> Plans;
       Plans.reserve(Sample.Sites.size());
       for (size_t S = 0; S < Sample.Sites.size(); ++S)

@@ -42,8 +42,12 @@ void RolloutWorkers::runEpisode(Replica &R, RNG Rng, size_t ActiveSamples,
   const TargetInfo &TI = Env.compiler().target();
   const size_t NumSites = Sample.Sites.size();
 
-  Matrix States = R.Embedder.encodeBatch(Sample.Contexts);
-  R.Pol.forward(States);
+  // Replica-owned buffers + in-place kernels: steady-state episodes do not
+  // touch the heap (the worker threads are the parallelism here, so the
+  // kernels themselves run serial — no nested pool). Replicas never
+  // backprop, so the backward caches are skipped too.
+  R.Embedder.encodeBatchInto(Sample.Contexts, R.StatesBuf);
+  R.Pol.forward(R.StatesBuf, nullptr, /*ForBackward=*/false);
 
   std::vector<VectorPlan> Plans(NumSites);
   std::vector<ActionRecord> Actions(NumSites);

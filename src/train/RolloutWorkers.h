@@ -34,7 +34,7 @@
 #include "embedding/Code2Vec.h"
 #include "rl/Env.h"
 #include "rl/Policy.h"
-#include "serve/ThreadPool.h"
+#include "support/ThreadPool.h"
 #include "train/RolloutBuffer.h"
 
 #include <memory>
@@ -80,6 +80,7 @@ private:
     RNG InitRng;
     Code2Vec Embedder;
     Policy Pol;
+    Matrix StatesBuf; ///< Reused encode output: episodes allocate nothing.
 
     explicit Replica(const RolloutModelSpec &Spec)
         : InitRng(1), Embedder(Spec.Embedding, InitRng),

@@ -30,8 +30,12 @@ EvalReport Trainer::runEval(TrainProgress &Progress) {
     Progress.BestEvalReward = Report.MeanReward;
     if (!Config.BestModelPath.empty()) {
       std::string Error;
+      // The artifact carries the env's extraction setting so a later
+      // deployment embeds loops the way this model was trained.
+      ModelMeta Meta;
+      Meta.InnerContextOnly = Runner.env().innerContextOnly();
       if (!ModelSerializer::save(Config.BestModelPath, Runner.embedder(),
-                                 Runner.policy(), &Error) &&
+                                 Runner.policy(), Meta, &Error) &&
           Config.Verbose)
         std::cout << "[train] best-model save failed: " << Error << "\n";
     }
@@ -69,6 +73,20 @@ TrainReport Trainer::run() {
         "or configure a curriculum");
 
   RolloutWorkers Workers(Runner.env(), Spec, Config.NumWorkers);
+  // The PPO update stays serial and deterministic, but its GEMMs fan out
+  // across a worker-sized pool — safe because the blocked kernels are
+  // bit-identical at any pool size (the 1-vs-N-worker reproducibility
+  // tests now also cover differing math-pool sizes). The guard unsets the
+  // pool before it dies: the runner outlives this call.
+  struct MathPoolGuard {
+    PPORunner &Runner;
+    ThreadPool Pool;
+    MathPoolGuard(PPORunner &Runner, int Threads)
+        : Runner(Runner), Pool(Threads) {
+      Runner.setMathPool(&Pool);
+    }
+    ~MathPoolGuard() { Runner.setMathPool(nullptr); }
+  } MathPool(Runner, Config.NumWorkers);
   const PPOConfig &PPO = Runner.config();
   const auto Start = std::chrono::steady_clock::now();
   const long long StepsAtStart = Progress.StepsDone;

@@ -1,9 +1,12 @@
 //===- tests/NNTest.cpp - Matrix/layers/optimizer/distribution tests ------===//
 
 #include "nn/Distributions.h"
+#include "nn/Kernels.h"
 #include "nn/Layers.h"
 #include "nn/Matrix.h"
 #include "nn/Optimizer.h"
+#include "nn/Workspace.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
@@ -12,6 +15,22 @@
 using namespace nv;
 
 namespace {
+
+Matrix randomMatrix(int Rows, int Cols, RNG &Rng) {
+  Matrix M(Rows, Cols);
+  M.initGaussian(Rng, 1.0);
+  return M;
+}
+
+void expectNear(const Matrix &A, const Matrix &B, double Tol,
+                const char *What) {
+  ASSERT_EQ(A.rows(), B.rows()) << What;
+  ASSERT_EQ(A.cols(), B.cols()) << What;
+  for (int I = 0; I < A.rows(); ++I)
+    for (int J = 0; J < A.cols(); ++J)
+      EXPECT_NEAR(A.at(I, J), B.at(I, J), Tol)
+          << What << " at (" << I << "," << J << ")";
+}
 
 TEST(Matrix, BasicOps) {
   Matrix A(2, 3, 1.0);
@@ -78,6 +97,130 @@ TEST(Matrix, SumRowsAndBroadcast) {
   EXPECT_DOUBLE_EQ(S.at(0, 1), 6.0);
   Matrix B = addRowBroadcast(A, S);
   EXPECT_DOUBLE_EQ(B.at(1, 0), 7.0);
+}
+
+TEST(Kernels, GemmMatchesNaiveReference) {
+  RNG Rng(31);
+  // Shapes straddle the MR=4 row-panel and NB=64 column-block boundaries
+  // on purpose (exact, one-under, one-over in each dimension).
+  const int Shapes[][3] = {{1, 1, 1},    {3, 5, 2},    {4, 48, 63},
+                           {5, 7, 65},   {17, 40, 64}, {64, 64, 64},
+                           {130, 33, 97}};
+  for (const auto &S : Shapes) {
+    const int M = S[0], K = S[1], N = S[2];
+    Matrix A = randomMatrix(M, K, Rng);
+    Matrix B = randomMatrix(K, N, Rng);
+    Matrix C;
+    gemmInto(C, A, B);
+    expectNear(C, matmul(A, B), 1e-12, "gemmInto");
+
+    Matrix TA = randomMatrix(K, M, Rng); // (R x M) with R = K.
+    Matrix TB = randomMatrix(K, N, Rng);
+    Matrix CTA;
+    gemmTAInto(CTA, TA, TB);
+    expectNear(CTA, matmulTA(TA, TB), 1e-12, "gemmTAInto");
+
+    Matrix BT = randomMatrix(N, K, Rng);
+    Matrix CTB;
+    gemmTBInto(CTB, A, BT);
+    expectNear(CTB, matmulTB(A, BT), 1e-12, "gemmTBInto");
+  }
+}
+
+TEST(Kernels, GemmTAAccumulates) {
+  RNG Rng(32);
+  Matrix A = randomMatrix(9, 6, Rng), B = randomMatrix(9, 5, Rng);
+  Matrix C(6, 5, 1.5);
+  gemmTAInto(C, A, B, /*Accumulate=*/true);
+  Matrix Want = matmulTA(A, B);
+  for (int I = 0; I < 6; ++I)
+    for (int J = 0; J < 5; ++J)
+      EXPECT_NEAR(C.at(I, J), Want.at(I, J) + 1.5, 1e-12);
+}
+
+TEST(Kernels, FusedBiasActivationMatchesSeparateOps) {
+  RNG Rng(33);
+  Matrix X = randomMatrix(10, 13, Rng);
+  Matrix W = randomMatrix(13, 50, Rng);
+  Matrix Bias = randomMatrix(1, 50, Rng);
+
+  Matrix Want = addRowBroadcast(matmul(X, W), Bias);
+  Matrix Fused;
+  gemmInto(Fused, X, W, &Bias, Activation::Identity);
+  expectNear(Fused, Want, 1e-12, "fused bias");
+
+  applyActivation(Want, Activation::Tanh);
+  gemmInto(Fused, X, W, &Bias, Activation::Tanh);
+  expectNear(Fused, Want, 1e-12, "fused bias+tanh");
+
+  Matrix WantRelu = addRowBroadcast(matmul(X, W), Bias);
+  applyActivation(WantRelu, Activation::ReLU);
+  gemmInto(Fused, X, W, &Bias, Activation::ReLU);
+  expectNear(Fused, WantRelu, 1e-12, "fused bias+relu");
+}
+
+TEST(Kernels, BitIdenticalAcrossPoolSizes) {
+  // The determinism contract of the blocked kernels: every output
+  // element's reduction order is fixed, so thread count never changes a
+  // single bit. (PR 2's training determinism guarantee rests on this.)
+  RNG Rng(34);
+  Matrix A = randomMatrix(101, 37, Rng);
+  Matrix B = randomMatrix(37, 53, Rng);
+  Matrix Bias = randomMatrix(1, 53, Rng);
+
+  Matrix Serial;
+  gemmInto(Serial, A, B, &Bias, Activation::Tanh, nullptr);
+  for (int Threads : {1, 2, 4}) {
+    ThreadPool Pool(Threads);
+    Matrix Pooled;
+    gemmInto(Pooled, A, B, &Bias, Activation::Tanh, &Pool);
+    EXPECT_EQ(Serial.raw(), Pooled.raw()) << Threads << " threads";
+
+    Matrix TASerial, TAPooled;
+    gemmTAInto(TASerial, A, B);
+    gemmTAInto(TAPooled, A, B, /*Accumulate=*/false, &Pool);
+    EXPECT_EQ(TASerial.raw(), TAPooled.raw()) << Threads << " threads";
+
+    Matrix BT = randomMatrix(53, 37, Rng);
+    Matrix TBSerial, TBPooled;
+    gemmTBInto(TBSerial, A, BT);
+    gemmTBInto(TBPooled, A, BT, &Pool);
+    EXPECT_EQ(TBSerial.raw(), TBPooled.raw()) << Threads << " threads";
+  }
+}
+
+TEST(Kernels, WorkspaceReusesSlots) {
+  Workspace WS;
+  Matrix &A = WS.get(0, 8, 8);
+  const double *Data = A.rowPtr(0);
+  Matrix &B = WS.get(0, 4, 4); // Smaller shape: same allocation.
+  EXPECT_EQ(&A, &B);
+  EXPECT_EQ(B.rowPtr(0), Data);
+  Matrix &C = WS.get(7, 2, 2); // Growing the table keeps references valid.
+  (void)C;
+  EXPECT_EQ(WS.get(0, 4, 4).rowPtr(0), Data);
+}
+
+TEST(Layers, ForwardIntoMatchesLegacyForward) {
+  RNG R1(41), R2(41);
+  MLP NetA({6, 9, 5, 3}, Activation::Tanh, R1);
+  MLP NetB({6, 9, 5, 3}, Activation::Tanh, R2); // Same init stream.
+  RNG RX(5);
+  Matrix X = randomMatrix(7, 6, RX);
+
+  Matrix Legacy = NetA.forward(X);
+  Matrix InPlace;
+  NetB.forwardInto(X, InPlace);
+  EXPECT_EQ(Legacy.raw(), InPlace.raw());
+
+  // Pooled forward is bit-identical too, and so is a repeat on the warm
+  // buffers.
+  ThreadPool Pool(2);
+  Matrix Pooled;
+  NetB.forwardInto(X, Pooled, &Pool);
+  EXPECT_EQ(Legacy.raw(), Pooled.raw());
+  NetB.forwardInto(X, Pooled, &Pool);
+  EXPECT_EQ(Legacy.raw(), Pooled.raw());
 }
 
 /// Finite-difference gradient check of an MLP through a linear loss.

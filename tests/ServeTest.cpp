@@ -8,7 +8,9 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <thread>
 
 using namespace nv;
 
@@ -126,6 +128,39 @@ TEST(ModelSerializer, RejectsBitFlipAndLeavesModelUntouched) {
   EXPECT_EQ(NV.annotate(DotProduct), Before);
 }
 
+TEST(ModelSerializer, LoadsLegacyV1Files) {
+  // v1 files (no flags word) predate the extraction-setting header; they
+  // must keep loading, with the setting defaulting to outer-context.
+  TempModel File("serve_v1.nvm");
+  NeuroVectorizer Saved(testConfig(/*Seed=*/5));
+  ASSERT_TRUE(Saved.addTrainingProgram("dot", DotProduct));
+  Saved.train(64);
+  ASSERT_TRUE(Saved.save(File.Path));
+
+  // Rewrite the v2 file as its v1 equivalent: drop the u32 flags word at
+  // offset 8, set version = 1, recompute the trailing checksum.
+  std::ifstream In(File.Path, std::ios::binary);
+  std::string Bytes((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  In.close();
+  ASSERT_GT(Bytes.size(), 20u);
+  Bytes.erase(8, 4);                       // Flags word.
+  const uint32_t V1 = 1;
+  std::memcpy(&Bytes[4], &V1, sizeof(V1)); // Version field.
+  const uint64_t Sum = ModelSerializer::checksum(
+      Bytes.data(), Bytes.size() - sizeof(uint64_t));
+  std::memcpy(&Bytes[Bytes.size() - sizeof(uint64_t)], &Sum, sizeof(Sum));
+  std::ofstream Out(File.Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  Out.close();
+
+  NeuroVectorizer Fresh(testConfig(/*Seed=*/6));
+  std::string Error;
+  ASSERT_TRUE(Fresh.load(File.Path, &Error)) << Error;
+  EXPECT_FALSE(Fresh.env().innerContextOnly());
+  EXPECT_EQ(Fresh.annotate(DotProduct), Saved.annotate(DotProduct));
+}
+
 TEST(ModelSerializer, RejectsForeignFile) {
   TempModel File("serve_foreign.nvm");
   std::ofstream Out(File.Path, std::ios::binary);
@@ -151,17 +186,43 @@ TEST(ModelSerializer, RejectsArchitectureMismatch) {
 }
 
 TEST(PlanCache, LRUEvictsOldest) {
+  const ContextKey K1{1, 1}, K2{2, 2}, K3{3, 3};
   PlanCache Cache(2);
-  Cache.insert(1, {2, 2});
-  Cache.insert(2, {4, 4});
+  Cache.insert(K1, {2, 2});
+  Cache.insert(K2, {4, 4});
   VectorPlan Out;
-  ASSERT_TRUE(Cache.lookup(1, Out)); // Refreshes key 1.
-  Cache.insert(3, {8, 8});           // Evicts key 2.
+  ASSERT_TRUE(Cache.lookup(K1, Out)); // Refreshes key 1.
+  Cache.insert(K3, {8, 8});           // Evicts key 2.
   EXPECT_EQ(Cache.size(), 2u);
-  EXPECT_TRUE(Cache.lookup(1, Out));
+  EXPECT_TRUE(Cache.lookup(K1, Out));
   EXPECT_EQ(Out.VF, 2);
-  EXPECT_FALSE(Cache.lookup(2, Out));
-  EXPECT_TRUE(Cache.lookup(3, Out));
+  EXPECT_FALSE(Cache.lookup(K2, Out));
+  EXPECT_TRUE(Cache.lookup(K3, Out));
+}
+
+TEST(PlanCache, HalfMatchingKeysDoNotCollide) {
+  // The 128-bit key exists because one colliding 64-bit half must not be
+  // enough to serve the wrong plan.
+  PlanCache Cache(8);
+  Cache.insert({42, 1}, {2, 2});
+  VectorPlan Out;
+  EXPECT_FALSE(Cache.lookup({42, 2}, Out)); // Same Lo, different Hi.
+  EXPECT_FALSE(Cache.lookup({43, 1}, Out)); // Same Hi, different Lo.
+  EXPECT_TRUE(Cache.lookup({42, 1}, Out));
+}
+
+TEST(ContextKey, DistinguishesBagsAndExtractionFlavour) {
+  const std::vector<PathContext> BagA = {{1, 2, 3}, {4, 5, 6}};
+  const std::vector<PathContext> BagB = {{1, 2, 3}, {4, 5, 7}};
+  EXPECT_EQ(contextBagKey(BagA, false), contextBagKey(BagA, false));
+  EXPECT_NE(contextBagKey(BagA, false), contextBagKey(BagB, false));
+  // Same bag, other extraction flavour: a different identity, so an
+  // inner-context model's plans can never answer outer-context lookups.
+  EXPECT_NE(contextBagKey(BagA, false), contextBagKey(BagA, true));
+  // Both halves populated (independent hash streams).
+  const ContextKey Key = contextBagKey(BagA, false);
+  EXPECT_NE(Key.Lo, 0u);
+  EXPECT_NE(Key.Hi, 0u);
 }
 
 TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
@@ -170,6 +231,44 @@ TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
   Pool.parallelFor(0, Seen.size(), [&](size_t I) { ++Seen[I]; });
   for (size_t I = 0; I < Seen.size(); ++I)
     EXPECT_EQ(Seen[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallsDoNotWaitOnEachOther) {
+  // Regression: wait() used to block on the pool-global in-flight count,
+  // so two concurrent parallelFor callers waited on each other's jobs.
+  // With per-call completion this must be correct (each caller sees all
+  // of its own indices done on return) under heavy interleaving.
+  ThreadPool Pool(4);
+  constexpr int Callers = 4, Rounds = 25, Range = 64;
+  std::vector<std::thread> Threads;
+  std::atomic<int> Failures{0};
+  for (int C = 0; C < Callers; ++C) {
+    Threads.emplace_back([&, C] {
+      for (int R = 0; R < Rounds; ++R) {
+        std::vector<std::atomic<int>> Seen(Range);
+        Pool.parallelFor(0, Range,
+                         [&](size_t I) { ++Seen[I]; });
+        for (int I = 0; I < Range; ++I)
+          if (Seen[I].load() != 1)
+            ++Failures;
+        (void)C;
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  // A parallelFor issued from inside a pool job must finish even when
+  // every worker is already busy (the caller claims indices itself).
+  ThreadPool Pool(1);
+  std::atomic<int> Count{0};
+  Pool.parallelFor(0, 4, [&](size_t) {
+    Pool.parallelFor(0, 8, [&](size_t) { ++Count; });
+  });
+  EXPECT_EQ(Count.load(), 32);
 }
 
 TEST(AnnotationService, MatchesSingleProgramAnnotate) {
@@ -263,6 +362,95 @@ TEST(AnnotationService, PoolSizeNeverChangesResults) {
       EXPECT_EQ(Results[I].Annotated, Reference[I])
           << "threads=" << Threads << " request " << I;
   }
+}
+
+TEST(AnnotationService, ConcurrentAnnotateBatchStress) {
+  // Several client threads hammer one shared service with overlapping
+  // batches (shared model lock, shared cache, shared pool). Every result
+  // must match the single-threaded reference — and with the per-call
+  // completion latch, no caller can return while its own phase work is
+  // still running (which would show up here as missing annotations).
+  NeuroVectorizer NV(testConfig());
+  ASSERT_TRUE(NV.addTrainingProgram("dot", DotProduct));
+  NV.train(128);
+
+  const std::vector<AnnotationRequest> Requests = generatedRequests(24);
+  std::vector<std::string> Reference;
+  for (const AnnotationRequest &Req : Requests)
+    Reference.push_back(NV.annotate(Req.Source));
+
+  ServeConfig Serve;
+  Serve.Threads = 4;
+  AnnotationService &Service = NV.service(Serve);
+
+  constexpr int Clients = 4, Rounds = 8;
+  std::atomic<int> Mismatches{0};
+  std::vector<std::thread> Threads;
+  for (int C = 0; C < Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      // Each client rotates through a different slice so batches overlap
+      // without being identical.
+      for (int R = 0; R < Rounds; ++R) {
+        std::vector<AnnotationRequest> Slice;
+        for (size_t I = C % 3; I < Requests.size(); I += 2)
+          Slice.push_back(Requests[I]);
+        std::vector<AnnotationResult> Results =
+            Service.annotateBatch(Slice);
+        for (size_t I = 0; I < Slice.size(); ++I) {
+          const size_t Orig = (C % 3) + 2 * I;
+          if (!Results[I].Ok || Results[I].Annotated != Reference[Orig])
+            ++Mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Mismatches.load(), 0);
+  EXPECT_GE(Service.stats().CacheHits.load(), 1u);
+}
+
+TEST(AnnotationService, InnerContextModelRoundTripServesEnvSidePlans) {
+  TempModel File("serve_inner_ctx.nvm");
+
+  // A doubly nested loop where inner- and outer-context embeddings truly
+  // differ.
+  const char *Nested =
+      "float A[64][64]; float x[64]; float y[64];\n"
+      "void mv() { for (int i = 0; i < 64; i++) { float s = 0;\n"
+      "  for (int j = 0; j < 64; j++) { s += A[i][j] * x[j]; }\n"
+      "  y[i] = s; } }";
+
+  // Train with the inner-context ablation (§3.3) active.
+  NeuroVectorizer Trained(testConfig(/*Seed=*/21));
+  Trained.env().setInnerContextOnly(true);
+  ASSERT_TRUE(Trained.addTrainingProgram("mv", Nested));
+  Trained.train(128);
+  ASSERT_TRUE(Trained.save(File.Path));
+
+  // A fresh default (outer-context) instance must pick the setting up
+  // from the model file alone.
+  NeuroVectorizer Loaded(testConfig(/*Seed=*/22));
+  ASSERT_FALSE(Loaded.env().innerContextOnly());
+  std::string Error;
+  ASSERT_TRUE(Loaded.load(File.Path, &Error)) << Error;
+  EXPECT_TRUE(Loaded.env().innerContextOnly());
+  EXPECT_TRUE(Loaded.service().innerContextOnly());
+
+  // Env-side greedy plans (the training-side view of this model).
+  const std::vector<VectorPlan> EnvPlans = Trained.plansFor(Nested);
+
+  // Serve-side plans from the loaded model must match them exactly; with
+  // the pre-fix extraction (always outer) they would be computed from an
+  // embedding the model never saw.
+  const AnnotationResult Served = Loaded.service().annotateOne("mv", Nested);
+  ASSERT_TRUE(Served.Ok) << Served.Error;
+  ASSERT_EQ(Served.Plans.size(), EnvPlans.size());
+  for (size_t S = 0; S < EnvPlans.size(); ++S)
+    EXPECT_EQ(Served.Plans[S], EnvPlans[S]) << "site " << S;
+
+  // And the annotated output must agree with the training-side annotate().
+  EXPECT_EQ(Served.Annotated, Trained.annotate(Nested));
 }
 
 TEST(AnnotationService, LoadedModelServesIdenticalAnnotations) {
