@@ -11,6 +11,11 @@
 //   - random search below baseline;
 //   - Polly ~1.17x over baseline, well below RL.
 //
+// `--smoke` runs the same pipeline at CI scale (small training set, few
+// steps): the numbers are not paper-grade, but every stage — training,
+// distillation, all seven methods — executes, so the figure path cannot
+// bit-rot between full runs.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
@@ -21,18 +26,29 @@
 #include "support/Stats.h"
 #include "support/Table.h"
 
+#include <cstring>
 #include <iostream>
 
 using namespace nv;
 
-int main() {
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  for (int I = 1; I < argc; ++I)
+    Smoke |= std::strcmp(argv[I], "--smoke") == 0;
+
+  const int NumPrograms = Smoke ? 40 : 200;
+  const long long TrainSteps = Smoke ? 1536 : 80000;
+  const int RandomDraws = Smoke ? 5 : 20;
+
   std::cout << "=== Fig 7: held-out benchmarks, all methods (speedup over "
                "baseline) ===\n\n";
+  if (Smoke)
+    std::cout << "[smoke mode: reduced training budget, numbers are not "
+                 "paper-grade]\n";
   std::cout << "training end-to-end RL on the synthetic dataset...\n";
-  auto NV = makeTrainedVectorizer(/*NumPrograms=*/200,
-                                  /*TrainSteps=*/80000);
+  auto NV = makeTrainedVectorizer(NumPrograms, TrainSteps);
   std::cout << "labeling with brute force + fitting NNS/decision tree...\n";
-  NV->fitSupervised(/*MaxSamples=*/200);
+  NV->fitSupervised(/*MaxSamples=*/static_cast<size_t>(NumPrograms));
 
   Table T({"benchmark", "random", "Polly", "NNS", "dectree", "RL",
            "brute"});
@@ -42,7 +58,6 @@ int main() {
 
     // Random search: expected performance over repeated uniform draws.
     double RandomCycles = 0.0;
-    constexpr int RandomDraws = 20;
     for (int Draw = 0; Draw < RandomDraws; ++Draw)
       RandomCycles += NV->cyclesFor(B.Source, PredictMethod::Random);
     const double R = Base / (RandomCycles / RandomDraws);
@@ -83,5 +98,20 @@ int main() {
   std::cout << "  RL / brute-force = "
             << Table::fmt(100.0 * mean(RL) / mean(Brute), 1)
             << "% (paper: ~97%)\n";
+
+  // Quality metrics for the perf trajectory. Deliberately no *_per_sec
+  // keys: these are figure-quality numbers, not throughput, so the CI
+  // regression gate reports them without gating on them.
+  BenchJson Json(Smoke ? "fig7_benchmarks_smoke" : "fig7_benchmarks");
+  Json.add("smoke", Smoke ? 1 : 0);
+  Json.add("train_steps", static_cast<double>(TrainSteps));
+  Json.add("random_mean_speedup", mean(Random));
+  Json.add("polly_mean_speedup", mean(Polly));
+  Json.add("nns_mean_speedup", mean(NNS));
+  Json.add("tree_mean_speedup", mean(Tree));
+  Json.add("rl_mean_speedup", mean(RL));
+  Json.add("brute_mean_speedup", mean(Brute));
+  Json.add("rl_vs_brute_pct", 100.0 * mean(RL) / mean(Brute));
+  Json.write(Smoke ? "fig7_smoke" : "fig7");
   return 0;
 }

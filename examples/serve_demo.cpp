@@ -1,11 +1,12 @@
-//===- examples/serve_demo.cpp - Train, save, load, serve -----------------===//
+//===- examples/serve_demo.cpp - Train, distill, save, serve any backend ---===//
 //
 // Part of the NeuroVectorizer reproduction. MIT license.
 //
 // The deployment story the paper implies but never ships: train the RL
-// vectorizer once, persist the frozen model, then load it in a "server"
-// process and annotate batches of unseen programs through the cached,
-// multi-threaded serving layer.
+// vectorizer once, distill the supervised backends (NNS, decision tree)
+// from the learned embedding, persist EVERYTHING as one v3 model file,
+// then load it in a "server" process and serve batches through whichever
+// backend each request names — rl, nns, tree, or the brute-force oracle.
 //
 //   $ ./serve_demo
 //
@@ -13,17 +14,20 @@
 
 #include "core/NeuroVectorizer.h"
 #include "dataset/LoopGenerator.h"
+#include "dataset/Suites.h"
 #include "support/Table.h"
+#include "train/Evaluator.h"
 
 #include <cstdio>
 #include <iostream>
+#include <iterator>
 
 using namespace nv;
 
 int main() {
   const std::string ModelPath = "neurovectorizer.nvm";
 
-  // --- "Training process": learn and persist ------------------------------
+  // --- "Training process": learn, distill, persist ------------------------
   NeuroVectorizerConfig Config;
   Config.PPO.BatchSize = 256;
   Config.PPO.MiniBatchSize = 64;
@@ -36,46 +40,87 @@ int main() {
     std::cout << "training...\n";
     Trainer.train(/*Steps=*/4000);
 
+    std::cout << "distilling NNS + decision tree from the learned "
+                 "embedding (brute-force labels)...\n";
+    const DistillReport Distilled = Trainer.fitSupervised(/*MaxSamples=*/64);
+    std::cout << "  labeled " << Distilled.Sites << " sites across "
+              << Distilled.Programs << " programs ("
+              << Distilled.OracleEvaluations << " oracle evaluations, "
+              << Table::fmt(Distilled.GeomeanOracleSpeedup)
+              << "x geomean oracle speedup)\n";
+
     std::string Error;
     if (!Trainer.save(ModelPath, &Error)) {
       std::cerr << "save failed: " << Error << "\n";
       return 1;
     }
-    std::cout << "model saved to " << ModelPath << "\n\n";
-  } // Trainer destroyed: the weights now live only in the file.
+    std::cout << "model + backends saved to " << ModelPath << "\n\n";
+  } // Trainer destroyed: weights AND backends now live only in the file.
 
-  // --- "Serving process": load the frozen model and serve batches ---------
+  // --- "Serving process": load the frozen backend set and serve -----------
   NeuroVectorizer Server(Config); // Same architecture, fresh weights...
   std::string Error;
   if (!Server.load(ModelPath, &Error)) { // ...replaced by the trained ones.
     std::cerr << "load failed: " << Error << "\n";
     return 1;
   }
-  std::cout << "model loaded into a fresh instance\n";
+  std::cout << "model loaded into a fresh instance (supervised backends "
+            << (Server.supervisedReady() ? "restored" : "missing")
+            << ")\n";
 
   ServeConfig Serve;
   Serve.Threads = 4;
   AnnotationService &Service = Server.service(Serve);
 
-  // A batch of unseen programs (plus a duplicate to show the plan cache).
+  // One unseen program, every backend: the same source annotated four
+  // ways from the one loaded model file.
   LoopGenerator Unseen(/*Seed=*/1234);
+  const GeneratedLoop Probe = Unseen.generateMany(1).front();
+  const PredictMethod Methods[] = {PredictMethod::RL, PredictMethod::NNS,
+                                   PredictMethod::DecisionTree,
+                                   PredictMethod::BruteForce};
   std::vector<AnnotationRequest> Requests;
+  for (PredictMethod M : Methods)
+    Requests.push_back({std::string(methodName(M)), Probe.Source, M});
+  std::vector<AnnotationResult> PerMethod = Service.annotateBatch(Requests);
+
+  std::cout << "\n" << Probe.Name << " under each backend:\n";
+  Table Plans({"backend", "VF", "IF", "speedup vs baseline"});
+  for (const AnnotationResult &Res : PerMethod) {
+    if (!Res.Ok) {
+      std::cerr << Res.Name << ": " << Res.Error << "\n";
+      return 1;
+    }
+    Plans.addRow({Res.Name, std::to_string(Res.Plans[0].VF),
+                  std::to_string(Res.Plans[0].IF),
+                  Table::fmt(Server.speedupOverBaseline(Probe.Source,
+                                                        Res.Method))});
+  }
+  Plans.print(std::cout);
+
+  // A larger mixed batch (plus a duplicate to show the plan cache).
+  std::vector<AnnotationRequest> Batch;
   for (const GeneratedLoop &L : Unseen.generateMany(32))
-    Requests.push_back({L.Name, L.Source});
-  Requests.push_back(Requests.front()); // Cache hit.
-
-  std::vector<AnnotationResult> Results = Service.annotateBatch(Requests);
-
-  std::cout << "\nfirst annotated program (" << Results.front().Name
-            << "):\n"
-            << Results.front().Annotated << "\n";
-
+    Batch.push_back({L.Name, L.Source,
+                     Methods[Batch.size() % std::size(Methods)]});
+  Batch.push_back(Batch.front()); // Cache hit.
   int Served = 0;
-  for (const AnnotationResult &Res : Results)
+  for (const AnnotationResult &Res : Service.annotateBatch(Batch))
     Served += Res.Ok;
-  std::cout << "annotated " << Served << "/" << Results.size()
-            << " programs\n\nservice counters:\n";
+  std::cout << "\nannotated " << Served << "/" << Batch.size()
+            << " programs across 4 backends\n\nservice counters:\n";
   Service.stats().print(std::cout);
+
+  // --- Fig 7-style held-out comparison over the loaded backend set --------
+  std::cout << "\nheld-out per-method speedup (Fig 7 style):\n";
+  Evaluator Eval{SimCompiler(Config.Target, Config.Machine),
+                 Config.Embedding.Paths};
+  Eval.addSuite("benchmarks", evaluationBenchmarks());
+  const MethodReport Report = Eval.evaluateMethods(
+      Server.embedder(), Server.backends(),
+      {PredictMethod::Random, PredictMethod::NNS, PredictMethod::DecisionTree,
+       PredictMethod::RL, PredictMethod::BruteForce});
+  Report.speedupTable().print(std::cout);
 
   std::remove(ModelPath.c_str());
   return 0;

@@ -22,6 +22,28 @@ NeuroVectorizer::NeuroVectorizer(const NeuroVectorizerConfig &Config)
                                  Config.Hidden, NumVF, NumIF, Rng);
   Runner = std::make_unique<PPORunner>(*Env, *Embedder, *Pol, Config.PPO,
                                        Config.Seed ^ 0xABCDEF);
+
+  // The full backend set of Fig 3's swappable agent block (§3.5). The
+  // supervised backends start unfitted; fitSupervised() or a v3 load()
+  // makes them ready.
+  Backends.set(PredictMethod::RL,
+               std::make_unique<PolicyBackend>(*Pol, Config.Target));
+  auto NNSOwned = std::make_unique<NNSBackend>(/*K=*/3);
+  NNS = NNSOwned.get();
+  Backends.set(PredictMethod::NNS, std::move(NNSOwned));
+  auto TreeOwned = std::make_unique<TreeBackend>(Config.Target);
+  Tree = TreeOwned.get();
+  Backends.set(PredictMethod::DecisionTree, std::move(TreeOwned));
+  Backends.set(PredictMethod::Baseline,
+               std::make_unique<BaselineBackend>(
+                   Config.Target, Config.Machine, Config.Embedding.Paths));
+  Backends.set(PredictMethod::Random,
+               std::make_unique<RandomBackend>(Config.Target, Config.Machine,
+                                               Config.Embedding.Paths,
+                                               Config.Seed ^ 0x5EED5EEDull));
+  Backends.set(PredictMethod::BruteForce,
+               std::make_unique<BruteForceBackend>(
+                   Config.Target, Config.Machine, Config.Embedding.Paths));
 }
 
 bool NeuroVectorizer::addTrainingProgram(const std::string &Name,
@@ -31,7 +53,14 @@ bool NeuroVectorizer::addTrainingProgram(const std::string &Name,
 
 TrainStats NeuroVectorizer::train(long long Steps) {
   assert(Env->size() > 0 && "no training programs added");
-  return Runner->train(Steps);
+  TrainStats Stats = Runner->train(Steps);
+  // Same invalidation as trainParallel()/load(): cached plans and fitted
+  // supervised backends were derived from the pre-training weights.
+  if (Service)
+    Service->clearCache();
+  NNS->index().clear();
+  Tree->tree().clear();
+  return Stats;
 }
 
 RolloutModelSpec NeuroVectorizer::rolloutSpec() const {
@@ -52,103 +81,51 @@ TrainReport NeuroVectorizer::trainParallel(const TrainerConfig &TrainConfig) {
   T.addEvalSuite("benchmarks", evaluationBenchmarks());
   TrainReport Report = T.run();
   // Same invalidation as load(): the serving cache and the supervised
-  // predictors were derived from the pre-training weights.
+  // backends were derived from the pre-training weights.
   if (Service)
     Service->clearCache();
-  NNS.clear();
-  SupervisedReady = false;
+  NNS->index().clear();
+  Tree->tree().clear();
   return Report;
 }
 
-std::vector<double>
-NeuroVectorizer::embeddingOf(const std::vector<PathContext> &Contexts) {
-  Matrix V = Embedder->encode(Contexts);
-  std::vector<double> Row(V.raw().begin(), V.raw().end());
-  return Row;
+DistillReport NeuroVectorizer::fitSupervised(size_t MaxSamples) {
+  DistillConfig Distill;
+  Distill.MaxSamples = MaxSamples;
+  return fitSupervised(Distill);
 }
 
-int NeuroVectorizer::planToClass(const VectorPlan &Plan) const {
-  const std::vector<int> VFs = Config.Target.vfActions();
-  const std::vector<int> IFs = Config.Target.ifActions();
-  int VFIdx = 0, IFIdx = 0;
-  for (size_t I = 0; I < VFs.size(); ++I)
-    if (VFs[I] == Plan.VF)
-      VFIdx = static_cast<int>(I);
-  for (size_t I = 0; I < IFs.size(); ++I)
-    if (IFs[I] == Plan.IF)
-      IFIdx = static_cast<int>(I);
-  return VFIdx * static_cast<int>(IFs.size()) + IFIdx;
+DistillReport NeuroVectorizer::fitSupervised(const DistillConfig &Distill) {
+  DistillReport Report = distill(*Env, *Embedder, Config.Target,
+                                 NNS->index(), Tree->tree(), Distill);
+  // Plans cached from a previous fit answer for the nns/tree keys; the
+  // backends just changed, so those entries are stale.
+  if (Service)
+    Service->clearCache();
+  return Report;
 }
 
-VectorPlan NeuroVectorizer::classToPlan(int Class) const {
-  const std::vector<int> VFs = Config.Target.vfActions();
-  const std::vector<int> IFs = Config.Target.ifActions();
-  const int NumIF = static_cast<int>(IFs.size());
-  VectorPlan Plan;
-  Plan.VF = VFs[std::min<size_t>(Class / NumIF, VFs.size() - 1)];
-  Plan.IF = IFs[Class % NumIF];
-  return Plan;
-}
-
-void NeuroVectorizer::fitSupervised(size_t MaxSamples) {
-  // Refitting replaces the index wholesale: stale entries would mix
-  // embeddings from different weight sets (e.g. after load()).
-  NNS.clear();
-  // Label with brute force (the paper runs the expensive search on a
-  // portion of the dataset to obtain supervised labels, §2.3).
-  std::vector<std::vector<double>> X;
-  std::vector<int> Y;
-  const size_t Count = std::min(MaxSamples, Env->size());
-  for (size_t I = 0; I < Count; ++I) {
-    const BruteForceResult Best = bruteForceSearch(*Env, I);
-    const EnvSample &Sample = Env->sample(I);
-    for (size_t S = 0; S < Sample.Sites.size(); ++S) {
-      std::vector<double> Emb = embeddingOf(Sample.Contexts[S]);
-      NNS.add(Emb, Best.Plans[S]);
-      X.push_back(std::move(Emb));
-      Y.push_back(planToClass(Best.Plans[S]));
-    }
-  }
-  const int NumClasses =
-      static_cast<int>(Config.Target.vfActions().size() *
-                       Config.Target.ifActions().size());
-  Tree.fit(X, Y, NumClasses);
-  SupervisedReady = true;
+bool NeuroVectorizer::supervisedReady() const {
+  return NNS->ready() && Tree->ready();
 }
 
 std::vector<VectorPlan>
 NeuroVectorizer::plansFor(const std::string &Source, PredictMethod Method) {
+  Predictor *P = Backends.get(Method);
+  assert(P && "no backend registered for method");
+
+  if (P->kind() == Predictor::Kind::Source)
+    return P->plansForSource(Source);
+
+  assert(P->ready() && "call fitSupervised() first");
   std::string Error;
   std::optional<Program> Parsed = parseSource(Source, &Error);
   assert(Parsed && "plansFor() requires a valid program");
   clearAllPragmas(*Parsed);
   std::vector<LoopSite> Sites = extractLoops(*Parsed);
 
-  // Methods that need a private environment entry (search-based).
-  if (Method == PredictMethod::BruteForce || Method == PredictMethod::Random ||
-      Method == PredictMethod::Baseline) {
-    VectorizationEnv Scratch(SimCompiler(Config.Target, Config.Machine),
-                             Config.Embedding.Paths);
-    const bool Added = Scratch.addProgram("query", Source);
-    assert(Added && "program with loops expected");
-    (void)Added;
-    switch (Method) {
-    case PredictMethod::BruteForce:
-      return bruteForceSearch(Scratch, 0).Plans;
-    case PredictMethod::Random:
-      return randomPlans(Scratch, 0, Rng);
-    default: { // Baseline: the cost model's own choices, no pragma.
-      CompileResult R = Scratch.compiler().compileBaseline(
-          const_cast<Program &>(*Scratch.sample(0).Prog));
-      std::vector<VectorPlan> Plans;
-      for (const CompiledLoop &L : R.Loops)
-        Plans.push_back(L.Effective);
-      return Plans;
-    }
-    }
-  }
-
-  std::vector<VectorPlan> Plans;
+  std::vector<std::vector<PathContext>> Contexts;
+  Contexts.reserve(Sites.size());
   for (const LoopSite &Site : Sites) {
     // Mirror the environment's extraction setting: predicting from the
     // other loop body would hand the model embeddings it never trained on
@@ -156,26 +133,10 @@ NeuroVectorizer::plansFor(const std::string &Source, PredictMethod Method) {
     const Stmt &ContextRoot =
         Env->innerContextOnly() ? static_cast<const Stmt &>(*Site.Inner)
                                 : static_cast<const Stmt &>(*Site.Outer);
-    const std::vector<PathContext> Contexts =
-        extractPathContexts(ContextRoot, Config.Embedding.Paths);
-    switch (Method) {
-    case PredictMethod::RL:
-      Plans.push_back(Runner->predict(Contexts));
-      break;
-    case PredictMethod::NNS:
-      assert(SupervisedReady && "call fitSupervised() first");
-      Plans.push_back(NNS.predict(embeddingOf(Contexts)));
-      break;
-    case PredictMethod::DecisionTree:
-      assert(SupervisedReady && "call fitSupervised() first");
-      Plans.push_back(classToPlan(Tree.predict(embeddingOf(Contexts))));
-      break;
-    default:
-      Plans.push_back({1, 1});
-      break;
-    }
+    Contexts.push_back(extractPathContexts(ContextRoot, Config.Embedding.Paths));
   }
-  return Plans;
+  const Matrix States = Embedder->encodeBatch(Contexts);
+  return P->plansForEmbeddings(States, nullptr);
 }
 
 std::string NeuroVectorizer::annotate(const std::string &Source,
@@ -214,31 +175,35 @@ double NeuroVectorizer::speedupOverBaseline(const std::string &Source,
 
 bool NeuroVectorizer::save(const std::string &Path, std::string *Error) {
   // The file carries the extraction setting the model was trained with so
-  // a loading deployment reproduces the training-side embeddings.
+  // a loading deployment reproduces the training-side embeddings, plus
+  // whatever supervised backends have been distilled from these weights.
   ModelMeta Meta;
   Meta.InnerContextOnly = Env->innerContextOnly();
-  return ModelSerializer::save(Path, *Embedder, *Pol, Meta, Error);
+  SupervisedBundle Bundle;
+  Bundle.NNS = &NNS->index();
+  Bundle.Tree = &Tree->tree();
+  return ModelSerializer::save(Path, *Embedder, *Pol, Meta, Bundle, Error);
 }
 
 bool NeuroVectorizer::load(const std::string &Path, std::string *Error) {
   ModelMeta Meta;
-  if (!ModelSerializer::load(Path, *Embedder, *Pol, &Meta, Error))
+  SupervisedBundle Bundle;
+  Bundle.NNS = &NNS->index();
+  Bundle.Tree = &Tree->tree();
+  if (!ModelSerializer::load(Path, *Embedder, *Pol, &Meta, &Bundle, Error))
     return false;
   // The loaded model dictates how loops must be embedded from now on:
   // predictions, serving, and training all follow it (the env re-extracts
   // the contexts of any programs it already holds, so a warm-start
   // train() after load() sees the right flavour too).
   Env->setInnerContextOnly(Meta.InnerContextOnly);
-  // The plan cache and the supervised predictors were derived from the old
-  // weights. The NNS index is cleared eagerly (not just flagged) so stale
-  // entries cannot survive into a release build where the
-  // SupervisedReady asserts compile out.
+  // The plan cache was derived from the old weights. The supervised
+  // backends were either restored from the file's own sections (distilled
+  // from exactly these weights) or cleared by the serializer.
   if (Service) {
     Service->setContextExtraction(Meta.InnerContextOnly);
     Service->clearCache();
   }
-  NNS.clear();
-  SupervisedReady = false;
   return true;
 }
 
@@ -248,7 +213,7 @@ AnnotationService &NeuroVectorizer::service(const ServeConfig &Serve) {
   ServeConfig Cfg = Serve;
   Cfg.InnerContextOnly = Env->innerContextOnly();
   Service = std::make_unique<AnnotationService>(
-      *Embedder, *Pol, Config.Embedding.Paths, Config.Target, Cfg);
+      *Embedder, Backends, Config.Embedding.Paths, Config.Target, Cfg);
   return *Service;
 }
 

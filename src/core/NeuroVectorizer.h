@@ -26,12 +26,13 @@
 #define NV_CORE_NEUROVECTORIZER_H
 
 #include "embedding/Code2Vec.h"
-#include "predictors/DecisionTree.h"
-#include "predictors/NearestNeighbor.h"
+#include "predictors/Backends.h"
+#include "predictors/Predictor.h"
 #include "predictors/Search.h"
 #include "rl/PPO.h"
 #include "rl/Policy.h"
 #include "serve/AnnotationService.h"
+#include "train/Distill.h"
 #include "train/Trainer.h"
 
 #include <memory>
@@ -48,17 +49,6 @@ struct NeuroVectorizerConfig {
   ActionSpaceKind ActionSpace = ActionSpaceKind::Discrete;
   std::vector<int> Hidden = {64, 64}; ///< FCNN trunk (paper default).
   uint64_t Seed = 1234;
-};
-
-/// Prediction method selector (the "learning agent" block of Fig 3 is
-/// swappable after end-to-end training, §3.5).
-enum class PredictMethod {
-  Baseline,     ///< Stock cost model (no pragma).
-  RL,           ///< Trained PPO policy (greedy).
-  NNS,          ///< Nearest neighbor over the learned embedding.
-  DecisionTree, ///< CART over the learned embedding.
-  Random,       ///< Uniformly random factors.
-  BruteForce,   ///< Exhaustive search (oracle).
 };
 
 /// The end-to-end framework facade.
@@ -88,10 +78,19 @@ public:
   /// (for driving train/Trainer or train/RolloutWorkers directly).
   RolloutModelSpec rolloutSpec() const;
 
-  /// Fits the supervised predictors (NNS, decision tree): runs the
-  /// brute-force labeler over up to \p MaxSamples training programs and
-  /// indexes the learned embeddings (§3.5). Call after train().
-  void fitSupervised(size_t MaxSamples = 512);
+  /// Fits the supervised backends (NNS, decision tree) through the
+  /// distillation pipeline (train/Distill.h): runs the brute-force
+  /// labeler over up to \p MaxSamples training programs and indexes the
+  /// learned embeddings (§3.5). Call after train() — or after load(), to
+  /// distill from a persisted checkpoint.
+  DistillReport fitSupervised(size_t MaxSamples = 512);
+
+  /// Distillation with explicit pipeline knobs.
+  DistillReport fitSupervised(const DistillConfig &Distill);
+
+  /// True when the supervised backends are fitted (after fitSupervised()
+  /// or a load() of a model file carrying backend sections).
+  bool supervisedReady() const;
 
   /// Predicts factors for every vectorization site of \p Source using
   /// \p Method; returns the annotated source (Fig 4 style).
@@ -109,16 +108,18 @@ public:
   double speedupOverBaseline(const std::string &Source,
                              PredictMethod Method = PredictMethod::RL);
 
-  /// Persists the trained model (embedding generator + policy) to \p Path
-  /// (see serve/ModelSerializer.h for the format). Returns false and sets
+  /// Persists the trained model (embedding generator + policy, plus the
+  /// distilled supervised backends when fitted) to \p Path (see
+  /// serve/ModelSerializer.h for the v3 format). Returns false and sets
   /// \p Error on failure.
   bool save(const std::string &Path, std::string *Error = nullptr);
 
   /// Restores a model previously written by save() into this instance.
   /// The instance must have been constructed with the same configuration
   /// (architecture shapes are validated). All-or-nothing: on failure the
-  /// current weights are untouched. Invalidates the serving plan cache and
-  /// any fitted supervised predictors.
+  /// current weights are untouched. Invalidates the serving plan cache;
+  /// the supervised backends are restored from the file's sections when
+  /// present (v3) and cleared otherwise.
   bool load(const std::string &Path, std::string *Error = nullptr);
 
   /// The batched, multi-threaded serving front-end over this instance's
@@ -140,20 +141,20 @@ public:
   PPORunner &runner() { return *Runner; }
   const TargetInfo &target() const { return Config.Target; }
 
-private:
-  std::vector<double> embeddingOf(const std::vector<PathContext> &Contexts);
-  int planToClass(const VectorPlan &Plan) const;
-  VectorPlan classToPlan(int Class) const;
+  /// The backend registry (one Predictor per PredictMethod), shared with
+  /// the serving front-end and usable with Evaluator::evaluateMethods.
+  PredictorSet &backends() { return Backends; }
 
+private:
   NeuroVectorizerConfig Config;
   RNG Rng;
   std::unique_ptr<VectorizationEnv> Env;
   std::unique_ptr<Code2Vec> Embedder;
   std::unique_ptr<Policy> Pol;
   std::unique_ptr<PPORunner> Runner;
-  NearestNeighborPredictor NNS{3};
-  DecisionTree Tree;
-  bool SupervisedReady = false;
+  PredictorSet Backends;
+  NNSBackend *NNS = nullptr;   ///< Owned by Backends.
+  TreeBackend *Tree = nullptr; ///< Owned by Backends.
   std::unique_ptr<AnnotationService> Service;
 };
 

@@ -2,6 +2,8 @@
 
 #include "predictors/DecisionTree.h"
 
+#include "support/Wire.h"
+
 #include <algorithm>
 #include <cassert>
 #include <numeric>
@@ -115,6 +117,7 @@ void DecisionTree::fit(const std::vector<std::vector<double>> &X,
                        const std::vector<int> &Y, int NumClassesIn) {
   assert(!X.empty() && X.size() == Y.size() && "bad training data");
   NumClasses = NumClassesIn;
+  NumFeatures = static_cast<int>(X[0].size());
   Nodes.clear();
   std::vector<int> Indices(X.size());
   std::iota(Indices.begin(), Indices.end(), 0);
@@ -130,6 +133,90 @@ int DecisionTree::predict(const std::vector<double> &Row) const {
       return N.Label;
     Cur = Row[N.Feature] <= N.Threshold ? N.Left : N.Right;
   }
+}
+
+void DecisionTree::serialize(std::vector<char> &Out) const {
+  wire::appendValue(Out, static_cast<int32_t>(Config.MaxDepth));
+  wire::appendValue(Out, static_cast<int32_t>(Config.MinSamplesSplit));
+  wire::appendValue(Out, static_cast<int32_t>(Config.MinSamplesLeaf));
+  wire::appendValue(Out, static_cast<int32_t>(NumClasses));
+  wire::appendValue(Out, static_cast<int32_t>(NumFeatures));
+  wire::appendValue(Out, static_cast<uint64_t>(Nodes.size()));
+  for (const Node &N : Nodes) {
+    wire::appendValue(Out, static_cast<int32_t>(N.Feature));
+    wire::appendValue(Out, N.Threshold);
+    wire::appendValue(Out, static_cast<int32_t>(N.Left));
+    wire::appendValue(Out, static_cast<int32_t>(N.Right));
+    wire::appendValue(Out, static_cast<int32_t>(N.Label));
+  }
+}
+
+bool DecisionTree::deserialize(const char *Data, size_t Size,
+                               std::string *Error) {
+  auto Fail = [Error](const char *Message) {
+    if (Error)
+      *Error = Message;
+    return false;
+  };
+  size_t Offset = 0;
+  int32_t MaxDepth = 0, MinSplit = 0, MinLeaf = 0, Classes = 0,
+          Features = 0;
+  uint64_t Count = 0;
+  if (!wire::readValue(Data, Size, Offset, MaxDepth) ||
+      !wire::readValue(Data, Size, Offset, MinSplit) ||
+      !wire::readValue(Data, Size, Offset, MinLeaf) ||
+      !wire::readValue(Data, Size, Offset, Classes) ||
+      !wire::readValue(Data, Size, Offset, Features) ||
+      !wire::readValue(Data, Size, Offset, Count))
+    return Fail("tree section: truncated header");
+  if (Features < 0)
+    return Fail("tree section: negative feature count");
+  // A claimed node count must fit in the remaining bytes BEFORE any
+  // allocation: a corrupt count must return false, not throw bad_alloc.
+  constexpr size_t NodeBytes = 4 * sizeof(int32_t) + sizeof(double);
+  if (Count > (Size - Offset) / NodeBytes)
+    return Fail("tree section: node count exceeds payload");
+  std::vector<Node> NewNodes;
+  NewNodes.reserve(Count);
+  for (uint64_t I = 0; I < Count; ++I) {
+    Node N;
+    int32_t Feature = 0, Left = 0, Right = 0, Label = 0;
+    if (!wire::readValue(Data, Size, Offset, Feature) ||
+        !wire::readValue(Data, Size, Offset, N.Threshold) ||
+        !wire::readValue(Data, Size, Offset, Left) ||
+        !wire::readValue(Data, Size, Offset, Right) ||
+        !wire::readValue(Data, Size, Offset, Label))
+      return Fail("tree section: truncated node");
+    N.Feature = Feature;
+    N.Left = Left;
+    N.Right = Right;
+    N.Label = Label;
+    const int64_t Last = static_cast<int64_t>(Count) - 1;
+    // Corrupt sections must not make predict() misbehave: labels index
+    // the class space, the split feature must be a fitted column (no
+    // out-of-bounds row reads), and children must point strictly forward
+    // in the array — build() lays them out that way, and a strictly
+    // increasing walk cannot cycle.
+    if (N.Label < 0 || N.Label >= Classes)
+      return Fail("tree section: leaf label out of range");
+    if (N.Feature >= 0) {
+      if (N.Feature >= Features)
+        return Fail("tree section: split feature out of range");
+      if (N.Left <= static_cast<int64_t>(I) || N.Left > Last ||
+          N.Right <= static_cast<int64_t>(I) || N.Right > Last)
+        return Fail("tree section: child index out of range");
+    }
+    NewNodes.push_back(N);
+  }
+  if (Offset != Size)
+    return Fail("tree section: trailing bytes");
+  Config.MaxDepth = MaxDepth;
+  Config.MinSamplesSplit = MinSplit;
+  Config.MinSamplesLeaf = MinLeaf;
+  NumClasses = Classes;
+  NumFeatures = Features;
+  Nodes = std::move(NewNodes);
+  return true;
 }
 
 int DecisionTree::depth() const {

@@ -16,6 +16,7 @@
 #define NV_PREDICTORS_DECISIONTREE_H
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 namespace nv {
@@ -40,9 +41,34 @@ public:
   /// Predicted class for \p Row. Must be fitted first.
   int predict(const std::vector<double> &Row) const;
 
+  /// True after a successful fit() or deserialize().
+  bool fitted() const { return !Nodes.empty(); }
+
+  /// Drops the fitted tree (e.g. when the embedding that produced its
+  /// training rows is replaced by NeuroVectorizer::load()).
+  void clear() {
+    Nodes.clear();
+    NumClasses = 0;
+    NumFeatures = 0;
+  }
+
   /// Number of nodes (tests/introspection).
   std::size_t numNodes() const { return Nodes.size(); }
   int depth() const;
+
+  /// Width of the rows the tree was fitted on (0 before fit()). predict()
+  /// requires rows at least this wide; the model loader cross-checks it
+  /// against the embedding dimension.
+  int numFeatures() const { return NumFeatures; }
+
+  /// Appends the fitted tree (config, nodes) to \p Out — the payload of a
+  /// model-file v3 'STRE' section. Byte-stable for identical trees.
+  void serialize(std::vector<char> &Out) const;
+
+  /// Replaces this tree with the one serialized in \p Data. All-or-
+  /// nothing: on a malformed payload the current tree is untouched, false
+  /// is returned, and \p Error (if non-null) describes the problem.
+  bool deserialize(const char *Data, size_t Size, std::string *Error);
 
 private:
   struct Node {
@@ -58,6 +84,7 @@ private:
 
   DecisionTreeConfig Config;
   int NumClasses = 0;
+  int NumFeatures = 0;
   std::vector<Node> Nodes;
 };
 

@@ -2,6 +2,8 @@
 
 #include "predictors/NearestNeighbor.h"
 
+#include "support/Wire.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -58,4 +60,63 @@ NearestNeighborPredictor::predict(const std::vector<double> &Embedding) const {
     }
   }
   return Best;
+}
+
+void NearestNeighborPredictor::serialize(std::vector<char> &Out) const {
+  wire::appendValue(Out, static_cast<int32_t>(K));
+  const uint32_t Dim =
+      Examples.empty() ? 0u
+                       : static_cast<uint32_t>(Examples[0].Embedding.size());
+  wire::appendValue(Out, Dim);
+  wire::appendValue(Out, static_cast<uint64_t>(Examples.size()));
+  for (const Example &E : Examples) {
+    assert(E.Embedding.size() == Dim && "ragged NNS index");
+    wire::appendBytes(Out, E.Embedding.data(), Dim * sizeof(double));
+    wire::appendValue(Out, static_cast<int32_t>(E.Label.VF));
+    wire::appendValue(Out, static_cast<int32_t>(E.Label.IF));
+  }
+}
+
+bool NearestNeighborPredictor::deserialize(const char *Data, size_t Size,
+                                           std::string *Error) {
+  auto Fail = [Error](const char *Message) {
+    if (Error)
+      *Error = Message;
+    return false;
+  };
+  size_t Offset = 0;
+  int32_t NewK = 0;
+  uint32_t Dim = 0;
+  uint64_t Count = 0;
+  if (!wire::readValue(Data, Size, Offset, NewK) ||
+      !wire::readValue(Data, Size, Offset, Dim) ||
+      !wire::readValue(Data, Size, Offset, Count))
+    return Fail("NNS section: truncated header");
+  if (NewK < 1)
+    return Fail("NNS section: invalid neighbor count");
+  // A claimed example count must fit in the remaining bytes BEFORE any
+  // allocation: a corrupt count must return false, not throw bad_alloc.
+  const size_t ExampleBytes =
+      static_cast<size_t>(Dim) * sizeof(double) + 2 * sizeof(int32_t);
+  if (Count > (Size - Offset) / ExampleBytes)
+    return Fail("NNS section: example count exceeds payload");
+  std::vector<Example> NewExamples;
+  NewExamples.reserve(Count);
+  for (uint64_t I = 0; I < Count; ++I) {
+    Example E;
+    E.Embedding.resize(Dim);
+    int32_t VF = 0, IF = 0;
+    if (!wire::readBytes(Data, Size, Offset, E.Embedding.data(),
+                         Dim * sizeof(double)) ||
+        !wire::readValue(Data, Size, Offset, VF) ||
+        !wire::readValue(Data, Size, Offset, IF))
+      return Fail("NNS section: truncated example");
+    E.Label = {VF, IF};
+    NewExamples.push_back(std::move(E));
+  }
+  if (Offset != Size)
+    return Fail("NNS section: trailing bytes");
+  K = NewK;
+  Examples = std::move(NewExamples);
+  return true;
 }

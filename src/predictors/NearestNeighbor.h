@@ -18,6 +18,7 @@
 
 #include "target/CostModel.h"
 
+#include <string>
 #include <vector>
 
 namespace nv {
@@ -35,10 +36,27 @@ public:
   void clear() { Examples.clear(); }
 
   size_t size() const { return Examples.size(); }
+  int neighbors() const { return K; }
+
+  /// Embedding width of the indexed examples (0 when empty). The model
+  /// loader cross-checks it against the embedding dimension.
+  size_t dimension() const {
+    return Examples.empty() ? 0 : Examples[0].Embedding.size();
+  }
 
   /// Majority label among the K nearest examples (L2 distance); ties
   /// resolve toward the nearer example.
   VectorPlan predict(const std::vector<double> &Embedding) const;
+
+  /// Appends the fitted index (K, examples) to \p Out — the payload of a
+  /// model-file v3 'SNNS' section. Byte-stable for identical indexes, so
+  /// distillation determinism is checkable by comparing buffers.
+  void serialize(std::vector<char> &Out) const;
+
+  /// Replaces this index with the one serialized in \p Data. All-or-
+  /// nothing: on a malformed payload the current index is untouched,
+  /// false is returned, and \p Error (if non-null) describes the problem.
+  bool deserialize(const char *Data, size_t Size, std::string *Error);
 
 private:
   struct Example {

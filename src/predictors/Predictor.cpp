@@ -1,0 +1,81 @@
+//===- predictors/Predictor.cpp - Unified inference backends ---------------===//
+
+#include "predictors/Predictor.h"
+
+#include <cassert>
+
+using namespace nv;
+
+Predictor::~Predictor() = default;
+
+const char *nv::methodName(PredictMethod Method) {
+  switch (Method) {
+  case PredictMethod::Baseline:
+    return "baseline";
+  case PredictMethod::RL:
+    return "rl";
+  case PredictMethod::NNS:
+    return "nns";
+  case PredictMethod::DecisionTree:
+    return "tree";
+  case PredictMethod::Random:
+    return "random";
+  case PredictMethod::BruteForce:
+    return "bruteforce";
+  }
+  return "unknown";
+}
+
+std::optional<PredictMethod> nv::methodFromName(const std::string &Name) {
+  for (int I = 0; I < NumPredictMethods; ++I) {
+    const PredictMethod M = static_cast<PredictMethod>(I);
+    if (Name == methodName(M))
+      return M;
+  }
+  return std::nullopt;
+}
+
+int nv::planToClass(const VectorPlan &Plan, const TargetInfo &TI) {
+  const std::vector<int> VFs = TI.vfActions();
+  const std::vector<int> IFs = TI.ifActions();
+  int VFIdx = 0, IFIdx = 0;
+  for (size_t I = 0; I < VFs.size(); ++I)
+    if (VFs[I] == Plan.VF)
+      VFIdx = static_cast<int>(I);
+  for (size_t I = 0; I < IFs.size(); ++I)
+    if (IFs[I] == Plan.IF)
+      IFIdx = static_cast<int>(I);
+  return VFIdx * static_cast<int>(IFs.size()) + IFIdx;
+}
+
+VectorPlan nv::classToPlan(int Class, const TargetInfo &TI) {
+  const std::vector<int> VFs = TI.vfActions();
+  const std::vector<int> IFs = TI.ifActions();
+  const int NumIF = static_cast<int>(IFs.size());
+  VectorPlan Plan;
+  Plan.VF = VFs[std::min<size_t>(Class / NumIF, VFs.size() - 1)];
+  Plan.IF = IFs[Class % NumIF];
+  return Plan;
+}
+
+int nv::numPlanClasses(const TargetInfo &TI) {
+  return static_cast<int>(TI.vfActions().size() * TI.ifActions().size());
+}
+
+std::vector<VectorPlan> Predictor::plansForEmbeddings(const Matrix &,
+                                                      ThreadPool *) {
+  assert(false && "source-kind backend queried with embeddings");
+  return {};
+}
+
+std::vector<VectorPlan> Predictor::plansForSource(const std::string &) {
+  assert(false && "embedding-kind backend queried with a source");
+  return {};
+}
+
+size_t PredictorSet::size() const {
+  size_t Count = 0;
+  for (const auto &Slot : Slots)
+    Count += Slot != nullptr;
+  return Count;
+}

@@ -5,6 +5,7 @@
 #include "lang/LoopExtractor.h"
 #include "lang/Parser.h"
 #include "lang/PrettyPrinter.h"
+#include "predictors/Backends.h"
 
 #include <cassert>
 #include <chrono>
@@ -63,7 +64,7 @@ uint64_t mix64(uint64_t X) {
 } // namespace
 
 ContextKey nv::contextBagKey(const std::vector<PathContext> &Contexts,
-                             bool InnerContextOnly) {
+                             bool InnerContextOnly, PredictMethod Method) {
   ContextKey Key;
   Key.Lo = 0xCBF29CE484222325ull;
   Key.Hi = 0x2545F4914F6CDD1Dull;
@@ -78,9 +79,11 @@ ContextKey nv::contextBagKey(const std::vector<PathContext> &Contexts,
     // Hi).
     Key.Hi = mix64(Key.Hi ^ Value);
   };
-  // The extraction flavour is part of the identity: an inner-context bag
-  // must never answer for an outer-context bag of the same loop.
+  // The extraction flavour and the backend are part of the identity: an
+  // inner-context bag must never answer for an outer-context bag of the
+  // same loop, and one backend's plan must never answer for another's.
   Mix(InnerContextOnly ? 0x1u : 0x0u);
+  Mix(static_cast<uint64_t>(Method));
   for (const PathContext &Ctx : Contexts) {
     Mix(static_cast<uint32_t>(Ctx.SrcToken));
     Mix(static_cast<uint32_t>(Ctx.Path));
@@ -89,13 +92,27 @@ ContextKey nv::contextBagKey(const std::vector<PathContext> &Contexts,
   return Key;
 }
 
+AnnotationService::AnnotationService(Code2Vec &Embedder,
+                                     PredictorSet &Backends,
+                                     const PathContextConfig &Paths,
+                                     const TargetInfo &TI,
+                                     const ServeConfig &Config)
+    : Embedder(Embedder), Backends(Backends), Paths(Paths), TI(TI),
+      Config(Config), Pool(Config.Threads), Cache(Config.CacheCapacity),
+      InnerContext(Config.InnerContextOnly) {}
+
 AnnotationService::AnnotationService(Code2Vec &Embedder, Policy &Pol,
                                      const PathContextConfig &Paths,
                                      const TargetInfo &TI,
                                      const ServeConfig &Config)
-    : Embedder(Embedder), Pol(Pol), Paths(Paths), TI(TI),
+    : Embedder(Embedder),
+      OwnedBackends(std::make_unique<PredictorSet>()),
+      Backends(*OwnedBackends), Paths(Paths), TI(TI), Config(Config),
       Pool(Config.Threads), Cache(Config.CacheCapacity),
-      InnerContext(Config.InnerContextOnly) {}
+      InnerContext(Config.InnerContextOnly) {
+  OwnedBackends->set(PredictMethod::RL,
+                     std::make_unique<PolicyBackend>(Pol, TI));
+}
 
 void AnnotationService::setContextExtraction(bool InnerOnly) {
   InnerContext.store(InnerOnly);
@@ -103,7 +120,13 @@ void AnnotationService::setContextExtraction(bool InnerOnly) {
 
 AnnotationResult AnnotationService::annotateOne(const std::string &Name,
                                                 const std::string &Source) {
-  return annotateBatch({{Name, Source}}).front();
+  return annotateBatch({{Name, Source, std::nullopt}}).front();
+}
+
+AnnotationResult AnnotationService::annotateOne(const std::string &Name,
+                                                const std::string &Source,
+                                                PredictMethod Method) {
+  return annotateBatch({{Name, Source, Method}}).front();
 }
 
 namespace {
@@ -114,6 +137,8 @@ struct WorkItem {
   std::vector<LoopSite> Sites;
   std::vector<std::vector<PathContext>> Contexts; ///< Per site.
   std::vector<ContextKey> Keys;                   ///< Per site.
+  PredictMethod Method = PredictMethod::RL;       ///< Resolved backend.
+  Predictor *Backend = nullptr;
 };
 
 uint64_t microsSince(std::chrono::steady_clock::time_point Start) {
@@ -134,20 +159,35 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
   // One flavour per batch: a concurrent setContextExtraction flips future
   // batches, never this one.
   const bool InnerOnly = InnerContext.load();
+  const PredictMethod Default = Config.DefaultMethod;
 
   // --- Phase 1: parse + extract, in parallel ------------------------------
   const auto ExtractStart = std::chrono::steady_clock::now();
   Pool.parallelFor(0, N, [&](size_t I) {
     const AnnotationRequest &Req = Requests[I];
     AnnotationResult &Res = Results[I];
+    WorkItem &Item = Items[I];
     Res.Name = Req.Name;
+    Item.Method = Req.Method.value_or(Default);
+    Res.Method = Item.Method;
+    Item.Backend = Backends.get(Item.Method);
+    if (!Item.Backend) {
+      Res.Error = std::string("no backend registered for method '") +
+                  methodName(Item.Method) + "'";
+      return;
+    }
+    if (!Item.Backend->ready()) {
+      Res.Error = std::string("backend '") + methodName(Item.Method) +
+                  "' is not fitted (distill the model first)";
+      Item.Backend = nullptr;
+      return;
+    }
     std::string ParseError;
     std::optional<Program> Parsed = parseSource(Req.Source, &ParseError);
     if (!Parsed) {
       Res.Error = "parse error: " + ParseError;
       return;
     }
-    WorkItem &Item = Items[I];
     Item.Prog = std::make_unique<Program>(std::move(*Parsed));
     clearAllPragmas(*Item.Prog);
     Item.Sites = extractLoops(*Item.Prog);
@@ -163,18 +203,24 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
           InnerOnly ? static_cast<const Stmt &>(*Site.Inner)
                     : static_cast<const Stmt &>(*Site.Outer);
       Item.Contexts.push_back(extractPathContexts(ContextRoot, Paths));
-      Item.Keys.push_back(contextBagKey(Item.Contexts.back(), InnerOnly));
+      Item.Keys.push_back(
+          contextBagKey(Item.Contexts.back(), InnerOnly, Item.Method));
     }
   });
   Stats.ExtractMicros += microsSince(ExtractStart);
 
-  // --- Phase 2: cache lookups + one batched forward -----------------------
+  // --- Phase 2: cache lookups + per-backend inference ---------------------
   const auto InferStart = std::chrono::steady_clock::now();
+  // Requests routed to source-kind backends that the cache could not
+  // answer; computed after the model lock drops (they never touch the
+  // shared model).
+  std::vector<size_t> SourceMisses;
   {
     std::lock_guard<std::mutex> Lock(ModelMutex);
 
     // Gather the sites the cache cannot answer, deduplicating identical
-    // loops within the batch so each distinct key is embedded once.
+    // loops within the batch so each distinct key is embedded once (keys
+    // include the method, so rows are per backend by construction).
     struct PendingSite {
       size_t Request;
       size_t Site;
@@ -182,53 +228,126 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
     };
     std::vector<PendingSite> Pending;
     std::vector<std::vector<PathContext>> MissContexts;
+    std::vector<PredictMethod> RowMethods; ///< Backend per miss row.
     std::unordered_map<ContextKey, size_t, ContextKeyHash> RowByKey;
 
     for (size_t I = 0; I < N; ++I) {
       WorkItem &Item = Items[I];
       if (!Item.Prog)
         continue;
+      MethodCounters &MC = Stats.forMethod(Item.Method);
       Results[I].Plans.assign(Item.Sites.size(), VectorPlan{});
+
+      if (Item.Backend->kind() == Predictor::Kind::Source) {
+        MC.Loops += Item.Sites.size();
+        // A site plan from a search backend can depend on the whole
+        // program (coordinate descent couples sites), so the per-site
+        // cache only holds plans of single-site programs.
+        if (Item.Backend->cacheable() && Item.Sites.size() == 1) {
+          VectorPlan Hit;
+          if (Cache.lookup(Item.Keys[0], Hit)) {
+            Results[I].Plans[0] = Hit;
+            ++Results[I].CachedSites;
+            ++Stats.CacheHits;
+            ++MC.CacheHits;
+            continue;
+          }
+        }
+        SourceMisses.push_back(I);
+        continue;
+      }
+
       for (size_t S = 0; S < Item.Sites.size(); ++S) {
+        ++MC.Loops;
         VectorPlan Hit;
         if (Cache.lookup(Item.Keys[S], Hit)) {
           Results[I].Plans[S] = Hit;
           ++Results[I].CachedSites;
           ++Stats.CacheHits;
+          ++MC.CacheHits;
           continue;
         }
         auto [It, Inserted] =
             RowByKey.try_emplace(Item.Keys[S], MissContexts.size());
         if (Inserted) {
           MissContexts.push_back(Item.Contexts[S]);
+          RowMethods.push_back(Item.Method);
           ++Stats.CacheMisses;
+          ++MC.Misses;
         } else {
           ++Stats.DedupHits; // Same loop earlier in this batch.
+          ++MC.DedupHits;
         }
         Pending.push_back({I, S, It->second});
       }
     }
 
     if (!MissContexts.empty()) {
-      // The whole miss set goes through the embedder and the FCNN as one
-      // (rows x dim) batch — the single matrix-matrix multiply this
+      // The whole miss set — across backends — goes through the embedder
+      // as one (rows x dim) batch: the single matrix-matrix multiply this
       // subsystem exists for. The same pool that ran phase 1 now runs the
-      // GEMM row panels (bit-identical at any pool size).
+      // GEMM row panels (bit-identical at any pool size). Each backend
+      // then consumes its own rows; when one backend owns the whole batch
+      // (the common case) it reads the encode buffer in place.
       Embedder.encodeBatchInto(MissContexts, StatesBuf, &Pool);
-      Pol.forward(StatesBuf, &Pool, /*ForBackward=*/false);
-      ++Stats.ForwardPasses;
-      Stats.LoopsPerForward += MissContexts.size();
 
       std::vector<VectorPlan> RowPlans(MissContexts.size());
-      for (size_t Row = 0; Row < MissContexts.size(); ++Row)
-        RowPlans[Row] =
-            Pol.toPlan(Pol.greedyAction(static_cast<int>(Row)), TI);
+      std::vector<size_t> MethodRows[NumPredictMethods];
+      for (size_t Row = 0; Row < RowMethods.size(); ++Row)
+        MethodRows[static_cast<size_t>(RowMethods[Row])].push_back(Row);
+
+      Matrix Sub;
+      for (int M = 0; M < NumPredictMethods; ++M) {
+        const std::vector<size_t> &Rows = MethodRows[M];
+        if (Rows.empty())
+          continue;
+        Predictor *P = Backends.get(static_cast<PredictMethod>(M));
+        const Matrix *States = &StatesBuf;
+        if (Rows.size() != MissContexts.size()) {
+          Sub.resize(static_cast<int>(Rows.size()), StatesBuf.cols());
+          for (size_t R = 0; R < Rows.size(); ++R)
+            std::copy(StatesBuf.rowPtr(static_cast<int>(Rows[R])),
+                      StatesBuf.rowPtr(static_cast<int>(Rows[R])) +
+                          StatesBuf.cols(),
+                      Sub.rowPtr(static_cast<int>(R)));
+          States = &Sub;
+        }
+        const auto PredictStart = std::chrono::steady_clock::now();
+        const std::vector<VectorPlan> Plans =
+            P->plansForEmbeddings(*States, &Pool);
+        Stats.forMethod(static_cast<PredictMethod>(M)).PredictMicros +=
+            microsSince(PredictStart);
+        ++Stats.ForwardPasses;
+        Stats.LoopsPerForward += Rows.size();
+        for (size_t R = 0; R < Rows.size(); ++R)
+          RowPlans[Rows[R]] = Plans[R];
+      }
 
       for (const PendingSite &P : Pending)
         Results[P.Request].Plans[P.Site] = RowPlans[P.BatchRow];
       for (const auto &[Key, Row] : RowByKey)
         Cache.insert(Key, RowPlans[Row]);
     }
+  }
+
+  // --- Phase 2b: source-kind backends (search per program, on the pool) ---
+  if (!SourceMisses.empty()) {
+    Pool.parallelFor(0, SourceMisses.size(), [&](size_t K) {
+      const size_t I = SourceMisses[K];
+      WorkItem &Item = Items[I];
+      MethodCounters &MC = Stats.forMethod(Item.Method);
+      const auto PredictStart = std::chrono::steady_clock::now();
+      std::vector<VectorPlan> Plans =
+          Item.Backend->plansForSource(Requests[I].Source);
+      MC.PredictMicros += microsSince(PredictStart);
+      assert(Plans.size() == Item.Sites.size() &&
+             "backend and phase 1 disagree on site count");
+      MC.Misses += Plans.size();
+      Stats.CacheMisses += Plans.size();
+      if (Item.Backend->cacheable() && Plans.size() == 1)
+        Cache.insert(Item.Keys[0], Plans[0]);
+      Results[I].Plans = std::move(Plans);
+    });
   }
   Stats.InferMicros += microsSince(InferStart);
 

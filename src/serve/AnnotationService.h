@@ -14,14 +14,21 @@
 ///                           canonical context bag into a cache key.
 ///   2. infer    (serial)    answer sites from the LRU plan cache where
 ///                           possible; deduplicate the remaining sites by
-///                           key and run ONE Code2Vec::encodeBatchInto and
-///                           ONE Policy::forward over all of them — the
-///                           FCNN trunk becomes a single matrix-matrix
-///                           multiply instead of per-loop vector products,
-///                           and the GEMMs themselves run row-panel-
-///                           parallel on the same pool.
+///                           key and run ONE Code2Vec::encodeBatchInto
+///                           over all of them, then hand each backend its
+///                           rows (the RL backend's share is a single
+///                           batched Policy::forward — the FCNN trunk
+///                           becomes one matrix-matrix multiply, row-
+///                           panel-parallel on the same pool). Requests
+///                           routed to source-kind backends (baseline,
+///                           random, brute force) are searched per
+///                           program on the pool, outside the model lock.
 ///   3. render   (parallel)  inject the chosen pragmas and re-print each
 ///                           program.
+///
+/// Every request is answered by the backend named by its Method override
+/// (ServeConfig::DefaultMethod otherwise); the method is part of the plan
+/// cache key, so backends never answer for each other.
 ///
 /// Path contexts are extracted with the same inner/outer-loop selection
 /// the training environment used (ServeConfig::InnerContextOnly, mirrored
@@ -39,6 +46,7 @@
 #define NV_SERVE_ANNOTATIONSERVICE_H
 
 #include "embedding/Code2Vec.h"
+#include "predictors/Predictor.h"
 #include "rl/Policy.h"
 #include "serve/ServeStats.h"
 #include "support/ThreadPool.h"
@@ -47,7 +55,9 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -63,12 +73,16 @@ struct ServeConfig {
   /// (VectorizationEnv::innerContextOnly); NeuroVectorizer::service()
   /// fills it in automatically and load() restores it from the model file.
   bool InnerContextOnly = false;
+  /// Backend answering requests that carry no per-request override.
+  PredictMethod DefaultMethod = PredictMethod::RL;
 };
 
 /// One program to annotate.
 struct AnnotationRequest {
   std::string Name;
   std::string Source;
+  /// Per-request backend override (ServeConfig::DefaultMethod otherwise).
+  std::optional<PredictMethod> Method;
 };
 
 /// One annotated program (or a rejection).
@@ -79,6 +93,7 @@ struct AnnotationResult {
   std::string Annotated; ///< Source with pragmas injected.
   std::vector<VectorPlan> Plans; ///< One per vectorization site.
   int CachedSites = 0;  ///< Sites answered from the plan cache.
+  PredictMethod Method = PredictMethod::RL; ///< Backend that answered.
 };
 
 /// 128-bit cache key for a canonical path-context bag. A single 64-bit
@@ -105,9 +120,11 @@ struct ContextKeyHash {
 /// Stable 128-bit key for a canonical path-context bag (two independent
 /// hashes over the vocabulary ids in extraction order). The extraction
 /// flavour is mixed in so inner- and outer-context embeddings of the same
-/// loop can never answer for each other.
+/// loop can never answer for each other, and the prediction method is
+/// mixed in so one backend's cached plans can never answer for another's.
 ContextKey contextBagKey(const std::vector<PathContext> &Contexts,
-                         bool InnerContextOnly = false);
+                         bool InnerContextOnly = false,
+                         PredictMethod Method = PredictMethod::RL);
 
 /// LRU cache mapping a context-bag key to the plan the policy chose for
 /// it. Identical loops (after canonicalization into path contexts) are the
@@ -140,9 +157,16 @@ private:
 /// The batched, multi-threaded annotation engine.
 class AnnotationService {
 public:
-  /// The service borrows \p Embedder and \p Pol (the trained model); they
-  /// must outlive it. \p Paths must match the configuration the embedder
-  /// was trained with, and \p TI supplies the action arrays for decoding.
+  /// The service borrows \p Embedder (the shared encoder) and the backend
+  /// registry \p Backends; both must outlive it. \p Paths must match the
+  /// configuration the embedder was trained with, and \p TI supplies the
+  /// action arrays for decoding.
+  AnnotationService(Code2Vec &Embedder, PredictorSet &Backends,
+                    const PathContextConfig &Paths, const TargetInfo &TI,
+                    const ServeConfig &Config = ServeConfig());
+
+  /// RL-only convenience: builds an internal single-backend registry over
+  /// \p Pol (the pre-multi-backend construction signature).
   AnnotationService(Code2Vec &Embedder, Policy &Pol,
                     const PathContextConfig &Paths, const TargetInfo &TI,
                     const ServeConfig &Config = ServeConfig());
@@ -156,6 +180,11 @@ public:
   /// Convenience single-program entry point (still goes through the cache).
   AnnotationResult annotateOne(const std::string &Name,
                                const std::string &Source);
+
+  /// Single-program entry point with an explicit backend.
+  AnnotationResult annotateOne(const std::string &Name,
+                               const std::string &Source,
+                               PredictMethod Method);
 
   /// Switches the context-extraction flavour (e.g. after loading a model
   /// trained the other way). Thread-safe; in-flight batches finish with
@@ -172,11 +201,15 @@ public:
 
   int threads() const { return Pool.size(); }
 
+  PredictMethod defaultMethod() const { return Config.DefaultMethod; }
+
 private:
   Code2Vec &Embedder;
-  Policy &Pol;
+  std::unique_ptr<PredictorSet> OwnedBackends; ///< RL-only ctor storage.
+  PredictorSet &Backends;
   PathContextConfig Paths;
   TargetInfo TI;
+  ServeConfig Config;
 
   ThreadPool Pool;
   PlanCache Cache;

@@ -2,6 +2,10 @@
 
 #include "serve/ModelSerializer.h"
 
+#include "predictors/DecisionTree.h"
+#include "predictors/NearestNeighbor.h"
+#include "support/Wire.h"
+
 #include <cstring>
 #include <fstream>
 #include <vector>
@@ -13,24 +17,6 @@ namespace {
 void setError(std::string *Error, const std::string &Message) {
   if (Error)
     *Error = Message;
-}
-
-void appendBytes(std::vector<char> &Buffer, const void *Data, size_t Size) {
-  const char *Bytes = static_cast<const char *>(Data);
-  Buffer.insert(Buffer.end(), Bytes, Bytes + Size);
-}
-
-template <typename T> void appendValue(std::vector<char> &Buffer, T Value) {
-  appendBytes(Buffer, &Value, sizeof(T));
-}
-
-template <typename T>
-bool readValue(const std::vector<char> &Buffer, size_t &Offset, T &Out) {
-  if (Offset + sizeof(T) > Buffer.size())
-    return false;
-  std::memcpy(&Out, Buffer.data() + Offset, sizeof(T));
-  Offset += sizeof(T);
-  return true;
 }
 
 /// Every learnable parameter of the pair, in a fixed order.
@@ -55,6 +41,7 @@ uint64_t ModelSerializer::checksum(const void *Data, size_t Size) {
 
 bool ModelSerializer::save(const std::string &Path, Code2Vec &Embedder,
                            Policy &Pol, const ModelMeta &Meta,
+                           const SupervisedBundle &Supervised,
                            std::string *Error) {
   std::vector<Param *> Params = allParams(Embedder, Pol);
 
@@ -63,17 +50,39 @@ bool ModelSerializer::save(const std::string &Path, Code2Vec &Embedder,
     Flags |= 1u;
 
   std::vector<char> Buffer;
-  appendValue(Buffer, Magic);
-  appendValue(Buffer, FormatVersion);
-  appendValue(Buffer, Flags);
-  appendValue(Buffer, static_cast<uint32_t>(Params.size()));
+  wire::appendValue(Buffer, Magic);
+  wire::appendValue(Buffer, FormatVersion);
+  wire::appendValue(Buffer, Flags);
+  wire::appendValue(Buffer, static_cast<uint32_t>(Params.size()));
   for (Param *P : Params) {
-    appendValue(Buffer, static_cast<uint32_t>(P->Value.rows()));
-    appendValue(Buffer, static_cast<uint32_t>(P->Value.cols()));
-    appendBytes(Buffer, P->Value.raw().data(),
-                P->Value.raw().size() * sizeof(double));
+    wire::appendValue(Buffer, static_cast<uint32_t>(P->Value.rows()));
+    wire::appendValue(Buffer, static_cast<uint32_t>(P->Value.cols()));
+    wire::appendBytes(Buffer, P->Value.raw().data(),
+                      P->Value.raw().size() * sizeof(double));
   }
-  appendValue(Buffer, checksum(Buffer.data(), Buffer.size()));
+
+  // v3 sections: one per fitted supervised backend. Empty backends are
+  // skipped so a weights-only save stays minimal and a later load knows
+  // the file carries no distillation.
+  std::vector<std::pair<uint32_t, std::vector<char>>> Sections;
+  if (Supervised.NNS && Supervised.NNS->size() > 0) {
+    std::vector<char> Payload;
+    Supervised.NNS->serialize(Payload);
+    Sections.emplace_back(NNSSectionTag, std::move(Payload));
+  }
+  if (Supervised.Tree && Supervised.Tree->fitted()) {
+    std::vector<char> Payload;
+    Supervised.Tree->serialize(Payload);
+    Sections.emplace_back(TreeSectionTag, std::move(Payload));
+  }
+  wire::appendValue(Buffer, static_cast<uint32_t>(Sections.size()));
+  for (const auto &[Tag, Payload] : Sections) {
+    wire::appendValue(Buffer, Tag);
+    wire::appendValue(Buffer, static_cast<uint64_t>(Payload.size()));
+    wire::appendBytes(Buffer, Payload.data(), Payload.size());
+  }
+
+  wire::appendValue(Buffer, checksum(Buffer.data(), Buffer.size()));
 
   std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
   if (!Out) {
@@ -91,7 +100,7 @@ bool ModelSerializer::save(const std::string &Path, Code2Vec &Embedder,
 
 bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
                            Policy &Pol, ModelMeta *Meta,
-                           std::string *Error) {
+                           SupervisedBundle *Supervised, std::string *Error) {
   std::ifstream In(Path, std::ios::binary | std::ios::ate);
   if (!In) {
     setError(Error, "cannot open '" + Path + "'");
@@ -121,21 +130,21 @@ bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
 
   size_t Offset = 0;
   uint32_t FileMagic = 0, Version = 0, Flags = 0, Count = 0;
-  readValue(Buffer, Offset, FileMagic);
-  readValue(Buffer, Offset, Version);
+  wire::readValue(Buffer, Offset, FileMagic);
+  wire::readValue(Buffer, Offset, Version);
   if (FileMagic != Magic) {
     setError(Error, "bad magic: not a NeuroVectorizer model file");
     return false;
   }
-  if (Version != 1 && Version != FormatVersion) {
+  if (Version < 1 || Version > FormatVersion) {
     setError(Error, "unsupported format version " + std::to_string(Version));
     return false;
   }
   // v1 had no flags word; those models could only have been trained with
   // the default outer-context extraction, so Flags = 0 is exact.
   if (Version >= 2)
-    readValue(Buffer, Offset, Flags);
-  readValue(Buffer, Offset, Count);
+    wire::readValue(Buffer, Offset, Flags);
+  wire::readValue(Buffer, Offset, Count);
 
   std::vector<Param *> Params = allParams(Embedder, Pol);
   if (Count != Params.size()) {
@@ -151,8 +160,8 @@ bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
   std::vector<size_t> Offsets(Params.size());
   for (size_t I = 0; I < Params.size(); ++I) {
     uint32_t Rows = 0, Cols = 0;
-    if (!readValue(Buffer, Offset, Rows) ||
-        !readValue(Buffer, Offset, Cols)) {
+    if (!wire::readValue(Buffer, Offset, Rows) ||
+        !wire::readValue(Buffer, Offset, Cols)) {
       setError(Error, "unexpected end of file in parameter header");
       return false;
     }
@@ -174,6 +183,63 @@ bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
     Offsets[I] = Offset;
     Offset += Bytes;
   }
+
+  // v3 backend sections. Parsed into temporaries before any destination
+  // is touched, preserving the all-or-nothing contract for the weights
+  // AND the supervised predictors.
+  NearestNeighborPredictor LoadedNNS;
+  DecisionTree LoadedTree;
+  bool HaveNNS = false, HaveTree = false;
+  if (Version >= 3) {
+    uint32_t SectionCount = 0;
+    if (!wire::readValue(Buffer, Offset, SectionCount)) {
+      setError(Error, "unexpected end of file in section count");
+      return false;
+    }
+    for (uint32_t S = 0; S < SectionCount; ++S) {
+      uint32_t Tag = 0;
+      uint64_t Length = 0;
+      // The header reads bound against the whole buffer, so Offset may
+      // land past PayloadSize (inside the checksum) before this check;
+      // and the Length test subtracts rather than adds because a corrupt
+      // 64-bit Length could wrap Offset + Length past the bounds check.
+      if (!wire::readValue(Buffer, Offset, Tag) ||
+          !wire::readValue(Buffer, Offset, Length) ||
+          Offset > PayloadSize || Length > PayloadSize - Offset) {
+        setError(Error, "unexpected end of file in section header");
+        return false;
+      }
+      const char *Payload = Buffer.data() + Offset;
+      std::string SectionError;
+      if (Tag == NNSSectionTag) {
+        if (!LoadedNNS.deserialize(Payload, Length, &SectionError)) {
+          setError(Error, SectionError);
+          return false;
+        }
+        if (LoadedNNS.dimension() !=
+            static_cast<size_t>(Embedder.codeDim())) {
+          setError(Error, "NNS section: embedding dimension mismatch");
+          return false;
+        }
+        HaveNNS = true;
+      } else if (Tag == TreeSectionTag) {
+        if (!LoadedTree.deserialize(Payload, Length, &SectionError)) {
+          setError(Error, SectionError);
+          return false;
+        }
+        if (LoadedTree.numFeatures() != Embedder.codeDim()) {
+          setError(Error, "tree section: embedding dimension mismatch");
+          return false;
+        }
+        HaveTree = true;
+      } else {
+        setError(Error, "unknown section tag in model file");
+        return false;
+      }
+      Offset += Length;
+    }
+  }
+
   if (Offset != PayloadSize) {
     setError(Error, "trailing bytes after last parameter");
     return false;
@@ -186,5 +252,22 @@ bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
   }
   if (Meta)
     Meta->InnerContextOnly = (Flags & 1u) != 0;
+  if (Supervised) {
+    // A file without sections clears the destinations: the weights just
+    // changed, so any previously fitted index is stale either way.
+    if (Supervised->NNS) {
+      if (HaveNNS)
+        *Supervised->NNS = std::move(LoadedNNS);
+      else
+        Supervised->NNS->clear();
+    }
+    if (Supervised->Tree) {
+      if (HaveTree)
+        *Supervised->Tree = std::move(LoadedTree);
+      else
+        Supervised->Tree->clear();
+    }
+    Supervised->Loaded = HaveNNS || HaveTree;
+  }
   return true;
 }

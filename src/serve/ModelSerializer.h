@@ -7,28 +7,34 @@
 /// \file
 /// Binary persistence for a trained model: the Code2Vec embedding
 /// generator (token/path tables, attention) and the PPO Policy (trunk,
-/// heads). The paper trains once and deploys the frozen policy for
-/// inference on unseen programs; this file is that deployment artifact.
+/// heads), plus — since format v3 — the supervised backends distilled
+/// from them. The paper trains once and deploys the frozen policy for
+/// inference on unseen programs; this file is that deployment artifact,
+/// and with the backend sections one file restores the *whole* backend
+/// set (RL + NNS + decision tree) into a serving process.
 ///
-/// Format v2 (little-endian, doubles written raw so a round trip is
+/// Format v3 (little-endian, doubles written raw so a round trip is
 /// bitwise exact):
 ///
 ///   u32 magic 'NVMF'   u32 version
 ///   u32 flags          (bit 0: trained on inner-context embeddings)
 ///   u32 paramCount
 ///   per param:  u32 rows, u32 cols, rows*cols f64 values
+///   u32 sectionCount                                        (v3+)
+///   per section: u32 tag, u64 byteLength, payload           (v3+)
 ///   u64 FNV-1a checksum over everything before it
 ///
-/// The flags word exists because weights alone under-specify a model: the
-/// agent was trained on embeddings of a *particular* loop body selection
-/// (inner vs outer context, §3.3), and a deployment that extracts the
-/// other one silently serves a skewed distribution. A loaded model
-/// therefore carries its own extraction setting.
+/// Sections carry the distilled supervised predictors: 'SNNS' is a
+/// NearestNeighborPredictor payload, 'STRE' a DecisionTree payload (see
+/// their serialize() methods). A weights-only model writes sectionCount
+/// 0. v1 files (no flags word, no sections) and v2 files (flags word, no
+/// sections) still load; their backend set is simply unfitted.
 ///
 /// Loading validates magic, version, per-parameter shapes against the
 /// *destination* model (so a file trained with one architecture cannot be
-/// loaded into another), byte counts, and the checksum — truncated or
-/// bit-flipped files are rejected without touching the destination.
+/// loaded into another), byte counts, section framing, and the checksum —
+/// truncated or bit-flipped files are rejected without touching the
+/// destination.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,6 +49,9 @@
 
 namespace nv {
 
+class NearestNeighborPredictor;
+class DecisionTree;
+
 /// Model-level settings persisted alongside the weights.
 struct ModelMeta {
   /// The context-extraction selection the model was trained with
@@ -50,34 +59,64 @@ struct ModelMeta {
   bool InnerContextOnly = false;
 };
 
-/// Save/load for the (embedder, policy) pair.
+/// The distilled supervised predictors riding along with the weights.
+/// save(): non-null members are written as v3 sections (skipped when the
+/// predictor is empty/unfitted). load(): non-null members receive the
+/// file's sections; Loaded reports whether any were present.
+struct SupervisedBundle {
+  NearestNeighborPredictor *NNS = nullptr;
+  DecisionTree *Tree = nullptr;
+  bool Loaded = false; ///< load() only: sections were present and restored.
+};
+
+/// Save/load for the (embedder, policy, supervised backends) set.
 class ModelSerializer {
 public:
-  static constexpr uint32_t Magic = 0x4E564D46;  ///< 'NVMF'.
-  static constexpr uint32_t FormatVersion = 2;
+  static constexpr uint32_t Magic = 0x4E564D46; ///< 'NVMF'.
+  static constexpr uint32_t FormatVersion = 3;
 
-  /// Writes \p Embedder and \p Pol (with \p Meta in the header) to
-  /// \p Path. Returns false (and sets \p Error) on I/O failure.
+  /// Section tags (v3).
+  static constexpr uint32_t NNSSectionTag = 0x534E4E53;  ///< 'SNNS'.
+  static constexpr uint32_t TreeSectionTag = 0x45525453; ///< 'STRE'.
+
+  /// Writes \p Embedder and \p Pol (with \p Meta in the header and the
+  /// non-null fitted members of \p Supervised as sections) to \p Path.
+  /// Returns false (and sets \p Error) on I/O failure.
   static bool save(const std::string &Path, Code2Vec &Embedder, Policy &Pol,
-                   const ModelMeta &Meta, std::string *Error = nullptr);
+                   const ModelMeta &Meta, const SupervisedBundle &Supervised,
+                   std::string *Error = nullptr);
+
+  /// Weights-only overload (no backend sections).
+  static bool save(const std::string &Path, Code2Vec &Embedder, Policy &Pol,
+                   const ModelMeta &Meta, std::string *Error = nullptr) {
+    return save(Path, Embedder, Pol, Meta, SupervisedBundle(), Error);
+  }
 
   /// Back-compat overload: default metadata (outer-context model).
   static bool save(const std::string &Path, Code2Vec &Embedder, Policy &Pol,
                    std::string *Error = nullptr) {
-    return save(Path, Embedder, Pol, ModelMeta(), Error);
+    return save(Path, Embedder, Pol, ModelMeta(), SupervisedBundle(), Error);
   }
 
-  /// Reads \p Path into \p Embedder and \p Pol, and the header settings
-  /// into \p Meta (may be null). All-or-nothing: on any validation failure
-  /// the destination parameters are left untouched and \p Error describes
-  /// the problem.
+  /// Reads \p Path into \p Embedder and \p Pol, the header settings into
+  /// \p Meta (may be null), and any backend sections into the non-null
+  /// members of \p Supervised (may be null; sections are then ignored).
+  /// All-or-nothing: on any validation failure every destination is left
+  /// untouched and \p Error describes the problem.
   static bool load(const std::string &Path, Code2Vec &Embedder, Policy &Pol,
-                   ModelMeta *Meta, std::string *Error = nullptr);
+                   ModelMeta *Meta, SupervisedBundle *Supervised,
+                   std::string *Error = nullptr);
+
+  /// Weights/meta-only overload.
+  static bool load(const std::string &Path, Code2Vec &Embedder, Policy &Pol,
+                   ModelMeta *Meta, std::string *Error = nullptr) {
+    return load(Path, Embedder, Pol, Meta, nullptr, Error);
+  }
 
   /// Back-compat overload discarding the metadata.
   static bool load(const std::string &Path, Code2Vec &Embedder, Policy &Pol,
                    std::string *Error = nullptr) {
-    return load(Path, Embedder, Pol, nullptr, Error);
+    return load(Path, Embedder, Pol, nullptr, nullptr, Error);
   }
 
   /// FNV-1a 64-bit over \p Size bytes (exposed for tests).

@@ -33,6 +33,8 @@ void ServeStats::reset() {
   InferMicros = 0;
   RenderMicros = 0;
   TotalMicros = 0;
+  for (MethodCounters &M : PerMethod)
+    M.reset();
 }
 
 Table ServeStats::toTable() const {
@@ -64,4 +66,29 @@ Table ServeStats::toTable() const {
   return T;
 }
 
-void ServeStats::print(std::ostream &OS) const { toTable().print(OS); }
+Table ServeStats::methodTable() const {
+  Table T({"backend", "loops", "cache hits", "dedup hits", "computed",
+           "backend ms"});
+  for (int I = 0; I < NumPredictMethods; ++I) {
+    const MethodCounters &M = PerMethod[I];
+    if (M.Loops.load() == 0)
+      continue;
+    T.addRow({methodName(static_cast<PredictMethod>(I)),
+              std::to_string(M.Loops.load()),
+              std::to_string(M.CacheHits.load()),
+              std::to_string(M.DedupHits.load()),
+              std::to_string(M.Misses.load()),
+              Table::fmt(M.PredictMicros.load() / 1e3)});
+  }
+  return T;
+}
+
+void ServeStats::print(std::ostream &OS) const {
+  toTable().print(OS);
+  for (const MethodCounters &M : PerMethod) {
+    if (M.Loops.load() != 0) {
+      methodTable().print(OS);
+      break;
+    }
+  }
+}

@@ -16,6 +16,7 @@
 #ifndef NV_SERVE_SERVESTATS_H
 #define NV_SERVE_SERVESTATS_H
 
+#include "predictors/Predictor.h"
 #include "support/Table.h"
 
 #include <atomic>
@@ -23,6 +24,26 @@
 #include <iosfwd>
 
 namespace nv {
+
+/// Per-backend slice of the serving counters: how much traffic each
+/// PredictMethod carried and what its backend time cost. PredictMicros is
+/// summed across (possibly concurrent) backend calls, so it is cumulative
+/// backend time, not wall clock.
+struct MethodCounters {
+  std::atomic<uint64_t> Loops{0};     ///< Sites served (incl. cached).
+  std::atomic<uint64_t> CacheHits{0}; ///< Sites answered by the LRU cache.
+  std::atomic<uint64_t> DedupHits{0}; ///< Sites answered by batch dedup.
+  std::atomic<uint64_t> Misses{0};    ///< Sites the backend computed.
+  std::atomic<uint64_t> PredictMicros{0}; ///< Cumulative backend time.
+
+  void reset() {
+    Loops = 0;
+    CacheHits = 0;
+    DedupHits = 0;
+    Misses = 0;
+    PredictMicros = 0;
+  }
+};
 
 /// Counters accumulated across annotateBatch() calls.
 class ServeStats {
@@ -39,9 +60,19 @@ public:
 
   /// Wall time (microseconds) per phase, summed over batches.
   std::atomic<uint64_t> ExtractMicros{0}; ///< Parse + path contexts.
-  std::atomic<uint64_t> InferMicros{0};   ///< Embed + policy forward.
+  std::atomic<uint64_t> InferMicros{0};   ///< Embed + backend predictions.
   std::atomic<uint64_t> RenderMicros{0};  ///< Pragma injection + printing.
   std::atomic<uint64_t> TotalMicros{0};   ///< End-to-end annotateBatch time.
+
+  /// Per-backend traffic/latency breakdown, indexed by PredictMethod.
+  MethodCounters PerMethod[NumPredictMethods];
+
+  MethodCounters &forMethod(PredictMethod M) {
+    return PerMethod[static_cast<size_t>(M)];
+  }
+  const MethodCounters &forMethod(PredictMethod M) const {
+    return PerMethod[static_cast<size_t>(M)];
+  }
 
   /// Fraction of loop lookups answered without a fresh forward row
   /// (LRU cache hits + intra-batch dedup hits).
@@ -56,7 +87,12 @@ public:
   /// Renders the counters as a two-column table.
   Table toTable() const;
 
-  /// Prints toTable() to \p OS.
+  /// One row per backend that carried traffic (loops, hit sources,
+  /// cumulative backend time).
+  Table methodTable() const;
+
+  /// Prints toTable() (and methodTable() when any backend saw traffic)
+  /// to \p OS.
   void print(std::ostream &OS) const;
 };
 

@@ -1,0 +1,59 @@
+//===- support/Wire.h - Little-endian byte-buffer helpers -------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The raw append/read primitives shared by every binary persistence
+/// format in the tree (serve/ModelSerializer, train/Checkpoint, and the
+/// per-backend predictor sections). Values are written in host byte order
+/// with doubles raw, so a round trip on the same machine class is bitwise
+/// exact; every read is bounds-checked against the buffer so truncated
+/// input fails a read instead of running off the end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SUPPORT_WIRE_H
+#define NV_SUPPORT_WIRE_H
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+namespace nv {
+namespace wire {
+
+inline void appendBytes(std::vector<char> &Buffer, const void *Data,
+                        size_t Size) {
+  const char *Bytes = static_cast<const char *>(Data);
+  Buffer.insert(Buffer.end(), Bytes, Bytes + Size);
+}
+
+template <typename T> void appendValue(std::vector<char> &Buffer, T Value) {
+  appendBytes(Buffer, &Value, sizeof(T));
+}
+
+inline bool readBytes(const char *Data, size_t Size, size_t &Offset,
+                      void *Out, size_t Bytes) {
+  if (Offset + Bytes > Size)
+    return false;
+  std::memcpy(Out, Data + Offset, Bytes);
+  Offset += Bytes;
+  return true;
+}
+
+template <typename T>
+bool readValue(const char *Data, size_t Size, size_t &Offset, T &Out) {
+  return readBytes(Data, Size, Offset, &Out, sizeof(T));
+}
+
+template <typename T>
+bool readValue(const std::vector<char> &Buffer, size_t &Offset, T &Out) {
+  return readValue(Buffer.data(), Buffer.size(), Offset, Out);
+}
+
+} // namespace wire
+} // namespace nv
+
+#endif // NV_SUPPORT_WIRE_H

@@ -3,6 +3,7 @@
 #include "train/Checkpoint.h"
 
 #include "serve/ModelSerializer.h"
+#include "support/Wire.h"
 
 #include <cassert>
 #include <cstring>
@@ -10,6 +11,9 @@
 #include <vector>
 
 using namespace nv;
+using wire::appendBytes;
+using wire::appendValue;
+using wire::readValue;
 
 namespace {
 
@@ -18,33 +22,15 @@ void setError(std::string *Error, const std::string &Message) {
     *Error = Message;
 }
 
-void appendBytes(std::vector<char> &Buffer, const void *Data, size_t Size) {
-  const char *Bytes = static_cast<const char *>(Data);
-  Buffer.insert(Buffer.end(), Bytes, Bytes + Size);
-}
-
-template <typename T> void appendValue(std::vector<char> &Buffer, T Value) {
-  appendBytes(Buffer, &Value, sizeof(T));
-}
-
-template <typename T>
-bool readValue(const std::vector<char> &Buffer, size_t &Offset, T &Out) {
-  if (Offset + sizeof(T) > Buffer.size())
-    return false;
-  std::memcpy(&Out, Buffer.data() + Offset, sizeof(T));
-  Offset += sizeof(T);
-  return true;
-}
-
 bool readDoubles(const std::vector<char> &Buffer, size_t &Offset,
                  std::vector<double> &Out, size_t Count) {
-  const size_t Bytes = Count * sizeof(double);
-  if (Offset + Bytes > Buffer.size())
+  // Bounds before allocation: a corrupt count must fail the read, not
+  // throw bad_alloc out of the loader's bool/Error contract.
+  if (Count > (Buffer.size() - Offset) / sizeof(double))
     return false;
   Out.resize(Count);
-  std::memcpy(Out.data(), Buffer.data() + Offset, Bytes);
-  Offset += Bytes;
-  return true;
+  return wire::readBytes(Buffer.data(), Buffer.size(), Offset, Out.data(),
+                         Count * sizeof(double));
 }
 
 } // namespace

@@ -1,0 +1,50 @@
+//===- train/Distill.cpp - Oracle-labeled supervised distillation ----------===//
+
+#include "train/Distill.h"
+
+#include "predictors/Predictor.h"
+#include "predictors/Search.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+
+using namespace nv;
+
+DistillReport nv::distill(VectorizationEnv &Env, Code2Vec &Embedder,
+                          const TargetInfo &TI,
+                          NearestNeighborPredictor &NNS, DecisionTree &Tree,
+                          const DistillConfig &Config) {
+  // Refitting replaces both backends wholesale: stale entries would mix
+  // embeddings from different weight sets (e.g. after load()).
+  NNS.clear();
+  Tree.clear();
+
+  DistillReport Report;
+  std::vector<std::vector<double>> X;
+  std::vector<int> Y;
+  std::vector<double> OracleSpeedups;
+  const size_t Count = std::min(Config.MaxSamples, Env.size());
+  for (size_t I = 0; I < Count; ++I) {
+    const BruteForceResult Best =
+        bruteForceSearch(Env, I, Config.BruteForcePasses);
+    const EnvSample &Sample = Env.sample(I);
+    Report.OracleEvaluations += Best.Evaluations;
+    if (Best.Cycles > 0.0)
+      OracleSpeedups.push_back(Sample.BaselineCycles / Best.Cycles);
+    for (size_t S = 0; S < Sample.Sites.size(); ++S) {
+      Matrix V = Embedder.encode(Sample.Contexts[S]);
+      std::vector<double> Emb(V.raw().begin(), V.raw().end());
+      NNS.add(Emb, Best.Plans[S]);
+      X.push_back(std::move(Emb));
+      Y.push_back(planToClass(Best.Plans[S], TI));
+    }
+    ++Report.Programs;
+  }
+  Report.Sites = X.size();
+  if (!X.empty())
+    Tree.fit(X, Y, numPlanClasses(TI));
+  Report.TreeNodes = Tree.numNodes();
+  if (!OracleSpeedups.empty())
+    Report.GeomeanOracleSpeedup = geomean(OracleSpeedups);
+  return Report;
+}

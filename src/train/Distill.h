@@ -1,0 +1,67 @@
+//===- train/Distill.h - Oracle-labeled supervised distillation -*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The supervised-distillation pipeline of §3.5: after the RL agent has
+/// trained the embedding end-to-end, sweep (a portion of) the dataset with
+/// the brute-force oracle to label every vectorization site with its
+/// optimal (VF, IF), embed each site with the trained Code2Vec, and fit
+/// the methods that cannot train end-to-end — the nearest-neighbor index
+/// and the CART decision tree. The paper reports both land within a few
+/// percent of the RL agent (NNS 2.65x vs RL 2.67x), evidence the learned
+/// embedding clusters similar loops.
+///
+/// Deterministic: brute-force labeling, embedding, and both fits are
+/// RNG-free, so distilling twice from the same checkpoint yields
+/// byte-identical backends (asserted in tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_TRAIN_DISTILL_H
+#define NV_TRAIN_DISTILL_H
+
+#include "embedding/Code2Vec.h"
+#include "predictors/DecisionTree.h"
+#include "predictors/NearestNeighbor.h"
+#include "rl/Env.h"
+#include "target/TargetInfo.h"
+
+#include <cstddef>
+
+namespace nv {
+
+/// Distillation-pipeline knobs.
+struct DistillConfig {
+  /// Upper bound on environment programs swept by the oracle labeler (the
+  /// paper runs the expensive search on a portion of the dataset, §2.3).
+  size_t MaxSamples = 512;
+  /// Coordinate-descent passes of the per-program brute-force sweep.
+  int BruteForcePasses = 2;
+};
+
+/// What a distillation run did.
+struct DistillReport {
+  size_t Programs = 0;           ///< Environment programs labeled.
+  size_t Sites = 0;              ///< Vectorization sites (= fitted rows).
+  long long OracleEvaluations = 0; ///< Compile+run evaluations spent.
+  double GeomeanOracleSpeedup = 1.0; ///< Oracle vs baseline, labeled set.
+  size_t TreeNodes = 0;          ///< Fitted tree size (introspection).
+};
+
+/// Labels up to \p Config.MaxSamples programs of \p Env with the
+/// brute-force oracle, embeds every site with \p Embedder, and fits
+/// \p NNS and \p Tree on the result (both are cleared first: stale
+/// examples would mix embeddings from different weight sets). \p Env's
+/// contexts must already match the checkpoint's extraction flavour —
+/// NeuroVectorizer::load() guarantees that before calling this.
+DistillReport distill(VectorizationEnv &Env, Code2Vec &Embedder,
+                      const TargetInfo &TI, NearestNeighborPredictor &NNS,
+                      DecisionTree &Tree,
+                      const DistillConfig &Config = DistillConfig());
+
+} // namespace nv
+
+#endif // NV_TRAIN_DISTILL_H

@@ -2,11 +2,40 @@
 
 #include "train/Evaluator.h"
 
+#include "lang/PrettyPrinter.h"
 #include "support/Stats.h"
 
 #include <algorithm>
 
 using namespace nv;
+
+double MethodReport::overallFor(PredictMethod Method) const {
+  for (size_t I = 0; I < Methods.size(); ++I)
+    if (Methods[I] == Method)
+      return Overall[I];
+  return 1.0;
+}
+
+Table MethodReport::speedupTable() const {
+  std::vector<std::string> Header = {"suite", "programs"};
+  for (PredictMethod M : Methods)
+    Header.push_back(methodName(M));
+  Table T(Header);
+  for (const SuiteRow &S : Suites) {
+    std::vector<std::string> Row = {S.Name, std::to_string(S.Programs)};
+    for (double Speedup : S.GeomeanSpeedup)
+      Row.push_back(Table::fmt(Speedup));
+    T.addRow(Row);
+  }
+  if (Suites.size() > 1) {
+    std::vector<std::string> Row = {"all programs",
+                                    std::to_string(NumPrograms)};
+    for (double Speedup : Overall)
+      Row.push_back(Table::fmt(Speedup));
+    T.addRow(Row);
+  }
+  return T;
+}
 
 Table EvalReport::summaryTable() const {
   Table T({"suite", "programs", "mean reward", "geomean speedup",
@@ -85,5 +114,61 @@ EvalReport Evaluator::evaluate(Code2Vec &Embedder, Policy &Pol) const {
 
   if (Report.NumPrograms > 0)
     Report.MeanReward = RewardTotal / static_cast<double>(Report.NumPrograms);
+  return Report;
+}
+
+MethodReport Evaluator::evaluateMethods(
+    Code2Vec &Embedder, PredictorSet &Backends,
+    const std::vector<PredictMethod> &Methods) const {
+  MethodReport Report;
+  Report.Methods = Methods;
+  // Per-method speedups across every program (for the overall geomean).
+  std::vector<std::vector<double>> AllSpeedups(Methods.size());
+
+  for (const auto &Suite : Suites) {
+    MethodReport::SuiteRow Row;
+    Row.Name = Suite->Name;
+    Row.Programs = Suite->Env.size();
+    std::vector<std::vector<double>> SuiteSpeedups(Methods.size());
+
+    for (size_t I = 0; I < Suite->Env.size(); ++I) {
+      const EnvSample &Sample = Suite->Env.sample(I);
+      const double TBase = Sample.BaselineCycles;
+      // The embedding is method-independent: encode once per sample (and
+      // only when some embedding-kind method actually runs), not once per
+      // method.
+      Matrix States;
+
+      for (size_t M = 0; M < Methods.size(); ++M) {
+        Predictor *P = Backends.get(Methods[M]);
+        if (!P || !P->ready())
+          continue;
+        std::vector<VectorPlan> Plans;
+        if (P->kind() == Predictor::Kind::Embedding) {
+          if (States.empty())
+            States = Embedder.encodeBatch(Sample.Contexts);
+          Plans = P->plansForEmbeddings(States, nullptr);
+        } else {
+          // Source-kind backends re-analyze the program themselves; the
+          // sample's AST prints back to an equivalent source.
+          Plans = P->plansForSource(printProgram(*Sample.Prog));
+        }
+        const double Cycles = Suite->Env.cyclesWith(I, Plans);
+        const double Speedup = Cycles > 0.0 ? TBase / Cycles : 0.0;
+        SuiteSpeedups[M].push_back(Speedup);
+        AllSpeedups[M].push_back(Speedup);
+      }
+    }
+
+    for (size_t M = 0; M < Methods.size(); ++M)
+      Row.GeomeanSpeedup.push_back(
+          SuiteSpeedups[M].empty() ? 1.0 : geomean(SuiteSpeedups[M]));
+    Report.NumPrograms += Row.Programs;
+    Report.Suites.push_back(std::move(Row));
+  }
+
+  for (size_t M = 0; M < Methods.size(); ++M)
+    Report.Overall.push_back(
+        AllSpeedups[M].empty() ? 1.0 : geomean(AllSpeedups[M]));
   return Report;
 }

@@ -17,6 +17,7 @@
 
 #include "dataset/Suites.h"
 #include "embedding/Code2Vec.h"
+#include "predictors/Predictor.h"
 #include "rl/Env.h"
 #include "rl/Policy.h"
 #include "support/Table.h"
@@ -55,6 +56,30 @@ struct EvalReport {
   Table programTable() const;
 };
 
+/// A multi-backend evaluation pass (the paper's Fig 7: every prediction
+/// method on the held-out suites, normalized to the baseline cost model).
+struct MethodReport {
+  std::vector<PredictMethod> Methods; ///< Column order of the tables.
+
+  struct SuiteRow {
+    std::string Name;
+    size_t Programs = 0;
+    std::vector<double> GeomeanSpeedup; ///< Parallel to Methods.
+  };
+  std::vector<SuiteRow> Suites;
+
+  /// Geomean speedup per method over all programs of all suites.
+  std::vector<double> Overall;
+  size_t NumPrograms = 0;
+
+  /// The geomean speedup of \p Method (1.0 when it was not evaluated).
+  double overallFor(PredictMethod Method) const;
+
+  /// Fig 7-style table: one row per suite plus an "all programs" row, one
+  /// column per method (geomean speedup over baseline).
+  Table speedupTable() const;
+};
+
 /// Held-out evaluation harness. Suites are parsed and precompiled once at
 /// registration; each evaluate() then costs one plan evaluation per
 /// program.
@@ -72,6 +97,15 @@ public:
 
   /// Greedy evaluation of the (embedder, policy) pair on every suite.
   EvalReport evaluate(Code2Vec &Embedder, Policy &Pol) const;
+
+  /// Evaluates every backend in \p Methods (resolved from \p Backends) on
+  /// every suite, producing the paper's Fig 7-style per-method speedup
+  /// table. Embedding-kind backends consume \p Embedder's code vectors;
+  /// source-kind backends search each program. Unregistered or unready
+  /// backends are skipped (their column reports 1.0).
+  MethodReport evaluateMethods(Code2Vec &Embedder, PredictorSet &Backends,
+                               const std::vector<PredictMethod> &Methods)
+      const;
 
 private:
   struct SuiteEnv {

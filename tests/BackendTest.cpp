@@ -1,0 +1,269 @@
+//===- tests/BackendTest.cpp - Predictor backends + distillation tests -----===//
+
+#include "core/NeuroVectorizer.h"
+#include "dataset/LoopGenerator.h"
+#include "dataset/Suites.h"
+#include "train/Distill.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace nv;
+
+namespace {
+
+const char *DotProduct =
+    "int vec[512]; int out; void f() { int sum = 0; for (int i = 0; i < "
+    "512; i++) { sum += vec[i] * vec[i]; } out = sum; }";
+
+NeuroVectorizerConfig testConfig(uint64_t Seed = 1234) {
+  NeuroVectorizerConfig Config;
+  Config.PPO.BatchSize = 64;
+  Config.PPO.MiniBatchSize = 32;
+  Config.PPO.LearningRate = 3e-3;
+  Config.Embedding.CodeDim = 16;
+  Config.Embedding.TokenDim = 8;
+  Config.Embedding.PathDim = 8;
+  Config.Seed = Seed;
+  return Config;
+}
+
+TEST(PredictMethodNames, RoundTrip) {
+  for (int I = 0; I < NumPredictMethods; ++I) {
+    const PredictMethod M = static_cast<PredictMethod>(I);
+    const auto Back = methodFromName(methodName(M));
+    ASSERT_TRUE(Back.has_value()) << methodName(M);
+    EXPECT_EQ(*Back, M);
+  }
+  EXPECT_FALSE(methodFromName("definitely-not-a-method").has_value());
+}
+
+TEST(PlanClasses, RoundTripEveryClass) {
+  const TargetInfo TI;
+  const int Classes = numPlanClasses(TI);
+  EXPECT_EQ(Classes, 35); // 7 VFs x 5 IFs.
+  for (int C = 0; C < Classes; ++C)
+    EXPECT_EQ(planToClass(classToPlan(C, TI), TI), C);
+}
+
+TEST(PredictorSet, RegistersEveryMethodWithMatchingNames) {
+  NeuroVectorizer NV(testConfig());
+  for (int I = 0; I < NumPredictMethods; ++I) {
+    const PredictMethod M = static_cast<PredictMethod>(I);
+    Predictor *P = NV.backends().get(M);
+    ASSERT_NE(P, nullptr) << methodName(M);
+    EXPECT_EQ(P->name(), methodName(M));
+  }
+  EXPECT_EQ(NV.backends().size(), static_cast<size_t>(NumPredictMethods));
+  // Supervised backends start unfitted; everything else is ready.
+  EXPECT_FALSE(NV.backends().get(PredictMethod::NNS)->ready());
+  EXPECT_FALSE(NV.backends().get(PredictMethod::DecisionTree)->ready());
+  EXPECT_TRUE(NV.backends().get(PredictMethod::RL)->ready());
+  EXPECT_TRUE(NV.backends().get(PredictMethod::BruteForce)->ready());
+  // Random answers must never be cached; the deterministic ones may.
+  EXPECT_FALSE(NV.backends().get(PredictMethod::Random)->cacheable());
+  EXPECT_TRUE(NV.backends().get(PredictMethod::BruteForce)->cacheable());
+}
+
+TEST(NNSSerialization, RoundTripIsByteStable) {
+  NearestNeighborPredictor A(3);
+  A.add({0.5, -1.25, 2.0}, {4, 2});
+  A.add({1.0, 0.0, -3.5}, {16, 8});
+  std::vector<char> Bytes;
+  A.serialize(Bytes);
+
+  NearestNeighborPredictor B;
+  std::string Error;
+  ASSERT_TRUE(B.deserialize(Bytes.data(), Bytes.size(), &Error)) << Error;
+  EXPECT_EQ(B.size(), 2u);
+  EXPECT_EQ(B.neighbors(), 3);
+  EXPECT_EQ(B.predict({0.4, -1.0, 2.0}), A.predict({0.4, -1.0, 2.0}));
+  std::vector<char> Bytes2;
+  B.serialize(Bytes2);
+  EXPECT_EQ(Bytes, Bytes2);
+
+  // Truncated payloads must be rejected without touching the destination.
+  NearestNeighborPredictor C(1);
+  C.add({9.0, 9.0, 9.0}, {2, 2});
+  EXPECT_FALSE(C.deserialize(Bytes.data(), Bytes.size() - 1, &Error));
+  EXPECT_EQ(C.size(), 1u);
+}
+
+TEST(TreeSerialization, RoundTripPredictsIdentically) {
+  std::vector<std::vector<double>> X;
+  std::vector<int> Y;
+  RNG R(11);
+  for (int I = 0; I < 200; ++I) {
+    const double A = R.nextUniform(-1, 1), B = R.nextUniform(-1, 1);
+    X.push_back({A, B});
+    Y.push_back((A > 0) != (B > 0) ? 1 : 0);
+  }
+  DecisionTree Fitted;
+  Fitted.fit(X, Y, 2);
+  std::vector<char> Bytes;
+  Fitted.serialize(Bytes);
+
+  DecisionTree Loaded;
+  std::string Error;
+  ASSERT_TRUE(Loaded.deserialize(Bytes.data(), Bytes.size(), &Error))
+      << Error;
+  EXPECT_EQ(Loaded.numNodes(), Fitted.numNodes());
+  EXPECT_EQ(Loaded.depth(), Fitted.depth());
+  for (const std::vector<double> &Row : X)
+    EXPECT_EQ(Loaded.predict(Row), Fitted.predict(Row));
+
+  // A corrupt child index must be rejected (it would walk out of the
+  // node array — or cycle — at predict time).
+  std::vector<char> Bad = Bytes;
+  ASSERT_GT(Fitted.numNodes(), 1u);
+  const size_t NodeArrayStart = 5 * 4 + 8; // 5 i32 header fields + u64.
+  const size_t LeftOffset = NodeArrayStart + 4 + 8; // Feature + Threshold.
+  const int32_t Evil = 1 << 20;
+  std::memcpy(Bad.data() + LeftOffset, &Evil, sizeof(Evil));
+  DecisionTree Untouched;
+  EXPECT_FALSE(Untouched.deserialize(Bad.data(), Bad.size(), &Error));
+  EXPECT_FALSE(Untouched.fitted());
+
+  // A self-referential child (in range, but cyclic) must be rejected too:
+  // predict() would otherwise never terminate.
+  std::vector<char> Cyclic = Bytes;
+  const int32_t Self = 0;
+  std::memcpy(Cyclic.data() + LeftOffset, &Self, sizeof(Self));
+  EXPECT_FALSE(Untouched.deserialize(Cyclic.data(), Cyclic.size(), &Error));
+
+  // A split feature past the fitted width must be rejected: predict()
+  // would read Row out of bounds.
+  std::vector<char> WideFeature = Bytes;
+  const int32_t Wide = 1000000;
+  std::memcpy(WideFeature.data() + NodeArrayStart, &Wide, sizeof(Wide));
+  EXPECT_FALSE(
+      Untouched.deserialize(WideFeature.data(), WideFeature.size(), &Error));
+  EXPECT_EQ(Loaded.numFeatures(), 2);
+}
+
+TEST(TreeSerialization, RejectsOutOfRangeLeafLabel) {
+  // A pure one-leaf tree: predict() returns the leaf label verbatim, so
+  // an out-of-range label would index the (VF, IF) class arrays out of
+  // bounds at serve time.
+  DecisionTree Tree;
+  Tree.fit({{0.0}, {1.0}, {2.0}, {3.0}}, {1, 1, 1, 1}, 2);
+  ASSERT_EQ(Tree.numNodes(), 1u);
+  std::vector<char> Bytes;
+  Tree.serialize(Bytes);
+  const size_t LabelOffset = 5 * 4 + 8 + 4 + 8 + 4 + 4; // Header + node.
+  ASSERT_EQ(Bytes.size(), LabelOffset + 4);
+  std::string Error;
+  for (int32_t Evil : {-3, 2, 1000}) {
+    std::vector<char> Bad = Bytes;
+    std::memcpy(Bad.data() + LabelOffset, &Evil, sizeof(Evil));
+    DecisionTree Untouched;
+    EXPECT_FALSE(Untouched.deserialize(Bad.data(), Bad.size(), &Error))
+        << Evil;
+  }
+}
+
+TEST(Backends, ContinuedTrainingInvalidatesSupervisedFit) {
+  // More train() steps change the weights (and so the embedding space);
+  // an NNS/tree fit from before must not survive looking valid.
+  NeuroVectorizer NV(testConfig());
+  ASSERT_TRUE(NV.addTrainingProgram("dot", DotProduct));
+  NV.train(64);
+  NV.fitSupervised(/*MaxSamples=*/1);
+  ASSERT_TRUE(NV.supervisedReady());
+  NV.train(64);
+  EXPECT_FALSE(NV.supervisedReady());
+}
+
+TEST(Distillation, IsDeterministicFromAFixedCheckpoint) {
+  // Distilling twice from the same weights must produce byte-identical
+  // backends: labeling (brute force), embedding, and both fits are
+  // RNG-free.
+  NeuroVectorizer NV(testConfig(/*Seed=*/77));
+  LoopGenerator Gen(5);
+  for (const GeneratedLoop &L : Gen.generateMany(10))
+    ASSERT_TRUE(NV.addTrainingProgram(L.Name, L.Source));
+  NV.train(128);
+
+  auto Snapshot = [&NV] {
+    DecisionTree Tree;
+    NearestNeighborPredictor NNS;
+    const DistillReport Report =
+        distill(NV.env(), NV.embedder(), NV.target(), NNS, Tree,
+                DistillConfig{/*MaxSamples=*/10, /*BruteForcePasses=*/2});
+    std::vector<char> Bytes;
+    NNS.serialize(Bytes);
+    Tree.serialize(Bytes);
+    return std::make_pair(Report.Sites, Bytes);
+  };
+  const auto [SitesA, BytesA] = Snapshot();
+  const auto [SitesB, BytesB] = Snapshot();
+  EXPECT_GT(SitesA, 0u);
+  EXPECT_EQ(SitesA, SitesB);
+  EXPECT_EQ(BytesA, BytesB);
+
+  // And the facade's fitSupervised is the same pipeline: refitting must
+  // not change a single prediction.
+  NV.fitSupervised(/*MaxSamples=*/10);
+  const std::vector<VectorPlan> First = NV.plansFor(DotProduct,
+                                                    PredictMethod::NNS);
+  NV.fitSupervised(/*MaxSamples=*/10);
+  const std::vector<VectorPlan> Second = NV.plansFor(DotProduct,
+                                                     PredictMethod::NNS);
+  ASSERT_EQ(First.size(), Second.size());
+  for (size_t I = 0; I < First.size(); ++I)
+    EXPECT_EQ(First[I], Second[I]);
+}
+
+TEST(Distillation, ReportsOracleQuality) {
+  NeuroVectorizer NV(testConfig());
+  ASSERT_TRUE(NV.addTrainingProgram("dot", DotProduct));
+  const DistillReport Report = NV.fitSupervised();
+  EXPECT_EQ(Report.Programs, 1u);
+  EXPECT_EQ(Report.Sites, 1u);
+  EXPECT_GT(Report.OracleEvaluations, 35); // Swept the grid at least once.
+  // The oracle can only match or beat the baseline cost model.
+  EXPECT_GE(Report.GeomeanOracleSpeedup, 1.0);
+  EXPECT_TRUE(NV.supervisedReady());
+}
+
+TEST(EvaluatorMethods, EmitsFig7StyleTable) {
+  NeuroVectorizer NV(testConfig(/*Seed=*/3));
+  LoopGenerator Gen(21);
+  for (const GeneratedLoop &L : Gen.generateMany(12))
+    ASSERT_TRUE(NV.addTrainingProgram(L.Name, L.Source));
+  NV.train(128);
+  NV.fitSupervised(/*MaxSamples=*/12);
+
+  Evaluator Eval{SimCompiler(), PathContextConfig()};
+  ASSERT_GT(Eval.addSuite("benchmarks", evaluationBenchmarks()), 0u);
+
+  const std::vector<PredictMethod> Methods = {
+      PredictMethod::Random, PredictMethod::NNS, PredictMethod::DecisionTree,
+      PredictMethod::RL, PredictMethod::BruteForce};
+  const MethodReport Report =
+      Eval.evaluateMethods(NV.embedder(), NV.backends(), Methods);
+  ASSERT_EQ(Report.Suites.size(), 1u);
+  ASSERT_EQ(Report.Overall.size(), Methods.size());
+  EXPECT_GT(Report.NumPrograms, 0u);
+  for (double Speedup : Report.Overall)
+    EXPECT_GT(Speedup, 0.0);
+  // The oracle bounds every other method from above (it tries every grid
+  // point the others choose from).
+  const double Brute = Report.overallFor(PredictMethod::BruteForce);
+  EXPECT_GE(Brute + 1e-9, Report.overallFor(PredictMethod::RL));
+  EXPECT_GE(Brute + 1e-9, Report.overallFor(PredictMethod::NNS));
+  EXPECT_GE(Brute + 1e-9, Report.overallFor(PredictMethod::DecisionTree));
+  EXPECT_GE(Brute, 1.0); // Never worse than the baseline it sweeps against.
+  // Table shape: suite column, programs column, one column per method;
+  // single suite => no "all programs" summary row.
+  EXPECT_EQ(Report.speedupTable().numRows(), 1u);
+
+  // An unready backend is skipped, not fatal: its column reports 1.0.
+  NeuroVectorizer Unfitted(testConfig(/*Seed=*/4));
+  const MethodReport Partial = Eval.evaluateMethods(
+      Unfitted.embedder(), Unfitted.backends(), {PredictMethod::NNS});
+  EXPECT_DOUBLE_EQ(Partial.Overall[0], 1.0);
+}
+
+} // namespace

@@ -167,6 +167,9 @@ TEST(Kernels, BitIdenticalAcrossPoolSizes) {
   Matrix A = randomMatrix(101, 37, Rng);
   Matrix B = randomMatrix(37, 53, Rng);
   Matrix Bias = randomMatrix(1, 53, Rng);
+  // gemmTA computes A^T * B: the operands must agree on ROWS (the
+  // contraction dimension), unlike plain gemm's cols-vs-rows.
+  Matrix BTall = randomMatrix(101, 53, Rng);
 
   Matrix Serial;
   gemmInto(Serial, A, B, &Bias, Activation::Tanh, nullptr);
@@ -177,8 +180,8 @@ TEST(Kernels, BitIdenticalAcrossPoolSizes) {
     EXPECT_EQ(Serial.raw(), Pooled.raw()) << Threads << " threads";
 
     Matrix TASerial, TAPooled;
-    gemmTAInto(TASerial, A, B);
-    gemmTAInto(TAPooled, A, B, /*Accumulate=*/false, &Pool);
+    gemmTAInto(TASerial, A, BTall);
+    gemmTAInto(TAPooled, A, BTall, /*Accumulate=*/false, &Pool);
     EXPECT_EQ(TASerial.raw(), TAPooled.raw()) << Threads << " threads";
 
     Matrix BT = randomMatrix(53, 37, Rng);

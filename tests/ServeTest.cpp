@@ -128,37 +128,102 @@ TEST(ModelSerializer, RejectsBitFlipAndLeavesModelUntouched) {
   EXPECT_EQ(NV.annotate(DotProduct), Before);
 }
 
+/// Rewrites a freshly saved (v3, weights-only) model file as an older
+/// format version: v2 drops the trailing empty section-count word, v1
+/// additionally drops the u32 flags word at offset 8. The trailing
+/// checksum is recomputed either way.
+void downgradeModelFile(const std::string &Path, uint32_t Version) {
+  std::ifstream In(Path, std::ios::binary);
+  std::string Bytes((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  In.close();
+  ASSERT_GT(Bytes.size(), 24u);
+  Bytes.erase(Bytes.size() - sizeof(uint64_t) - sizeof(uint32_t),
+              sizeof(uint32_t)); // Empty v3 section count.
+  if (Version == 1)
+    Bytes.erase(8, 4); // Flags word.
+  std::memcpy(&Bytes[4], &Version, sizeof(Version));
+  const uint64_t Sum = ModelSerializer::checksum(
+      Bytes.data(), Bytes.size() - sizeof(uint64_t));
+  std::memcpy(&Bytes[Bytes.size() - sizeof(uint64_t)], &Sum, sizeof(Sum));
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  Out.close();
+}
+
 TEST(ModelSerializer, LoadsLegacyV1Files) {
-  // v1 files (no flags word) predate the extraction-setting header; they
-  // must keep loading, with the setting defaulting to outer-context.
+  // v1 files (no flags word, no sections) predate the extraction-setting
+  // header; they must keep loading, with the setting defaulting to
+  // outer-context.
   TempModel File("serve_v1.nvm");
   NeuroVectorizer Saved(testConfig(/*Seed=*/5));
   ASSERT_TRUE(Saved.addTrainingProgram("dot", DotProduct));
   Saved.train(64);
   ASSERT_TRUE(Saved.save(File.Path));
-
-  // Rewrite the v2 file as its v1 equivalent: drop the u32 flags word at
-  // offset 8, set version = 1, recompute the trailing checksum.
-  std::ifstream In(File.Path, std::ios::binary);
-  std::string Bytes((std::istreambuf_iterator<char>(In)),
-                    std::istreambuf_iterator<char>());
-  In.close();
-  ASSERT_GT(Bytes.size(), 20u);
-  Bytes.erase(8, 4);                       // Flags word.
-  const uint32_t V1 = 1;
-  std::memcpy(&Bytes[4], &V1, sizeof(V1)); // Version field.
-  const uint64_t Sum = ModelSerializer::checksum(
-      Bytes.data(), Bytes.size() - sizeof(uint64_t));
-  std::memcpy(&Bytes[Bytes.size() - sizeof(uint64_t)], &Sum, sizeof(Sum));
-  std::ofstream Out(File.Path, std::ios::binary | std::ios::trunc);
-  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
-  Out.close();
+  downgradeModelFile(File.Path, /*Version=*/1);
 
   NeuroVectorizer Fresh(testConfig(/*Seed=*/6));
   std::string Error;
   ASSERT_TRUE(Fresh.load(File.Path, &Error)) << Error;
   EXPECT_FALSE(Fresh.env().innerContextOnly());
   EXPECT_EQ(Fresh.annotate(DotProduct), Saved.annotate(DotProduct));
+}
+
+TEST(ModelSerializer, LoadsLegacyV2Files) {
+  // v2 files (flags word, no backend sections) must keep loading; their
+  // supervised backends are simply unfitted.
+  TempModel File("serve_v2.nvm");
+  NeuroVectorizer Saved(testConfig(/*Seed=*/15));
+  ASSERT_TRUE(Saved.addTrainingProgram("dot", DotProduct));
+  Saved.train(64);
+  ASSERT_TRUE(Saved.save(File.Path));
+  downgradeModelFile(File.Path, /*Version=*/2);
+
+  NeuroVectorizer Fresh(testConfig(/*Seed=*/16));
+  // Pre-fit backends must not survive a weights-only load: the loaded
+  // weights produce different embeddings than the ones they were fit on.
+  ASSERT_TRUE(Fresh.addTrainingProgram("dot", DotProduct));
+  Fresh.fitSupervised(/*MaxSamples=*/1);
+  EXPECT_TRUE(Fresh.supervisedReady());
+  std::string Error;
+  ASSERT_TRUE(Fresh.load(File.Path, &Error)) << Error;
+  EXPECT_FALSE(Fresh.supervisedReady());
+  EXPECT_EQ(Fresh.annotate(DotProduct), Saved.annotate(DotProduct));
+}
+
+TEST(ModelSerializer, V3RoundTripRestoresSupervisedBackends) {
+  // The acceptance path: train, distill, save ONE file; a fresh process
+  // loads it and serves rl, nns, tree, and bruteforce without refitting.
+  TempModel File("serve_v3_backends.nvm");
+  NeuroVectorizer Trained(testConfig(/*Seed=*/31));
+  LoopGenerator Gen(7);
+  for (const GeneratedLoop &L : Gen.generateMany(12))
+    ASSERT_TRUE(Trained.addTrainingProgram(L.Name, L.Source));
+  Trained.train(128);
+  const DistillReport Distilled = Trained.fitSupervised(/*MaxSamples=*/12);
+  EXPECT_EQ(Distilled.Programs, 12u);
+  EXPECT_GT(Distilled.Sites, 0u);
+  EXPECT_GT(Distilled.TreeNodes, 0u);
+  ASSERT_TRUE(Trained.save(File.Path));
+
+  NeuroVectorizer Fresh(testConfig(/*Seed=*/32));
+  EXPECT_FALSE(Fresh.supervisedReady());
+  std::string Error;
+  ASSERT_TRUE(Fresh.load(File.Path, &Error)) << Error;
+  EXPECT_TRUE(Fresh.supervisedReady());
+
+  // Every backend must reproduce the training-side plans exactly.
+  for (const AnnotationRequest &Req : generatedRequests(6, /*Seed=*/123)) {
+    for (PredictMethod M :
+         {PredictMethod::RL, PredictMethod::NNS, PredictMethod::DecisionTree,
+          PredictMethod::BruteForce, PredictMethod::Baseline}) {
+      const std::vector<VectorPlan> A = Trained.plansFor(Req.Source, M);
+      const std::vector<VectorPlan> B = Fresh.plansFor(Req.Source, M);
+      ASSERT_EQ(A.size(), B.size()) << methodName(M);
+      for (size_t S = 0; S < A.size(); ++S)
+        EXPECT_EQ(A[S], B[S]) << methodName(M) << " site " << S;
+    }
+  }
 }
 
 TEST(ModelSerializer, RejectsForeignFile) {
@@ -472,6 +537,127 @@ TEST(AnnotationService, LoadedModelServesIdenticalAnnotations) {
     ASSERT_TRUE(A[I].Ok && B[I].Ok);
     EXPECT_EQ(A[I].Annotated, B[I].Annotated) << Requests[I].Name;
   }
+}
+
+TEST(AnnotationService, PerRequestMethodOverrideSelectsBackend) {
+  NeuroVectorizer NV(testConfig());
+  ASSERT_TRUE(NV.addTrainingProgram("dot", DotProduct));
+  NV.train(128);
+  NV.fitSupervised(/*MaxSamples=*/1);
+  AnnotationService &Service = NV.service();
+
+  // One batch, every backend: each request must be answered by exactly
+  // the backend it names, matching the facade's single-program path.
+  std::vector<AnnotationRequest> Requests = {
+      {"rl", DotProduct, PredictMethod::RL},
+      {"nns", DotProduct, PredictMethod::NNS},
+      {"tree", DotProduct, PredictMethod::DecisionTree},
+      {"brute", DotProduct, PredictMethod::BruteForce},
+      {"default", DotProduct, std::nullopt}, // ServeConfig default = RL.
+  };
+  std::vector<AnnotationResult> Results = Service.annotateBatch(Requests);
+  for (size_t I = 0; I < Requests.size(); ++I)
+    ASSERT_TRUE(Results[I].Ok) << Results[I].Error;
+  const PredictMethod Expect[] = {PredictMethod::RL, PredictMethod::NNS,
+                                  PredictMethod::DecisionTree,
+                                  PredictMethod::BruteForce,
+                                  PredictMethod::RL};
+  for (size_t I = 0; I < Requests.size(); ++I) {
+    EXPECT_EQ(Results[I].Method, Expect[I]);
+    ASSERT_EQ(Results[I].Plans.size(), 1u);
+    EXPECT_EQ(Results[I].Plans[0], NV.plansFor(DotProduct, Expect[I])[0])
+        << Requests[I].Name;
+  }
+  // The default-method request deduped against the explicit RL one.
+  EXPECT_EQ(Results[4].Annotated, Results[0].Annotated);
+
+  // Per-backend counters saw exactly their own traffic.
+  const ServeStats &Stats = Service.stats();
+  EXPECT_EQ(Stats.forMethod(PredictMethod::RL).Loops.load(), 2u);
+  EXPECT_EQ(Stats.forMethod(PredictMethod::NNS).Loops.load(), 1u);
+  EXPECT_EQ(Stats.forMethod(PredictMethod::DecisionTree).Loops.load(), 1u);
+  EXPECT_EQ(Stats.forMethod(PredictMethod::BruteForce).Loops.load(), 1u);
+  EXPECT_EQ(Stats.forMethod(PredictMethod::NNS).Misses.load(), 1u);
+  EXPECT_EQ(Stats.methodTable().numRows(), 4u);
+}
+
+TEST(AnnotationService, BackendsNeverAnswerForEachOther) {
+  NeuroVectorizer NV(testConfig());
+  ASSERT_TRUE(NV.addTrainingProgram("dot", DotProduct));
+  NV.train(128);
+  NV.fitSupervised(/*MaxSamples=*/1);
+  AnnotationService &Service = NV.service();
+
+  // Warm the cache with the RL answer, then ask for brute force: the
+  // method is part of the cache key, so the second request must compute
+  // rather than hit.
+  const AnnotationResult RL =
+      Service.annotateOne("dot", DotProduct, PredictMethod::RL);
+  ASSERT_TRUE(RL.Ok);
+  const AnnotationResult BF =
+      Service.annotateOne("dot", DotProduct, PredictMethod::BruteForce);
+  ASSERT_TRUE(BF.Ok);
+  EXPECT_EQ(BF.CachedSites, 0);
+  EXPECT_EQ(Service.stats().forMethod(PredictMethod::BruteForce)
+                .CacheHits.load(),
+            0u);
+  // And the brute-force answer itself is cached under its own key.
+  const AnnotationResult BF2 =
+      Service.annotateOne("dot", DotProduct, PredictMethod::BruteForce);
+  EXPECT_EQ(BF2.CachedSites, 1);
+  ASSERT_EQ(BF2.Plans.size(), 1u);
+  EXPECT_EQ(BF2.Plans[0], BF.Plans[0]);
+}
+
+TEST(AnnotationService, UnfittedBackendRejectsPolitely) {
+  NeuroVectorizer NV(testConfig());
+  AnnotationService &Service = NV.service();
+  const AnnotationResult Res =
+      Service.annotateOne("dot", DotProduct, PredictMethod::NNS);
+  EXPECT_FALSE(Res.Ok);
+  EXPECT_NE(Res.Error.find("not fitted"), std::string::npos) << Res.Error;
+  EXPECT_EQ(Service.stats().ProgramsRejected.load(), 1u);
+  // The rejection must not poison later, valid requests.
+  const AnnotationResult RL =
+      Service.annotateOne("dot", DotProduct, PredictMethod::RL);
+  EXPECT_TRUE(RL.Ok);
+}
+
+TEST(AnnotationService, RefittingSupervisedBackendsInvalidatesPlanCache) {
+  NeuroVectorizer NV(testConfig());
+  ASSERT_TRUE(NV.addTrainingProgram("dot", DotProduct));
+  NV.train(128);
+  NV.fitSupervised(/*MaxSamples=*/1);
+  AnnotationService &Service = NV.service();
+
+  ASSERT_TRUE(Service.annotateOne("dot", DotProduct,
+                                  PredictMethod::NNS).Ok);
+  EXPECT_EQ(Service.cacheSize(), 1u);
+  // Refitting replaces the backends; plans cached from the old fit must
+  // not survive to answer for the new one.
+  NV.fitSupervised(/*MaxSamples=*/1);
+  EXPECT_EQ(Service.cacheSize(), 0u);
+  const AnnotationResult After =
+      Service.annotateOne("dot", DotProduct, PredictMethod::NNS);
+  ASSERT_TRUE(After.Ok);
+  EXPECT_EQ(After.CachedSites, 0);
+}
+
+TEST(AnnotationService, RandomBackendIsServedButNeverCached) {
+  NeuroVectorizer NV(testConfig());
+  AnnotationService &Service = NV.service();
+  const size_t CacheBefore = Service.cacheSize();
+  for (int I = 0; I < 4; ++I) {
+    const AnnotationResult Res =
+        Service.annotateOne("dot", DotProduct, PredictMethod::Random);
+    ASSERT_TRUE(Res.Ok) << Res.Error;
+    EXPECT_EQ(Res.CachedSites, 0);
+  }
+  // Random plans never enter the plan cache (two requests for the same
+  // loop are two independent draws).
+  EXPECT_EQ(Service.cacheSize(), CacheBefore);
+  EXPECT_EQ(Service.stats().forMethod(PredictMethod::Random).Loops.load(),
+            4u);
 }
 
 } // namespace

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the BENCH_*.json metric files.
+
+The benches (bench/*.cpp) emit flat JSON metric files of the form
+
+    {"bench": "serve_throughput", "metrics": {"warm_cache_programs_per_sec": ...}}
+
+into the working directory. This tool diffs a fresh set against the
+committed baselines in bench/baselines/ and FAILS (exit 1) when any
+throughput metric (key ending in ``_per_sec``) drops by more than
+``--max-drop`` (default 25%). All other metrics are reported but never
+gated: quality numbers (speedups, figure reproductions) regress for
+model reasons, not perf reasons, and have their own tests.
+
+Override knobs (documented in README.md):
+  --max-drop 0.4            loosen the gate for one invocation
+  NV_BENCH_MAX_DROP=0.4     loosen the gate via the environment (CI)
+  NV_BENCH_SKIP=1           skip the gate entirely (emergency hatch)
+  --update                  copy the current metrics over the baselines
+                            (run after an intentional perf change, commit
+                            the result)
+
+Exit codes: 0 ok / skipped, 1 regression found, 2 usage or I/O error.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+GATED_SUFFIX = "_per_sec"
+
+
+def load_metrics(path):
+    """Returns (bench_name, {metric: value}) from one BENCH_*.json file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if "bench" not in data or "metrics" not in data:
+        raise ValueError(f"{path}: not a bench metrics file")
+    return data["bench"], data["metrics"]
+
+
+def find_bench_files(directory):
+    """BENCH_*.json files in `directory`, keyed by file name."""
+    found = {}
+    for name in sorted(os.listdir(directory)):
+        if name.startswith("BENCH_") and name.endswith(".json"):
+            found[name] = os.path.join(directory, name)
+    return found
+
+
+def compare(baseline_dir, current_dir, max_drop):
+    """Returns (rows, regressions, missing, stale) comparing the dirs.
+
+    `missing` are current benches with no committed baseline; `stale` are
+    committed baselines whose bench emitted nothing this run — a silently
+    dropped bench would otherwise un-gate itself.
+    """
+    base_files = find_bench_files(baseline_dir) if os.path.isdir(
+        baseline_dir) else {}
+    cur_files = find_bench_files(current_dir)
+    rows = []
+    regressions = []
+    missing = []
+    stale = [name for name in base_files if name not in cur_files]
+
+    for name, cur_path in cur_files.items():
+        if name not in base_files:
+            missing.append(name)
+            continue
+        bench, cur = load_metrics(cur_path)
+        _, base = load_metrics(base_files[name])
+        for key, cur_value in cur.items():
+            if key not in base:
+                continue
+            base_value = base[key]
+            gated = key.endswith(GATED_SUFFIX)
+            if not isinstance(base_value, (int, float)) or base_value <= 0:
+                gated = False
+            drop = 0.0
+            if gated:
+                drop = (base_value - cur_value) / base_value
+            regressed = gated and drop > max_drop
+            rows.append((bench, key, base_value, cur_value, gated, drop,
+                         regressed))
+            if regressed:
+                regressions.append((bench, key, base_value, cur_value, drop))
+    return rows, regressions, missing, stale
+
+
+def print_report(rows, regressions, missing, stale, max_drop):
+    if rows:
+        width = max(len(f"{bench}.{key}") for bench, key, *_ in rows)
+        print(f"{'metric'.ljust(width)}  {'baseline':>14} {'current':>14} "
+              f"{'delta':>8}  gate")
+        for bench, key, base, cur, gated, drop, regressed in rows:
+            label = f"{bench}.{key}".ljust(width)
+            delta = f"{-drop * 100.0:+.1f}%" if gated else "-"
+            verdict = "FAIL" if regressed else ("ok" if gated else "info")
+            print(f"{label}  {base:>14.4g} {cur:>14.4g} {delta:>8}  {verdict}")
+    for name in missing:
+        print(f"warning: no committed baseline for {name} "
+              f"(add one with --update)")
+    for name in stale:
+        print(f"warning: baseline {name} has no current metrics — did its "
+              f"bench stop running? (delete the baseline if intentional)")
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} metric(s) dropped more than "
+              f"{max_drop * 100.0:.0f}%:")
+        for bench, key, base, cur, drop in regressions:
+            print(f"  {bench}.{key}: {base:.4g} -> {cur:.4g} "
+                  f"({-drop * 100.0:+.1f}%)")
+        print("If the regression is intentional, refresh the baselines "
+              "(tools/bench_compare.py --update) or raise the threshold "
+              "(--max-drop / NV_BENCH_MAX_DROP).")
+    else:
+        print(f"\nok: no gated metric dropped more than "
+              f"{max_drop * 100.0:.0f}%")
+
+
+def update_baselines(baseline_dir, current_dir):
+    os.makedirs(baseline_dir, exist_ok=True)
+    updated = []
+    for name, path in find_bench_files(current_dir).items():
+        shutil.copyfile(path, os.path.join(baseline_dir, name))
+        updated.append(name)
+    return updated
+
+
+def main(argv=None):
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline",
+                        default=os.path.join(repo_root, "bench", "baselines"),
+                        help="directory of committed BENCH_*.json baselines")
+    parser.add_argument("--current", default=".",
+                        help="directory holding the freshly emitted metrics")
+    parser.add_argument("--max-drop", type=float,
+                        default=float(os.environ.get("NV_BENCH_MAX_DROP",
+                                                     "0.25")),
+                        help="tolerated fractional drop per gated metric "
+                             "(default 0.25, env NV_BENCH_MAX_DROP)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy current metrics over the baselines and "
+                             "exit")
+    parser.add_argument("--require-baseline", action="store_true",
+                        help="fail (not warn) when a current bench has no "
+                             "committed baseline or a committed baseline "
+                             "has no current metrics")
+    args = parser.parse_args(argv)
+
+    if os.environ.get("NV_BENCH_SKIP") == "1":
+        print("NV_BENCH_SKIP=1: perf-regression gate skipped")
+        return 0
+
+    if not os.path.isdir(args.current):
+        print(f"error: current directory '{args.current}' does not exist",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        updated = update_baselines(args.baseline, args.current)
+        if not updated:
+            print(f"error: no BENCH_*.json files in '{args.current}'",
+                  file=sys.stderr)
+            return 2
+        for name in updated:
+            print(f"baseline updated: {name}")
+        return 0
+
+    try:
+        rows, regressions, missing, stale = compare(
+            args.baseline, args.current, args.max_drop)
+    except (ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if not rows and not missing:
+        print(f"error: no BENCH_*.json files found in '{args.current}'",
+              file=sys.stderr)
+        return 2
+
+    print_report(rows, regressions, missing, stale, args.max_drop)
+    if regressions:
+        return 1
+    if (missing or stale) and args.require_baseline:
+        print("FAIL: baseline/current sets disagree (--require-baseline)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

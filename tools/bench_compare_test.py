@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Unit tests for the CI perf-regression gate (tools/bench_compare.py).
+
+Run directly or via ctest (test name BenchCompareGate). Exercises the
+gate against synthetic metric files: an in-tolerance drift passes, a
+>25% throughput drop fails, non-throughput metrics are never gated, and
+every override knob (--max-drop, NV_BENCH_SKIP, --update) behaves as
+documented — so the PR demonstrating the gate never has to break CI.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_compare  # noqa: E402
+
+
+def write_bench(directory, name, metrics):
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"bench": name, "metrics": metrics}, handle)
+    return path
+
+
+class BenchCompareGateTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.baseline = os.path.join(self.tmp.name, "baselines")
+        self.current = os.path.join(self.tmp.name, "current")
+        os.makedirs(self.baseline)
+        os.makedirs(self.current)
+        os.environ.pop("NV_BENCH_SKIP", None)
+        os.environ.pop("NV_BENCH_MAX_DROP", None)
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def run_gate(self, *extra):
+        return bench_compare.main(["--baseline", self.baseline,
+                                   "--current", self.current, *extra])
+
+    def test_within_tolerance_passes(self):
+        write_bench(self.baseline, "serve", {"programs_per_sec": 1000.0})
+        write_bench(self.current, "serve", {"programs_per_sec": 900.0})
+        self.assertEqual(self.run_gate(), 0)  # -10% < 25%.
+
+    def test_improvement_passes(self):
+        write_bench(self.baseline, "serve", {"programs_per_sec": 1000.0})
+        write_bench(self.current, "serve", {"programs_per_sec": 4000.0})
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_synthetic_regression_fails(self):
+        # The acceptance scenario: a >25% ops/sec drop must fail the job.
+        write_bench(self.baseline, "serve", {"programs_per_sec": 1000.0})
+        write_bench(self.current, "serve", {"programs_per_sec": 700.0})
+        self.assertEqual(self.run_gate(), 1)  # -30% > 25%.
+
+    def test_exact_threshold_passes(self):
+        write_bench(self.baseline, "serve", {"programs_per_sec": 1000.0})
+        write_bench(self.current, "serve", {"programs_per_sec": 750.0})
+        self.assertEqual(self.run_gate(), 0)  # Exactly -25% is tolerated.
+
+    def test_non_throughput_metrics_are_not_gated(self):
+        # Quality metrics (speedups etc.) may move without failing CI.
+        write_bench(self.baseline, "fig7", {"rl_mean_speedup": 2.67,
+                                            "train_steps": 80000})
+        write_bench(self.current, "fig7", {"rl_mean_speedup": 0.5,
+                                           "train_steps": 80000})
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_max_drop_knob_loosens_gate(self):
+        write_bench(self.baseline, "serve", {"programs_per_sec": 1000.0})
+        write_bench(self.current, "serve", {"programs_per_sec": 700.0})
+        self.assertEqual(self.run_gate("--max-drop", "0.5"), 0)
+
+    def test_env_knobs(self):
+        write_bench(self.baseline, "serve", {"programs_per_sec": 1000.0})
+        write_bench(self.current, "serve", {"programs_per_sec": 100.0})
+        os.environ["NV_BENCH_SKIP"] = "1"
+        try:
+            self.assertEqual(self.run_gate(), 0)
+        finally:
+            del os.environ["NV_BENCH_SKIP"]
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_missing_baseline_warns_not_fails(self):
+        # A brand-new bench must not fail CI before its baseline lands...
+        write_bench(self.current, "brandnew", {"ops_per_sec": 123.0})
+        self.assertEqual(self.run_gate(), 0)
+        # ...unless the invocation opts into strictness.
+        self.assertEqual(self.run_gate("--require-baseline"), 1)
+
+    def test_stale_baseline_is_caught_under_strictness(self):
+        # A bench that silently stops emitting must not un-gate itself: CI
+        # runs with --require-baseline, so a baseline with no current
+        # metrics fails until it is deliberately deleted.
+        write_bench(self.baseline, "serve", {"programs_per_sec": 1000.0})
+        write_bench(self.baseline, "gone", {"ops_per_sec": 50.0})
+        write_bench(self.current, "serve", {"programs_per_sec": 990.0})
+        self.assertEqual(self.run_gate(), 0)  # Default: warn only.
+        self.assertEqual(self.run_gate("--require-baseline"), 1)
+
+    def test_update_refreshes_baselines(self):
+        write_bench(self.baseline, "serve", {"programs_per_sec": 1000.0})
+        write_bench(self.current, "serve", {"programs_per_sec": 700.0})
+        self.assertEqual(self.run_gate(), 1)
+        self.assertEqual(self.run_gate("--update"), 0)
+        self.assertEqual(self.run_gate(), 0)  # New baseline = current.
+        with open(os.path.join(self.baseline, "BENCH_serve.json"),
+                  encoding="utf-8") as handle:
+            self.assertEqual(
+                json.load(handle)["metrics"]["programs_per_sec"], 700.0)
+
+    def test_mixed_benches_one_regressing_fails(self):
+        write_bench(self.baseline, "micro", {"parse_ops_per_sec": 500.0})
+        write_bench(self.baseline, "serve", {"programs_per_sec": 1000.0})
+        write_bench(self.current, "micro", {"parse_ops_per_sec": 490.0})
+        write_bench(self.current, "serve", {"programs_per_sec": 10.0})
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_empty_current_directory_is_an_error(self):
+        # CI misconfiguration (benches never ran) must not pass silently.
+        self.assertEqual(self.run_gate(), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
