@@ -1,0 +1,584 @@
+//===- bench/annotate_cold.cpp - Cold-path front-end + NNS throughput ------===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+// The serving layer's cache-miss ("cold") path is dominated by everything
+// *before* the GEMMs: parse -> loop extraction -> path contexts -> cache
+// key. This bench measures that front-end against an op-for-op replica of
+// the pre-PR implementation (std::string tree builder with per-node label
+// and token strings, per-site pretty-printed ContextText, per-pair token
+// hashing, per-call allocations) — reproduced below the same way
+// micro_components reproduces the pre-kernel forward path — plus the
+// end-to-end cold service throughput and the indexed NNS backend against
+// the per-query linear scalar scan it replaced.
+//
+// Correctness guards (the bench fails, not flakes, on mismatch):
+//   - the legacy string path and the interned arena path must produce
+//     byte-identical contexts for every site;
+//   - cold service plans must be identical at 1 and 4 pool threads and
+//     must match the reference plansFor() pipeline;
+//   - indexed NNS batch plans must equal the linear-scan reference.
+// Timing is reported, never gated, so contended CI runners cannot flake
+// this bench; the perf gate compares the emitted JSON against committed
+// baselines instead.
+//
+//   $ ./annotate_cold [--smoke]     # --smoke: shorter timing windows (CI)
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "embedding/ContextBuffer.h"
+#include "lang/LoopExtractor.h"
+#include "lang/Parser.h"
+#include "support/Table.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <iostream>
+
+using namespace nv;
+
+namespace {
+
+/// Runs Fn repeatedly for at least \p MinMs and returns executions/second.
+double opsPerSec(const std::function<void()> &Fn, double MinMs) {
+  using Clock = std::chrono::steady_clock;
+  Fn(); // Warm-up.
+  long long Iters = 0;
+  const auto Start = Clock::now();
+  double Ms = 0.0;
+  do {
+    Fn();
+    ++Iters;
+    Ms = std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             Clock::now() - Start)
+             .count();
+  } while (Ms < MinMs);
+  return Iters * 1000.0 / Ms;
+}
+
+//===----------------------------------------------------------------------===//
+// The pre-PR extraction front-end, op for op: a std::string syntax tree
+// (one Label/Token string per node), per-pair token hashing, and the
+// structural path hash evaluated from the label strings — so its output
+// is comparable against the interned path while its cost profile matches
+// the string path this PR removed.
+//===----------------------------------------------------------------------===//
+
+struct LegacyNode {
+  std::string Label;
+  std::string Token;
+  int Parent = -1;
+  bool IsTerminal = false;
+};
+
+struct LegacyBuilder {
+  std::vector<LegacyNode> Nodes;
+
+  int addNode(const std::string &Label, int Parent) {
+    LegacyNode N;
+    N.Label = Label;
+    N.Parent = Parent;
+    Nodes.push_back(N);
+    return static_cast<int>(Nodes.size()) - 1;
+  }
+  int addTerminal(const std::string &Token, int Parent) {
+    LegacyNode N;
+    N.Token = Token;
+    N.Label = "T";
+    N.Parent = Parent;
+    N.IsTerminal = true;
+    Nodes.push_back(N);
+    return static_cast<int>(Nodes.size()) - 1;
+  }
+
+  void buildExpr(const Expr &E, int Parent) {
+    switch (E.kind()) {
+    case ExprKind::IntLit:
+      addTerminal(std::to_string(static_cast<const IntLit &>(E).Value),
+                  addNode("Int", Parent));
+      return;
+    case ExprKind::FloatLit:
+      addTerminal("<flt>", addNode("Flt", Parent));
+      return;
+    case ExprKind::VarRef:
+      addTerminal(static_cast<const VarRef &>(E).Name,
+                  addNode("Var", Parent));
+      return;
+    case ExprKind::ArrayRef: {
+      const auto &Ref = static_cast<const ArrayRef &>(E);
+      const int Node = addNode("Arr", Parent);
+      addTerminal(Ref.Name, Node);
+      for (const auto &Index : Ref.Indices)
+        buildExpr(*Index, addNode("Idx", Node));
+      return;
+    }
+    case ExprKind::Unary: {
+      const auto &U = static_cast<const UnaryExpr &>(E);
+      const char *Label = U.Op == UnaryOp::Neg   ? "Neg"
+                          : U.Op == UnaryOp::Not ? "LNot"
+                                                 : "BNot";
+      buildExpr(*U.Sub, addNode(Label, Parent));
+      return;
+    }
+    case ExprKind::Binary: {
+      const auto &B = static_cast<const BinaryExpr &>(E);
+      const int Node =
+          addNode(std::string("Bin") + binaryOpSpelling(B.Op), Parent);
+      buildExpr(*B.LHS, Node);
+      buildExpr(*B.RHS, Node);
+      return;
+    }
+    case ExprKind::Ternary: {
+      const auto &T = static_cast<const TernaryExpr &>(E);
+      const int Node = addNode("Cond", Parent);
+      buildExpr(*T.Cond, Node);
+      buildExpr(*T.Then, Node);
+      buildExpr(*T.Else, Node);
+      return;
+    }
+    case ExprKind::Cast: {
+      const auto &C = static_cast<const CastExpr &>(E);
+      const int Node = addNode("Cast", Parent);
+      addTerminal(typeName(C.Ty), Node);
+      buildExpr(*C.Sub, Node);
+      return;
+    }
+    case ExprKind::Call: {
+      const auto &C = static_cast<const CallExpr &>(E);
+      const int Node = addNode("Call", Parent);
+      addTerminal(C.Callee, Node);
+      for (const auto &Arg : C.Args)
+        buildExpr(*Arg, Node);
+      return;
+    }
+    }
+  }
+
+  void buildStmt(const Stmt &S, int Parent) {
+    switch (S.kind()) {
+    case StmtKind::Block: {
+      const int Node = addNode("Block", Parent);
+      for (const auto &Child : static_cast<const BlockStmt &>(S).Stmts)
+        buildStmt(*Child, Node);
+      return;
+    }
+    case StmtKind::Decl: {
+      const auto &D = static_cast<const DeclStmt &>(S);
+      const int Node = addNode("Decl", Parent);
+      addTerminal(typeName(D.Ty), Node);
+      addTerminal(D.Name, Node);
+      if (D.Init)
+        buildExpr(*D.Init, Node);
+      return;
+    }
+    case StmtKind::Assign: {
+      const auto &A = static_cast<const AssignStmt &>(S);
+      const char *Label = A.Op == AssignOp::Assign      ? "Asg"
+                          : A.Op == AssignOp::AddAssign ? "Asg+"
+                          : A.Op == AssignOp::SubAssign ? "Asg-"
+                                                        : "Asg*";
+      const int Node = addNode(Label, Parent);
+      buildExpr(*A.LValue, Node);
+      buildExpr(*A.RHS, Node);
+      return;
+    }
+    case StmtKind::For: {
+      const auto &F = static_cast<const ForStmt &>(S);
+      const int Node = addNode("For", Parent);
+      addTerminal(F.IndexVar, Node);
+      buildExpr(*F.Init, addNode("Lo", Node));
+      buildExpr(*F.Bound, addNode("Hi", Node));
+      addTerminal(std::to_string(F.Step), addNode("Step", Node));
+      buildStmt(*F.Body, Node);
+      return;
+    }
+    case StmtKind::If: {
+      const auto &I = static_cast<const IfStmt &>(S);
+      const int Node = addNode("If", Parent);
+      buildExpr(*I.Cond, Node);
+      buildStmt(*I.Then, Node);
+      if (I.Else)
+        buildStmt(*I.Else, addNode("Else", Node));
+      return;
+    }
+    case StmtKind::Return: {
+      const auto &R = static_cast<const ReturnStmt &>(S);
+      const int Node = addNode("Ret", Parent);
+      if (R.Value)
+        buildExpr(*R.Value, Node);
+      return;
+    }
+    }
+  }
+};
+
+std::vector<PathContext> legacyExtract(const Stmt &S,
+                                       const PathContextConfig &Config) {
+  LegacyBuilder Builder;
+  Builder.buildStmt(S, /*Parent=*/-1);
+
+  std::vector<int> Terminals;
+  for (size_t I = 0; I < Builder.Nodes.size(); ++I)
+    if (Builder.Nodes[I].IsTerminal)
+      Terminals.push_back(static_cast<int>(I));
+
+  std::vector<std::vector<int>> Paths;
+  Paths.reserve(Terminals.size());
+  for (int T : Terminals) {
+    std::vector<int> Path;
+    for (int Cur = Builder.Nodes[T].Parent; Cur != -1;
+         Cur = Builder.Nodes[Cur].Parent)
+      Path.push_back(Cur);
+    Paths.push_back(std::move(Path));
+  }
+
+  std::vector<PathContext> Contexts;
+  for (size_t I = 0; I < Terminals.size(); ++I) {
+    for (size_t J = I + 1; J < Terminals.size(); ++J) {
+      const std::vector<int> &PI = Paths[I];
+      const std::vector<int> &PJ = Paths[J];
+      size_t SI = PI.size(), SJ = PJ.size();
+      while (SI > 0 && SJ > 0 && PI[SI - 1] == PJ[SJ - 1]) {
+        --SI;
+        --SJ;
+      }
+      const size_t UpLen = SI, DownLen = SJ;
+      if (static_cast<int>(UpLen + DownLen + 1) > Config.MaxPathLength)
+        continue;
+
+      // Per-pair label hashing from the strings (the pre-PR cost shape:
+      // the whole path's bytes go through the hash for every pair).
+      uint64_t Up = pathHashSeed();
+      for (size_t K = 0; K <= UpLen; ++K)
+        Up = pathHashPush(Up, fnv1a(Builder.Nodes[PI[K]].Label));
+      uint64_t Down = pathHashSeed();
+      for (size_t K = 0; K < DownLen; ++K)
+        Down = pathHashPush(Down, fnv1a(Builder.Nodes[PJ[K]].Label));
+
+      PathContext Ctx;
+      Ctx.SrcToken = hashToken(Builder.Nodes[Terminals[I]].Token,
+                               Config.TokenVocabSize);
+      Ctx.Path =
+          hashToVocab(pathHashCombine(Up, Down), Config.PathVocabSize);
+      Ctx.DstToken = hashToken(Builder.Nodes[Terminals[J]].Token,
+                               Config.TokenVocabSize);
+      Contexts.push_back(Ctx);
+    }
+  }
+
+  if (static_cast<int>(Contexts.size()) > Config.MaxContexts) {
+    std::vector<PathContext> Sampled;
+    Sampled.reserve(Config.MaxContexts);
+    const double Stride =
+        static_cast<double>(Contexts.size()) / Config.MaxContexts;
+    for (int K = 0; K < Config.MaxContexts; ++K)
+      Sampled.push_back(Contexts[static_cast<size_t>(K * Stride)]);
+    Contexts = std::move(Sampled);
+  }
+  return Contexts;
+}
+
+/// The pre-index NNS scan, op for op: per-query row copy, exact scalar
+/// distances, allocated distance and vote vectors.
+VectorPlan legacyNNSPredict(
+    const std::vector<std::pair<std::vector<double>, VectorPlan>> &Examples,
+    const std::vector<double> &Query, int K) {
+  std::vector<std::pair<double, size_t>> Dist;
+  Dist.reserve(Examples.size());
+  for (size_t I = 0; I < Examples.size(); ++I) {
+    double Sum = 0.0;
+    const std::vector<double> &E = Examples[I].first;
+    for (size_t D = 0; D < E.size(); ++D) {
+      const double Diff = Query[D] - E[D];
+      Sum += Diff * Diff;
+    }
+    Dist.emplace_back(Sum, I);
+  }
+  const size_t Keep = std::min<size_t>(static_cast<size_t>(K), Dist.size());
+  std::partial_sort(Dist.begin(), Dist.begin() + Keep, Dist.end());
+  std::vector<std::pair<VectorPlan, int>> Votes;
+  for (size_t N = 0; N < Keep; ++N) {
+    const VectorPlan &Label = Examples[Dist[N].second].second;
+    bool Found = false;
+    for (auto &[Plan, Count] : Votes) {
+      if (Plan == Label) {
+        ++Count;
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      Votes.emplace_back(Label, 1);
+  }
+  VectorPlan Best = Votes.front().first;
+  int BestCount = Votes.front().second;
+  for (const auto &[Plan, Count] : Votes) {
+    if (Count > BestCount) {
+      Best = Plan;
+      BestCount = Count;
+    }
+  }
+  return Best;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+  const double MinMs = Smoke ? 40.0 : 200.0;
+
+  std::cout << "=== annotate_cold: cache-miss front-end + indexed NNS ===\n"
+            << (Smoke ? "(smoke mode: short timing windows)\n" : "") << "\n";
+
+  BenchJson Json("annotate_cold");
+  Table T({"path", "loops/s", "speedup"});
+
+  // The workload: distinct generated loops (no duplicates — everything a
+  // cache miss), pre-parsed once where only extraction is measured.
+  constexpr int NumPrograms = 96;
+  LoopGenerator Gen(/*Seed=*/4242);
+  std::vector<GeneratedLoop> Programs = Gen.generateMany(NumPrograms);
+  const PathContextConfig Paths; // Default serving configuration.
+
+  // --- Guard: the interned arena path must equal the string path --------
+  size_t TotalSites = 0;
+  for (const GeneratedLoop &L : Programs) {
+    std::optional<Program> P = parseSource(L.Source);
+    if (!P) {
+      std::cerr << "generator produced an unparsable program\n";
+      return 1;
+    }
+    clearAllPragmas(*P);
+    for (const LoopSite &Site : extractLoops(*P)) {
+      ++TotalSites;
+      const std::vector<PathContext> Legacy =
+          legacyExtract(*Site.Outer, Paths);
+      const std::vector<PathContext> Interned =
+          extractPathContexts(*Site.Outer, Paths);
+      if (Legacy.size() != Interned.size() ||
+          !std::equal(Legacy.begin(), Legacy.end(), Interned.begin(),
+                      [](const PathContext &A, const PathContext &B) {
+                        return A.SrcToken == B.SrcToken && A.Path == B.Path &&
+                               A.DstToken == B.DstToken;
+                      })) {
+        std::cerr << "MISMATCH: interned and string extraction disagree on "
+                  << L.Name << "\n";
+        return 1;
+      }
+    }
+  }
+
+  // --- Cold extraction front-end: pre-PR replica vs the arena'd path ----
+  // The stage this optimization rebuilt: loop extraction, path contexts,
+  // and cache keys over already-parsed programs (the parser is shared by
+  // both paths and measured separately below).
+  std::vector<std::unique_ptr<Program>> Parsed;
+  for (const GeneratedLoop &L : Programs) {
+    std::optional<Program> P = parseSource(L.Source);
+    clearAllPragmas(*P);
+    Parsed.push_back(std::make_unique<Program>(std::move(*P)));
+  }
+
+  const double LegacyOps = opsPerSec(
+      [&] {
+        for (const std::unique_ptr<Program> &P : Parsed) {
+          // Pre-PR extractLoops always pretty-printed ContextText.
+          std::vector<LoopSite> Sites = extractLoops(*P);
+          for (const LoopSite &Site : Sites) {
+            const std::vector<PathContext> Contexts =
+                legacyExtract(*Site.Outer, Paths);
+            const ContextKey Key = contextBagKey(Contexts, false);
+            (void)Key;
+          }
+        }
+      },
+      MinMs);
+
+  ContextBuffer Buf; // Persistent arena, as the serving workers keep.
+  const double ColdOps = opsPerSec(
+      [&] {
+        for (const std::unique_ptr<Program> &P : Parsed) {
+          std::vector<LoopSite> Sites =
+              extractLoops(*P, /*WithContextText=*/false);
+          for (const LoopSite &Site : Sites) {
+            const ContextSpan Span =
+                extractPathContextsInto(*Site.Outer, Paths, Buf);
+            const ContextKey Key = contextBagKey(Span, false);
+            (void)Key;
+          }
+        }
+      },
+      MinMs);
+
+  const double LegacyLoops = LegacyOps * static_cast<double>(TotalSites);
+  const double ColdLoops = ColdOps * static_cast<double>(TotalSites);
+  T.addRow({"extract, pre-PR strings", Table::fmt(LegacyLoops, 0),
+            Table::fmt(1.0) + "x"});
+  T.addRow({"extract, interned arena", Table::fmt(ColdLoops, 0),
+            Table::fmt(ColdLoops / LegacyLoops) + "x"});
+  Json.add("annotate_cold_legacy_loops_per_sec", LegacyLoops);
+  Json.add("annotate_cold_loops_per_sec", ColdLoops);
+  Json.add("annotate_cold_speedup", ColdLoops / LegacyLoops);
+
+  // --- The same front-ends with the (shared) parser included ------------
+  const double LegacyParseOps = opsPerSec(
+      [&] {
+        for (const GeneratedLoop &L : Programs) {
+          std::optional<Program> P = parseSource(L.Source);
+          clearAllPragmas(*P);
+          for (const LoopSite &Site : extractLoops(*P)) {
+            const ContextKey Key =
+                contextBagKey(legacyExtract(*Site.Outer, Paths), false);
+            (void)Key;
+          }
+        }
+      },
+      MinMs);
+  const double ColdParseOps = opsPerSec(
+      [&] {
+        for (const GeneratedLoop &L : Programs) {
+          std::optional<Program> P = parseSource(L.Source);
+          clearAllPragmas(*P);
+          for (const LoopSite &Site :
+               extractLoops(*P, /*WithContextText=*/false)) {
+            const ContextKey Key = contextBagKey(
+                extractPathContextsInto(*Site.Outer, Paths, Buf), false);
+            (void)Key;
+          }
+        }
+      },
+      MinMs);
+  const double LegacyParseLoops =
+      LegacyParseOps * static_cast<double>(TotalSites);
+  const double ColdParseLoops =
+      ColdParseOps * static_cast<double>(TotalSites);
+  T.addRow({"parse+extract, pre-PR", Table::fmt(LegacyParseLoops, 0),
+            Table::fmt(1.0) + "x"});
+  T.addRow({"parse+extract, this PR", Table::fmt(ColdParseLoops, 0),
+            Table::fmt(ColdParseLoops / LegacyParseLoops) + "x"});
+  Json.add("annotate_cold_with_parse_legacy_loops_per_sec",
+           LegacyParseLoops);
+  Json.add("annotate_cold_with_parse_loops_per_sec", ColdParseLoops);
+
+  // --- End-to-end cold service (extraction + embed + policy + render) ---
+  std::cout << "training a small model for the end-to-end run...\n";
+  auto NV = makeTrainedVectorizer(/*NumPrograms=*/60,
+                                  /*TrainSteps=*/Smoke ? 256 : 1024);
+  std::vector<AnnotationRequest> Requests;
+  for (const GeneratedLoop &L : Programs)
+    Requests.push_back({L.Name, L.Source});
+
+  // Guard: cold plans identical at 1 and 4 threads, and equal to the
+  // one-program-at-a-time reference pipeline.
+  {
+    ServeConfig Serve1;
+    Serve1.Threads = 1;
+    std::vector<AnnotationResult> R1 =
+        NV->service(Serve1).annotateBatch(Requests);
+    ServeConfig Serve4;
+    Serve4.Threads = 4;
+    std::vector<AnnotationResult> R4 =
+        NV->service(Serve4).annotateBatch(Requests);
+    for (size_t I = 0; I < Requests.size(); ++I) {
+      if (!R1[I].Ok || !R4[I].Ok || R1[I].Annotated != R4[I].Annotated) {
+        std::cerr << "MISMATCH: cold plans differ across pool sizes at "
+                  << Requests[I].Name << "\n";
+        return 1;
+      }
+      const std::vector<VectorPlan> Ref = NV->plansFor(Requests[I].Source);
+      if (Ref != R1[I].Plans) {
+        std::cerr << "MISMATCH: service plans differ from plansFor() at "
+                  << Requests[I].Name << "\n";
+        return 1;
+      }
+    }
+  }
+
+  ServeConfig Serve;
+  Serve.Threads = 4;
+  AnnotationService &Service = NV->service(Serve);
+  const double E2EOps = opsPerSec(
+      [&] {
+        Service.clearCache(); // Every iteration is all misses.
+        if (Service.annotateBatch(Requests).front().Ok == false)
+          std::abort();
+      },
+      MinMs);
+  Json.add("annotate_cold_e2e_programs_per_sec",
+           E2EOps * static_cast<double>(NumPrograms));
+  std::cout << "cold service (4 thr):  "
+            << static_cast<long long>(E2EOps * NumPrograms)
+            << " programs/s end-to-end\n\n";
+
+  // --- NNS: indexed batch vs the pre-PR linear scalar scan --------------
+  constexpr int NNSExamples = 1024, NNSDim = 64, NNSQueries = 64, NNSK = 3;
+  RNG Rng(777);
+  NearestNeighborPredictor Index(NNSK);
+  std::vector<std::pair<std::vector<double>, VectorPlan>> Flat;
+  const VectorPlan PlanPool[] = {{1, 1}, {4, 2}, {8, 4}, {16, 4}, {64, 8}};
+  for (int I = 0; I < NNSExamples; ++I) {
+    std::vector<double> E(NNSDim);
+    for (double &V : E)
+      V = Rng.nextUniform(-1.0, 1.0);
+    Index.add(E, PlanPool[I % 5]);
+    Flat.emplace_back(std::move(E), PlanPool[I % 5]);
+  }
+  Matrix Queries(NNSQueries, NNSDim);
+  for (int R = 0; R < NNSQueries; ++R)
+    for (int D = 0; D < NNSDim; ++D)
+      Queries.at(R, D) = Rng.nextUniform(-1.0, 1.0);
+
+  // Guard: identical plans from both scans.
+  std::vector<VectorPlan> Batch;
+  Index.predictBatch(Queries, Batch);
+  for (int R = 0; R < NNSQueries; ++R) {
+    const std::vector<double> Query(Queries.rowPtr(R),
+                                    Queries.rowPtr(R) + NNSDim);
+    if (legacyNNSPredict(Flat, Query, NNSK) != Batch[R]) {
+      std::cerr << "MISMATCH: indexed NNS disagrees with linear scan at "
+                << "query " << R << "\n";
+      return 1;
+    }
+  }
+
+  const double LinearBatches = opsPerSec(
+      [&] {
+        for (int R = 0; R < NNSQueries; ++R) {
+          const std::vector<double> Query(Queries.rowPtr(R),
+                                          Queries.rowPtr(R) + NNSDim);
+          volatile int Sink = legacyNNSPredict(Flat, Query, NNSK).VF;
+          (void)Sink;
+        }
+      },
+      MinMs);
+  std::vector<VectorPlan> Out;
+  const double IndexedBatches = opsPerSec(
+      [&] { Index.predictBatch(Queries, Out); }, MinMs);
+
+  const double LinearQPS = LinearBatches * NNSQueries;
+  const double IndexedQPS = IndexedBatches * NNSQueries;
+  Table N({"nns path (1024 examples)", "queries/s", "speedup"});
+  N.addRow({"per-query linear scan", Table::fmt(LinearQPS, 0),
+            Table::fmt(1.0) + "x"});
+  N.addRow({"indexed (norms + GEMM)", Table::fmt(IndexedQPS, 0),
+            Table::fmt(IndexedQPS / LinearQPS) + "x"});
+  Json.add("nns_linear_queries_per_sec", LinearQPS);
+  Json.add("nns_queries_per_sec", IndexedQPS);
+  Json.add("nns_speedup", IndexedQPS / LinearQPS);
+
+  T.print(std::cout);
+  std::cout << "\n";
+  N.print(std::cout);
+  std::cout << "\n";
+  Json.write("annotate_cold");
+  // Exit status reflects correctness only (the guards above); timing is
+  // reported, not gated.
+  return 0;
+}

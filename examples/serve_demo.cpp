@@ -111,6 +111,18 @@ int main() {
             << " programs across 4 backends\n\nservice counters:\n";
   Service.stats().print(std::cout);
 
+  // The cold-path front-end split (also rows of the table above): these
+  // are cumulative worker-thread microseconds, so a regression in the
+  // parser or the path-context extractor is visible here even when pool
+  // parallelism hides it from the wall-clock phase times.
+  const ServeStats &S = Service.stats();
+  std::cout << "\ncold-path front-end (cumulative worker cpu): parse "
+            << Table::fmt(S.ParseMicros.load() / 1e3) << " ms, loop extract "
+            << Table::fmt(S.LoopExtractMicros.load() / 1e3)
+            << " ms, contexts+keys "
+            << Table::fmt(S.ContextMicros.load() / 1e3) << " ms, embed "
+            << Table::fmt(S.EmbedMicros.load() / 1e3) << " ms\n";
+
   // --- Fig 7-style held-out comparison over the loaded backend set --------
   std::cout << "\nheld-out per-method speedup (Fig 7 style):\n";
   Evaluator Eval{SimCompiler(Config.Target, Config.Machine),

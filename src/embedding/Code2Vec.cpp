@@ -26,26 +26,24 @@ std::vector<Param *> Code2Vec::params() {
   return {&TokenEmb, &PathEmb, &W, &B, &Attn};
 }
 
-void Code2Vec::encodeSample(SampleCache &SC,
-                            const std::vector<PathContext> &Contexts,
+void Code2Vec::encodeSample(SampleCache &SC, ContextSpan Contexts,
                             double *VRow, ThreadPool *Pool) {
   const int InDim = 2 * Config.TokenDim + Config.PathDim;
-  SC.Contexts = Contexts;
   for (int D = 0; D < Config.CodeDim; ++D)
     VRow[D] = 0.0;
-  if (SC.Contexts.empty()) {
+  if (Contexts.empty()) {
     // Empty snippet: code vector is zero.
     SC.X.resize(0, InDim);
     SC.C.resize(0, Config.CodeDim);
     SC.Alpha.clear();
     return;
   }
-  const int N = static_cast<int>(SC.Contexts.size());
+  const int N = static_cast<int>(Contexts.Size);
 
   // Gather embeddings.
   SC.X.resize(N, InDim);
   for (int I = 0; I < N; ++I) {
-    const PathContext &Ctx = SC.Contexts[I];
+    const PathContext &Ctx = Contexts.Data[I];
     double *Row = SC.X.rowPtr(I);
     const double *Src = TokenEmb.Value.rowPtr(Ctx.SrcToken);
     const double *Path = PathEmb.Value.rowPtr(Ctx.Path);
@@ -95,10 +93,33 @@ void Code2Vec::encodeBatchInto(
     ThreadPool *Pool) {
   V.resize(static_cast<int>(Batch.size()), Config.CodeDim);
   Cache.resize(Batch.size()); // Existing SampleCaches keep their buffers.
+  BackwardReady = true;
 
+  auto EncodeOne = [&](size_t S, ThreadPool *SamplePool) {
+    // Retain the contexts for backward()'s embedding-table scatter (the
+    // copy reuses the cache vector's capacity once warm).
+    Cache[S].Contexts = Batch[S];
+    encodeSample(Cache[S], {Batch[S].data(), Batch[S].size()},
+                 V.rowPtr(static_cast<int>(S)), SamplePool);
+  };
   if (Pool && Batch.size() > 1) {
     // Samples are independent: fan them out and keep each sample's inner
     // GEMM serial. Per-sample results do not depend on the partition.
+    Pool->parallelFor(0, Batch.size(),
+                      [&](size_t S) { EncodeOne(S, nullptr); });
+    return;
+  }
+  for (size_t S = 0; S < Batch.size(); ++S)
+    EncodeOne(S, Pool);
+}
+
+void Code2Vec::encodeSpansInto(const std::vector<ContextSpan> &Batch,
+                               Matrix &V, ThreadPool *Pool) {
+  V.resize(static_cast<int>(Batch.size()), Config.CodeDim);
+  Cache.resize(Batch.size());
+  BackwardReady = false; // Contexts are borrowed, not retained.
+
+  if (Pool && Batch.size() > 1) {
     Pool->parallelFor(0, Batch.size(), [&](size_t S) {
       encodeSample(Cache[S], Batch[S], V.rowPtr(static_cast<int>(S)),
                    nullptr);
@@ -121,6 +142,8 @@ Matrix Code2Vec::encode(const std::vector<PathContext> &Contexts) {
 }
 
 void Code2Vec::backward(const Matrix &dV) {
+  assert(BackwardReady &&
+         "backward after encodeSpansInto (forward-only serving encode)");
   assert(dV.rows() == static_cast<int>(Cache.size()) &&
          "backward batch size mismatch with last encodeBatch");
   assert(dV.cols() == Config.CodeDim && "backward width mismatch");

@@ -65,6 +65,14 @@ public:
   void encodeBatchInto(const std::vector<std::vector<PathContext>> &Batch,
                        Matrix &V, ThreadPool *Pool = nullptr);
 
+  /// Serving-side encode: consumes borrowed id-triple spans directly (no
+  /// per-bag copy into the sample caches) and produces bit-identical code
+  /// vectors to encodeBatchInto on the same bags. Forward-only: it does
+  /// not retain the contexts, so backward() is invalid until the next
+  /// encodeBatchInto (asserted).
+  void encodeSpansInto(const std::vector<ContextSpan> &Batch, Matrix &V,
+                       ThreadPool *Pool = nullptr);
+
   /// Allocating convenience wrapper around encodeBatchInto.
   Matrix encodeBatch(const std::vector<std::vector<PathContext>> &Batch);
 
@@ -95,11 +103,11 @@ private:
     std::vector<double> Alpha; ///< Attention weights (n).
   };
   std::vector<SampleCache> Cache;
+  bool BackwardReady = false; ///< Set by encodeBatchInto only.
   Matrix BackdC; ///< Backward scratch (n x CodeDim).
   Matrix BackdX; ///< Backward scratch (n x inDim).
 
-  void encodeSample(SampleCache &SC,
-                    const std::vector<PathContext> &Contexts, double *VRow,
+  void encodeSample(SampleCache &SC, ContextSpan Contexts, double *VRow,
                     ThreadPool *Pool);
 };
 

@@ -1,0 +1,81 @@
+//===- embedding/ContextBuffer.h - Path-extraction arena --------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reusable per-thread arena behind extractPathContextsInto — the
+/// same pattern nn/Workspace applies to the forward-pass matrices, applied
+/// to the extraction front-end. One buffer holds:
+///
+///  - an Interner for node-kind labels and terminal tokens (symbols and
+///    their FNV hashes persist across extractions, so a token seen once
+///    is never hashed from bytes again);
+///  - POD scratch for the flattened syntax tree, the terminals, the
+///    flattened root paths with their prefix-hash states, and the output
+///    contexts — all std::vectors whose capacity survives across calls,
+///    so a warm extraction performs zero heap allocations.
+///
+/// A ContextBuffer is not thread-safe; the serving layer keeps one per
+/// worker thread (thread_local), and the allocating extractPathContexts
+/// wrapper does the same.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_EMBEDDING_CONTEXTBUFFER_H
+#define NV_EMBEDDING_CONTEXTBUFFER_H
+
+#include "embedding/PathContext.h"
+#include "support/Interner.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace nv {
+
+/// Scratch arena for allocation-free path-context extraction. The fields
+/// below are owned by extractPathContextsInto (PathContext.cpp); callers
+/// only construct the buffer, reuse it, and read Contexts through the
+/// returned span.
+class ContextBuffer {
+public:
+  ContextBuffer();
+
+  /// Interned labels and terminal tokens (persists across extractions).
+  Interner Symbols;
+
+  /// One flattened syntax-tree node (POD; strings live in the interner).
+  struct Node {
+    int32_t Parent = -1;
+    uint32_t Label = 0;     ///< Symbol id of the node-kind label.
+    uint32_t Token = 0;     ///< Symbol id of the terminal token.
+    uint8_t IsTerminal = 0;
+  };
+
+  // Per-extraction scratch (cleared per call; capacity reused).
+  std::vector<Node> Nodes;
+  std::vector<int32_t> Terminals;  ///< Node index per terminal.
+  std::vector<int32_t> PathNodes;  ///< Flattened root paths.
+  std::vector<uint64_t> PrefixHash; ///< Per-terminal prefix-hash states.
+  std::vector<uint32_t> PathBegin;  ///< Offsets into PathNodes (size T+1).
+  std::vector<uint32_t> PrefixBegin; ///< Offsets into PrefixHash (size T+1).
+  std::vector<int> TokenIds;        ///< Per-terminal token vocab id.
+  std::vector<PathContext> Contexts; ///< Extraction output.
+
+  // Label symbol ids, interned once at construction so tree building
+  // never hashes a label string.
+  uint32_t LabelInt, LabelFlt, LabelVar, LabelArr, LabelIdx;
+  uint32_t LabelNeg, LabelLNot, LabelBNot;
+  uint32_t LabelCond, LabelCast, LabelCall;
+  uint32_t LabelBlock, LabelDecl, LabelFor, LabelLo, LabelHi, LabelStep;
+  uint32_t LabelIf, LabelElse, LabelRet, LabelTerminal;
+  static constexpr int NumBinaryOps = 18;
+  static constexpr int NumAssignOps = 4;
+  uint32_t LabelBin[NumBinaryOps]; ///< "Bin" + binaryOpSpelling(op).
+  uint32_t LabelAsg[NumAssignOps]; ///< "Asg", "Asg+", "Asg-", "Asg*".
+};
+
+} // namespace nv
+
+#endif // NV_EMBEDDING_CONTEXTBUFFER_H

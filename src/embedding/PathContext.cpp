@@ -2,52 +2,92 @@
 
 #include "embedding/PathContext.h"
 
+#include "embedding/ContextBuffer.h"
 #include "support/StringUtils.h"
 
 #include <cassert>
+#include <cstdio>
 
 using namespace nv;
 
 int nv::hashToken(const std::string &Token, int VocabSize) {
   assert(VocabSize > 0);
-  return static_cast<int>(fnv1a(Token) % static_cast<uint64_t>(VocabSize));
+  return hashToVocab(fnv1a(Token), VocabSize);
+}
+
+ContextBuffer::ContextBuffer() {
+  static_assert(static_cast<int>(BinaryOp::Ne) == NumBinaryOps - 1,
+                "BinaryOp grew; extend the label cache");
+  static_assert(static_cast<int>(AssignOp::MulAssign) == NumAssignOps - 1,
+                "AssignOp grew; extend the label cache");
+  LabelInt = Symbols.intern("Int");
+  LabelFlt = Symbols.intern("Flt");
+  LabelVar = Symbols.intern("Var");
+  LabelArr = Symbols.intern("Arr");
+  LabelIdx = Symbols.intern("Idx");
+  LabelNeg = Symbols.intern("Neg");
+  LabelLNot = Symbols.intern("LNot");
+  LabelBNot = Symbols.intern("BNot");
+  LabelCond = Symbols.intern("Cond");
+  LabelCast = Symbols.intern("Cast");
+  LabelCall = Symbols.intern("Call");
+  LabelBlock = Symbols.intern("Block");
+  LabelDecl = Symbols.intern("Decl");
+  LabelFor = Symbols.intern("For");
+  LabelLo = Symbols.intern("Lo");
+  LabelHi = Symbols.intern("Hi");
+  LabelStep = Symbols.intern("Step");
+  LabelIf = Symbols.intern("If");
+  LabelElse = Symbols.intern("Else");
+  LabelRet = Symbols.intern("Ret");
+  LabelTerminal = Symbols.intern("T");
+  for (int Op = 0; Op < NumBinaryOps; ++Op)
+    LabelBin[Op] = Symbols.intern(
+        std::string("Bin") + binaryOpSpelling(static_cast<BinaryOp>(Op)));
+  LabelAsg[0] = Symbols.intern("Asg");
+  LabelAsg[1] = Symbols.intern("Asg+");
+  LabelAsg[2] = Symbols.intern("Asg-");
+  LabelAsg[3] = Symbols.intern("Asg*");
 }
 
 namespace {
 
-/// A generic syntax-tree node for path extraction.
-struct TreeNode {
-  std::string Label;        ///< Node-kind label (inner nodes).
-  std::string Token;        ///< Terminal token (leaves only).
-  int Parent = -1;
-  bool IsTerminal = false;
-};
-
-/// Flattens the LoopLang AST into TreeNodes.
+/// Flattens the LoopLang AST into the buffer's POD nodes (labels and
+/// terminal tokens as interned symbols).
 class TreeBuilder {
 public:
-  std::vector<TreeNode> Nodes;
+  explicit TreeBuilder(ContextBuffer &Buf) : Buf(Buf) {}
 
-  int addNode(const std::string &Label, int Parent) {
-    TreeNode N;
+  int addNode(uint32_t Label, int Parent) {
+    ContextBuffer::Node N;
     N.Label = Label;
     N.Parent = Parent;
-    Nodes.push_back(N);
-    return static_cast<int>(Nodes.size()) - 1;
+    Buf.Nodes.push_back(N);
+    return static_cast<int>(Buf.Nodes.size()) - 1;
   }
 
-  int addTerminal(const std::string &Token, int Parent) {
-    TreeNode N;
-    N.Token = Token;
-    N.Label = "T";
+  int addTerminal(std::string_view Token, int Parent) {
+    ContextBuffer::Node N;
+    N.Token = Buf.Symbols.intern(Token);
+    N.Label = Buf.LabelTerminal;
     N.Parent = Parent;
-    N.IsTerminal = true;
-    Nodes.push_back(N);
-    return static_cast<int>(Nodes.size()) - 1;
+    N.IsTerminal = 1;
+    Buf.Nodes.push_back(N);
+    return static_cast<int>(Buf.Nodes.size()) - 1;
+  }
+
+  int addIntTerminal(long long Value, int Parent) {
+    char Text[24];
+    const int Len = std::snprintf(Text, sizeof(Text), "%lld", Value);
+    return addTerminal(std::string_view(Text, static_cast<size_t>(Len)),
+                       Parent);
   }
 
   void buildExpr(const Expr &E, int Parent);
   void buildStmt(const Stmt &S, int Parent);
+
+private:
+  ContextBuffer &Buf;
 };
 
 } // namespace
@@ -55,43 +95,42 @@ public:
 void TreeBuilder::buildExpr(const Expr &E, int Parent) {
   switch (E.kind()) {
   case ExprKind::IntLit:
-    addTerminal(std::to_string(static_cast<const IntLit &>(E).Value),
-                addNode("Int", Parent));
+    addIntTerminal(static_cast<const IntLit &>(E).Value,
+                   addNode(Buf.LabelInt, Parent));
     return;
   case ExprKind::FloatLit:
-    addTerminal("<flt>", addNode("Flt", Parent));
+    addTerminal("<flt>", addNode(Buf.LabelFlt, Parent));
     return;
   case ExprKind::VarRef:
     addTerminal(static_cast<const VarRef &>(E).Name,
-                addNode("Var", Parent));
+                addNode(Buf.LabelVar, Parent));
     return;
   case ExprKind::ArrayRef: {
     const auto &Ref = static_cast<const ArrayRef &>(E);
-    const int Node = addNode("Arr", Parent);
+    const int Node = addNode(Buf.LabelArr, Parent);
     addTerminal(Ref.Name, Node);
     for (const auto &Index : Ref.Indices)
-      buildExpr(*Index, addNode("Idx", Node));
+      buildExpr(*Index, addNode(Buf.LabelIdx, Node));
     return;
   }
   case ExprKind::Unary: {
     const auto &U = static_cast<const UnaryExpr &>(E);
-    const char *Label = U.Op == UnaryOp::Neg   ? "Neg"
-                        : U.Op == UnaryOp::Not ? "LNot"
-                                               : "BNot";
+    const uint32_t Label = U.Op == UnaryOp::Neg   ? Buf.LabelNeg
+                           : U.Op == UnaryOp::Not ? Buf.LabelLNot
+                                                  : Buf.LabelBNot;
     buildExpr(*U.Sub, addNode(Label, Parent));
     return;
   }
   case ExprKind::Binary: {
     const auto &B = static_cast<const BinaryExpr &>(E);
-    const int Node =
-        addNode(std::string("Bin") + binaryOpSpelling(B.Op), Parent);
+    const int Node = addNode(Buf.LabelBin[static_cast<int>(B.Op)], Parent);
     buildExpr(*B.LHS, Node);
     buildExpr(*B.RHS, Node);
     return;
   }
   case ExprKind::Ternary: {
     const auto &T = static_cast<const TernaryExpr &>(E);
-    const int Node = addNode("Cond", Parent);
+    const int Node = addNode(Buf.LabelCond, Parent);
     buildExpr(*T.Cond, Node);
     buildExpr(*T.Then, Node);
     buildExpr(*T.Else, Node);
@@ -99,14 +138,14 @@ void TreeBuilder::buildExpr(const Expr &E, int Parent) {
   }
   case ExprKind::Cast: {
     const auto &C = static_cast<const CastExpr &>(E);
-    const int Node = addNode("Cast", Parent);
+    const int Node = addNode(Buf.LabelCast, Parent);
     addTerminal(typeName(C.Ty), Node);
     buildExpr(*C.Sub, Node);
     return;
   }
   case ExprKind::Call: {
     const auto &C = static_cast<const CallExpr &>(E);
-    const int Node = addNode("Call", Parent);
+    const int Node = addNode(Buf.LabelCall, Parent);
     addTerminal(C.Callee, Node);
     for (const auto &Arg : C.Args)
       buildExpr(*Arg, Node);
@@ -118,14 +157,14 @@ void TreeBuilder::buildExpr(const Expr &E, int Parent) {
 void TreeBuilder::buildStmt(const Stmt &S, int Parent) {
   switch (S.kind()) {
   case StmtKind::Block: {
-    const int Node = addNode("Block", Parent);
+    const int Node = addNode(Buf.LabelBlock, Parent);
     for (const auto &Child : static_cast<const BlockStmt &>(S).Stmts)
       buildStmt(*Child, Node);
     return;
   }
   case StmtKind::Decl: {
     const auto &D = static_cast<const DeclStmt &>(S);
-    const int Node = addNode("Decl", Parent);
+    const int Node = addNode(Buf.LabelDecl, Parent);
     addTerminal(typeName(D.Ty), Node);
     addTerminal(D.Name, Node);
     if (D.Init)
@@ -134,37 +173,33 @@ void TreeBuilder::buildStmt(const Stmt &S, int Parent) {
   }
   case StmtKind::Assign: {
     const auto &A = static_cast<const AssignStmt &>(S);
-    const char *Label = A.Op == AssignOp::Assign      ? "Asg"
-                        : A.Op == AssignOp::AddAssign ? "Asg+"
-                        : A.Op == AssignOp::SubAssign ? "Asg-"
-                                                      : "Asg*";
-    const int Node = addNode(Label, Parent);
+    const int Node = addNode(Buf.LabelAsg[static_cast<int>(A.Op)], Parent);
     buildExpr(*A.LValue, Node);
     buildExpr(*A.RHS, Node);
     return;
   }
   case StmtKind::For: {
     const auto &F = static_cast<const ForStmt &>(S);
-    const int Node = addNode("For", Parent);
+    const int Node = addNode(Buf.LabelFor, Parent);
     addTerminal(F.IndexVar, Node);
-    buildExpr(*F.Init, addNode("Lo", Node));
-    buildExpr(*F.Bound, addNode("Hi", Node));
-    addTerminal(std::to_string(F.Step), addNode("Step", Node));
+    buildExpr(*F.Init, addNode(Buf.LabelLo, Node));
+    buildExpr(*F.Bound, addNode(Buf.LabelHi, Node));
+    addIntTerminal(F.Step, addNode(Buf.LabelStep, Node));
     buildStmt(*F.Body, Node);
     return;
   }
   case StmtKind::If: {
     const auto &I = static_cast<const IfStmt &>(S);
-    const int Node = addNode("If", Parent);
+    const int Node = addNode(Buf.LabelIf, Parent);
     buildExpr(*I.Cond, Node);
     buildStmt(*I.Then, Node);
     if (I.Else)
-      buildStmt(*I.Else, addNode("Else", Node));
+      buildStmt(*I.Else, addNode(Buf.LabelElse, Node));
     return;
   }
   case StmtKind::Return: {
     const auto &R = static_cast<const ReturnStmt &>(S);
-    const int Node = addNode("Ret", Parent);
+    const int Node = addNode(Buf.LabelRet, Parent);
     if (R.Value)
       buildExpr(*R.Value, Node);
     return;
@@ -172,78 +207,98 @@ void TreeBuilder::buildStmt(const Stmt &S, int Parent) {
   }
 }
 
-std::vector<PathContext>
-nv::extractPathContexts(const Stmt &S, const PathContextConfig &Config) {
-  TreeBuilder Builder;
+ContextSpan nv::extractPathContextsInto(const Stmt &S,
+                                        const PathContextConfig &Config,
+                                        ContextBuffer &Buf) {
+  Buf.Nodes.clear();
+  Buf.Terminals.clear();
+  Buf.PathNodes.clear();
+  Buf.PrefixHash.clear();
+  Buf.PathBegin.clear();
+  Buf.PrefixBegin.clear();
+  Buf.TokenIds.clear();
+  Buf.Contexts.clear();
+
+  TreeBuilder Builder(Buf);
   Builder.buildStmt(S, /*Parent=*/-1);
 
-  // Gather terminals and their root paths.
-  std::vector<int> Terminals;
-  for (size_t I = 0; I < Builder.Nodes.size(); ++I)
-    if (Builder.Nodes[I].IsTerminal)
-      Terminals.push_back(static_cast<int>(I));
+  // Gather terminals, their root paths (leaf's parent first, root last),
+  // the prefix-hash states along each path, and each token's vocab id.
+  for (size_t I = 0; I < Buf.Nodes.size(); ++I)
+    if (Buf.Nodes[I].IsTerminal)
+      Buf.Terminals.push_back(static_cast<int32_t>(I));
 
-  auto RootPath = [&](int Node) {
-    std::vector<int> Path;
-    for (int Cur = Builder.Nodes[Node].Parent; Cur != -1;
-         Cur = Builder.Nodes[Cur].Parent)
-      Path.push_back(Cur);
-    return Path; // Leaf's parent first, root last.
-  };
+  const size_t NumTerminals = Buf.Terminals.size();
+  Buf.PathBegin.reserve(NumTerminals + 1);
+  Buf.PrefixBegin.reserve(NumTerminals + 1);
+  Buf.TokenIds.reserve(NumTerminals);
+  for (int32_t T : Buf.Terminals) {
+    Buf.PathBegin.push_back(static_cast<uint32_t>(Buf.PathNodes.size()));
+    Buf.PrefixBegin.push_back(static_cast<uint32_t>(Buf.PrefixHash.size()));
+    uint64_t State = pathHashSeed();
+    Buf.PrefixHash.push_back(State); // Zero labels absorbed.
+    for (int32_t Cur = Buf.Nodes[T].Parent; Cur != -1;
+         Cur = Buf.Nodes[Cur].Parent) {
+      Buf.PathNodes.push_back(Cur);
+      State = pathHashPush(State, Buf.Symbols.hash(Buf.Nodes[Cur].Label));
+      Buf.PrefixHash.push_back(State);
+    }
+    Buf.TokenIds.push_back(hashToVocab(Buf.Symbols.hash(Buf.Nodes[T].Token),
+                                       Config.TokenVocabSize));
+  }
+  Buf.PathBegin.push_back(static_cast<uint32_t>(Buf.PathNodes.size()));
+  Buf.PrefixBegin.push_back(static_cast<uint32_t>(Buf.PrefixHash.size()));
 
-  std::vector<std::vector<int>> Paths;
-  Paths.reserve(Terminals.size());
-  for (int T : Terminals)
-    Paths.push_back(RootPath(T));
-
-  std::vector<PathContext> Contexts;
-  const size_t NumTerminals = Terminals.size();
   for (size_t I = 0; I < NumTerminals; ++I) {
+    const int32_t *PI = Buf.PathNodes.data() + Buf.PathBegin[I];
+    const uint64_t *HI = Buf.PrefixHash.data() + Buf.PrefixBegin[I];
+    const size_t LenI = Buf.PathBegin[I + 1] - Buf.PathBegin[I];
     for (size_t J = I + 1; J < NumTerminals; ++J) {
+      const int32_t *PJ = Buf.PathNodes.data() + Buf.PathBegin[J];
+      const uint64_t *HJ = Buf.PrefixHash.data() + Buf.PrefixBegin[J];
+      const size_t LenJ = Buf.PathBegin[J + 1] - Buf.PathBegin[J];
       // Lowest common ancestor via suffix matching of root paths.
-      const std::vector<int> &PI = Paths[I];
-      const std::vector<int> &PJ = Paths[J];
-      size_t SI = PI.size(), SJ = PJ.size();
+      size_t SI = LenI, SJ = LenJ;
       while (SI > 0 && SJ > 0 && PI[SI - 1] == PJ[SJ - 1]) {
         --SI;
         --SJ;
       }
-      // The LCA is the last matched node.
+      // The LCA is the last matched node: PI[SI] (the root at minimum —
+      // both terminals sit under one statement subtree).
       const size_t UpLen = SI, DownLen = SJ;
       if (static_cast<int>(UpLen + DownLen + 1) > Config.MaxPathLength)
         continue;
 
-      std::string PathStr;
-      for (size_t K = 0; K < UpLen; ++K) {
-        PathStr += Builder.Nodes[PI[K]].Label;
-        PathStr += '^';
-      }
-      PathStr += Builder.Nodes[PI[UpLen]].Label; // LCA (exists: root).
-      for (size_t K = DownLen; K-- > 0;) {
-        PathStr += 'v';
-        PathStr += Builder.Nodes[PJ[K]].Label;
-      }
+      // Up side: labels PI[0..UpLen] (LCA included) = prefix state after
+      // UpLen + 1 pushes. Down side: labels PJ[0..DownLen-1] = prefix
+      // state after DownLen pushes. Both are O(1) lookups.
+      const uint64_t Path64 = pathHashCombine(HI[UpLen + 1], HJ[DownLen]);
 
       PathContext Ctx;
-      Ctx.SrcToken =
-          hashToken(Builder.Nodes[Terminals[I]].Token, Config.TokenVocabSize);
-      Ctx.Path = hashToken(PathStr, Config.PathVocabSize);
-      Ctx.DstToken =
-          hashToken(Builder.Nodes[Terminals[J]].Token, Config.TokenVocabSize);
-      Contexts.push_back(Ctx);
+      Ctx.SrcToken = Buf.TokenIds[I];
+      Ctx.Path = hashToVocab(Path64, Config.PathVocabSize);
+      Ctx.DstToken = Buf.TokenIds[J];
+      Buf.Contexts.push_back(Ctx);
     }
   }
 
   // Deterministic subsample when over budget: evenly strided selection
-  // keeps coverage of the whole snippet.
-  if (static_cast<int>(Contexts.size()) > Config.MaxContexts) {
-    std::vector<PathContext> Sampled;
-    Sampled.reserve(Config.MaxContexts);
+  // keeps coverage of the whole snippet. In place — source indices are
+  // always >= destination indices.
+  if (static_cast<int>(Buf.Contexts.size()) > Config.MaxContexts) {
     const double Stride =
-        static_cast<double>(Contexts.size()) / Config.MaxContexts;
+        static_cast<double>(Buf.Contexts.size()) / Config.MaxContexts;
     for (int K = 0; K < Config.MaxContexts; ++K)
-      Sampled.push_back(Contexts[static_cast<size_t>(K * Stride)]);
-    Contexts = std::move(Sampled);
+      Buf.Contexts[static_cast<size_t>(K)] =
+          Buf.Contexts[static_cast<size_t>(K * Stride)];
+    Buf.Contexts.resize(static_cast<size_t>(Config.MaxContexts));
   }
-  return Contexts;
+  return {Buf.Contexts.data(), Buf.Contexts.size()};
+}
+
+std::vector<PathContext>
+nv::extractPathContexts(const Stmt &S, const PathContextConfig &Config) {
+  static thread_local ContextBuffer Buf;
+  const ContextSpan Span = extractPathContextsInto(S, Config, Buf);
+  return std::vector<PathContext>(Span.begin(), Span.end());
 }

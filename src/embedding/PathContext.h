@@ -11,17 +11,39 @@
 /// syntax tree", §3.1). The embedding network learns a vector per token and
 /// per path and aggregates them with attention (see Code2Vec.h).
 ///
+/// The extractor is the serving layer's cold-path bottleneck, so it runs
+/// allocation-free: the AST is flattened into POD nodes whose labels and
+/// terminal tokens are interned symbols (support/Interner.h), root-path
+/// label sequences carry precomputed prefix hashes, and each pair's path
+/// hash is an O(1) combination of two prefix states — no std::string is
+/// built or hashed per pair. All scratch lives in a reusable per-thread
+/// embedding/ContextBuffer arena (extractPathContextsInto); the allocating
+/// extractPathContexts wrapper remains for the training environment and
+/// tests.
+///
+/// Vocabulary hashing. A token's vocab id is hashToVocab(fnv1a(token));
+/// a path's vocab id is hashToVocab over the structural path hash built
+/// from pathHashPush/pathHashCombine below. Distinct tokens (or paths)
+/// may collide into one vocab id — that is by design (hashing-trick
+/// embeddings: colliding strings share a row and the training process
+/// absorbs it), but the *mapping* is pinned by tests
+/// (EmbeddingTest.PinnedVocabHashes) so refactors cannot silently
+/// re-bucket a trained model's vocabulary.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NV_EMBEDDING_PATHCONTEXT_H
 #define NV_EMBEDDING_PATHCONTEXT_H
 
 #include "lang/AST.h"
+#include "support/StringUtils.h"
 
 #include <string>
 #include <vector>
 
 namespace nv {
+
+class ContextBuffer;
 
 /// One (source token, path, target token) triple, already hashed into
 /// vocabulary ids.
@@ -29,6 +51,18 @@ struct PathContext {
   int SrcToken = 0;
   int Path = 0;
   int DstToken = 0;
+};
+
+/// A borrowed, contiguous run of path contexts (typically into a
+/// ContextBuffer or a WorkItem's flat storage). Plain pointer + size so
+/// the serving layer can hand bags to the embedder without copying them.
+struct ContextSpan {
+  const PathContext *Data = nullptr;
+  size_t Size = 0;
+
+  bool empty() const { return Size == 0; }
+  const PathContext *begin() const { return Data; }
+  const PathContext *end() const { return Data + Size; }
 };
 
 /// Extraction and vocabulary parameters.
@@ -40,12 +74,62 @@ struct PathContextConfig {
 };
 
 /// Extracts path contexts from the statement subtree \p S (typically the
-/// outermost loop of a vectorization site, per §3.3).
+/// outermost loop of a vectorization site, per §3.3). Allocating
+/// convenience wrapper over extractPathContextsInto (thread-local buffer).
 std::vector<PathContext> extractPathContexts(const Stmt &S,
                                              const PathContextConfig &Config);
 
+/// Allocation-free extraction into \p Buf's reusable arena. The returned
+/// span points into \p Buf and is valid until the next extraction with the
+/// same buffer. Produces exactly the same contexts as extractPathContexts.
+ContextSpan extractPathContextsInto(const Stmt &S,
+                                    const PathContextConfig &Config,
+                                    ContextBuffer &Buf);
+
+/// Maps a 64-bit hash onto [0, VocabSize). An xor-fold + multiply mix
+/// spreads the high bits down (plain `%` on a power-of-two vocabulary kept
+/// only FNV-1a's weakest low bits), and the final Lemire multiply-shift is
+/// bias-free for every vocabulary size (`%` over-selects the low residues
+/// whenever VocabSize does not divide 2^64).
+inline int hashToVocab(uint64_t Hash, int VocabSize) {
+  uint64_t H = Hash ^ (Hash >> 32);
+  H *= 0x9E3779B97F4A7C15ull;
+  H ^= H >> 29;
+  return static_cast<int>(
+      (static_cast<unsigned __int128>(H) *
+       static_cast<unsigned __int128>(static_cast<uint64_t>(VocabSize))) >>
+      64);
+}
+
 /// Hashes \p Token into [0, VocabSize) (stable across platforms).
 int hashToken(const std::string &Token, int VocabSize);
+
+//===----------------------------------------------------------------------===//
+// Structural path hashing
+//
+// A path's identity is (up-label sequence incl. the LCA, down-label
+// sequence). Each side is hashed as a prefix chain over the labels'
+// fnv1a hashes — precomputable once per terminal along its root path —
+// and a pair's path hash combines the two sides asymmetrically in O(1).
+// The string-based reference extractor in the tests uses these same
+// combinators over label strings, pinning the mapping.
+//===----------------------------------------------------------------------===//
+
+/// Initial prefix-hash state (the empty label sequence).
+inline uint64_t pathHashSeed() { return Fnv1aOffset; }
+
+/// Absorbs one label (by its fnv1a hash) into a prefix-hash state.
+inline uint64_t pathHashPush(uint64_t State, uint64_t LabelHash) {
+  return splitmix64(State ^ LabelHash);
+}
+
+/// Combines the up-side prefix state (leaf-to-LCA labels, LCA included)
+/// with the down-side prefix state (leaf-to-LCA labels, LCA excluded)
+/// into the path's 64-bit hash. Asymmetric, so reversing a path hashes
+/// differently.
+inline uint64_t pathHashCombine(uint64_t UpHash, uint64_t DownHash) {
+  return splitmix64(UpHash ^ (DownHash * 0x9E3779B97F4A7C15ull));
+}
 
 } // namespace nv
 

@@ -2,11 +2,31 @@
 
 #include "lang/Lexer.h"
 
-#include <cctype>
+#include "support/Interner.h"
+
 #include <cstdlib>
-#include <unordered_map>
+#include <string_view>
+#include <utility>
 
 using namespace nv;
+
+namespace {
+
+// Locale-free ASCII classification: the ctype calls are opaque function
+// calls on the per-character hot path; LoopLang is ASCII by definition.
+inline bool isSpaceAscii(char C) {
+  return C == ' ' || C == '\t' || C == '\n' || C == '\r' || C == '\f' ||
+         C == '\v';
+}
+inline bool isDigitAscii(char C) { return C >= '0' && C <= '9'; }
+inline bool isAlphaAscii(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z');
+}
+inline bool isIdentAscii(char C) {
+  return isAlphaAscii(C) || isDigitAscii(C) || C == '_';
+}
+
+} // namespace
 
 const char *nv::tokenKindName(TokenKind Kind) {
   switch (Kind) {
@@ -189,7 +209,7 @@ bool Lexer::skipAttribute() {
 void Lexer::skipTrivia() {
   for (;;) {
     const char C = peek();
-    if (std::isspace(static_cast<unsigned char>(C))) {
+    if (isSpaceAscii(C)) {
       advance();
       continue;
     }
@@ -224,47 +244,70 @@ Token Lexer::lexPragma() {
   return makeToken(TokenKind::Pragma, Text.substr(1));
 }
 
-Token Lexer::lexIdentifierOrKeyword() {
-  std::string Text;
-  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
-    Text.push_back(advance());
+namespace {
 
-  static const std::unordered_map<std::string, TokenKind> Keywords = {
-      {"for", TokenKind::KwFor},         {"if", TokenKind::KwIf},
-      {"else", TokenKind::KwElse},       {"return", TokenKind::KwReturn},
-      {"char", TokenKind::KwChar},       {"short", TokenKind::KwShort},
-      {"int", TokenKind::KwInt},         {"long", TokenKind::KwLong},
-      {"float", TokenKind::KwFloat},     {"double", TokenKind::KwDouble},
-      {"unsigned", TokenKind::KwUnsigned}, {"void", TokenKind::KwVoid},
-  };
-  auto It = Keywords.find(Text);
-  if (It != Keywords.end())
-    return makeToken(It->second, Text);
-  return makeToken(TokenKind::Identifier, Text);
+/// The keyword set as an immutable interner: dense symbol ids index the
+/// kind array, and classification probes the source text in place — no
+/// per-lookup std::string, no node-based map. Built once; find() on the
+/// fully-built table is const and thread-safe.
+struct KeywordTable {
+  Interner Symbols;
+  TokenKind Kinds[12];
+
+  KeywordTable() {
+    const std::pair<const char *, TokenKind> Keywords[] = {
+        {"for", TokenKind::KwFor},       {"if", TokenKind::KwIf},
+        {"else", TokenKind::KwElse},     {"return", TokenKind::KwReturn},
+        {"char", TokenKind::KwChar},     {"short", TokenKind::KwShort},
+        {"int", TokenKind::KwInt},       {"long", TokenKind::KwLong},
+        {"float", TokenKind::KwFloat},   {"double", TokenKind::KwDouble},
+        {"unsigned", TokenKind::KwUnsigned}, {"void", TokenKind::KwVoid},
+    };
+    for (const auto &[Text, Kind] : Keywords)
+      Kinds[Symbols.intern(Text)] = Kind;
+  }
+};
+
+const KeywordTable &keywords() {
+  static const KeywordTable Table;
+  return Table;
+}
+
+} // namespace
+
+Token Lexer::lexIdentifierOrKeyword() {
+  const size_t Start = Pos;
+  while (isIdentAscii(peek()))
+    advance();
+  const std::string_view Text(Source.data() + Start, Pos - Start);
+
+  const KeywordTable &Table = keywords();
+  if (std::optional<uint32_t> Id = Table.Symbols.find(Text))
+    return makeToken(Table.Kinds[*Id], std::string(Text));
+  return makeToken(TokenKind::Identifier, std::string(Text));
 }
 
 Token Lexer::lexNumber() {
   std::string Text;
   bool IsFloat = false;
-  while (std::isdigit(static_cast<unsigned char>(peek())))
+  while (isDigitAscii(peek()))
     Text.push_back(advance());
-  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+  if (peek() == '.' && isDigitAscii(peek(1))) {
     IsFloat = true;
     Text.push_back(advance());
-    while (std::isdigit(static_cast<unsigned char>(peek())))
+    while (isDigitAscii(peek()))
       Text.push_back(advance());
   }
   if (peek() == 'e' || peek() == 'E') {
     const char Next = peek(1);
     const char Next2 = peek(2);
-    if (std::isdigit(static_cast<unsigned char>(Next)) ||
-        ((Next == '+' || Next == '-') &&
-         std::isdigit(static_cast<unsigned char>(Next2)))) {
+    if (isDigitAscii(Next) ||
+        ((Next == '+' || Next == '-') && isDigitAscii(Next2))) {
       IsFloat = true;
       Text.push_back(advance());
       if (peek() == '+' || peek() == '-')
         Text.push_back(advance());
-      while (std::isdigit(static_cast<unsigned char>(peek())))
+      while (isDigitAscii(peek()))
         Text.push_back(advance());
     }
   }
@@ -294,9 +337,9 @@ Token Lexer::lexToken() {
     return makeToken(TokenKind::End);
   if (C == '#')
     return lexPragma();
-  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+  if (isAlphaAscii(C) || C == '_')
     return lexIdentifierOrKeyword();
-  if (std::isdigit(static_cast<unsigned char>(C)))
+  if (isDigitAscii(C))
     return lexNumber();
 
   advance();
@@ -380,6 +423,10 @@ Token Lexer::lexToken() {
 
 std::vector<Token> Lexer::lexAll() {
   std::vector<Token> Tokens;
+  // LoopLang averages ~3 source bytes per token; reserving up front saves
+  // half a dozen vector growths (each moving every Token's string) per
+  // parse on the serving cold path.
+  Tokens.reserve(Source.size() / 3 + 8);
   for (;;) {
     Token T = lexToken();
     const bool AtEnd = T.is(TokenKind::End);

@@ -65,7 +65,7 @@ private:
 
 } // namespace
 
-std::vector<LoopSite> nv::extractLoops(Program &P) {
+std::vector<LoopSite> nv::extractLoops(Program &P, bool WithContextText) {
   std::vector<LoopSite> AllSites;
   for (Function &F : P.Functions) {
     LoopWalker Walker(F);
@@ -76,7 +76,8 @@ std::vector<LoopSite> nv::extractLoops(Program &P) {
   }
   for (size_t I = 0; I < AllSites.size(); ++I) {
     AllSites[I].Id = static_cast<int>(I);
-    AllSites[I].ContextText = printStmt(*AllSites[I].Outer);
+    if (WithContextText)
+      AllSites[I].ContextText = printStmt(*AllSites[I].Outer);
   }
   return AllSites;
 }

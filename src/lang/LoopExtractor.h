@@ -30,14 +30,20 @@ struct LoopSite {
   ForStmt *Outer = nullptr; ///< Outermost enclosing loop (== Inner if depth 1).
   const Function *Func = nullptr;
   int Depth = 1;          ///< Nesting depth of Inner (1 = not nested).
-  std::string ContextText; ///< Source text of Outer, fed to the embedder.
+  /// Source text of Outer (human-readable site context). Filled only when
+  /// extractLoops is called with WithContextText — pretty-printing every
+  /// site is pure overhead on the serving cold path, which embeds the AST
+  /// directly.
+  std::string ContextText;
   /// Full enclosing loop chain, outermost first; back() == Inner.
   std::vector<ForStmt *> Nest;
 };
 
 /// Extracts all vectorization sites from \p P. Pointers remain valid while
-/// the program is alive and no statements are destroyed.
-std::vector<LoopSite> extractLoops(Program &P);
+/// the program is alive and no statements are destroyed. Pass
+/// \p WithContextText = false to skip pretty-printing each site's
+/// ContextText (the serving layer's cold path does).
+std::vector<LoopSite> extractLoops(Program &P, bool WithContextText = true);
 
 /// Injects \p Pragma at site \p Site (sets it on the innermost loop).
 void injectPragma(LoopSite &Site, const VectorPragma &Pragma);

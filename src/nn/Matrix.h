@@ -18,6 +18,7 @@
 
 #include "support/RNG.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <vector>
@@ -67,6 +68,22 @@ public:
     NumRows = Rows;
     NumCols = Cols;
     Data.resize(static_cast<size_t>(Rows) * Cols);
+  }
+
+  /// Appends one row of \p Cols values, preserving every existing row
+  /// (unlike resize, whose contents are unspecified). \p Cols must match
+  /// cols() unless the matrix is empty. Amortized O(Cols): capacity grows
+  /// geometrically, so incremental index builds (predictors/
+  /// NearestNeighbor) stay linear overall.
+  void appendRow(const double *Row, int Cols) {
+    assert(Cols >= 0 && (NumRows == 0 || Cols == NumCols) &&
+           "appendRow column mismatch");
+    const size_t Needed = Data.size() + static_cast<size_t>(Cols);
+    if (Data.capacity() < Needed)
+      Data.reserve(std::max(Needed, Data.capacity() * 2));
+    Data.insert(Data.end(), Row, Row + Cols);
+    NumCols = Cols;
+    ++NumRows;
   }
 
   /// Sets every element to \p Value.

@@ -21,14 +21,12 @@ std::vector<VectorPlan> PolicyBackend::plansForEmbeddings(const Matrix &States,
 }
 
 std::vector<VectorPlan> NNSBackend::plansForEmbeddings(const Matrix &States,
-                                                       ThreadPool *) {
+                                                       ThreadPool *Pool) {
   assert(ready() && "NNS backend queried before distillation");
-  std::vector<VectorPlan> Plans(States.rows());
-  std::vector<double> Row(States.cols());
-  for (int R = 0; R < States.rows(); ++R) {
-    Row.assign(States.rowPtr(R), States.rowPtr(R) + States.cols());
-    Plans[R] = Index.predict(Row);
-  }
+  // The whole batch goes through the index as one GEMM against the
+  // example matrix — no per-row embedding copies, no linear scalar scan.
+  std::vector<VectorPlan> Plans;
+  Index.predictBatch(States, Plans, Pool);
   return Plans;
 }
 

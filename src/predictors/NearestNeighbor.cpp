@@ -2,6 +2,8 @@
 
 #include "predictors/NearestNeighbor.h"
 
+#include "nn/Kernels.h"
+#include "support/ThreadPool.h"
 #include "support/Wire.h"
 
 #include <algorithm>
@@ -20,60 +22,103 @@ double nv::squaredDistance(const std::vector<double> &A,
   return Sum;
 }
 
-void NearestNeighborPredictor::add(std::vector<double> Embedding,
+void NearestNeighborPredictor::add(const std::vector<double> &Embedding,
                                    VectorPlan Label) {
-  Examples.push_back({std::move(Embedding), Label});
+  const int Dim = static_cast<int>(Embedding.size());
+  assert((Labels.empty() || Dim == Examples.cols()) && "ragged NNS index");
+  Examples.appendRow(Embedding.data(), Dim);
+  double Norm = 0.0;
+  for (int D = 0; D < Dim; ++D)
+    Norm += Embedding[D] * Embedding[D];
+  Norms.push_back(Norm);
+  Labels.push_back(Label);
+}
+
+void NearestNeighborPredictor::clear() {
+  Examples.resize(0, 0);
+  Norms.clear();
+  Labels.clear();
 }
 
 VectorPlan
-NearestNeighborPredictor::predict(const std::vector<double> &Embedding) const {
-  assert(!Examples.empty() && "predict() on an empty NNS index");
-  // Collect the K nearest by partial sort of distances.
-  std::vector<std::pair<double, size_t>> Dist;
-  Dist.reserve(Examples.size());
-  for (size_t I = 0; I < Examples.size(); ++I)
-    Dist.emplace_back(squaredDistance(Embedding, Examples[I].Embedding), I);
-  const size_t Keep = std::min<size_t>(static_cast<size_t>(K), Dist.size());
-  std::partial_sort(Dist.begin(), Dist.begin() + Keep, Dist.end());
+NearestNeighborPredictor::predict(const std::vector<double> &Embedding) {
+  assert(!Labels.empty() && "predict() on an empty NNS index");
+  QueryBuf.resize(1, static_cast<int>(Embedding.size()));
+  std::copy(Embedding.begin(), Embedding.end(), QueryBuf.rowPtr(0));
+  std::vector<VectorPlan> Out(1);
+  predictBatch(QueryBuf, Out);
+  return Out[0];
+}
 
-  // Majority vote; nearer examples win ties (scan in distance order).
-  std::vector<std::pair<VectorPlan, int>> Votes;
-  for (size_t N = 0; N < Keep; ++N) {
-    const VectorPlan &Label = Examples[Dist[N].second].Label;
-    bool Found = false;
-    for (auto &[Plan, Count] : Votes) {
-      if (Plan == Label) {
-        ++Count;
-        Found = true;
-        break;
+void NearestNeighborPredictor::predictBatch(const Matrix &Queries,
+                                            std::vector<VectorPlan> &Out,
+                                            ThreadPool *Pool) {
+  assert(!Labels.empty() && "predictBatch() on an empty NNS index");
+  assert(Queries.cols() == Examples.cols() && "query dimension mismatch");
+  const size_t Count = Labels.size();
+
+  // One blocked GEMM answers every query's dot product against every
+  // example; squared distance is |e|^2 - 2 q.e up to the per-query
+  // constant |q|^2, which cannot change any ordering.
+  gemmTBInto(DotsBuf, Queries, Examples, Pool);
+
+  Out.resize(static_cast<size_t>(Queries.rows()));
+  auto SelectRow = [&](size_t R) {
+    const double *Dots = DotsBuf.rowPtr(static_cast<int>(R));
+    // Reusable per-thread selection scratch (rows fan out over the pool).
+    static thread_local std::vector<std::pair<double, size_t>> Scored;
+    static thread_local std::vector<std::pair<VectorPlan, int>> Votes;
+    Scored.clear();
+    Scored.reserve(Count);
+    for (size_t I = 0; I < Count; ++I)
+      Scored.emplace_back(Norms[I] - 2.0 * Dots[I], I);
+    const size_t Keep = std::min<size_t>(static_cast<size_t>(K), Count);
+    std::partial_sort(Scored.begin(), Scored.begin() + Keep, Scored.end());
+
+    // Majority vote; nearer examples win ties (scan in distance order).
+    Votes.clear();
+    for (size_t N = 0; N < Keep; ++N) {
+      const VectorPlan &Label = Labels[Scored[N].second];
+      bool Found = false;
+      for (auto &[Plan, CountFor] : Votes) {
+        if (Plan == Label) {
+          ++CountFor;
+          Found = true;
+          break;
+        }
+      }
+      if (!Found)
+        Votes.emplace_back(Label, 1);
+    }
+    VectorPlan Best = Votes.front().first;
+    int BestCount = Votes.front().second;
+    for (const auto &[Plan, CountFor] : Votes) {
+      if (CountFor > BestCount) {
+        Best = Plan;
+        BestCount = CountFor;
       }
     }
-    if (!Found)
-      Votes.emplace_back(Label, 1);
+    Out[R] = Best;
+  };
+
+  if (Pool && Queries.rows() > 1) {
+    Pool->parallelFor(0, static_cast<size_t>(Queries.rows()), SelectRow);
+    return;
   }
-  VectorPlan Best = Votes.front().first;
-  int BestCount = Votes.front().second;
-  for (const auto &[Plan, Count] : Votes) {
-    if (Count > BestCount) {
-      Best = Plan;
-      BestCount = Count;
-    }
-  }
-  return Best;
+  for (int R = 0; R < Queries.rows(); ++R)
+    SelectRow(static_cast<size_t>(R));
 }
 
 void NearestNeighborPredictor::serialize(std::vector<char> &Out) const {
   wire::appendValue(Out, static_cast<int32_t>(K));
-  const uint32_t Dim =
-      Examples.empty() ? 0u
-                       : static_cast<uint32_t>(Examples[0].Embedding.size());
+  const uint32_t Dim = static_cast<uint32_t>(dimension());
   wire::appendValue(Out, Dim);
-  wire::appendValue(Out, static_cast<uint64_t>(Examples.size()));
-  for (const Example &E : Examples) {
-    assert(E.Embedding.size() == Dim && "ragged NNS index");
-    wire::appendBytes(Out, E.Embedding.data(), Dim * sizeof(double));
-    wire::appendValue(Out, static_cast<int32_t>(E.Label.VF));
-    wire::appendValue(Out, static_cast<int32_t>(E.Label.IF));
+  wire::appendValue(Out, static_cast<uint64_t>(Labels.size()));
+  for (size_t I = 0; I < Labels.size(); ++I) {
+    wire::appendBytes(Out, Examples.rowPtr(static_cast<int>(I)),
+                      Dim * sizeof(double));
+    wire::appendValue(Out, static_cast<int32_t>(Labels[I].VF));
+    wire::appendValue(Out, static_cast<int32_t>(Labels[I].IF));
   }
 }
 
@@ -100,23 +145,29 @@ bool NearestNeighborPredictor::deserialize(const char *Data, size_t Size,
       static_cast<size_t>(Dim) * sizeof(double) + 2 * sizeof(int32_t);
   if (Count > (Size - Offset) / ExampleBytes)
     return Fail("NNS section: example count exceeds payload");
-  std::vector<Example> NewExamples;
-  NewExamples.reserve(Count);
+  Matrix NewExamples(static_cast<int>(Count), static_cast<int>(Dim));
+  std::vector<double> NewNorms;
+  std::vector<VectorPlan> NewLabels;
+  NewNorms.reserve(Count);
+  NewLabels.reserve(Count);
   for (uint64_t I = 0; I < Count; ++I) {
-    Example E;
-    E.Embedding.resize(Dim);
+    double *Row = NewExamples.rowPtr(static_cast<int>(I));
     int32_t VF = 0, IF = 0;
-    if (!wire::readBytes(Data, Size, Offset, E.Embedding.data(),
-                         Dim * sizeof(double)) ||
+    if (!wire::readBytes(Data, Size, Offset, Row, Dim * sizeof(double)) ||
         !wire::readValue(Data, Size, Offset, VF) ||
         !wire::readValue(Data, Size, Offset, IF))
       return Fail("NNS section: truncated example");
-    E.Label = {VF, IF};
-    NewExamples.push_back(std::move(E));
+    double Norm = 0.0;
+    for (uint32_t D = 0; D < Dim; ++D)
+      Norm += Row[D] * Row[D];
+    NewNorms.push_back(Norm);
+    NewLabels.push_back({VF, IF});
   }
   if (Offset != Size)
     return Fail("NNS section: trailing bytes");
   K = NewK;
   Examples = std::move(NewExamples);
+  Norms = std::move(NewNorms);
+  Labels = std::move(NewLabels);
   return true;
 }

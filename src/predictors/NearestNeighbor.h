@@ -11,11 +11,27 @@
 /// paper reports NNS at 2.65x over baseline — nearly matching RL — which
 /// shows the learned embedding clusters similar loops together.
 ///
+/// The index is a real index, not a bag of vectors: examples live in one
+/// contiguous (count x dim) matrix with their squared norms precomputed
+/// at insertion, and a query batch runs as ONE blocked GEMM
+/// (queries x examples^T, via the nn/Kernels.h kernels) followed by a
+/// per-query top-K selection over norm - 2*dot — the squared distance
+/// minus the query's own norm, which is constant per query and cannot
+/// change the ordering. That replaces the per-query linear scan (one
+/// scalar distance loop and three heap allocations per query) the
+/// predictor launched with.
+///
+/// Determinism: the GEMM is bit-identical at any pool size (kernel
+/// contract), selection is per-row serial with ties broken toward the
+/// lower example index, and example order is insertion order — so batch
+/// results never depend on the pool.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NV_PREDICTORS_NEARESTNEIGHBOR_H
 #define NV_PREDICTORS_NEARESTNEIGHBOR_H
 
+#include "nn/Matrix.h"
 #include "target/CostModel.h"
 
 #include <string>
@@ -23,30 +39,42 @@
 
 namespace nv {
 
+class ThreadPool;
+
 /// k-nearest-neighbor classifier from embedding vectors to (VF, IF).
 class NearestNeighborPredictor {
 public:
   explicit NearestNeighborPredictor(int K = 1) : K(K) {}
 
-  /// Adds one labeled example.
-  void add(std::vector<double> Embedding, VectorPlan Label);
+  /// Adds one labeled example (appends a row to the index and its
+  /// precomputed norm; amortized O(dim)).
+  void add(const std::vector<double> &Embedding, VectorPlan Label);
 
   /// Drops every example (e.g. when the embedding that produced them is
   /// replaced by NeuroVectorizer::load()).
-  void clear() { Examples.clear(); }
+  void clear();
 
-  size_t size() const { return Examples.size(); }
+  size_t size() const { return Labels.size(); }
   int neighbors() const { return K; }
 
   /// Embedding width of the indexed examples (0 when empty). The model
   /// loader cross-checks it against the embedding dimension.
   size_t dimension() const {
-    return Examples.empty() ? 0 : Examples[0].Embedding.size();
+    return Labels.empty() ? 0 : static_cast<size_t>(Examples.cols());
   }
 
   /// Majority label among the K nearest examples (L2 distance); ties
-  /// resolve toward the nearer example.
-  VectorPlan predict(const std::vector<double> &Embedding) const;
+  /// resolve toward the nearer example, then the lower index. Convenience
+  /// wrapper over predictBatch for one query.
+  VectorPlan predict(const std::vector<double> &Embedding);
+
+  /// One plan per row of \p Queries (batch x dim): one GEMM against the
+  /// example matrix, then per-row selection (parallel over rows on
+  /// \p Pool; results do not depend on it). Reuses internal scratch, so
+  /// concurrent predictBatch calls on one predictor are not safe — the
+  /// serving layer already serializes backend calls under its model lock.
+  void predictBatch(const Matrix &Queries, std::vector<VectorPlan> &Out,
+                    ThreadPool *Pool = nullptr);
 
   /// Appends the fitted index (K, examples) to \p Out — the payload of a
   /// model-file v3 'SNNS' section. Byte-stable for identical indexes, so
@@ -59,15 +87,17 @@ public:
   bool deserialize(const char *Data, size_t Size, std::string *Error);
 
 private:
-  struct Example {
-    std::vector<double> Embedding;
-    VectorPlan Label;
-  };
   int K;
-  std::vector<Example> Examples;
+  Matrix Examples;               ///< (count x dim), insertion order.
+  std::vector<double> Norms;     ///< Squared norm per example row.
+  std::vector<VectorPlan> Labels; ///< Label per example row.
+
+  Matrix QueryBuf; ///< 1 x dim staging for predict().
+  Matrix DotsBuf;  ///< (batch x count) GEMM output scratch.
 };
 
-/// Squared Euclidean distance (shared with the tests).
+/// Squared Euclidean distance (the reference the GEMM path is tested
+/// against; shared with the tests).
 double squaredDistance(const std::vector<double> &A,
                        const std::vector<double> &B);
 

@@ -2,82 +2,102 @@
 
 #include "serve/AnnotationService.h"
 
+#include "embedding/ContextBuffer.h"
 #include "lang/LoopExtractor.h"
 #include "lang/Parser.h"
 #include "lang/PrettyPrinter.h"
 #include "predictors/Backends.h"
+#include "support/StringUtils.h"
 
 #include <cassert>
 #include <chrono>
 
 using namespace nv;
 
+namespace {
+
+/// Rounds \p Value up to the next power of two (min 1).
+size_t roundUpPow2(size_t Value) {
+  size_t P = 1;
+  while (P < Value)
+    P <<= 1;
+  return P;
+}
+
+} // namespace
+
+PlanCache::PlanCache(size_t Capacity, int Shards) {
+  const size_t Count = roundUpPow2(
+      static_cast<size_t>(Shards < 1 ? 1 : Shards));
+  // Split the budget across shards, rounding up so the total never drops
+  // below the requested capacity. Capacity 0 disables caching entirely.
+  ShardCapacity = Capacity == 0 ? 0 : (Capacity + Count - 1) / Count;
+  // std::deque: shards (with their mutexes) are constructed in place and
+  // never move.
+  Table.resize(Count);
+}
+
 bool PlanCache::lookup(const ContextKey &Key, VectorPlan &Out) {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  auto It = Index.find(Key);
-  if (It == Index.end())
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Index.find(Key);
+  if (It == S.Index.end())
     return false;
-  Order.splice(Order.begin(), Order, It->second);
+  S.Order.splice(S.Order.begin(), S.Order, It->second);
   Out = It->second->second;
   return true;
 }
 
 void PlanCache::insert(const ContextKey &Key, VectorPlan Plan) {
-  if (Capacity == 0)
+  if (ShardCapacity == 0)
     return;
-  std::lock_guard<std::mutex> Lock(Mutex);
-  auto It = Index.find(Key);
-  if (It != Index.end()) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Index.find(Key);
+  if (It != S.Index.end()) {
     It->second->second = Plan;
-    Order.splice(Order.begin(), Order, It->second);
+    S.Order.splice(S.Order.begin(), S.Order, It->second);
     return;
   }
-  Order.emplace_front(Key, Plan);
-  Index[Key] = Order.begin();
-  while (Order.size() > Capacity) {
-    Index.erase(Order.back().first);
-    Order.pop_back();
+  S.Order.emplace_front(Key, Plan);
+  S.Index[Key] = S.Order.begin();
+  while (S.Order.size() > ShardCapacity) {
+    S.Index.erase(S.Order.back().first);
+    S.Order.pop_back();
   }
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return Order.size();
+  size_t Total = 0;
+  for (const Shard &S : Table) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    Total += S.Order.size();
+  }
+  return Total;
 }
 
 void PlanCache::clear() {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  Order.clear();
-  Index.clear();
+  for (Shard &S : Table) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    S.Order.clear();
+    S.Index.clear();
+  }
 }
 
-namespace {
-
-/// splitmix64 finalizer: the second, FNV-independent hash stream.
-uint64_t mix64(uint64_t X) {
-  X += 0x9E3779B97F4A7C15ull;
-  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
-  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
-  return X ^ (X >> 31);
-}
-
-} // namespace
-
-ContextKey nv::contextBagKey(const std::vector<PathContext> &Contexts,
-                             bool InnerContextOnly, PredictMethod Method) {
+ContextKey nv::contextBagKey(ContextSpan Contexts, bool InnerContextOnly,
+                             PredictMethod Method) {
   ContextKey Key;
   Key.Lo = 0xCBF29CE484222325ull;
   Key.Hi = 0x2545F4914F6CDD1Dull;
   auto Mix = [&Key](uint64_t Value) {
     // Lo: FNV-1a a byte at a time over the 32-bit id.
-    for (int Shift = 0; Shift < 32; Shift += 8) {
-      Key.Lo ^= (Value >> Shift) & 0xFF;
-      Key.Lo *= 0x100000001B3ull;
-    }
+    for (int Shift = 0; Shift < 32; Shift += 8)
+      Key.Lo = fnv1aByte(Key.Lo,
+                         static_cast<unsigned char>((Value >> Shift) & 0xFF));
     // Hi: splitmix64 absorption of the id (independent of FNV's
     // byte-serial structure, so a Lo collision almost surely differs in
     // Hi).
-    Key.Hi = mix64(Key.Hi ^ Value);
+    Key.Hi = splitmix64(Key.Hi ^ Value);
   };
   // The extraction flavour and the backend are part of the identity: an
   // inner-context bag must never answer for an outer-context bag of the
@@ -92,13 +112,20 @@ ContextKey nv::contextBagKey(const std::vector<PathContext> &Contexts,
   return Key;
 }
 
+ContextKey nv::contextBagKey(const std::vector<PathContext> &Contexts,
+                             bool InnerContextOnly, PredictMethod Method) {
+  return contextBagKey(ContextSpan{Contexts.data(), Contexts.size()},
+                       InnerContextOnly, Method);
+}
+
 AnnotationService::AnnotationService(Code2Vec &Embedder,
                                      PredictorSet &Backends,
                                      const PathContextConfig &Paths,
                                      const TargetInfo &TI,
                                      const ServeConfig &Config)
     : Embedder(Embedder), Backends(Backends), Paths(Paths), TI(TI),
-      Config(Config), Pool(Config.Threads), Cache(Config.CacheCapacity),
+      Config(Config), Pool(Config.Threads),
+      Cache(Config.CacheCapacity, Config.CacheShards),
       InnerContext(Config.InnerContextOnly) {}
 
 AnnotationService::AnnotationService(Code2Vec &Embedder, Policy &Pol,
@@ -108,7 +135,8 @@ AnnotationService::AnnotationService(Code2Vec &Embedder, Policy &Pol,
     : Embedder(Embedder),
       OwnedBackends(std::make_unique<PredictorSet>()),
       Backends(*OwnedBackends), Paths(Paths), TI(TI), Config(Config),
-      Pool(Config.Threads), Cache(Config.CacheCapacity),
+      Pool(Config.Threads),
+      Cache(Config.CacheCapacity, Config.CacheShards),
       InnerContext(Config.InnerContextOnly) {
   OwnedBackends->set(PredictMethod::RL,
                      std::make_unique<PolicyBackend>(Pol, TI));
@@ -131,14 +159,24 @@ AnnotationResult AnnotationService::annotateOne(const std::string &Name,
 
 namespace {
 
-/// Per-request working state threaded through the three phases.
+/// Per-request working state threaded through the three phases. Contexts
+/// are stored flat (all sites back to back) so phase 2 can hand the
+/// embedder borrowed spans instead of copying bags around.
 struct WorkItem {
   std::unique_ptr<Program> Prog;
   std::vector<LoopSite> Sites;
-  std::vector<std::vector<PathContext>> Contexts; ///< Per site.
-  std::vector<ContextKey> Keys;                   ///< Per site.
-  PredictMethod Method = PredictMethod::RL;       ///< Resolved backend.
+  std::vector<PathContext> ContextData; ///< All sites' contexts, flat.
+  std::vector<uint32_t> ContextBegin;   ///< Per-site offsets (sites + 1).
+  std::vector<ContextKey> Keys;         ///< Per site.
+  std::vector<uint8_t> SiteDone; ///< Answered by the cache in phase 1.
+  PredictMethod Method = PredictMethod::RL; ///< Resolved backend.
   Predictor *Backend = nullptr;
+  bool NeedsSearch = false; ///< Source-kind backend, cache missed.
+
+  ContextSpan siteContexts(size_t S) const {
+    return {ContextData.data() + ContextBegin[S],
+            ContextBegin[S + 1] - ContextBegin[S]};
+  }
 };
 
 uint64_t microsSince(std::chrono::steady_clock::time_point Start) {
@@ -161,7 +199,12 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
   const bool InnerOnly = InnerContext.load();
   const PredictMethod Default = Config.DefaultMethod;
 
-  // --- Phase 1: parse + extract, in parallel ------------------------------
+  // --- Phase 1: parse + extract + cache lookups, in parallel --------------
+  // Everything per-request happens here, on the worker: parsing, loop
+  // extraction, allocation-free path-context extraction through the
+  // thread's ContextBuffer arena, key hashing, and the sharded-cache
+  // lookups — so cache hits are fully answered without ever touching the
+  // model lock.
   const auto ExtractStart = std::chrono::steady_clock::now();
   Pool.parallelFor(0, N, [&](size_t I) {
     const AnnotationRequest &Req = Requests[I];
@@ -182,34 +225,86 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
       Item.Backend = nullptr;
       return;
     }
+    const auto ParseStart = std::chrono::steady_clock::now();
     std::string ParseError;
     std::optional<Program> Parsed = parseSource(Req.Source, &ParseError);
+    Stats.ParseMicros += microsSince(ParseStart);
     if (!Parsed) {
       Res.Error = "parse error: " + ParseError;
       return;
     }
     Item.Prog = std::make_unique<Program>(std::move(*Parsed));
     clearAllPragmas(*Item.Prog);
-    Item.Sites = extractLoops(*Item.Prog);
+    const auto SitesStart = std::chrono::steady_clock::now();
+    // The serving path never reads ContextText; skip the per-site
+    // pretty-print the training-side extractor pays for it.
+    Item.Sites = extractLoops(*Item.Prog, /*WithContextText=*/false);
+    Stats.LoopExtractMicros += microsSince(SitesStart);
     if (Item.Sites.empty()) {
       Item.Prog.reset();
       Res.Error = "no vectorizable loops";
       return;
     }
+
+    const auto ContextStart = std::chrono::steady_clock::now();
+    static thread_local ContextBuffer Buf;
+    Item.ContextBegin.reserve(Item.Sites.size() + 1);
+    Item.ContextBegin.push_back(0);
     for (const LoopSite &Site : Item.Sites) {
       // Mirror the training-side extraction (VectorizationEnv::addProgram)
       // so the policy sees the embedding distribution it was trained on.
       const Stmt &ContextRoot =
           InnerOnly ? static_cast<const Stmt &>(*Site.Inner)
                     : static_cast<const Stmt &>(*Site.Outer);
-      Item.Contexts.push_back(extractPathContexts(ContextRoot, Paths));
+      const ContextSpan Span =
+          extractPathContextsInto(ContextRoot, Paths, Buf);
+      Item.ContextData.insert(Item.ContextData.end(), Span.begin(),
+                              Span.end());
+      Item.ContextBegin.push_back(
+          static_cast<uint32_t>(Item.ContextData.size()));
       Item.Keys.push_back(
-          contextBagKey(Item.Contexts.back(), InnerOnly, Item.Method));
+          contextBagKey(Span, InnerOnly, Item.Method));
+    }
+    Stats.ContextMicros += microsSince(ContextStart);
+
+    // Sharded-cache lookups, still on the worker thread.
+    MethodCounters &MC = Stats.forMethod(Item.Method);
+    Res.Plans.assign(Item.Sites.size(), VectorPlan{});
+    Item.SiteDone.assign(Item.Sites.size(), 0);
+    if (Item.Backend->kind() == Predictor::Kind::Source) {
+      MC.Loops += Item.Sites.size();
+      // A site plan from a search backend can depend on the whole
+      // program (coordinate descent couples sites), so the per-site
+      // cache only holds plans of single-site programs.
+      if (Item.Backend->cacheable() && Item.Sites.size() == 1) {
+        VectorPlan Hit;
+        if (Cache.lookup(Item.Keys[0], Hit)) {
+          Res.Plans[0] = Hit;
+          ++Res.CachedSites;
+          ++Stats.CacheHits;
+          ++MC.CacheHits;
+          Item.SiteDone[0] = 1;
+          return;
+        }
+      }
+      Item.NeedsSearch = true;
+      return;
+    }
+    for (size_t S = 0; S < Item.Sites.size(); ++S) {
+      ++MC.Loops;
+      VectorPlan Hit;
+      if (Cache.lookup(Item.Keys[S], Hit)) {
+        Res.Plans[S] = Hit;
+        ++Res.CachedSites;
+        ++Stats.CacheHits;
+        ++MC.CacheHits;
+        Item.SiteDone[S] = 1;
+      }
     }
   });
   Stats.ExtractMicros += microsSince(ExtractStart);
 
-  // --- Phase 2: cache lookups + per-backend inference ---------------------
+  // --- Phase 2: dedup + batched embed + per-backend inference -------------
   const auto InferStart = std::chrono::steady_clock::now();
   // Requests routed to source-kind backends that the cache could not
   // answer; computed after the model lock drops (they never touch the
@@ -218,16 +313,18 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
   {
     std::lock_guard<std::mutex> Lock(ModelMutex);
 
-    // Gather the sites the cache cannot answer, deduplicating identical
-    // loops within the batch so each distinct key is embedded once (keys
-    // include the method, so rows are per backend by construction).
+    // Gather the sites the phase-1 lookups could not answer,
+    // deduplicating identical loops within the batch so each distinct key
+    // is embedded once (keys include the method, so rows are per backend
+    // by construction). MissContexts borrows each item's flat context
+    // storage — no bag is copied on the way to the embedder.
     struct PendingSite {
       size_t Request;
       size_t Site;
       size_t BatchRow; ///< Row in the miss batch.
     };
     std::vector<PendingSite> Pending;
-    std::vector<std::vector<PathContext>> MissContexts;
+    std::vector<ContextSpan> MissContexts;
     std::vector<PredictMethod> RowMethods; ///< Backend per miss row.
     std::unordered_map<ContextKey, size_t, ContextKeyHash> RowByKey;
 
@@ -235,42 +332,19 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
       WorkItem &Item = Items[I];
       if (!Item.Prog)
         continue;
-      MethodCounters &MC = Stats.forMethod(Item.Method);
-      Results[I].Plans.assign(Item.Sites.size(), VectorPlan{});
-
       if (Item.Backend->kind() == Predictor::Kind::Source) {
-        MC.Loops += Item.Sites.size();
-        // A site plan from a search backend can depend on the whole
-        // program (coordinate descent couples sites), so the per-site
-        // cache only holds plans of single-site programs.
-        if (Item.Backend->cacheable() && Item.Sites.size() == 1) {
-          VectorPlan Hit;
-          if (Cache.lookup(Item.Keys[0], Hit)) {
-            Results[I].Plans[0] = Hit;
-            ++Results[I].CachedSites;
-            ++Stats.CacheHits;
-            ++MC.CacheHits;
-            continue;
-          }
-        }
-        SourceMisses.push_back(I);
+        if (Item.NeedsSearch)
+          SourceMisses.push_back(I);
         continue;
       }
-
+      MethodCounters &MC = Stats.forMethod(Item.Method);
       for (size_t S = 0; S < Item.Sites.size(); ++S) {
-        ++MC.Loops;
-        VectorPlan Hit;
-        if (Cache.lookup(Item.Keys[S], Hit)) {
-          Results[I].Plans[S] = Hit;
-          ++Results[I].CachedSites;
-          ++Stats.CacheHits;
-          ++MC.CacheHits;
+        if (Item.SiteDone[S])
           continue;
-        }
         auto [It, Inserted] =
             RowByKey.try_emplace(Item.Keys[S], MissContexts.size());
         if (Inserted) {
-          MissContexts.push_back(Item.Contexts[S]);
+          MissContexts.push_back(Item.siteContexts(S));
           RowMethods.push_back(Item.Method);
           ++Stats.CacheMisses;
           ++MC.Misses;
@@ -289,7 +363,9 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
       // GEMM row panels (bit-identical at any pool size). Each backend
       // then consumes its own rows; when one backend owns the whole batch
       // (the common case) it reads the encode buffer in place.
-      Embedder.encodeBatchInto(MissContexts, StatesBuf, &Pool);
+      const auto EmbedStart = std::chrono::steady_clock::now();
+      Embedder.encodeSpansInto(MissContexts, StatesBuf, &Pool);
+      Stats.EmbedMicros += microsSince(EmbedStart);
 
       std::vector<VectorPlan> RowPlans(MissContexts.size());
       std::vector<size_t> MethodRows[NumPredictMethods];

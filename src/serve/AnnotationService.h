@@ -10,19 +10,25 @@
 /// service takes a whole batch and pipelines it in three phases:
 ///
 ///   1. extract  (parallel)  parse, strip pragmas, extract loop sites and
-///                           their path contexts; hash each site's
-///                           canonical context bag into a cache key.
-///   2. infer    (serial)    answer sites from the LRU plan cache where
-///                           possible; deduplicate the remaining sites by
-///                           key and run ONE Code2Vec::encodeBatchInto
-///                           over all of them, then hand each backend its
-///                           rows (the RL backend's share is a single
-///                           batched Policy::forward — the FCNN trunk
-///                           becomes one matrix-matrix multiply, row-
-///                           panel-parallel on the same pool). Requests
-///                           routed to source-kind backends (baseline,
-///                           random, brute force) are searched per
-///                           program on the pool, outside the model lock.
+///                           their path contexts — allocation-free
+///                           through a per-thread ContextBuffer arena —
+///                           hash each site's canonical context bag into
+///                           a cache key, and answer it from the sharded
+///                           plan cache right here, on the worker: cache
+///                           hits never touch the model lock, and
+///                           concurrent batches' lookups spread over the
+///                           cache shards instead of serializing.
+///   2. infer    (serial)    deduplicate the remaining misses by key and
+///                           run ONE Code2Vec::encodeSpansInto over their
+///                           borrowed context spans (no bag copies), then
+///                           hand each backend its rows (the RL backend's
+///                           share is a single batched Policy::forward —
+///                           the FCNN trunk becomes one matrix-matrix
+///                           multiply, row-panel-parallel on the same
+///                           pool). Requests routed to source-kind
+///                           backends (baseline, random, brute force) are
+///                           searched per program on the pool, outside
+///                           the model lock.
 ///   3. render   (parallel)  inject the chosen pragmas and re-print each
 ///                           program.
 ///
@@ -54,6 +60,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -68,6 +75,10 @@ namespace nv {
 struct ServeConfig {
   int Threads = 4;            ///< Worker pool size.
   size_t CacheCapacity = 4096; ///< LRU plan-cache entries (0 disables).
+  /// Plan-cache shard count (rounded up to a power of two). Concurrent
+  /// annotateBatch callers hit different shards' mutexes instead of one
+  /// global lock; capacity is split evenly across shards.
+  int CacheShards = 8;
   /// Embed the innermost loop's body instead of the outermost's. Must
   /// match the setting the model was trained with
   /// (VectorizationEnv::innerContextOnly); NeuroVectorizer::service()
@@ -122,36 +133,62 @@ struct ContextKeyHash {
 /// flavour is mixed in so inner- and outer-context embeddings of the same
 /// loop can never answer for each other, and the prediction method is
 /// mixed in so one backend's cached plans can never answer for another's.
+ContextKey contextBagKey(ContextSpan Contexts, bool InnerContextOnly = false,
+                         PredictMethod Method = PredictMethod::RL);
+
+/// Convenience overload over an owned bag.
 ContextKey contextBagKey(const std::vector<PathContext> &Contexts,
                          bool InnerContextOnly = false,
                          PredictMethod Method = PredictMethod::RL);
 
-/// LRU cache mapping a context-bag key to the plan the policy chose for
-/// it. Identical loops (after canonicalization into path contexts) are the
-/// common case in generated and templated code, so batches full of
-/// near-duplicates skip the network entirely.
+/// Sharded LRU cache mapping a context-bag key to the plan the policy
+/// chose for it. Identical loops (after canonicalization into path
+/// contexts) are the common case in generated and templated code, so
+/// batches full of near-duplicates skip the network entirely.
+///
+/// The key's splitmix64 stream selects one of N shards (each its own
+/// mutex + LRU list + index), so concurrent annotateBatch callers — and
+/// the parallel phase-1 lookups within one batch — contend on 1/N of the
+/// lock traffic instead of serializing on a single cache mutex. Capacity
+/// is split evenly across shards; with the default capacity (4096) and
+/// shard count (8) each shard holds 512 entries, and eviction only
+/// reorders *which* of the coldest entries leave first — cached plans are
+/// deterministic per key, so shard count never changes annotation output.
 class PlanCache {
 public:
-  explicit PlanCache(size_t Capacity) : Capacity(Capacity) {}
+  explicit PlanCache(size_t Capacity, int Shards = 8);
 
   /// Returns true and sets \p Out on a hit (refreshing recency).
   bool lookup(const ContextKey &Key, VectorPlan &Out);
 
   /// Inserts (or refreshes) \p Key, evicting the least recently used entry
-  /// beyond capacity.
+  /// of its shard beyond the shard capacity.
   void insert(const ContextKey &Key, VectorPlan Plan);
 
   size_t size() const;
   void clear();
 
+  int shards() const { return static_cast<int>(Table.size()); }
+
 private:
   using Entry = std::pair<ContextKey, VectorPlan>;
 
-  size_t Capacity;
-  mutable std::mutex Mutex;
-  std::list<Entry> Order; ///< Front = most recently used.
-  std::unordered_map<ContextKey, std::list<Entry>::iterator, ContextKeyHash>
-      Index;
+  struct Shard {
+    mutable std::mutex Mutex;
+    std::list<Entry> Order; ///< Front = most recently used.
+    std::unordered_map<ContextKey, std::list<Entry>::iterator,
+                       ContextKeyHash>
+        Index;
+  };
+
+  Shard &shardFor(const ContextKey &Key) {
+    // Hi is a splitmix64 stream; its top bits are well mixed and distinct
+    // from the bits ContextKeyHash feeds the per-shard index.
+    return Table[(Key.Hi >> 56) & (Table.size() - 1)];
+  }
+
+  size_t ShardCapacity; ///< Per-shard entry budget (0 disables).
+  std::deque<Shard> Table; ///< Power-of-two size; shards never move.
 };
 
 /// The batched, multi-threaded annotation engine.

@@ -48,6 +48,12 @@ bool ModelSerializer::save(const std::string &Path, Code2Vec &Embedder,
   uint32_t Flags = 0;
   if (Meta.InnerContextOnly)
     Flags |= 1u;
+  // Bit 1: the embedding tables are bucketed by the bias-free vocabulary
+  // fold (hashToVocab). Files without it were trained under the legacy
+  // `fnv1a % vocab` bucketing, whose row assignments the current
+  // extractor no longer reproduces — loading one would silently read
+  // rows trained for unrelated tokens, so the loader rejects them.
+  Flags |= 2u;
 
   std::vector<char> Buffer;
   wire::appendValue(Buffer, Magic);
@@ -141,9 +147,18 @@ bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
     return false;
   }
   // v1 had no flags word; those models could only have been trained with
-  // the default outer-context extraction, so Flags = 0 is exact.
-  if (Version >= 2)
+  // the default outer-context extraction, so Flags = 0 is exact (and
+  // their vocabulary bucketing is undetectable — see the header note).
+  if (Version >= 2) {
     wire::readValue(Buffer, Offset, Flags);
+    if ((Flags & 2u) == 0) {
+      setError(Error,
+               "model was saved with the legacy vocabulary hashing; its "
+               "embedding rows do not match the current extractor — "
+               "retrain and re-save with this build");
+      return false;
+    }
+  }
   wire::readValue(Buffer, Offset, Count);
 
   std::vector<Param *> Params = allParams(Embedder, Pol);

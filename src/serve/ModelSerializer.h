@@ -17,7 +17,12 @@
 /// bitwise exact):
 ///
 ///   u32 magic 'NVMF'   u32 version
-///   u32 flags          (bit 0: trained on inner-context embeddings)
+///   u32 flags          (bit 0: trained on inner-context embeddings;
+///                       bit 1: vocabulary bucketed by the bias-free
+///                       hashToVocab fold — REQUIRED on load for v2+,
+///                       so files trained under the legacy
+///                       `fnv1a % vocab` bucketing fail loudly instead
+///                       of silently reading re-bucketed embedding rows)
 ///   u32 paramCount
 ///   per param:  u32 rows, u32 cols, rows*cols f64 values
 ///   u32 sectionCount                                        (v3+)
@@ -28,7 +33,11 @@
 /// NearestNeighborPredictor payload, 'STRE' a DecisionTree payload (see
 /// their serialize() methods). A weights-only model writes sectionCount
 /// 0. v1 files (no flags word, no sections) and v2 files (flags word, no
-/// sections) still load; their backend set is simply unfitted.
+/// sections) still load; their backend set is simply unfitted. Caveat:
+/// a v1 file has no flags word, so the vocabulary-hash check above
+/// cannot apply — a v1 file written by a pre-fold build loads but its
+/// embeddings are re-bucketed (retrain rather than carry v1 artifacts
+/// across builds).
 ///
 /// Loading validates magic, version, per-parameter shapes against the
 /// *destination* model (so a file trained with one architecture cannot be

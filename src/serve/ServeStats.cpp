@@ -33,6 +33,10 @@ void ServeStats::reset() {
   InferMicros = 0;
   RenderMicros = 0;
   TotalMicros = 0;
+  ParseMicros = 0;
+  LoopExtractMicros = 0;
+  ContextMicros = 0;
+  EmbedMicros = 0;
   for (MethodCounters &M : PerMethod)
     M.reset();
 }
@@ -59,7 +63,12 @@ Table ServeStats::toTable() const {
                                          Passes,
                        1)});
   T.addRow({"extract ms", Table::fmt(ExtractMicros.load() / 1e3)});
+  T.addRow({"  parse ms (cpu)", Table::fmt(ParseMicros.load() / 1e3)});
+  T.addRow({"  loop extract ms (cpu)",
+            Table::fmt(LoopExtractMicros.load() / 1e3)});
+  T.addRow({"  contexts ms (cpu)", Table::fmt(ContextMicros.load() / 1e3)});
   T.addRow({"infer ms", Table::fmt(InferMicros.load() / 1e3)});
+  T.addRow({"  embed ms", Table::fmt(EmbedMicros.load() / 1e3)});
   T.addRow({"render ms", Table::fmt(RenderMicros.load() / 1e3)});
   T.addRow({"total ms", Table::fmt(TotalMicros.load() / 1e3)});
   T.addRow({"programs/s", Table::fmt(throughput(), 0)});

@@ -64,6 +64,19 @@ public:
   std::atomic<uint64_t> RenderMicros{0};  ///< Pragma injection + printing.
   std::atomic<uint64_t> TotalMicros{0};   ///< End-to-end annotateBatch time.
 
+  /// Cold-path front-end split (microseconds). Unlike the wall-clock
+  /// phase times above, these are summed per request across the worker
+  /// threads (cumulative CPU time, like MethodCounters::PredictMicros),
+  /// so a front-end regression — slower parsing, slower path-context
+  /// extraction — is visible even when pool parallelism hides it from
+  /// the wall clock.
+  std::atomic<uint64_t> ParseMicros{0};   ///< parseSource per request.
+  std::atomic<uint64_t> LoopExtractMicros{0}; ///< extractLoops per request.
+  std::atomic<uint64_t> ContextMicros{0}; ///< Path contexts + cache keys.
+  /// Wall time of the batched Code2Vec encode over the deduplicated miss
+  /// set (runs under the model lock, so wall == cumulative).
+  std::atomic<uint64_t> EmbedMicros{0};
+
   /// Per-backend traffic/latency breakdown, indexed by PredictMethod.
   MethodCounters PerMethod[NumPredictMethods];
 

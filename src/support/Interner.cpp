@@ -1,0 +1,100 @@
+//===- support/Interner.cpp - Arena-backed string interner -----------------===//
+
+#include "support/Interner.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace nv;
+
+namespace {
+
+constexpr size_t InitialSlots = 256;   ///< Power of two.
+constexpr size_t ChunkBytes = 1 << 16; ///< Arena chunk size.
+
+} // namespace
+
+Interner::Interner() : Slots(InitialSlots, 0) {}
+
+const char *Interner::store(std::string_view Text) {
+  if (Chunks.empty() || ChunkUsed + Text.size() > ChunkBytes) {
+    // A token longer than the standard chunk gets a chunk of its own:
+    // service input is untrusted, and a giant identifier must not write
+    // past a fixed-size block.
+    Chunks.push_back(
+        std::make_unique<char[]>(std::max(Text.size(), ChunkBytes)));
+    ChunkUsed = 0;
+  }
+  char *Dest = Chunks.back().get() + ChunkUsed;
+  if (!Text.empty())
+    std::memcpy(Dest, Text.data(), Text.size());
+  ChunkUsed += Text.size();
+  return Dest;
+}
+
+size_t Interner::probe(std::string_view Text, uint64_t Hash) const {
+  const size_t Mask = Slots.size() - 1;
+  size_t Index = splitmix64(Hash) & Mask;
+  for (;;) {
+    const uint32_t Slot = Slots[Index];
+    if (Slot == 0)
+      return Index;
+    const Symbol &S = Symbols[Slot - 1];
+    if (S.Hash == Hash && S.Length == Text.size() &&
+        (Text.empty() ||
+         std::memcmp(S.Data, Text.data(), Text.size()) == 0))
+      return Index;
+    Index = (Index + 1) & Mask;
+  }
+}
+
+void Interner::grow() {
+  std::vector<uint32_t> Old = std::move(Slots);
+  Slots.assign(Old.size() * 2, 0);
+  const size_t Mask = Slots.size() - 1;
+  for (uint32_t Slot : Old) {
+    if (Slot == 0)
+      continue;
+    size_t Index = splitmix64(Symbols[Slot - 1].Hash) & Mask;
+    while (Slots[Index] != 0)
+      Index = (Index + 1) & Mask;
+    Slots[Index] = Slot;
+  }
+}
+
+uint32_t Interner::intern(std::string_view Text) {
+  const uint64_t Hash = fnv1a(Text);
+  size_t Index = probe(Text, Hash);
+  if (Slots[Index] != 0)
+    return Slots[Index] - 1;
+
+  // Keep the load factor under ~70% so probe chains stay short.
+  if ((Symbols.size() + 1) * 10 >= Slots.size() * 7) {
+    grow();
+    Index = probe(Text, Hash);
+  }
+  Symbol S;
+  S.Data = store(Text);
+  S.Length = static_cast<uint32_t>(Text.size());
+  S.Hash = Hash;
+  Symbols.push_back(S);
+  const uint32_t Id = static_cast<uint32_t>(Symbols.size()) - 1;
+  Slots[Index] = Id + 1;
+  return Id;
+}
+
+std::optional<uint32_t> Interner::find(std::string_view Text) const {
+  const size_t Index = probe(Text, fnv1a(Text));
+  if (Slots[Index] == 0)
+    return std::nullopt;
+  return Slots[Index] - 1;
+}
+
+void Interner::clear() {
+  Symbols.clear();
+  Slots.assign(InitialSlots, 0);
+  Chunks.clear();
+  ChunkUsed = 0;
+}

@@ -1,0 +1,94 @@
+//===- support/Interner.h - Arena-backed string interner --------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A string interner mapping each distinct string to a dense uint32_t
+/// symbol id. Character data lives in a chunked arena (pointers stay
+/// stable as the interner grows), and every symbol's 64-bit FNV-1a hash is
+/// computed exactly once — at intern time — so hot paths that need a
+/// string's hash repeatedly (the path-context extractor hashes every
+/// terminal token into the embedding vocabulary) pay O(1) per use instead
+/// of rehashing the bytes.
+///
+/// The table is open-addressing with linear probing over a power-of-two
+/// slot array; probe starts are derived from the FNV hash through a
+/// splitmix64 mix so FNV's byte-serial structure cannot cluster probes.
+///
+/// Not thread-safe: each extraction thread owns its own interner (inside
+/// its embedding/ContextBuffer). A fully-built interner is safe to share
+/// read-only through find()/text()/hash().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SUPPORT_INTERNER_H
+#define NV_SUPPORT_INTERNER_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace nv {
+
+/// String -> dense symbol id map with arena-backed storage.
+class Interner {
+public:
+  Interner();
+
+  /// Returns the symbol id of \p Text, interning it on first sight. Ids
+  /// are dense and assigned in first-intern order (0, 1, 2, ...).
+  uint32_t intern(std::string_view Text);
+
+  /// Returns the id of \p Text if it is already interned (never inserts;
+  /// safe on a const, shared interner).
+  std::optional<uint32_t> find(std::string_view Text) const;
+
+  /// The characters of symbol \p Id. The view stays valid for the
+  /// interner's lifetime (arena chunks are never moved or freed).
+  std::string_view text(uint32_t Id) const {
+    const Symbol &S = Symbols[Id];
+    return std::string_view(S.Data, S.Length);
+  }
+
+  /// The 64-bit FNV-1a hash of symbol \p Id's text, computed at intern
+  /// time.
+  uint64_t hash(uint32_t Id) const { return Symbols[Id].Hash; }
+
+  /// Number of distinct symbols interned.
+  size_t size() const { return Symbols.size(); }
+
+  /// Drops every symbol and returns the arena to its initial chunk.
+  void clear();
+
+private:
+  struct Symbol {
+    const char *Data;
+    uint32_t Length;
+    uint64_t Hash;
+  };
+
+  /// Copies \p Text into the arena and returns the stable pointer.
+  const char *store(std::string_view Text);
+
+  /// Probes for \p Text (with precomputed \p Hash); returns the slot
+  /// index holding it or the first empty slot.
+  size_t probe(std::string_view Text, uint64_t Hash) const;
+
+  /// Doubles the slot table and reinserts every symbol.
+  void grow();
+
+  std::vector<Symbol> Symbols;
+  /// Symbol id + 1 per slot; 0 marks an empty slot.
+  std::vector<uint32_t> Slots;
+  /// Chunked character storage; chunks are fixed once allocated.
+  std::vector<std::unique_ptr<char[]>> Chunks;
+  size_t ChunkUsed = 0; ///< Bytes used in the newest chunk.
+};
+
+} // namespace nv
+
+#endif // NV_SUPPORT_INTERNER_H

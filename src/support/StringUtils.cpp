@@ -65,12 +65,3 @@ std::string nv::replaceAll(std::string Text, const std::string &From,
   }
   return Text;
 }
-
-uint64_t nv::fnv1a(const std::string &Text) {
-  uint64_t Hash = 0xCBF29CE484222325ull;
-  for (char C : Text) {
-    Hash ^= static_cast<unsigned char>(C);
-    Hash *= 0x100000001B3ull;
-  }
-  return Hash;
-}

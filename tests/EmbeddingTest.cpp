@@ -96,6 +96,60 @@ TEST(PathContext, RenamedVariablesChangeTokensNotPaths) {
     EXPECT_EQ(A[I].Path, B[I].Path);
 }
 
+TEST(PathContext, PinnedVocabHashes) {
+  // The exact token -> vocab-id mapping is load-bearing: a trained model's
+  // embedding tables are indexed by these ids, so any silent change to the
+  // hash (interning, folding, bias fix) re-buckets the vocabulary and
+  // invalidates every saved model. Values computed independently (Python)
+  // from the documented definition: hashToVocab(fnv1a(token)).
+  EXPECT_EQ(hashToken("i", 2048), 1127);
+  EXPECT_EQ(hashToken("sum", 2048), 467);
+  EXPECT_EQ(hashToken("<flt>", 2048), 710);
+  EXPECT_EQ(hashToken("0", 2048), 1399);
+  EXPECT_EQ(hashToken("512", 2048), 1674);
+  EXPECT_EQ(hashToken("float", 2048), 611);
+  // Folding is not plain truncation: small vocabularies see the high bits.
+  EXPECT_EQ(hashToken("i", 64), 35);
+  EXPECT_EQ(hashToken("sum", 64), 14);
+
+  // One pinned structural path hash: up labels [Var, Asg+] (LCA last),
+  // down labels [Arr].
+  const uint64_t Up = pathHashPush(pathHashPush(pathHashSeed(), fnv1a("Var")),
+                                   fnv1a("Asg+"));
+  const uint64_t Down = pathHashPush(pathHashSeed(), fnv1a("Arr"));
+  EXPECT_EQ(hashToVocab(pathHashCombine(Up, Down), 4096), 1266);
+  // Direction matters: the reversed path hashes differently.
+  const uint64_t RevUp = pathHashPush(pathHashPush(pathHashSeed(),
+                                                   fnv1a("Arr")),
+                                      fnv1a("Asg+"));
+  const uint64_t RevDown = pathHashPush(pathHashSeed(), fnv1a("Var"));
+  EXPECT_NE(pathHashCombine(Up, Down), pathHashCombine(RevUp, RevDown));
+}
+
+TEST(PathContext, HashToVocabIsUnbiasedAtBoundaries) {
+  // The Lemire multiply-shift maps [0, 2^64) onto [0, V) without the
+  // low-residue bias of `%` and never returns out-of-range ids, including
+  // for vocabularies that do not divide 2^64.
+  for (int Vocab : {1, 2, 13, 17, 64, 2048, 4095}) {
+    for (uint64_t Hash :
+         {uint64_t(0), uint64_t(1), ~uint64_t(0), fnv1a("i"),
+          fnv1a("some-longer-token"), uint64_t(0x8000000000000000ull)}) {
+      const int Id = hashToVocab(Hash, Vocab);
+      EXPECT_GE(Id, 0);
+      EXPECT_LT(Id, Vocab);
+    }
+  }
+  // All-distinct small inputs must not all collapse into one bucket (the
+  // old low-bits-only modulo did exactly that for stride-2^k hashes).
+  int Seen[8] = {0};
+  for (uint64_t I = 0; I < 64; ++I)
+    ++Seen[hashToVocab(I << 32, 8)];
+  int NonEmpty = 0;
+  for (int Count : Seen)
+    NonEmpty += Count > 0;
+  EXPECT_GT(NonEmpty, 4);
+}
+
 TEST(Code2Vec, OutputShapeAndDeterminism) {
   RNG R(5);
   Code2VecConfig Config;

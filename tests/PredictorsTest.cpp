@@ -3,8 +3,12 @@
 #include "predictors/DecisionTree.h"
 #include "predictors/NearestNeighbor.h"
 #include "predictors/Search.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
 
 using namespace nv;
 
@@ -81,6 +85,112 @@ TEST(NNS, MajorityVoteWithK3) {
 
 TEST(NNS, SquaredDistance) {
   EXPECT_DOUBLE_EQ(squaredDistance({1.0, 2.0}, {4.0, 6.0}), 25.0);
+}
+
+/// Reference linear scan (the pre-index implementation): exact squared
+/// distances, partial sort by (distance, index), majority vote with ties
+/// toward the nearer example.
+VectorPlan linearScanReference(
+    const std::vector<std::pair<std::vector<double>, VectorPlan>> &Examples,
+    const std::vector<double> &Query, int K) {
+  std::vector<std::pair<double, size_t>> Dist;
+  for (size_t I = 0; I < Examples.size(); ++I)
+    Dist.emplace_back(squaredDistance(Query, Examples[I].first), I);
+  const size_t Keep = std::min<size_t>(static_cast<size_t>(K), Dist.size());
+  std::partial_sort(Dist.begin(), Dist.begin() + Keep, Dist.end());
+  std::vector<std::pair<VectorPlan, int>> Votes;
+  for (size_t N = 0; N < Keep; ++N) {
+    const VectorPlan &Label = Examples[Dist[N].second].second;
+    bool Found = false;
+    for (auto &[Plan, Count] : Votes) {
+      if (Plan == Label) {
+        ++Count;
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      Votes.emplace_back(Label, 1);
+  }
+  VectorPlan Best = Votes.front().first;
+  int BestCount = Votes.front().second;
+  for (const auto &[Plan, Count] : Votes) {
+    if (Count > BestCount) {
+      Best = Plan;
+      BestCount = Count;
+    }
+  }
+  return Best;
+}
+
+TEST(NNS, BatchMatchesLinearScanReference) {
+  // The indexed path (one GEMM + norm - 2*dot selection) must agree with
+  // the per-query exact-distance scan it replaced, at several K, on a
+  // deterministic random set — including duplicated examples, where the
+  // tie must resolve toward the lower index on both paths.
+  RNG Rng(314);
+  const int Dim = 24, Count = 500, Queries = 64;
+  const VectorPlan PlanPool[] = {{1, 1}, {4, 2}, {8, 4}, {16, 4}, {64, 8}};
+  for (int K : {1, 3, 5}) {
+    NearestNeighborPredictor NNS(K);
+    std::vector<std::pair<std::vector<double>, VectorPlan>> Ref;
+    for (int I = 0; I < Count; ++I) {
+      std::vector<double> E(Dim);
+      for (double &V : E)
+        V = Rng.nextUniform(-1.0, 1.0);
+      const VectorPlan Label = PlanPool[I % 5];
+      if (I % 7 == 0 && I > 0) // Exact duplicates with different labels.
+        E = Ref[I - 1].first;
+      NNS.add(E, Label);
+      Ref.emplace_back(E, Label);
+    }
+    Matrix Q(Queries, Dim);
+    for (int R = 0; R < Queries; ++R)
+      for (int D = 0; D < Dim; ++D)
+        Q.at(R, D) = Rng.nextUniform(-1.0, 1.0);
+    // A query that *is* an example row: distance 0 tie territory.
+    for (int D = 0; D < Dim; ++D)
+      Q.at(0, D) = Ref[42].first[D];
+
+    std::vector<VectorPlan> Batch;
+    NNS.predictBatch(Q, Batch);
+    ASSERT_EQ(Batch.size(), static_cast<size_t>(Queries));
+    for (int R = 0; R < Queries; ++R) {
+      std::vector<double> Query(Q.rowPtr(R), Q.rowPtr(R) + Dim);
+      EXPECT_EQ(Batch[R], linearScanReference(Ref, Query, K))
+          << "K=" << K << " row " << R;
+      // Single-query entry point agrees with the batch.
+      EXPECT_EQ(NNS.predict(Query), Batch[R]) << "K=" << K << " row " << R;
+    }
+
+    // Pooled selection is bit-identical to serial.
+    ThreadPool Pool(4);
+    std::vector<VectorPlan> Pooled;
+    NNS.predictBatch(Q, Pooled, &Pool);
+    EXPECT_EQ(Pooled, Batch);
+  }
+}
+
+TEST(NNS, IndexSurvivesIncrementalGrowth) {
+  // add() keeps the matrix rows, norms, and labels consistent through
+  // capacity growth.
+  NearestNeighborPredictor NNS(1);
+  std::vector<std::pair<std::vector<double>, VectorPlan>> Ref;
+  RNG Rng(99);
+  for (int I = 0; I < 300; ++I) {
+    std::vector<double> E = {Rng.nextUniform(-1.0, 1.0),
+                             Rng.nextUniform(-1.0, 1.0),
+                             Rng.nextUniform(-1.0, 1.0)};
+    NNS.add(E, {1 << (I % 5), 2});
+    Ref.emplace_back(E, VectorPlan{1 << (I % 5), 2});
+    if (I % 50 == 0)
+      EXPECT_EQ(NNS.predict(E), (VectorPlan{1 << (I % 5), 2}));
+  }
+  EXPECT_EQ(NNS.size(), 300u);
+  EXPECT_EQ(NNS.dimension(), 3u);
+  for (int I = 0; I < 300; I += 17)
+    EXPECT_EQ(NNS.predict(Ref[I].first),
+              linearScanReference(Ref, Ref[I].first, 1));
 }
 
 TEST(DecisionTree, LearnsAxisAlignedSplit) {

@@ -60,8 +60,11 @@ TEST(ModelSerializer, RoundTripIsBitwiseExact) {
 
   // A different seed guarantees the fresh instance starts from different
   // weights, so equality after load() proves the file carried everything.
+  // (Compare the weights themselves: two different models can
+  // coincidentally pick the same plan for one program.)
   NeuroVectorizer Fresh(testConfig(/*Seed=*/2));
-  ASSERT_NE(Trained.annotate(DotProduct), Fresh.annotate(DotProduct));
+  ASSERT_NE(Trained.embedder().params()[0]->Value.raw(),
+            Fresh.embedder().params()[0]->Value.raw());
   std::string Error;
   ASSERT_TRUE(Fresh.load(File.Path, &Error)) << Error;
 
@@ -149,6 +152,36 @@ void downgradeModelFile(const std::string &Path, uint32_t Version) {
   std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
   Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
   Out.close();
+}
+
+TEST(ModelSerializer, RejectsLegacyVocabHashFiles) {
+  // Flags bit 1 marks the bias-free vocabulary fold. A v2+ file without
+  // it was written before the fold: its embedding rows are bucketed by
+  // the old `fnv1a % vocab`, which the current extractor no longer
+  // reproduces — loading must fail loudly, not silently degrade.
+  TempModel File("serve_oldhash.nvm");
+  NeuroVectorizer NV(testConfig(/*Seed=*/77));
+  ASSERT_TRUE(NV.save(File.Path));
+
+  std::ifstream In(File.Path, std::ios::binary);
+  std::string Bytes((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  In.close();
+  uint32_t Flags = 0;
+  std::memcpy(&Flags, &Bytes[8], sizeof(Flags));
+  ASSERT_NE(Flags & 2u, 0u); // Fresh saves carry the marker.
+  Flags &= ~2u;              // Simulate a pre-fold file.
+  std::memcpy(&Bytes[8], &Flags, sizeof(Flags));
+  const uint64_t Sum = ModelSerializer::checksum(
+      Bytes.data(), Bytes.size() - sizeof(uint64_t));
+  std::memcpy(&Bytes[Bytes.size() - sizeof(uint64_t)], &Sum, sizeof(Sum));
+  std::ofstream Out(File.Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  Out.close();
+
+  std::string Error;
+  EXPECT_FALSE(NV.load(File.Path, &Error));
+  EXPECT_NE(Error.find("vocabulary"), std::string::npos) << Error;
 }
 
 TEST(ModelSerializer, LoadsLegacyV1Files) {
@@ -251,8 +284,9 @@ TEST(ModelSerializer, RejectsArchitectureMismatch) {
 }
 
 TEST(PlanCache, LRUEvictsOldest) {
+  // One shard isolates the pure LRU semantics (all keys share the list).
   const ContextKey K1{1, 1}, K2{2, 2}, K3{3, 3};
-  PlanCache Cache(2);
+  PlanCache Cache(2, /*Shards=*/1);
   Cache.insert(K1, {2, 2});
   Cache.insert(K2, {4, 4});
   VectorPlan Out;
@@ -263,6 +297,37 @@ TEST(PlanCache, LRUEvictsOldest) {
   EXPECT_EQ(Out.VF, 2);
   EXPECT_FALSE(Cache.lookup(K2, Out));
   EXPECT_TRUE(Cache.lookup(K3, Out));
+}
+
+TEST(PlanCache, ShardedCapacityAndIsolation) {
+  // 8 shards, capacity 64: each shard holds ceil(64/8) = 8 entries, and
+  // keys spread by the Hi stream's top bits. Filling well under the total
+  // capacity with realistic (well-mixed) keys must never evict.
+  PlanCache Cache(64, /*Shards=*/8);
+  EXPECT_EQ(Cache.shards(), 8);
+  std::vector<ContextKey> Keys;
+  for (uint32_t I = 0; I < 32; ++I) {
+    // Realistic keys come out of contextBagKey (both halves mixed).
+    Keys.push_back(contextBagKey({{static_cast<int>(I), 1, 2}}, false));
+    Cache.insert(Keys.back(), {2, static_cast<int>(I)});
+  }
+  EXPECT_EQ(Cache.size(), 32u);
+  VectorPlan Out;
+  for (uint32_t I = 0; I < 32; ++I) {
+    ASSERT_TRUE(Cache.lookup(Keys[I], Out)) << "key " << I;
+    EXPECT_EQ(Out.IF, static_cast<int>(I));
+  }
+  Cache.clear();
+  EXPECT_EQ(Cache.size(), 0u);
+  EXPECT_FALSE(Cache.lookup(Keys[0], Out));
+}
+
+TEST(PlanCache, ZeroCapacityDisablesInsertion) {
+  PlanCache Cache(0, /*Shards=*/4);
+  Cache.insert({1, 1}, {4, 2});
+  VectorPlan Out;
+  EXPECT_FALSE(Cache.lookup({1, 1}, Out));
+  EXPECT_EQ(Cache.size(), 0u);
 }
 
 TEST(PlanCache, HalfMatchingKeysDoNotCollide) {

@@ -1,5 +1,6 @@
 //===- tests/SupportTest.cpp - support library tests ----------------------===//
 
+#include "support/Interner.h"
 #include "support/RNG.h"
 #include "support/Stats.h"
 #include "support/StringUtils.h"
@@ -10,6 +11,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <string>
 
 using namespace nv;
 
@@ -186,7 +188,75 @@ TEST(StringUtils, ReplaceAll) {
 TEST(StringUtils, FNVIsStable) {
   // Regression-pinned: vocabulary ids must never change across platforms.
   EXPECT_EQ(fnv1a(""), 0xCBF29CE484222325ull);
+  EXPECT_EQ(fnv1a("i"), 0xAF63E44C8601FA24ull);
   EXPECT_NE(fnv1a("a"), fnv1a("b"));
+}
+
+TEST(StringUtils, FNVContinuationMatchesConcatenation) {
+  // The interner and the extractor hash piecewise; the pieces must equal
+  // the whole.
+  EXPECT_EQ(fnv1aContinue(fnv1a("Block"), "^For"), fnv1a("Block^For"));
+  EXPECT_EQ(fnv1aByte(fnv1a("A"), 'b'), fnv1a("Ab"));
+}
+
+TEST(Interner, DensifiesAndDeduplicates) {
+  Interner I;
+  const uint32_t A = I.intern("alpha");
+  const uint32_t B = I.intern("beta");
+  EXPECT_EQ(A, 0u);
+  EXPECT_EQ(B, 1u);
+  EXPECT_EQ(I.intern("alpha"), A); // Dedup, same id.
+  EXPECT_EQ(I.size(), 2u);
+  EXPECT_EQ(I.text(A), "alpha");
+  EXPECT_EQ(I.text(B), "beta");
+  EXPECT_EQ(I.hash(A), fnv1a("alpha")); // Hash cached at intern time.
+}
+
+TEST(Interner, FindNeverInserts) {
+  Interner I;
+  I.intern("present");
+  EXPECT_TRUE(I.find("present").has_value());
+  EXPECT_FALSE(I.find("absent").has_value());
+  EXPECT_EQ(I.size(), 1u);
+  EXPECT_EQ(*I.find("present"), 0u);
+}
+
+TEST(Interner, SurvivesGrowthWithStableText) {
+  // Force several table growths and arena chunks; ids, text views, and
+  // hashes taken early must stay valid.
+  Interner I;
+  const uint32_t First = I.intern("the-very-first-symbol");
+  const std::string_view FirstText = I.text(First);
+  std::vector<uint32_t> Ids;
+  for (int K = 0; K < 5000; ++K)
+    Ids.push_back(I.intern("symbol_" + std::to_string(K)));
+  EXPECT_EQ(I.size(), 5001u);
+  EXPECT_EQ(I.text(First), "the-very-first-symbol");
+  EXPECT_EQ(FirstText, "the-very-first-symbol"); // Arena never moved.
+  for (int K = 0; K < 5000; ++K) {
+    const std::string Expect = "symbol_" + std::to_string(K);
+    EXPECT_EQ(I.intern(Expect), Ids[K]);
+    EXPECT_EQ(I.text(Ids[K]), Expect);
+    EXPECT_EQ(I.hash(Ids[K]), fnv1a(Expect));
+  }
+}
+
+TEST(Interner, ClearResets) {
+  Interner I;
+  I.intern("one");
+  I.intern("two");
+  I.clear();
+  EXPECT_EQ(I.size(), 0u);
+  EXPECT_FALSE(I.find("one").has_value());
+  EXPECT_EQ(I.intern("two"), 0u); // Ids restart densely.
+}
+
+TEST(Interner, EmptyStringIsAValidSymbol) {
+  Interner I;
+  const uint32_t Id = I.intern("");
+  EXPECT_EQ(I.text(Id), "");
+  EXPECT_EQ(I.hash(Id), fnv1a(""));
+  EXPECT_EQ(I.intern(""), Id);
 }
 
 TEST(Table, PrintsAlignedRows) {
