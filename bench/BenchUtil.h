@@ -23,6 +23,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -57,9 +58,12 @@ makeTrainedVectorizer(int NumPrograms, long long TrainSteps,
 }
 
 /// Flat JSON metric emitter for the perf trajectory: each bench writes a
-/// BENCH_<name>.json of {"bench": ..., "metrics": {key: number, ...}} that
-/// CI uploads as an artifact, so throughput history is diffable across
-/// commits without parsing table output.
+/// BENCH_<name>.json of {"bench": ..., "meta": {...}, "metrics":
+/// {key: number, ...}} that CI uploads as an artifact, so throughput
+/// history is diffable across commits without parsing table output. The
+/// meta block records where the numbers came from — git sha, compiler,
+/// build type, hardware thread count — and is ignored by the comparison
+/// gate (tools/bench_compare.py reads only "metrics").
 class BenchJson {
 public:
   explicit BenchJson(std::string Bench) : Bench(std::move(Bench)) {}
@@ -68,9 +72,30 @@ public:
     Metrics.emplace_back(Key, Value);
   }
 
+  /// The provenance block stamped into every bench JSON.
+  static std::string metaJson() {
+#ifdef NV_GIT_SHA
+    const char *GitSha = NV_GIT_SHA;
+#else
+    const char *GitSha = "unknown";
+#endif
+#ifdef NDEBUG
+    const char *BuildType = "Release";
+#else
+    const char *BuildType = "Debug";
+#endif
+    std::ostringstream OS;
+    OS << "{\"git_sha\": \"" << GitSha << "\", \"compiler\": \""
+       << __VERSION__ << "\", \"build_type\": \"" << BuildType
+       << "\", \"hardware_threads\": "
+       << std::thread::hardware_concurrency() << "}";
+    return OS.str();
+  }
+
   std::string str() const {
     std::ostringstream OS;
-    OS << "{\"bench\": \"" << Bench << "\", \"metrics\": {";
+    OS << "{\"bench\": \"" << Bench << "\", \"meta\": " << metaJson()
+       << ", \"metrics\": {";
     for (size_t I = 0; I < Metrics.size(); ++I) {
       if (I)
         OS << ", ";

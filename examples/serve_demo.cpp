@@ -16,9 +16,11 @@
 #include "dataset/LoopGenerator.h"
 #include "dataset/Suites.h"
 #include "support/Table.h"
+#include "support/Telemetry.h"
 #include "train/Evaluator.h"
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <iterator>
 
@@ -72,6 +74,10 @@ int main() {
   Serve.Threads = 4;
   AnnotationService &Service = Server.service(Serve);
 
+  // Trace every batch for the demo (the default is off — see README
+  // "Observability"); the spans land in serve_trace.json below.
+  Telemetry::trace().setSampleEvery(1);
+
   // One unseen program, every backend: the same source annotated four
   // ways from the one loaded model file.
   LoopGenerator Unseen(/*Seed=*/1234);
@@ -114,14 +120,34 @@ int main() {
   // The cold-path front-end split (also rows of the table above): these
   // are cumulative worker-thread microseconds, so a regression in the
   // parser or the path-context extractor is visible here even when pool
-  // parallelism hides it from the wall-clock phase times.
-  const ServeStats &S = Service.stats();
+  // parallelism hides it from the wall-clock phase times. One coherent
+  // snapshot feeds every field.
+  const ServeSnapshot S = Service.stats().snapshot();
   std::cout << "\ncold-path front-end (cumulative worker cpu): parse "
-            << Table::fmt(S.ParseMicros.load() / 1e3) << " ms, loop extract "
-            << Table::fmt(S.LoopExtractMicros.load() / 1e3)
-            << " ms, contexts+keys "
-            << Table::fmt(S.ContextMicros.load() / 1e3) << " ms, embed "
-            << Table::fmt(S.EmbedMicros.load() / 1e3) << " ms\n";
+            << Table::fmt(S.ParseMicros / 1e3) << " ms, loop extract "
+            << Table::fmt(S.LoopExtractMicros / 1e3) << " ms, contexts+keys "
+            << Table::fmt(S.ContextMicros / 1e3) << " ms, embed "
+            << Table::fmt(S.EmbedMicros / 1e3) << " ms\n";
+
+  // Per-phase latency distributions from the process-wide registry: the
+  // p50/p99 view the flat counters above cannot give.
+  std::cout << "\nper-phase latency distributions (serve.* histograms):\n";
+  Telemetry::metrics().histogramTable().print(std::cout);
+
+  // Dump the whole registry (the /statsz payload) and the span trace.
+  // Load serve_trace.json in chrome://tracing or https://ui.perfetto.dev
+  // to see the batch/phase timeline; CI uploads both as artifacts.
+  {
+    std::ofstream Snapshot("serve_telemetry.json", std::ios::trunc);
+    Snapshot << Telemetry::snapshotJson() << "\n";
+    std::cout << "\ntelemetry snapshot written to serve_telemetry.json\n";
+  }
+  {
+    std::ofstream Trace("serve_trace.json", std::ios::trunc);
+    Telemetry::trace().exportChromeJson(Trace);
+    std::cout << "trace (" << Telemetry::trace().snapshot().size()
+              << " spans) written to serve_trace.json\n";
+  }
 
   // --- Fig 7-style held-out comparison over the loaded backend set --------
   std::cout << "\nheld-out per-method speedup (Fig 7 style):\n";

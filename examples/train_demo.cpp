@@ -54,6 +54,10 @@ int main() {
   Train.BestModelPath = BestModelPath;
   Train.EvalEveryBatches = 6;
   Train.Verbose = true;
+  // Machine-readable run log: one JSONL event per batch / curriculum
+  // advance / eval (reward EMA, transitions/s, stage, eval speedups).
+  // Both phases append to the same file, so the log spans the crash.
+  Train.RunLogPath = "train_demo_runlog.jsonl";
 
   std::cout << "=== train_demo: train -> checkpoint -> kill -> resume -> "
                "evaluate ===\n\n";
@@ -98,6 +102,8 @@ int main() {
   std::cout << "\nbest eval reward over the run: "
             << Table::fmt(Report.BestEvalReward, 3) << " (best model in "
             << BestModelPath << ")\n";
+  std::cout << "run log (batch/curriculum/eval JSONL events, both phases): "
+            << Train.RunLogPath << "\n";
 
   if (Report.Stats.Steps < TotalSteps) {
     std::cerr << "training did not reach the configured budget\n";

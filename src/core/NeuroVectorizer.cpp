@@ -6,6 +6,7 @@
 #include "lang/Parser.h"
 #include "lang/PrettyPrinter.h"
 #include "serve/ModelSerializer.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 
@@ -111,6 +112,18 @@ bool NeuroVectorizer::supervisedReady() const {
 
 std::vector<VectorPlan>
 NeuroVectorizer::plansFor(const std::string &Source, PredictMethod Method) {
+  // The single-program facade path records into the same registry the
+  // serving front-end uses, so ad-hoc and batched traffic land in one
+  // latency picture.
+  static ShardedHistogram &PlansUs =
+      Telemetry::metrics().histogram("core.plans_us");
+  const uint64_t Start = nowMicros();
+  struct RecordOnExit {
+    ShardedHistogram &H;
+    uint64_t Start;
+    ~RecordOnExit() { H.record(nowMicros() - Start); }
+  } Record{PlansUs, Start};
+
   Predictor *P = Backends.get(Method);
   assert(P && "no backend registered for method");
 
@@ -141,6 +154,15 @@ NeuroVectorizer::plansFor(const std::string &Source, PredictMethod Method) {
 
 std::string NeuroVectorizer::annotate(const std::string &Source,
                                       PredictMethod Method) {
+  static ShardedHistogram &AnnotateUs =
+      Telemetry::metrics().histogram("core.annotate_us");
+  const uint64_t Start = nowMicros();
+  struct RecordOnExit {
+    ShardedHistogram &H;
+    uint64_t Start;
+    ~RecordOnExit() { H.record(nowMicros() - Start); }
+  } Record{AnnotateUs, Start};
+
   std::string Error;
   std::optional<Program> Parsed = parseSource(Source, &Error);
   assert(Parsed && "annotate() requires a valid program");

@@ -8,9 +8,9 @@
 #include "lang/PrettyPrinter.h"
 #include "predictors/Backends.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
-#include <chrono>
 
 using namespace nv;
 
@@ -126,7 +126,9 @@ AnnotationService::AnnotationService(Code2Vec &Embedder,
     : Embedder(Embedder), Backends(Backends), Paths(Paths), TI(TI),
       Config(Config), Pool(Config.Threads),
       Cache(Config.CacheCapacity, Config.CacheShards),
-      InnerContext(Config.InnerContextOnly) {}
+      InnerContext(Config.InnerContextOnly) {
+  initTelemetry();
+}
 
 AnnotationService::AnnotationService(Code2Vec &Embedder, Policy &Pol,
                                      const PathContextConfig &Paths,
@@ -140,6 +142,22 @@ AnnotationService::AnnotationService(Code2Vec &Embedder, Policy &Pol,
       InnerContext(Config.InnerContextOnly) {
   OwnedBackends->set(PredictMethod::RL,
                      std::make_unique<PolicyBackend>(Pol, TI));
+  initTelemetry();
+}
+
+void AnnotationService::initTelemetry() {
+  if (!Config.Telemetry)
+    return;
+  MetricsRegistry &M = Telemetry::metrics();
+  RequestUs = &M.histogram("serve.request_us");
+  BatchUs = &M.histogram("serve.batch_us");
+  ParseUs = &M.histogram("serve.parse_us");
+  LoopExtractUs = &M.histogram("serve.loop_extract_us");
+  ContextsUs = &M.histogram("serve.contexts_us");
+  EmbedUs = &M.histogram("serve.embed_us");
+  PredictUs = &M.histogram("serve.predict_us");
+  RenderUs = &M.histogram("serve.render_us");
+  Pool.attachTelemetry(M, "serve.pool");
 }
 
 void AnnotationService::setContextExtraction(bool InnerOnly) {
@@ -179,18 +197,11 @@ struct WorkItem {
   }
 };
 
-uint64_t microsSince(std::chrono::steady_clock::time_point Start) {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - Start)
-          .count());
-}
-
 } // namespace
 
 std::vector<AnnotationResult> AnnotationService::annotateBatch(
     const std::vector<AnnotationRequest> &Requests) {
-  const auto BatchStart = std::chrono::steady_clock::now();
+  const uint64_t BatchStart = nowMicros();
   const size_t N = Requests.size();
   std::vector<AnnotationResult> Results(N);
   std::vector<WorkItem> Items(N);
@@ -199,13 +210,25 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
   const bool InnerOnly = InnerContext.load();
   const PredictMethod Default = Config.DefaultMethod;
 
+  // Counters accumulate into a batch-local delta and publish once at the
+  // end (ServeStats::addBatch), so readers never see a half-applied
+  // batch. Trace spans are decided once per batch by the sampling knob;
+  // a null buffer makes every span in this batch free.
+  ServeStats Delta;
+  TraceBuffer *TB = nullptr;
+  if (Config.Telemetry && Telemetry::trace().shouldSample())
+    TB = &Telemetry::trace();
+  const uint64_t BatchId =
+      NextBatchId.fetch_add(1, std::memory_order_relaxed);
+  TraceSpan BatchSpan(TB, "serve.batch", BatchId);
+
   // --- Phase 1: parse + extract + cache lookups, in parallel --------------
   // Everything per-request happens here, on the worker: parsing, loop
   // extraction, allocation-free path-context extraction through the
   // thread's ContextBuffer arena, key hashing, and the sharded-cache
   // lookups — so cache hits are fully answered without ever touching the
   // model lock.
-  const auto ExtractStart = std::chrono::steady_clock::now();
+  const uint64_t ExtractStart = nowMicros();
   Pool.parallelFor(0, N, [&](size_t I) {
     const AnnotationRequest &Req = Requests[I];
     AnnotationResult &Res = Results[I];
@@ -225,28 +248,38 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
       Item.Backend = nullptr;
       return;
     }
-    const auto ParseStart = std::chrono::steady_clock::now();
+    const uint64_t ParseStart = nowMicros();
     std::string ParseError;
     std::optional<Program> Parsed = parseSource(Req.Source, &ParseError);
-    Stats.ParseMicros += microsSince(ParseStart);
+    const uint64_t ParseTime = nowMicros() - ParseStart;
+    Delta.ParseMicros += ParseTime;
+    if (ParseUs)
+      ParseUs->record(ParseTime);
+    if (TB)
+      TB->record("serve.parse", ParseStart, ParseTime, BatchId);
     if (!Parsed) {
       Res.Error = "parse error: " + ParseError;
       return;
     }
     Item.Prog = std::make_unique<Program>(std::move(*Parsed));
     clearAllPragmas(*Item.Prog);
-    const auto SitesStart = std::chrono::steady_clock::now();
+    const uint64_t SitesStart = nowMicros();
     // The serving path never reads ContextText; skip the per-site
     // pretty-print the training-side extractor pays for it.
     Item.Sites = extractLoops(*Item.Prog, /*WithContextText=*/false);
-    Stats.LoopExtractMicros += microsSince(SitesStart);
+    const uint64_t SitesTime = nowMicros() - SitesStart;
+    Delta.LoopExtractMicros += SitesTime;
+    if (LoopExtractUs)
+      LoopExtractUs->record(SitesTime);
+    if (TB)
+      TB->record("serve.loop_extract", SitesStart, SitesTime, BatchId);
     if (Item.Sites.empty()) {
       Item.Prog.reset();
       Res.Error = "no vectorizable loops";
       return;
     }
 
-    const auto ContextStart = std::chrono::steady_clock::now();
+    const uint64_t ContextStart = nowMicros();
     static thread_local ContextBuffer Buf;
     Item.ContextBegin.reserve(Item.Sites.size() + 1);
     Item.ContextBegin.push_back(0);
@@ -265,10 +298,15 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
       Item.Keys.push_back(
           contextBagKey(Span, InnerOnly, Item.Method));
     }
-    Stats.ContextMicros += microsSince(ContextStart);
+    const uint64_t ContextTime = nowMicros() - ContextStart;
+    Delta.ContextMicros += ContextTime;
+    if (ContextsUs)
+      ContextsUs->record(ContextTime);
+    if (TB)
+      TB->record("serve.contexts", ContextStart, ContextTime, BatchId);
 
     // Sharded-cache lookups, still on the worker thread.
-    MethodCounters &MC = Stats.forMethod(Item.Method);
+    MethodCounters &MC = Delta.forMethod(Item.Method);
     Res.Plans.assign(Item.Sites.size(), VectorPlan{});
     Item.SiteDone.assign(Item.Sites.size(), 0);
     if (Item.Backend->kind() == Predictor::Kind::Source) {
@@ -281,7 +319,7 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
         if (Cache.lookup(Item.Keys[0], Hit)) {
           Res.Plans[0] = Hit;
           ++Res.CachedSites;
-          ++Stats.CacheHits;
+          ++Delta.CacheHits;
           ++MC.CacheHits;
           Item.SiteDone[0] = 1;
           return;
@@ -296,16 +334,19 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
       if (Cache.lookup(Item.Keys[S], Hit)) {
         Res.Plans[S] = Hit;
         ++Res.CachedSites;
-        ++Stats.CacheHits;
+        ++Delta.CacheHits;
         ++MC.CacheHits;
         Item.SiteDone[S] = 1;
       }
     }
   });
-  Stats.ExtractMicros += microsSince(ExtractStart);
+  const uint64_t ExtractTime = nowMicros() - ExtractStart;
+  Delta.ExtractMicros += ExtractTime;
+  if (TB)
+    TB->record("serve.extract", ExtractStart, ExtractTime, BatchId);
 
   // --- Phase 2: dedup + batched embed + per-backend inference -------------
-  const auto InferStart = std::chrono::steady_clock::now();
+  const uint64_t InferStart = nowMicros();
   // Requests routed to source-kind backends that the cache could not
   // answer; computed after the model lock drops (they never touch the
   // shared model).
@@ -337,7 +378,7 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
           SourceMisses.push_back(I);
         continue;
       }
-      MethodCounters &MC = Stats.forMethod(Item.Method);
+      MethodCounters &MC = Delta.forMethod(Item.Method);
       for (size_t S = 0; S < Item.Sites.size(); ++S) {
         if (Item.SiteDone[S])
           continue;
@@ -346,10 +387,10 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
         if (Inserted) {
           MissContexts.push_back(Item.siteContexts(S));
           RowMethods.push_back(Item.Method);
-          ++Stats.CacheMisses;
+          ++Delta.CacheMisses;
           ++MC.Misses;
         } else {
-          ++Stats.DedupHits; // Same loop earlier in this batch.
+          ++Delta.DedupHits; // Same loop earlier in this batch.
           ++MC.DedupHits;
         }
         Pending.push_back({I, S, It->second});
@@ -363,9 +404,14 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
       // GEMM row panels (bit-identical at any pool size). Each backend
       // then consumes its own rows; when one backend owns the whole batch
       // (the common case) it reads the encode buffer in place.
-      const auto EmbedStart = std::chrono::steady_clock::now();
+      const uint64_t EmbedStart = nowMicros();
       Embedder.encodeSpansInto(MissContexts, StatesBuf, &Pool);
-      Stats.EmbedMicros += microsSince(EmbedStart);
+      const uint64_t EmbedTime = nowMicros() - EmbedStart;
+      Delta.EmbedMicros += EmbedTime;
+      if (EmbedUs)
+        EmbedUs->record(EmbedTime);
+      if (TB)
+        TB->record("serve.embed", EmbedStart, EmbedTime, BatchId);
 
       std::vector<VectorPlan> RowPlans(MissContexts.size());
       std::vector<size_t> MethodRows[NumPredictMethods];
@@ -388,13 +434,18 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
                       Sub.rowPtr(static_cast<int>(R)));
           States = &Sub;
         }
-        const auto PredictStart = std::chrono::steady_clock::now();
+        const uint64_t PredictStart = nowMicros();
         const std::vector<VectorPlan> Plans =
             P->plansForEmbeddings(*States, &Pool);
-        Stats.forMethod(static_cast<PredictMethod>(M)).PredictMicros +=
-            microsSince(PredictStart);
-        ++Stats.ForwardPasses;
-        Stats.LoopsPerForward += Rows.size();
+        const uint64_t PredictTime = nowMicros() - PredictStart;
+        Delta.forMethod(static_cast<PredictMethod>(M)).PredictMicros +=
+            PredictTime;
+        if (PredictUs)
+          PredictUs->record(PredictTime);
+        if (TB)
+          TB->record("serve.predict", PredictStart, PredictTime, BatchId);
+        ++Delta.ForwardPasses;
+        Delta.LoopsPerForward += Rows.size();
         for (size_t R = 0; R < Rows.size(); ++R)
           RowPlans[Rows[R]] = Plans[R];
       }
@@ -411,24 +462,32 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
     Pool.parallelFor(0, SourceMisses.size(), [&](size_t K) {
       const size_t I = SourceMisses[K];
       WorkItem &Item = Items[I];
-      MethodCounters &MC = Stats.forMethod(Item.Method);
-      const auto PredictStart = std::chrono::steady_clock::now();
+      MethodCounters &MC = Delta.forMethod(Item.Method);
+      const uint64_t PredictStart = nowMicros();
       std::vector<VectorPlan> Plans =
           Item.Backend->plansForSource(Requests[I].Source);
-      MC.PredictMicros += microsSince(PredictStart);
+      const uint64_t PredictTime = nowMicros() - PredictStart;
+      MC.PredictMicros += PredictTime;
+      if (PredictUs)
+        PredictUs->record(PredictTime);
+      if (TB)
+        TB->record("serve.predict", PredictStart, PredictTime, BatchId);
       assert(Plans.size() == Item.Sites.size() &&
              "backend and phase 1 disagree on site count");
       MC.Misses += Plans.size();
-      Stats.CacheMisses += Plans.size();
+      Delta.CacheMisses += Plans.size();
       if (Item.Backend->cacheable() && Plans.size() == 1)
         Cache.insert(Item.Keys[0], Plans[0]);
       Results[I].Plans = std::move(Plans);
     });
   }
-  Stats.InferMicros += microsSince(InferStart);
+  const uint64_t InferTime = nowMicros() - InferStart;
+  Delta.InferMicros += InferTime;
+  if (TB)
+    TB->record("serve.infer", InferStart, InferTime, BatchId);
 
   // --- Phase 3: inject pragmas + re-print, in parallel --------------------
-  const auto RenderStart = std::chrono::steady_clock::now();
+  const uint64_t RenderStart = nowMicros();
   Pool.parallelFor(0, N, [&](size_t I) {
     WorkItem &Item = Items[I];
     if (!Item.Prog)
@@ -440,18 +499,34 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
     Res.Annotated = printProgram(*Item.Prog);
     Res.Ok = true;
   });
-  Stats.RenderMicros += microsSince(RenderStart);
+  const uint64_t RenderTime = nowMicros() - RenderStart;
+  Delta.RenderMicros += RenderTime;
+  if (RenderUs)
+    RenderUs->record(RenderTime);
+  if (TB)
+    TB->record("serve.render", RenderStart, RenderTime, BatchId);
 
   // --- Bookkeeping ---------------------------------------------------------
-  ++Stats.BatchesServed;
+  ++Delta.BatchesServed;
   for (const AnnotationResult &Res : Results) {
     if (Res.Ok) {
-      ++Stats.ProgramsServed;
-      Stats.LoopsServed += Res.Plans.size();
+      ++Delta.ProgramsServed;
+      Delta.LoopsServed += Res.Plans.size();
     } else {
-      ++Stats.ProgramsRejected;
+      ++Delta.ProgramsRejected;
     }
   }
-  Stats.TotalMicros += microsSince(BatchStart);
+  const uint64_t BatchTime = nowMicros() - BatchStart;
+  Delta.TotalMicros += BatchTime;
+  // Publish the whole batch at once; snapshot() readers see it
+  // all-or-nothing.
+  Stats.addBatch(Delta);
+  if (BatchUs) {
+    BatchUs->record(BatchTime);
+    // Per-request end-to-end latency: every request in a batch waits out
+    // the batch wall clock, so each contributes the batch time.
+    for (size_t I = 0; I < N; ++I)
+      RequestUs->record(BatchTime);
+  }
   return Results;
 }

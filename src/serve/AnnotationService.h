@@ -71,6 +71,9 @@
 
 namespace nv {
 
+class ShardedHistogram;
+class TraceBuffer;
+
 /// Service tuning knobs.
 struct ServeConfig {
   int Threads = 4;            ///< Worker pool size.
@@ -86,6 +89,12 @@ struct ServeConfig {
   bool InnerContextOnly = false;
   /// Backend answering requests that carry no per-request override.
   PredictMethod DefaultMethod = PredictMethod::RL;
+  /// Record per-phase latency histograms (serve.*_us), pool queue
+  /// metrics, and — when the trace sampling knob is on — phase spans
+  /// into the process-wide telemetry (support/Telemetry.h). Histogram
+  /// recording is a few relaxed atomic adds per phase; spans cost
+  /// nothing until Telemetry::trace().setSampleEvery() enables them.
+  bool Telemetry = true;
 };
 
 /// One program to annotate.
@@ -254,6 +263,23 @@ private:
   std::atomic<bool> InnerContext;
   std::mutex ModelMutex; ///< Serializes phase-2 use of the shared model.
   Matrix StatesBuf; ///< Reused encode output (guarded by ModelMutex).
+
+  /// Telemetry handles, resolved once at construction (all null when
+  /// Config.Telemetry is false): per-phase latency histograms in the
+  /// process-wide registry. Recording through them is lock-free.
+  ShardedHistogram *RequestUs = nullptr;     ///< serve.request_us
+  ShardedHistogram *BatchUs = nullptr;       ///< serve.batch_us
+  ShardedHistogram *ParseUs = nullptr;       ///< serve.parse_us
+  ShardedHistogram *LoopExtractUs = nullptr; ///< serve.loop_extract_us
+  ShardedHistogram *ContextsUs = nullptr;    ///< serve.contexts_us
+  ShardedHistogram *EmbedUs = nullptr;       ///< serve.embed_us
+  ShardedHistogram *PredictUs = nullptr;     ///< serve.predict_us
+  ShardedHistogram *RenderUs = nullptr;      ///< serve.render_us
+  std::atomic<uint64_t> NextBatchId{1}; ///< Trace-span correlation ids.
+
+  /// Resolves the histogram pointers above and attaches the pool's
+  /// queue metrics; no-op when Config.Telemetry is false.
+  void initTelemetry();
 };
 
 } // namespace nv

@@ -6,20 +6,78 @@
 
 using namespace nv;
 
-double ServeStats::hitRate() const {
-  const uint64_t Hits = CacheHits.load() + DedupHits.load();
-  const uint64_t Total = Hits + CacheMisses.load();
+double ServeSnapshot::hitRate() const {
+  const uint64_t Hits = CacheHits + DedupHits;
+  const uint64_t Total = Hits + CacheMisses;
   return Total == 0 ? 0.0 : static_cast<double>(Hits) / Total;
 }
 
-double ServeStats::throughput() const {
-  const uint64_t Micros = TotalMicros.load();
-  if (Micros == 0)
+double ServeSnapshot::throughput() const {
+  if (TotalMicros == 0)
     return 0.0;
-  return static_cast<double>(ProgramsServed.load()) * 1e6 / Micros;
+  return static_cast<double>(ProgramsServed) * 1e6 / TotalMicros;
+}
+
+void ServeStats::addBatch(const ServeStats &Delta) {
+  std::lock_guard<std::mutex> Lock(SnapshotMutex);
+  BatchesServed += Delta.BatchesServed.load();
+  ProgramsServed += Delta.ProgramsServed.load();
+  ProgramsRejected += Delta.ProgramsRejected.load();
+  LoopsServed += Delta.LoopsServed.load();
+  CacheHits += Delta.CacheHits.load();
+  DedupHits += Delta.DedupHits.load();
+  CacheMisses += Delta.CacheMisses.load();
+  ForwardPasses += Delta.ForwardPasses.load();
+  LoopsPerForward += Delta.LoopsPerForward.load();
+  ExtractMicros += Delta.ExtractMicros.load();
+  InferMicros += Delta.InferMicros.load();
+  RenderMicros += Delta.RenderMicros.load();
+  TotalMicros += Delta.TotalMicros.load();
+  ParseMicros += Delta.ParseMicros.load();
+  LoopExtractMicros += Delta.LoopExtractMicros.load();
+  ContextMicros += Delta.ContextMicros.load();
+  EmbedMicros += Delta.EmbedMicros.load();
+  for (int I = 0; I < NumPredictMethods; ++I) {
+    PerMethod[I].Loops += Delta.PerMethod[I].Loops.load();
+    PerMethod[I].CacheHits += Delta.PerMethod[I].CacheHits.load();
+    PerMethod[I].DedupHits += Delta.PerMethod[I].DedupHits.load();
+    PerMethod[I].Misses += Delta.PerMethod[I].Misses.load();
+    PerMethod[I].PredictMicros += Delta.PerMethod[I].PredictMicros.load();
+  }
+}
+
+ServeSnapshot ServeStats::snapshot() const {
+  std::lock_guard<std::mutex> Lock(SnapshotMutex);
+  ServeSnapshot S;
+  S.BatchesServed = BatchesServed.load();
+  S.ProgramsServed = ProgramsServed.load();
+  S.ProgramsRejected = ProgramsRejected.load();
+  S.LoopsServed = LoopsServed.load();
+  S.CacheHits = CacheHits.load();
+  S.DedupHits = DedupHits.load();
+  S.CacheMisses = CacheMisses.load();
+  S.ForwardPasses = ForwardPasses.load();
+  S.LoopsPerForward = LoopsPerForward.load();
+  S.ExtractMicros = ExtractMicros.load();
+  S.InferMicros = InferMicros.load();
+  S.RenderMicros = RenderMicros.load();
+  S.TotalMicros = TotalMicros.load();
+  S.ParseMicros = ParseMicros.load();
+  S.LoopExtractMicros = LoopExtractMicros.load();
+  S.ContextMicros = ContextMicros.load();
+  S.EmbedMicros = EmbedMicros.load();
+  for (int I = 0; I < NumPredictMethods; ++I) {
+    S.PerMethod[I].Loops = PerMethod[I].Loops.load();
+    S.PerMethod[I].CacheHits = PerMethod[I].CacheHits.load();
+    S.PerMethod[I].DedupHits = PerMethod[I].DedupHits.load();
+    S.PerMethod[I].Misses = PerMethod[I].Misses.load();
+    S.PerMethod[I].PredictMicros = PerMethod[I].PredictMicros.load();
+  }
+  return S;
 }
 
 void ServeStats::reset() {
+  std::lock_guard<std::mutex> Lock(SnapshotMutex);
   BatchesServed = 0;
   ProgramsServed = 0;
   ProgramsRejected = 0;
@@ -42,60 +100,60 @@ void ServeStats::reset() {
 }
 
 Table ServeStats::toTable() const {
+  const ServeSnapshot S = snapshot();
   Table T({"metric", "value"});
   auto AddCount = [&T](const char *Name, uint64_t Value) {
     T.addRow({Name, std::to_string(Value)});
   };
-  AddCount("batches", BatchesServed.load());
-  AddCount("programs served", ProgramsServed.load());
-  AddCount("programs rejected", ProgramsRejected.load());
-  AddCount("loops served", LoopsServed.load());
-  AddCount("cache hits", CacheHits.load());
-  AddCount("dedup hits", DedupHits.load());
-  AddCount("cache misses", CacheMisses.load());
-  T.addRow({"cache hit rate", Table::fmt(hitRate(), 3)});
-  AddCount("forward passes", ForwardPasses.load());
-  const uint64_t Passes = ForwardPasses.load();
+  AddCount("batches", S.BatchesServed);
+  AddCount("programs served", S.ProgramsServed);
+  AddCount("programs rejected", S.ProgramsRejected);
+  AddCount("loops served", S.LoopsServed);
+  AddCount("cache hits", S.CacheHits);
+  AddCount("dedup hits", S.DedupHits);
+  AddCount("cache misses", S.CacheMisses);
+  T.addRow({"cache hit rate", Table::fmt(S.hitRate(), 3)});
+  AddCount("forward passes", S.ForwardPasses);
   T.addRow({"loops per forward",
-            Table::fmt(Passes == 0 ? 0.0
-                                   : static_cast<double>(
-                                         LoopsPerForward.load()) /
-                                         Passes,
+            Table::fmt(S.ForwardPasses == 0
+                           ? 0.0
+                           : static_cast<double>(S.LoopsPerForward) /
+                                 S.ForwardPasses,
                        1)});
-  T.addRow({"extract ms", Table::fmt(ExtractMicros.load() / 1e3)});
-  T.addRow({"  parse ms (cpu)", Table::fmt(ParseMicros.load() / 1e3)});
-  T.addRow({"  loop extract ms (cpu)",
-            Table::fmt(LoopExtractMicros.load() / 1e3)});
-  T.addRow({"  contexts ms (cpu)", Table::fmt(ContextMicros.load() / 1e3)});
-  T.addRow({"infer ms", Table::fmt(InferMicros.load() / 1e3)});
-  T.addRow({"  embed ms", Table::fmt(EmbedMicros.load() / 1e3)});
-  T.addRow({"render ms", Table::fmt(RenderMicros.load() / 1e3)});
-  T.addRow({"total ms", Table::fmt(TotalMicros.load() / 1e3)});
-  T.addRow({"programs/s", Table::fmt(throughput(), 0)});
+  T.addRow({"extract ms", Table::fmt(S.ExtractMicros / 1e3)});
+  T.addRow({"  parse ms (cpu)", Table::fmt(S.ParseMicros / 1e3)});
+  T.addRow(
+      {"  loop extract ms (cpu)", Table::fmt(S.LoopExtractMicros / 1e3)});
+  T.addRow({"  contexts ms (cpu)", Table::fmt(S.ContextMicros / 1e3)});
+  T.addRow({"infer ms", Table::fmt(S.InferMicros / 1e3)});
+  T.addRow({"  embed ms", Table::fmt(S.EmbedMicros / 1e3)});
+  T.addRow({"render ms", Table::fmt(S.RenderMicros / 1e3)});
+  T.addRow({"total ms", Table::fmt(S.TotalMicros / 1e3)});
+  T.addRow({"programs/s", Table::fmt(S.throughput(), 0)});
   return T;
 }
 
 Table ServeStats::methodTable() const {
+  const ServeSnapshot S = snapshot();
   Table T({"backend", "loops", "cache hits", "dedup hits", "computed",
            "backend ms"});
   for (int I = 0; I < NumPredictMethods; ++I) {
-    const MethodCounters &M = PerMethod[I];
-    if (M.Loops.load() == 0)
+    const MethodCountersView &M = S.PerMethod[I];
+    if (M.Loops == 0)
       continue;
     T.addRow({methodName(static_cast<PredictMethod>(I)),
-              std::to_string(M.Loops.load()),
-              std::to_string(M.CacheHits.load()),
-              std::to_string(M.DedupHits.load()),
-              std::to_string(M.Misses.load()),
-              Table::fmt(M.PredictMicros.load() / 1e3)});
+              std::to_string(M.Loops), std::to_string(M.CacheHits),
+              std::to_string(M.DedupHits), std::to_string(M.Misses),
+              Table::fmt(M.PredictMicros / 1e3)});
   }
   return T;
 }
 
 void ServeStats::print(std::ostream &OS) const {
+  const ServeSnapshot S = snapshot();
   toTable().print(OS);
-  for (const MethodCounters &M : PerMethod) {
-    if (M.Loops.load() != 0) {
+  for (const MethodCountersView &M : S.PerMethod) {
+    if (M.Loops != 0) {
       methodTable().print(OS);
       break;
     }

@@ -7,9 +7,18 @@
 /// \file
 /// Operational counters for the annotation service: programs and loops
 /// served, plan-cache hits/misses, batched forward passes, and wall time
-/// split across the pipeline phases. All counters are atomic so worker
-/// threads update them without coordination; rendering goes through
-/// support/Table so service reports look like every other harness table.
+/// split across the pipeline phases.
+///
+/// ServeStats is a thin counter view over the serving pipeline (latency
+/// *distributions* live in the process-wide telemetry histograms, see
+/// support/Telemetry.h). The fields stay public atomics for cheap direct
+/// reads, but every derived reading — hitRate(), throughput(), the
+/// tables, print() — goes through snapshot(), which is coherent with
+/// batch publication: annotateBatch accumulates a whole batch into a
+/// private delta and folds it in with one addBatch() call under the
+/// snapshot mutex, so a snapshot never sees a batch half-applied (e.g.
+/// CacheMisses bumped but TotalMicros not yet, which used to make
+/// throughput() transiently nonsensical mid-batch).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +31,7 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 
 namespace nv {
 
@@ -43,6 +53,46 @@ struct MethodCounters {
     Misses = 0;
     PredictMicros = 0;
   }
+};
+
+/// Plain (non-atomic) copy of one backend's counters.
+struct MethodCountersView {
+  uint64_t Loops = 0;
+  uint64_t CacheHits = 0;
+  uint64_t DedupHits = 0;
+  uint64_t Misses = 0;
+  uint64_t PredictMicros = 0;
+};
+
+/// One coherent reading of every serving counter: all fields come from
+/// the same instant under the publication mutex, so cross-field ratios
+/// (hit rate, throughput, loops per forward) are internally consistent.
+struct ServeSnapshot {
+  uint64_t BatchesServed = 0;
+  uint64_t ProgramsServed = 0;
+  uint64_t ProgramsRejected = 0;
+  uint64_t LoopsServed = 0;
+  uint64_t CacheHits = 0;
+  uint64_t DedupHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t ForwardPasses = 0;
+  uint64_t LoopsPerForward = 0;
+  uint64_t ExtractMicros = 0;
+  uint64_t InferMicros = 0;
+  uint64_t RenderMicros = 0;
+  uint64_t TotalMicros = 0;
+  uint64_t ParseMicros = 0;
+  uint64_t LoopExtractMicros = 0;
+  uint64_t ContextMicros = 0;
+  uint64_t EmbedMicros = 0;
+  MethodCountersView PerMethod[NumPredictMethods];
+
+  /// Fraction of loop lookups answered without a fresh forward row
+  /// (LRU cache hits + intra-batch dedup hits).
+  double hitRate() const;
+
+  /// Programs per second over the accumulated total time (0 if no time).
+  double throughput() const;
 };
 
 /// Counters accumulated across annotateBatch() calls.
@@ -87,14 +137,23 @@ public:
     return PerMethod[static_cast<size_t>(M)];
   }
 
-  /// Fraction of loop lookups answered without a fresh forward row
-  /// (LRU cache hits + intra-batch dedup hits).
-  double hitRate() const;
+  /// Folds a quiesced batch-local \p Delta into this object under the
+  /// snapshot mutex, so concurrent snapshot()/reset() callers observe
+  /// each batch all-or-nothing.
+  void addBatch(const ServeStats &Delta);
 
-  /// Programs per second over the accumulated total time (0 if no time).
-  double throughput() const;
+  /// One coherent copy of every field (serialized against addBatch and
+  /// reset). All derived readings below are computed over a snapshot.
+  ServeSnapshot snapshot() const;
 
-  /// Resets every counter to zero.
+  /// See ServeSnapshot::hitRate().
+  double hitRate() const { return snapshot().hitRate(); }
+
+  /// See ServeSnapshot::throughput().
+  double throughput() const { return snapshot().throughput(); }
+
+  /// Resets every counter to zero (coherent with addBatch: a concurrent
+  /// batch is either fully in before the wipe or fully published after).
   void reset();
 
   /// Renders the counters as a two-column table.
@@ -107,6 +166,12 @@ public:
   /// Prints toTable() (and methodTable() when any backend saw traffic)
   /// to \p OS.
   void print(std::ostream &OS) const;
+
+private:
+  /// Serializes addBatch / snapshot / reset against each other. Workers
+  /// inside a batch never touch it — they accumulate into the batch
+  /// delta — so it is uncontended except at batch boundaries.
+  mutable std::mutex SnapshotMutex;
 };
 
 } // namespace nv

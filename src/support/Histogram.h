@@ -1,0 +1,249 @@
+//===- support/Histogram.h - Log-bucketed latency histograms ----*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-layout log-bucketed histograms for latency distributions, built
+/// for the serving hot path: recording is a handful of relaxed atomic adds
+/// into a per-thread-striped shard (no locks, no allocation), and
+/// percentile queries merge the shards into a plain snapshot on demand.
+///
+/// Bucket layout (HdrHistogram-style, pinned by tests): values below
+/// SubBuckets (32) get exact unit buckets; above that, each power-of-two
+/// octave is split into SubBuckets/2 equal sub-buckets, so the relative
+/// bucket width — and therefore the worst-case percentile error — is
+/// bounded by 1/16 (6.25%) everywhere. The layout is a compile-time
+/// constant: histograms from different threads or shards merge
+/// bucket-for-bucket, and a recorded percentile can never shift because a
+/// config knob moved.
+///
+/// percentile(q) reports the *upper bound* of the bucket holding the
+/// rank-ceil(q*count) value, clamped to the observed maximum — so a
+/// histogram of identical values reports that exact value at every
+/// quantile, values below SubBuckets are exact, and any reported quantile
+/// P satisfies exact <= P <= exact * (1 + 1/16).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SUPPORT_HISTOGRAM_H
+#define NV_SUPPORT_HISTOGRAM_H
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace nv {
+
+/// Dense per-thread index for shard striping (first use on a thread
+/// assigns the next id). Shared across every sharded structure so a
+/// thread's traffic stays on one cache-resident shard.
+inline unsigned threadIndex() {
+  static std::atomic<unsigned> Next{0};
+  thread_local unsigned Id = Next.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+/// The shared bucket layout: index math only, no storage.
+struct HistogramLayout {
+  /// log2 of the sub-bucket count; 5 bounds relative error by 2^-(5-1).
+  static constexpr int SubBucketBits = 5;
+  static constexpr uint64_t SubBuckets = 1ull << SubBucketBits; // 32
+  /// Shift range for values with the top bit at position >= SubBucketBits.
+  static constexpr int MaxShift = 64 - SubBucketBits; // 59
+  static constexpr size_t NumBuckets =
+      SubBuckets + static_cast<size_t>(MaxShift) * (SubBuckets / 2); // 976
+
+  /// Bucket index of \p V (total: every uint64 maps to one bucket).
+  static size_t bucketOf(uint64_t V) {
+    if (V < SubBuckets)
+      return static_cast<size_t>(V);
+    const int Msb = 63 - __builtin_clzll(V);
+    const int Shift = Msb - (SubBucketBits - 1); // >= 1
+    const uint64_t Sub = V >> Shift; // In [SubBuckets/2, SubBuckets).
+    return SubBuckets + static_cast<size_t>(Shift - 1) * (SubBuckets / 2) +
+           static_cast<size_t>(Sub - SubBuckets / 2);
+  }
+
+  /// Smallest value mapping to bucket \p Index.
+  static uint64_t lowerBound(size_t Index) {
+    if (Index < SubBuckets)
+      return Index;
+    const size_t Rel = Index - SubBuckets;
+    const int Shift = static_cast<int>(Rel / (SubBuckets / 2)) + 1;
+    const uint64_t Sub = (Rel % (SubBuckets / 2)) + SubBuckets / 2;
+    return Sub << Shift;
+  }
+
+  /// Largest value mapping to bucket \p Index (inclusive).
+  static uint64_t upperBound(size_t Index) {
+    if (Index < SubBuckets)
+      return Index;
+    const size_t Rel = Index - SubBuckets;
+    const int Shift = static_cast<int>(Rel / (SubBuckets / 2)) + 1;
+    return lowerBound(Index) + ((1ull << Shift) - 1);
+  }
+};
+
+/// A plain (single-writer) histogram: the merge target of shard
+/// snapshots, and directly usable where recording is already serial.
+class Histogram : public HistogramLayout {
+public:
+  void record(uint64_t V) {
+    ++Buckets[bucketOf(V)];
+    addAggregates(1, V, V, V);
+  }
+
+  /// Adds \p C samples to bucket \p Index without touching the
+  /// aggregates; pair with addAggregates (shard merging).
+  void addBucketCount(size_t Index, uint64_t C) { Buckets[Index] += C; }
+
+  /// Folds pre-accumulated aggregates (count, sum, min, max) in.
+  void addAggregates(uint64_t N_, uint64_t Total_, uint64_t Lo_,
+                     uint64_t Hi_) {
+    if (N_ == 0)
+      return;
+    N += N_;
+    Total += Total_;
+    if (Lo_ < Lo)
+      Lo = Lo_;
+    if (Hi_ > Hi)
+      Hi = Hi_;
+  }
+
+  void merge(const Histogram &O) {
+    for (size_t I = 0; I < NumBuckets; ++I)
+      Buckets[I] += O.Buckets[I];
+    addAggregates(O.N, O.Total, O.Lo, O.Hi);
+  }
+
+  uint64_t count() const { return N; }
+  uint64_t sum() const { return Total; }
+  uint64_t min() const { return N ? Lo : 0; }
+  uint64_t max() const { return Hi; }
+  double mean() const {
+    return N ? static_cast<double>(Total) / static_cast<double>(N) : 0.0;
+  }
+  uint64_t bucketCount(size_t Index) const { return Buckets[Index]; }
+
+  /// Upper bound of the bucket holding the rank-ceil(q*count) value,
+  /// clamped to the observed max; 0 on an empty histogram.
+  uint64_t percentile(double Q) const {
+    if (N == 0)
+      return 0;
+    uint64_t Rank =
+        static_cast<uint64_t>(std::ceil(Q * static_cast<double>(N)));
+    if (Rank < 1)
+      Rank = 1;
+    if (Rank > N)
+      Rank = N;
+    uint64_t Seen = 0;
+    for (size_t I = 0; I < NumBuckets; ++I) {
+      Seen += Buckets[I];
+      if (Seen >= Rank) {
+        const uint64_t Upper = upperBound(I);
+        return Upper < Hi ? Upper : Hi;
+      }
+    }
+    return Hi; // Unreachable: Seen reaches N.
+  }
+
+  bool operator==(const Histogram &O) const {
+    return N == O.N && Total == O.Total && Lo == O.Lo && Hi == O.Hi &&
+           Buckets == O.Buckets;
+  }
+  bool operator!=(const Histogram &O) const { return !(*this == O); }
+
+private:
+  std::array<uint64_t, NumBuckets> Buckets{};
+  uint64_t N = 0;
+  uint64_t Total = 0;
+  uint64_t Lo = UINT64_MAX;
+  uint64_t Hi = 0;
+};
+
+/// The concurrent recording front: per-thread-striped shards of relaxed
+/// atomic bucket counters. record() is lock-free and contention-free for
+/// up to NumShards concurrently recording threads (striped by
+/// threadIndex(), so a thread always lands on the same shard);
+/// snapshot() merges the shards into a plain Histogram. Recording
+/// concurrent with snapshot() is safe: a racing record lands in this
+/// snapshot or the next, and a snapshot's bucket cells never tear (each
+/// is one relaxed load), though its aggregates may run one racing sample
+/// ahead of its buckets — quiesce recording where exact equality matters.
+class ShardedHistogram : public HistogramLayout {
+public:
+  static constexpr size_t NumShards = 8;
+
+  ShardedHistogram() : Shards(new Shard[NumShards]) {
+    for (size_t S = 0; S < NumShards; ++S) {
+      Shard &Sh = Shards[S];
+      for (size_t I = 0; I < NumBuckets; ++I)
+        Sh.Buckets[I].store(0, std::memory_order_relaxed);
+      Sh.N.store(0, std::memory_order_relaxed);
+      Sh.Total.store(0, std::memory_order_relaxed);
+      Sh.Lo.store(UINT64_MAX, std::memory_order_relaxed);
+      Sh.Hi.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void record(uint64_t V) {
+    Shard &S = Shards[threadIndex() % NumShards];
+    S.Buckets[bucketOf(V)].fetch_add(1, std::memory_order_relaxed);
+    S.N.fetch_add(1, std::memory_order_relaxed);
+    S.Total.fetch_add(V, std::memory_order_relaxed);
+    uint64_t Cur = S.Lo.load(std::memory_order_relaxed);
+    while (V < Cur &&
+           !S.Lo.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+      ;
+    Cur = S.Hi.load(std::memory_order_relaxed);
+    while (V > Cur &&
+           !S.Hi.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+      ;
+  }
+
+  uint64_t count() const {
+    uint64_t N = 0;
+    for (size_t S = 0; S < NumShards; ++S)
+      N += Shards[S].N.load(std::memory_order_relaxed);
+    return N;
+  }
+
+  /// Merges every shard into one plain histogram (O(buckets), not
+  /// O(samples)).
+  Histogram snapshot() const {
+    Histogram Merged;
+    for (size_t S = 0; S < NumShards; ++S) {
+      const Shard &Sh = Shards[S];
+      for (size_t I = 0; I < NumBuckets; ++I) {
+        const uint64_t C = Sh.Buckets[I].load(std::memory_order_relaxed);
+        if (C != 0)
+          Merged.addBucketCount(I, C);
+      }
+      Merged.addAggregates(Sh.N.load(std::memory_order_relaxed),
+                           Sh.Total.load(std::memory_order_relaxed),
+                           Sh.Lo.load(std::memory_order_relaxed),
+                           Sh.Hi.load(std::memory_order_relaxed));
+    }
+    return Merged;
+  }
+
+private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, NumBuckets> Buckets;
+    std::atomic<uint64_t> N;
+    std::atomic<uint64_t> Total;
+    std::atomic<uint64_t> Lo;
+    std::atomic<uint64_t> Hi;
+  };
+
+  std::unique_ptr<Shard[]> Shards;
+};
+
+} // namespace nv
+
+#endif // NV_SUPPORT_HISTOGRAM_H

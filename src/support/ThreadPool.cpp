@@ -2,6 +2,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Telemetry.h"
+
 #include <algorithm>
 #include <atomic>
 #include <memory>
@@ -25,12 +27,24 @@ ThreadPool::~ThreadPool() {
     Worker.join();
 }
 
-void ThreadPool::run(std::function<void()> Job) {
+void ThreadPool::attachTelemetry(MetricsRegistry &Metrics,
+                                 const std::string &Prefix) {
+  QueueDepth = &Metrics.gauge(Prefix + ".queue_depth");
+  TasksRun = &Metrics.counter(Prefix + ".tasks");
+  QueueWaitUs = &Metrics.histogram(Prefix + ".queue_wait_us");
+}
+
+void ThreadPool::run(std::function<void()> Fn) {
+  const uint64_t EnqueueMicros = QueueWaitUs ? nowMicros() : 0;
+  size_t Depth;
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
-    Jobs.push(std::move(Job));
+    Jobs.push({std::move(Fn), EnqueueMicros});
     ++InFlight;
+    Depth = Jobs.size();
   }
+  if (QueueDepth)
+    QueueDepth->set(static_cast<double>(Depth));
   JobReady.notify_one();
 }
 
@@ -41,16 +55,24 @@ void ThreadPool::wait() {
 
 void ThreadPool::workerLoop() {
   for (;;) {
-    std::function<void()> Job;
+    Job Work;
+    size_t Depth;
     {
       std::unique_lock<std::mutex> Lock(QueueMutex);
       JobReady.wait(Lock, [this] { return ShuttingDown || !Jobs.empty(); });
       if (Jobs.empty())
         return; // Shutting down and drained.
-      Job = std::move(Jobs.front());
+      Work = std::move(Jobs.front());
       Jobs.pop();
+      Depth = Jobs.size();
     }
-    Job();
+    if (TasksRun) {
+      TasksRun->add();
+      QueueDepth->set(static_cast<double>(Depth));
+      if (Work.EnqueueMicros != 0)
+        QueueWaitUs->record(nowMicros() - Work.EnqueueMicros);
+    }
+    Work.Fn();
     {
       std::lock_guard<std::mutex> Lock(QueueMutex);
       --InFlight;

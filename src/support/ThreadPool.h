@@ -17,19 +17,31 @@
 /// claims indices alongside the workers — a parallelFor issued from inside
 /// a pool job completes even when every worker is busy.
 ///
+/// An owner may attachTelemetry() the pool to a MetricsRegistry, after
+/// which it exports queue depth (gauge), tasks run (counter), and
+/// enqueue-to-start wait latency (histogram). Unattached pools (the
+/// default) pay nothing — not even a clock read per task.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NV_SUPPORT_THREADPOOL_H
 #define NV_SUPPORT_THREADPOOL_H
 
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace nv {
+
+class Counter;
+class Gauge;
+class MetricsRegistry;
+class ShardedHistogram;
 
 /// Fixed-size thread pool.
 class ThreadPool {
@@ -48,6 +60,12 @@ public:
   /// Enqueues \p Job for execution on some worker.
   void run(std::function<void()> Job);
 
+  /// Exports this pool's queue metrics under \p Prefix (e.g.
+  /// "serve.pool" -> "serve.pool.queue_depth" gauge, ".tasks" counter,
+  /// ".queue_wait_us" histogram). Call before the pool sees traffic;
+  /// not thread-safe against concurrent run().
+  void attachTelemetry(MetricsRegistry &Metrics, const std::string &Prefix);
+
   /// Blocks until every enqueued job has finished — pool-global, so only
   /// meaningful for single-owner pools (e.g. train/RolloutWorkers, which
   /// pairs its own run() calls with one wait()). Concurrent-use paths
@@ -64,11 +82,21 @@ public:
                    const std::function<void(size_t)> &Fn);
 
 private:
+  /// A queued job plus its enqueue timestamp (0 when unattached: the
+  /// clock is only read while telemetry is on).
+  struct Job {
+    std::function<void()> Fn;
+    uint64_t EnqueueMicros = 0;
+  };
+
   void workerLoop();
 
   std::vector<std::thread> Workers;
-  std::queue<std::function<void()>> Jobs;
+  std::queue<Job> Jobs;
   std::mutex QueueMutex;
+  Gauge *QueueDepth = nullptr;         ///< attachTelemetry exports.
+  Counter *TasksRun = nullptr;
+  ShardedHistogram *QueueWaitUs = nullptr;
   std::condition_variable JobReady;  ///< Signals workers.
   std::condition_variable AllIdle;   ///< Signals wait().
   size_t InFlight = 0;               ///< Queued + currently running jobs.

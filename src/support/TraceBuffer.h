@@ -1,0 +1,243 @@
+//===- support/TraceBuffer.h - Per-thread span trace rings ------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded trace of phase spans (begin time, duration, thread, request)
+/// collected into per-thread ring buffers and exported as
+/// chrome://tracing-compatible JSON ("trace event format", ph:"X"
+/// complete events — load the file in chrome://tracing or Perfetto).
+///
+/// Writers touch only their own ring under a never-contended mutex (the
+/// only other locker is a snapshot/export), so steady-state recording
+/// costs one uncontended lock plus a slot store; the ring wraps by
+/// overwriting the oldest spans (dropped() counts them). Recording is
+/// further gated by a sampling knob: setSampleEvery(N) makes
+/// shouldSample() pass every Nth unit of work (0 disables tracing
+/// entirely, the default), so instrumented call sites cost one relaxed
+/// load when tracing is off.
+///
+/// TraceSpan is the RAII recorder: it stamps the start on construction
+/// and pushes the completed span on destruction. Spans recorded by a
+/// null-buffer TraceSpan never read the clock at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SUPPORT_TRACEBUFFER_H
+#define NV_SUPPORT_TRACEBUFFER_H
+
+#include "support/Histogram.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nv {
+
+/// Microseconds on the process-wide steady clock (anchored at first use,
+/// so values are small and chrome://tracing timestamps stay readable).
+inline uint64_t nowMicros() {
+  static const std::chrono::steady_clock::time_point Anchor =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Anchor)
+          .count());
+}
+
+/// One completed phase span. Name must be a string literal (or otherwise
+/// outlive the buffer): spans are POD so the ring never allocates.
+struct TraceEvent {
+  const char *Name = nullptr;
+  uint64_t TsMicros = 0;  ///< Span begin, nowMicros() clock.
+  uint64_t DurMicros = 0; ///< Span duration.
+  uint64_t RequestId = 0; ///< Batch/request correlation id (0 = none).
+  uint32_t ThreadId = 0;  ///< threadIndex() of the recording thread.
+};
+
+/// Bounded multi-thread span collector.
+class TraceBuffer {
+public:
+  explicit TraceBuffer(size_t PerThreadCapacity = 4096)
+      : Capacity(PerThreadCapacity < 1 ? 1 : PerThreadCapacity),
+        Instance(NextInstance().fetch_add(1, std::memory_order_relaxed)) {}
+
+  /// Sampling knob: shouldSample() passes every Nth call; 0 (the
+  /// default) disables tracing entirely.
+  void setSampleEvery(uint32_t N) {
+    SampleEvery.store(N, std::memory_order_relaxed);
+  }
+  uint32_t sampleEvery() const {
+    return SampleEvery.load(std::memory_order_relaxed);
+  }
+
+  /// One shared sampling decision per unit of work (e.g. per served
+  /// batch): true every Nth call across all threads.
+  bool shouldSample() {
+    const uint32_t N = SampleEvery.load(std::memory_order_relaxed);
+    if (N == 0)
+      return false;
+    return SampleCounter.fetch_add(1, std::memory_order_relaxed) % N == 0;
+  }
+
+  /// Appends one completed span to the calling thread's ring.
+  void record(const char *Name, uint64_t TsMicros, uint64_t DurMicros,
+              uint64_t RequestId = 0) {
+    Ring &R = localRing();
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    R.Events[R.Head % Capacity] = {Name, TsMicros, DurMicros, RequestId,
+                                   R.ThreadId};
+    ++R.Head;
+  }
+
+  /// Copies every retained span, oldest-first per thread, then sorted by
+  /// begin time. Safe concurrently with recording.
+  std::vector<TraceEvent> snapshot() const {
+    std::vector<TraceEvent> Out;
+    std::lock_guard<std::mutex> RegLock(RegistryMutex);
+    for (const std::unique_ptr<Ring> &R : Rings) {
+      std::lock_guard<std::mutex> Lock(R->Mutex);
+      const uint64_t Kept = std::min<uint64_t>(R->Head, Capacity);
+      for (uint64_t I = R->Head - Kept; I < R->Head; ++I)
+        Out.push_back(R->Events[I % Capacity]);
+    }
+    std::stable_sort(Out.begin(), Out.end(),
+                     [](const TraceEvent &A, const TraceEvent &B) {
+                       return A.TsMicros < B.TsMicros;
+                     });
+    return Out;
+  }
+
+  /// Spans lost to ring wrap so far.
+  uint64_t dropped() const {
+    uint64_t Lost = 0;
+    std::lock_guard<std::mutex> RegLock(RegistryMutex);
+    for (const std::unique_ptr<Ring> &R : Rings) {
+      std::lock_guard<std::mutex> Lock(R->Mutex);
+      if (R->Head > Capacity)
+        Lost += R->Head - Capacity;
+    }
+    return Lost;
+  }
+
+  /// Drops every retained span (rings stay registered).
+  void clear() {
+    std::lock_guard<std::mutex> RegLock(RegistryMutex);
+    for (const std::unique_ptr<Ring> &R : Rings) {
+      std::lock_guard<std::mutex> Lock(R->Mutex);
+      R->Head = 0;
+    }
+  }
+
+  size_t capacity() const { return Capacity; }
+
+  /// Writes the chrome://tracing "trace event format" JSON document:
+  /// {"displayTimeUnit":"ms","traceEvents":[{"name":...,"ph":"X",...}]}.
+  /// Span names are plain literals in practice, but the export escapes
+  /// them anyway so the document is well-formed JSON unconditionally.
+  void exportChromeJson(std::ostream &OS) const {
+    OS << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool First = true;
+    for (const TraceEvent &E : snapshot()) {
+      if (!First)
+        OS << ",";
+      First = false;
+      OS << "\n  {\"name\": \"";
+      for (const char *C = E.Name ? E.Name : ""; *C; ++C) {
+        const unsigned char U = static_cast<unsigned char>(*C);
+        if (*C == '"' || *C == '\\')
+          OS << '\\' << *C;
+        else if (U < 0x20) {
+          char Hex[8];
+          std::snprintf(Hex, sizeof(Hex), "\\u%04x", U);
+          OS << Hex;
+        } else
+          OS << *C;
+      }
+      OS << "\", \"ph\": \"X\", \"ts\": " << E.TsMicros
+         << ", \"dur\": " << E.DurMicros << ", \"pid\": 1, \"tid\": "
+         << E.ThreadId << ", \"args\": {\"req\": " << E.RequestId << "}}";
+    }
+    OS << "\n]}\n";
+  }
+
+private:
+  struct Ring {
+    std::mutex Mutex;
+    std::vector<TraceEvent> Events;
+    uint64_t Head = 0; ///< Total spans ever pushed.
+    uint32_t ThreadId = 0;
+  };
+
+  static std::atomic<uint64_t> &NextInstance() {
+    static std::atomic<uint64_t> Counter{0};
+    return Counter;
+  }
+
+  /// The calling thread's ring for THIS buffer, registered on first use.
+  /// The thread-local cache is keyed by (buffer pointer, instance id):
+  /// a new buffer reusing a dead buffer's address gets a fresh instance
+  /// id, so a stale cache entry can never alias it.
+  Ring &localRing() {
+    struct CacheEntry {
+      const TraceBuffer *Buf;
+      uint64_t Instance;
+      Ring *R;
+    };
+    thread_local std::vector<CacheEntry> Cache;
+    for (CacheEntry &E : Cache)
+      if (E.Buf == this && E.Instance == Instance)
+        return *E.R;
+    auto Owned = std::make_unique<Ring>();
+    Owned->Events.resize(Capacity);
+    Owned->ThreadId = threadIndex();
+    Ring *R = Owned.get();
+    {
+      std::lock_guard<std::mutex> Lock(RegistryMutex);
+      Rings.push_back(std::move(Owned));
+    }
+    Cache.push_back({this, Instance, R});
+    return *R;
+  }
+
+  size_t Capacity;
+  uint64_t Instance;
+  std::atomic<uint32_t> SampleEvery{0};
+  std::atomic<uint64_t> SampleCounter{0};
+  mutable std::mutex RegistryMutex;
+  std::deque<std::unique_ptr<Ring>> Rings;
+};
+
+/// RAII span: stamps the start now, records on destruction. A null
+/// buffer makes both ends free (no clock read).
+class TraceSpan {
+public:
+  TraceSpan(TraceBuffer *Buf, const char *Name, uint64_t RequestId = 0)
+      : Buf(Buf), Name(Name), RequestId(RequestId),
+        StartMicros(Buf ? nowMicros() : 0) {}
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+  ~TraceSpan() {
+    if (Buf)
+      Buf->record(Name, StartMicros, nowMicros() - StartMicros, RequestId);
+  }
+
+private:
+  TraceBuffer *Buf;
+  const char *Name;
+  uint64_t RequestId;
+  uint64_t StartMicros;
+};
+
+} // namespace nv
+
+#endif // NV_SUPPORT_TRACEBUFFER_H

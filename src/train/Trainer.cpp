@@ -3,6 +3,7 @@
 #include "train/Trainer.h"
 
 #include "serve/ModelSerializer.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <chrono>
@@ -22,10 +23,23 @@ size_t Trainer::addEvalSuite(const std::string &Name,
   return Eval.addSuite(Name, Programs);
 }
 
-EvalReport Trainer::runEval(TrainProgress &Progress) {
+EvalReport Trainer::runEval(TrainProgress &Progress, RunLog *Log) {
   EvalReport Report = Eval.evaluate(Runner.embedder(), Runner.policy());
   if (Report.NumPrograms == 0)
     return Report;
+  if (Log && Log->enabled()) {
+    JsonLine Event;
+    Event.field("event", "eval")
+        .field("step", static_cast<long long>(Progress.StepsDone))
+        .field("mean_reward", Report.MeanReward)
+        .field("programs", static_cast<uint64_t>(Report.NumPrograms))
+        .field("improved", Report.MeanReward > Progress.BestEvalReward);
+    JsonLine Suites;
+    for (const EvalSuite &Suite : Report.Suites)
+      Suites.field(Suite.Name, Suite.GeomeanSpeedup);
+    Event.raw("geomean_speedup", Suites.str());
+    Log->write(Event);
+  }
   if (Report.MeanReward > Progress.BestEvalReward) {
     Progress.BestEvalReward = Report.MeanReward;
     if (!Config.BestModelPath.empty()) {
@@ -46,6 +60,16 @@ EvalReport Trainer::runEval(TrainProgress &Progress) {
 TrainReport Trainer::run() {
   TrainReport Report;
   TrainProgress Progress;
+
+  // Per-iteration metrics timeline (JSONL) plus live gauges in the
+  // process-wide registry (the same snapshot a /statsz would serve).
+  RunLog Log(Config.RunLogPath);
+  MetricsRegistry &Metrics = Telemetry::metrics();
+  Gauge &RewardEMAGauge = Metrics.gauge("train.reward_ema");
+  Gauge &LossGauge = Metrics.gauge("train.loss");
+  Gauge &StageGauge = Metrics.gauge("train.stage");
+  Gauge &RateGauge = Metrics.gauge("train.transitions_per_sec");
+  ShardedHistogram &BatchUs = Metrics.histogram("train.batch_us");
 
   // Resume, if asked and possible. A missing or invalid checkpoint is not
   // fatal: the run simply starts from scratch.
@@ -110,6 +134,7 @@ TrainReport Trainer::run() {
       Report.Interrupted = true;
       break;
     }
+    const uint64_t BatchStart = nowMicros();
 
     // Parallel collection off the master RNG state, then one serial
     // advance so the next batch derives fresh episode streams.
@@ -134,16 +159,48 @@ TrainReport Trainer::run() {
                                 Runner.rewardEMA().value());
     Report.Stats.Loss.add(static_cast<double>(Progress.StepsDone), Loss);
 
+    const uint64_t BatchTime = nowMicros() - BatchStart;
+    const double Rate = BatchTime == 0 ? 0.0
+                                       : static_cast<double>(PPO.BatchSize) *
+                                             1e6 / BatchTime;
+    BatchUs.record(BatchTime);
+    RewardEMAGauge.set(Runner.rewardEMA().value());
+    LossGauge.set(Loss);
+    StageGauge.set(Stages.stage());
+    RateGauge.set(Rate);
+    if (Log.enabled())
+      Log.write(JsonLine()
+                    .field("event", "batch")
+                    .field("step", static_cast<long long>(Progress.StepsDone))
+                    .field("batch",
+                           static_cast<long long>(Progress.BatchesDone))
+                    .field("reward_ema", Runner.rewardEMA().value())
+                    .field("loss", Loss)
+                    .field("entropy_coef", EntropyCoef)
+                    .field("stage", Stages.stage())
+                    .field("transitions_per_sec", Rate));
+
     if (Stages.observe(Runner.rewardEMA().value(), PPO.BatchSize,
-                       Runner.env()) &&
-        Config.Verbose)
-      std::cout << "[train] curriculum -> stage " << Stages.stage() << " ("
-                << Stages.stageName(Stages.stage()) << "), "
-                << Runner.env().size() << " programs\n";
+                       Runner.env())) {
+      StageGauge.set(Stages.stage());
+      if (Log.enabled())
+        Log.write(
+            JsonLine()
+                .field("event", "curriculum")
+                .field("step", static_cast<long long>(Progress.StepsDone))
+                .field("stage", Stages.stage())
+                .field("stage_name", Stages.stageName(Stages.stage()))
+                .field("programs",
+                       static_cast<uint64_t>(Runner.env().size())));
+      if (Config.Verbose)
+        std::cout << "[train] curriculum -> stage " << Stages.stage() << " ("
+                  << Stages.stageName(Stages.stage()) << "), "
+                  << Runner.env().size() << " programs\n";
+    }
 
     if (Config.EvalEveryBatches > 0 &&
         Progress.BatchesDone % Config.EvalEveryBatches == 0)
-      runEval(Progress);
+      runEval(Progress, &Log);
 
     Progress.Stage = Stages.cursor();
     Progress.RewardEMAValue = Runner.rewardEMA().value();
@@ -165,7 +222,7 @@ TrainReport Trainer::run() {
 
   // Final evaluation (and best-model update), then a final checkpoint so a
   // later Resume continues from the exact stopping point.
-  Report.FinalEval = runEval(Progress);
+  Report.FinalEval = runEval(Progress, &Log);
   Progress.Stage = Stages.cursor();
   if (!Config.CheckpointPath.empty()) {
     std::string Error;
@@ -181,5 +238,14 @@ TrainReport Trainer::run() {
   Report.Stats.Steps = Progress.StepsDone;
   Report.FinalStage = Stages.stage();
   Report.BestEvalReward = Progress.BestEvalReward;
+  if (Log.enabled())
+    Log.write(JsonLine()
+                  .field("event", "final")
+                  .field("step", static_cast<long long>(Progress.StepsDone))
+                  .field("batches", static_cast<long long>(Report.BatchesRun))
+                  .field("reward_ema", Report.Stats.FinalRewardMean)
+                  .field("stage", Report.FinalStage)
+                  .field("best_eval_reward", Report.BestEvalReward)
+                  .field("interrupted", Report.Interrupted));
   return Report;
 }

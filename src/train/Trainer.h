@@ -32,6 +32,8 @@
 
 namespace nv {
 
+class RunLog;
+
 /// Trainer configuration.
 struct TrainerConfig {
   int NumWorkers = 4;
@@ -62,6 +64,14 @@ struct TrainerConfig {
   /// wall-clock cap stops at a nondeterministic batch boundary.
   long long MaxStepsThisRun = 0;
   double MaxSecondsThisRun = 0.0;
+
+  /// JSONL run log (one event object per line): a "batch" event per PPO
+  /// update (step, reward EMA, loss, entropy coefficient, curriculum
+  /// stage, transitions/s), a "curriculum" event per stage advance, an
+  /// "eval" event per held-out evaluation (per-suite geomean speedups),
+  /// and one "final" event. Appends, so a resumed run extends the same
+  /// timeline. Empty disables it.
+  std::string RunLogPath;
 
   bool Verbose = false; ///< Per-batch progress lines on stdout.
 };
@@ -96,7 +106,7 @@ public:
   const Curriculum &curriculum() const { return Stages; }
 
 private:
-  EvalReport runEval(TrainProgress &Progress);
+  EvalReport runEval(TrainProgress &Progress, RunLog *Log);
 
   PPORunner &Runner;
   RolloutModelSpec Spec;

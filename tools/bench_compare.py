@@ -3,9 +3,13 @@
 
 The benches (bench/*.cpp) emit flat JSON metric files of the form
 
-    {"bench": "serve_throughput", "metrics": {"warm_cache_programs_per_sec": ...}}
+    {"bench": "serve_throughput", "meta": {...}, "metrics":
+     {"warm_cache_programs_per_sec": ...}}
 
-into the working directory. This tool diffs a fresh set against the
+into the working directory. Only the "metrics" block is compared; the
+"meta" block (git sha, compiler, build type, thread count — see
+bench/BenchUtil.h) is provenance for humans reading the artifacts and is
+ignored here, so baselines recorded on other machines/commits still gate. This tool diffs a fresh set against the
 committed baselines in bench/baselines/ and FAILS (exit 1) when any
 throughput metric (key ending in ``_per_sec``) drops by more than
 ``--max-drop`` (default 25%). All other metrics are reported but never
@@ -74,9 +78,17 @@ def compare(baseline_dir, current_dir, max_drop):
         for key, cur_value in cur.items():
             if key not in base:
                 continue
+            # Non-numeric values (a stray annotation in either file)
+            # cannot be diffed; skip them rather than crash the gate.
+            if not isinstance(cur_value, (int, float)) or isinstance(
+                    cur_value, bool):
+                continue
             base_value = base[key]
+            if not isinstance(base_value, (int, float)) or isinstance(
+                    base_value, bool):
+                continue
             gated = key.endswith(GATED_SUFFIX)
-            if not isinstance(base_value, (int, float)) or base_value <= 0:
+            if base_value <= 0:
                 gated = False
             drop = 0.0
             if gated:
