@@ -1,0 +1,252 @@
+//===- bench/serve_net.cpp - Network daemon throughput bench --------------===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+// Drives the epoll annotation daemon (src/net) end-to-end over loopback:
+// N client connections send batched annotate frames as fast as the
+// daemon answers them, while a control connection hot-reloads the model
+// mid-bench — the zero-downtime contract under load. Reports sustained
+// annotated programs/s and the client-observed p50/p99 round-trip
+// latency, and writes BENCH_serve_net.json for the CI perf gate.
+//
+// Every response is checked: a single non-OK result, shed frame, or
+// failed reload during the measured window exits non-zero (correctness
+// is gated; timing is reported and compared by tools/bench_compare.py).
+//
+//   serve_net [--smoke] [--connections N] [--batch B] [--seconds S]
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "net/Client.h"
+#include "net/NetServer.h"
+#include "serve/ModelHost.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+using namespace nv;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+uint64_t percentile(std::vector<uint64_t> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  const size_t Idx = std::min(
+      Sorted.size() - 1, static_cast<size_t>(P * (Sorted.size() - 1)));
+  return Sorted[Idx];
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  int Connections = 8;
+  int BatchSize = 16;
+  double Seconds = 5.0;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    if (Arg == "--smoke")
+      Smoke = true;
+    else if (Arg == "--connections" && I + 1 < Argc)
+      Connections = std::atoi(Argv[++I]);
+    else if (Arg == "--batch" && I + 1 < Argc)
+      BatchSize = std::atoi(Argv[++I]);
+    else if (Arg == "--seconds" && I + 1 < Argc)
+      Seconds = std::atof(Argv[++I]);
+    else {
+      std::cerr << "usage: " << Argv[0]
+                << " [--smoke] [--connections N] [--batch B] [--seconds S]\n";
+      return 2;
+    }
+  }
+  if (Smoke)
+    Seconds = std::min(Seconds, 2.0);
+
+  std::cout << "=== net: daemon throughput + mid-bench hot reload ===\n\n";
+  std::cout << "training a small model...\n";
+  NeuroVectorizerConfig Config = benchConfig();
+  auto NV = makeTrainedVectorizer(/*NumPrograms=*/100,
+                                  /*TrainSteps=*/Smoke ? 1000 : 4000,
+                                  /*Seed=*/42, Config);
+
+  // Two checkpoints for the mid-bench flip: the trained model and a
+  // further-trained one (distinct weights, same architecture).
+  const std::string PathA = "serve_net_model_a.nvm";
+  const std::string PathB = "serve_net_model_b.nvm";
+  std::string Error;
+  if (!NV->save(PathA, &Error)) {
+    std::cerr << "save failed: " << Error << "\n";
+    return 1;
+  }
+  NV->train(Smoke ? 500 : 2000);
+  if (!NV->save(PathB, &Error)) {
+    std::cerr << "save failed: " << Error << "\n";
+    return 1;
+  }
+
+  // The daemon under test, on an ephemeral loopback port.
+  ModelHost Models(NV->servingModelConfig());
+  if (Models.reload(PathA, &Error) != LoadStatus::Ok) {
+    std::cerr << "initial load failed: " << Error << "\n";
+    return 1;
+  }
+  ServeConfig Serve;
+  Serve.Threads = 2;
+  AnnotationService Service(Models, Config.Embedding.Paths, Config.Target,
+                            Serve);
+  NetServerConfig Net;
+  NetServer Server(Service, Models, Net);
+  if (!Server.start(&Error)) {
+    std::cerr << "start failed: " << Error << "\n";
+    return 1;
+  }
+  const uint16_t Port = Server.port();
+
+  // Workload: a pool of distinct synthetic loops, batched round-robin.
+  // Repeats hit the plan cache (the steady-state serving regime); each
+  // hot reload invalidates it, so the bench also pays the re-population
+  // cost twice.
+  LoopGenerator Gen(/*Seed=*/777);
+  std::vector<GeneratedLoop> Pool = Gen.generateMany(64);
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Annotated{0};
+  std::atomic<uint64_t> Frames{0};
+  std::atomic<uint64_t> Failed{0};
+  std::vector<std::vector<uint64_t>> LatencyUs(
+      static_cast<size_t>(Connections));
+
+  auto Worker = [&](int Id) {
+    NetClient Client;
+    std::string WErr;
+    if (!Client.connect("127.0.0.1", Port, &WErr)) {
+      ++Failed;
+      return;
+    }
+    size_t Next = static_cast<size_t>(Id) * 7;
+    while (!Stop.load(std::memory_order_relaxed)) {
+      net::AnnotateRequestBody Req;
+      for (int B = 0; B < BatchSize; ++B) {
+        const GeneratedLoop &L = Pool[Next++ % Pool.size()];
+        net::WireProgram P;
+        P.Name = L.Name;
+        P.Source = L.Source;
+        Req.Programs.push_back(std::move(P));
+      }
+      net::AnnotateResponseBody Res;
+      net::WireStatus Status;
+      const auto Start = std::chrono::steady_clock::now();
+      if (!Client.annotate(Req, Res, Status, &WErr) ||
+          Status != net::WireStatus::Ok ||
+          Res.Results.size() != Req.Programs.size()) {
+        ++Failed;
+        return;
+      }
+      LatencyUs[static_cast<size_t>(Id)].push_back(
+          static_cast<uint64_t>(secondsSince(Start) * 1e6));
+      for (const net::WireResult &R : Res.Results)
+        if (!R.Ok)
+          ++Failed;
+      Annotated.fetch_add(Res.Results.size(), std::memory_order_relaxed);
+      Frames.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::cout << "driving " << Connections << " connections, batch "
+            << BatchSize << ", " << Seconds << "s...\n";
+  const auto BenchStart = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < Connections; ++I)
+    Threads.emplace_back(Worker, I);
+
+  // Mid-bench hot reloads from a control connection: flip to B at ~40%,
+  // back to A at ~70%. Zero downtime means zero failed requests.
+  NetClient Control;
+  uint64_t ReloadsOk = 0;
+  if (!Control.connect("127.0.0.1", Port, &Error)) {
+    std::cerr << "control connect failed: " << Error << "\n";
+    Stop.store(true);
+  }
+  const double FlipAt[] = {0.4, 0.7};
+  const std::string *FlipTo[] = {&PathB, &PathA};
+  size_t Flip = 0;
+  while (secondsSince(BenchStart) < Seconds) {
+    if (Flip < 2 && secondsSince(BenchStart) >= FlipAt[Flip] * Seconds) {
+      net::WireStatus Status;
+      uint64_t Generation = 0;
+      if (!Control.reload(*FlipTo[Flip], Status, &Generation, &Error) ||
+          Status != net::WireStatus::Ok) {
+        std::cerr << "mid-bench reload failed: " << Control.statusMessage()
+                  << " " << Error << "\n";
+        ++Failed;
+      } else {
+        ++ReloadsOk;
+        std::cout << "  hot reload -> generation " << Generation << " at "
+                  << Table::fmt(secondsSince(BenchStart), 2) << "s\n";
+      }
+      ++Flip;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  Stop.store(true);
+  for (std::thread &T : Threads)
+    T.join();
+  const double Elapsed = secondsSince(BenchStart);
+  Server.shutdown();
+  std::remove(PathA.c_str());
+  std::remove(PathB.c_str());
+
+  std::vector<uint64_t> All;
+  for (const std::vector<uint64_t> &L : LatencyUs)
+    All.insert(All.end(), L.begin(), L.end());
+  std::sort(All.begin(), All.end());
+  const double ProgramsPerSec = Annotated.load() / Elapsed;
+  const uint64_t P50 = percentile(All, 0.50);
+  const uint64_t P99 = percentile(All, 0.99);
+
+  Table T({"metric", "value"});
+  T.addRow({"connections", std::to_string(Connections)});
+  T.addRow({"batch size", std::to_string(BatchSize)});
+  T.addRow({"annotated programs", std::to_string(Annotated.load())});
+  T.addRow({"programs/s", Table::fmt(ProgramsPerSec, 0)});
+  T.addRow({"frame p50", Table::fmt(P50 / 1000.0, 2) + " ms"});
+  T.addRow({"frame p99", Table::fmt(P99 / 1000.0, 2) + " ms"});
+  T.addRow({"hot reloads", std::to_string(ReloadsOk)});
+  T.addRow({"failed requests", std::to_string(Failed.load())});
+  T.print(std::cout);
+
+  BenchJson Json("serve_net");
+  Json.add("connections", Connections);
+  Json.add("batch_size", BatchSize);
+  Json.add("annotated_programs", static_cast<double>(Annotated.load()));
+  Json.add("programs_per_sec", ProgramsPerSec);
+  Json.add("frame_p50_us", static_cast<double>(P50));
+  Json.add("frame_p99_us", static_cast<double>(P99));
+  Json.add("hot_reloads", static_cast<double>(ReloadsOk));
+  Json.write("serve_net");
+
+  // Correctness gate: the hot-reload contract is zero failed requests
+  // and both flips landing; throughput is reported, not gated here
+  // (tools/bench_compare.py owns regression detection).
+  if (Failed.load() != 0 || ReloadsOk != 2) {
+    std::cerr << "\nFAILED: " << Failed.load() << " failed requests, "
+              << ReloadsOk << "/2 reloads\n";
+    return 1;
+  }
+  std::cout << "\nOK: zero failed requests across " << Frames.load()
+            << " frames and " << ReloadsOk << " hot reloads\n";
+  return 0;
+}

@@ -245,6 +245,17 @@ AnnotationService &NeuroVectorizer::service() {
   return *Service;
 }
 
+ServingModelConfig NeuroVectorizer::servingModelConfig() const {
+  ServingModelConfig Cfg;
+  Cfg.Embedding = Config.Embedding;
+  Cfg.ActionSpace = Config.ActionSpace;
+  Cfg.Hidden = Config.Hidden;
+  Cfg.Target = Config.Target;
+  Cfg.Machine = Config.Machine;
+  Cfg.Seed = Config.Seed;
+  return Cfg;
+}
+
 std::vector<AnnotationResult> NeuroVectorizer::annotateBatch(
     const std::vector<AnnotationRequest> &Requests) {
   return service().annotateBatch(Requests);

@@ -32,6 +32,7 @@
 #include "rl/PPO.h"
 #include "rl/Policy.h"
 #include "serve/AnnotationService.h"
+#include "serve/ModelHost.h"
 #include "train/Distill.h"
 #include "train/Trainer.h"
 
@@ -121,6 +122,13 @@ public:
   /// the supervised backends are restored from the file's sections when
   /// present (v3) and cleared otherwise.
   bool load(const std::string &Path, std::string *Error = nullptr);
+
+  /// The serving-side slice of this instance's configuration, for
+  /// standing up a ModelHost (serve/ModelHost.h) whose generations are
+  /// architecture-compatible with models this instance save()s — the
+  /// network daemon's construction path: train/save here, host + hot
+  /// reload there.
+  ServingModelConfig servingModelConfig() const;
 
   /// The batched, multi-threaded serving front-end over this instance's
   /// model (created on first use with default ServeConfig).

@@ -1,0 +1,120 @@
+//===- net/Client.cpp - Blocking protocol client --------------------------===//
+
+#include "net/Client.h"
+
+using namespace nv;
+using net::Verb;
+using net::WireStatus;
+
+bool NetClient::connect(const std::string &Host, uint16_t Port,
+                        std::string *Error) {
+  Sock = connectTcp(Host, Port, Error);
+  return Sock.valid();
+}
+
+bool NetClient::roundTrip(Verb V, const std::vector<char> &Frame,
+                          net::ResponseHeader &Header,
+                          std::vector<char> &Body, std::string *Error) {
+  if (!Sock.valid()) {
+    if (Error)
+      *Error = "not connected";
+    return false;
+  }
+  if (!writeFull(Sock.fd(), Frame.data(), Frame.size())) {
+    if (Error)
+      *Error = "write failed (connection lost)";
+    return false;
+  }
+  char HeaderBuf[net::ResponseHeaderSize];
+  if (!readFull(Sock.fd(), HeaderBuf, sizeof(HeaderBuf))) {
+    if (Error)
+      *Error = "short read on response header";
+    return false;
+  }
+  if (!net::parseResponseHeader(HeaderBuf, sizeof(HeaderBuf), Header) ||
+      Header.V != V) {
+    if (Error)
+      *Error = "malformed response header";
+    return false;
+  }
+  Body.resize(Header.BodyLen);
+  if (Header.BodyLen > 0 &&
+      !readFull(Sock.fd(), Body.data(), Body.size())) {
+    if (Error)
+      *Error = "short read on response body";
+    return false;
+  }
+  // Non-Ok responses carry their cause as a string body; remember it so
+  // callers can report *why* a request was rejected.
+  LastMessage.clear();
+  if (Header.Status != WireStatus::Ok)
+    net::decodeStringBody(Body.data(), Body.size(), LastMessage);
+  return true;
+}
+
+bool NetClient::ping(std::string *Error) {
+  net::ResponseHeader Header;
+  std::vector<char> Body;
+  return roundTrip(Verb::Ping, net::encodePingRequest(), Header, Body,
+                   Error) &&
+         Header.Status == WireStatus::Ok;
+}
+
+bool NetClient::annotate(const net::AnnotateRequestBody &Req,
+                         net::AnnotateResponseBody &Out,
+                         net::WireStatus &Status, std::string *Error) {
+  net::ResponseHeader Header;
+  std::vector<char> Body;
+  if (!roundTrip(Verb::Annotate, net::encodeAnnotateRequest(Req), Header,
+                 Body, Error))
+    return false;
+  Status = Header.Status;
+  if (Status != WireStatus::Ok)
+    return true; // Protocol-level rejection; cause in statusMessage().
+  if (!net::decodeAnnotateResponse(Body.data(), Body.size(), Out)) {
+    if (Error)
+      *Error = "malformed annotate response body";
+    return false;
+  }
+  return true;
+}
+
+bool NetClient::statsz(std::string &Json, std::string *Error) {
+  net::ResponseHeader Header;
+  std::vector<char> Body;
+  if (!roundTrip(Verb::Statsz, net::encodeStatszRequest(), Header, Body,
+                 Error))
+    return false;
+  if (Header.Status != WireStatus::Ok) {
+    if (Error)
+      *Error = std::string("statsz: ") + net::statusName(Header.Status);
+    return false;
+  }
+  if (!net::decodeStringBody(Body.data(), Body.size(), Json)) {
+    if (Error)
+      *Error = "malformed statsz body";
+    return false;
+  }
+  return true;
+}
+
+bool NetClient::reload(const std::string &Path, net::WireStatus &Status,
+                       uint64_t *Generation, std::string *Error) {
+  net::ResponseHeader Header;
+  std::vector<char> Body;
+  if (!roundTrip(Verb::Reload, net::encodeReloadRequest(Path), Header, Body,
+                 Error))
+    return false;
+  Status = Header.Status;
+  if (Status != WireStatus::Ok)
+    return true;
+  uint64_t Gen = 0;
+  if (!net::decodeReloadOkBody(Body.data(), Body.size(), Gen)) {
+    if (Error)
+      *Error = "malformed reload response body";
+    return false;
+  }
+  if (Generation)
+    *Generation = Gen;
+  return true;
+}

@@ -1,0 +1,76 @@
+//===- net/Client.h - Blocking protocol client ------------------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small blocking client for the annotation daemon's wire protocol —
+/// the C++ twin of tools/nv_client.py, used by the tests and the
+/// serve_net load generator. One connection, strict request/response
+/// (no pipelining); every call returns the server's WireStatus so a
+/// caller can distinguish transport failure (false + \p Error) from a
+/// protocol-level rejection (OVERLOADED, SHUTTING_DOWN, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_NET_CLIENT_H
+#define NV_NET_CLIENT_H
+
+#include "net/Protocol.h"
+#include "support/Socket.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nv {
+
+/// Blocking single-connection client.
+class NetClient {
+public:
+  /// Connects to \p Host:\p Port. False + \p Error on failure.
+  bool connect(const std::string &Host, uint16_t Port,
+               std::string *Error = nullptr);
+
+  bool connected() const { return Sock.valid(); }
+  void close() { Sock.reset(); }
+
+  /// Liveness round trip.
+  bool ping(std::string *Error = nullptr);
+
+  /// Sends an annotate batch; \p Status receives the wire status. On Ok,
+  /// \p Out holds the decoded results. Returns false only on transport
+  /// or framing failure; a shed/rejected request is `true` with the
+  /// corresponding status and the server's message in \p Out-less
+  /// \p Error... see statusMessage() for the rejection text.
+  bool annotate(const net::AnnotateRequestBody &Req,
+                net::AnnotateResponseBody &Out, net::WireStatus &Status,
+                std::string *Error = nullptr);
+
+  /// Fetches the statsz JSON document.
+  bool statsz(std::string &Json, std::string *Error = nullptr);
+
+  /// Requests a hot reload of \p Path; \p Status receives the wire
+  /// status. On Ok, \p Generation (when non-null) receives the new model
+  /// generation; on RELOAD_FAILED, statusMessage() holds the cause.
+  bool reload(const std::string &Path, net::WireStatus &Status,
+              uint64_t *Generation = nullptr, std::string *Error = nullptr);
+
+  /// The string body of the last non-Ok response (rejection cause).
+  const std::string &statusMessage() const { return LastMessage; }
+
+private:
+  /// Writes \p Frame, then reads exactly one response for \p V into
+  /// \p Header / \p Body.
+  bool roundTrip(net::Verb V, const std::vector<char> &Frame,
+                 net::ResponseHeader &Header, std::vector<char> &Body,
+                 std::string *Error);
+
+  FileDescriptor Sock;
+  std::string LastMessage;
+};
+
+} // namespace nv
+
+#endif // NV_NET_CLIENT_H

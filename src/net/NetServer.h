@@ -1,0 +1,199 @@
+//===- net/NetServer.h - epoll annotation daemon ----------------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The network front-end over AnnotationService: a dependency-free,
+/// epoll-based TCP daemon speaking the length-prefixed protocol in
+/// net/Protocol.h. One event thread owns all socket I/O (accept, frame
+/// reassembly, response flushing); annotate and reload bodies execute on
+/// a small executor pool so a slow batch never stalls the event loop.
+///
+/// Admission control sheds load *before* it costs anything: a new
+/// annotate frame is rejected with OVERLOADED when the executor queue is
+/// past its watermark or the bytes of admitted-but-unanswered requests
+/// would exceed the in-flight budget — the client backs off; the server
+/// never queues unboundedly.
+///
+/// Hot reload is zero-downtime by construction: the reload verb runs
+/// ModelHost::reload() on the executor pool — build + validate the new
+/// generation entirely off to the side, then RCU-flip the published
+/// pointer. Batches in flight finish on the generation they acquired;
+/// the plan cache invalidates lazily through generation-tagged epochs;
+/// a rejected file answers RELOAD_FAILED and the old model keeps
+/// serving. statsz exposes the live generation.
+///
+/// Shutdown (requestShutdown() is async-signal-safe — call it straight
+/// from a SIGINT/SIGTERM handler) drains: the listen socket closes, new
+/// work frames answer SHUTTING_DOWN, every admitted request still gets
+/// its response flushed, and a final telemetry snapshot is written to
+/// disk before the event thread exits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_NET_NETSERVER_H
+#define NV_NET_NETSERVER_H
+
+#include "net/Protocol.h"
+#include "support/Socket.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace nv {
+
+class AnnotationService;
+class ModelHost;
+
+/// Daemon tuning knobs.
+struct NetServerConfig {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0; ///< 0 picks an ephemeral port (see NetServer::port).
+  int Executors = 2; ///< Threads running annotate batches and reloads.
+  /// Admission control: total body bytes of admitted-but-unanswered
+  /// annotate requests. A frame that would push past this sheds with
+  /// OVERLOADED instead of queueing.
+  size_t MaxInFlightBytes = 32u << 20;
+  /// Admission control: executor-queue depth at which new annotate
+  /// frames shed with OVERLOADED.
+  size_t QueueWatermark = 64;
+  /// Reject request frames whose body exceeds this (<= protocol ceiling).
+  uint32_t MaxFrameBytes = net::MaxFrameBody;
+  /// When non-empty, the drain path writes Telemetry::metrics() here as
+  /// one JSON document after the last response is flushed.
+  std::string FinalSnapshotPath;
+};
+
+/// Monotonic operation counters, exported through statsz.
+struct NetServerCounters {
+  uint64_t Accepted = 0;     ///< Connections accepted.
+  uint64_t Requests = 0;     ///< Frames answered (any status).
+  uint64_t Annotated = 0;    ///< Annotate frames answered Ok.
+  uint64_t Shed = 0;         ///< Frames answered OVERLOADED.
+  uint64_t Rejected = 0;     ///< Frames answered SHUTTING_DOWN.
+  uint64_t Reloads = 0;      ///< Successful hot reloads.
+  uint64_t ReloadsFailed = 0;
+};
+
+/// The epoll daemon. Construct over a hosted-mode AnnotationService and
+/// its ModelHost, start(), and either serve until shutdown() (tests) or
+/// park the main thread in wait() while signal handlers call
+/// requestShutdown() (nv_serverd).
+class NetServer {
+public:
+  NetServer(AnnotationService &Service, ModelHost &Host,
+            const NetServerConfig &Config = NetServerConfig());
+  ~NetServer();
+
+  NetServer(const NetServer &) = delete;
+  NetServer &operator=(const NetServer &) = delete;
+
+  /// Binds, listens, and spawns the event thread. False + \p Error on
+  /// bind failure (port in use, bad address).
+  bool start(std::string *Error = nullptr);
+
+  /// The bound port (useful with Config.Port == 0).
+  uint16_t port() const { return BoundPort; }
+
+  /// Begins the drain. Async-signal-safe: one relaxed store and one
+  /// eventfd write, so it is callable straight from a signal handler
+  /// (and from any thread).
+  void requestShutdown();
+
+  /// requestShutdown() + joins the event thread (blocks until the drain
+  /// finished). Idempotent.
+  void shutdown();
+
+  /// Blocks until the event thread exits (i.e. after some caller or
+  /// signal handler requested shutdown and the drain completed).
+  void wait();
+
+  bool running() const { return Running.load(); }
+
+  /// Coherent copy of the operation counters.
+  NetServerCounters counters() const;
+
+  const NetServerConfig &config() const { return Config; }
+
+private:
+  /// Per-connection state. The event thread owns In (frame reassembly);
+  /// Out is shared with executor jobs finishing asynchronously, hence
+  /// the mutex. Connections are shared_ptr-held so an executor job can
+  /// outlive a midway disconnect without touching freed state.
+  struct Connection {
+    int Fd = -1;
+    std::vector<char> In;
+    size_t InStart = 0; ///< Consumed prefix of In (compacted lazily).
+    std::mutex OutMutex;
+    std::vector<char> Out;
+    size_t OutStart = 0;
+    bool WantWrite = false; ///< EPOLLOUT currently armed.
+    std::atomic<bool> Closed{false};
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  void eventLoop();
+  void acceptNew();
+  bool readInput(const ConnPtr &Conn);   ///< False: close the connection.
+  bool drainFrames(const ConnPtr &Conn); ///< False: protocol violation.
+  void handleFrame(const ConnPtr &Conn, net::Verb V, const char *Body,
+                   uint32_t BodyLen);
+  void runAnnotate(const ConnPtr &Conn, std::vector<char> Body,
+                   uint64_t ArrivalMicros);
+  void runReload(const ConnPtr &Conn, std::string Path);
+  std::string buildStatszJson();
+
+  /// Queues \p Frame on \p Conn and (from executor threads) wakes the
+  /// event thread to flush it. Safe from any thread.
+  void sendFrame(const ConnPtr &Conn, std::vector<char> Frame);
+
+  /// Event-thread only: writes as much of Conn->Out as the socket takes,
+  /// arming/disarming EPOLLOUT as needed. False: connection broken.
+  bool flushOut(const ConnPtr &Conn);
+
+  void closeConnection(const ConnPtr &Conn);
+  void wakeEventThread();
+
+  AnnotationService &Service;
+  ModelHost &Host;
+  NetServerConfig Config;
+
+  FileDescriptor ListenFd;
+  FileDescriptor EpollFd;
+  FileDescriptor WakeFd; ///< eventfd; also the signal-handler doorbell.
+  uint16_t BoundPort = 0;
+
+  std::thread EventThread;
+  std::unique_ptr<ThreadPool> Exec; ///< Built in start() (Executors).
+
+  std::unordered_map<int, ConnPtr> Conns; ///< Event-thread only.
+  std::mutex DirtyMutex;
+  std::vector<ConnPtr> Dirty; ///< Executor-finished conns to flush.
+
+  std::atomic<bool> StopRequested{false};
+  std::atomic<bool> Running{false};
+  bool Draining = false; ///< Event-thread only.
+  std::atomic<size_t> InFlightBytes{0};
+  std::atomic<size_t> InFlightRequests{0};
+
+  mutable std::mutex CountersMutex;
+  NetServerCounters Counters;
+
+  void count(uint64_t NetServerCounters::*Field) {
+    std::lock_guard<std::mutex> Lock(CountersMutex);
+    ++(Counters.*Field);
+  }
+};
+
+} // namespace nv
+
+#endif // NV_NET_NETSERVER_H

@@ -7,6 +7,7 @@
 #include "lang/Parser.h"
 #include "lang/PrettyPrinter.h"
 #include "predictors/Backends.h"
+#include "serve/ModelHost.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
 
@@ -37,32 +38,42 @@ PlanCache::PlanCache(size_t Capacity, int Shards) {
   Table.resize(Count);
 }
 
-bool PlanCache::lookup(const ContextKey &Key, VectorPlan &Out) {
+bool PlanCache::lookup(const ContextKey &Key, VectorPlan &Out,
+                       uint64_t Epoch) {
   Shard &S = shardFor(Key);
   std::lock_guard<std::mutex> Lock(S.Mutex);
   auto It = S.Index.find(Key);
   if (It == S.Index.end())
     return false;
+  if (It->second->Epoch != Epoch) {
+    // Stale generation: computed by a different model. Evict rather than
+    // keep — the old generation will never be asked for again.
+    S.Order.erase(It->second);
+    S.Index.erase(It);
+    return false;
+  }
   S.Order.splice(S.Order.begin(), S.Order, It->second);
-  Out = It->second->second;
+  Out = It->second->Plan;
   return true;
 }
 
-void PlanCache::insert(const ContextKey &Key, VectorPlan Plan) {
+void PlanCache::insert(const ContextKey &Key, VectorPlan Plan,
+                       uint64_t Epoch) {
   if (ShardCapacity == 0)
     return;
   Shard &S = shardFor(Key);
   std::lock_guard<std::mutex> Lock(S.Mutex);
   auto It = S.Index.find(Key);
   if (It != S.Index.end()) {
-    It->second->second = Plan;
+    It->second->Plan = Plan;
+    It->second->Epoch = Epoch;
     S.Order.splice(S.Order.begin(), S.Order, It->second);
     return;
   }
-  S.Order.emplace_front(Key, Plan);
+  S.Order.push_front(Entry{Key, Plan, Epoch});
   S.Index[Key] = S.Order.begin();
   while (S.Order.size() > ShardCapacity) {
-    S.Index.erase(S.Order.back().first);
+    S.Index.erase(S.Order.back().Key);
     S.Order.pop_back();
   }
 }
@@ -123,7 +134,7 @@ AnnotationService::AnnotationService(Code2Vec &Embedder,
                                      const PathContextConfig &Paths,
                                      const TargetInfo &TI,
                                      const ServeConfig &Config)
-    : Embedder(Embedder), Backends(Backends), Paths(Paths), TI(TI),
+    : Embedder(&Embedder), Backends(&Backends), Paths(Paths), TI(TI),
       Config(Config), Pool(Config.Threads),
       Cache(Config.CacheCapacity, Config.CacheShards),
       InnerContext(Config.InnerContextOnly) {
@@ -134,14 +145,25 @@ AnnotationService::AnnotationService(Code2Vec &Embedder, Policy &Pol,
                                      const PathContextConfig &Paths,
                                      const TargetInfo &TI,
                                      const ServeConfig &Config)
-    : Embedder(Embedder),
+    : Embedder(&Embedder),
       OwnedBackends(std::make_unique<PredictorSet>()),
-      Backends(*OwnedBackends), Paths(Paths), TI(TI), Config(Config),
+      Backends(OwnedBackends.get()), Paths(Paths), TI(TI), Config(Config),
       Pool(Config.Threads),
       Cache(Config.CacheCapacity, Config.CacheShards),
       InnerContext(Config.InnerContextOnly) {
   OwnedBackends->set(PredictMethod::RL,
                      std::make_unique<PolicyBackend>(Pol, TI));
+  initTelemetry();
+}
+
+AnnotationService::AnnotationService(ModelHost &Host,
+                                     const PathContextConfig &Paths,
+                                     const TargetInfo &TI,
+                                     const ServeConfig &Config)
+    : Host(&Host), Embedder(nullptr), Backends(nullptr), Paths(Paths),
+      TI(TI), Config(Config), Pool(Config.Threads),
+      Cache(Config.CacheCapacity, Config.CacheShards),
+      InnerContext(Config.InnerContextOnly) {
   initTelemetry();
 }
 
@@ -205,9 +227,29 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
   const size_t N = Requests.size();
   std::vector<AnnotationResult> Results(N);
   std::vector<WorkItem> Items(N);
+  // Resolve the model once for the whole batch. Hosted mode is an RCU
+  // read: the acquired shared_ptr pins this generation to the end of the
+  // batch, so a concurrent ModelHost::reload() can flip the published
+  // pointer without ever pulling the model out from under us — the old
+  // generation dies when its last in-flight batch drops it. Everything
+  // generation-scoped rides along: the extraction flavour comes from the
+  // model's persisted metadata, and the generation id doubles as the plan
+  // cache epoch for both lookups and inserts (so an old-generation batch
+  // cannot read new plans or poison new lookups with old ones).
+  std::shared_ptr<const ServingModel> Model;
+  Code2Vec *E = Embedder;
+  PredictorSet *B = Backends;
+  uint64_t Epoch = 0;
   // One flavour per batch: a concurrent setContextExtraction flips future
   // batches, never this one.
-  const bool InnerOnly = InnerContext.load();
+  bool InnerOnly = InnerContext.load();
+  if (Host) {
+    Model = Host->current();
+    E = &Model->embedder();
+    B = &Model->backends();
+    Epoch = Model->generation();
+    InnerOnly = Model->meta().InnerContextOnly;
+  }
   const PredictMethod Default = Config.DefaultMethod;
 
   // Counters accumulate into a batch-local delta and publish once at the
@@ -234,9 +276,10 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
     AnnotationResult &Res = Results[I];
     WorkItem &Item = Items[I];
     Res.Name = Req.Name;
+    Res.Generation = Epoch;
     Item.Method = Req.Method.value_or(Default);
     Res.Method = Item.Method;
-    Item.Backend = Backends.get(Item.Method);
+    Item.Backend = B->get(Item.Method);
     if (!Item.Backend) {
       Res.Error = std::string("no backend registered for method '") +
                   methodName(Item.Method) + "'";
@@ -316,7 +359,7 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
       // cache only holds plans of single-site programs.
       if (Item.Backend->cacheable() && Item.Sites.size() == 1) {
         VectorPlan Hit;
-        if (Cache.lookup(Item.Keys[0], Hit)) {
+        if (Cache.lookup(Item.Keys[0], Hit, Epoch)) {
           Res.Plans[0] = Hit;
           ++Res.CachedSites;
           ++Delta.CacheHits;
@@ -331,7 +374,7 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
     for (size_t S = 0; S < Item.Sites.size(); ++S) {
       ++MC.Loops;
       VectorPlan Hit;
-      if (Cache.lookup(Item.Keys[S], Hit)) {
+      if (Cache.lookup(Item.Keys[S], Hit, Epoch)) {
         Res.Plans[S] = Hit;
         ++Res.CachedSites;
         ++Delta.CacheHits;
@@ -405,7 +448,7 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
       // then consumes its own rows; when one backend owns the whole batch
       // (the common case) it reads the encode buffer in place.
       const uint64_t EmbedStart = nowMicros();
-      Embedder.encodeSpansInto(MissContexts, StatesBuf, &Pool);
+      E->encodeSpansInto(MissContexts, StatesBuf, &Pool);
       const uint64_t EmbedTime = nowMicros() - EmbedStart;
       Delta.EmbedMicros += EmbedTime;
       if (EmbedUs)
@@ -423,7 +466,7 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
         const std::vector<size_t> &Rows = MethodRows[M];
         if (Rows.empty())
           continue;
-        Predictor *P = Backends.get(static_cast<PredictMethod>(M));
+        Predictor *P = B->get(static_cast<PredictMethod>(M));
         const Matrix *States = &StatesBuf;
         if (Rows.size() != MissContexts.size()) {
           Sub.resize(static_cast<int>(Rows.size()), StatesBuf.cols());
@@ -453,7 +496,7 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
       for (const PendingSite &P : Pending)
         Results[P.Request].Plans[P.Site] = RowPlans[P.BatchRow];
       for (const auto &[Key, Row] : RowByKey)
-        Cache.insert(Key, RowPlans[Row]);
+        Cache.insert(Key, RowPlans[Row], Epoch);
     }
   }
 
@@ -477,7 +520,7 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
       MC.Misses += Plans.size();
       Delta.CacheMisses += Plans.size();
       if (Item.Backend->cacheable() && Plans.size() == 1)
-        Cache.insert(Item.Keys[0], Plans[0]);
+        Cache.insert(Item.Keys[0], Plans[0], Epoch);
       Results[I].Plans = std::move(Plans);
     });
   }

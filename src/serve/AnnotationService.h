@@ -71,6 +71,8 @@
 
 namespace nv {
 
+class ModelHost;
+class ServingModel;
 class ShardedHistogram;
 class TraceBuffer;
 
@@ -114,6 +116,9 @@ struct AnnotationResult {
   std::vector<VectorPlan> Plans; ///< One per vectorization site.
   int CachedSites = 0;  ///< Sites answered from the plan cache.
   PredictMethod Method = PredictMethod::RL; ///< Backend that answered.
+  /// Model generation that answered (hosted mode; 0 for borrowed models).
+  /// Every site in a result is answered by exactly this generation.
+  uint64_t Generation = 0;
 };
 
 /// 128-bit cache key for a canonical path-context bag. A single 64-bit
@@ -167,12 +172,20 @@ class PlanCache {
 public:
   explicit PlanCache(size_t Capacity, int Shards = 8);
 
-  /// Returns true and sets \p Out on a hit (refreshing recency).
-  bool lookup(const ContextKey &Key, VectorPlan &Out);
+  /// Returns true and sets \p Out on a hit (refreshing recency). A hit
+  /// also requires the entry's epoch to equal \p Epoch; a mismatch is a
+  /// miss AND evicts the entry. Epochs are how a model swap invalidates
+  /// the cache lazily: the service tags every entry with the model
+  /// generation that computed it (captured once per batch), so after a
+  /// hot reload new-generation lookups push out stale plans one by one —
+  /// no global sweep, no blocking of concurrent readers, and an in-flight
+  /// old-generation batch can neither read new plans nor poison new
+  /// lookups with old ones.
+  bool lookup(const ContextKey &Key, VectorPlan &Out, uint64_t Epoch = 0);
 
-  /// Inserts (or refreshes) \p Key, evicting the least recently used entry
-  /// of its shard beyond the shard capacity.
-  void insert(const ContextKey &Key, VectorPlan Plan);
+  /// Inserts (or refreshes) \p Key tagged with \p Epoch, evicting the
+  /// least recently used entry of its shard beyond the shard capacity.
+  void insert(const ContextKey &Key, VectorPlan Plan, uint64_t Epoch = 0);
 
   size_t size() const;
   void clear();
@@ -180,7 +193,11 @@ public:
   int shards() const { return static_cast<int>(Table.size()); }
 
 private:
-  using Entry = std::pair<ContextKey, VectorPlan>;
+  struct Entry {
+    ContextKey Key;
+    VectorPlan Plan;
+    uint64_t Epoch;
+  };
 
   struct Shard {
     mutable std::mutex Mutex;
@@ -217,6 +234,19 @@ public:
                     const PathContextConfig &Paths, const TargetInfo &TI,
                     const ServeConfig &Config = ServeConfig());
 
+  /// Hosted-model construction (the network daemon's mode): instead of
+  /// borrowing a fixed embedder/backend set, the service acquires
+  /// \p Host's *current* model generation at the start of every batch —
+  /// an RCU read; the acquired shared_ptr keeps that generation alive to
+  /// the end of the batch even through a concurrent ModelHost::reload().
+  /// The batch's context-extraction flavour comes from that generation's
+  /// persisted metadata (Config.InnerContextOnly is ignored), and plan
+  /// cache entries are tagged with its generation id, so a swap lazily
+  /// invalidates stale plans. \p Host must outlive the service.
+  AnnotationService(ModelHost &Host, const PathContextConfig &Paths,
+                    const TargetInfo &TI,
+                    const ServeConfig &Config = ServeConfig());
+
   /// Annotates every request; the result vector is parallel to
   /// \p Requests. Thread-safe: concurrent callers share the model under an
   /// internal lock and the cache under its own.
@@ -235,9 +265,14 @@ public:
   /// Switches the context-extraction flavour (e.g. after loading a model
   /// trained the other way). Thread-safe; in-flight batches finish with
   /// whichever flavour they started, and the flavour is part of the cache
-  /// key, so stale entries cannot answer for the new one.
+  /// key, so stale entries cannot answer for the new one. Hosted mode
+  /// ignores this: the flavour rides with each model generation's
+  /// persisted metadata and flips atomically with the model.
   void setContextExtraction(bool InnerOnly);
   bool innerContextOnly() const { return InnerContext.load(); }
+
+  /// The host resolved per batch (null in borrowed-model mode).
+  ModelHost *host() const { return Host; }
 
   const ServeStats &stats() const { return Stats; }
   void resetStats() { Stats.reset(); }
@@ -250,9 +285,10 @@ public:
   PredictMethod defaultMethod() const { return Config.DefaultMethod; }
 
 private:
-  Code2Vec &Embedder;
+  ModelHost *Host = nullptr; ///< Hosted mode: model acquired per batch.
+  Code2Vec *Embedder;        ///< Borrowed mode (null when hosted).
   std::unique_ptr<PredictorSet> OwnedBackends; ///< RL-only ctor storage.
-  PredictorSet &Backends;
+  PredictorSet *Backends; ///< Borrowed mode (null when hosted).
   PathContextConfig Paths;
   TargetInfo TI;
   ServeConfig Config;

@@ -104,34 +104,76 @@ bool ModelSerializer::save(const std::string &Path, Code2Vec &Embedder,
   return true;
 }
 
+const char *nv::loadStatusName(LoadStatus Status) {
+  switch (Status) {
+  case LoadStatus::Ok:
+    return "ok";
+  case LoadStatus::OpenFailed:
+    return "open_failed";
+  case LoadStatus::Truncated:
+    return "truncated";
+  case LoadStatus::BadChecksum:
+    return "bad_checksum";
+  case LoadStatus::BadMagic:
+    return "bad_magic";
+  case LoadStatus::BadVersion:
+    return "bad_version";
+  case LoadStatus::LegacyHashing:
+    return "legacy_hashing";
+  case LoadStatus::ArchMismatch:
+    return "arch_mismatch";
+  case LoadStatus::Malformed:
+    return "malformed";
+  }
+  return "unknown";
+}
+
 bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
                            Policy &Pol, ModelMeta *Meta,
                            SupervisedBundle *Supervised, std::string *Error) {
+  return tryLoad(Path, Embedder, Pol, Meta, Supervised, Error) ==
+         LoadStatus::Ok;
+}
+
+LoadStatus ModelSerializer::tryLoad(const std::string &Path,
+                                    Code2Vec &Embedder, Policy &Pol,
+                                    ModelMeta *Meta,
+                                    SupervisedBundle *Supervised,
+                                    std::string *Error) {
   std::ifstream In(Path, std::ios::binary | std::ios::ate);
   if (!In) {
     setError(Error, "cannot open '" + Path + "'");
-    return false;
+    return LoadStatus::OpenFailed;
   }
   const std::streamsize Size = In.tellg();
   In.seekg(0);
-  std::vector<char> Buffer(static_cast<size_t>(Size));
+  std::vector<char> Buffer;
+  // A file of lies (or a disk error mid-read) must come back as a status,
+  // never an exception: the reload endpoint feeds this path files pushed
+  // over the network.
+  try {
+    Buffer.resize(static_cast<size_t>(Size));
+  } catch (const std::bad_alloc &) {
+    setError(Error, "file too large to buffer");
+    return LoadStatus::Malformed;
+  }
   if (!In.read(Buffer.data(), Size)) {
     setError(Error, "short read from '" + Path + "'");
-    return false;
+    return LoadStatus::OpenFailed;
   }
 
   // Validate the envelope before looking inside (v1 header is the
   // smallest: magic, version, count).
   if (Buffer.size() < 3 * sizeof(uint32_t) + sizeof(uint64_t)) {
     setError(Error, "file too small to be a model");
-    return false;
+    return LoadStatus::Truncated;
   }
   const size_t PayloadSize = Buffer.size() - sizeof(uint64_t);
   uint64_t StoredSum = 0;
   std::memcpy(&StoredSum, Buffer.data() + PayloadSize, sizeof(uint64_t));
   if (StoredSum != checksum(Buffer.data(), PayloadSize)) {
     setError(Error, "checksum mismatch: file is corrupt or truncated");
-    return false;
+    return LoadStatus::BadChecksum;
   }
 
   size_t Offset = 0;
@@ -140,11 +182,11 @@ bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
   wire::readValue(Buffer, Offset, Version);
   if (FileMagic != Magic) {
     setError(Error, "bad magic: not a NeuroVectorizer model file");
-    return false;
+    return LoadStatus::BadMagic;
   }
   if (Version < 1 || Version > FormatVersion) {
     setError(Error, "unsupported format version " + std::to_string(Version));
-    return false;
+    return LoadStatus::BadVersion;
   }
   // v1 had no flags word; those models could only have been trained with
   // the default outer-context extraction, so Flags = 0 is exact (and
@@ -156,7 +198,7 @@ bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
                "model was saved with the legacy vocabulary hashing; its "
                "embedding rows do not match the current extractor — "
                "retrain and re-save with this build");
-      return false;
+      return LoadStatus::LegacyHashing;
     }
   }
   wire::readValue(Buffer, Offset, Count);
@@ -167,7 +209,7 @@ bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
                         " parameters, expected " +
                         std::to_string(Params.size()) +
                         " (architecture mismatch)");
-    return false;
+    return LoadStatus::ArchMismatch;
   }
 
   // Two passes: validate every shape first so a mismatch midway cannot
@@ -178,7 +220,7 @@ bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
     if (!wire::readValue(Buffer, Offset, Rows) ||
         !wire::readValue(Buffer, Offset, Cols)) {
       setError(Error, "unexpected end of file in parameter header");
-      return false;
+      return LoadStatus::Malformed;
     }
     const Matrix &Dest = Params[I]->Value;
     if (Rows != static_cast<uint32_t>(Dest.rows()) ||
@@ -188,12 +230,12 @@ bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
                           ", expected " + std::to_string(Dest.rows()) + "x" +
                           std::to_string(Dest.cols()) +
                           " (architecture mismatch)");
-      return false;
+      return LoadStatus::ArchMismatch;
     }
     const size_t Bytes = static_cast<size_t>(Rows) * Cols * sizeof(double);
     if (Offset + Bytes > PayloadSize) {
       setError(Error, "unexpected end of file in parameter data");
-      return false;
+      return LoadStatus::Malformed;
     }
     Offsets[I] = Offset;
     Offset += Bytes;
@@ -209,7 +251,7 @@ bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
     uint32_t SectionCount = 0;
     if (!wire::readValue(Buffer, Offset, SectionCount)) {
       setError(Error, "unexpected end of file in section count");
-      return false;
+      return LoadStatus::Malformed;
     }
     for (uint32_t S = 0; S < SectionCount; ++S) {
       uint32_t Tag = 0;
@@ -222,34 +264,34 @@ bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
           !wire::readValue(Buffer, Offset, Length) ||
           Offset > PayloadSize || Length > PayloadSize - Offset) {
         setError(Error, "unexpected end of file in section header");
-        return false;
+        return LoadStatus::Malformed;
       }
       const char *Payload = Buffer.data() + Offset;
       std::string SectionError;
       if (Tag == NNSSectionTag) {
         if (!LoadedNNS.deserialize(Payload, Length, &SectionError)) {
           setError(Error, SectionError);
-          return false;
+          return LoadStatus::Malformed;
         }
         if (LoadedNNS.dimension() !=
             static_cast<size_t>(Embedder.codeDim())) {
           setError(Error, "NNS section: embedding dimension mismatch");
-          return false;
+          return LoadStatus::ArchMismatch;
         }
         HaveNNS = true;
       } else if (Tag == TreeSectionTag) {
         if (!LoadedTree.deserialize(Payload, Length, &SectionError)) {
           setError(Error, SectionError);
-          return false;
+          return LoadStatus::Malformed;
         }
         if (LoadedTree.numFeatures() != Embedder.codeDim()) {
           setError(Error, "tree section: embedding dimension mismatch");
-          return false;
+          return LoadStatus::ArchMismatch;
         }
         HaveTree = true;
       } else {
         setError(Error, "unknown section tag in model file");
-        return false;
+        return LoadStatus::Malformed;
       }
       Offset += Length;
     }
@@ -257,7 +299,7 @@ bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
 
   if (Offset != PayloadSize) {
     setError(Error, "trailing bytes after last parameter");
-    return false;
+    return LoadStatus::Malformed;
   }
 
   for (size_t I = 0; I < Params.size(); ++I) {
@@ -284,5 +326,5 @@ bool ModelSerializer::load(const std::string &Path, Code2Vec &Embedder,
     }
     Supervised->Loaded = HaveNNS || HaveTree;
   }
-  return true;
+  return LoadStatus::Ok;
 }

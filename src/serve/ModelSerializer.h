@@ -78,6 +78,28 @@ struct SupervisedBundle {
   bool Loaded = false; ///< load() only: sections were present and restored.
 };
 
+/// Why a load failed, as a machine-readable code. The string form of each
+/// failure stays in the optional Error out-parameter; the code exists for
+/// callers that must *act* on the distinction — the network reload
+/// endpoint maps it onto a wire status so a corrupt file pushed to a
+/// running daemon produces a clean protocol error (and the old model keeps
+/// serving) instead of a stringly-typed guess.
+enum class LoadStatus {
+  Ok,
+  OpenFailed,    ///< File missing or unreadable.
+  Truncated,     ///< Too small to hold even the v1 envelope.
+  BadChecksum,   ///< FNV-1a mismatch: corrupt or truncated payload.
+  BadMagic,      ///< Not a NeuroVectorizer model file.
+  BadVersion,    ///< Format version outside [1, FormatVersion].
+  LegacyHashing, ///< Pre-fold vocabulary bucketing (retrain required).
+  ArchMismatch,  ///< Parameter count/shape differs from the destination.
+  Malformed,     ///< Framing damage the checksum cannot see (bad section
+                 ///< tag/length, trailing bytes, short parameter data).
+};
+
+/// Stable lowercase name for a LoadStatus ("ok", "bad_checksum", ...).
+const char *loadStatusName(LoadStatus Status);
+
 /// Save/load for the (embedder, policy, supervised backends) set.
 class ModelSerializer {
 public:
@@ -115,6 +137,15 @@ public:
   static bool load(const std::string &Path, Code2Vec &Embedder, Policy &Pol,
                    ModelMeta *Meta, SupervisedBundle *Supervised,
                    std::string *Error = nullptr);
+
+  /// load() with a machine-readable failure code instead of a bool; never
+  /// throws. Same all-or-nothing contract: anything but LoadStatus::Ok
+  /// leaves every destination untouched, so a daemon can keep serving the
+  /// model it already has.
+  static LoadStatus tryLoad(const std::string &Path, Code2Vec &Embedder,
+                            Policy &Pol, ModelMeta *Meta,
+                            SupervisedBundle *Supervised,
+                            std::string *Error = nullptr);
 
   /// Weights/meta-only overload.
   static bool load(const std::string &Path, Code2Vec &Embedder, Policy &Pol,

@@ -1,0 +1,146 @@
+//===- support/Socket.cpp - Minimal POSIX TCP helpers ---------------------===//
+
+#include "support/Socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace nv;
+
+void FileDescriptor::reset(int NewFd) {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = NewFd;
+}
+
+namespace {
+
+void setError(std::string *Error, const char *What) {
+  if (Error)
+    *Error = std::string(What) + ": " + std::strerror(errno);
+}
+
+/// Parses \p Host into \p Out (dotted quad or "localhost"); DNS is out of
+/// scope for a loopback-serving daemon.
+bool parseHost(const std::string &Host, in_addr &Out) {
+  const std::string Addr =
+      (Host.empty() || Host == "localhost") ? "127.0.0.1" : Host;
+  return ::inet_pton(AF_INET, Addr.c_str(), &Out) == 1;
+}
+
+} // namespace
+
+FileDescriptor nv::listenTcp(const std::string &Host, uint16_t Port,
+                             std::string *Error, uint16_t *BoundPort) {
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (!parseHost(Host, Addr.sin_addr)) {
+    if (Error)
+      *Error = "bad listen address '" + Host + "'";
+    return FileDescriptor();
+  }
+
+  FileDescriptor Sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!Sock) {
+    setError(Error, "socket");
+    return FileDescriptor();
+  }
+  const int One = 1;
+  ::setsockopt(Sock.fd(), SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(Sock.fd(), reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0) {
+    setError(Error, "bind");
+    return FileDescriptor();
+  }
+  if (::listen(Sock.fd(), SOMAXCONN) != 0) {
+    setError(Error, "listen");
+    return FileDescriptor();
+  }
+  if (BoundPort) {
+    sockaddr_in Bound{};
+    socklen_t Len = sizeof(Bound);
+    if (::getsockname(Sock.fd(), reinterpret_cast<sockaddr *>(&Bound),
+                      &Len) != 0) {
+      setError(Error, "getsockname");
+      return FileDescriptor();
+    }
+    *BoundPort = ntohs(Bound.sin_port);
+  }
+  return Sock;
+}
+
+FileDescriptor nv::connectTcp(const std::string &Host, uint16_t Port,
+                              std::string *Error) {
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (!parseHost(Host, Addr.sin_addr)) {
+    if (Error)
+      *Error = "bad connect address '" + Host + "'";
+    return FileDescriptor();
+  }
+
+  FileDescriptor Sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!Sock) {
+    setError(Error, "socket");
+    return FileDescriptor();
+  }
+  int Status;
+  do {
+    Status = ::connect(Sock.fd(), reinterpret_cast<sockaddr *>(&Addr),
+                       sizeof(Addr));
+  } while (Status != 0 && errno == EINTR);
+  if (Status != 0) {
+    setError(Error, "connect");
+    return FileDescriptor();
+  }
+  const int One = 1;
+  ::setsockopt(Sock.fd(), IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Sock;
+}
+
+bool nv::setNonBlocking(int Fd) {
+  const int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0)
+    return false;
+  return ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+bool nv::readFull(int Fd, void *Data, size_t Size) {
+  char *Out = static_cast<char *>(Data);
+  while (Size > 0) {
+    const ssize_t N = ::read(Fd, Out, Size);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false; // EOF mid-frame.
+    Out += N;
+    Size -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool nv::writeFull(int Fd, const void *Data, size_t Size) {
+  const char *In = static_cast<const char *>(Data);
+  while (Size > 0) {
+    const ssize_t N = ::write(Fd, In, Size);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    In += N;
+    Size -= static_cast<size_t>(N);
+  }
+  return true;
+}

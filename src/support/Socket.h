@@ -1,0 +1,93 @@
+//===- support/Socket.h - Minimal POSIX TCP helpers -------------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thin, dependency-free POSIX slice the network layer stands on: an
+/// RAII file descriptor, IPv4 listen/connect helpers, and full-buffer
+/// read/write loops that absorb EINTR and short transfers. Deliberately
+/// not a sockets framework — net/NetServer.h drives epoll itself; these
+/// helpers only remove the error-prone boilerplate (FD_CLOEXEC,
+/// SO_REUSEADDR, ephemeral-port recovery, partial writes) that every
+/// caller would otherwise re-implement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SUPPORT_SOCKET_H
+#define NV_SUPPORT_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace nv {
+
+/// Move-only owner of a POSIX file descriptor (-1 = empty).
+class FileDescriptor {
+public:
+  FileDescriptor() = default;
+  explicit FileDescriptor(int Fd) : Fd(Fd) {}
+  ~FileDescriptor() { reset(); }
+
+  FileDescriptor(FileDescriptor &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  FileDescriptor &operator=(FileDescriptor &&O) noexcept {
+    if (this != &O) {
+      reset();
+      Fd = O.Fd;
+      O.Fd = -1;
+    }
+    return *this;
+  }
+  FileDescriptor(const FileDescriptor &) = delete;
+  FileDescriptor &operator=(const FileDescriptor &) = delete;
+
+  int fd() const { return Fd; }
+  bool valid() const { return Fd >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  /// Gives up ownership without closing.
+  int release() {
+    const int Out = Fd;
+    Fd = -1;
+    return Out;
+  }
+
+  /// Closes the held descriptor (if any) and optionally adopts \p NewFd.
+  void reset(int NewFd = -1);
+
+private:
+  int Fd = -1;
+};
+
+/// Creates a TCP listening socket bound to \p Host:\p Port (IPv4 dotted
+/// quad or "localhost"), with SO_REUSEADDR and FD_CLOEXEC set. \p Port 0
+/// picks an ephemeral port; \p BoundPort (when non-null) receives the
+/// actual one either way. Returns an empty descriptor and sets \p Error
+/// on failure.
+FileDescriptor listenTcp(const std::string &Host, uint16_t Port,
+                         std::string *Error = nullptr,
+                         uint16_t *BoundPort = nullptr);
+
+/// Connects (blocking) to \p Host:\p Port with TCP_NODELAY set — the
+/// protocol is request/response with small frames, so Nagle coalescing
+/// only adds latency. Returns an empty descriptor and sets \p Error on
+/// failure.
+FileDescriptor connectTcp(const std::string &Host, uint16_t Port,
+                          std::string *Error = nullptr);
+
+/// Marks \p Fd non-blocking. Returns false on fcntl failure.
+bool setNonBlocking(int Fd);
+
+/// Reads exactly \p Size bytes (looping over short reads, retrying
+/// EINTR). Returns false on EOF or error before \p Size bytes arrived.
+bool readFull(int Fd, void *Data, size_t Size);
+
+/// Writes exactly \p Size bytes (looping over short writes, retrying
+/// EINTR). Returns false on error.
+bool writeFull(int Fd, const void *Data, size_t Size);
+
+} // namespace nv
+
+#endif // NV_SUPPORT_SOCKET_H

@@ -48,6 +48,16 @@ void ThreadPool::run(std::function<void()> Fn) {
   JobReady.notify_one();
 }
 
+size_t ThreadPool::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  return Jobs.size();
+}
+
+size_t ThreadPool::inFlight() const {
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  return InFlight;
+}
+
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> Lock(QueueMutex);
   AllIdle.wait(Lock, [this] { return InFlight == 0; });

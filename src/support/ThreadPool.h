@@ -60,6 +60,15 @@ public:
   /// Enqueues \p Job for execution on some worker.
   void run(std::function<void()> Job);
 
+  /// Jobs queued but not yet picked up by a worker. A cheap saturation
+  /// signal for admission control: a deep queue means new work will sit
+  /// behind everything already enqueued, so callers with a latency budget
+  /// (the network daemon) shed load instead of queueing more.
+  size_t queueDepth() const;
+
+  /// Queued + currently running jobs (the quantity wait() drains to 0).
+  size_t inFlight() const;
+
   /// Exports this pool's queue metrics under \p Prefix (e.g.
   /// "serve.pool" -> "serve.pool.queue_depth" gauge, ".tasks" counter,
   /// ".queue_wait_us" histogram). Call before the pool sees traffic;
@@ -93,7 +102,7 @@ private:
 
   std::vector<std::thread> Workers;
   std::queue<Job> Jobs;
-  std::mutex QueueMutex;
+  mutable std::mutex QueueMutex;
   Gauge *QueueDepth = nullptr;         ///< attachTelemetry exports.
   Counter *TasksRun = nullptr;
   ShardedHistogram *QueueWaitUs = nullptr;

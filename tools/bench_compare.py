@@ -161,6 +161,12 @@ def main(argv=None):
                         help="fail (not warn) when a current bench has no "
                              "committed baseline or a committed baseline "
                              "has no current metrics")
+    parser.add_argument("--new-ok", action="append", default=[],
+                        metavar="NAME",
+                        help="bench whose baseline may be absent this run "
+                             "(e.g. 'serve_net' for BENCH_serve_net.json): "
+                             "a first-landing bench warns instead of "
+                             "failing under --require-baseline; repeatable")
     args = parser.parse_args(argv)
 
     if os.environ.get("NV_BENCH_SKIP") == "1":
@@ -197,7 +203,13 @@ def main(argv=None):
     print_report(rows, regressions, missing, stale, args.max_drop)
     if regressions:
         return 1
-    if (missing or stale) and args.require_baseline:
+    allowed_new = {f"BENCH_{name}.json" for name in args.new_ok}
+    gating_missing = [name for name in missing if name not in allowed_new]
+    for name in missing:
+        if name in allowed_new:
+            print(f"note: {name} is landing without a baseline "
+                  f"(allowed by --new-ok)")
+    if (gating_missing or stale) and args.require_baseline:
         print("FAIL: baseline/current sets disagree (--require-baseline)")
         return 1
     return 0

@@ -93,6 +93,29 @@ class BenchCompareGateTest(unittest.TestCase):
         # ...unless the invocation opts into strictness.
         self.assertEqual(self.run_gate("--require-baseline"), 1)
 
+    def test_new_ok_allows_a_first_landing_bench_under_strictness(self):
+        # A bench landing in the same PR as its gate run cannot have a
+        # committed baseline yet; --new-ok exempts it by name.
+        write_bench(self.baseline, "serve", {"programs_per_sec": 1000.0})
+        write_bench(self.current, "serve", {"programs_per_sec": 990.0})
+        write_bench(self.current, "serve_net", {"programs_per_sec": 5e4})
+        self.assertEqual(self.run_gate("--require-baseline"), 1)
+        self.assertEqual(
+            self.run_gate("--require-baseline", "--new-ok", "serve_net"), 0)
+        # The exemption is per-name: an unrelated missing baseline still
+        # fails strict runs.
+        write_bench(self.current, "other", {"ops_per_sec": 1.0})
+        self.assertEqual(
+            self.run_gate("--require-baseline", "--new-ok", "serve_net"), 1)
+        self.assertEqual(
+            self.run_gate("--require-baseline", "--new-ok", "serve_net",
+                          "--new-ok", "other"), 0)
+        # ...and never masks a stale baseline.
+        write_bench(self.baseline, "gone", {"ops_per_sec": 50.0})
+        self.assertEqual(
+            self.run_gate("--require-baseline", "--new-ok", "serve_net",
+                          "--new-ok", "other", "--new-ok", "gone"), 1)
+
     def test_stale_baseline_is_caught_under_strictness(self):
         # A bench that silently stops emitting must not un-gate itself: CI
         # runs with --require-baseline, so a baseline with no current

@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Reference client for the nv_serverd annotation daemon.
+
+Speaks the length-prefixed binary protocol in src/net/Protocol.h
+(little-endian, matching the daemon's host order on every platform this
+repo targets):
+
+    request:  u32 magic 'NVRP' | u8 verb | u32 bodyLen | body
+    response: u32 magic 'NVRP' | u8 verb | u8 status | u32 bodyLen | body
+
+Usage:
+    nv_client.py [--host H] [--port P] ping
+    nv_client.py [...] annotate FILE [FILE...] [--method M] [--deadline-ms N]
+    nv_client.py [...] statsz
+    nv_client.py [...] reload MODEL_PATH
+
+Exit code 0 on an OK response, 1 on any rejection or transport error
+(the status name is printed), so shell scripts and the CI smoke job can
+assert on it directly.
+"""
+
+import argparse
+import json
+import socket
+import struct
+import sys
+
+MAGIC = 0x4E565250  # 'NVRP'
+
+VERB_PING = 0
+VERB_ANNOTATE = 1
+VERB_STATSZ = 2
+VERB_RELOAD = 3
+
+STATUS_NAMES = [
+    "ok",
+    "bad_request",
+    "parse_error",
+    "overloaded",
+    "shutting_down",
+    "reload_failed",
+    "deadline_exceeded",
+    "error",
+]
+
+METHODS = ["baseline", "rl", "nns", "tree", "random", "bruteforce"]
+
+
+def recv_exact(sock, size):
+    buf = b""
+    while len(buf) < size:
+        chunk = sock.recv(size - len(buf))
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        buf += chunk
+    return buf
+
+
+def round_trip(sock, verb, body):
+    sock.sendall(struct.pack("<IBI", MAGIC, verb, len(body)) + body)
+    magic, rverb, status, body_len = struct.unpack(
+        "<IBBI", recv_exact(sock, 10)
+    )
+    if magic != MAGIC or rverb != verb:
+        raise ConnectionError("malformed response header")
+    return status, recv_exact(sock, body_len)
+
+
+def decode_string(body):
+    if len(body) < 4:
+        return ""
+    (n,) = struct.unpack_from("<I", body, 0)
+    return body[4 : 4 + n].decode("utf-8", "replace")
+
+
+def status_name(status):
+    return STATUS_NAMES[status] if status < len(STATUS_NAMES) else "?"
+
+
+def cmd_ping(sock, _args):
+    status, _ = round_trip(sock, VERB_PING, b"")
+    print(status_name(status))
+    return status == 0
+
+
+def cmd_annotate(sock, args):
+    method = None
+    if args.method is not None:
+        if args.method not in METHODS:
+            sys.exit(f"unknown method '{args.method}' (one of {METHODS})")
+        method = METHODS.index(args.method)
+    body = struct.pack("<QI", args.deadline_ms * 1000, len(args.files))
+    for path in args.files:
+        with open(path, "rb") as f:
+            source = f.read()
+        name = path.encode()
+        body += struct.pack("<BB", int(method is not None), method or 0)
+        body += struct.pack("<I", len(name)) + name
+        body += struct.pack("<I", len(source)) + source
+
+    status, rbody = round_trip(sock, VERB_ANNOTATE, body)
+    if status != 0:
+        print(f"{status_name(status)}: {decode_string(rbody)}")
+        return False
+
+    off = 0
+    generation, count = struct.unpack_from("<QI", rbody, off)
+    off += 12
+    print(f"generation {generation}, {count} result(s)")
+    ok_all = True
+    for _ in range(count):
+        ok, method_idx = struct.unpack_from("<BB", rbody, off)
+        off += 2
+        (name_len,) = struct.unpack_from("<I", rbody, off)
+        off += 4
+        name = rbody[off : off + name_len].decode("utf-8", "replace")
+        off += name_len
+        if not ok:
+            (err_len,) = struct.unpack_from("<I", rbody, off)
+            off += 4
+            err = rbody[off : off + err_len].decode("utf-8", "replace")
+            off += err_len
+            print(f"  {name}: REJECTED ({err})")
+            ok_all = False
+            continue
+        cached, plan_count = struct.unpack_from("<II", rbody, off)
+        off += 8
+        plans = []
+        for _ in range(plan_count):
+            vf, intf = struct.unpack_from("<II", rbody, off)
+            off += 8
+            plans.append(f"VF={vf},IF={intf}")
+        (ann_len,) = struct.unpack_from("<I", rbody, off)
+        off += 4
+        annotated = rbody[off : off + ann_len].decode("utf-8", "replace")
+        off += ann_len
+        print(
+            f"  {name} [{METHODS[method_idx]}] "
+            f"{'; '.join(plans)} ({cached} cached)"
+        )
+        if args.print_source:
+            print(annotated)
+    return ok_all
+
+
+def cmd_statsz(sock, _args):
+    status, body = round_trip(sock, VERB_STATSZ, b"")
+    if status != 0:
+        print(f"{status_name(status)}: {decode_string(body)}")
+        return False
+    doc = json.loads(decode_string(body))
+    print(json.dumps(doc, indent=2))
+    return True
+
+
+def cmd_reload(sock, args):
+    path = args.model.encode()
+    status, body = round_trip(
+        sock, VERB_RELOAD, struct.pack("<I", len(path)) + path
+    )
+    if status != 0:
+        print(f"{status_name(status)}: {decode_string(body)}")
+        return False
+    (generation,) = struct.unpack("<Q", body)
+    print(f"reloaded: generation {generation}")
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7117)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("ping")
+    annotate = sub.add_parser("annotate")
+    annotate.add_argument("files", nargs="+")
+    annotate.add_argument("--method", default=None, help="backend override")
+    annotate.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=0,
+        help="queue deadline in ms (0 = none)",
+    )
+    annotate.add_argument(
+        "--print-source",
+        action="store_true",
+        help="print the annotated source",
+    )
+    sub.add_parser("statsz")
+    reload_cmd = sub.add_parser("reload")
+    reload_cmd.add_argument("model")
+
+    args = parser.parse_args()
+    handlers = {
+        "ping": cmd_ping,
+        "annotate": cmd_annotate,
+        "statsz": cmd_statsz,
+        "reload": cmd_reload,
+    }
+    try:
+        with socket.create_connection((args.host, args.port), timeout=60) as s:
+            s.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            ok = handlers[args.command](s, args)
+    except (OSError, ConnectionError) as e:
+        sys.exit(f"transport error: {e}")
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()
