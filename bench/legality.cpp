@@ -1,0 +1,160 @@
+//===- bench/legality.cpp - Legality analysis throughput -------------------===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+// The legality analysis runs on every serve-path cache miss, in front of
+// the embedder: lowering a site to its access summary, then the dependence
+// sweep (ZIV / SIV / GCD tests over all store<->access pairs), access
+// classification, and the legal-(VF, IF) mask. This bench measures that
+// stage in isolation — analyses/second over pre-parsed generated loops —
+// plus the end-to-end cost with parsing included, so serve-path budgeting
+// has a number to point at.
+//
+// Correctness guard (the bench fails, not flakes, on mismatch): for every
+// site, the mask, the clamp, and the simulated compiler's legalize() must
+// agree on every point of the (VF, IF) action grid.
+//
+//   $ ./legality [--smoke]          # --smoke: shorter timing windows (CI)
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "ir/Legality.h"
+#include "ir/Lowering.h"
+#include "lang/LoopExtractor.h"
+#include "lang/Parser.h"
+#include "sim/Compiler.h"
+#include "support/Table.h"
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <iostream>
+
+using namespace nv;
+
+namespace {
+
+/// Runs Fn repeatedly for at least \p MinMs and returns executions/second.
+double opsPerSec(const std::function<void()> &Fn, double MinMs) {
+  using Clock = std::chrono::steady_clock;
+  Fn(); // Warm-up.
+  long long Iters = 0;
+  const auto Start = Clock::now();
+  double Ms = 0.0;
+  do {
+    Fn();
+    ++Iters;
+    Ms = std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             Clock::now() - Start)
+             .count();
+  } while (Ms < MinMs);
+  return Iters * 1000.0 / Ms;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+  const double MinMs = Smoke ? 40.0 : 200.0;
+
+  std::cout << "=== legality: dependence analysis + plan masking ===\n"
+            << (Smoke ? "(smoke mode: short timing windows)\n" : "") << "\n";
+
+  BenchJson Json("legality");
+  const SimCompiler Compiler;
+  const TargetInfo &TI = Compiler.target();
+
+  // The workload: generated loops across every template, parsed once.
+  constexpr int NumPrograms = 96;
+  LoopGenerator Gen(/*Seed=*/9090);
+  std::vector<GeneratedLoop> Programs = Gen.generateMany(NumPrograms);
+  std::vector<std::unique_ptr<Program>> Parsed;
+  std::vector<std::vector<LoopSite>> AllSites;
+  size_t TotalSites = 0;
+  for (const GeneratedLoop &L : Programs) {
+    std::optional<Program> P = parseSource(L.Source);
+    if (!P) {
+      std::cerr << "generator produced an unparsable program: " << L.Name
+                << "\n";
+      return 1;
+    }
+    Parsed.push_back(std::make_unique<Program>(std::move(*P)));
+    AllSites.push_back(extractLoops(*Parsed.back()));
+    TotalSites += AllSites.back().size();
+  }
+
+  // --- Guard: mask == clamp == simulator over the full action grid ------
+  for (size_t I = 0; I < Parsed.size(); ++I) {
+    const std::vector<LoopSummary> Sums =
+        lowerAllLoops(*Parsed[I], AllSites[I], TI.MaxVF);
+    for (const LoopSummary &Sum : Sums) {
+      const LegalitySummary Legal = analyzeLegality(Sum, TI);
+      for (int VF : TI.vfActions()) {
+        for (int IF : TI.ifActions()) {
+          const VectorPlan Plan{VF, IF};
+          const bool ByMask = Legal.isLegal(Plan, TI);
+          const bool ByClamp = Legal.clamp(Plan, TI) == Plan;
+          const bool BySim = Compiler.legalize(Sum, Plan) == Plan;
+          if (ByMask != ByClamp || ByMask != BySim) {
+            std::cerr << "MISMATCH: mask/clamp/simulator disagree on "
+                      << Programs[I].Name << " plan (" << VF << ", " << IF
+                      << ")\n";
+            return 1;
+          }
+        }
+      }
+    }
+  }
+
+  // --- Analysis alone: lowering + dependence sweep + mask ---------------
+  const double AnalyzeOps = opsPerSec(
+      [&] {
+        for (size_t I = 0; I < Parsed.size(); ++I) {
+          const std::vector<LoopSummary> Sums =
+              lowerAllLoops(*Parsed[I], AllSites[I], TI.MaxVF);
+          for (const LoopSummary &Sum : Sums) {
+            const LegalitySummary Legal = analyzeLegality(Sum, TI);
+            volatile int Sink = Legal.MaxSafeVF;
+            (void)Sink;
+          }
+        }
+      },
+      MinMs);
+
+  // --- With the parser included (the cold-path shape) -------------------
+  const double FullOps = opsPerSec(
+      [&] {
+        for (const GeneratedLoop &L : Programs) {
+          std::optional<Program> P = parseSource(L.Source);
+          std::vector<LoopSite> Sites = extractLoops(*P);
+          const std::vector<LoopSummary> Sums =
+              lowerAllLoops(*P, Sites, TI.MaxVF);
+          for (const LoopSummary &Sum : Sums) {
+            const LegalitySummary Legal = analyzeLegality(Sum, TI);
+            volatile int Sink = Legal.MaxSafeVF;
+            (void)Sink;
+          }
+        }
+      },
+      MinMs);
+
+  const double AnalysesPerSec = AnalyzeOps * static_cast<double>(TotalSites);
+  const double FullPerSec = FullOps * static_cast<double>(TotalSites);
+
+  Table T({"stage", "analyses/s"});
+  T.addRow({"lower + analyze", Table::fmt(AnalysesPerSec, 0)});
+  T.addRow({"parse + lower + analyze", Table::fmt(FullPerSec, 0)});
+  T.print(std::cout);
+  std::cout << "\n";
+
+  Json.add("legality_analyses_per_sec", AnalysesPerSec);
+  Json.add("legality_with_parse_analyses_per_sec", FullPerSec);
+  Json.write("legality");
+  // Exit status reflects correctness only (the guard above); timing is
+  // reported, not gated.
+  return 0;
+}

@@ -3,8 +3,10 @@
 #include "core/NeuroVectorizer.h"
 
 #include "dataset/Suites.h"
+#include "ir/Lowering.h"
 #include "lang/Parser.h"
 #include "lang/PrettyPrinter.h"
+#include "rl/StateFeatures.h"
 #include "serve/ModelSerializer.h"
 #include "support/Telemetry.h"
 
@@ -19,7 +21,10 @@ NeuroVectorizer::NeuroVectorizer(const NeuroVectorizerConfig &Config)
   Embedder = std::make_unique<Code2Vec>(Config.Embedding, Rng);
   const int NumVF = static_cast<int>(Config.Target.vfActions().size());
   const int NumIF = static_cast<int>(Config.Target.ifActions().size());
-  Pol = std::make_unique<Policy>(Config.ActionSpace, Embedder->codeDim(),
+  const int InputDim =
+      Embedder->codeDim() +
+      (Config.LegalityFeatures ? NumLegalityFeatures : 0);
+  Pol = std::make_unique<Policy>(Config.ActionSpace, InputDim,
                                  Config.Hidden, NumVF, NumIF, Rng);
   Runner = std::make_unique<PPORunner>(*Env, *Embedder, *Pol, Config.PPO,
                                        Config.Seed ^ 0xABCDEF);
@@ -71,6 +76,7 @@ RolloutModelSpec NeuroVectorizer::rolloutSpec() const {
   Spec.Hidden = Config.Hidden;
   Spec.NumVF = static_cast<int>(Config.Target.vfActions().size());
   Spec.NumIF = static_cast<int>(Config.Target.ifActions().size());
+  Spec.LegalityFeatures = Config.LegalityFeatures;
   return Spec;
 }
 
@@ -127,8 +133,22 @@ NeuroVectorizer::plansFor(const std::string &Source, PredictMethod Method) {
   Predictor *P = Backends.get(Method);
   assert(P && "no backend registered for method");
 
-  if (P->kind() == Predictor::Kind::Source)
-    return P->plansForSource(Source);
+  if (P->kind() == Predictor::Kind::Source) {
+    // Source-kind backends see the program themselves; their plans still
+    // pass the same legality clamp the serving boundary applies.
+    std::vector<VectorPlan> Plans = P->plansForSource(Source);
+    std::optional<Program> Parsed = parseSource(Source);
+    assert(Parsed && "plansFor() requires a valid program");
+    clearAllPragmas(*Parsed);
+    std::vector<LoopSite> Sites = extractLoops(*Parsed);
+    const std::vector<LoopSummary> Summaries =
+        lowerAllLoops(*Parsed, Sites, Config.Target.MaxVF);
+    for (size_t S = 0; S < Plans.size() && S < Summaries.size(); ++S)
+      Plans[S] = legalizePlan(analyzeLegality(Summaries[S], Config.Target)
+                                  .MaxSafeVF,
+                              Plans[S], Config.Target);
+    return Plans;
+  }
 
   assert(P->ready() && "call fitSupervised() first");
   std::string Error;
@@ -136,6 +156,19 @@ NeuroVectorizer::plansFor(const std::string &Source, PredictMethod Method) {
   assert(Parsed && "plansFor() requires a valid program");
   clearAllPragmas(*Parsed);
   std::vector<LoopSite> Sites = extractLoops(*Parsed);
+
+  // Per-site legality: feature columns for a widened policy, and the
+  // clamp every embedding-kind prediction passes through (so the plans
+  // handed back are the plans the compiler would actually honor).
+  std::vector<LoopSummary> Summaries =
+      lowerAllLoops(*Parsed, Sites, Config.Target.MaxVF);
+  std::vector<LegalitySummary> Legality;
+  std::vector<LegalityDigest> Digests;
+  Legality.reserve(Summaries.size());
+  for (const LoopSummary &Summary : Summaries) {
+    Legality.push_back(analyzeLegality(Summary, Config.Target));
+    Digests.push_back(Legality.back().digest());
+  }
 
   std::vector<std::vector<PathContext>> Contexts;
   Contexts.reserve(Sites.size());
@@ -149,7 +182,14 @@ NeuroVectorizer::plansFor(const std::string &Source, PredictMethod Method) {
     Contexts.push_back(extractPathContexts(ContextRoot, Config.Embedding.Paths));
   }
   const Matrix States = Embedder->encodeBatch(Contexts);
-  return P->plansForEmbeddings(States, nullptr);
+  Matrix WideBuf;
+  std::vector<VectorPlan> Plans = P->plansForEmbeddings(
+      widenStates(States, P->wantsCols(), Digests.data(), Digests.size(),
+                  Config.Target, WideBuf),
+      nullptr);
+  for (size_t S = 0; S < Plans.size() && S < Legality.size(); ++S)
+    Plans[S] = Legality[S].clamp(Plans[S], Config.Target);
+  return Plans;
 }
 
 std::string NeuroVectorizer::annotate(const std::string &Source,
@@ -201,6 +241,7 @@ bool NeuroVectorizer::save(const std::string &Path, std::string *Error) {
   // whatever supervised backends have been distilled from these weights.
   ModelMeta Meta;
   Meta.InnerContextOnly = Env->innerContextOnly();
+  Meta.LegalityFeatures = Config.LegalityFeatures;
   SupervisedBundle Bundle;
   Bundle.NNS = &NNS->index();
   Bundle.Tree = &Tree->tree();
@@ -234,6 +275,7 @@ AnnotationService &NeuroVectorizer::service(const ServeConfig &Serve) {
   // the service extracts contexts the way this instance's model does.
   ServeConfig Cfg = Serve;
   Cfg.InnerContextOnly = Env->innerContextOnly();
+  Cfg.LegalityFeatures = Config.LegalityFeatures;
   Service = std::make_unique<AnnotationService>(
       *Embedder, Backends, Config.Embedding.Paths, Config.Target, Cfg);
   return *Service;
@@ -253,6 +295,7 @@ ServingModelConfig NeuroVectorizer::servingModelConfig() const {
   Cfg.Target = Config.Target;
   Cfg.Machine = Config.Machine;
   Cfg.Seed = Config.Seed;
+  Cfg.LegalityFeatures = Config.LegalityFeatures;
   return Cfg;
 }
 

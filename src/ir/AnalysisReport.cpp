@@ -1,0 +1,212 @@
+//===- ir/AnalysisReport.cpp - Offline legality reporting -----------------===//
+
+#include "ir/AnalysisReport.h"
+
+#include "ir/Lowering.h"
+#include "lang/Parser.h"
+#include "support/Telemetry.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace nv;
+
+namespace {
+
+const char *reductionName(ReductionKind K) {
+  switch (K) {
+  case ReductionKind::None:
+    return "none";
+  case ReductionKind::Sum:
+    return "sum";
+  case ReductionKind::Product:
+    return "product";
+  case ReductionKind::Min:
+    return "min";
+  case ReductionKind::Max:
+    return "max";
+  }
+  return "none";
+}
+
+/// "<", "=", ">" — the direction-vector glyphs used in the literature.
+const char *directionGlyph(DepDirection D) {
+  switch (D) {
+  case DepDirection::Lt:
+    return "<";
+  case DepDirection::Eq:
+    return "=";
+  case DepDirection::Gt:
+    return ">";
+  }
+  return "?";
+}
+
+} // namespace
+
+AnalysisReport nv::analyzeProgram(const std::string &Name,
+                                  const std::string &Source,
+                                  const TargetInfo &TI) {
+  AnalysisReport Report;
+  Report.Name = Name;
+  std::string ParseError;
+  std::optional<Program> Parsed = parseSource(Source, &ParseError);
+  if (!Parsed) {
+    Report.Error = "parse error: " + ParseError;
+    return Report;
+  }
+  Report.Prog = std::make_unique<Program>(std::move(*Parsed));
+  Report.Sites = extractLoops(*Report.Prog);
+  if (Report.Sites.empty()) {
+    Report.Error = "no vectorizable loops";
+    return Report;
+  }
+  Report.Summaries = lowerAllLoops(*Report.Prog, Report.Sites, TI.MaxVF);
+  Report.Legal.reserve(Report.Summaries.size());
+  for (const LoopSummary &Summary : Report.Summaries)
+    Report.Legal.push_back(analyzeLegality(Summary, TI));
+  Report.Ok = true;
+  return Report;
+}
+
+void nv::printAnalysisText(const AnalysisReport &Report, const TargetInfo &TI,
+                           std::ostream &OS) {
+  OS << Report.Name << ": ";
+  if (!Report.Ok) {
+    OS << Report.Error << "\n";
+    return;
+  }
+  OS << Report.Sites.size() << " loop(s)\n";
+  const int GridSize = static_cast<int>(TI.vfActions().size()) *
+                       static_cast<int>(TI.ifActions().size());
+  for (size_t L = 0; L < Report.Sites.size(); ++L) {
+    const LoopSite &Site = Report.Sites[L];
+    const LoopSummary &Sum = Report.Summaries[L];
+    const LegalitySummary &Legal = Report.Legal[L];
+    OS << "loop " << L << " (" << (Site.Func ? Site.Func->Name : "?")
+       << ", var " << Sum.Loop->IndexVar << ", depth " << Sum.Depth
+       << ", trip " << Sum.RuntimeTrip << ", step " << Sum.InnerStep
+       << ")\n";
+    OS << "  max safe VF " << Legal.MaxSafeVF << "; " << Legal.Mask.count()
+       << "/" << GridSize << " grid plans legal";
+    if (Legal.MinDependenceDistance > 0)
+      OS << "; min binding distance " << Legal.MinDependenceDistance;
+    if (Legal.HasUnknownDep)
+      OS << "; unanalyzable dependence (assumed distance 1)";
+    OS << "\n";
+    OS << "  accesses:\n";
+    for (size_t A = 0; A < Sum.Accesses.size(); ++A) {
+      const MemAccess &Acc = Sum.Accesses[A];
+      OS << "    [" << A << "] " << (Acc.IsStore ? "store " : "load  ")
+         << Acc.Array << "  " << accessClassName(Legal.Classes[A]);
+      if (Legal.Classes[A] == AccessClass::Strided)
+        OS << " (stride " << Acc.InnerStride << ")";
+      OS << "\n";
+    }
+    if (!Legal.Edges.empty()) {
+      OS << "  dependences:\n";
+      for (const DependenceEdge &E : Legal.Edges) {
+        OS << "    [" << E.Src << "] -> [" << E.Dst << "] "
+           << depKindName(E.Kind) << ", dir " << directionGlyph(E.Direction);
+        if (E.Unknown)
+          OS << ", unknown";
+        else if (E.HasDistance)
+          OS << ", distance " << E.Distance;
+        if (E.BindsVF)
+          OS << ", binds VF";
+        OS << "\n";
+      }
+    }
+    if (Sum.Reduction.Kind != ReductionKind::None)
+      OS << "  reduction: " << reductionName(Sum.Reduction.Kind) << " over "
+         << Sum.Reduction.Var << "\n";
+    if (Legal.HasPredicate)
+      OS << "  predicate: "
+         << (Legal.IfConvertible ? "if-convertible" : "not if-convertible")
+         << "\n";
+    if (Legal.HasUnknownCall)
+      OS << "  contains an unvectorizable call\n";
+    if (Legal.HasScalarCycle)
+      OS << "  loop-carried scalar recurrence (serializes iterations)\n";
+  }
+}
+
+std::string nv::analysisJson(const AnalysisReport &Report,
+                             const TargetInfo &TI) {
+  JsonLine Root;
+  Root.field("name", Report.Name)
+      .field("ok", Report.Ok)
+      .field("num_vf", static_cast<int>(TI.vfActions().size()))
+      .field("num_if", static_cast<int>(TI.ifActions().size()));
+  if (!Report.Ok) {
+    Root.field("error", Report.Error).raw("loops", "[]");
+    return Root.str();
+  }
+
+  std::string Loops = "[";
+  for (size_t L = 0; L < Report.Sites.size(); ++L) {
+    const LoopSite &Site = Report.Sites[L];
+    const LoopSummary &Sum = Report.Summaries[L];
+    const LegalitySummary &Legal = Report.Legal[L];
+
+    std::string Accesses = "[";
+    for (size_t A = 0; A < Sum.Accesses.size(); ++A) {
+      const MemAccess &Acc = Sum.Accesses[A];
+      JsonLine Row;
+      Row.field("index", static_cast<int>(A))
+          .field("array", Acc.Array)
+          .field("store", Acc.IsStore)
+          .field("class", accessClassName(Legal.Classes[A]))
+          .field("stride", Acc.IsAffine ? Acc.InnerStride : 0ll);
+      if (A != 0)
+        Accesses += ",";
+      Accesses += Row.str();
+    }
+    Accesses += "]";
+
+    std::string Deps = "[";
+    for (size_t E = 0; E < Legal.Edges.size(); ++E) {
+      const DependenceEdge &Edge = Legal.Edges[E];
+      JsonLine Row;
+      Row.field("src", Edge.Src)
+          .field("dst", Edge.Dst)
+          .field("kind", depKindName(Edge.Kind))
+          .field("direction", directionGlyph(Edge.Direction))
+          .field("unknown", Edge.Unknown)
+          .field("has_distance", Edge.HasDistance)
+          .field("distance", Edge.Distance)
+          .field("binds_vf", Edge.BindsVF);
+      if (E != 0)
+        Deps += ",";
+      Deps += Row.str();
+    }
+    Deps += "]";
+
+    JsonLine Loop;
+    Loop.field("index", static_cast<int>(L))
+        .field("function", Site.Func ? Site.Func->Name : "")
+        .field("var", Sum.Loop->IndexVar)
+        .field("depth", Sum.Depth)
+        .field("trip", Sum.RuntimeTrip)
+        .field("step", Sum.InnerStep)
+        .field("max_safe_vf", Legal.MaxSafeVF)
+        .field("min_dependence_distance", Legal.MinDependenceDistance)
+        .field("unknown_dep", Legal.HasUnknownDep)
+        .field("reduction", reductionName(Sum.Reduction.Kind))
+        .field("has_predicate", Legal.HasPredicate)
+        .field("if_convertible", Legal.IfConvertible)
+        .field("unknown_call", Legal.HasUnknownCall)
+        .field("scalar_cycle", Legal.HasScalarCycle)
+        .field("legal_plans", Legal.Mask.count())
+        .field("mask_bits", static_cast<uint64_t>(Legal.Mask.Bits))
+        .raw("accesses", Accesses)
+        .raw("dependences", Deps);
+    if (L != 0)
+      Loops += ",";
+    Loops += Loop.str();
+  }
+  Loops += "]";
+
+  Root.field("error", "").raw("loops", Loops);
+  return Root.str();
+}

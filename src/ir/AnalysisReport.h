@@ -1,0 +1,68 @@
+//===- ir/AnalysisReport.h - Offline legality reporting ---------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline analysis driver behind the nv_analyze tool: parse a source
+/// program, lower every vectorization site, run the legality analysis, and
+/// render the findings — access classes, dependence edges with direction
+/// vectors and distances, reductions/predication, the max safe VF, and
+/// the legal-(VF, IF) mask — as human-readable text or strict JSON.
+///
+/// Deliberately offline-only: the report owns its parsed Program and never
+/// touches the serving or training stacks, so it is safe to run against
+/// untrusted sources without a model anywhere in sight.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_IR_ANALYSISREPORT_H
+#define NV_IR_ANALYSISREPORT_H
+
+#include "ir/Legality.h"
+#include "lang/AST.h"
+#include "lang/LoopExtractor.h"
+#include "target/TargetInfo.h"
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nv {
+
+/// Everything the analysis found for one program. Sites/Summaries/Legal
+/// are parallel vectors (one entry per vectorization site); Sites borrow
+/// AST nodes owned by Prog.
+struct AnalysisReport {
+  std::string Name;
+  bool Ok = false;
+  std::string Error; ///< Parse failure / "no loops" when !Ok.
+
+  std::unique_ptr<Program> Prog;
+  std::vector<LoopSite> Sites;
+  std::vector<LoopSummary> Summaries;
+  std::vector<LegalitySummary> Legal;
+};
+
+/// Runs parse -> loop extraction -> lowering -> legality analysis over
+/// \p Source. Never throws; failures land in Report.Error.
+AnalysisReport analyzeProgram(const std::string &Name,
+                              const std::string &Source,
+                              const TargetInfo &TI);
+
+/// Renders \p Report as indented human-readable text (one block per loop).
+void printAnalysisText(const AnalysisReport &Report, const TargetInfo &TI,
+                       std::ostream &OS);
+
+/// Renders \p Report as one strict JSON object:
+/// {"name","ok","error","loops":[{"index","function","var","depth","trip",
+///  "step","max_safe_vf","min_dependence_distance","unknown_dep",
+///  "reduction","has_predicate","if_convertible","legal_plans",
+///  "mask_bits","accesses":[...],"dependences":[...]}]}.
+std::string analysisJson(const AnalysisReport &Report, const TargetInfo &TI);
+
+} // namespace nv
+
+#endif // NV_IR_ANALYSISREPORT_H

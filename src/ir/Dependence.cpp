@@ -2,6 +2,8 @@
 
 #include "ir/Dependence.h"
 
+#include "ir/Legality.h"
+
 #include <algorithm>
 
 using namespace nv;
@@ -77,21 +79,33 @@ DependenceResult nv::testDependence(const MemAccess &Store,
 
 int nv::computeMaxSafeVF(const std::vector<MemAccess> &Accesses,
                          const std::string &InnerVar, int HWMaxVF) {
-  long long MinDistance = HWMaxVF;
-  for (const MemAccess &Store : Accesses) {
-    if (!Store.IsStore)
+  return computeMaxSafeVF(Accesses, InnerVar, HWMaxVF, /*Lo=*/0, /*Step=*/1,
+                          /*Trip=*/-1);
+}
+
+int nv::computeMaxSafeVF(const std::vector<MemAccess> &Accesses,
+                         const std::string &InnerVar, int HWMaxVF,
+                         long long Lo, long long Step, long long Trip) {
+  IterationDomain Domain;
+  Domain.Lo = Lo;
+  Domain.Step = Step != 0 ? Step : 1;
+  Domain.Trip = Trip > 0 ? Trip : -1;
+
+  long long Bound = HWMaxVF;
+  for (size_t S = 0; S < Accesses.size(); ++S) {
+    if (!Accesses[S].IsStore)
       continue;
-    if (!Store.IsAffine)
-      return 1; // Scatter with unknown pattern: do not vectorize.
-    for (const MemAccess &Other : Accesses) {
-      if (&Other == &Store)
+    for (size_t O = 0; O < Accesses.size(); ++O) {
+      DependenceEdge Edge;
+      if (!testAccessPair(Accesses[S], Accesses[O], static_cast<int>(S),
+                          static_cast<int>(O), InnerVar, Domain, Edge))
         continue;
-      DependenceResult R = testDependence(Store, Other, InnerVar);
-      if (R.Unknown)
-        return 1;
-      if (R.Exists)
-        MinDistance = std::min(MinDistance, R.Distance);
+      if (!Edge.BindsVF)
+        continue;
+      Bound = std::min(Bound, Edge.HasDistance && Edge.Distance > 0
+                                  ? Edge.Distance
+                                  : 1);
     }
   }
-  return floorPow2(std::min<long long>(MinDistance, HWMaxVF));
+  return floorPow2(std::min<long long>(Bound, HWMaxVF));
 }

@@ -38,9 +38,20 @@ DependenceResult testDependence(const MemAccess &Store,
 
 /// Returns the largest power-of-two VF (<= \p HWMaxVF) that is legal for a
 /// loop with memory accesses \p Accesses along \p InnerVar. Returns 1 when
-/// any store is non-affine or a dependence cannot be disproven.
+/// any store is non-affine or a dependence cannot be disproven. Only
+/// store<->access pairs are tested: reads can never hazard against other
+/// reads, so e.g. a read-only gather stays fully vectorizable.
 int computeMaxSafeVF(const std::vector<MemAccess> &Accesses,
                      const std::string &InnerVar, int HWMaxVF);
+
+/// As above, with the loop's iteration domain: the induction variable
+/// takes the values \p Lo + k * \p Step for k in [0, \p Trip) (\p Trip ==
+/// -1 when unknown). Distances are computed in iteration space and
+/// weak-zero SIV conflicts outside the trip range are refuted, so this is
+/// at least as precise as the domain-free overload.
+int computeMaxSafeVF(const std::vector<MemAccess> &Accesses,
+                     const std::string &InnerVar, int HWMaxVF, long long Lo,
+                     long long Step, long long Trip);
 
 /// Rounds \p X down to a power of two (minimum 1).
 int floorPow2(long long X);

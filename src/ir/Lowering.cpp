@@ -566,13 +566,18 @@ LoopSummary LoweringContext::run() {
   }
   Summary.OuterIterations = Outer;
   Summary.RuntimeTrip = tripCount(*Site.Inner, Runtime).value_or(64);
+  Summary.InnerStep = Site.Inner->Step != 0 ? Site.Inner->Step : 1;
+  Summary.InnerVarLo = static_cast<long long>(
+      evalExpr(*Site.Inner->Init, Runtime).value_or(0.0));
 
   // Legality.
   if (Summary.HasUnknownCall || Summary.HasScalarCycle) {
     Summary.MaxSafeVF = 1;
   } else {
     Summary.MaxSafeVF =
-        computeMaxSafeVF(Summary.Accesses, Site.Inner->IndexVar, HWMaxVF);
+        computeMaxSafeVF(Summary.Accesses, Site.Inner->IndexVar, HWMaxVF,
+                         Summary.InnerVarLo, Summary.InnerStep,
+                         Summary.RuntimeTrip);
   }
 
   // Register pressure estimate: distinct arrays + live scalars + masks.

@@ -129,6 +129,14 @@ struct LoopSummary {
   /// Largest legal VF from memory dependence analysis (power of two).
   int MaxSafeVF = 1;
 
+  /// Iteration domain of the innermost loop, resolved with the same
+  /// runtime binding as RuntimeTrip: the induction variable takes the
+  /// values InnerVarLo + k * InnerStep for k in [0, RuntimeTrip). The
+  /// legality analysis normalizes affine indices to iteration space with
+  /// these (so `i += 2` loops are not pessimized by var-space distances).
+  long long InnerVarLo = 0;
+  long long InnerStep = 1;
+
   /// Compile-time-known trip count; -1 when the bound is symbolic
   /// ("unknown loop bounds" in the paper's benchmark taxonomy).
   long long CompileTrip = -1;

@@ -405,6 +405,11 @@ std::string NetServer::buildStatszJson() {
   }
   Methods += "]";
 
+  JsonLine AccessClasses;
+  for (int AC = 0; AC < NumAccessClasses; ++AC)
+    AccessClasses.field(accessClassName(static_cast<AccessClass>(AC)),
+                        S.AccessClasses[AC]);
+
   JsonLine Serve;
   Serve.field("batches", S.BatchesServed)
       .field("programs", S.ProgramsServed)
@@ -416,6 +421,10 @@ std::string NetServer::buildStatszJson() {
       .field("forward_passes", S.ForwardPasses)
       .field("hit_rate", S.hitRate())
       .field("throughput", S.throughput())
+      .field("loops_analyzed", S.LoopsAnalyzed)
+      .field("plans_clamped", S.PlansClamped)
+      .field("legality_us", S.LegalityMicros)
+      .raw("access_classes", AccessClasses.str())
       .raw("methods", Methods);
 
   JsonLine Root;

@@ -5,15 +5,23 @@
 #include "predictors/Search.h"
 #include "rl/Env.h"
 #include "rl/Policy.h"
+#include "rl/StateFeatures.h"
 #include "sim/Compiler.h"
 
 #include <cassert>
 
 using namespace nv;
 
+int PolicyBackend::wantsCols() const { return Pol.inputDim(); }
+
 std::vector<VectorPlan> PolicyBackend::plansForEmbeddings(const Matrix &States,
                                                           ThreadPool *Pool) {
-  Pol.forward(States, Pool, /*ForBackward=*/false);
+  // A feature-widened policy fed bare code embeddings gets zero-filled
+  // legality columns (callers that ran the analysis pre-widen instead,
+  // which passes through untouched).
+  const Matrix &In =
+      widenStates(States, Pol.inputDim(), nullptr, 0, TI, WideBuf);
+  Pol.forward(In, Pool, /*ForBackward=*/false);
   std::vector<VectorPlan> Plans(States.rows());
   for (int Row = 0; Row < States.rows(); ++Row)
     Plans[Row] = Pol.toPlan(Pol.greedyAction(Row), TI);

@@ -44,12 +44,14 @@ public:
 
   Kind kind() const override { return Kind::Embedding; }
   std::string name() const override { return "rl"; }
+  int wantsCols() const override;
   std::vector<VectorPlan> plansForEmbeddings(const Matrix &States,
                                              ThreadPool *Pool) override;
 
 private:
   Policy &Pol;
   TargetInfo TI;
+  Matrix WideBuf; ///< Zero-feature widening for legality-feature policies.
 };
 
 /// k-NN over (embedding, oracle plan) pairs (§3.5, 2.65x in the paper).

@@ -19,8 +19,11 @@ BruteForceResult nv::bruteForceSearch(VectorizationEnv &Env, size_t Index,
   for (int Pass = 0; Pass < Passes; ++Pass) {
     bool Improved = false;
     for (size_t Site = 0; Site < NumSites; ++Site) {
+      const LegalitySummary &Legal = Env.legality(Index, Site);
       for (int VF : VFs) {
         for (int IF : IFs) {
+          if (!Legal.isLegal({VF, IF}, TI))
+            continue;
           std::vector<VectorPlan> Candidate = Result.Plans;
           Candidate[Site] = {VF, IF};
           const double Cycles = Env.cyclesWith(Index, Candidate);
@@ -45,8 +48,17 @@ std::vector<VectorPlan> nv::randomPlans(const VectorizationEnv &Env,
   const std::vector<int> VFs = TI.vfActions();
   const std::vector<int> IFs = TI.ifActions();
   std::vector<VectorPlan> Plans;
-  for (size_t S = 0; S < Env.sample(Index).Sites.size(); ++S)
-    Plans.push_back({static_cast<int>(VFs[Rng.nextBounded(VFs.size())]),
-                     static_cast<int>(IFs[Rng.nextBounded(IFs.size())])});
+  for (size_t S = 0; S < Env.sample(Index).Sites.size(); ++S) {
+    // Uniform over the site's *legal* grid: random search competes on the
+    // same action set the other methods see (an illegal draw would be
+    // silently clamped by the compiler anyway, skewing the distribution).
+    const PlanMask &Mask = Env.actionMask(Index, S);
+    std::vector<VectorPlan> Legal;
+    for (size_t V = 0; V < VFs.size(); ++V)
+      for (size_t I = 0; I < IFs.size(); ++I)
+        if (Mask.empty() || Mask.legal(static_cast<int>(V), static_cast<int>(I)))
+          Legal.push_back({VFs[V], IFs[I]});
+    Plans.push_back(Legal[Rng.nextBounded(Legal.size())]);
+  }
   return Plans;
 }

@@ -75,6 +75,17 @@ public:
   const EnvSample &sample(size_t Index) const { return Samples[Index]; }
   const SimCompiler &compiler() const { return Compiler; }
 
+  /// Legality verdict for site \p Site of sample \p Index (computed once
+  /// at addProgram() time by precompile()).
+  const LegalitySummary &legality(size_t Index, size_t Site) const {
+    return Samples[Index].Pre.Legality[Site];
+  }
+  /// The legal-(VF, IF) action mask for site \p Site of sample \p Index —
+  /// what the policy samples under so illegal plans are never rolled out.
+  const PlanMask &actionMask(size_t Index, size_t Site) const {
+    return Samples[Index].Pre.Legality[Site].Mask;
+  }
+
   /// Penalty reward for a compile timeout (§3.4: "a penalty reward of -9").
   static constexpr double TimeoutPenalty = -9.0;
 

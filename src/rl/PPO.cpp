@@ -2,6 +2,8 @@
 
 #include "rl/PPO.h"
 
+#include "rl/StateFeatures.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -58,12 +60,19 @@ std::vector<Transition> PPORunner::collectBatch() {
     // never backprop (update() re-forwards per minibatch), so skip the
     // backward caches.
     Embedder.encodeBatchInto(Sample.Contexts, StatesBuf, MathPool);
-    Pol.forward(StatesBuf, MathPool, /*ForBackward=*/false);
+    DigestBuf.clear();
+    for (size_t S = 0; S < NumSites; ++S)
+      DigestBuf.push_back(Env.legality(SampleIdx, S).digest());
+    const Matrix &States =
+        widenStates(StatesBuf, Pol.inputDim(), DigestBuf.data(),
+                    DigestBuf.size(), TI, WideStatesBuf);
+    Pol.forward(States, MathPool, /*ForBackward=*/false);
 
     std::vector<VectorPlan> Plans(NumSites);
     std::vector<ActionRecord> Actions(NumSites);
     for (size_t S = 0; S < NumSites; ++S) {
-      Actions[S] = Pol.sampleAction(static_cast<int>(S), Rng);
+      const PlanMask &Mask = Env.actionMask(SampleIdx, S);
+      Actions[S] = Pol.sampleAction(static_cast<int>(S), Rng, &Mask);
       Plans[S] = Pol.toPlan(Actions[S], TI);
     }
     const double Reward = Env.step(SampleIdx, Plans);
@@ -74,6 +83,7 @@ std::vector<Transition> PPORunner::collectBatch() {
       T.SiteIdx = S;
       T.Action = Actions[S];
       T.Reward = Reward;
+      T.Mask = Env.actionMask(SampleIdx, S);
       Batch.push_back(T);
     }
   }
@@ -98,11 +108,16 @@ double PPORunner::update(const std::vector<Transition> &Batch,
       A = (A - Mean) / Std;
   }
 
-  // Gather the state contexts once.
+  // Gather the state contexts (and legality digests, for feature-widened
+  // policies) once.
   std::vector<std::vector<PathContext>> Contexts;
+  std::vector<LegalityDigest> Digests;
   Contexts.reserve(B);
-  for (const Transition &T : Batch)
+  Digests.reserve(B);
+  for (const Transition &T : Batch) {
     Contexts.push_back(Env.sample(T.SampleIdx).Contexts[T.SiteIdx]);
+    Digests.push_back(Env.legality(T.SampleIdx, T.SiteIdx).digest());
+  }
 
   std::vector<Param *> AllParams = trainableParams();
 
@@ -125,18 +140,27 @@ double PPORunner::update(const std::vector<Transition> &Batch,
 
       std::vector<std::vector<PathContext>> MiniContexts;
       MiniContexts.reserve(M);
-      for (int I = Start; I < End; ++I)
+      DigestBuf.clear();
+      for (int I = Start; I < End; ++I) {
         MiniContexts.push_back(Contexts[Order[I]]);
+        DigestBuf.push_back(Digests[Order[I]]);
+      }
       Embedder.encodeBatchInto(MiniContexts, StatesBuf, MathPool);
-      Pol.forward(StatesBuf, MathPool);
+      const Matrix &States = widenStates(
+          StatesBuf, Pol.inputDim(), DigestBuf.data(), DigestBuf.size(),
+          Env.compiler().target(), WideStatesBuf);
+      Pol.forward(States, MathPool);
 
       std::vector<ActionRecord> Actions(M);
+      std::vector<PlanMask> Masks(M);
       std::vector<double> dLogProb(M, 0.0), dValue(M, 0.0);
       double PolicyLoss = 0.0, ValueLoss = 0.0, EntropyTerm = 0.0;
       for (int I = 0; I < M; ++I) {
         const Transition &T = Batch[Order[Start + I]];
         Actions[I] = T.Action;
-        const double LogPNew = Pol.logProb(I, Actions[I]);
+        Masks[I] = T.Mask;
+        const PlanMask *Mask = T.Mask.empty() ? nullptr : &Masks[I];
+        const double LogPNew = Pol.logProb(I, Actions[I], Mask);
         const double Ratio = std::exp(
             std::clamp(LogPNew - T.Action.LogProb, -20.0, 20.0));
         const double A = Advantages[Order[Start + I]];
@@ -153,7 +177,7 @@ double PPORunner::update(const std::vector<Transition> &Batch,
         ValueLoss += 0.5 * (V - T.Reward) * (V - T.Reward);
         dValue[I] = Config.ValueCoef * (V - T.Reward) / M;
 
-        EntropyTerm += Pol.entropy(I);
+        EntropyTerm += Pol.entropy(I, Mask, Actions[I].VFIdx);
       }
       PolicyLoss /= M;
       ValueLoss /= M;
@@ -163,8 +187,18 @@ double PPORunner::update(const std::vector<Transition> &Batch,
       ++NumMinibatches;
 
       Matrix dStates =
-          Pol.backward(Actions, dLogProb, dValue, EntropyCoef / M);
-      Embedder.backward(dStates);
+          Pol.backward(Actions, dLogProb, dValue, EntropyCoef / M, &Masks);
+      if (dStates.cols() > StatesBuf.cols()) {
+        // The legality-feature columns are analysis inputs, not learned
+        // state: drop their gradient and backprop the embedding block.
+        NarrowGradBuf.resize(dStates.rows(), StatesBuf.cols());
+        for (int R = 0; R < dStates.rows(); ++R)
+          std::copy(dStates.rowPtr(R), dStates.rowPtr(R) + StatesBuf.cols(),
+                    NarrowGradBuf.rowPtr(R));
+        Embedder.backward(NarrowGradBuf);
+      } else {
+        Embedder.backward(dStates);
+      }
       clipGradNorm(AllParams, Config.MaxGradNorm);
       Optimizer.step(AllParams);
     }
@@ -209,18 +243,30 @@ TrainStats PPORunner::train(long long TotalSteps) {
 
 VectorPlan PPORunner::predict(const std::vector<PathContext> &Contexts) {
   Embedder.encodeBatchInto({Contexts}, StatesBuf, MathPool);
-  Pol.forward(StatesBuf, MathPool, /*ForBackward=*/false);
+  // Raw-bag inference has no loop analysis: feature columns are zeros.
+  const Matrix &States =
+      widenStates(StatesBuf, Pol.inputDim(), nullptr, 0,
+                  Env.compiler().target(), WideStatesBuf);
+  Pol.forward(States, MathPool, /*ForBackward=*/false);
   return Pol.toPlan(Pol.greedyAction(0), Env.compiler().target());
 }
 
 std::vector<VectorPlan> PPORunner::predictSample(size_t Index) {
   const EnvSample &Sample = Env.sample(Index);
   Embedder.encodeBatchInto(Sample.Contexts, StatesBuf, MathPool);
-  Pol.forward(StatesBuf, MathPool, /*ForBackward=*/false);
+  DigestBuf.clear();
+  for (size_t S = 0; S < Sample.Sites.size(); ++S)
+    DigestBuf.push_back(Env.legality(Index, S).digest());
+  const Matrix &States =
+      widenStates(StatesBuf, Pol.inputDim(), DigestBuf.data(),
+                  DigestBuf.size(), Env.compiler().target(), WideStatesBuf);
+  Pol.forward(States, MathPool, /*ForBackward=*/false);
   std::vector<VectorPlan> Plans;
   Plans.reserve(Sample.Sites.size());
-  for (size_t S = 0; S < Sample.Sites.size(); ++S)
-    Plans.push_back(Pol.toPlan(Pol.greedyAction(static_cast<int>(S)),
+  for (size_t S = 0; S < Sample.Sites.size(); ++S) {
+    const PlanMask &Mask = Env.actionMask(Index, S);
+    Plans.push_back(Pol.toPlan(Pol.greedyAction(static_cast<int>(S), &Mask),
                                Env.compiler().target()));
+  }
   return Plans;
 }

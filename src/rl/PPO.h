@@ -58,6 +58,10 @@ struct Transition {
   size_t SiteIdx = 0;
   ActionRecord Action;
   double Reward = 0.0;
+  /// The legality mask the action was sampled under (empty = unmasked).
+  /// Carried to update time so ratio/entropy terms use the same masked
+  /// distribution — masks are static per site, so replays are exact.
+  PlanMask Mask;
 };
 
 /// Training curves sampled per batch (the paper's Figs 5-6 plot reward
@@ -131,6 +135,11 @@ private:
   EMA RewardEMA{0.1};
   ThreadPool *MathPool = nullptr;
   Matrix StatesBuf; ///< Reused encode output (allocation-free forwards).
+  /// Reused widened-state buffer and digest scratch for policies built
+  /// with legality features (see rl/StateFeatures.h); untouched otherwise.
+  Matrix WideStatesBuf;
+  Matrix NarrowGradBuf; ///< dStates minus the feature columns.
+  std::vector<LegalityDigest> DigestBuf;
 };
 
 } // namespace nv

@@ -37,7 +37,8 @@ static std::vector<int> makeTrunkSizes(int InputDim,
 
 Policy::Policy(ActionSpaceKind Kind, int InputDim, std::vector<int> Hidden,
                int NumVF, int NumIF, RNG &Rng, bool JointHeads)
-    : Kind(Kind), NumVF(NumVF), NumIF(NumIF), JointHeads(JointHeads),
+    : Kind(Kind), InputDim(InputDim), NumVF(NumVF), NumIF(NumIF),
+      JointHeads(JointHeads),
       HeadSizes(JointHeads ? std::vector<int>{NumVF, NumIF}
                            : std::vector<int>{NumVF}),
       Trunk(makeTrunkSizes(InputDim, Hidden), Activation::Tanh, Rng),
@@ -82,16 +83,67 @@ std::vector<double> Policy::headLogits(int Row, int Head) const {
   return Logits;
 }
 
+/// Logit floor for illegal actions: exp(MaskedLogit - max) underflows to
+/// exactly 0, so masked actions have probability 0 and contribute no
+/// entropy or gradient (softmax helpers guard Probs > 0).
+static constexpr double MaskedLogit = -1e30;
+
+std::vector<double> Policy::maskedHeadLogits(int Row, int Head,
+                                             const PlanMask *Mask,
+                                             int VFIdx) const {
+  std::vector<double> Logits = headLogits(Row, Head);
+  if (!Mask || Mask->empty())
+    return Logits;
+  for (int I = 0; I < static_cast<int>(Logits.size()); ++I) {
+    const bool Legal = Head == 0 ? Mask->vfLegal(I) : Mask->legal(VFIdx, I);
+    if (!Legal)
+      Logits[I] = MaskedLogit;
+  }
+  return Logits;
+}
+
+/// Nearest legal grid point for the continuous flavours: the rounded
+/// sample is projected VF-first (closest legal VF row, ties toward the
+/// safer lower index), then IF within that row.
+static void projectToMask(int &VFIdx, int &IFIdx, const PlanMask &Mask) {
+  if (Mask.empty() || Mask.legal(VFIdx, IFIdx))
+    return;
+  int BestVF = 0, BestDist = 1 << 30;
+  for (int V = 0; V < Mask.NumVF; ++V) {
+    if (!Mask.vfLegal(V))
+      continue;
+    const int Dist = std::abs(V - VFIdx);
+    if (Dist < BestDist) {
+      BestDist = Dist;
+      BestVF = V;
+    }
+  }
+  VFIdx = BestVF;
+  int BestIF = 0;
+  BestDist = 1 << 30;
+  for (int I = 0; I < Mask.NumIF; ++I) {
+    if (!Mask.legal(VFIdx, I))
+      continue;
+    const int Dist = std::abs(I - IFIdx);
+    if (Dist < BestDist) {
+      BestDist = Dist;
+      BestIF = I;
+    }
+  }
+  IFIdx = BestIF;
+}
+
 double Policy::value(int Row) const { return ValueOut.at(Row, 0); }
 
-ActionRecord Policy::sampleAction(int Row, RNG &Rng) {
+ActionRecord Policy::sampleAction(int Row, RNG &Rng, const PlanMask *Mask) {
   ActionRecord Rec;
   Rec.Value = value(Row);
   switch (Kind) {
   case ActionSpaceKind::Discrete: {
-    Rec.VFIdx = sampleCategorical(headLogits(Row, 0), Rng);
+    Rec.VFIdx = sampleCategorical(maskedHeadLogits(Row, 0, Mask, 0), Rng);
     if (JointHeads)
-      Rec.IFIdx = sampleCategorical(headLogits(Row, 1), Rng);
+      Rec.IFIdx = sampleCategorical(
+          maskedHeadLogits(Row, 1, Mask, Rec.VFIdx), Rng);
     break;
   }
   case ActionSpaceKind::Continuous1: {
@@ -101,6 +153,8 @@ ActionRecord Policy::sampleAction(int Row, RNG &Rng) {
         static_cast<int>(std::lround(Rec.Raw[0])), 0, NumVF * NumIF - 1);
     Rec.VFIdx = K / NumIF;
     Rec.IFIdx = K % NumIF;
+    if (Mask)
+      projectToMask(Rec.VFIdx, Rec.IFIdx, *Mask);
     break;
   }
   case ActionSpaceKind::Continuous2: {
@@ -112,21 +166,23 @@ ActionRecord Policy::sampleAction(int Row, RNG &Rng) {
                                 0, NumVF - 1);
     Rec.IFIdx = std::clamp<int>(static_cast<int>(std::lround(Rec.Raw[1])),
                                 0, NumIF - 1);
+    if (Mask)
+      projectToMask(Rec.VFIdx, Rec.IFIdx, *Mask);
     break;
   }
   }
-  Rec.LogProb = logProb(Row, Rec);
+  Rec.LogProb = logProb(Row, Rec, Mask);
   return Rec;
 }
 
-ActionRecord Policy::greedyAction(int Row) {
+ActionRecord Policy::greedyAction(int Row, const PlanMask *Mask) {
   ActionRecord Rec;
   Rec.Value = value(Row);
   switch (Kind) {
   case ActionSpaceKind::Discrete:
-    Rec.VFIdx = argmax(headLogits(Row, 0));
+    Rec.VFIdx = argmax(maskedHeadLogits(Row, 0, Mask, 0));
     if (JointHeads)
-      Rec.IFIdx = argmax(headLogits(Row, 1));
+      Rec.IFIdx = argmax(maskedHeadLogits(Row, 1, Mask, Rec.VFIdx));
     break;
   case ActionSpaceKind::Continuous1: {
     Rec.Raw[0] = HeadOut.at(Row, 0);
@@ -134,6 +190,8 @@ ActionRecord Policy::greedyAction(int Row) {
         static_cast<int>(std::lround(Rec.Raw[0])), 0, NumVF * NumIF - 1);
     Rec.VFIdx = K / NumIF;
     Rec.IFIdx = K % NumIF;
+    if (Mask)
+      projectToMask(Rec.VFIdx, Rec.IFIdx, *Mask);
     break;
   }
   case ActionSpaceKind::Continuous2:
@@ -143,18 +201,23 @@ ActionRecord Policy::greedyAction(int Row) {
                                 0, NumVF - 1);
     Rec.IFIdx = std::clamp<int>(static_cast<int>(std::lround(Rec.Raw[1])),
                                 0, NumIF - 1);
+    if (Mask)
+      projectToMask(Rec.VFIdx, Rec.IFIdx, *Mask);
     break;
   }
-  Rec.LogProb = logProb(Row, Rec);
+  Rec.LogProb = logProb(Row, Rec, Mask);
   return Rec;
 }
 
-double Policy::logProb(int Row, const ActionRecord &Action) const {
+double Policy::logProb(int Row, const ActionRecord &Action,
+                       const PlanMask *Mask) const {
   switch (Kind) {
   case ActionSpaceKind::Discrete: {
-    double LP = logSoftmaxAt(headLogits(Row, 0), Action.VFIdx);
+    double LP = logSoftmaxAt(maskedHeadLogits(Row, 0, Mask, 0),
+                             Action.VFIdx);
     if (JointHeads)
-      LP += logSoftmaxAt(headLogits(Row, 1), Action.IFIdx);
+      LP += logSoftmaxAt(maskedHeadLogits(Row, 1, Mask, Action.VFIdx),
+                         Action.IFIdx);
     return LP;
   }
   case ActionSpaceKind::Continuous1:
@@ -169,12 +232,12 @@ double Policy::logProb(int Row, const ActionRecord &Action) const {
   return 0.0;
 }
 
-double Policy::entropy(int Row) const {
+double Policy::entropy(int Row, const PlanMask *Mask, int VFIdx) const {
   switch (Kind) {
   case ActionSpaceKind::Discrete: {
-    double H = softmaxEntropy(headLogits(Row, 0));
+    double H = softmaxEntropy(maskedHeadLogits(Row, 0, Mask, 0));
     if (JointHeads)
-      H += softmaxEntropy(headLogits(Row, 1));
+      H += softmaxEntropy(maskedHeadLogits(Row, 1, Mask, VFIdx));
     return H;
   }
   case ActionSpaceKind::Continuous1:
@@ -189,12 +252,15 @@ double Policy::entropy(int Row) const {
 Matrix Policy::backward(const std::vector<ActionRecord> &Actions,
                         const std::vector<double> &dLogProb,
                         const std::vector<double> &dValue,
-                        double EntropyCoef) {
+                        double EntropyCoef,
+                        const std::vector<PlanMask> *Masks) {
   const int Batch = TrunkOut.rows();
   assert(static_cast<int>(Actions.size()) == Batch &&
          static_cast<int>(dLogProb.size()) == Batch &&
          static_cast<int>(dValue.size()) == Batch &&
          "batch size mismatch in policy backward");
+  assert((!Masks || static_cast<int>(Masks->size()) == Batch) &&
+         "one mask per row required when masking");
 
   Matrix &dHead = Back.get(0, Batch, HeadOut.cols());
   Matrix &dVal = Back.get(1, Batch, 1);
@@ -204,9 +270,14 @@ Matrix Policy::backward(const std::vector<ActionRecord> &Actions,
     dVal.at(Row, 0) = dValue[Row];
     switch (Kind) {
     case ActionSpaceKind::Discrete: {
+      const PlanMask *Mask =
+          Masks && !(*Masks)[Row].empty() ? &(*Masks)[Row] : nullptr;
       const int NumHeads = static_cast<int>(HeadSizes.size());
       for (int Head = 0; Head < NumHeads; ++Head) {
-        const std::vector<double> Logits = headLogits(Row, Head);
+        // Masked logits have probability exactly 0, so both the log-prob
+        // and the entropy gradients below vanish on illegal entries.
+        const std::vector<double> Logits =
+            maskedHeadLogits(Row, Head, Mask, Actions[Row].VFIdx);
         const int Choice = Head == 0 ? Actions[Row].VFIdx
                                      : Actions[Row].IFIdx;
         const std::vector<double> LPGrad =

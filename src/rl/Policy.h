@@ -21,6 +21,7 @@
 #ifndef NV_RL_POLICY_H
 #define NV_RL_POLICY_H
 
+#include "ir/Legality.h"
 #include "nn/Layers.h"
 #include "target/CostModel.h"
 #include "target/TargetInfo.h"
@@ -53,6 +54,9 @@ public:
   ActionSpaceKind kind() const { return Kind; }
   int numVF() const { return NumVF; }
   int numIF() const { return NumIF; }
+  /// Width of the state rows forward() expects. Larger than the embedder's
+  /// codeDim() exactly when the model was built with legality features.
+  int inputDim() const { return InputDim; }
 
   /// Runs the trunk + heads on a batch (B x InputDim); caches activations.
   /// Allocation-free once warm (member buffers + fused kernels); when
@@ -63,29 +67,43 @@ public:
   void forward(const Matrix &States, ThreadPool *Pool = nullptr,
                bool ForBackward = true);
 
-  /// Samples an action for batch row \p Row from the last forward().
-  ActionRecord sampleAction(int Row, RNG &Rng);
+  /// Samples an action for batch row \p Row from the last forward(). With
+  /// a non-empty \p Mask, illegal actions are excluded: discrete heads get
+  /// -inf logits (the VF head keeps only VFs with a legal IF, the IF head
+  /// is conditioned on the sampled VF), continuous samples are projected
+  /// to the nearest legal grid point after rounding (Raw and LogProb stay
+  /// untouched — the projection is environment dynamics, not policy).
+  ActionRecord sampleAction(int Row, RNG &Rng,
+                            const PlanMask *Mask = nullptr);
 
   /// Greedy (mode) action for batch row \p Row (inference, §4: "inference
-  /// ... requires a single step only").
-  ActionRecord greedyAction(int Row);
+  /// ... requires a single step only"). Masking as in sampleAction().
+  ActionRecord greedyAction(int Row, const PlanMask *Mask = nullptr);
 
   /// Log-probability of \p Action under the *current* forward() outputs.
-  double logProb(int Row, const ActionRecord &Action) const;
+  /// \p Mask must be the mask the action was sampled under (or null).
+  double logProb(int Row, const ActionRecord &Action,
+                 const PlanMask *Mask = nullptr) const;
 
-  /// Policy entropy at batch row \p Row.
-  double entropy(int Row) const;
+  /// Policy entropy at batch row \p Row. Under a mask the IF head is
+  /// conditioned on \p VFIdx (the sampled VF of this row's action).
+  double entropy(int Row, const PlanMask *Mask = nullptr,
+                 int VFIdx = 0) const;
 
   /// Critic value at batch row \p Row.
   double value(int Row) const;
 
   /// Backpropagates. \p dLogProb is dLoss/dlogpi per row, \p dValue is
   /// dLoss/dV per row, \p EntropyCoef adds -coef * dH/dparams. \p Actions
-  /// must be the records whose logProb was differentiated. Returns
-  /// dLoss/dStates for end-to-end training of the embedding generator.
+  /// must be the records whose logProb was differentiated. \p Masks, when
+  /// given, holds one PlanMask per row (empty = unmasked) matching the
+  /// masks the log-probs were computed under; masked logits receive zero
+  /// gradient. Returns dLoss/dStates for end-to-end training of the
+  /// embedding generator.
   Matrix backward(const std::vector<ActionRecord> &Actions,
                   const std::vector<double> &dLogProb,
-                  const std::vector<double> &dValue, double EntropyCoef);
+                  const std::vector<double> &dValue, double EntropyCoef,
+                  const std::vector<PlanMask> *Masks = nullptr);
 
   std::vector<Param *> params();
 
@@ -94,10 +112,14 @@ public:
 
 private:
   std::vector<double> headLogits(int Row, int Head) const;
+  std::vector<double> maskedHeadLogits(int Row, int Head,
+                                       const PlanMask *Mask,
+                                       int VFIdx) const;
   int headOffset(int Head) const;
   int headSize(int Head) const;
 
   ActionSpaceKind Kind;
+  int InputDim;
   int NumVF, NumIF;
   bool JointHeads;
   std::vector<int> HeadSizes; ///< Discrete: logit widths per head.

@@ -3,10 +3,12 @@
 #include "serve/AnnotationService.h"
 
 #include "embedding/ContextBuffer.h"
+#include "ir/Lowering.h"
 #include "lang/LoopExtractor.h"
 #include "lang/Parser.h"
 #include "lang/PrettyPrinter.h"
 #include "predictors/Backends.h"
+#include "rl/StateFeatures.h"
 #include "serve/ModelHost.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
@@ -39,7 +41,7 @@ PlanCache::PlanCache(size_t Capacity, int Shards) {
 }
 
 bool PlanCache::lookup(const ContextKey &Key, VectorPlan &Out,
-                       uint64_t Epoch) {
+                       uint64_t Epoch, LegalityDigest *Digest) {
   Shard &S = shardFor(Key);
   std::lock_guard<std::mutex> Lock(S.Mutex);
   auto It = S.Index.find(Key);
@@ -54,11 +56,13 @@ bool PlanCache::lookup(const ContextKey &Key, VectorPlan &Out,
   }
   S.Order.splice(S.Order.begin(), S.Order, It->second);
   Out = It->second->Plan;
+  if (Digest)
+    *Digest = It->second->Digest;
   return true;
 }
 
 void PlanCache::insert(const ContextKey &Key, VectorPlan Plan,
-                       uint64_t Epoch) {
+                       uint64_t Epoch, const LegalityDigest &Digest) {
   if (ShardCapacity == 0)
     return;
   Shard &S = shardFor(Key);
@@ -66,11 +70,12 @@ void PlanCache::insert(const ContextKey &Key, VectorPlan Plan,
   auto It = S.Index.find(Key);
   if (It != S.Index.end()) {
     It->second->Plan = Plan;
+    It->second->Digest = Digest;
     It->second->Epoch = Epoch;
     S.Order.splice(S.Order.begin(), S.Order, It->second);
     return;
   }
-  S.Order.push_front(Entry{Key, Plan, Epoch});
+  S.Order.push_front(Entry{Key, Plan, Digest, Epoch});
   S.Index[Key] = S.Order.begin();
   while (S.Order.size() > ShardCapacity) {
     S.Index.erase(S.Order.back().Key);
@@ -348,39 +353,73 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
     if (TB)
       TB->record("serve.contexts", ContextStart, ContextTime, BatchId);
 
-    // Sharded-cache lookups, still on the worker thread.
+    // Sharded-cache lookups, still on the worker thread. Hits restore the
+    // legality digest stored with the plan, so only misses pay for the
+    // analysis below.
     MethodCounters &MC = Delta.forMethod(Item.Method);
     Res.Plans.assign(Item.Sites.size(), VectorPlan{});
+    Res.Legality.assign(Item.Sites.size(), LegalityDigest());
     Item.SiteDone.assign(Item.Sites.size(), 0);
     if (Item.Backend->kind() == Predictor::Kind::Source) {
       MC.Loops += Item.Sites.size();
       // A site plan from a search backend can depend on the whole
       // program (coordinate descent couples sites), so the per-site
       // cache only holds plans of single-site programs.
+      bool Hit = false;
       if (Item.Backend->cacheable() && Item.Sites.size() == 1) {
-        VectorPlan Hit;
-        if (Cache.lookup(Item.Keys[0], Hit, Epoch)) {
-          Res.Plans[0] = Hit;
+        VectorPlan HitPlan;
+        if (Cache.lookup(Item.Keys[0], HitPlan, Epoch, &Res.Legality[0])) {
+          Res.Plans[0] = HitPlan;
           ++Res.CachedSites;
           ++Delta.CacheHits;
           ++MC.CacheHits;
           Item.SiteDone[0] = 1;
-          return;
+          Hit = true;
         }
       }
-      Item.NeedsSearch = true;
-      return;
-    }
-    for (size_t S = 0; S < Item.Sites.size(); ++S) {
-      ++MC.Loops;
-      VectorPlan Hit;
-      if (Cache.lookup(Item.Keys[S], Hit, Epoch)) {
-        Res.Plans[S] = Hit;
-        ++Res.CachedSites;
-        ++Delta.CacheHits;
-        ++MC.CacheHits;
-        Item.SiteDone[S] = 1;
+      Item.NeedsSearch = !Hit;
+    } else {
+      for (size_t S = 0; S < Item.Sites.size(); ++S) {
+        ++MC.Loops;
+        VectorPlan Hit;
+        if (Cache.lookup(Item.Keys[S], Hit, Epoch, &Res.Legality[S])) {
+          Res.Plans[S] = Hit;
+          ++Res.CachedSites;
+          ++Delta.CacheHits;
+          ++MC.CacheHits;
+          Item.SiteDone[S] = 1;
+        }
       }
+    }
+
+    // Legality analysis for every site the cache could not answer: lower
+    // the program once, dependence-test each missed site, and keep the
+    // digest — phase 2 widens the policy input with it and clamps the
+    // prediction against its max-safe VF, and it rides into the cache
+    // with the plan so future hits skip all of this.
+    bool AnyMiss = false;
+    for (const uint8_t Done : Item.SiteDone)
+      if (!Done) {
+        AnyMiss = true;
+        break;
+      }
+    if (AnyMiss) {
+      const uint64_t LegalStart = nowMicros();
+      const std::vector<LoopSummary> Summaries =
+          lowerAllLoops(*Item.Prog, Item.Sites, TI.MaxVF);
+      for (size_t S = 0; S < Item.Sites.size(); ++S) {
+        if (Item.SiteDone[S])
+          continue;
+        const LegalitySummary Legal = analyzeLegality(Summaries[S], TI);
+        Res.Legality[S] = Legal.digest();
+        ++Delta.LoopsAnalyzed;
+        for (int C = 0; C < NumAccessClasses; ++C)
+          Delta.AccessClasses[C] += Res.Legality[S].ClassCount[C];
+      }
+      const uint64_t LegalTime = nowMicros() - LegalStart;
+      Delta.LegalityMicros += LegalTime;
+      if (TB)
+        TB->record("serve.legality", LegalStart, LegalTime, BatchId);
     }
   });
   const uint64_t ExtractTime = nowMicros() - ExtractStart;
@@ -410,6 +449,9 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
     std::vector<PendingSite> Pending;
     std::vector<ContextSpan> MissContexts;
     std::vector<PredictMethod> RowMethods; ///< Backend per miss row.
+    /// Legality digest per miss row (identical context bags are identical
+    /// loop bodies, so dedup'd rows share one analysis result).
+    std::vector<LegalityDigest> RowDigests;
     std::unordered_map<ContextKey, size_t, ContextKeyHash> RowByKey;
 
     for (size_t I = 0; I < N; ++I) {
@@ -430,6 +472,7 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
         if (Inserted) {
           MissContexts.push_back(Item.siteContexts(S));
           RowMethods.push_back(Item.Method);
+          RowDigests.push_back(Results[I].Legality[S]);
           ++Delta.CacheMisses;
           ++MC.Misses;
         } else {
@@ -462,21 +505,33 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
         MethodRows[static_cast<size_t>(RowMethods[Row])].push_back(Row);
 
       Matrix Sub;
+      Matrix WideBuf;
+      std::vector<LegalityDigest> SubDigests;
       for (int M = 0; M < NumPredictMethods; ++M) {
         const std::vector<size_t> &Rows = MethodRows[M];
         if (Rows.empty())
           continue;
         Predictor *P = B->get(static_cast<PredictMethod>(M));
         const Matrix *States = &StatesBuf;
+        const LegalityDigest *Digests = RowDigests.data();
         if (Rows.size() != MissContexts.size()) {
           Sub.resize(static_cast<int>(Rows.size()), StatesBuf.cols());
-          for (size_t R = 0; R < Rows.size(); ++R)
+          SubDigests.clear();
+          SubDigests.reserve(Rows.size());
+          for (size_t R = 0; R < Rows.size(); ++R) {
             std::copy(StatesBuf.rowPtr(static_cast<int>(Rows[R])),
                       StatesBuf.rowPtr(static_cast<int>(Rows[R])) +
                           StatesBuf.cols(),
                       Sub.rowPtr(static_cast<int>(R)));
+            SubDigests.push_back(RowDigests[Rows[R]]);
+          }
           States = &Sub;
+          Digests = SubDigests.data();
         }
+        // A legality-feature policy consumes widened rows; feature-free
+        // backends (wantsCols() <= codeDim) pass through untouched.
+        States = &widenStates(*States, P->wantsCols(), Digests, Rows.size(),
+                              TI, WideBuf);
         const uint64_t PredictStart = nowMicros();
         const std::vector<VectorPlan> Plans =
             P->plansForEmbeddings(*States, &Pool);
@@ -493,10 +548,21 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
           RowPlans[Rows[R]] = Plans[R];
       }
 
+      // Legality clamp: no prediction leaves phase 2 wider than its
+      // loop's max safe VF (the same legalizePlan the simulator applies,
+      // so serve output and simulation agree plan for plan).
+      for (size_t Row = 0; Row < RowPlans.size(); ++Row) {
+        const VectorPlan Legal =
+            legalizePlan(RowDigests[Row].MaxSafeVF, RowPlans[Row], TI);
+        if (Legal.VF != RowPlans[Row].VF || Legal.IF != RowPlans[Row].IF)
+          ++Delta.PlansClamped;
+        RowPlans[Row] = Legal;
+      }
+
       for (const PendingSite &P : Pending)
         Results[P.Request].Plans[P.Site] = RowPlans[P.BatchRow];
       for (const auto &[Key, Row] : RowByKey)
-        Cache.insert(Key, RowPlans[Row], Epoch);
+        Cache.insert(Key, RowPlans[Row], Epoch, RowDigests[Row]);
     }
   }
 
@@ -519,8 +585,18 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
              "backend and phase 1 disagree on site count");
       MC.Misses += Plans.size();
       Delta.CacheMisses += Plans.size();
+      // Search backends explore the simulator's (clamped) plan space, so
+      // their plans are normally legal already — the clamp pins the
+      // invariant at the serve boundary regardless of backend.
+      for (size_t S = 0; S < Plans.size(); ++S) {
+        const VectorPlan Legal = legalizePlan(
+            Results[I].Legality[S].MaxSafeVF, Plans[S], TI);
+        if (Legal.VF != Plans[S].VF || Legal.IF != Plans[S].IF)
+          ++Delta.PlansClamped;
+        Plans[S] = Legal;
+      }
       if (Item.Backend->cacheable() && Plans.size() == 1)
-        Cache.insert(Item.Keys[0], Plans[0], Epoch);
+        Cache.insert(Item.Keys[0], Plans[0], Epoch, Results[I].Legality[0]);
       Results[I].Plans = std::move(Plans);
     });
   }

@@ -52,6 +52,7 @@
 #define NV_SERVE_ANNOTATIONSERVICE_H
 
 #include "embedding/Code2Vec.h"
+#include "ir/Legality.h"
 #include "predictors/Predictor.h"
 #include "rl/Policy.h"
 #include "serve/ServeStats.h"
@@ -91,6 +92,11 @@ struct ServeConfig {
   bool InnerContextOnly = false;
   /// Backend answering requests that carry no per-request override.
   PredictMethod DefaultMethod = PredictMethod::RL;
+  /// Borrowed-model mode: the policy consumes legality-feature-widened
+  /// states, so phase 2 appends each miss row's analysis digest before
+  /// the forward. NeuroVectorizer::service() fills it in; hosted mode
+  /// ignores it (the flag rides with each generation's metadata).
+  bool LegalityFeatures = false;
   /// Record per-phase latency histograms (serve.*_us), pool queue
   /// metrics, and — when the trace sampling knob is on — phase spans
   /// into the process-wide telemetry (support/Telemetry.h). Histogram
@@ -114,6 +120,10 @@ struct AnnotationResult {
   std::string Error;    ///< Parse error / "no loops" when !Ok.
   std::string Annotated; ///< Source with pragmas injected.
   std::vector<VectorPlan> Plans; ///< One per vectorization site.
+  /// Per-site legality digest (parallel to Plans): access-class counts,
+  /// max safe VF, and the legal-plan bitmask the plan was clamped
+  /// against. Cache hits carry the digest stored with the cached plan.
+  std::vector<LegalityDigest> Legality;
   int CachedSites = 0;  ///< Sites answered from the plan cache.
   PredictMethod Method = PredictMethod::RL; ///< Backend that answered.
   /// Model generation that answered (hosted mode; 0 for borrowed models).
@@ -172,20 +182,24 @@ class PlanCache {
 public:
   explicit PlanCache(size_t Capacity, int Shards = 8);
 
-  /// Returns true and sets \p Out on a hit (refreshing recency). A hit
-  /// also requires the entry's epoch to equal \p Epoch; a mismatch is a
-  /// miss AND evicts the entry. Epochs are how a model swap invalidates
+  /// Returns true and sets \p Out (and \p Digest, when non-null, to the
+  /// legality digest stored with the plan) on a hit (refreshing recency).
+  /// A hit also requires the entry's epoch to equal \p Epoch; a mismatch
+  /// is a miss AND evicts the entry. Epochs are how a model swap invalidates
   /// the cache lazily: the service tags every entry with the model
   /// generation that computed it (captured once per batch), so after a
   /// hot reload new-generation lookups push out stale plans one by one —
   /// no global sweep, no blocking of concurrent readers, and an in-flight
   /// old-generation batch can neither read new plans nor poison new
   /// lookups with old ones.
-  bool lookup(const ContextKey &Key, VectorPlan &Out, uint64_t Epoch = 0);
+  bool lookup(const ContextKey &Key, VectorPlan &Out, uint64_t Epoch = 0,
+              LegalityDigest *Digest = nullptr);
 
   /// Inserts (or refreshes) \p Key tagged with \p Epoch, evicting the
   /// least recently used entry of its shard beyond the shard capacity.
-  void insert(const ContextKey &Key, VectorPlan Plan, uint64_t Epoch = 0);
+  /// \p Digest rides along so hits skip re-running the legality analysis.
+  void insert(const ContextKey &Key, VectorPlan Plan, uint64_t Epoch = 0,
+              const LegalityDigest &Digest = LegalityDigest());
 
   size_t size() const;
   void clear();
@@ -196,6 +210,7 @@ private:
   struct Entry {
     ContextKey Key;
     VectorPlan Plan;
+    LegalityDigest Digest;
     uint64_t Epoch;
   };
 

@@ -8,9 +8,13 @@ using namespace nv;
 
 ServingModel::ServingModel(const ServingModelConfig &Config)
     : Rng(Config.Seed), Embedder(Config.Embedding, Rng),
-      Pol(Config.ActionSpace, Embedder.codeDim(), Config.Hidden,
+      Pol(Config.ActionSpace,
+          Embedder.codeDim() +
+              (Config.LegalityFeatures ? NumLegalityFeatures : 0),
+          Config.Hidden,
           static_cast<int>(Config.Target.vfActions().size()),
           static_cast<int>(Config.Target.ifActions().size()), Rng) {
+  Meta.LegalityFeatures = Config.LegalityFeatures;
   // The same registry NeuroVectorizer wires up: every PredictMethod is
   // servable from a hosted model, and the supervised slots are the
   // destinations tryLoad restores v3 sections into.

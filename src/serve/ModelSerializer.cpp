@@ -54,6 +54,9 @@ bool ModelSerializer::save(const std::string &Path, Code2Vec &Embedder,
   // extractor no longer reproduces — loading one would silently read
   // rows trained for unrelated tokens, so the loader rejects them.
   Flags |= 2u;
+  // Bit 2: the policy was built over legality-feature-widened states.
+  if (Meta.LegalityFeatures)
+    Flags |= 4u;
 
   std::vector<char> Buffer;
   wire::appendValue(Buffer, Magic);
@@ -203,6 +206,21 @@ LoadStatus ModelSerializer::tryLoad(const std::string &Path,
   }
   wire::readValue(Buffer, Offset, Count);
 
+  // The legality-feature flag must agree with the destination policy's
+  // input width. The per-parameter shape checks below would catch the
+  // mismatch anyway (the trunk's first weight matrix differs), but this
+  // names the actual problem instead of "parameter 12 is 71x64".
+  const bool FileWidened = Version >= 2 && (Flags & 4u) != 0;
+  const bool DestWidened = Pol.inputDim() > Embedder.codeDim();
+  if (FileWidened != DestWidened) {
+    setError(Error, FileWidened
+                        ? "model was trained with legality features; the "
+                          "destination policy was built without them"
+                        : "destination policy expects legality features; "
+                          "the model was trained without them");
+    return LoadStatus::ArchMismatch;
+  }
+
   std::vector<Param *> Params = allParams(Embedder, Pol);
   if (Count != Params.size()) {
     setError(Error, "model has " + std::to_string(Count) +
@@ -307,8 +325,10 @@ LoadStatus ModelSerializer::tryLoad(const std::string &Path,
     std::memcpy(Dest.data(), Buffer.data() + Offsets[I],
                 Dest.size() * sizeof(double));
   }
-  if (Meta)
+  if (Meta) {
     Meta->InnerContextOnly = (Flags & 1u) != 0;
+    Meta->LegalityFeatures = FileWidened;
+  }
   if (Supervised) {
     // A file without sections clears the destinations: the weights just
     // changed, so any previously fitted index is stale either way.

@@ -37,6 +37,11 @@ void ServeStats::addBatch(const ServeStats &Delta) {
   LoopExtractMicros += Delta.LoopExtractMicros.load();
   ContextMicros += Delta.ContextMicros.load();
   EmbedMicros += Delta.EmbedMicros.load();
+  LoopsAnalyzed += Delta.LoopsAnalyzed.load();
+  PlansClamped += Delta.PlansClamped.load();
+  LegalityMicros += Delta.LegalityMicros.load();
+  for (int I = 0; I < NumAccessClasses; ++I)
+    AccessClasses[I] += Delta.AccessClasses[I].load();
   for (int I = 0; I < NumPredictMethods; ++I) {
     PerMethod[I].Loops += Delta.PerMethod[I].Loops.load();
     PerMethod[I].CacheHits += Delta.PerMethod[I].CacheHits.load();
@@ -66,6 +71,11 @@ ServeSnapshot ServeStats::snapshot() const {
   S.LoopExtractMicros = LoopExtractMicros.load();
   S.ContextMicros = ContextMicros.load();
   S.EmbedMicros = EmbedMicros.load();
+  S.LoopsAnalyzed = LoopsAnalyzed.load();
+  S.PlansClamped = PlansClamped.load();
+  S.LegalityMicros = LegalityMicros.load();
+  for (int I = 0; I < NumAccessClasses; ++I)
+    S.AccessClasses[I] = AccessClasses[I].load();
   for (int I = 0; I < NumPredictMethods; ++I) {
     S.PerMethod[I].Loops = PerMethod[I].Loops.load();
     S.PerMethod[I].CacheHits = PerMethod[I].CacheHits.load();
@@ -95,6 +105,11 @@ void ServeStats::reset() {
   LoopExtractMicros = 0;
   ContextMicros = 0;
   EmbedMicros = 0;
+  LoopsAnalyzed = 0;
+  PlansClamped = 0;
+  LegalityMicros = 0;
+  for (std::atomic<uint64_t> &C : AccessClasses)
+    C = 0;
   for (MethodCounters &M : PerMethod)
     M.reset();
 }
@@ -127,6 +142,14 @@ Table ServeStats::toTable() const {
   T.addRow({"  contexts ms (cpu)", Table::fmt(S.ContextMicros / 1e3)});
   T.addRow({"infer ms", Table::fmt(S.InferMicros / 1e3)});
   T.addRow({"  embed ms", Table::fmt(S.EmbedMicros / 1e3)});
+  AddCount("loops analyzed", S.LoopsAnalyzed);
+  AddCount("plans clamped", S.PlansClamped);
+  T.addRow({"  legality ms (cpu)", Table::fmt(S.LegalityMicros / 1e3)});
+  for (int C = 0; C < NumAccessClasses; ++C)
+    AddCount((std::string("accesses ") +
+              accessClassName(static_cast<AccessClass>(C)))
+                 .c_str(),
+             S.AccessClasses[C]);
   T.addRow({"render ms", Table::fmt(S.RenderMicros / 1e3)});
   T.addRow({"total ms", Table::fmt(S.TotalMicros / 1e3)});
   T.addRow({"programs/s", Table::fmt(S.throughput(), 0)});

@@ -25,6 +25,7 @@
 #ifndef NV_SERVE_SERVESTATS_H
 #define NV_SERVE_SERVESTATS_H
 
+#include "ir/Legality.h"
 #include "predictors/Predictor.h"
 #include "support/Table.h"
 
@@ -85,6 +86,13 @@ struct ServeSnapshot {
   uint64_t LoopExtractMicros = 0;
   uint64_t ContextMicros = 0;
   uint64_t EmbedMicros = 0;
+  uint64_t LoopsAnalyzed = 0;  ///< Sites run through the legality analysis.
+  uint64_t PlansClamped = 0;   ///< Predictions legality had to shrink.
+  uint64_t LegalityMicros = 0; ///< Lowering + dependence analysis time.
+  /// Memory accesses seen by the analysis, by AccessClass (uniform /
+  /// consecutive / strided / gather) — the serve-side view of what kind
+  /// of loops the deployment actually sees.
+  uint64_t AccessClasses[NumAccessClasses] = {0, 0, 0, 0};
   MethodCountersView PerMethod[NumPredictMethods];
 
   /// Fraction of loop lookups answered without a fresh forward row
@@ -126,6 +134,15 @@ public:
   /// Wall time of the batched Code2Vec encode over the deduplicated miss
   /// set (runs under the model lock, so wall == cumulative).
   std::atomic<uint64_t> EmbedMicros{0};
+
+  /// Legality-analysis counters: sites lowered + dependence-tested (cache
+  /// misses only — hits reuse the digest stored with the cached plan),
+  /// predictions the per-loop legality clamp had to shrink, cumulative
+  /// analysis time, and the per-AccessClass mix of analyzed accesses.
+  std::atomic<uint64_t> LoopsAnalyzed{0};
+  std::atomic<uint64_t> PlansClamped{0};
+  std::atomic<uint64_t> LegalityMicros{0};
+  std::atomic<uint64_t> AccessClasses[NumAccessClasses] = {};
 
   /// Per-backend traffic/latency breakdown, indexed by PredictMethod.
   MethodCounters PerMethod[NumPredictMethods];

@@ -11,12 +11,9 @@ using namespace nv;
 
 VectorPlan SimCompiler::legalize(const LoopSummary &Loop,
                                  VectorPlan Requested) const {
-  VectorPlan Plan;
-  Plan.VF = floorPow2(std::clamp(Requested.VF, 1, TI.MaxVF));
-  Plan.IF = floorPow2(std::clamp(Requested.IF, 1, TI.MaxIF));
-  // The compiler ignores infeasible widths (dependences, calls, ...).
-  Plan.VF = std::min(Plan.VF, Loop.MaxSafeVF);
-  return Plan;
+  // Shared with LegalitySummary::clamp(), so the action masks the policy
+  // samples under agree with this clamp by construction.
+  return legalizePlan(Loop.MaxSafeVF, Requested, TI);
 }
 
 double SimCompiler::loopCompileCycles(const LoopSummary &Loop,
@@ -82,6 +79,7 @@ SimCompiler::Precompiled SimCompiler::precompile(Program &P) const {
     Pre.BaselineExecutionCycles +=
         Mach.loopCycles(Summary, Legal.VF, Legal.IF);
     Pre.BaselinePlans.push_back(Plan);
+    Pre.Legality.push_back(analyzeLegality(Summary, TI));
     Pre.Summaries.push_back(std::move(Summary));
   }
   return Pre;
@@ -97,7 +95,10 @@ double SimCompiler::runPrecompiled(const Precompiled &Pre,
   for (size_t I = 0; I < Pre.Summaries.size(); ++I) {
     const LoopSummary &Summary = Pre.Summaries[I];
     CompileCycles += loopCompileCycles(Summary, Requested[I]);
-    const VectorPlan Legal = legalize(Summary, Requested[I]);
+    const VectorPlan Legal =
+        I < Pre.Legality.size()
+            ? Pre.Legality[I].clamp(Requested[I], TI)
+            : legalize(Summary, Requested[I]);
     Cycles += Mach.loopCycles(Summary, Legal.VF, Legal.IF);
   }
   TimedOut = Pre.BaselineCompileCycles > 0.0 &&

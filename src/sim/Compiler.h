@@ -23,6 +23,7 @@
 #ifndef NV_SIM_COMPILER_H
 #define NV_SIM_COMPILER_H
 
+#include "ir/Legality.h"
 #include "ir/VecIR.h"
 #include "lang/AST.h"
 #include "lang/LoopExtractor.h"
@@ -88,6 +89,9 @@ public:
   /// one of these evaluations per step).
   struct Precompiled {
     std::vector<LoopSummary> Summaries;
+    /// Full legality verdicts, parallel to Summaries: the action masks the
+    /// RL policy samples under and the isLegal() gate for the searches.
+    std::vector<LegalitySummary> Legality;
     std::vector<VectorPlan> BaselinePlans; ///< Cost-model choices.
     double BaselineCompileCycles = 0.0;
     double BaselineExecutionCycles = 0.0;

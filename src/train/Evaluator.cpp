@@ -3,6 +3,7 @@
 #include "train/Evaluator.h"
 
 #include "lang/PrettyPrinter.h"
+#include "rl/StateFeatures.h"
 #include "support/Stats.h"
 
 #include <algorithm>
@@ -78,12 +79,22 @@ EvalReport Evaluator::evaluate(Code2Vec &Embedder, Policy &Pol) const {
     for (size_t I = 0; I < Suite->Env.size(); ++I) {
       const EnvSample &Sample = Suite->Env.sample(I);
       Matrix States = Embedder.encodeBatch(Sample.Contexts);
-      Pol.forward(States, nullptr, /*ForBackward=*/false);
+      std::vector<LegalityDigest> Digests;
+      for (size_t S = 0; S < Sample.Sites.size(); ++S)
+        Digests.push_back(Suite->Env.legality(I, S).digest());
+      Matrix WideBuf;
+      const Matrix &In =
+          widenStates(States, Pol.inputDim(), Digests.data(),
+                      Digests.size(), Suite->Env.compiler().target(),
+                      WideBuf);
+      Pol.forward(In, nullptr, /*ForBackward=*/false);
       std::vector<VectorPlan> Plans;
       Plans.reserve(Sample.Sites.size());
       for (size_t S = 0; S < Sample.Sites.size(); ++S)
-        Plans.push_back(Pol.toPlan(Pol.greedyAction(static_cast<int>(S)),
-                                   Suite->Env.compiler().target()));
+        Plans.push_back(Pol.toPlan(
+            Pol.greedyAction(static_cast<int>(S),
+                             &Suite->Env.actionMask(I, S)),
+            Suite->Env.compiler().target()));
 
       // One simulation yields both metrics (Env::step would re-run the
       // identical plans just to derive the reward from the same cycles).
@@ -147,7 +158,21 @@ MethodReport Evaluator::evaluateMethods(
         if (P->kind() == Predictor::Kind::Embedding) {
           if (States.empty())
             States = Embedder.encodeBatch(Sample.Contexts);
-          Plans = P->plansForEmbeddings(States, nullptr);
+          if (P->wantsCols() > States.cols()) {
+            // A feature-widened policy gets the real analysis digests here
+            // (the supervised backends stay on the bare code embedding).
+            std::vector<LegalityDigest> Digests;
+            for (size_t S = 0; S < Sample.Sites.size(); ++S)
+              Digests.push_back(Suite->Env.legality(I, S).digest());
+            Matrix WideBuf;
+            Plans = P->plansForEmbeddings(
+                widenStates(States, P->wantsCols(), Digests.data(),
+                            Digests.size(),
+                            Suite->Env.compiler().target(), WideBuf),
+                nullptr);
+          } else {
+            Plans = P->plansForEmbeddings(States, nullptr);
+          }
         } else {
           // Source-kind backends re-analyze the program themselves; the
           // sample's AST prints back to an equivalent source.

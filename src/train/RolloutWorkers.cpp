@@ -2,6 +2,8 @@
 
 #include "train/RolloutWorkers.h"
 
+#include "rl/StateFeatures.h"
+
 #include <atomic>
 #include <cassert>
 
@@ -47,12 +49,19 @@ void RolloutWorkers::runEpisode(Replica &R, RNG Rng, size_t ActiveSamples,
   // kernels themselves run serial — no nested pool). Replicas never
   // backprop, so the backward caches are skipped too.
   R.Embedder.encodeBatchInto(Sample.Contexts, R.StatesBuf);
-  R.Pol.forward(R.StatesBuf, nullptr, /*ForBackward=*/false);
+  R.DigestBuf.clear();
+  for (size_t S = 0; S < NumSites; ++S)
+    R.DigestBuf.push_back(Env.legality(SampleIdx, S).digest());
+  const Matrix &States =
+      widenStates(R.StatesBuf, R.Pol.inputDim(), R.DigestBuf.data(),
+                  R.DigestBuf.size(), TI, R.WideStatesBuf);
+  R.Pol.forward(States, nullptr, /*ForBackward=*/false);
 
   std::vector<VectorPlan> Plans(NumSites);
   std::vector<ActionRecord> Actions(NumSites);
   for (size_t S = 0; S < NumSites; ++S) {
-    Actions[S] = R.Pol.sampleAction(static_cast<int>(S), Rng);
+    Actions[S] = R.Pol.sampleAction(static_cast<int>(S), Rng,
+                                    &Env.actionMask(SampleIdx, S));
     Plans[S] = R.Pol.toPlan(Actions[S], TI);
   }
   const double Reward = Env.step(SampleIdx, Plans);
@@ -63,6 +72,7 @@ void RolloutWorkers::runEpisode(Replica &R, RNG Rng, size_t ActiveSamples,
     T.SiteIdx = S;
     T.Action = Actions[S];
     T.Reward = Reward;
+    T.Mask = Env.actionMask(SampleIdx, S);
     Slots[S] = T;
   }
 }

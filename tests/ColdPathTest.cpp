@@ -12,6 +12,8 @@
 #include "core/NeuroVectorizer.h"
 #include "dataset/LoopGenerator.h"
 #include "embedding/ContextBuffer.h"
+#include "ir/Legality.h"
+#include "ir/Lowering.h"
 #include "lang/LoopExtractor.h"
 #include "lang/Parser.h"
 #include "serve/ModelSerializer.h"
@@ -411,20 +413,29 @@ TEST(ColdPath, ServePlansMatchReferencePipelineAcrossThreads) {
     Requests.push_back({L.Name, L.Source});
   Requests.push_back(Requests.front()); // One intra-batch duplicate.
 
-  // Reference plans, one program at a time through the string extractor.
+  // Reference plans, one program at a time through the string extractor,
+  // then the same legality clamp the service applies at its boundary.
   std::vector<std::vector<VectorPlan>> Reference;
+  const TargetInfo RefTI;
   for (const AnnotationRequest &Req : Requests) {
     std::optional<Program> P = parseSource(Req.Source);
     ASSERT_TRUE(P.has_value());
     clearAllPragmas(*P);
+    std::vector<LoopSite> Sites = extractLoops(*P);
     std::vector<std::vector<PathContext>> Bags;
-    for (const LoopSite &Site : extractLoops(*P))
+    for (const LoopSite &Site : Sites)
       Bags.push_back(referenceExtract(
           *Site.Outer, NV.embedder().config().Paths));
     const Matrix States = NV.embedder().encodeBatch(Bags);
-    Reference.push_back(NV.backends()
-                            .get(PredictMethod::RL)
-                            ->plansForEmbeddings(States, nullptr));
+    std::vector<VectorPlan> Plans =
+        NV.backends().get(PredictMethod::RL)->plansForEmbeddings(States,
+                                                                 nullptr);
+    const std::vector<LoopSummary> Summaries =
+        lowerAllLoops(*P, Sites, RefTI.MaxVF);
+    for (size_t S = 0; S < Plans.size(); ++S)
+      Plans[S] = legalizePlan(
+          analyzeLegality(Summaries[S], RefTI).MaxSafeVF, Plans[S], RefTI);
+    Reference.push_back(std::move(Plans));
   }
 
   std::vector<uint64_t> FirstCounters;

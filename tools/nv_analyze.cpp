@@ -1,0 +1,96 @@
+//===- tools/nv_analyze.cpp - Offline loop legality inspector -------------===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Prints the legality analysis for every vectorizable loop of the given
+// sources: access classification (uniform / consecutive / strided /
+// gather), dependence edges with direction vectors and distances, the max
+// safe VF, and the legal-(VF, IF) plan mask. The same analysis the policy
+// masks against and the simulated compiler clamps with — run offline,
+// without a model, for debugging and dataset triage.
+//
+// Usage:
+//   nv_analyze [--json] [--max-vf N] file.c [file2.c ...]
+//   nv_analyze [--json] -            # read one program from stdin
+//
+// With --json, emits one strict JSON object per program, one per line
+// (JSONL). Exits nonzero if any program fails to parse or has no loops.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AnalysisReport.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace nv;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: nv_analyze [--json] [--max-vf N] <file.c ...|->\n";
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Json = false;
+  TargetInfo TI;
+  std::vector<std::string> Inputs;
+  for (int I = 1; I < argc; ++I) {
+    const std::string Arg = argv[I];
+    if (Arg == "--json") {
+      Json = true;
+    } else if (Arg == "--max-vf") {
+      if (I + 1 >= argc)
+        return usage();
+      TI.MaxVF = std::atoi(argv[++I]);
+      if (TI.MaxVF < 1)
+        return usage();
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      Inputs.push_back(Arg);
+    }
+  }
+  if (Inputs.empty())
+    return usage();
+
+  int Failures = 0;
+  for (const std::string &Path : Inputs) {
+    std::string Source;
+    std::string Name = Path;
+    if (Path == "-") {
+      std::ostringstream Buf;
+      Buf << std::cin.rdbuf();
+      Source = Buf.str();
+      Name = "<stdin>";
+    } else {
+      std::ifstream In(Path);
+      if (!In) {
+        std::cerr << "nv_analyze: cannot open " << Path << "\n";
+        ++Failures;
+        continue;
+      }
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      Source = Buf.str();
+    }
+
+    const AnalysisReport Report = analyzeProgram(Name, Source, TI);
+    if (Json)
+      std::cout << analysisJson(Report, TI) << "\n";
+    else
+      printAnalysisText(Report, TI, std::cout);
+    if (!Report.Ok)
+      ++Failures;
+  }
+  return Failures == 0 ? 0 : 1;
+}
