@@ -23,6 +23,7 @@
 #include "core/NeuroVectorizer.h"
 #include "dataset/LoopGenerator.h"
 #include "net/NetServer.h"
+#include "nn/Kernels.h"
 #include "serve/ModelHost.h"
 
 #include <csignal>
@@ -52,6 +53,8 @@ int usage(const char *Argv0) {
       << "  --train-demo PATH train a small demo model, save it to PATH,\n"
       << "                    and serve it (standalone quick start)\n"
       << "  --threads N       annotation pool size (default 4)\n"
+      << "  --quantized       serve int8-quantized generations (inference\n"
+      << "                    only; see docs/quantization.md)\n"
       << "  --executors N     request executor threads (default 2)\n"
       << "  --queue-watermark N  shed when executor queue >= N (default 64)\n"
       << "  --max-inflight-mb N  shed when admitted bytes > N MiB "
@@ -68,6 +71,7 @@ int main(int Argc, char **Argv) {
   std::string ModelPath;
   std::string TrainDemoPath;
   int Threads = 4;
+  bool Quantized = false;
   NetServerConfig Net;
 
   for (int I = 1; I < Argc; ++I) {
@@ -89,6 +93,8 @@ int main(int Argc, char **Argv) {
       TrainDemoPath = Next("--train-demo");
     else if (Arg == "--threads")
       Threads = std::atoi(Next("--threads"));
+    else if (Arg == "--quantized")
+      Quantized = true;
     else if (Arg == "--executors")
       Net.Executors = std::atoi(Next("--executors"));
     else if (Arg == "--queue-watermark")
@@ -132,7 +138,9 @@ int main(int Argc, char **Argv) {
     ModelPath = TrainDemoPath;
   }
 
-  ModelHost Models(NeuroVectorizer(Config).servingModelConfig());
+  ServingModelConfig HostConfig = NeuroVectorizer(Config).servingModelConfig();
+  HostConfig.Quantized = Quantized;
+  ModelHost Models(HostConfig);
   if (!ModelPath.empty()) {
     std::string Error;
     const LoadStatus Status = Models.reload(ModelPath, &Error);
@@ -162,7 +170,9 @@ int main(int Argc, char **Argv) {
   std::signal(SIGTERM, onSignal);
   // The smoke job and tests parse this line for the bound port.
   std::cout << "nv_serverd listening on " << Host << ":" << Server.port()
-            << " generation=" << Models.generation() << std::endl;
+            << " generation=" << Models.generation()
+            << " isa=" << kernelIsaName(kernelIsa())
+            << (Quantized ? " quantized" : "") << std::endl;
 
   Server.wait();
   ActiveServer = nullptr;

@@ -2,6 +2,7 @@
 
 #include "net/NetServer.h"
 
+#include "nn/Kernels.h"
 #include "serve/AnnotationService.h"
 #include "serve/ModelHost.h"
 #include "support/Telemetry.h"
@@ -419,6 +420,8 @@ std::string NetServer::buildStatszJson() {
       .field("dedup_hits", S.DedupHits)
       .field("cache_misses", S.CacheMisses)
       .field("forward_passes", S.ForwardPasses)
+      .field("quantized_batches", S.QuantizedBatches)
+      .field("kernel_isa", kernelIsaName(kernelIsa()))
       .field("hit_rate", S.hitRate())
       .field("throughput", S.throughput())
       .field("loops_analyzed", S.LoopsAnalyzed)

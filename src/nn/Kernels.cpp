@@ -1,15 +1,109 @@
-//===- nn/Kernels.cpp - Blocked, in-place NN math kernels -------------------===//
+//===- nn/Kernels.cpp - Kernel dispatch + scalar fallback tier -------------===//
+//
+// The public GEMM entry points resolve an ISA tier once (CPUID clamped by
+// NV_KERNEL_ISA / setKernelIsa) and fan row panels out to that tier's raw
+// microkernels; the bias + activation epilogue runs here, in portable
+// code, identically for every tier. The scalar tier below is the fallback
+// and the bit-reference: it chains std::fma per output element in
+// ascending k, which is exactly what one SIMD lane of the AVX tiers
+// computes (docs/kernels.md).
+//
+//===----------------------------------------------------------------------===//
 
 #include "nn/Kernels.h"
 
+#include "nn/KernelsArch.h"
 #include "nn/VecMath.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 using namespace nv;
+using namespace nv::detail;
+
+//===----------------------------------------------------------------------===//
+// ISA detection and dispatch state
+//===----------------------------------------------------------------------===//
+
+const char *nv::kernelIsaName(KernelIsa Isa) {
+  switch (Isa) {
+  case KernelIsa::Scalar:
+    return "scalar";
+  case KernelIsa::Avx2:
+    return "avx2";
+  case KernelIsa::Avx512:
+    return "avx512";
+  }
+  return "scalar";
+}
+
+KernelIsa nv::detectKernelIsa() {
+#if defined(NV_HAVE_AVX512_KERNELS) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx512f"))
+    return KernelIsa::Avx512;
+#endif
+#if defined(NV_HAVE_AVX2_KERNELS) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return KernelIsa::Avx2;
+#endif
+  return KernelIsa::Scalar;
+}
+
+namespace {
+
+KernelIsa parseIsaName(const char *Name, KernelIsa Fallback) {
+  if (!Name || !*Name)
+    return Fallback;
+  if (std::strcmp(Name, "scalar") == 0)
+    return KernelIsa::Scalar;
+  if (std::strcmp(Name, "avx2") == 0)
+    return KernelIsa::Avx2;
+  if (std::strcmp(Name, "avx512") == 0)
+    return KernelIsa::Avx512;
+  return Fallback; // Unknown names keep the detected tier.
+}
+
+/// Resolved once: detection clamped by the NV_KERNEL_ISA environment knob.
+KernelIsa initialIsa() {
+  const KernelIsa Detected = detectKernelIsa();
+  const KernelIsa Requested =
+      parseIsaName(std::getenv("NV_KERNEL_ISA"), Detected);
+  return std::min(Requested, Detected);
+}
+
+/// Active tier. Relaxed atomics: setKernelIsa is a test hook, not a
+/// synchronization point; kernel calls racing a switch get one tier or
+/// the other, both of which compute the contract-identical result for
+/// gemmInto/gemmTAInto.
+std::atomic<int> ActiveIsa{-1};
+
+KernelIsa activeIsa() {
+  int V = ActiveIsa.load(std::memory_order_relaxed);
+  if (V < 0) {
+    V = static_cast<int>(initialIsa());
+    ActiveIsa.store(V, std::memory_order_relaxed);
+  }
+  return static_cast<KernelIsa>(V);
+}
+
+} // namespace
+
+KernelIsa nv::kernelIsa() { return activeIsa(); }
+
+KernelIsa nv::setKernelIsa(KernelIsa Requested) {
+  const KernelIsa Applied = std::min(Requested, detectKernelIsa());
+  ActiveIsa.store(static_cast<int>(Applied), std::memory_order_relaxed);
+  return Applied;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared epilogue (portable; every tier funnels through this)
+//===----------------------------------------------------------------------===//
 
 void nv::applyActivation(Matrix &Y, Activation Act) {
   switch (Act) {
@@ -25,49 +119,173 @@ void nv::applyActivation(Matrix &Y, Activation Act) {
   }
 }
 
-namespace {
-
-/// Register-blocking factors. MR rows of the output are produced together
-/// (each B element loaded once feeds MR FMAs); NB output columns are
-/// accumulated in a stack tile that stays in L1, so C is touched once per
-/// block instead of once per k step.
-constexpr int MR = 4;
-constexpr int NB = 64;
-
-/// Problems below this many multiply-adds are not worth fanning out.
-constexpr long long MinParallelWork = 1 << 15;
-
-inline double activate(double V, Activation Act) {
+/// Bias + activation over one raw output row. One implementation for all
+/// tiers (fp64 and int8 dispatchers): the tanh sweep always spans the
+/// whole row (never an NB block), so its input and extent are independent
+/// of blocking, partition, and ISA — the epilogue cannot introduce
+/// cross-tier divergence.
+void nv::detail::epilogueRow(double *CRow, const double *Bias, int N,
+                             Activation Act) {
+  if (Bias)
+    for (int J = 0; J < N; ++J)
+      CRow[J] += Bias[J];
   switch (Act) {
   case Activation::Tanh:
-    return std::tanh(V);
+    vecTanh(CRow, static_cast<size_t>(N));
+    break;
   case Activation::ReLU:
-    return V > 0.0 ? V : 0.0;
+    for (int J = 0; J < N; ++J)
+      CRow[J] = CRow[J] > 0.0 ? CRow[J] : 0.0;
+    break;
   case Activation::Identity:
     break;
   }
-  return V;
 }
 
-/// Runs \p PanelFn(RowBegin, RowEnd) over [0, M) in MR-row panels, across
-/// the pool when the problem justifies it. Panel boundaries are fixed
-/// multiples of MR either way, and every output element's reduction order
-/// is internal to its panel — bit-identical results at any pool size.
-template <typename PanelFn>
-void forEachRowPanel(ThreadPool *Pool, int M, long long Work,
-                     const PanelFn &Panel) {
-  const int NumPanels = (M + MR - 1) / MR;
-  if (!Pool || NumPanels < 2 || Work < MinParallelWork) {
-    Panel(0, M);
-    return;
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Scalar tier: blocked loops with per-element std::fma chains
+//===----------------------------------------------------------------------===//
+
+/// Column-block width of the scalar accumulator tile (stays in L1).
+constexpr int NB = 64;
+
+void gemmRowsScalar(Matrix &C, const Matrix &A, const Matrix &B,
+                    int RowBegin, int RowEnd) {
+  const int K = A.cols(), N = B.cols();
+  double Acc[KernelMR][NB];
+  for (int I0 = RowBegin; I0 < RowEnd; I0 += KernelMR) {
+    const int MCur = std::min(KernelMR, RowEnd - I0);
+    for (int J0 = 0; J0 < N; J0 += NB) {
+      const int NCur = std::min(NB, N - J0);
+      for (int R = 0; R < MCur; ++R)
+        for (int J = 0; J < NCur; ++J)
+          Acc[R][J] = 0.0;
+      for (int Kk = 0; Kk < K; ++Kk) {
+        const double *BRow = B.rowPtr(Kk) + J0;
+        for (int R = 0; R < MCur; ++R) {
+          const double V = A.rowPtr(I0 + R)[Kk];
+          for (int J = 0; J < NCur; ++J)
+            Acc[R][J] = std::fma(V, BRow[J], Acc[R][J]);
+        }
+      }
+      for (int R = 0; R < MCur; ++R) {
+        double *CRow = C.rowPtr(I0 + R) + J0;
+        for (int J = 0; J < NCur; ++J)
+          CRow[J] = Acc[R][J];
+      }
+    }
   }
-  Pool->parallelFor(0, static_cast<size_t>(NumPanels), [&](size_t P) {
-    const int Begin = static_cast<int>(P) * MR;
-    Panel(Begin, std::min(M, Begin + MR));
-  });
+}
+
+void gemmTARowsScalar(Matrix &C, const Matrix &A, const Matrix &B,
+                      bool Accumulate, int RowBegin, int RowEnd) {
+  const int R = A.rows(), N = B.cols();
+  double Acc[KernelMR][NB];
+  for (int I0 = RowBegin; I0 < RowEnd; I0 += KernelMR) {
+    const int MCur = std::min(KernelMR, RowEnd - I0);
+    for (int J0 = 0; J0 < N; J0 += NB) {
+      const int NCur = std::min(NB, N - J0);
+      for (int Rr = 0; Rr < MCur; ++Rr)
+        for (int J = 0; J < NCur; ++J)
+          Acc[Rr][J] = 0.0;
+      // Output rows are columns I0..I0+MCur of A; the needed A values sit
+      // contiguously in each A row.
+      for (int Kk = 0; Kk < R; ++Kk) {
+        const double *AVals = A.rowPtr(Kk) + I0;
+        const double *BRow = B.rowPtr(Kk) + J0;
+        for (int Rr = 0; Rr < MCur; ++Rr) {
+          const double V = AVals[Rr];
+          for (int J = 0; J < NCur; ++J)
+            Acc[Rr][J] = std::fma(V, BRow[J], Acc[Rr][J]);
+        }
+      }
+      for (int Rr = 0; Rr < MCur; ++Rr) {
+        double *CRow = C.rowPtr(I0 + Rr) + J0;
+        if (Accumulate)
+          for (int J = 0; J < NCur; ++J)
+            CRow[J] += Acc[Rr][J];
+        else
+          for (int J = 0; J < NCur; ++J)
+            CRow[J] = Acc[Rr][J];
+      }
+    }
+  }
+}
+
+void gemmTBRowsScalar(Matrix &C, const Matrix &A, const Matrix &B,
+                      int RowBegin, int RowEnd) {
+  const int K = A.cols(), N = B.rows();
+  // Dot-product kernel: four B rows stream against one A row, so each A
+  // load feeds four accumulators.
+  for (int I = RowBegin; I < RowEnd; ++I) {
+    const double *ARow = A.rowPtr(I);
+    double *CRow = C.rowPtr(I);
+    int J = 0;
+    for (; J + 4 <= N; J += 4) {
+      const double *B0 = B.rowPtr(J + 0);
+      const double *B1 = B.rowPtr(J + 1);
+      const double *B2 = B.rowPtr(J + 2);
+      const double *B3 = B.rowPtr(J + 3);
+      double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
+      for (int Kk = 0; Kk < K; ++Kk) {
+        const double V = ARow[Kk];
+        S0 = std::fma(V, B0[Kk], S0);
+        S1 = std::fma(V, B1[Kk], S1);
+        S2 = std::fma(V, B2[Kk], S2);
+        S3 = std::fma(V, B3[Kk], S3);
+      }
+      CRow[J + 0] = S0;
+      CRow[J + 1] = S1;
+      CRow[J + 2] = S2;
+      CRow[J + 3] = S3;
+    }
+    for (; J < N; ++J) {
+      const double *BRow = B.rowPtr(J);
+      double Sum = 0.0;
+      for (int Kk = 0; Kk < K; ++Kk)
+        Sum = std::fma(ARow[Kk], BRow[Kk], Sum);
+      CRow[J] = Sum;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Tier table
+//===----------------------------------------------------------------------===//
+
+struct PanelTable {
+  GemmRowsFn Gemm;
+  GemmTARowsFn TA;
+  GemmTBRowsFn TB;
+};
+
+constexpr PanelTable ScalarTable = {gemmRowsScalar, gemmTARowsScalar,
+                                    gemmTBRowsScalar};
+
+const PanelTable &tableFor(KernelIsa Isa) {
+#ifdef NV_HAVE_AVX512_KERNELS
+  static constexpr PanelTable Avx512Table = {gemmRowsAvx512, gemmTARowsAvx512,
+                                             gemmTBRowsAvx512};
+  if (Isa == KernelIsa::Avx512)
+    return Avx512Table;
+#endif
+#ifdef NV_HAVE_AVX2_KERNELS
+  static constexpr PanelTable Avx2Table = {gemmRowsAvx2, gemmTARowsAvx2,
+                                           gemmTBRowsAvx2};
+  if (Isa >= KernelIsa::Avx2)
+    return Avx2Table;
+#endif
+  (void)Isa;
+  return ScalarTable;
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Public entry points
+//===----------------------------------------------------------------------===//
 
 void nv::gemmInto(Matrix &C, const Matrix &A, const Matrix &B,
                   const Matrix *BiasRow, Activation Act, ThreadPool *Pool) {
@@ -78,66 +296,14 @@ void nv::gemmInto(Matrix &C, const Matrix &A, const Matrix &B,
   const int M = A.rows(), K = A.cols(), N = B.cols();
   C.resize(M, N);
   const double *Bias = BiasRow ? BiasRow->rowPtr(0) : nullptr;
+  const PanelTable &T = tableFor(activeIsa());
 
   auto Panel = [&](int RowBegin, int RowEnd) {
-    double Acc[MR][NB];
-    for (int I0 = RowBegin; I0 < RowEnd; I0 += MR) {
-      const int MCur = std::min(MR, RowEnd - I0);
-      for (int J0 = 0; J0 < N; J0 += NB) {
-        const int NCur = std::min(NB, N - J0);
-        for (int R = 0; R < MCur; ++R)
-          for (int J = 0; J < NCur; ++J)
-            Acc[R][J] = 0.0;
-
-        if (MCur == MR) {
-          const double *A0 = A.rowPtr(I0 + 0);
-          const double *A1 = A.rowPtr(I0 + 1);
-          const double *A2 = A.rowPtr(I0 + 2);
-          const double *A3 = A.rowPtr(I0 + 3);
-          for (int Kk = 0; Kk < K; ++Kk) {
-            const double *BRow = B.rowPtr(Kk) + J0;
-            const double V0 = A0[Kk], V1 = A1[Kk], V2 = A2[Kk],
-                         V3 = A3[Kk];
-            for (int J = 0; J < NCur; ++J) {
-              const double Bv = BRow[J];
-              Acc[0][J] += V0 * Bv;
-              Acc[1][J] += V1 * Bv;
-              Acc[2][J] += V2 * Bv;
-              Acc[3][J] += V3 * Bv;
-            }
-          }
-        } else {
-          for (int Kk = 0; Kk < K; ++Kk) {
-            const double *BRow = B.rowPtr(Kk) + J0;
-            for (int R = 0; R < MCur; ++R) {
-              const double V = A.rowPtr(I0 + R)[Kk];
-              for (int J = 0; J < NCur; ++J)
-                Acc[R][J] += V * BRow[J];
-            }
-          }
-        }
-
-        for (int R = 0; R < MCur; ++R) {
-          double *CRow = C.rowPtr(I0 + R) + J0;
-          if (Act == Activation::Tanh) {
-            // Store bias-added values, then one vector-tanh sweep: the
-            // transcendental is the dominant epilogue cost.
-            for (int J = 0; J < NCur; ++J)
-              CRow[J] = Acc[R][J] + (Bias ? Bias[J0 + J] : 0.0);
-            vecTanh(CRow, static_cast<size_t>(NCur));
-          } else {
-            for (int J = 0; J < NCur; ++J) {
-              double V = Acc[R][J];
-              if (Bias)
-                V += Bias[J0 + J];
-              CRow[J] = activate(V, Act);
-            }
-          }
-        }
-      }
-    }
+    T.Gemm(C, A, B, RowBegin, RowEnd);
+    for (int I = RowBegin; I < RowEnd; ++I)
+      epilogueRow(C.rowPtr(I), Bias, N, Act);
   };
-  forEachRowPanel(Pool, M, static_cast<long long>(M) * K * N, Panel);
+  forEachKernelRowPanel(Pool, M, static_cast<long long>(M) * K * N, Panel);
 }
 
 void nv::gemmTAInto(Matrix &C, const Matrix &A, const Matrix &B,
@@ -148,58 +314,12 @@ void nv::gemmTAInto(Matrix &C, const Matrix &A, const Matrix &B,
     assert(C.rows() == M && C.cols() == N && "accumulate shape mismatch");
   else
     C.resize(M, N);
+  const PanelTable &T = tableFor(activeIsa());
 
   auto Panel = [&](int RowBegin, int RowEnd) {
-    double Acc[MR][NB];
-    for (int I0 = RowBegin; I0 < RowEnd; I0 += MR) {
-      const int MCur = std::min(MR, RowEnd - I0);
-      for (int J0 = 0; J0 < N; J0 += NB) {
-        const int NCur = std::min(NB, N - J0);
-        for (int Rr = 0; Rr < MCur; ++Rr)
-          for (int J = 0; J < NCur; ++J)
-            Acc[Rr][J] = 0.0;
-
-        // Output rows are columns I0..I0+MCur of A; the needed A values
-        // sit contiguously in each A row.
-        if (MCur == MR) {
-          for (int Kk = 0; Kk < R; ++Kk) {
-            const double *AVals = A.rowPtr(Kk) + I0;
-            const double *BRow = B.rowPtr(Kk) + J0;
-            const double V0 = AVals[0], V1 = AVals[1], V2 = AVals[2],
-                         V3 = AVals[3];
-            for (int J = 0; J < NCur; ++J) {
-              const double Bv = BRow[J];
-              Acc[0][J] += V0 * Bv;
-              Acc[1][J] += V1 * Bv;
-              Acc[2][J] += V2 * Bv;
-              Acc[3][J] += V3 * Bv;
-            }
-          }
-        } else {
-          for (int Kk = 0; Kk < R; ++Kk) {
-            const double *AVals = A.rowPtr(Kk) + I0;
-            const double *BRow = B.rowPtr(Kk) + J0;
-            for (int Rr = 0; Rr < MCur; ++Rr) {
-              const double V = AVals[Rr];
-              for (int J = 0; J < NCur; ++J)
-                Acc[Rr][J] += V * BRow[J];
-            }
-          }
-        }
-
-        for (int Rr = 0; Rr < MCur; ++Rr) {
-          double *CRow = C.rowPtr(I0 + Rr) + J0;
-          if (Accumulate)
-            for (int J = 0; J < NCur; ++J)
-              CRow[J] += Acc[Rr][J];
-          else
-            for (int J = 0; J < NCur; ++J)
-              CRow[J] = Acc[Rr][J];
-        }
-      }
-    }
+    T.TA(C, A, B, Accumulate, RowBegin, RowEnd);
   };
-  forEachRowPanel(Pool, M, static_cast<long long>(M) * R * N, Panel);
+  forEachKernelRowPanel(Pool, M, static_cast<long long>(M) * R * N, Panel);
 }
 
 void nv::gemmTBInto(Matrix &C, const Matrix &A, const Matrix &B,
@@ -207,42 +327,12 @@ void nv::gemmTBInto(Matrix &C, const Matrix &A, const Matrix &B,
   assert(A.cols() == B.cols() && "gemmTBInto shape mismatch");
   const int M = A.rows(), K = A.cols(), N = B.rows();
   C.resize(M, N);
+  const PanelTable &T = tableFor(activeIsa());
 
-  // Dot-product kernel: four B rows stream against one A row, so each A
-  // load feeds four accumulators.
   auto Panel = [&](int RowBegin, int RowEnd) {
-    for (int I = RowBegin; I < RowEnd; ++I) {
-      const double *ARow = A.rowPtr(I);
-      double *CRow = C.rowPtr(I);
-      int J = 0;
-      for (; J + 4 <= N; J += 4) {
-        const double *B0 = B.rowPtr(J + 0);
-        const double *B1 = B.rowPtr(J + 1);
-        const double *B2 = B.rowPtr(J + 2);
-        const double *B3 = B.rowPtr(J + 3);
-        double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
-        for (int Kk = 0; Kk < K; ++Kk) {
-          const double V = ARow[Kk];
-          S0 += V * B0[Kk];
-          S1 += V * B1[Kk];
-          S2 += V * B2[Kk];
-          S3 += V * B3[Kk];
-        }
-        CRow[J + 0] = S0;
-        CRow[J + 1] = S1;
-        CRow[J + 2] = S2;
-        CRow[J + 3] = S3;
-      }
-      for (; J < N; ++J) {
-        const double *BRow = B.rowPtr(J);
-        double Sum = 0.0;
-        for (int Kk = 0; Kk < K; ++Kk)
-          Sum += ARow[Kk] * BRow[Kk];
-        CRow[J] = Sum;
-      }
-    }
+    T.TB(C, A, B, RowBegin, RowEnd);
   };
-  forEachRowPanel(Pool, M, static_cast<long long>(M) * K * N, Panel);
+  forEachKernelRowPanel(Pool, M, static_cast<long long>(M) * K * N, Panel);
 }
 
 void nv::sumRowsInto(Matrix &Out, const Matrix &A, bool Accumulate) {

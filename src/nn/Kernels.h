@@ -10,12 +10,32 @@
 /// bias + activation epilogue and optional row-panel parallelism over a
 /// ThreadPool.
 ///
-/// Determinism contract: for every output element the reduction runs in
-/// ascending-k order, independent of the row-panel partition — so results
-/// are bit-identical regardless of pool size (or no pool at all), and the
-/// training subsystem's "bit-identical across worker counts" guarantee
-/// survives kernel parallelism. The kernels also match the naive reference
-/// implementations in nn/Matrix.h element for element (asserted in
+/// The GEMM inner loops are explicit SIMD microkernels (AVX2/FMA and
+/// AVX-512 translation units, see nn/KernelsAvx*.cpp) selected once at
+/// runtime by CPUID, with a portable scalar fallback. The `NV_KERNEL_ISA`
+/// environment knob (`scalar` / `avx2` / `avx512`) clamps the dispatch
+/// down for testing, and setKernelIsa() does the same in-process (the ISA
+/// equivalence tests iterate every tier in one binary). Full design notes:
+/// docs/kernels.md.
+///
+/// Determinism contract (docs/kernels.md has the long form):
+///  - gemmInto / gemmTAInto: every output element is one ascending-k chain
+///    of *fused* multiply-adds (hardware FMA in the SIMD tiers, std::fma
+///    in the scalar tier), and vector lanes span output columns — so each
+///    element's reduction order is independent of the row-panel partition
+///    AND of the dispatched ISA. Results are bit-identical at any pool
+///    size and across scalar/AVX2/AVX-512, and the training subsystem's
+///    "bit-identical across worker counts" guarantee survives both kernel
+///    parallelism and ISA dispatch.
+///  - gemmTBInto: the dot-product layout vectorizes over k with per-lane
+///    partial sums, so it is deterministic and pool-size-invariant *per
+///    ISA tier* but NOT bit-identical across tiers (it matches within
+///    rounding; the backward pass never mixes tiers within a run).
+///  - The fused activation epilogue is shared code across every tier
+///    (vecTanh spans whole output rows), so it never splits the contract.
+///
+/// The kernels also match the naive reference implementations in
+/// nn/Matrix.h element for element up to FMA rounding (asserted in
 /// tests/NNTest.cpp).
 ///
 //===----------------------------------------------------------------------===//
@@ -28,6 +48,28 @@
 namespace nv {
 
 class ThreadPool;
+
+/// Instruction-set tiers the GEMM microkernels are built for. Ordering is
+/// meaningful: a higher tier strictly extends the lower ones, and dispatch
+/// clamps requests down to what the binary + CPU support.
+enum class KernelIsa { Scalar = 0, Avx2 = 1, Avx512 = 2 };
+
+/// Stable lowercase name ("scalar" / "avx2" / "avx512") for logs, statsz,
+/// and the NV_KERNEL_ISA knob.
+const char *kernelIsaName(KernelIsa Isa);
+
+/// The widest tier this binary was built with AND this machine executes
+/// (CPUID). Independent of any override.
+KernelIsa detectKernelIsa();
+
+/// The tier the kernels currently dispatch to: detectKernelIsa() clamped
+/// by NV_KERNEL_ISA (read once, first use) and by setKernelIsa().
+KernelIsa kernelIsa();
+
+/// Clamps dispatch to min(\p Requested, detectKernelIsa()) and returns
+/// the tier actually applied. Intended for tests (the ISA matrix switches
+/// tiers in-process); not thread-safe against concurrent kernel calls.
+KernelIsa setKernelIsa(KernelIsa Requested);
 
 /// Supported activation functions (fusable into the GEMM epilogue).
 enum class Activation { Tanh, ReLU, Identity };

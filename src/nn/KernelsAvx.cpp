@@ -1,0 +1,420 @@
+//===- nn/KernelsAvx.cpp - AVX2/FMA fp64 + int8 microkernels ---------------===//
+//
+// Explicit AVX2 register-blocked microkernels (this TU is compiled
+// -mavx2 -mfma; everything else in the library stays portable — dispatch
+// happens at runtime in nn/Kernels.cpp).
+//
+// Bit-identity: in gemmRows/gemmTARows every vector lane owns one output
+// element and chains _mm256_fmadd_pd in ascending k — the same
+// one-rounding-per-step sequence the scalar tier's std::fma chain
+// performs — so these kernels return bit-identical matrices to the scalar
+// tier (asserted in tests/NNTest.cpp). gemmTBRows vectorizes over k with
+// per-lane partial sums instead (the dot-product layout has no profitable
+// column vectorization), so it matches other tiers only within rounding;
+// it is still deterministic and pool-size-invariant for a fixed tier.
+// int8MatVec accumulates integers, which are exact in any order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/KernelsArch.h"
+
+// Compiled out entirely (empty TU) unless CMake applied -mavx2 -mfma to
+// this file; nn/Kernels.cpp only references these symbols when it gets the
+// matching NV_HAVE_AVX2_KERNELS define, so NV_NATIVE_KERNELS=OFF builds
+// need no link-time stubs.
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <immintrin.h>
+
+using namespace nv;
+using namespace nv::detail;
+
+namespace {
+
+/// 4-row x 8-column register microkernel: 8 accumulator ymm (one lane per
+/// output element), two B loads and R broadcasts per k step.
+template <int R>
+inline void microGemm8(const double *const *APtr, const Matrix &B, int K,
+                       int J, double *const *CPtr) {
+  __m256d AccLo[R], AccHi[R];
+  for (int Rr = 0; Rr < R; ++Rr) {
+    AccLo[Rr] = _mm256_setzero_pd();
+    AccHi[Rr] = _mm256_setzero_pd();
+  }
+  for (int Kk = 0; Kk < K; ++Kk) {
+    const double *BRow = B.rowPtr(Kk) + J;
+    const __m256d B0 = _mm256_loadu_pd(BRow);
+    const __m256d B1 = _mm256_loadu_pd(BRow + 4);
+    for (int Rr = 0; Rr < R; ++Rr) {
+      const __m256d V = _mm256_set1_pd(APtr[Rr][Kk]);
+      AccLo[Rr] = _mm256_fmadd_pd(V, B0, AccLo[Rr]);
+      AccHi[Rr] = _mm256_fmadd_pd(V, B1, AccHi[Rr]);
+    }
+  }
+  for (int Rr = 0; Rr < R; ++Rr) {
+    _mm256_storeu_pd(CPtr[Rr] + J, AccLo[Rr]);
+    _mm256_storeu_pd(CPtr[Rr] + J + 4, AccHi[Rr]);
+  }
+}
+
+/// 4-column edge microkernel (one ymm per row).
+template <int R>
+inline void microGemm4(const double *const *APtr, const Matrix &B, int K,
+                       int J, double *const *CPtr) {
+  __m256d Acc[R];
+  for (int Rr = 0; Rr < R; ++Rr)
+    Acc[Rr] = _mm256_setzero_pd();
+  for (int Kk = 0; Kk < K; ++Kk) {
+    const __m256d B0 = _mm256_loadu_pd(B.rowPtr(Kk) + J);
+    for (int Rr = 0; Rr < R; ++Rr)
+      Acc[Rr] = _mm256_fmadd_pd(_mm256_set1_pd(APtr[Rr][Kk]), B0, Acc[Rr]);
+  }
+  for (int Rr = 0; Rr < R; ++Rr)
+    _mm256_storeu_pd(CPtr[Rr] + J, Acc[Rr]);
+}
+
+template <int R>
+void gemmRowsImpl(const double *const *APtr, const Matrix &B, int K, int N,
+                  double *const *CPtr) {
+  int J = 0;
+  for (; J + 8 <= N; J += 8)
+    microGemm8<R>(APtr, B, K, J, CPtr);
+  for (; J + 4 <= N; J += 4)
+    microGemm4<R>(APtr, B, K, J, CPtr);
+  for (; J < N; ++J)
+    for (int Rr = 0; Rr < R; ++Rr) {
+      double Acc = 0.0;
+      for (int Kk = 0; Kk < K; ++Kk)
+        Acc = std::fma(APtr[Rr][Kk], B.rowPtr(Kk)[J], Acc);
+      CPtr[Rr][J] = Acc;
+    }
+}
+
+/// Transposed-A flavour: the R per-k multiplicands sit contiguously in
+/// each A row (A.rowPtr(k) + I0), everything else matches microGemm8/4.
+template <int R>
+void gemmTARowsImpl(const Matrix &A, int I0, const Matrix &B, int N,
+                    double *const *CPtr, bool Accumulate) {
+  const int KRows = A.rows();
+  int J = 0;
+  for (; J + 8 <= N; J += 8) {
+    __m256d AccLo[R], AccHi[R];
+    for (int Rr = 0; Rr < R; ++Rr) {
+      AccLo[Rr] = _mm256_setzero_pd();
+      AccHi[Rr] = _mm256_setzero_pd();
+    }
+    for (int Kk = 0; Kk < KRows; ++Kk) {
+      const double *AVals = A.rowPtr(Kk) + I0;
+      const double *BRow = B.rowPtr(Kk) + J;
+      const __m256d B0 = _mm256_loadu_pd(BRow);
+      const __m256d B1 = _mm256_loadu_pd(BRow + 4);
+      for (int Rr = 0; Rr < R; ++Rr) {
+        const __m256d V = _mm256_set1_pd(AVals[Rr]);
+        AccLo[Rr] = _mm256_fmadd_pd(V, B0, AccLo[Rr]);
+        AccHi[Rr] = _mm256_fmadd_pd(V, B1, AccHi[Rr]);
+      }
+    }
+    for (int Rr = 0; Rr < R; ++Rr) {
+      if (Accumulate) {
+        AccLo[Rr] = _mm256_add_pd(_mm256_loadu_pd(CPtr[Rr] + J), AccLo[Rr]);
+        AccHi[Rr] =
+            _mm256_add_pd(_mm256_loadu_pd(CPtr[Rr] + J + 4), AccHi[Rr]);
+      }
+      _mm256_storeu_pd(CPtr[Rr] + J, AccLo[Rr]);
+      _mm256_storeu_pd(CPtr[Rr] + J + 4, AccHi[Rr]);
+    }
+  }
+  for (; J + 4 <= N; J += 4) {
+    __m256d Acc[R];
+    for (int Rr = 0; Rr < R; ++Rr)
+      Acc[Rr] = _mm256_setzero_pd();
+    for (int Kk = 0; Kk < KRows; ++Kk) {
+      const double *AVals = A.rowPtr(Kk) + I0;
+      const __m256d B0 = _mm256_loadu_pd(B.rowPtr(Kk) + J);
+      for (int Rr = 0; Rr < R; ++Rr)
+        Acc[Rr] = _mm256_fmadd_pd(_mm256_set1_pd(AVals[Rr]), B0, Acc[Rr]);
+    }
+    for (int Rr = 0; Rr < R; ++Rr) {
+      if (Accumulate)
+        Acc[Rr] = _mm256_add_pd(_mm256_loadu_pd(CPtr[Rr] + J), Acc[Rr]);
+      _mm256_storeu_pd(CPtr[Rr] + J, Acc[Rr]);
+    }
+  }
+  for (; J < N; ++J)
+    for (int Rr = 0; Rr < R; ++Rr) {
+      double Acc = 0.0;
+      for (int Kk = 0; Kk < KRows; ++Kk)
+        Acc = std::fma(A.rowPtr(Kk)[I0 + Rr], B.rowPtr(Kk)[J], Acc);
+      if (Accumulate)
+        CPtr[Rr][J] += Acc;
+      else
+        CPtr[Rr][J] = Acc;
+    }
+}
+
+/// Fixed-order horizontal sum: (l0+l2) + (l1+l3).
+inline double hsum(__m256d V) {
+  const __m128d Lo = _mm256_castpd256_pd128(V);
+  const __m128d Hi = _mm256_extractf128_pd(V, 1);
+  const __m128d Sum = _mm_add_pd(Lo, Hi);
+  return _mm_cvtsd_f64(_mm_add_sd(Sum, _mm_unpackhi_pd(Sum, Sum)));
+}
+
+} // namespace
+
+void nv::detail::gemmRowsAvx2(Matrix &C, const Matrix &A, const Matrix &B,
+                              int RowBegin, int RowEnd) {
+  const int K = A.cols(), N = B.cols();
+  for (int I0 = RowBegin; I0 < RowEnd; I0 += KernelMR) {
+    const int MCur = std::min(KernelMR, RowEnd - I0);
+    const double *APtr[KernelMR];
+    double *CPtr[KernelMR];
+    for (int Rr = 0; Rr < MCur; ++Rr) {
+      APtr[Rr] = A.rowPtr(I0 + Rr);
+      CPtr[Rr] = C.rowPtr(I0 + Rr);
+    }
+    switch (MCur) {
+    case 4:
+      gemmRowsImpl<4>(APtr, B, K, N, CPtr);
+      break;
+    case 3:
+      gemmRowsImpl<3>(APtr, B, K, N, CPtr);
+      break;
+    case 2:
+      gemmRowsImpl<2>(APtr, B, K, N, CPtr);
+      break;
+    default:
+      gemmRowsImpl<1>(APtr, B, K, N, CPtr);
+      break;
+    }
+  }
+}
+
+void nv::detail::gemmTARowsAvx2(Matrix &C, const Matrix &A, const Matrix &B,
+                                bool Accumulate, int RowBegin, int RowEnd) {
+  const int N = B.cols();
+  for (int I0 = RowBegin; I0 < RowEnd; I0 += KernelMR) {
+    const int MCur = std::min(KernelMR, RowEnd - I0);
+    double *CPtr[KernelMR];
+    for (int Rr = 0; Rr < MCur; ++Rr)
+      CPtr[Rr] = C.rowPtr(I0 + Rr);
+    switch (MCur) {
+    case 4:
+      gemmTARowsImpl<4>(A, I0, B, N, CPtr, Accumulate);
+      break;
+    case 3:
+      gemmTARowsImpl<3>(A, I0, B, N, CPtr, Accumulate);
+      break;
+    case 2:
+      gemmTARowsImpl<2>(A, I0, B, N, CPtr, Accumulate);
+      break;
+    default:
+      gemmTARowsImpl<1>(A, I0, B, N, CPtr, Accumulate);
+      break;
+    }
+  }
+}
+
+void nv::detail::gemmTBRowsAvx2(Matrix &C, const Matrix &A, const Matrix &B,
+                                int RowBegin, int RowEnd) {
+  const int K = A.cols(), N = B.rows();
+  for (int I = RowBegin; I < RowEnd; ++I) {
+    const double *ARow = A.rowPtr(I);
+    double *CRow = C.rowPtr(I);
+    int J = 0;
+    for (; J + 4 <= N; J += 4) {
+      const double *B0 = B.rowPtr(J + 0);
+      const double *B1 = B.rowPtr(J + 1);
+      const double *B2 = B.rowPtr(J + 2);
+      const double *B3 = B.rowPtr(J + 3);
+      __m256d S0 = _mm256_setzero_pd(), S1 = _mm256_setzero_pd();
+      __m256d S2 = _mm256_setzero_pd(), S3 = _mm256_setzero_pd();
+      int Kk = 0;
+      for (; Kk + 4 <= K; Kk += 4) {
+        const __m256d V = _mm256_loadu_pd(ARow + Kk);
+        S0 = _mm256_fmadd_pd(V, _mm256_loadu_pd(B0 + Kk), S0);
+        S1 = _mm256_fmadd_pd(V, _mm256_loadu_pd(B1 + Kk), S1);
+        S2 = _mm256_fmadd_pd(V, _mm256_loadu_pd(B2 + Kk), S2);
+        S3 = _mm256_fmadd_pd(V, _mm256_loadu_pd(B3 + Kk), S3);
+      }
+      double T0 = hsum(S0), T1 = hsum(S1), T2 = hsum(S2), T3 = hsum(S3);
+      for (; Kk < K; ++Kk) {
+        const double V = ARow[Kk];
+        T0 = std::fma(V, B0[Kk], T0);
+        T1 = std::fma(V, B1[Kk], T1);
+        T2 = std::fma(V, B2[Kk], T2);
+        T3 = std::fma(V, B3[Kk], T3);
+      }
+      CRow[J + 0] = T0;
+      CRow[J + 1] = T1;
+      CRow[J + 2] = T2;
+      CRow[J + 3] = T3;
+    }
+    for (; J < N; ++J) {
+      const double *BRow = B.rowPtr(J);
+      __m256d S = _mm256_setzero_pd();
+      int Kk = 0;
+      for (; Kk + 4 <= K; Kk += 4)
+        S = _mm256_fmadd_pd(_mm256_loadu_pd(ARow + Kk),
+                            _mm256_loadu_pd(BRow + Kk), S);
+      double Sum = hsum(S);
+      for (; Kk < K; ++Kk)
+        Sum = std::fma(ARow[Kk], BRow[Kk], Sum);
+      CRow[J] = Sum;
+    }
+  }
+}
+
+namespace {
+
+/// One 256-bit madd_epi16 against a broadcast X k-pair accumulates two
+/// k steps for 8 outputs in lane order — no horizontal reduction, which
+/// is what made a per-output dot-product layout slower than the fp64
+/// GEMM at this repo's small layer widths. Each weight load is shared
+/// across R row broadcasts, so the weight panel streams once per row
+/// quad (the int8 analogue of microGemm8's MR blocking); dequant
+/// happens in-register on the way out.
+template <int R>
+void int8PanelImpl(const int16_t *X, size_t XStride, const int16_t *WqPair,
+                   int KPad, int OutPad, int OCur, const double *Sx,
+                   const double *WScale, double *Y, size_t YStride) {
+  const int K2 = KPad / 2; // KPad is a multiple of 32.
+  const size_t Stride = static_cast<size_t>(OutPad) * 2;
+  __m256d SxV[R];
+  for (int Rr = 0; Rr < R; ++Rr)
+    SxV[Rr] = _mm256_set1_pd(Sx[Rr]);
+
+  // (Sx * WScale[o]) * acc — the same two multiplies in the same order
+  // as the scalar tier, so dequant cannot split the bit-identity.
+  const auto Dequant8 = [&](__m256i Sum, int Rr, int O) {
+    const __m256d Lo = _mm256_cvtepi32_pd(_mm256_castsi256_si128(Sum));
+    const __m256d Hi = _mm256_cvtepi32_pd(_mm256_extracti128_si256(Sum, 1));
+    double *YRow = Y + Rr * YStride;
+    _mm256_storeu_pd(
+        YRow + O,
+        _mm256_mul_pd(_mm256_mul_pd(SxV[Rr], _mm256_loadu_pd(WScale + O)),
+                      Lo));
+    _mm256_storeu_pd(
+        YRow + O + 4,
+        _mm256_mul_pd(
+            _mm256_mul_pd(SxV[Rr], _mm256_loadu_pd(WScale + O + 4)), Hi));
+  };
+
+  int O = 0;
+  for (; O + 8 <= OCur; O += 8) {
+    const int16_t *WCol = WqPair + static_cast<size_t>(O) * 2;
+    __m256i Acc[R];
+    for (int Rr = 0; Rr < R; ++Rr)
+      Acc[Rr] = _mm256_setzero_si256();
+    for (int K = 0; K < K2; ++K) {
+      const __m256i Wv = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i *>(WCol + K * Stride));
+      for (int Rr = 0; Rr < R; ++Rr) {
+        int32_t Pair;
+        std::memcpy(&Pair, X + Rr * XStride + 2 * K, sizeof(Pair));
+        Acc[Rr] = _mm256_add_epi32(
+            Acc[Rr], _mm256_madd_epi16(_mm256_set1_epi32(Pair), Wv));
+      }
+    }
+    for (int Rr = 0; Rr < R; ++Rr)
+      Dequant8(Acc[Rr], Rr, O);
+  }
+  if (O < OCur) {
+    // Output tail: WqPair is zero-padded to OutPad so the full 8-lane
+    // block is computable; dequant only the live lanes (WScale/Y end at
+    // the true output count).
+    const int16_t *WCol = WqPair + static_cast<size_t>(O) * 2;
+    __m256i Acc[R];
+    for (int Rr = 0; Rr < R; ++Rr)
+      Acc[Rr] = _mm256_setzero_si256();
+    for (int K = 0; K < K2; ++K) {
+      const __m256i Wv = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i *>(WCol + K * Stride));
+      for (int Rr = 0; Rr < R; ++Rr) {
+        int32_t Pair;
+        std::memcpy(&Pair, X + Rr * XStride + 2 * K, sizeof(Pair));
+        Acc[Rr] = _mm256_add_epi32(
+            Acc[Rr], _mm256_madd_epi16(_mm256_set1_epi32(Pair), Wv));
+      }
+    }
+    for (int Rr = 0; Rr < R; ++Rr) {
+      alignas(32) int32_t Tmp[8];
+      _mm256_store_si256(reinterpret_cast<__m256i *>(Tmp), Acc[Rr]);
+      double *YRow = Y + Rr * YStride;
+      for (int T = 0; O + T < OCur; ++T)
+        YRow[O + T] = (Sx[Rr] * WScale[O + T]) * static_cast<double>(Tmp[T]);
+    }
+  }
+}
+
+} // namespace
+
+void nv::detail::int8PanelAvx2(const int16_t *X, size_t XStride, int MR,
+                               const int8_t *, const int16_t *WqPair,
+                               int KPad, int OutPad, int OCur,
+                               const double *Sx, const double *WScale,
+                               double *Y, size_t YStride) {
+  switch (MR) {
+  case 4:
+    int8PanelImpl<4>(X, XStride, WqPair, KPad, OutPad, OCur, Sx, WScale, Y,
+                     YStride);
+    break;
+  case 3:
+    int8PanelImpl<3>(X, XStride, WqPair, KPad, OutPad, OCur, Sx, WScale, Y,
+                     YStride);
+    break;
+  case 2:
+    int8PanelImpl<2>(X, XStride, WqPair, KPad, OutPad, OCur, Sx, WScale, Y,
+                     YStride);
+    break;
+  default:
+    int8PanelImpl<1>(X, XStride, WqPair, KPad, OutPad, OCur, Sx, WScale, Y,
+                     YStride);
+    break;
+  }
+}
+
+double nv::detail::quantizeRowAvx2(const double *Src, int N, int16_t *Dst) {
+  const __m256d AbsMask = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(0x7fffffffffffffffLL));
+  __m256d Max4 = _mm256_setzero_pd();
+  int J = 0;
+  for (; J + 4 <= N; J += 4)
+    Max4 = _mm256_max_pd(Max4,
+                         _mm256_and_pd(AbsMask, _mm256_loadu_pd(Src + J)));
+  // max is exact and order-free, so this matches the scalar tier's scan.
+  const __m128d MaxHalf = _mm_max_pd(_mm256_castpd256_pd128(Max4),
+                                     _mm256_extractf128_pd(Max4, 1));
+  double MaxAbs =
+      _mm_cvtsd_f64(_mm_max_sd(MaxHalf, _mm_unpackhi_pd(MaxHalf, MaxHalf)));
+  for (; J < N; ++J)
+    MaxAbs = std::max(MaxAbs, std::fabs(Src[J]));
+  if (MaxAbs == 0.0) {
+    std::fill(Dst, Dst + N, static_cast<int16_t>(0));
+    return 1.0;
+  }
+  const double Scale = MaxAbs / 127.0;
+  const double InvScale = 127.0 / MaxAbs;
+  const __m256d Inv = _mm256_set1_pd(InvScale);
+  J = 0;
+  for (; J + 4 <= N; J += 4) {
+    // cvtpd rounds to nearest even under the default mode — exactly what
+    // std::lrint does on the scalar tier. |x| * Inv <= 127 by
+    // construction, so the int16 pack cannot saturate.
+    const __m128i I32 =
+        _mm256_cvtpd_epi32(_mm256_mul_pd(_mm256_loadu_pd(Src + J), Inv));
+    _mm_storel_epi64(reinterpret_cast<__m128i *>(Dst + J),
+                     _mm_packs_epi32(I32, I32));
+  }
+  for (; J < N; ++J) {
+    long Q = std::lrint(Src[J] * InvScale);
+    Q = std::min(127L, std::max(-127L, Q));
+    Dst[J] = static_cast<int16_t>(Q);
+  }
+  return Scale;
+}
+
+#endif // __AVX2__ && __FMA__

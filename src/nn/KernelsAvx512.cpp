@@ -1,0 +1,238 @@
+//===- nn/KernelsAvx512.cpp - AVX-512 fp64 microkernels --------------------===//
+//
+// AVX-512 variants of the register-blocked GEMM microkernels (this TU is
+// compiled -mavx512f; runtime CPUID dispatch in nn/Kernels.cpp picks them
+// only on machines with AVX-512F). Same bit-identity story as the AVX2
+// tier: gemmRows/gemmTARows chain _mm512_fmadd_pd per output element in
+// ascending k, with lanes spanning output columns, so results match the
+// scalar and AVX2 tiers bit for bit; gemmTBRows uses per-lane partial
+// sums over k and matches only within rounding (per-tier deterministic).
+// Column tails use masked loads/stores: dead lanes compute on zeros and
+// are never stored, so tail elements keep their one-chain-per-element
+// reduction too.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/KernelsArch.h"
+
+// Empty TU unless CMake applied -mavx512f (see KernelsAvx.cpp).
+#if defined(__AVX512F__)
+
+#include <cmath>
+#include <immintrin.h>
+
+// GCC 12's maskz load intrinsics trip -Wmaybe-uninitialized inside
+// avx512fintrin.h (GCC PR105593); the mask semantics guarantee every
+// consumed lane is written.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+using namespace nv;
+using namespace nv::detail;
+
+namespace {
+
+/// 4-row x 16-column microkernel (two zmm per row) with a masked variant
+/// for the column tail. \p Lanes selects full stores (16) or the mask.
+template <int R>
+inline void microGemm16(const double *const *APtr, const Matrix &B, int K,
+                        int J, double *const *CPtr, int Lanes) {
+  const __mmask8 LoMask =
+      Lanes >= 8 ? 0xFF : static_cast<__mmask8>((1u << Lanes) - 1);
+  const __mmask8 HiMask =
+      Lanes >= 16 ? 0xFF
+                  : static_cast<__mmask8>(
+                        Lanes > 8 ? (1u << (Lanes - 8)) - 1 : 0);
+  __m512d AccLo[R], AccHi[R];
+  for (int Rr = 0; Rr < R; ++Rr) {
+    AccLo[Rr] = _mm512_setzero_pd();
+    AccHi[Rr] = _mm512_setzero_pd();
+  }
+  for (int Kk = 0; Kk < K; ++Kk) {
+    const double *BRow = B.rowPtr(Kk) + J;
+    const __m512d B0 = _mm512_maskz_loadu_pd(LoMask, BRow);
+    const __m512d B1 = _mm512_maskz_loadu_pd(HiMask, BRow + 8);
+    for (int Rr = 0; Rr < R; ++Rr) {
+      const __m512d V = _mm512_set1_pd(APtr[Rr][Kk]);
+      AccLo[Rr] = _mm512_fmadd_pd(V, B0, AccLo[Rr]);
+      AccHi[Rr] = _mm512_fmadd_pd(V, B1, AccHi[Rr]);
+    }
+  }
+  for (int Rr = 0; Rr < R; ++Rr) {
+    _mm512_mask_storeu_pd(CPtr[Rr] + J, LoMask, AccLo[Rr]);
+    _mm512_mask_storeu_pd(CPtr[Rr] + J + 8, HiMask, AccHi[Rr]);
+  }
+}
+
+template <int R>
+void gemmRowsImpl(const double *const *APtr, const Matrix &B, int K, int N,
+                  double *const *CPtr) {
+  int J = 0;
+  for (; J + 16 <= N; J += 16)
+    microGemm16<R>(APtr, B, K, J, CPtr, 16);
+  if (J < N)
+    microGemm16<R>(APtr, B, K, J, CPtr, N - J);
+}
+
+template <int R>
+void gemmTARowsImpl(const Matrix &A, int I0, const Matrix &B, int N,
+                    double *const *CPtr, bool Accumulate) {
+  const int KRows = A.rows();
+  for (int J = 0; J < N; J += 16) {
+    const int Lanes = std::min(16, N - J);
+    const __mmask8 LoMask =
+        Lanes >= 8 ? 0xFF : static_cast<__mmask8>((1u << Lanes) - 1);
+    const __mmask8 HiMask =
+        Lanes >= 16 ? 0xFF
+                    : static_cast<__mmask8>(
+                          Lanes > 8 ? (1u << (Lanes - 8)) - 1 : 0);
+    __m512d AccLo[R], AccHi[R];
+    for (int Rr = 0; Rr < R; ++Rr) {
+      AccLo[Rr] = _mm512_setzero_pd();
+      AccHi[Rr] = _mm512_setzero_pd();
+    }
+    for (int Kk = 0; Kk < KRows; ++Kk) {
+      const double *AVals = A.rowPtr(Kk) + I0;
+      const double *BRow = B.rowPtr(Kk) + J;
+      const __m512d B0 = _mm512_maskz_loadu_pd(LoMask, BRow);
+      const __m512d B1 = _mm512_maskz_loadu_pd(HiMask, BRow + 8);
+      for (int Rr = 0; Rr < R; ++Rr) {
+        const __m512d V = _mm512_set1_pd(AVals[Rr]);
+        AccLo[Rr] = _mm512_fmadd_pd(V, B0, AccLo[Rr]);
+        AccHi[Rr] = _mm512_fmadd_pd(V, B1, AccHi[Rr]);
+      }
+    }
+    for (int Rr = 0; Rr < R; ++Rr) {
+      if (Accumulate) {
+        AccLo[Rr] = _mm512_add_pd(
+            _mm512_maskz_loadu_pd(LoMask, CPtr[Rr] + J), AccLo[Rr]);
+        AccHi[Rr] = _mm512_add_pd(
+            _mm512_maskz_loadu_pd(HiMask, CPtr[Rr] + J + 8), AccHi[Rr]);
+      }
+      _mm512_mask_storeu_pd(CPtr[Rr] + J, LoMask, AccLo[Rr]);
+      _mm512_mask_storeu_pd(CPtr[Rr] + J + 8, HiMask, AccHi[Rr]);
+    }
+  }
+}
+
+/// Fixed-order horizontal sum: halves first, then the AVX2-style
+/// (l0+l2) + (l1+l3) within the 256-bit sum.
+inline double hsum(__m512d V) {
+  const __m256d Lo = _mm512_castpd512_pd256(V);
+  const __m256d Hi = _mm512_extractf64x4_pd(V, 1);
+  const __m256d Sum = _mm256_add_pd(Lo, Hi);
+  const __m128d Lo2 = _mm256_castpd256_pd128(Sum);
+  const __m128d Hi2 = _mm256_extractf128_pd(Sum, 1);
+  const __m128d Sum2 = _mm_add_pd(Lo2, Hi2);
+  return _mm_cvtsd_f64(_mm_add_sd(Sum2, _mm_unpackhi_pd(Sum2, Sum2)));
+}
+
+} // namespace
+
+void nv::detail::gemmRowsAvx512(Matrix &C, const Matrix &A, const Matrix &B,
+                                int RowBegin, int RowEnd) {
+  const int K = A.cols(), N = B.cols();
+  for (int I0 = RowBegin; I0 < RowEnd; I0 += KernelMR) {
+    const int MCur = std::min(KernelMR, RowEnd - I0);
+    const double *APtr[KernelMR];
+    double *CPtr[KernelMR];
+    for (int Rr = 0; Rr < MCur; ++Rr) {
+      APtr[Rr] = A.rowPtr(I0 + Rr);
+      CPtr[Rr] = C.rowPtr(I0 + Rr);
+    }
+    switch (MCur) {
+    case 4:
+      gemmRowsImpl<4>(APtr, B, K, N, CPtr);
+      break;
+    case 3:
+      gemmRowsImpl<3>(APtr, B, K, N, CPtr);
+      break;
+    case 2:
+      gemmRowsImpl<2>(APtr, B, K, N, CPtr);
+      break;
+    default:
+      gemmRowsImpl<1>(APtr, B, K, N, CPtr);
+      break;
+    }
+  }
+}
+
+void nv::detail::gemmTARowsAvx512(Matrix &C, const Matrix &A,
+                                  const Matrix &B, bool Accumulate,
+                                  int RowBegin, int RowEnd) {
+  const int N = B.cols();
+  for (int I0 = RowBegin; I0 < RowEnd; I0 += KernelMR) {
+    const int MCur = std::min(KernelMR, RowEnd - I0);
+    double *CPtr[KernelMR];
+    for (int Rr = 0; Rr < MCur; ++Rr)
+      CPtr[Rr] = C.rowPtr(I0 + Rr);
+    switch (MCur) {
+    case 4:
+      gemmTARowsImpl<4>(A, I0, B, N, CPtr, Accumulate);
+      break;
+    case 3:
+      gemmTARowsImpl<3>(A, I0, B, N, CPtr, Accumulate);
+      break;
+    case 2:
+      gemmTARowsImpl<2>(A, I0, B, N, CPtr, Accumulate);
+      break;
+    default:
+      gemmTARowsImpl<1>(A, I0, B, N, CPtr, Accumulate);
+      break;
+    }
+  }
+}
+
+void nv::detail::gemmTBRowsAvx512(Matrix &C, const Matrix &A,
+                                  const Matrix &B, int RowBegin,
+                                  int RowEnd) {
+  const int K = A.cols(), N = B.rows();
+  for (int I = RowBegin; I < RowEnd; ++I) {
+    const double *ARow = A.rowPtr(I);
+    double *CRow = C.rowPtr(I);
+    int J = 0;
+    for (; J + 4 <= N; J += 4) {
+      const double *B0 = B.rowPtr(J + 0);
+      const double *B1 = B.rowPtr(J + 1);
+      const double *B2 = B.rowPtr(J + 2);
+      const double *B3 = B.rowPtr(J + 3);
+      __m512d S0 = _mm512_setzero_pd(), S1 = _mm512_setzero_pd();
+      __m512d S2 = _mm512_setzero_pd(), S3 = _mm512_setzero_pd();
+      int Kk = 0;
+      for (; Kk + 8 <= K; Kk += 8) {
+        const __m512d V = _mm512_loadu_pd(ARow + Kk);
+        S0 = _mm512_fmadd_pd(V, _mm512_loadu_pd(B0 + Kk), S0);
+        S1 = _mm512_fmadd_pd(V, _mm512_loadu_pd(B1 + Kk), S1);
+        S2 = _mm512_fmadd_pd(V, _mm512_loadu_pd(B2 + Kk), S2);
+        S3 = _mm512_fmadd_pd(V, _mm512_loadu_pd(B3 + Kk), S3);
+      }
+      double T0 = hsum(S0), T1 = hsum(S1), T2 = hsum(S2), T3 = hsum(S3);
+      for (; Kk < K; ++Kk) {
+        const double V = ARow[Kk];
+        T0 = std::fma(V, B0[Kk], T0);
+        T1 = std::fma(V, B1[Kk], T1);
+        T2 = std::fma(V, B2[Kk], T2);
+        T3 = std::fma(V, B3[Kk], T3);
+      }
+      CRow[J + 0] = T0;
+      CRow[J + 1] = T1;
+      CRow[J + 2] = T2;
+      CRow[J + 3] = T3;
+    }
+    for (; J < N; ++J) {
+      const double *BRow = B.rowPtr(J);
+      __m512d S = _mm512_setzero_pd();
+      int Kk = 0;
+      for (; Kk + 8 <= K; Kk += 8)
+        S = _mm512_fmadd_pd(_mm512_loadu_pd(ARow + Kk),
+                            _mm512_loadu_pd(BRow + Kk), S);
+      double Sum = hsum(S);
+      for (; Kk < K; ++Kk)
+        Sum = std::fma(ARow[Kk], BRow[Kk], Sum);
+      CRow[J] = Sum;
+    }
+  }
+}
+
+#endif // __AVX512F__

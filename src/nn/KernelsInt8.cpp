@@ -1,0 +1,168 @@
+//===- nn/KernelsInt8.cpp - Int8 quantized inference dispatcher ------------===//
+//
+// Weight quantization plus the int8 GEMM entry point. Activation rows are
+// quantized to int8 range (stored widened to int16) per call; the inner
+// panel dispatches to the AVX2 madd kernel when available. Int32
+// accumulation is exact for this repo's K ranges (K <= KPad <= a few
+// hundred, |q| <= 127 → |acc| < KPad * 127^2 << 2^31), so every tier
+// produces identical accumulators and the scalar tier is a true bit
+// reference, not just a tolerance reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/KernelsInt8.h"
+
+#include "nn/KernelsArch.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace nv;
+using namespace nv::detail;
+
+namespace {
+
+/// KPad granularity: one AVX2 int8 chunk (32 bytes). Zero padding keeps
+/// vector tails out of the kernels entirely.
+constexpr int KPadAlign = 32;
+
+/// WqPair output granularity: one 256-bit row of 8 interleaved pairs.
+constexpr int OutPadAlign = 8;
+
+void int8PanelScalar(const int16_t *X, size_t XStride, int MR,
+                     const int8_t *Wq, const int16_t * /*WqPair*/, int KPad,
+                     int /*OutPad*/, int OCur, const double *Sx,
+                     const double *WScale, double *Y, size_t YStride) {
+  for (int Rr = 0; Rr < MR; ++Rr) {
+    const int16_t *XRow = X + Rr * XStride;
+    double *YRow = Y + Rr * YStride;
+    for (int O = 0; O < OCur; ++O) {
+      const int8_t *WRow = Wq + static_cast<size_t>(O) * KPad;
+      int32_t Sum = 0;
+      for (int Kk = 0; Kk < KPad; ++Kk)
+        Sum +=
+            static_cast<int32_t>(XRow[Kk]) * static_cast<int32_t>(WRow[Kk]);
+      // Two multiplies in this exact order — the vector tiers' dequant
+      // performs the same sequence lane-wise, keeping output bits equal.
+      YRow[O] = (Sx[Rr] * WScale[O]) * static_cast<double>(Sum);
+    }
+  }
+}
+
+Int8PanelFn int8PanelFor(KernelIsa Isa) {
+#ifdef NV_HAVE_AVX2_KERNELS
+  if (Isa >= KernelIsa::Avx2)
+    return int8PanelAvx2;
+#endif
+  (void)Isa;
+  return int8PanelScalar;
+}
+
+/// Symmetric int8-range quantization of one fp64 row: scale = maxabs /
+/// 127 (1.0 for an all-zero row so dequant stays well-defined), values
+/// rounded to nearest and clamped. Pad entries are zeroed by the caller.
+double quantizeRowScalar(const double *Src, int N, int16_t *Dst) {
+  double MaxAbs = 0.0;
+  for (int J = 0; J < N; ++J)
+    MaxAbs = std::max(MaxAbs, std::fabs(Src[J]));
+  if (MaxAbs == 0.0) {
+    std::fill(Dst, Dst + N, static_cast<int16_t>(0));
+    return 1.0;
+  }
+  const double Scale = MaxAbs / 127.0;
+  const double Inv = 127.0 / MaxAbs;
+  for (int J = 0; J < N; ++J) {
+    long Q = std::lrint(Src[J] * Inv);
+    Q = std::min(127L, std::max(-127L, Q));
+    Dst[J] = static_cast<int16_t>(Q);
+  }
+  return Scale;
+}
+
+QuantRowFn quantRowFor(KernelIsa Isa) {
+#ifdef NV_HAVE_AVX2_KERNELS
+  if (Isa >= KernelIsa::Avx2)
+    return quantizeRowAvx2;
+#endif
+  (void)Isa;
+  return quantizeRowScalar;
+}
+
+} // namespace
+
+void nv::quantizeLinearWeights(const Matrix &W, QuantizedLinear &Q) {
+  const int In = W.rows(), Out = W.cols();
+  Q.In = In;
+  Q.Out = Out;
+  Q.KPad = (In + KPadAlign - 1) / KPadAlign * KPadAlign;
+  Q.OutPad = (Out + OutPadAlign - 1) / OutPadAlign * OutPadAlign;
+  Q.Wq.assign(static_cast<size_t>(Out) * Q.KPad, 0);
+  Q.WScale.assign(static_cast<size_t>(Out), 1.0);
+  // Transpose W column by column into contiguous rows of the scalar
+  // layout (int8, the bit reference the vector layout must mirror).
+  std::vector<double> Col(static_cast<size_t>(In));
+  std::vector<int16_t> ColQ(static_cast<size_t>(In));
+  for (int O = 0; O < Out; ++O) {
+    for (int I = 0; I < In; ++I)
+      Col[I] = W.rowPtr(I)[O];
+    Q.WScale[O] = quantizeRowScalar(Col.data(), In, ColQ.data());
+    int8_t *WRow = Q.Wq.data() + static_cast<size_t>(O) * Q.KPad;
+    for (int I = 0; I < In; ++I)
+      WRow[I] = static_cast<int8_t>(ColQ[I]);
+  }
+  // Interleaved int16 panel for the vector tiers: for each k-pair, OutPad
+  // outputs x (even k, odd k). Same integer values as Wq, so the exact
+  // int32 accumulation makes the two layouts bit-equivalent.
+  const int K2 = Q.KPad / 2;
+  Q.WqPair.assign(static_cast<size_t>(K2) * Q.OutPad * 2, 0);
+  for (int O = 0; O < Out; ++O) {
+    const int8_t *WRow = Q.Wq.data() + static_cast<size_t>(O) * Q.KPad;
+    for (int K = 0; K < K2; ++K) {
+      int16_t *Pair =
+          Q.WqPair.data() + (static_cast<size_t>(K) * Q.OutPad + O) * 2;
+      Pair[0] = WRow[2 * K];
+      Pair[1] = WRow[2 * K + 1];
+    }
+  }
+}
+
+void nv::gemmQuantInto(Matrix &Y, const Matrix &X, const QuantizedLinear &Q,
+                       const Matrix *BiasRow, Activation Act,
+                       QuantScratch &Scratch, ThreadPool *Pool) {
+  assert(Q.ready() && "gemmQuantInto on unquantized weights");
+  assert(X.cols() == Q.In && "gemmQuantInto shape mismatch");
+  assert(!BiasRow ||
+         (BiasRow->rows() == 1 && BiasRow->cols() == Q.Out) &&
+             "bias must be 1 x Out");
+  const int M = X.rows(), Out = Q.Out, KPad = Q.KPad;
+  Y.resize(M, Out);
+  const double *Bias = BiasRow ? BiasRow->rowPtr(0) : nullptr;
+  const KernelIsa Isa = kernelIsa();
+  const Int8PanelFn PanelKernel = int8PanelFor(Isa);
+  const QuantRowFn QuantRow = quantRowFor(Isa);
+
+  Scratch.Xq.resize(static_cast<size_t>(M) * KPad);
+  Scratch.XScale.resize(static_cast<size_t>(M));
+
+  auto Panel = [&](int RowBegin, int RowEnd) {
+    for (int I0 = RowBegin; I0 < RowEnd; I0 += KernelMR) {
+      const int MCur = std::min(KernelMR, RowEnd - I0);
+      for (int Rr = 0; Rr < MCur; ++Rr) {
+        const int I = I0 + Rr;
+        int16_t *XqRow = Scratch.Xq.data() + static_cast<size_t>(I) * KPad;
+        Scratch.XScale[I] = QuantRow(X.rowPtr(I), Q.In, XqRow);
+        std::fill(XqRow + Q.In, XqRow + KPad, static_cast<int16_t>(0));
+      }
+      PanelKernel(Scratch.Xq.data() + static_cast<size_t>(I0) * KPad, KPad,
+                  MCur, Q.Wq.data(), Q.WqPair.data(), KPad, Q.OutPad, Out,
+                  Scratch.XScale.data() + I0, Q.WScale.data(), Y.rowPtr(I0),
+                  static_cast<size_t>(Y.cols()));
+      for (int Rr = 0; Rr < MCur; ++Rr)
+        epilogueRow(Y.rowPtr(I0 + Rr), Bias, Out, Act);
+    }
+  };
+  forEachKernelRowPanel(Pool, M,
+                        static_cast<long long>(M) * KPad * Out, Panel);
+}

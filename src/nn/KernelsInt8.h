@@ -1,0 +1,94 @@
+//===- nn/KernelsInt8.h - Int8 quantized inference kernels ------*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Int8 weight quantization for the serve-path forward pass. Weights get
+/// per-output-row symmetric scales (maxabs / 127) at quantize time;
+/// activations are quantized per input row on the fly with the same
+/// symmetric scheme. The GEMM accumulates in int32 — exactly, for the
+/// K ranges this repo uses — and dequantizes into the regular fp64
+/// bias + activation epilogue, so a quantized layer slots into the same
+/// forwardInto() shape as the fp32 one.
+///
+/// Because integer accumulation has no rounding, a quantized forward is
+/// bit-identical across ISA tiers and pool sizes (stronger than the fp32
+/// gemmTBInto story). What quantization changes is *accuracy* vs fp32,
+/// not determinism; docs/quantization.md derives the error bound and the
+/// plan-level-equivalence guarantee the serve path relies on.
+///
+/// Train-path code never sees these types: quantization is applied by
+/// model owners (ModelHost, NeuroVectorizer::service) to inference-only
+/// model instances, and layers fall back to fp32 whenever a backward pass
+/// could follow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_NN_KERNELSINT8_H
+#define NV_NN_KERNELSINT8_H
+
+#include "nn/Kernels.h"
+#include "nn/Matrix.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace nv {
+
+class ThreadPool;
+
+/// Per-call scratch for activation quantization (one quantized row per
+/// input row plus its scale). The quantized values are int8-ranged
+/// ([-127, 127]) but stored widened to int16 so the vector kernels can
+/// consume them with madd-style instructions directly. Owned by the
+/// caller so parallel samples don't share buffers; reused across calls.
+struct QuantScratch {
+  std::vector<int16_t> Xq;
+  std::vector<double> XScale;
+};
+
+/// An int8 shadow of a linear layer's weight matrix W (In x Out), stored
+/// twice: \p Wq transposed (Out rows of KPad int8 entries, KPad = In
+/// rounded up to 32 and zero-padded) as the scalar tier's contiguous
+/// dot-product layout, and \p WqPair as the vector tiers' interleaved
+/// int16 panel — for each k-pair (2k, 2k+1), OutPad outputs x 2 adjacent
+/// entries, so one 256-bit load covers 8 outputs' k-pairs and
+/// madd_epi16 against a broadcast X pair accumulates in output-lane
+/// order with no horizontal reduction. Both layouts hold the same
+/// integer values, and int32 accumulation is exact, so the tiers agree
+/// bit for bit. WScale holds the per-output dequant scale (maxabs of W
+/// column / 127).
+struct QuantizedLinear {
+  int In = 0;
+  int Out = 0;
+  int KPad = 0;
+  int OutPad = 0; ///< Out rounded up to 8 (WqPair row granularity).
+  std::vector<int8_t> Wq;
+  std::vector<int16_t> WqPair;
+  std::vector<double> WScale;
+
+  bool ready() const { return Out > 0; }
+  void clear() {
+    In = Out = KPad = OutPad = 0;
+    Wq.clear();
+    WqPair.clear();
+    WScale.clear();
+  }
+};
+
+/// Builds the int8 shadow of \p W (In x Out) into \p Q.
+void quantizeLinearWeights(const Matrix &W, QuantizedLinear &Q);
+
+/// Y = act(quant(X) * Q + bias): the int8 analogue of gemmInto() with
+/// B = W. X is A.rows() x Q.In; Y is resized to X.rows() x Q.Out.
+/// Activation rows are quantized on the fly into \p Scratch. \p BiasRow
+/// may be null. Same row-panel parallelism contract as gemmInto().
+void gemmQuantInto(Matrix &Y, const Matrix &X, const QuantizedLinear &Q,
+                   const Matrix *BiasRow, Activation Act,
+                   QuantScratch &Scratch, ThreadPool *Pool = nullptr);
+
+} // namespace nv
+
+#endif // NV_NN_KERNELSINT8_H

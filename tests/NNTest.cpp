@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 using namespace nv;
@@ -398,3 +399,268 @@ TEST(Distributions, GaussianLogProbAndGrad) {
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Kernel ISA dispatch + cross-tier equivalence (docs/kernels.md contract)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Restores the dispatched tier on scope exit so ISA-switching tests
+/// cannot leak a clamped tier into later tests.
+struct IsaGuard {
+  KernelIsa Saved;
+  IsaGuard() : Saved(kernelIsa()) {}
+  ~IsaGuard() { setKernelIsa(Saved); }
+};
+
+/// Every tier this binary + machine can actually run (always >= {Scalar}).
+std::vector<KernelIsa> availableIsas() {
+  std::vector<KernelIsa> Tiers = {KernelIsa::Scalar};
+  if (detectKernelIsa() >= KernelIsa::Avx2)
+    Tiers.push_back(KernelIsa::Avx2);
+  if (detectKernelIsa() >= KernelIsa::Avx512)
+    Tiers.push_back(KernelIsa::Avx512);
+  return Tiers;
+}
+
+} // namespace
+
+TEST(KernelIsa, SetClampsToDetected) {
+  IsaGuard Guard;
+  // Requests above the detected tier clamp down; Scalar always applies.
+  EXPECT_LE(setKernelIsa(KernelIsa::Avx512), detectKernelIsa());
+  EXPECT_EQ(setKernelIsa(KernelIsa::Scalar), KernelIsa::Scalar);
+  EXPECT_EQ(kernelIsa(), KernelIsa::Scalar);
+  EXPECT_STREQ(kernelIsaName(KernelIsa::Scalar), "scalar");
+  EXPECT_STREQ(kernelIsaName(KernelIsa::Avx2), "avx2");
+  EXPECT_STREQ(kernelIsaName(KernelIsa::Avx512), "avx512");
+}
+
+TEST(KernelIsa, GemmBitIdenticalAcrossTiers) {
+  // The strong half of the contract: gemmInto and gemmTAInto promise
+  // bit-identical results on every tier (each output element is one
+  // ascending-k FMA chain regardless of vector width). The shapes cross
+  // the 4/8/16-column vector boundaries and their scalar tails.
+  IsaGuard Guard;
+  RNG Rng(71);
+  const int Shapes[][3] = {{1, 1, 1},   {3, 5, 2},    {4, 32, 15},
+                           {2, 8, 9},   {5, 7, 65},   {17, 40, 64},
+                           {64, 64, 64}, {130, 33, 97}};
+  const Activation Acts[] = {Activation::Identity, Activation::ReLU,
+                             Activation::Tanh};
+  for (const auto &S : Shapes) {
+    const int M = S[0], K = S[1], N = S[2];
+    Matrix A = randomMatrix(M, K, Rng);
+    Matrix B = randomMatrix(K, N, Rng);
+    Matrix Bias = randomMatrix(1, N, Rng);
+    Matrix TA = randomMatrix(K, M, Rng);
+
+    for (Activation Act : Acts) {
+      setKernelIsa(KernelIsa::Scalar);
+      Matrix Ref;
+      gemmInto(Ref, A, B, &Bias, Act);
+      for (KernelIsa Isa : availableIsas()) {
+        setKernelIsa(Isa);
+        Matrix C;
+        gemmInto(C, A, B, &Bias, Act);
+        EXPECT_EQ(Ref.raw(), C.raw())
+            << kernelIsaName(Isa) << " " << M << "x" << K << "x" << N;
+      }
+    }
+
+    setKernelIsa(KernelIsa::Scalar);
+    Matrix TARef, TAAccRef(M, N, 0.25);
+    gemmTAInto(TARef, TA, B);
+    gemmTAInto(TAAccRef, TA, B, /*Accumulate=*/true);
+    for (KernelIsa Isa : availableIsas()) {
+      setKernelIsa(Isa);
+      Matrix C, CAcc(M, N, 0.25);
+      gemmTAInto(C, TA, B);
+      gemmTAInto(CAcc, TA, B, /*Accumulate=*/true);
+      EXPECT_EQ(TARef.raw(), C.raw()) << kernelIsaName(Isa);
+      EXPECT_EQ(TAAccRef.raw(), CAcc.raw()) << kernelIsaName(Isa);
+    }
+  }
+}
+
+TEST(KernelIsa, GemmTBDeterministicPerTier) {
+  // The weak half: gemmTBInto vectorizes over k with per-lane partial
+  // sums, so tiers agree only within rounding — but each tier is
+  // deterministic and pool-size-invariant on its own.
+  IsaGuard Guard;
+  RNG Rng(72);
+  Matrix A = randomMatrix(23, 37, Rng);
+  Matrix B = randomMatrix(19, 37, Rng);
+
+  setKernelIsa(KernelIsa::Scalar);
+  Matrix Ref;
+  gemmTBInto(Ref, A, B);
+  for (KernelIsa Isa : availableIsas()) {
+    setKernelIsa(Isa);
+    Matrix C1, C2;
+    gemmTBInto(C1, A, B);
+    gemmTBInto(C2, A, B);
+    EXPECT_EQ(C1.raw(), C2.raw()) << kernelIsaName(Isa) << " reruns";
+    ThreadPool Pool(3);
+    Matrix Pooled;
+    gemmTBInto(Pooled, A, B, &Pool);
+    EXPECT_EQ(C1.raw(), Pooled.raw()) << kernelIsaName(Isa) << " pooled";
+    expectNear(Ref, C1, 1e-11, kernelIsaName(Isa));
+  }
+}
+
+TEST(KernelIsa, EnvOverrideNamesParse) {
+  // setKernelIsa mirrors the NV_KERNEL_ISA parsing (same clamp); the env
+  // knob itself is read once at startup, so here we only pin the clamp
+  // semantics the knob relies on.
+  IsaGuard Guard;
+  const KernelIsa Detected = detectKernelIsa();
+  EXPECT_EQ(setKernelIsa(Detected), Detected);
+  EXPECT_EQ(setKernelIsa(KernelIsa::Avx512),
+            std::min(KernelIsa::Avx512, Detected));
+}
+
+//===----------------------------------------------------------------------===//
+// Int8 quantized inference kernels (docs/quantization.md)
+//===----------------------------------------------------------------------===//
+
+TEST(KernelsInt8, MatchesFp32WithinQuantTolerance) {
+  RNG Rng(81);
+  // In = 33 exercises the zero-padded KPad tail; Out = 300 crosses the
+  // dispatcher's 256-column accumulator chunk.
+  const int Shapes[][3] = {{1, 1, 1}, {4, 33, 7}, {9, 64, 300}, {17, 40, 64}};
+  const Activation Acts[] = {Activation::Identity, Activation::ReLU,
+                             Activation::Tanh};
+  for (const auto &S : Shapes) {
+    const int M = S[0], K = S[1], N = S[2];
+    Matrix X = randomMatrix(M, K, Rng);
+    Matrix W = randomMatrix(K, N, Rng);
+    Matrix Bias = randomMatrix(1, N, Rng);
+    QuantizedLinear Q;
+    quantizeLinearWeights(W, Q);
+    EXPECT_TRUE(Q.ready());
+    EXPECT_EQ(Q.KPad % 32, 0);
+    for (Activation Act : Acts) {
+      Matrix F, I8;
+      gemmInto(F, X, W, &Bias, Act);
+      QuantScratch Scratch;
+      gemmQuantInto(I8, X, Q, &Bias, Act, Scratch);
+      ASSERT_EQ(F.rows(), I8.rows());
+      ASSERT_EQ(F.cols(), I8.cols());
+      // Symmetric per-row x per-output scales: each product carries
+      // ~1/127 relative error per factor and the errors accumulate like
+      // a random walk over k, so the bound grows with sqrt(K). Loose
+      // enough for Gaussian data at any K here, tight enough that a
+      // broken kernel (errors ~ output magnitude) fails outright.
+      double MaxAbs = 0.0;
+      for (double V : F.raw())
+        MaxAbs = std::max(MaxAbs, std::fabs(V));
+      const double Tol = 0.05 * std::sqrt(static_cast<double>(K)) *
+                         (1.0 + MaxAbs);
+      for (size_t E = 0; E < F.raw().size(); ++E)
+        EXPECT_NEAR(F.raw()[E], I8.raw()[E], Tol)
+            << M << "x" << K << "x" << N;
+    }
+  }
+}
+
+TEST(KernelsInt8, BitIdenticalAcrossTiersAndPools) {
+  // Integer accumulation is exact, so the int8 path is bit-identical not
+  // just across pool sizes but across ISA tiers too — stronger than the
+  // fp64 gemmTB story, and what lets a quantized deployment pin plans
+  // across heterogeneous serving hosts.
+  IsaGuard Guard;
+  RNG Rng(82);
+  Matrix X = randomMatrix(13, 47, Rng);
+  Matrix W = randomMatrix(47, 66, Rng);
+  Matrix Bias = randomMatrix(1, 66, Rng);
+  QuantizedLinear Q;
+  quantizeLinearWeights(W, Q);
+
+  setKernelIsa(KernelIsa::Scalar);
+  Matrix Ref;
+  QuantScratch RefScratch;
+  gemmQuantInto(Ref, X, Q, &Bias, Activation::Tanh, RefScratch);
+  for (KernelIsa Isa : availableIsas()) {
+    setKernelIsa(Isa);
+    QuantScratch Scratch;
+    Matrix C;
+    gemmQuantInto(C, X, Q, &Bias, Activation::Tanh, Scratch);
+    EXPECT_EQ(Ref.raw(), C.raw()) << kernelIsaName(Isa);
+    ThreadPool Pool(3);
+    Matrix Pooled;
+    gemmQuantInto(Pooled, X, Q, &Bias, Activation::Tanh, Scratch, &Pool);
+    EXPECT_EQ(Ref.raw(), Pooled.raw()) << kernelIsaName(Isa) << " pooled";
+  }
+}
+
+TEST(KernelsInt8, ZeroAndTinyWeightsStayFinite) {
+  // All-zero weight columns take the scale-1.0 fallback; the output must
+  // be exactly bias (then activation), never NaN.
+  Matrix W(16, 3, 0.0);
+  W.at(0, 1) = 1e-30; // Denormal-ish column still quantizes cleanly.
+  Matrix X(2, 16, 0.5);
+  Matrix Bias(1, 3, 0.25);
+  QuantizedLinear Q;
+  quantizeLinearWeights(W, Q);
+  QuantScratch Scratch;
+  Matrix Y;
+  gemmQuantInto(Y, X, Q, &Bias, Activation::Identity, Scratch);
+  EXPECT_DOUBLE_EQ(Y.at(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(Y.at(1, 2), 0.25);
+  for (double V : Y.raw())
+    EXPECT_TRUE(std::isfinite(V));
+}
+
+TEST(KernelsInt8, LinearLayerQuantizesInferenceOnly) {
+  RNG R1(91), R2(91);
+  LinearLayer Plain(12, 8, R1);
+  LinearLayer Quant(12, 8, R2); // Identical init stream.
+  Quant.quantizeForInference();
+  EXPECT_TRUE(Quant.isQuantized());
+  EXPECT_FALSE(Plain.isQuantized());
+
+  RNG Rx(92);
+  Matrix X = randomMatrix(5, 12, Rx);
+  // Training-shaped forward (CacheInput = true): the quantized layer must
+  // take the fp32 path bit for bit — gradients depend on it.
+  Matrix YPlain, YQuant;
+  Plain.forwardInto(X, YPlain, Activation::Tanh, nullptr,
+                    /*CacheInput=*/true);
+  Quant.forwardInto(X, YQuant, Activation::Tanh, nullptr,
+                    /*CacheInput=*/true);
+  EXPECT_EQ(YPlain.raw(), YQuant.raw());
+
+  // Inference forward: int8 path — near fp32, not (generally) equal.
+  Matrix YInfer;
+  Quant.forwardInto(X, YInfer, Activation::Tanh, nullptr,
+                    /*CacheInput=*/false);
+  expectNear(YPlain, YInfer, 0.1, "int8 inference forward");
+
+  Quant.clearQuantized();
+  EXPECT_FALSE(Quant.isQuantized());
+  Quant.forwardInto(X, YInfer, Activation::Tanh, nullptr,
+                    /*CacheInput=*/false);
+  EXPECT_EQ(YPlain.raw(), YInfer.raw()); // Back to fp32 exactly.
+}
+
+TEST(KernelsInt8, MLPQuantizeRoundTrip) {
+  RNG R(93);
+  MLP Net({10, 16, 4}, Activation::Tanh, R);
+  EXPECT_FALSE(Net.isQuantized());
+  Net.quantizeForInference();
+  EXPECT_TRUE(Net.isQuantized());
+
+  RNG Rx(94);
+  Matrix X = randomMatrix(3, 10, Rx);
+  Matrix Fp32, Int8;
+  Net.forwardInto(X, Fp32, nullptr, /*ActivateLast=*/false,
+                  /*ForBackward=*/true); // Training path: fp32.
+  Net.forwardInto(X, Int8, nullptr, /*ActivateLast=*/false,
+                  /*ForBackward=*/false); // Inference path: int8.
+  expectNear(Fp32, Int8, 0.15, "quantized MLP forward");
+
+  Net.clearQuantized();
+  EXPECT_FALSE(Net.isQuantized());
+}

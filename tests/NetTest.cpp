@@ -726,3 +726,34 @@ TEST(NetServer, ConcurrentHotReloadIsGenerationConsistent) {
 }
 
 } // namespace
+
+TEST(ModelHost, QuantizedGenerationServesFp32PlansAcrossReload) {
+  // Hot reload into a quantized generation: the freshly loaded weights
+  // are re-quantized before the RCU flip, and the served plans still
+  // match an fp32 reference instance loading the same file.
+  TempFile File("net_quant_reload.nvm");
+  saveTrainedModel(File.Path, /*Seed=*/61);
+  const auto Ref = referencePlans(File.Path, {DotProduct, Saxpy});
+
+  NeuroVectorizerConfig Config = testConfig();
+  ServingModelConfig HostConfig =
+      NeuroVectorizer(Config).servingModelConfig();
+  HostConfig.Quantized = true;
+  ModelHost Host(HostConfig);
+  EXPECT_TRUE(Host.current()->isQuantized());
+  AnnotationService Service(Host, Config.Embedding.Paths, Config.Target,
+                            smallServe());
+
+  std::string Error;
+  ASSERT_EQ(Host.reload(File.Path, &Error), LoadStatus::Ok) << Error;
+  EXPECT_TRUE(Host.current()->isQuantized());
+
+  AnnotationResult RDot = Service.annotateOne("dot", DotProduct);
+  AnnotationResult RSaxpy = Service.annotateOne("saxpy", Saxpy);
+  ASSERT_TRUE(RDot.Ok) << RDot.Error;
+  ASSERT_TRUE(RSaxpy.Ok) << RSaxpy.Error;
+  EXPECT_EQ(RDot.Plans, Ref[0]);
+  EXPECT_EQ(RSaxpy.Plans, Ref[1]);
+  EXPECT_EQ(RDot.Generation, 1u);
+  EXPECT_GT(Service.stats().QuantizedBatches.load(), 0u);
+}

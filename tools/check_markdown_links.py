@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Checks that relative links in the repo's markdown docs resolve.
+
+Usage: check_markdown_links.py [--root DIR] [FILE...]
+
+With no FILE arguments, checks README.md and every markdown file under
+docs/. Only relative links are verified (external http(s)/mailto links
+are skipped -- CI must not depend on the network); a relative link
+resolves iff the target path exists relative to the markdown file's own
+directory. Fragments (#section) are stripped from path checks; a pure
+fragment link (#section) must match a heading anchor in the same file.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link, greppable as FILE:LINE: message).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Inline links/images: [text](target) / ![alt](target). Angle-bracket
+# targets <like this> and titles ("...") are handled; nested parens are
+# not (none in this repo's docs).
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*(<[^>]*>|[^)\s]+)[^)]*\)")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def heading_anchors(lines):
+    """GitHub-style anchors for every markdown heading in the file."""
+    anchors = set()
+    in_fence = False
+    for line in lines:
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = re.match(r"^#{1,6}\s+(.*)$", line)
+        if not m:
+            continue
+        text = re.sub(r"[`*_]", "", m.group(1).strip())
+        anchor = re.sub(r"[^\w\- ]", "", text.lower())
+        anchors.add(re.sub(r" ", "-", anchor))
+    return anchors
+
+
+def check_file(path, root):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    anchors = heading_anchors(lines)
+    in_fence = False
+    for lineno, line in enumerate(lines, 1):
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in _LINK_RE.finditer(line):
+            target = m.group(1).strip()
+            if target.startswith("<") and target.endswith(">"):
+                target = target[1:-1]
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue  # http:, https:, mailto:, ...
+            if not target:
+                continue
+            path_part, _, fragment = target.partition("#")
+            if not path_part:
+                if fragment and fragment not in anchors:
+                    errors.append(
+                        (path, lineno, "no heading for anchor #%s" % fragment)
+                    )
+                continue
+            base = root if path_part.startswith("/") else os.path.dirname(path)
+            resolved = os.path.normpath(
+                os.path.join(base, path_part.lstrip("/"))
+            )
+            if not os.path.exists(resolved):
+                errors.append(
+                    (path, lineno, "broken link target %s" % target)
+                )
+    return errors
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None, help="repo root directory")
+    parser.add_argument("files", nargs="*", help="markdown files to check")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(
+        args.root
+        or os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+    )
+    files = [os.path.abspath(f) for f in args.files]
+    if not files:
+        files = [os.path.join(root, "README.md")]
+        docs = os.path.join(root, "docs")
+        if os.path.isdir(docs):
+            files += sorted(
+                os.path.join(docs, f)
+                for f in os.listdir(docs)
+                if f.endswith(".md")
+            )
+
+    errors = []
+    checked = 0
+    for f in files:
+        if not os.path.exists(f):
+            errors.append((f, 0, "file not found"))
+            continue
+        checked += 1
+        errors.extend(check_file(f, root))
+
+    for path, lineno, msg in errors:
+        print("%s:%d: %s" % (os.path.relpath(path, root), lineno, msg))
+    if errors:
+        print("%d broken link(s) across %d file(s)" % (len(errors), checked))
+        return 1
+    print("%d markdown file(s), all links resolve" % checked)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
