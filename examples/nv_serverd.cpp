@@ -66,6 +66,10 @@ int usage(const char *Argv0) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // A client that vanishes mid-response must surface as EPIPE on the
+  // write, not kill the daemon with SIGPIPE (belt to NetServer's
+  // MSG_NOSIGNAL suspenders — covers any raw write paths too).
+  std::signal(SIGPIPE, SIG_IGN);
   std::string Host = "127.0.0.1";
   uint16_t Port = 7117;
   std::string ModelPath;
@@ -130,8 +134,10 @@ int main(int Argc, char **Argv) {
     Trainer.train(/*Steps=*/2000);
     Trainer.fitSupervised(/*MaxSamples=*/32);
     std::string Error;
-    if (!Trainer.save(TrainDemoPath, &Error)) {
-      std::cerr << "save failed: " << Error << "\n";
+    const SaveStatus St = Trainer.trySave(TrainDemoPath, &Error);
+    if (St != SaveStatus::Ok) {
+      std::cerr << "save failed (" << saveStatusName(St) << "): " << Error
+                << "\n";
       return 1;
     }
     std::cout << "demo model saved to " << TrainDemoPath << std::endl;

@@ -242,6 +242,11 @@ double NeuroVectorizer::speedupOverBaseline(const std::string &Source,
 }
 
 bool NeuroVectorizer::save(const std::string &Path, std::string *Error) {
+  return trySave(Path, Error) == SaveStatus::Ok;
+}
+
+SaveStatus NeuroVectorizer::trySave(const std::string &Path,
+                                    std::string *Error) {
   // The file carries the extraction setting the model was trained with so
   // a loading deployment reproduces the training-side embeddings, plus
   // whatever supervised backends have been distilled from these weights.
@@ -251,7 +256,8 @@ bool NeuroVectorizer::save(const std::string &Path, std::string *Error) {
   SupervisedBundle Bundle;
   Bundle.NNS = &NNS->index();
   Bundle.Tree = &Tree->tree();
-  return ModelSerializer::save(Path, *Embedder, *Pol, Meta, Bundle, Error);
+  return ModelSerializer::trySave(Path, *Embedder, *Pol, Meta, Bundle,
+                                  Error);
 }
 
 bool NeuroVectorizer::load(const std::string &Path, std::string *Error) {

@@ -121,6 +121,12 @@ public:
   /// \p Error on failure.
   bool save(const std::string &Path, std::string *Error = nullptr);
 
+  /// save() with the failure *stage* reported: which step of the
+  /// crash-safe write sequence failed (saveStatusName() renders it for
+  /// CLIs and run logs). The write is atomic — on any non-Ok status the
+  /// previous file at \p Path, if any, is intact.
+  SaveStatus trySave(const std::string &Path, std::string *Error = nullptr);
+
   /// Restores a model previously written by save() into this instance.
   /// The instance must have been constructed with the same configuration
   /// (architecture shapes are validated). All-or-nothing: on failure the

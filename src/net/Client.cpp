@@ -2,14 +2,76 @@
 
 #include "net/Client.h"
 
+#include "support/RNG.h"
+
+#include <chrono>
+#include <thread>
+
 using namespace nv;
 using net::Verb;
 using net::WireStatus;
 
+uint64_t NetClient::backoffMicros(const ClientConfig &Config, int Attempt) {
+  if (Config.BackoffBaseMs <= 0)
+    return 0;
+  // Saturating shift, then cap.
+  uint64_t Ms = static_cast<uint64_t>(Config.BackoffBaseMs);
+  if (Attempt > 0)
+    Ms = Attempt >= 32 ? ~0ull >> 1 : Ms << Attempt;
+  const uint64_t Cap = static_cast<uint64_t>(
+      Config.BackoffMaxMs > 0 ? Config.BackoffMaxMs : Config.BackoffBaseMs);
+  if (Ms > Cap)
+    Ms = Cap;
+  // Deterministic jitter in [0.5, 1.0): same seed + attempt, same delay —
+  // the chaos suite asserts exact bounds on total retry latency.
+  const double Jitter =
+      0.5 + 0.5 * RNG(Config.BackoffSeed)
+                      .split(static_cast<uint64_t>(Attempt))
+                      .nextDouble();
+  return static_cast<uint64_t>(static_cast<double>(Ms) * 1000.0 * Jitter);
+}
+
 bool NetClient::connect(const std::string &Host, uint16_t Port,
                         std::string *Error) {
-  Sock = connectTcp(Host, Port, Error);
+  this->Host = Host;
+  this->Port = Port;
+  Sock = connectTcp(Host, Port, Error, Config.ConnectTimeoutMs);
+  if (Sock.valid() && Config.IoTimeoutMs > 0)
+    setIoTimeouts(Sock.fd(), Config.IoTimeoutMs);
   return Sock.valid();
+}
+
+bool NetClient::ensureConnected(std::string *Error) {
+  if (Sock.valid())
+    return true;
+  if (Host.empty()) {
+    if (Error)
+      *Error = "not connected";
+    return false;
+  }
+  if (!connect(Host, Port, Error))
+    return false;
+  Stats.Reconnects += 1;
+  return true;
+}
+
+bool NetClient::withRetries(const std::function<bool(std::string *)> &Once,
+                            std::string *Error) {
+  std::string LocalError;
+  for (int Attempt = 0;; ++Attempt) {
+    LocalError.clear();
+    if (Once(&LocalError))
+      return true;
+    if (Attempt >= Config.MaxRetries) {
+      if (Error)
+        *Error = LocalError;
+      return false;
+    }
+    Stats.Retries += 1;
+    const uint64_t Delay = backoffMicros(Config, Attempt);
+    if (Delay > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(Delay));
+  }
 }
 
 bool NetClient::roundTrip(Verb V, const std::vector<char> &Frame,
@@ -20,19 +82,25 @@ bool NetClient::roundTrip(Verb V, const std::vector<char> &Frame,
       *Error = "not connected";
     return false;
   }
+  // Any failure below closes the socket: the stream position is unknown
+  // (a half-written request or half-read response), so the only safe
+  // recovery is a fresh connection.
   if (!writeFull(Sock.fd(), Frame.data(), Frame.size())) {
+    Sock.reset();
     if (Error)
       *Error = "write failed (connection lost)";
     return false;
   }
   char HeaderBuf[net::ResponseHeaderSize];
   if (!readFull(Sock.fd(), HeaderBuf, sizeof(HeaderBuf))) {
+    Sock.reset();
     if (Error)
       *Error = "short read on response header";
     return false;
   }
   if (!net::parseResponseHeader(HeaderBuf, sizeof(HeaderBuf), Header) ||
       Header.V != V) {
+    Sock.reset();
     if (Error)
       *Error = "malformed response header";
     return false;
@@ -40,6 +108,7 @@ bool NetClient::roundTrip(Verb V, const std::vector<char> &Frame,
   Body.resize(Header.BodyLen);
   if (Header.BodyLen > 0 &&
       !readFull(Sock.fd(), Body.data(), Body.size())) {
+    Sock.reset();
     if (Error)
       *Error = "short read on response body";
     return false;
@@ -53,53 +122,85 @@ bool NetClient::roundTrip(Verb V, const std::vector<char> &Frame,
 }
 
 bool NetClient::ping(std::string *Error) {
-  net::ResponseHeader Header;
-  std::vector<char> Body;
-  return roundTrip(Verb::Ping, net::encodePingRequest(), Header, Body,
-                   Error) &&
-         Header.Status == WireStatus::Ok;
+  return withRetries(
+      [&](std::string *E) {
+        if (!ensureConnected(E))
+          return false;
+        net::ResponseHeader Header;
+        std::vector<char> Body;
+        if (!roundTrip(Verb::Ping, net::encodePingRequest(), Header, Body, E))
+          return false;
+        if (Header.Status != WireStatus::Ok) {
+          if (E)
+            *E = std::string("ping: ") + net::statusName(Header.Status);
+          return false;
+        }
+        return true;
+      },
+      Error);
 }
 
 bool NetClient::annotate(const net::AnnotateRequestBody &Req,
                          net::AnnotateResponseBody &Out,
                          net::WireStatus &Status, std::string *Error) {
-  net::ResponseHeader Header;
-  std::vector<char> Body;
-  if (!roundTrip(Verb::Annotate, net::encodeAnnotateRequest(Req), Header,
-                 Body, Error))
-    return false;
-  Status = Header.Status;
-  if (Status != WireStatus::Ok)
-    return true; // Protocol-level rejection; cause in statusMessage().
-  if (!net::decodeAnnotateResponse(Body.data(), Body.size(), Out)) {
-    if (Error)
-      *Error = "malformed annotate response body";
-    return false;
-  }
-  return true;
+  const std::vector<char> Frame = net::encodeAnnotateRequest(Req);
+  return withRetries(
+      [&](std::string *E) {
+        if (!ensureConnected(E))
+          return false;
+        net::ResponseHeader Header;
+        std::vector<char> Body;
+        if (!roundTrip(Verb::Annotate, Frame, Header, Body, E))
+          return false;
+        Status = Header.Status;
+        if (Status != WireStatus::Ok)
+          return true; // Rejection: the server's load signal, not ours to
+                       // retry. Cause in statusMessage().
+        if (!net::decodeAnnotateResponse(Body.data(), Body.size(), Out)) {
+          Sock.reset();
+          if (E)
+            *E = "malformed annotate response body";
+          return false;
+        }
+        return true;
+      },
+      Error);
 }
 
 bool NetClient::statsz(std::string &Json, std::string *Error) {
-  net::ResponseHeader Header;
-  std::vector<char> Body;
-  if (!roundTrip(Verb::Statsz, net::encodeStatszRequest(), Header, Body,
-                 Error))
-    return false;
-  if (Header.Status != WireStatus::Ok) {
-    if (Error)
-      *Error = std::string("statsz: ") + net::statusName(Header.Status);
-    return false;
-  }
-  if (!net::decodeStringBody(Body.data(), Body.size(), Json)) {
-    if (Error)
-      *Error = "malformed statsz body";
-    return false;
-  }
-  return true;
+  return withRetries(
+      [&](std::string *E) {
+        if (!ensureConnected(E))
+          return false;
+        net::ResponseHeader Header;
+        std::vector<char> Body;
+        if (!roundTrip(Verb::Statsz, net::encodeStatszRequest(), Header, Body,
+                       E))
+          return false;
+        if (Header.Status != WireStatus::Ok) {
+          if (E)
+            *E = std::string("statsz: ") + net::statusName(Header.Status);
+          return false;
+        }
+        if (!net::decodeStringBody(Body.data(), Body.size(), Json)) {
+          Sock.reset();
+          if (E)
+            *E = "malformed statsz body";
+          return false;
+        }
+        return true;
+      },
+      Error);
 }
 
 bool NetClient::reload(const std::string &Path, net::WireStatus &Status,
                        uint64_t *Generation, std::string *Error) {
+  // Only the connect stage is retried: once the frame may have reached
+  // the daemon, a blind resend could apply the reload twice.
+  if (!Sock.valid() && !withRetries(
+                           [&](std::string *E) { return ensureConnected(E); },
+                           Error))
+    return false;
   net::ResponseHeader Header;
   std::vector<char> Body;
   if (!roundTrip(Verb::Reload, net::encodeReloadRequest(Path), Header, Body,
@@ -110,6 +211,7 @@ bool NetClient::reload(const std::string &Path, net::WireStatus &Status,
     return true;
   uint64_t Gen = 0;
   if (!net::decodeReloadOkBody(Body.data(), Body.size(), Gen)) {
+    Sock.reset();
     if (Error)
       *Error = "malformed reload response body";
     return false;

@@ -5,6 +5,7 @@
 #include "nn/Kernels.h"
 #include "serve/AnnotationService.h"
 #include "serve/ModelHost.h"
+#include "support/FaultInjection.h"
 #include "support/Telemetry.h"
 
 #include <cerrno>
@@ -185,6 +186,11 @@ void NetServer::acceptNew() {
 }
 
 bool NetServer::readInput(const ConnPtr &Conn) {
+  // Chaos hook: a fired socket.read fault drops the connection exactly as
+  // a mid-frame peer reset would; the client's retry layer must recover.
+  static fault::FaultPoint &ReadFault = fault::point("socket.read");
+  if (fault::fired(ReadFault))
+    return false;
   char Buf[64 * 1024];
   for (;;) {
     const ssize_t N = ::read(Conn->Fd, Buf, sizeof(Buf));
@@ -313,6 +319,10 @@ void NetServer::handleFrame(const ConnPtr &Conn, Verb V, const char *Body,
 
 void NetServer::runAnnotate(const ConnPtr &Conn, std::vector<char> Body,
                             uint64_t ArrivalMicros) {
+  // Chaos hook: `exec.slow=50ms` stalls executor work here, upstream of
+  // decode, to exercise queue deadlines and client timeouts.
+  static fault::FaultPoint &SlowFault = fault::point("exec.slow");
+  (void)fault::fired(SlowFault);
   net::AnnotateRequestBody Req;
   if (!net::decodeAnnotateRequest(Body.data(), Body.size(), Req)) {
     sendFrame(Conn, net::encodeStringResponse(Verb::Annotate,
@@ -411,10 +421,27 @@ std::string NetServer::buildStatszJson() {
     AccessClasses.field(accessClassName(static_cast<AccessClass>(AC)),
                         S.AccessClasses[AC]);
 
+  std::string Breakers = "[";
+  for (int M = 0; M < NumPredictMethods; ++M) {
+    const CircuitBreaker &Breaker =
+        Service.breaker(static_cast<PredictMethod>(M));
+    JsonLine Row;
+    Row.field("method", methodName(static_cast<PredictMethod>(M)))
+        .field("state", CircuitBreaker::stateName(Breaker.state()))
+        .field("failures", Breaker.failures())
+        .field("opens", Breaker.opens());
+    if (M != 0)
+      Breakers += ",";
+    Breakers += Row.str();
+  }
+  Breakers += "]";
+
   JsonLine Serve;
   Serve.field("batches", S.BatchesServed)
       .field("programs", S.ProgramsServed)
       .field("rejected", S.ProgramsRejected)
+      .field("degraded_requests", S.DegradedRequests)
+      .field("predict_failures", S.PredictFailures)
       .field("loops", S.LoopsServed)
       .field("cache_hits", S.CacheHits)
       .field("dedup_hits", S.DedupHits)
@@ -428,13 +455,18 @@ std::string NetServer::buildStatszJson() {
       .field("plans_clamped", S.PlansClamped)
       .field("legality_us", S.LegalityMicros)
       .raw("access_classes", AccessClasses.str())
-      .raw("methods", Methods);
+      .raw("methods", Methods)
+      .raw("breakers", Breakers);
 
   JsonLine Root;
   Root.field("generation", Host.generation())
       .raw("server", Server.str())
       .raw("serve", Serve.str())
       .raw("telemetry", Telemetry::snapshotJson());
+  // Armed fault points show their hit/fired counts so a chaos run can
+  // verify its faults actually exercised the paths under test.
+  if (fault::FaultRegistry::instance().armed())
+    Root.raw("faults", fault::FaultRegistry::instance().statusJson());
   return Root.str();
 }
 
@@ -453,11 +485,17 @@ void NetServer::sendFrame(const ConnPtr &Conn, std::vector<char> Frame) {
 }
 
 bool NetServer::flushOut(const ConnPtr &Conn) {
+  static fault::FaultPoint &WriteFault = fault::point("socket.write");
   std::lock_guard<std::mutex> Lock(Conn->OutMutex);
   while (Conn->Out.size() > Conn->OutStart) {
+    if (fault::fired(WriteFault))
+      return false; // Injected mid-response connection loss.
+    // MSG_NOSIGNAL: a half-closed peer must surface as EPIPE, not tear
+    // the daemon down with SIGPIPE (nv_serverd also SIG_IGNs it for the
+    // raw ::write paths; this keeps the library safe on its own).
     const ssize_t N =
-        ::write(Conn->Fd, Conn->Out.data() + Conn->OutStart,
-                Conn->Out.size() - Conn->OutStart);
+        ::send(Conn->Fd, Conn->Out.data() + Conn->OutStart,
+               Conn->Out.size() - Conn->OutStart, MSG_NOSIGNAL);
     if (N > 0) {
       Conn->OutStart += static_cast<size_t>(N);
       continue;

@@ -206,7 +206,10 @@ net::encodeAnnotateResponse(uint64_t Generation,
   wire::appendValue(B, Generation);
   wire::appendValue(B, static_cast<uint32_t>(Results.size()));
   for (const AnnotationResult &R : Results) {
-    wire::appendValue(B, static_cast<uint8_t>(R.Ok ? 1 : 0));
+    // Per-result status byte: 0 error, 1 ok, 2 ok-degraded (fallback
+    // ladder answered — see the DEGRADED contract in Protocol.h).
+    wire::appendValue(
+        B, static_cast<uint8_t>(!R.Ok ? 0 : (R.Degraded ? 2 : 1)));
     wire::appendValue(B, static_cast<uint8_t>(R.Method));
     appendString32(B, R.Name);
     if (!R.Ok) {
@@ -242,9 +245,10 @@ bool net::decodeAnnotateResponse(const char *Body, size_t Size,
     if (!wire::readValue(Body, Size, Offset, Ok) ||
         !wire::readValue(Body, Size, Offset, Method))
       return false;
-    if (Ok > 1 || Method >= NumPredictMethods)
+    if (Ok > 2 || Method >= NumPredictMethods)
       return false;
     R.Ok = Ok != 0;
+    R.Degraded = Ok == 2;
     R.Method = static_cast<PredictMethod>(Method);
     if (!readString32(Body, Size, Offset, R.Name))
       return false;

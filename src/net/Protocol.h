@@ -29,6 +29,15 @@
 /// budget. BAD_REQUEST/PARSE_ERROR are frame- and body-level malformed
 /// input. Error bodies carry `u32 len | message`.
 ///
+/// DEGRADED contract: inside an Ok annotate response, each result leads
+/// with a status byte — 0 error, 1 ok, 2 ok-degraded. Degraded means the
+/// requested predictor backend was unavailable (unfitted, failing, or
+/// circuit-broken) and the plans came from a lower rung of the fallback
+/// ladder (RL → tree → baseline cost model → identity). The plans are
+/// still legal and usable; the flag tells the client the quality tier
+/// dropped so it can re-request later or route elsewhere. The `Method`
+/// byte in a degraded result names the backend that actually answered.
+///
 /// Multi-byte integers are host-endian (the daemon serves loopback /
 /// same-arch fleets; both reference clients — net/Client.h and
 /// tools/nv_client.py — match). All lengths are validated against the
@@ -120,6 +129,7 @@ struct AnnotateRequestBody {
 struct WireResult {
   std::string Name;
   bool Ok = false;
+  bool Degraded = false; ///< Ok, but from a fallback-ladder backend.
   PredictMethod Method = PredictMethod::RL;
   uint32_t CachedSites = 0;
   std::vector<VectorPlan> Plans;

@@ -27,6 +27,25 @@ size_t roundUpPow2(size_t Value) {
   return P;
 }
 
+/// The next rung down the degradation ladder: learned methods degrade
+/// toward the stock cost model. Baseline is the last model-backed rung —
+/// it returns itself, which stops the walk and lets the identity floor
+/// answer.
+PredictMethod fallbackRung(PredictMethod M) {
+  switch (M) {
+  case PredictMethod::RL:
+  case PredictMethod::NNS:
+    return PredictMethod::DecisionTree;
+  case PredictMethod::DecisionTree:
+  case PredictMethod::Random:
+  case PredictMethod::BruteForce:
+    return PredictMethod::Baseline;
+  case PredictMethod::Baseline:
+    return PredictMethod::Baseline;
+  }
+  return PredictMethod::Baseline;
+}
+
 } // namespace
 
 PlanCache::PlanCache(size_t Capacity, int Shards) {
@@ -144,6 +163,7 @@ AnnotationService::AnnotationService(Code2Vec &Embedder,
       Cache(Config.CacheCapacity, Config.CacheShards),
       InnerContext(Config.InnerContextOnly) {
   initTelemetry();
+  initResilience();
 }
 
 AnnotationService::AnnotationService(Code2Vec &Embedder, Policy &Pol,
@@ -159,6 +179,7 @@ AnnotationService::AnnotationService(Code2Vec &Embedder, Policy &Pol,
   OwnedBackends->set(PredictMethod::RL,
                      std::make_unique<PolicyBackend>(Pol, TI));
   initTelemetry();
+  initResilience();
 }
 
 AnnotationService::AnnotationService(ModelHost &Host,
@@ -170,12 +191,23 @@ AnnotationService::AnnotationService(ModelHost &Host,
       Cache(Config.CacheCapacity, Config.CacheShards),
       InnerContext(Config.InnerContextOnly) {
   initTelemetry();
+  initResilience();
+}
+
+void AnnotationService::initResilience() {
+  for (int M = 0; M < NumPredictMethods; ++M) {
+    Breakers[M].configure(Config.BreakerFailureThreshold,
+                          Config.BreakerCooldownMicros);
+    PredictFault[M] = &fault::point(std::string("serve.predict.") +
+                                    methodName(static_cast<PredictMethod>(M)));
+  }
 }
 
 void AnnotationService::initTelemetry() {
   if (!Config.Telemetry)
     return;
   MetricsRegistry &M = Telemetry::metrics();
+  DegradedCounter = &M.counter("serve.degraded_requests");
   RequestUs = &M.histogram("serve.request_us");
   BatchUs = &M.histogram("serve.batch_us");
   ParseUs = &M.histogram("serve.parse_us");
@@ -215,8 +247,9 @@ struct WorkItem {
   std::vector<ContextKey> Keys;         ///< Per site.
   std::vector<uint8_t> SiteDone; ///< Answered by the cache in phase 1.
   PredictMethod Method = PredictMethod::RL; ///< Resolved backend.
-  Predictor *Backend = nullptr;
+  Predictor *Backend = nullptr; ///< Null after resolution = identity floor.
   bool NeedsSearch = false; ///< Source-kind backend, cache missed.
+  bool Degraded = false;    ///< Answered below the requested rung.
 
   ContextSpan siteContexts(size_t S) const {
     return {ContextData.data() + ContextBegin[S],
@@ -288,17 +321,51 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
     Res.Generation = Epoch;
     Item.Method = Req.Method.value_or(Default);
     Res.Method = Item.Method;
-    Item.Backend = B->get(Item.Method);
-    if (!Item.Backend) {
+    // An unregistered method is a configuration bug, not a transient
+    // fault — it stays a hard error even with the fallback ladder on.
+    if (!B->get(Item.Method)) {
       Res.Error = std::string("no backend registered for method '") +
                   methodName(Item.Method) + "'";
       return;
     }
-    if (!Item.Backend->ready()) {
-      Res.Error = std::string("backend '") + methodName(Item.Method) +
-                  "' is not fitted (distill the model first)";
-      Item.Backend = nullptr;
+    // Walk the degradation ladder until a rung is fitted and its circuit
+    // breaker admits the request. The requested method is rung zero, so a
+    // healthy backend resolves to itself with one breaker check.
+    const uint64_t ResolveNow = nowMicros();
+    PredictMethod Rung = Item.Method;
+    for (;;) {
+      Predictor *Cand = B->get(Rung);
+      if (Cand && Cand->ready() &&
+          Breakers[static_cast<size_t>(Rung)].allow(ResolveNow)) {
+        Item.Backend = Cand;
+        break;
+      }
+      const PredictMethod Next = fallbackRung(Rung);
+      if (!Config.Fallback || Next == Rung)
+        break;
+      Rung = Next;
+    }
+    if (!Item.Backend && !Config.Fallback) {
+      // Strict contract: report why the requested backend refused.
+      if (!B->get(Item.Method)->ready())
+        Res.Error = std::string("backend '") + methodName(Item.Method) +
+                    "' is not fitted (distill the model first)";
+      else
+        Res.Error = std::string("backend '") + methodName(Item.Method) +
+                    "' is unavailable (circuit breaker open)";
       return;
+    }
+    if (Rung != Item.Method || !Item.Backend) {
+      // A fallback rung (or the identity floor) answers. Re-keying the
+      // request under the answering method keeps caching exact — from
+      // here on it is indistinguishable from an explicit request for
+      // that rung, except for the Degraded flag.
+      Item.Degraded = true;
+      Res.Degraded = true;
+      if (Item.Backend) {
+        Item.Method = Rung;
+        Res.Method = Rung;
+      }
     }
     const uint64_t ParseStart = nowMicros();
     std::string ParseError;
@@ -328,6 +395,16 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
     if (Item.Sites.empty()) {
       Item.Prog.reset();
       Res.Error = "no vectorizable loops";
+      return;
+    }
+
+    if (!Item.Backend) {
+      // Identity floor: every rung refused. Serve VF=1/IF=1 for every
+      // site — always legal, no model, no embedding, no cache — instead
+      // of failing the request. Phase 3 renders it like any other.
+      Delta.forMethod(Item.Method).Loops += Item.Sites.size();
+      Res.Plans.assign(Item.Sites.size(), VectorPlan{});
+      Res.Legality.assign(Item.Sites.size(), LegalityDigest());
       return;
     }
 
@@ -460,7 +537,7 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
 
     for (size_t I = 0; I < N; ++I) {
       WorkItem &Item = Items[I];
-      if (!Item.Prog)
+      if (!Item.Prog || !Item.Backend) // Rejected or identity floor.
         continue;
       if (Item.Backend->kind() == Predictor::Kind::Source) {
         if (Item.NeedsSearch)
@@ -504,6 +581,8 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
         TB->record("serve.embed", EmbedStart, EmbedTime, BatchId);
 
       std::vector<VectorPlan> RowPlans(MissContexts.size());
+      std::vector<uint8_t> RowDegraded(MissContexts.size(), 0);
+      std::vector<uint8_t> RowFailed(MissContexts.size(), 0);
       std::vector<size_t> MethodRows[NumPredictMethods];
       for (size_t Row = 0; Row < RowMethods.size(); ++Row)
         MethodRows[static_cast<size_t>(RowMethods[Row])].push_back(Row);
@@ -511,11 +590,11 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
       Matrix Sub;
       Matrix WideBuf;
       std::vector<LegalityDigest> SubDigests;
-      for (int M = 0; M < NumPredictMethods; ++M) {
-        const std::vector<size_t> &Rows = MethodRows[M];
-        if (Rows.empty())
-          continue;
-        Predictor *P = B->get(static_cast<PredictMethod>(M));
+      // One guarded predict of \p Rows on \p P (the backend for \p M):
+      // fault hooks and exceptions become a breaker failure instead of
+      // tearing down the batch. True = RowPlans filled for those rows.
+      auto predictRows = [&](Predictor *P, PredictMethod M,
+                             const std::vector<size_t> &Rows) -> bool {
         const Matrix *States = &StatesBuf;
         const LegalityDigest *Digests = RowDigests.data();
         if (Rows.size() != MissContexts.size()) {
@@ -537,19 +616,75 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
         States = &widenStates(*States, P->wantsCols(), Digests, Rows.size(),
                               TI, WideBuf);
         const uint64_t PredictStart = nowMicros();
-        const std::vector<VectorPlan> Plans =
-            P->plansForEmbeddings(*States, &Pool);
+        bool Failed = fault::fired(*PredictFault[static_cast<size_t>(M)]);
+        std::vector<VectorPlan> Plans;
+        if (!Failed) {
+          try {
+            Plans = P->plansForEmbeddings(*States, &Pool);
+          } catch (const std::exception &) {
+            Failed = true;
+          }
+        }
         const uint64_t PredictTime = nowMicros() - PredictStart;
-        Delta.forMethod(static_cast<PredictMethod>(M)).PredictMicros +=
-            PredictTime;
+        Delta.forMethod(M).PredictMicros += PredictTime;
         if (PredictUs)
           PredictUs->record(PredictTime);
         if (TB)
           TB->record("serve.predict", PredictStart, PredictTime, BatchId);
+        CircuitBreaker &Breaker = Breakers[static_cast<size_t>(M)];
+        if (Failed || Plans.size() != Rows.size()) {
+          ++Delta.PredictFailures;
+          Breaker.recordFailure(nowMicros());
+          return false;
+        }
+        if (Config.PredictTimeoutMicros > 0 &&
+            PredictTime > Config.PredictTimeoutMicros)
+          // A late answer is still used — it was merely slow — but it
+          // counts against the breaker so a degrading backend trips out.
+          Breaker.recordFailure(nowMicros());
+        else
+          Breaker.recordSuccess();
         ++Delta.ForwardPasses;
         Delta.LoopsPerForward += Rows.size();
         for (size_t R = 0; R < Rows.size(); ++R)
           RowPlans[Rows[R]] = Plans[R];
+        return true;
+      };
+
+      for (int M = 0; M < NumPredictMethods; ++M) {
+        const std::vector<size_t> &Rows = MethodRows[M];
+        if (Rows.empty())
+          continue;
+        // A backend can start failing mid-flight (injected fault, a bad
+        // generation) after phase 1 resolved to it; its rows retry down
+        // the embedding rungs of the same ladder rather than failing the
+        // requests. Rows answered below their keyed rung are flagged
+        // degraded and never cached — their key names the failed method.
+        bool Answered = false;
+        for (PredictMethod Rung = static_cast<PredictMethod>(M);;) {
+          Predictor *P = B->get(Rung);
+          if (P && P->ready() && P->kind() == Predictor::Kind::Embedding &&
+              predictRows(P, Rung, Rows)) {
+            Answered = true;
+            if (Rung != static_cast<PredictMethod>(M))
+              for (size_t Row : Rows)
+                RowDegraded[Row] = 1;
+            break;
+          }
+          const PredictMethod Next = fallbackRung(Rung);
+          if (!Config.Fallback || Next == Rung)
+            break;
+          Rung = Next;
+        }
+        if (!Answered)
+          for (size_t Row : Rows) {
+            // Ladder on: the rows keep their identity-plan default
+            // (floor). Strict mode: the owning requests error out below.
+            if (Config.Fallback)
+              RowDegraded[Row] = 1;
+            else
+              RowFailed[Row] = 1;
+          }
       }
 
       // Legality clamp: no prediction leaves phase 2 wider than its
@@ -563,10 +698,29 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
         RowPlans[Row] = Legal;
       }
 
-      for (const PendingSite &P : Pending)
+      for (const PendingSite &P : Pending) {
+        if (RowFailed[P.BatchRow]) {
+          // Strict mode: one unanswerable site fails its whole request.
+          AnnotationResult &Res = Results[P.Request];
+          if (Res.Error.empty())
+            Res.Error = std::string("backend '") +
+                        methodName(Items[P.Request].Method) +
+                        "' predict failed";
+          Items[P.Request].Prog.reset();
+          continue;
+        }
+        if (RowDegraded[P.BatchRow]) {
+          Items[P.Request].Degraded = true;
+          Results[P.Request].Degraded = true;
+        }
         Results[P.Request].Plans[P.Site] = RowPlans[P.BatchRow];
+      }
+      // Degraded rows are keyed under the method that failed but answered
+      // by another rung (or the floor) — caching them would serve fallback
+      // plans as that backend's after it recovers, so they stay out.
       for (const auto &[Key, Row] : RowByKey)
-        Cache.insert(Key, RowPlans[Row], Epoch, RowDigests[Row]);
+        if (!RowDegraded[Row] && !RowFailed[Row])
+          Cache.insert(Key, RowPlans[Row], Epoch, RowDigests[Row]);
     }
   }
 
@@ -576,17 +730,44 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
       const size_t I = SourceMisses[K];
       WorkItem &Item = Items[I];
       MethodCounters &MC = Delta.forMethod(Item.Method);
+      CircuitBreaker &Breaker = Breakers[static_cast<size_t>(Item.Method)];
       const uint64_t PredictStart = nowMicros();
-      std::vector<VectorPlan> Plans =
-          Item.Backend->plansForSource(Requests[I].Source);
+      bool Failed =
+          fault::fired(*PredictFault[static_cast<size_t>(Item.Method)]);
+      std::vector<VectorPlan> Plans;
+      if (!Failed) {
+        try {
+          Plans = Item.Backend->plansForSource(Requests[I].Source);
+        } catch (const std::exception &) {
+          Failed = true;
+        }
+      }
       const uint64_t PredictTime = nowMicros() - PredictStart;
       MC.PredictMicros += PredictTime;
       if (PredictUs)
         PredictUs->record(PredictTime);
       if (TB)
         TB->record("serve.predict", PredictStart, PredictTime, BatchId);
-      assert(Plans.size() == Item.Sites.size() &&
-             "backend and phase 1 disagree on site count");
+      if (Failed || Plans.size() != Item.Sites.size()) {
+        ++Delta.PredictFailures;
+        Breaker.recordFailure(nowMicros());
+        if (!Config.Fallback) {
+          Results[I].Error = std::string("backend '") +
+                             methodName(Item.Method) + "' predict failed";
+          Item.Prog.reset();
+          return;
+        }
+        // A failed search floors to the identity plans phase 1 left in
+        // Res.Plans; the request still renders, flagged degraded.
+        Item.Degraded = true;
+        Results[I].Degraded = true;
+        return;
+      }
+      if (Config.PredictTimeoutMicros > 0 &&
+          PredictTime > Config.PredictTimeoutMicros)
+        Breaker.recordFailure(nowMicros());
+      else
+        Breaker.recordSuccess();
       MC.Misses += Plans.size();
       Delta.CacheMisses += Plans.size();
       // Search backends explore the simulator's (clamped) plan space, so
@@ -631,14 +812,20 @@ std::vector<AnnotationResult> AnnotationService::annotateBatch(
 
   // --- Bookkeeping ---------------------------------------------------------
   ++Delta.BatchesServed;
+  uint64_t DegradedCount = 0;
   for (const AnnotationResult &Res : Results) {
     if (Res.Ok) {
       ++Delta.ProgramsServed;
       Delta.LoopsServed += Res.Plans.size();
+      if (Res.Degraded)
+        ++DegradedCount;
     } else {
       ++Delta.ProgramsRejected;
     }
   }
+  Delta.DegradedRequests += DegradedCount;
+  if (DegradedCounter && DegradedCount)
+    DegradedCounter->add(DegradedCount);
   const uint64_t BatchTime = nowMicros() - BatchStart;
   Delta.TotalMicros += BatchTime;
   // Publish the whole batch at once; snapshot() readers see it

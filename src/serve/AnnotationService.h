@@ -36,6 +36,16 @@
 /// (ServeConfig::DefaultMethod otherwise); the method is part of the plan
 /// cache key, so backends never answer for each other.
 ///
+/// Degradation ladder (fault-hardening pass): when the requested backend
+/// is unavailable — unfitted, failing, or circuit-broken — and
+/// ServeConfig::Fallback is on, the request walks down RL → decision
+/// tree → baseline cost model → identity plans instead of erroring, and
+/// the result is flagged Degraded. Each backend has a CircuitBreaker fed
+/// by predict failures/timeouts, so a broken backend is skipped at
+/// resolution time instead of failing every request for a cooldown. An
+/// *unregistered* method stays a hard error (that is a configuration
+/// bug, not a transient fault).
+///
 /// Path contexts are extracted with the same inner/outer-loop selection
 /// the training environment used (ServeConfig::InnerContextOnly, mirrored
 /// from VectorizationEnv and persisted in the model file) — serving a
@@ -55,7 +65,9 @@
 #include "ir/Legality.h"
 #include "predictors/Predictor.h"
 #include "rl/Policy.h"
+#include "serve/CircuitBreaker.h"
 #include "serve/ServeStats.h"
+#include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 #include "target/TargetInfo.h"
 
@@ -72,6 +84,7 @@
 
 namespace nv {
 
+class Counter;
 class ModelHost;
 class ServingModel;
 class ShardedHistogram;
@@ -109,6 +122,20 @@ struct ServeConfig {
   /// recording is a few relaxed atomic adds per phase; spans cost
   /// nothing until Telemetry::trace().setSampleEvery() enables them.
   bool Telemetry = true;
+  /// Degradation ladder: when the requested backend is unavailable
+  /// (unfitted, circuit-broken, or failing mid-predict), answer from the
+  /// next rung down (RL → tree → baseline → identity plans) with the
+  /// result flagged Degraded, instead of erroring. Off restores the
+  /// strict contract: unavailable backend → per-request error.
+  bool Fallback = true;
+  /// Consecutive predict failures that trip a backend's circuit breaker.
+  int BreakerFailureThreshold = 3;
+  /// How long a tripped breaker refuses the backend before letting
+  /// probe requests through again.
+  uint64_t BreakerCooldownMicros = 5'000'000;
+  /// When > 0, a predict call slower than this counts as a breaker
+  /// failure (the result is still used — it was merely late). 0 = off.
+  uint64_t PredictTimeoutMicros = 0;
 };
 
 /// One program to annotate.
@@ -123,6 +150,11 @@ struct AnnotationRequest {
 struct AnnotationResult {
   std::string Name;
   bool Ok = false;
+  /// Ok, but answered by a fallback-ladder backend (or the identity
+  /// floor) because the requested one was unavailable; Method then names
+  /// the rung that actually answered (or the requested method when the
+  /// floor answered). See the DEGRADED contract in net/Protocol.h.
+  bool Degraded = false;
   std::string Error;    ///< Parse error / "no loops" when !Ok.
   std::string Annotated; ///< Source with pragmas injected.
   std::vector<VectorPlan> Plans; ///< One per vectorization site.
@@ -305,6 +337,15 @@ public:
 
   PredictMethod defaultMethod() const { return Config.DefaultMethod; }
 
+  /// The per-backend circuit breaker (tests force/inspect states; the
+  /// statsz endpoint renders them).
+  CircuitBreaker &breaker(PredictMethod M) {
+    return Breakers[static_cast<size_t>(M)];
+  }
+  const CircuitBreaker &breaker(PredictMethod M) const {
+    return Breakers[static_cast<size_t>(M)];
+  }
+
 private:
   ModelHost *Host = nullptr; ///< Hosted mode: model acquired per batch.
   Code2Vec *Embedder;        ///< Borrowed mode (null when hosted).
@@ -332,11 +373,23 @@ private:
   ShardedHistogram *EmbedUs = nullptr;       ///< serve.embed_us
   ShardedHistogram *PredictUs = nullptr;     ///< serve.predict_us
   ShardedHistogram *RenderUs = nullptr;      ///< serve.render_us
+  Counter *DegradedCounter = nullptr; ///< serve.degraded_requests
   std::atomic<uint64_t> NextBatchId{1}; ///< Trace-span correlation ids.
+
+  /// One breaker per backend, parameterized from Config at construction.
+  CircuitBreaker Breakers[NumPredictMethods];
+  /// Fault points `serve.predict.<method>`, resolved once (chaos suite
+  /// forces a backend to fail without touching the model).
+  fault::FaultPoint *PredictFault[NumPredictMethods] = {};
 
   /// Resolves the histogram pointers above and attaches the pool's
   /// queue metrics; no-op when Config.Telemetry is false.
   void initTelemetry();
+
+  /// Parameterizes the per-backend circuit breakers from Config and
+  /// resolves the serve.predict.* fault points (runs in every ctor,
+  /// independent of the telemetry flag).
+  void initResilience();
 };
 
 } // namespace nv

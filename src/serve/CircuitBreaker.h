@@ -1,0 +1,127 @@
+//===- serve/CircuitBreaker.h - Per-backend failure breaker -----*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A classic three-state circuit breaker, one per predictor backend: a
+/// backend that keeps failing (exceptions, injected faults, predict
+/// timeouts) is taken out of the serving rotation for a cooldown instead
+/// of burning every request on it, and the fallback ladder answers in
+/// its place.
+///
+///   Closed    normal operation; consecutive failures count up, any
+///             success resets the count. Threshold failures → Open.
+///   Open      allow() refuses (phase-1 resolution walks the ladder past
+///             this backend) until the cooldown elapses → HalfOpen.
+///   HalfOpen  requests flow again as probes: the first success closes
+///             the breaker, a failure re-opens it for another cooldown.
+///
+/// Transitions take a tiny mutex; allow() is called once per request per
+/// resolution, so contention is negligible next to the parse that
+/// follows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SERVE_CIRCUITBREAKER_H
+#define NV_SERVE_CIRCUITBREAKER_H
+
+#include <cstdint>
+#include <mutex>
+
+namespace nv {
+
+/// Consecutive-failure circuit breaker. Timestamps are caller-supplied
+/// monotonic microseconds (support/TraceBuffer.h nowMicros()), which
+/// keeps the class clock-free and the tests instant.
+class CircuitBreaker {
+public:
+  enum class State { Closed, Open, HalfOpen };
+
+  CircuitBreaker() = default;
+  CircuitBreaker(int FailureThreshold, uint64_t CooldownMicros)
+      : FailureThreshold(FailureThreshold), CooldownMicros(CooldownMicros) {}
+
+  /// Re-parameterizes the breaker (used at service construction; not
+  /// thread-safe against concurrent allow()).
+  void configure(int Threshold, uint64_t Cooldown) {
+    FailureThreshold = Threshold;
+    CooldownMicros = Cooldown;
+  }
+
+  /// May a request use this backend right now? Open → false until the
+  /// cooldown elapses, at which point the breaker turns HalfOpen and
+  /// probes flow.
+  bool allow(uint64_t NowMicros) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Current == State::Open) {
+      if (NowMicros - OpenedAt < CooldownMicros)
+        return false;
+      Current = State::HalfOpen;
+    }
+    return true;
+  }
+
+  /// A predict on this backend succeeded: close (and forget failures).
+  void recordSuccess() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Consecutive = 0;
+    Current = State::Closed;
+  }
+
+  /// A predict failed (exception, injected fault, or timeout). In
+  /// HalfOpen the probe failed — straight back to Open for another
+  /// cooldown; in Closed, threshold consecutive failures open it.
+  void recordFailure(uint64_t NowMicros) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Failures += 1;
+    Consecutive += 1;
+    if (Current == State::HalfOpen ||
+        (Current == State::Closed &&
+         Consecutive >= static_cast<uint64_t>(FailureThreshold))) {
+      Current = State::Open;
+      OpenedAt = NowMicros;
+      Opens += 1;
+    }
+  }
+
+  State state() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Current;
+  }
+  uint64_t failures() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Failures;
+  }
+  uint64_t opens() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Opens;
+  }
+
+  static const char *stateName(State S) {
+    switch (S) {
+    case State::Closed:
+      return "closed";
+    case State::Open:
+      return "open";
+    case State::HalfOpen:
+      return "half_open";
+    }
+    return "unknown";
+  }
+
+private:
+  mutable std::mutex Mutex;
+  State Current = State::Closed;
+  int FailureThreshold = 3;
+  uint64_t CooldownMicros = 5'000'000;
+  uint64_t Consecutive = 0; ///< Failures since the last success.
+  uint64_t Failures = 0;    ///< Lifetime failures.
+  uint64_t Opens = 0;       ///< Times the breaker tripped open.
+  uint64_t OpenedAt = 0;    ///< When it last tripped.
+};
+
+} // namespace nv
+
+#endif // NV_SERVE_CIRCUITBREAKER_H

@@ -3,6 +3,7 @@
 #include "serve/ModelHost.h"
 
 #include "predictors/Backends.h"
+#include "support/FaultInjection.h"
 
 using namespace nv;
 
@@ -54,6 +55,15 @@ std::shared_ptr<const ServingModel> ModelHost::current() const {
 }
 
 LoadStatus ModelHost::reload(const std::string &Path, std::string *Error) {
+  // Chaos hook: the suite proves a failed reload leaves the published
+  // generation serving (and the daemon maps the failure to a clean
+  // RELOAD_FAILED) without needing an actually-corrupt model file.
+  static fault::FaultPoint &FP = fault::point("model.reload");
+  if (fault::fired(FP)) {
+    if (Error)
+      *Error = "fault injected: model.reload";
+    return LoadStatus::OpenFailed;
+  }
   // Build + validate entirely off to the side. Readers keep serving the
   // published generation; only the final pointer flip is visible to them.
   auto Fresh = std::make_shared<ServingModel>(Config);

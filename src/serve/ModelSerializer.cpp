@@ -39,10 +39,10 @@ uint64_t ModelSerializer::checksum(const void *Data, size_t Size) {
   return Hash;
 }
 
-bool ModelSerializer::save(const std::string &Path, Code2Vec &Embedder,
-                           Policy &Pol, const ModelMeta &Meta,
-                           const SupervisedBundle &Supervised,
-                           std::string *Error) {
+SaveStatus ModelSerializer::trySave(const std::string &Path, Code2Vec &Embedder,
+                                    Policy &Pol, const ModelMeta &Meta,
+                                    const SupervisedBundle &Supervised,
+                                    std::string *Error) {
   std::vector<Param *> Params = allParams(Embedder, Pol);
 
   uint32_t Flags = 0;
@@ -93,18 +93,11 @@ bool ModelSerializer::save(const std::string &Path, Code2Vec &Embedder,
 
   wire::appendValue(Buffer, checksum(Buffer.data(), Buffer.size()));
 
-  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
-  if (!Out) {
-    setError(Error, "cannot open '" + Path + "' for writing");
-    return false;
-  }
-  Out.write(Buffer.data(), static_cast<std::streamsize>(Buffer.size()));
-  Out.flush();
-  if (!Out) {
-    setError(Error, "short write to '" + Path + "'");
-    return false;
-  }
-  return true;
+  std::string IoError;
+  SaveStatus St = atomicWriteFile(Path, Buffer.data(), Buffer.size(), &IoError);
+  if (St != SaveStatus::Ok)
+    setError(Error, "save '" + Path + "': " + IoError);
+  return St;
 }
 
 const char *nv::loadStatusName(LoadStatus Status) {

@@ -55,6 +55,7 @@
 
 #include "embedding/Code2Vec.h"
 #include "rl/Policy.h"
+#include "support/AtomicFile.h"
 
 #include <cstdint>
 #include <string>
@@ -120,10 +121,23 @@ public:
 
   /// Writes \p Embedder and \p Pol (with \p Meta in the header and the
   /// non-null fitted members of \p Supervised as sections) to \p Path.
-  /// Returns false (and sets \p Error) on I/O failure.
+  /// Crash-safe since the fault-hardening pass: the bytes go to a temp
+  /// file that is fsynced and renamed over \p Path (support/AtomicFile.h),
+  /// so a crash mid-save never destroys the previous model. Returns a
+  /// machine-readable SaveStatus mirroring tryLoad's LoadStatus — the
+  /// snapshot CLI and the reload RPC surface saveStatusName() of it.
+  static SaveStatus trySave(const std::string &Path, Code2Vec &Embedder,
+                            Policy &Pol, const ModelMeta &Meta,
+                            const SupervisedBundle &Supervised,
+                            std::string *Error = nullptr);
+
+  /// Bool wrapper over trySave (historic signature).
   static bool save(const std::string &Path, Code2Vec &Embedder, Policy &Pol,
                    const ModelMeta &Meta, const SupervisedBundle &Supervised,
-                   std::string *Error = nullptr);
+                   std::string *Error = nullptr) {
+    return trySave(Path, Embedder, Pol, Meta, Supervised, Error) ==
+           SaveStatus::Ok;
+  }
 
   /// Weights-only overload (no backend sections).
   static bool save(const std::string &Path, Code2Vec &Embedder, Policy &Pol,

@@ -25,6 +25,8 @@ void ServeStats::addBatch(const ServeStats &Delta) {
   BatchesServed += Delta.BatchesServed.load();
   ProgramsServed += Delta.ProgramsServed.load();
   ProgramsRejected += Delta.ProgramsRejected.load();
+  DegradedRequests += Delta.DegradedRequests.load();
+  PredictFailures += Delta.PredictFailures.load();
   LoopsServed += Delta.LoopsServed.load();
   CacheHits += Delta.CacheHits.load();
   DedupHits += Delta.DedupHits.load();
@@ -60,6 +62,8 @@ ServeSnapshot ServeStats::snapshot() const {
   S.BatchesServed = BatchesServed.load();
   S.ProgramsServed = ProgramsServed.load();
   S.ProgramsRejected = ProgramsRejected.load();
+  S.DegradedRequests = DegradedRequests.load();
+  S.PredictFailures = PredictFailures.load();
   S.LoopsServed = LoopsServed.load();
   S.CacheHits = CacheHits.load();
   S.DedupHits = DedupHits.load();
@@ -95,6 +99,8 @@ void ServeStats::reset() {
   BatchesServed = 0;
   ProgramsServed = 0;
   ProgramsRejected = 0;
+  DegradedRequests = 0;
+  PredictFailures = 0;
   LoopsServed = 0;
   CacheHits = 0;
   DedupHits = 0;
@@ -130,6 +136,8 @@ Table ServeStats::toTable() const {
   T.addRow({"kernel isa", kernelIsaName(kernelIsa())});
   AddCount("programs served", S.ProgramsServed);
   AddCount("programs rejected", S.ProgramsRejected);
+  AddCount("degraded requests", S.DegradedRequests);
+  AddCount("predict failures", S.PredictFailures);
   AddCount("loops served", S.LoopsServed);
   AddCount("cache hits", S.CacheHits);
   AddCount("dedup hits", S.DedupHits);

@@ -72,6 +72,8 @@ struct ServeSnapshot {
   uint64_t BatchesServed = 0;
   uint64_t ProgramsServed = 0;
   uint64_t ProgramsRejected = 0;
+  uint64_t DegradedRequests = 0; ///< Ok, but via the fallback ladder.
+  uint64_t PredictFailures = 0;  ///< Backend predict calls that failed.
   uint64_t LoopsServed = 0;
   uint64_t CacheHits = 0;
   uint64_t DedupHits = 0;
@@ -110,6 +112,12 @@ public:
   std::atomic<uint64_t> BatchesServed{0};
   std::atomic<uint64_t> ProgramsServed{0}; ///< Successfully annotated.
   std::atomic<uint64_t> ProgramsRejected{0}; ///< Parse failures / no loops.
+  /// Requests answered Ok but by a fallback-ladder backend (or the
+  /// identity floor) because the requested backend was unavailable.
+  std::atomic<uint64_t> DegradedRequests{0};
+  /// Backend predict calls that threw or were fault-injected (each one
+  /// also feeds that backend's circuit breaker).
+  std::atomic<uint64_t> PredictFailures{0};
   std::atomic<uint64_t> LoopsServed{0};
   std::atomic<uint64_t> CacheHits{0};
   std::atomic<uint64_t> DedupHits{0}; ///< Served by intra-batch dedup.

@@ -1,0 +1,147 @@
+//===- support/AtomicFile.cpp - Crash-safe atomic file replacement --------===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "AtomicFile.h"
+
+#include "FaultInjection.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace nv {
+
+namespace {
+
+void setError(std::string *Error, const char *Step) {
+  if (Error)
+    *Error = std::string(Step) + ": " + std::strerror(errno);
+}
+
+/// Best-effort fsync of the directory containing \p Path, making the
+/// rename itself durable. Returns false on failure (destination is kept).
+bool syncParentDir(const std::string &Path) {
+  std::size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd < 0)
+    return false;
+  bool Ok = ::fsync(Fd) == 0;
+  ::close(Fd);
+  return Ok;
+}
+
+} // namespace
+
+const char *saveStatusName(SaveStatus S) {
+  switch (S) {
+  case SaveStatus::Ok:
+    return "ok";
+  case SaveStatus::OpenFailed:
+    return "open_failed";
+  case SaveStatus::WriteFailed:
+    return "write_failed";
+  case SaveStatus::SyncFailed:
+    return "sync_failed";
+  case SaveStatus::RenameFailed:
+    return "rename_failed";
+  }
+  return "unknown";
+}
+
+SaveStatus atomicWriteFile(const std::string &Path, const void *Data,
+                           std::size_t Size, std::string *Error) {
+  static fault::FaultPoint &WriteFP = fault::point("file.write");
+  static fault::FaultPoint &FsyncFP = fault::point("file.fsync");
+  static fault::FaultPoint &RenameFP = fault::point("file.rename");
+
+  // Suffix with the pid so concurrent savers of the same path cannot
+  // clobber each other's temp file; last rename wins on the destination.
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0) {
+    setError(Error, "open temp");
+    return SaveStatus::OpenFailed;
+  }
+
+  auto fail = [&](SaveStatus St) {
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return St;
+  };
+
+  // Chunked body writes: the per-chunk fault check is what lets an armed
+  // `file.write=abort@N` tear the temp file part-way through a real
+  // multi-chunk payload instead of before byte 0.
+  constexpr std::size_t Chunk = 256u * 1024u;
+  const char *P = static_cast<const char *>(Data);
+  std::size_t Left = Size;
+  do {
+    if (fault::fired(WriteFP)) {
+      if (Error)
+        *Error = "write temp: fault injected (file.write)";
+      return fail(SaveStatus::WriteFailed);
+    }
+    std::size_t N = Left < Chunk ? Left : Chunk;
+    std::size_t Done = 0;
+    while (Done < N) {
+      ssize_t W = ::write(Fd, P + Done, N - Done);
+      if (W < 0) {
+        if (errno == EINTR)
+          continue;
+        setError(Error, "write temp");
+        return fail(SaveStatus::WriteFailed);
+      }
+      Done += static_cast<std::size_t>(W);
+    }
+    P += N;
+    Left -= N;
+  } while (Left > 0);
+
+  if (fault::fired(FsyncFP)) {
+    if (Error)
+      *Error = "fsync temp: fault injected (file.fsync)";
+    return fail(SaveStatus::SyncFailed);
+  }
+  if (::fsync(Fd) != 0) {
+    setError(Error, "fsync temp");
+    return fail(SaveStatus::SyncFailed);
+  }
+  if (::close(Fd) != 0) {
+    setError(Error, "close temp");
+    ::unlink(Tmp.c_str());
+    return SaveStatus::SyncFailed;
+  }
+
+  if (fault::fired(RenameFP)) {
+    if (Error)
+      *Error = "rename: fault injected (file.rename)";
+    ::unlink(Tmp.c_str());
+    return SaveStatus::RenameFailed;
+  }
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    setError(Error, "rename");
+    ::unlink(Tmp.c_str());
+    return SaveStatus::RenameFailed;
+  }
+
+  // The data is already safely in place; a directory-sync failure only
+  // risks the rename's durability, so keep the destination but report it.
+  if (!syncParentDir(Path)) {
+    setError(Error, "fsync dir");
+    return SaveStatus::SyncFailed;
+  }
+  return SaveStatus::Ok;
+}
+
+} // namespace nv

@@ -1,0 +1,56 @@
+//===- support/AtomicFile.h - Crash-safe atomic file replacement -*- C++ -*-===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-safe whole-file replacement: write-temp → fsync → rename →
+/// fsync-dir. A crash (or an injected abort) at any step leaves either
+/// the old file intact or the new file complete — never a torn
+/// destination. ModelSerializer and TrainCheckpoint both persist through
+/// this, which is what makes the "kill the writer mid-save, assert the
+/// model still loads" chaos tests pass.
+///
+/// Fault points (see support/FaultInjection.h): `file.write` fires per
+/// 256 KiB chunk (so an armed abort@N genuinely tears the temp file
+/// mid-body), `file.fsync`, `file.rename`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SUPPORT_ATOMICFILE_H
+#define NV_SUPPORT_ATOMICFILE_H
+
+#include <cstddef>
+#include <string>
+
+namespace nv {
+
+/// Outcome of an atomic save, mirroring the LoadStatus idiom from
+/// serve/ModelSerializer.h: a machine-readable code plus a human string
+/// out-param at the call site.
+enum class SaveStatus {
+  Ok,
+  OpenFailed,   ///< Could not create the temp file.
+  WriteFailed,  ///< A body write failed (temp removed).
+  SyncFailed,   ///< fsync of the temp file failed (temp removed).
+  RenameFailed, ///< rename(temp, dest) failed (temp removed).
+};
+
+/// Short stable identifier for \p S ("ok", "write_failed", ...), used in
+/// error payloads, run logs, and statsz.
+const char *saveStatusName(SaveStatus S);
+
+/// Atomically replaces \p Path with \p Size bytes from \p Data.
+///
+/// On any failure the temp file is unlinked and the previous \p Path
+/// content is untouched. A failed *directory* fsync after a successful
+/// rename keeps the destination (the data is good; durability of the
+/// rename is all that's at risk) but still reports SyncFailed so callers
+/// can log it.
+SaveStatus atomicWriteFile(const std::string &Path, const void *Data,
+                           std::size_t Size, std::string *Error = nullptr);
+
+} // namespace nv
+
+#endif // NV_SUPPORT_ATOMICFILE_H

@@ -1,0 +1,294 @@
+//===- support/FaultInjection.cpp - Deterministic fault-point registry ----===//
+//
+// Part of the NeuroVectorizer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FaultInjection.h"
+
+#include "RNG.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace nv {
+namespace fault {
+
+std::atomic<bool> ProcessArmed{false};
+
+namespace {
+
+/// FNV-1a over the point name: folds the name into the decision stream so
+/// distinct points armed with the same probability fire on different hits.
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 0xCBF29CE484222325ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001B3ull;
+  }
+  return H;
+}
+
+/// One SplitMix64 step: the stateless per-hit mixer. Indexing the stream
+/// by hit count (instead of advancing shared generator state) makes the
+/// fire pattern independent of thread interleaving — hit K of a point
+/// fires or not identically in a concurrent run and a serial replay.
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
+/// Parses one spec value (the part after '='). Grammar, in try order:
+/// `fail@N`, `abort@N`, `<int>ms`, `<float probability in [0,1]>`.
+bool parseSpecValue(const std::string &V, FaultSpec &Out, std::string &Err) {
+  auto parseCount = [&](const std::string &S, uint64_t &N) {
+    if (S.empty())
+      return false;
+    char *End = nullptr;
+    unsigned long long Val = std::strtoull(S.c_str(), &End, 10);
+    if (End != S.c_str() + S.size() || Val == 0)
+      return false;
+    N = Val;
+    return true;
+  };
+  if (V.rfind("fail@", 0) == 0) {
+    Out.Kind = FaultKind::Fail;
+    if (!parseCount(V.substr(5), Out.NthHit)) {
+      Err = "bad fail@N count in '" + V + "'";
+      return false;
+    }
+    return true;
+  }
+  if (V.rfind("abort@", 0) == 0) {
+    Out.Kind = FaultKind::Abort;
+    if (!parseCount(V.substr(6), Out.NthHit)) {
+      Err = "bad abort@N count in '" + V + "'";
+      return false;
+    }
+    return true;
+  }
+  if (V.size() > 2 && V.compare(V.size() - 2, 2, "ms") == 0) {
+    uint64_t Ms = 0;
+    if (!parseCount(V.substr(0, V.size() - 2), Ms)) {
+      Err = "bad millisecond count in '" + V + "'";
+      return false;
+    }
+    Out.Kind = FaultKind::Delay;
+    Out.DelayMicros = Ms * 1000;
+    return true;
+  }
+  char *End = nullptr;
+  double P = std::strtod(V.c_str(), &End);
+  if (V.empty() || End != V.c_str() + V.size() || P < 0.0 || P > 1.0) {
+    Err = "bad fault spec value '" + V +
+          "' (want probability, fail@N, abort@N, or Nms)";
+    return false;
+  }
+  Out.Kind = FaultKind::Fail;
+  Out.Probability = P;
+  return true;
+}
+
+} // namespace
+
+struct FaultRegistry::Impl {
+  mutable std::mutex Mutex;
+  /// deque: stable FaultPoint addresses across registration.
+  std::deque<FaultPoint> Points;
+  std::unordered_map<std::string, FaultPoint *> ByName;
+  /// Arms for points named in NV_FAULT before any hook registers them.
+  std::unordered_map<std::string, FaultSpec> Pending;
+  uint64_t Seed = DefaultSeed;
+
+  FaultPoint &pointLocked(const std::string &Name) {
+    auto It = ByName.find(Name);
+    if (It != ByName.end())
+      return *It->second;
+    Points.emplace_back();
+    FaultPoint &P = Points.back();
+    P.Name = Name;
+    P.Stream = RNG(Seed).split(fnv1a(Name)).next();
+    ByName.emplace(Name, &P);
+    auto Pend = Pending.find(Name);
+    if (Pend != Pending.end()) {
+      P.Spec = Pend->second;
+      P.Armed.store(true, std::memory_order_release);
+      Pending.erase(Pend);
+    }
+    return P;
+  }
+
+  void disarmLocked() {
+    ProcessArmed.store(false, std::memory_order_relaxed);
+    for (FaultPoint &P : Points) {
+      P.Armed.store(false, std::memory_order_release);
+      P.Hits.store(0, std::memory_order_relaxed);
+      P.Fired.store(0, std::memory_order_relaxed);
+    }
+    Pending.clear();
+  }
+};
+
+FaultRegistry::FaultRegistry() : I(new Impl) {
+  const char *Env = std::getenv("NV_FAULT");
+  if (!Env || !*Env)
+    return;
+  uint64_t Seed = DefaultSeed;
+  if (const char *SeedEnv = std::getenv("NV_FAULT_SEED")) {
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(SeedEnv, &End, 10);
+    if (End != SeedEnv && *End == '\0')
+      Seed = V;
+  }
+  std::string Error;
+  if (!arm(Env, Seed, &Error)) {
+    // A malformed env profile must not be silently ignored *or* crash the
+    // process mid-constructor; loudly refusing to arm is the safe state.
+    std::fprintf(stderr, "NV_FAULT ignored: %s\n", Error.c_str());
+  }
+}
+
+FaultRegistry &FaultRegistry::instance() {
+  static FaultRegistry *R = new FaultRegistry(); // leaked: see header
+  return *R;
+}
+
+bool FaultRegistry::arm(const std::string &Spec, uint64_t Seed,
+                        std::string *Error) {
+  // Parse the full profile before touching any state: grammar errors arm
+  // nothing.
+  std::vector<std::pair<std::string, FaultSpec>> Parsed;
+  std::string Err;
+  std::size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    std::size_t Comma = Spec.find(',', Pos);
+    std::string Item = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? Spec.size() + 1 : Comma + 1;
+    if (Item.empty())
+      continue;
+    std::size_t Eq = Item.find('=');
+    if (Eq == std::string::npos || Eq == 0) {
+      if (Error)
+        *Error = "missing '=' in fault spec item '" + Item + "'";
+      return false;
+    }
+    FaultSpec FS;
+    if (!parseSpecValue(Item.substr(Eq + 1), FS, Err)) {
+      if (Error)
+        *Error = Err;
+      return false;
+    }
+    Parsed.emplace_back(Item.substr(0, Eq), FS);
+  }
+
+  std::lock_guard<std::mutex> Lock(I->Mutex);
+  I->disarmLocked();
+  I->Seed = Seed;
+  // Reseed every existing point's stream: arm() defines a fresh
+  // deterministic experiment, independent of registration history.
+  for (FaultPoint &P : I->Points)
+    P.Stream = RNG(Seed).split(fnv1a(P.Name)).next();
+  for (auto &KV : Parsed) {
+    auto It = I->ByName.find(KV.first);
+    if (It != I->ByName.end()) {
+      It->second->Spec = KV.second;
+      It->second->Armed.store(true, std::memory_order_release);
+    } else {
+      I->Pending[KV.first] = KV.second;
+    }
+  }
+  if (!Parsed.empty())
+    ProcessArmed.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultRegistry::disarm() {
+  std::lock_guard<std::mutex> Lock(I->Mutex);
+  I->disarmLocked();
+}
+
+bool FaultRegistry::armed() const {
+  return ProcessArmed.load(std::memory_order_relaxed);
+}
+
+FaultPoint &FaultRegistry::point(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(I->Mutex);
+  return I->pointLocked(Name);
+}
+
+std::string FaultRegistry::statusJson() const {
+  std::lock_guard<std::mutex> Lock(I->Mutex);
+  std::ostringstream OS;
+  OS << '[';
+  bool First = true;
+  for (const FaultPoint &P : I->Points) {
+    if (!P.armed())
+      continue;
+    if (!First)
+      OS << ',';
+    First = false;
+    OS << "{\"point\":\"" << P.name() << "\",\"hits\":" << P.hits()
+       << ",\"fired\":" << P.fired() << '}';
+  }
+  OS << ']';
+  return OS.str();
+}
+
+bool firedSlow(FaultPoint &P) {
+  if (!P.Armed.load(std::memory_order_acquire))
+    return false;
+  // 1-based hit index; fetch_add returns the pre-increment value.
+  uint64_t Hit = P.Hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  const FaultSpec &S = P.Spec;
+  bool Fires = false;
+  if (S.NthHit != 0) {
+    Fires = (Hit == S.NthHit);
+  } else if (S.Kind == FaultKind::Delay) {
+    Fires = true;
+  } else if (S.Probability > 0.0) {
+    // Stateless hit-indexed decision: u64 threshold compare against
+    // p * 2^64 (clamped), no floating-point conversion of the sample.
+    uint64_t Sample = splitmix64(P.Stream ^ Hit);
+    double Scaled = S.Probability * 18446744073709551616.0; // 2^64
+    uint64_t Threshold = S.Probability >= 1.0 ? ~0ull
+                         : Scaled >= 18446744073709551615.0
+                             ? ~0ull
+                             : static_cast<uint64_t>(Scaled);
+    Fires = S.Probability >= 1.0 || Sample < Threshold;
+  }
+  if (!Fires)
+    return false;
+  P.Fired.fetch_add(1, std::memory_order_relaxed);
+  switch (S.Kind) {
+  case FaultKind::Abort:
+    std::abort();
+  case FaultKind::Delay:
+    std::this_thread::sleep_for(std::chrono::microseconds(S.DelayMicros));
+    return false; // Delay never reports failure.
+  case FaultKind::Fail:
+    return true;
+  }
+  return true;
+}
+
+namespace {
+/// Touch the registry at static-init time so NV_FAULT arming needs no
+/// explicit call anywhere in main().
+struct EnvInit {
+  EnvInit() { FaultRegistry::instance(); }
+} EnvInitOnce;
+} // namespace
+
+} // namespace fault
+} // namespace nv

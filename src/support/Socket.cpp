@@ -2,13 +2,17 @@
 
 #include "support/Socket.h"
 
+#include "support/FaultInjection.h"
+
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 using namespace nv;
@@ -77,7 +81,7 @@ FileDescriptor nv::listenTcp(const std::string &Host, uint16_t Port,
 }
 
 FileDescriptor nv::connectTcp(const std::string &Host, uint16_t Port,
-                              std::string *Error) {
+                              std::string *Error, int TimeoutMs) {
   sockaddr_in Addr{};
   Addr.sin_family = AF_INET;
   Addr.sin_port = htons(Port);
@@ -92,18 +96,75 @@ FileDescriptor nv::connectTcp(const std::string &Host, uint16_t Port,
     setError(Error, "socket");
     return FileDescriptor();
   }
-  int Status;
-  do {
-    Status = ::connect(Sock.fd(), reinterpret_cast<sockaddr *>(&Addr),
-                       sizeof(Addr));
-  } while (Status != 0 && errno == EINTR);
-  if (Status != 0) {
-    setError(Error, "connect");
-    return FileDescriptor();
+
+  if (TimeoutMs > 0) {
+    // Deadline-bounded connect: non-blocking connect, poll for
+    // writability, then harvest SO_ERROR and restore blocking mode.
+    const int Flags = ::fcntl(Sock.fd(), F_GETFL, 0);
+    if (Flags < 0 || ::fcntl(Sock.fd(), F_SETFL, Flags | O_NONBLOCK) != 0) {
+      setError(Error, "fcntl");
+      return FileDescriptor();
+    }
+    int Status;
+    do {
+      Status = ::connect(Sock.fd(), reinterpret_cast<sockaddr *>(&Addr),
+                         sizeof(Addr));
+    } while (Status != 0 && errno == EINTR);
+    if (Status != 0) {
+      if (errno != EINPROGRESS) {
+        setError(Error, "connect");
+        return FileDescriptor();
+      }
+      pollfd Pfd{Sock.fd(), POLLOUT, 0};
+      int Ready;
+      do {
+        Ready = ::poll(&Pfd, 1, TimeoutMs);
+      } while (Ready < 0 && errno == EINTR);
+      if (Ready == 0) {
+        if (Error)
+          *Error = "connect: timed out";
+        return FileDescriptor();
+      }
+      if (Ready < 0) {
+        setError(Error, "poll");
+        return FileDescriptor();
+      }
+      int SoError = 0;
+      socklen_t Len = sizeof(SoError);
+      if (::getsockopt(Sock.fd(), SOL_SOCKET, SO_ERROR, &SoError, &Len) != 0 ||
+          SoError != 0) {
+        errno = SoError ? SoError : errno;
+        setError(Error, "connect");
+        return FileDescriptor();
+      }
+    }
+    if (::fcntl(Sock.fd(), F_SETFL, Flags) != 0) {
+      setError(Error, "fcntl");
+      return FileDescriptor();
+    }
+  } else {
+    int Status;
+    do {
+      Status = ::connect(Sock.fd(), reinterpret_cast<sockaddr *>(&Addr),
+                         sizeof(Addr));
+    } while (Status != 0 && errno == EINTR);
+    if (Status != 0) {
+      setError(Error, "connect");
+      return FileDescriptor();
+    }
   }
   const int One = 1;
   ::setsockopt(Sock.fd(), IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
   return Sock;
+}
+
+bool nv::setIoTimeouts(int Fd, int TimeoutMs) {
+  timeval Tv{};
+  Tv.tv_sec = TimeoutMs / 1000;
+  Tv.tv_usec = (TimeoutMs % 1000) * 1000;
+  if (::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv)) != 0)
+    return false;
+  return ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv)) == 0;
 }
 
 bool nv::setNonBlocking(int Fd) {
@@ -114,13 +175,16 @@ bool nv::setNonBlocking(int Fd) {
 }
 
 bool nv::readFull(int Fd, void *Data, size_t Size) {
+  static fault::FaultPoint &FP = fault::point("socket.read");
+  if (fault::fired(FP))
+    return false;
   char *Out = static_cast<char *>(Data);
   while (Size > 0) {
     const ssize_t N = ::read(Fd, Out, Size);
     if (N < 0) {
       if (errno == EINTR)
         continue;
-      return false;
+      return false; // Includes EAGAIN from an SO_RCVTIMEO deadline.
     }
     if (N == 0)
       return false; // EOF mid-frame.
@@ -131,13 +195,21 @@ bool nv::readFull(int Fd, void *Data, size_t Size) {
 }
 
 bool nv::writeFull(int Fd, const void *Data, size_t Size) {
+  static fault::FaultPoint &FP = fault::point("socket.write");
+  if (fault::fired(FP))
+    return false;
   const char *In = static_cast<const char *>(Data);
   while (Size > 0) {
-    const ssize_t N = ::write(Fd, In, Size);
+    // MSG_NOSIGNAL: a peer that vanished mid-response must surface as
+    // EPIPE here, never as a process-killing SIGPIPE. Fall back to
+    // ::write for non-socket descriptors (ENOTSOCK), e.g. pipes in tests.
+    ssize_t N = ::send(Fd, In, Size, MSG_NOSIGNAL);
+    if (N < 0 && errno == ENOTSOCK)
+      N = ::write(Fd, In, Size);
     if (N < 0) {
       if (errno == EINTR)
         continue;
-      return false;
+      return false; // Includes EAGAIN from an SO_SNDTIMEO deadline.
     }
     In += N;
     Size -= static_cast<size_t>(N);

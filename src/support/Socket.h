@@ -72,20 +72,29 @@ FileDescriptor listenTcp(const std::string &Host, uint16_t Port,
 
 /// Connects (blocking) to \p Host:\p Port with TCP_NODELAY set — the
 /// protocol is request/response with small frames, so Nagle coalescing
-/// only adds latency. Returns an empty descriptor and sets \p Error on
-/// failure.
+/// only adds latency. \p TimeoutMs > 0 bounds the connect itself
+/// (non-blocking connect + poll); 0 keeps the historical blocking
+/// behavior. Returns an empty descriptor and sets \p Error on failure.
 FileDescriptor connectTcp(const std::string &Host, uint16_t Port,
-                          std::string *Error = nullptr);
+                          std::string *Error = nullptr, int TimeoutMs = 0);
 
 /// Marks \p Fd non-blocking. Returns false on fcntl failure.
 bool setNonBlocking(int Fd);
 
+/// Sets SO_RCVTIMEO / SO_SNDTIMEO on \p Fd (0 = never time out). A timed
+/// out read/write surfaces as EAGAIN, which readFull/writeFull report as
+/// failure — the caller's deadline, not a hang. Returns false on error.
+bool setIoTimeouts(int Fd, int TimeoutMs);
+
 /// Reads exactly \p Size bytes (looping over short reads, retrying
-/// EINTR). Returns false on EOF or error before \p Size bytes arrived.
+/// EINTR). Returns false on EOF, timeout, or error before \p Size bytes
+/// arrived. Fault point: `socket.read`.
 bool readFull(int Fd, void *Data, size_t Size);
 
 /// Writes exactly \p Size bytes (looping over short writes, retrying
-/// EINTR). Returns false on error.
+/// EINTR). Sends with MSG_NOSIGNAL so a half-closed peer yields EPIPE
+/// instead of killing the process. Returns false on timeout or error.
+/// Fault point: `socket.write`.
 bool writeFull(int Fd, const void *Data, size_t Size);
 
 } // namespace nv

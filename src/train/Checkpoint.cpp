@@ -6,6 +6,7 @@
 #include "support/Wire.h"
 
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <vector>
@@ -35,9 +36,9 @@ bool readDoubles(const std::vector<char> &Buffer, size_t &Offset,
 
 } // namespace
 
-bool TrainCheckpoint::save(const std::string &Path, PPORunner &Runner,
-                           const TrainProgress &Progress,
-                           std::string *Error) {
+SaveStatus TrainCheckpoint::trySave(const std::string &Path, PPORunner &Runner,
+                                    const TrainProgress &Progress,
+                                    std::string *Error) {
   std::vector<Param *> Params = Runner.trainableParams();
   std::vector<double> Moments = Runner.optimizer().exportMoments(Params);
   const RNG::Snapshot Rng = Runner.rng().snapshot();
@@ -71,18 +72,50 @@ bool TrainCheckpoint::save(const std::string &Path, PPORunner &Runner,
   appendValue(Buffer,
               ModelSerializer::checksum(Buffer.data(), Buffer.size()));
 
-  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
-  if (!Out) {
-    setError(Error, "cannot open '" + Path + "' for writing");
-    return false;
+  std::string IoError;
+  SaveStatus St = atomicWriteFile(Path, Buffer.data(), Buffer.size(), &IoError);
+  if (St != SaveStatus::Ok)
+    setError(Error, "checkpoint '" + Path + "': " + IoError);
+  return St;
+}
+
+SaveStatus TrainCheckpoint::saveRotated(const std::string &Path,
+                                        PPORunner &Runner,
+                                        const TrainProgress &Progress, int Keep,
+                                        std::string *Error) {
+  if (Keep > 1) {
+    // Shift generations oldest-first so every rename target is free:
+    // drop Path.(Keep-1), then Path.k -> Path.(k+1), then Path -> Path.1.
+    // Each step is a rename of a complete file, so a crash anywhere in
+    // the shift still leaves only whole, loadable checkpoints behind.
+    ::remove((Path + "." + std::to_string(Keep - 1)).c_str());
+    for (int K = Keep - 2; K >= 1; --K)
+      ::rename((Path + "." + std::to_string(K)).c_str(),
+               (Path + "." + std::to_string(K + 1)).c_str());
+    ::rename(Path.c_str(), (Path + ".1").c_str());
   }
-  Out.write(Buffer.data(), static_cast<std::streamsize>(Buffer.size()));
-  Out.flush();
-  if (!Out) {
-    setError(Error, "short write to '" + Path + "'");
-    return false;
+  return trySave(Path, Runner, Progress, Error);
+}
+
+bool TrainCheckpoint::loadNewest(const std::string &Path, PPORunner &Runner,
+                                 TrainProgress &Progress, int Keep,
+                                 std::string *LoadedFrom, std::string *Error) {
+  std::string FirstError;
+  const int Generations = Keep > 1 ? Keep : 1;
+  for (int K = 0; K < Generations; ++K) {
+    const std::string Candidate =
+        K == 0 ? Path : Path + "." + std::to_string(K);
+    std::string LocalError;
+    if (load(Candidate, Runner, Progress, &LocalError)) {
+      if (LoadedFrom)
+        *LoadedFrom = Candidate;
+      return true;
+    }
+    if (K == 0)
+      FirstError = LocalError;
   }
-  return true;
+  setError(Error, FirstError);
+  return false;
 }
 
 bool TrainCheckpoint::load(const std::string &Path, PPORunner &Runner,

@@ -37,6 +37,7 @@
 #define NV_TRAIN_CHECKPOINT_H
 
 #include "rl/PPO.h"
+#include "support/AtomicFile.h"
 #include "train/Curriculum.h"
 
 #include <cstdint>
@@ -61,15 +62,43 @@ public:
   static constexpr uint32_t FormatVersion = 1;
 
   /// Writes the runner's weights, optimizer state, RNG, reward EMA, and
-  /// \p Progress to \p Path. Returns false (and sets \p Error) on I/O
-  /// failure.
+  /// \p Progress to \p Path. Crash-safe: temp + fsync + rename
+  /// (support/AtomicFile.h) — a crash mid-save leaves the previous
+  /// checkpoint intact. Returns a machine-readable status.
+  static SaveStatus trySave(const std::string &Path, PPORunner &Runner,
+                            const TrainProgress &Progress,
+                            std::string *Error = nullptr);
+
+  /// Bool wrapper over trySave (historic signature).
   static bool save(const std::string &Path, PPORunner &Runner,
                    const TrainProgress &Progress,
-                   std::string *Error = nullptr);
+                   std::string *Error = nullptr) {
+    return trySave(Path, Runner, Progress, Error) == SaveStatus::Ok;
+  }
+
+  /// Like trySave, but first rotates the existing generations: Path is
+  /// renamed to Path.1, the old Path.1 to Path.2, ... keeping at most
+  /// \p Keep files total (Path plus Keep-1 numbered ancestors). Keep <= 1
+  /// means no rotation — identical to trySave. Rotation uses rename(2),
+  /// so every generation stays individually loadable at all times.
+  static SaveStatus saveRotated(const std::string &Path, PPORunner &Runner,
+                                const TrainProgress &Progress, int Keep,
+                                std::string *Error = nullptr);
 
   /// Restores \p Path into \p Runner and \p Progress. All-or-nothing.
   static bool load(const std::string &Path, PPORunner &Runner,
                    TrainProgress &Progress, std::string *Error = nullptr);
+
+  /// Resume entry point for rotated checkpoints: tries \p Path, then
+  /// Path.1, Path.2, ... up to \p Keep - 1, returning the first that
+  /// loads cleanly (a corrupt or torn newest generation falls back to its
+  /// predecessor instead of failing the resume). \p LoadedFrom (when
+  /// non-null) receives the path that won. Returns false only when no
+  /// generation loads; \p Error then describes the *newest* failure.
+  static bool loadNewest(const std::string &Path, PPORunner &Runner,
+                         TrainProgress &Progress, int Keep,
+                         std::string *LoadedFrom = nullptr,
+                         std::string *Error = nullptr);
 };
 
 } // namespace nv

@@ -48,10 +48,29 @@ EvalReport Trainer::runEval(TrainProgress &Progress, RunLog *Log) {
       // deployment embeds loops the way this model was trained.
       ModelMeta Meta;
       Meta.InnerContextOnly = Runner.env().innerContextOnly();
-      if (!ModelSerializer::save(Config.BestModelPath, Runner.embedder(),
-                                 Runner.policy(), Meta, &Error) &&
-          Config.Verbose)
-        std::cout << "[train] best-model save failed: " << Error << "\n";
+      SaveStatus St =
+          ModelSerializer::trySave(Config.BestModelPath, Runner.embedder(),
+                                   Runner.policy(), Meta, {}, &Error);
+      if (St != SaveStatus::Ok) {
+        // One immediate retry: losing the best-model artifact to a
+        // transient I/O hiccup wastes an entire training run.
+        St = ModelSerializer::trySave(Config.BestModelPath, Runner.embedder(),
+                                      Runner.policy(), Meta, {}, &Error);
+      }
+      if (St != SaveStatus::Ok) {
+        Telemetry::metrics().counter("train.save_failures").add();
+        if (Log && Log->enabled())
+          Log->write(JsonLine()
+                         .field("event", "save_failure")
+                         .field("kind", "best_model")
+                         .field("status", saveStatusName(St))
+                         .field("error", Error)
+                         .field("step",
+                                static_cast<long long>(Progress.StepsDone)));
+        if (Config.Verbose)
+          std::cout << "[train] best-model save failed ("
+                    << saveStatusName(St) << "): " << Error << "\n";
+      }
     }
   }
   return Report;
@@ -74,14 +93,22 @@ TrainReport Trainer::run() {
   // Resume, if asked and possible. A missing or invalid checkpoint is not
   // fatal: the run simply starts from scratch.
   if (Config.Resume && !Config.CheckpointPath.empty()) {
-    std::string Error;
-    if (TrainCheckpoint::load(Config.CheckpointPath, Runner, Progress,
-                              &Error)) {
+    std::string Error, LoadedFrom;
+    if (TrainCheckpoint::loadNewest(Config.CheckpointPath, Runner, Progress,
+                                    Config.CheckpointKeep, &LoadedFrom,
+                                    &Error)) {
       Stages.restore(Progress.Stage);
       Report.Resumed = true;
+      if (Log.enabled() && LoadedFrom != Config.CheckpointPath)
+        Log.write(JsonLine()
+                      .field("event", "resume_fallback")
+                      .field("path", LoadedFrom)
+                      .field("step",
+                             static_cast<long long>(Progress.StepsDone)));
       if (Config.Verbose)
         std::cout << "[train] resumed at step " << Progress.StepsDone
-                  << " (stage " << Progress.Stage.Stage << ")\n";
+                  << " (stage " << Progress.Stage.Stage << ") from "
+                  << LoadedFrom << "\n";
     } else if (Config.Verbose) {
       std::cout << "[train] no resume: " << Error << "\n";
     }
@@ -126,6 +153,33 @@ TrainReport Trainer::run() {
         return true;
     }
     return false;
+  };
+
+  // Rotated, crash-safe checkpoint write with one retry; failures are
+  // counted in telemetry and the run log rather than lost to stdout.
+  auto saveCheckpoint = [&](const char *Kind) {
+    std::string Error;
+    SaveStatus St = TrainCheckpoint::saveRotated(
+        Config.CheckpointPath, Runner, Progress, Config.CheckpointKeep,
+        &Error);
+    // Retry without re-rotating: the generation shift already happened.
+    if (St != SaveStatus::Ok)
+      St = TrainCheckpoint::trySave(Config.CheckpointPath, Runner, Progress,
+                                    &Error);
+    if (St != SaveStatus::Ok) {
+      Metrics.counter("train.save_failures").add();
+      if (Log.enabled())
+        Log.write(JsonLine()
+                      .field("event", "save_failure")
+                      .field("kind", Kind)
+                      .field("status", saveStatusName(St))
+                      .field("error", Error)
+                      .field("step",
+                             static_cast<long long>(Progress.StepsDone)));
+      if (Config.Verbose)
+        std::cout << "[train] " << Kind << " save failed ("
+                  << saveStatusName(St) << "): " << Error << "\n";
+    }
   };
 
   RolloutBuffer Buffer;
@@ -206,13 +260,8 @@ TrainReport Trainer::run() {
     Progress.RewardEMAValue = Runner.rewardEMA().value();
     Progress.RewardEMASeen = Runner.rewardEMA().seen();
     if (!Config.CheckpointPath.empty() && Config.CheckpointEveryBatches > 0 &&
-        Progress.BatchesDone % Config.CheckpointEveryBatches == 0) {
-      std::string Error;
-      if (!TrainCheckpoint::save(Config.CheckpointPath, Runner, Progress,
-                                 &Error) &&
-          Config.Verbose)
-        std::cout << "[train] checkpoint failed: " << Error << "\n";
-    }
+        Progress.BatchesDone % Config.CheckpointEveryBatches == 0)
+      saveCheckpoint("checkpoint");
 
     if (Config.Verbose)
       std::cout << "[train] step " << Progress.StepsDone << "/"
@@ -224,13 +273,8 @@ TrainReport Trainer::run() {
   // later Resume continues from the exact stopping point.
   Report.FinalEval = runEval(Progress, &Log);
   Progress.Stage = Stages.cursor();
-  if (!Config.CheckpointPath.empty()) {
-    std::string Error;
-    if (!TrainCheckpoint::save(Config.CheckpointPath, Runner, Progress,
-                               &Error) &&
-        Config.Verbose)
-      std::cout << "[train] final checkpoint failed: " << Error << "\n";
-  }
+  if (!Config.CheckpointPath.empty())
+    saveCheckpoint("final_checkpoint");
 
   // Outside the loop: a resume of an already-completed run (zero batches)
   // must still report the restored EMA, not a default zero.

@@ -48,6 +48,13 @@ struct TrainerConfig {
   /// Resume continues from the exact stopping point.
   std::string CheckpointPath;
   int CheckpointEveryBatches = 5;
+  /// Checkpoint generations kept on disk: CheckpointPath plus Keep-1
+  /// rotated ancestors (CheckpointPath.1 = previous, .2 = older, ...).
+  /// <= 1 keeps only CheckpointPath (the historical behavior). With
+  /// rotation on, Resume falls back to the newest *loadable* generation,
+  /// so a checkpoint corrupted on disk costs CheckpointEveryBatches of
+  /// progress instead of the whole run.
+  int CheckpointKeep = 1;
   /// Resume from CheckpointPath when it holds a valid checkpoint.
   bool Resume = false;
 

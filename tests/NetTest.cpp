@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -202,6 +203,44 @@ TEST(Protocol, AnnotateResponseRoundTrip) {
   EXPECT_EQ(Out.Results[0].Annotated, "#pragma ...");
   EXPECT_FALSE(Out.Results[1].Ok);
   EXPECT_EQ(Out.Results[1].Error, "parse error");
+}
+
+TEST(Protocol, DegradedStatusByteRoundTrips) {
+  // Per-result status byte: 0 = error, 1 = ok, 2 = ok-but-degraded (the
+  // fallback ladder answered). Anything above 2 is a framing error.
+  std::vector<AnnotationResult> Results(2);
+  Results[0].Name = "healthy";
+  Results[0].Ok = true;
+  Results[0].Method = PredictMethod::RL;
+  Results[1].Name = "laddered";
+  Results[1].Ok = true;
+  Results[1].Degraded = true;
+  Results[1].Method = PredictMethod::Baseline;
+
+  const std::vector<char> Frame = net::encodeAnnotateResponse(1, Results);
+  net::ResponseHeader Header;
+  ASSERT_TRUE(net::parseResponseHeader(Frame.data(), Frame.size(), Header));
+  net::AnnotateResponseBody Out;
+  const char *Body = Frame.data() + net::ResponseHeaderSize;
+  ASSERT_TRUE(net::decodeAnnotateResponse(Body, Header.BodyLen, Out));
+  ASSERT_EQ(Out.Results.size(), 2u);
+  EXPECT_TRUE(Out.Results[0].Ok);
+  EXPECT_FALSE(Out.Results[0].Degraded);
+  EXPECT_TRUE(Out.Results[1].Ok);
+  EXPECT_TRUE(Out.Results[1].Degraded);
+  EXPECT_EQ(Out.Results[1].Method, PredictMethod::Baseline);
+
+  // Corrupt the second result's status byte to 3: decode must reject.
+  // The byte sits right after the u64 generation + u32 count + result 0.
+  std::vector<char> Bad(Body, Body + Header.BodyLen);
+  const auto At = std::search(Bad.begin(), Bad.end(),
+                              Results[1].Name.begin(),
+                              Results[1].Name.end());
+  ASSERT_NE(At, Bad.end());
+  // Status byte precedes method byte + u32 name length + the name.
+  *(At - 6) = 3;
+  EXPECT_FALSE(
+      net::decodeAnnotateResponse(Bad.data(), Bad.size(), Out));
 }
 
 // --- ModelSerializer::tryLoad (error-code path) --------------------------

@@ -674,9 +674,34 @@ TEST(AnnotationService, BackendsNeverAnswerForEachOther) {
   EXPECT_EQ(BF2.Plans[0], BF.Plans[0]);
 }
 
-TEST(AnnotationService, UnfittedBackendRejectsPolitely) {
+TEST(AnnotationService, UnfittedBackendDegradesDownTheLadder) {
+  // Default config: the fallback ladder is on, so a request for an
+  // unfitted supervised backend walks NNS -> tree (also unfitted) ->
+  // baseline cost model and succeeds, flagged Degraded.
   NeuroVectorizer NV(testConfig());
   AnnotationService &Service = NV.service();
+  const AnnotationResult Res =
+      Service.annotateOne("dot", DotProduct, PredictMethod::NNS);
+  EXPECT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_TRUE(Res.Degraded);
+  EXPECT_EQ(Res.Method, PredictMethod::Baseline);
+  EXPECT_EQ(Service.stats().DegradedRequests.load(), 1u);
+  EXPECT_EQ(Service.stats().ProgramsRejected.load(), 0u);
+  // A healthy backend answers undegraded.
+  const AnnotationResult RL =
+      Service.annotateOne("dot", DotProduct, PredictMethod::RL);
+  EXPECT_TRUE(RL.Ok);
+  EXPECT_FALSE(RL.Degraded);
+  EXPECT_EQ(RL.Method, PredictMethod::RL);
+}
+
+TEST(AnnotationService, UnfittedBackendRejectsPolitelyWhenStrict) {
+  // Fallback off restores the strict contract: unavailable backend ->
+  // per-request error, never a silent ladder walk.
+  NeuroVectorizer NV(testConfig());
+  ServeConfig Strict;
+  Strict.Fallback = false;
+  AnnotationService &Service = NV.service(Strict);
   const AnnotationResult Res =
       Service.annotateOne("dot", DotProduct, PredictMethod::NNS);
   EXPECT_FALSE(Res.Ok);

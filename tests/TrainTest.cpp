@@ -413,6 +413,95 @@ TEST(Trainer, ResumeReproducesUninterruptedRunBitForBit) {
   std::remove(ConfigB.CheckpointPath.c_str());
 }
 
+TEST(Trainer, RotatedCheckpointsSurviveACorruptNewestGeneration) {
+  // With rotation on, a checkpoint that gets corrupted on disk costs
+  // CheckpointEveryBatches of progress, not the whole run: resume falls
+  // back to the newest *loadable* generation and still reproduces the
+  // uninterrupted run bit-for-bit from there.
+  TrainerConfig Base;
+  Base.NumWorkers = 2;
+  Base.TotalSteps = 6 * 64;
+  Base.Curriculum = testCurriculum();
+  Base.CheckpointEveryBatches = 2;
+  Base.CheckpointKeep = 3;
+
+  NeuroVectorizer A(smallConfig());
+  TrainerConfig ConfigA = Base;
+  ConfigA.CheckpointPath = tmpPath("rot_ref.nvck");
+  A.trainParallel(ConfigA);
+
+  // Killed after 3 of 6 batches: rotation leaves batch 3 at Path and
+  // batch 2 at Path.1, each individually loadable.
+  NeuroVectorizer B(smallConfig());
+  TrainerConfig ConfigB = Base;
+  ConfigB.CheckpointPath = tmpPath("rot_killed.nvck");
+  ConfigB.MaxStepsThisRun = 3 * 64;
+  TrainReport ReportB = B.trainParallel(ConfigB);
+  EXPECT_TRUE(ReportB.Interrupted);
+  const std::string Prev = ConfigB.CheckpointPath + ".1";
+  {
+    NeuroVectorizer Probe(smallConfig());
+    TrainProgress Progress;
+    std::string Error;
+    ASSERT_TRUE(TrainCheckpoint::load(ConfigB.CheckpointPath,
+                                      Probe.runner(), Progress, &Error))
+        << Error;
+    EXPECT_EQ(Progress.BatchesDone, 3);
+    ASSERT_TRUE(
+        TrainCheckpoint::load(Prev, Probe.runner(), Progress, &Error))
+        << Error;
+    EXPECT_EQ(Progress.BatchesDone, 2);
+  }
+
+  // Corrupt the newest generation the way a torn disk would.
+  {
+    std::fstream F(ConfigB.CheckpointPath,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    F.seekp(64);
+    char Byte = 0;
+    F.seekg(64);
+    F.read(&Byte, 1);
+    Byte ^= 0x5A;
+    F.seekp(64);
+    F.write(&Byte, 1);
+  }
+
+  // loadNewest skips the corrupt file and reports where it landed.
+  {
+    NeuroVectorizer Probe(smallConfig());
+    TrainProgress Progress;
+    std::string LoadedFrom, Error;
+    ASSERT_TRUE(TrainCheckpoint::loadNewest(
+        ConfigB.CheckpointPath, Probe.runner(), Progress,
+        Base.CheckpointKeep, &LoadedFrom, &Error))
+        << Error;
+    EXPECT_EQ(LoadedFrom, Prev);
+    EXPECT_EQ(Progress.BatchesDone, 2);
+  }
+
+  // A full resume takes the same fallback and replays batches 3..6 to
+  // the exact same final state as the uninterrupted reference.
+  NeuroVectorizer C(smallConfig());
+  TrainerConfig ConfigC = Base;
+  ConfigC.CheckpointPath = ConfigB.CheckpointPath;
+  ConfigC.Resume = true;
+  TrainReport ReportC = C.trainParallel(ConfigC);
+  EXPECT_TRUE(ReportC.Resumed);
+  EXPECT_FALSE(ReportC.Interrupted);
+  EXPECT_EQ(ReportC.BatchesRun, 4); // One batch redone vs. the kill point.
+  EXPECT_EQ(weightsOf(A), weightsOf(C));
+  EXPECT_EQ(A.runner().rng().next(), C.runner().rng().next());
+
+  for (int K = 0; K < Base.CheckpointKeep; ++K) {
+    const std::string P =
+        K ? ConfigB.CheckpointPath + "." + std::to_string(K)
+          : ConfigB.CheckpointPath;
+    std::remove(P.c_str());
+    std::remove((ConfigA.CheckpointPath +
+                 (K ? "." + std::to_string(K) : "")).c_str());
+  }
+}
+
 TEST(Trainer, CurriculumAdvancesDuringTraining) {
   NeuroVectorizer NV(smallConfig());
   TrainerConfig Config;

@@ -9,10 +9,17 @@ repo targets):
     response: u32 magic 'NVRP' | u8 verb | u8 status | u32 bodyLen | body
 
 Usage:
-    nv_client.py [--host H] [--port P] ping
+    nv_client.py [--host H] [--port P] [--retries N] [--timeout S] ping
     nv_client.py [...] annotate FILE [FILE...] [--method M] [--deadline-ms N]
     nv_client.py [...] statsz
     nv_client.py [...] reload MODEL_PATH
+
+Transport errors on idempotent commands (ping, annotate, statsz) are
+retried --retries times on a fresh connection with capped exponential
+backoff; reload is only retried when the connection itself could not be
+established (once a frame may have reached the daemon, a blind resend
+could reload twice). A result answered by the fallback ladder prints
+DEGRADED but still exits 0 — degraded-but-served is the contract.
 
 Exit code 0 on an OK response, 1 on any rejection or transport error
 (the status name is printed), so shell scripts and the CI smoke job can
@@ -21,9 +28,11 @@ assert on it directly.
 
 import argparse
 import json
+import random
 import socket
 import struct
 import sys
+import time
 
 MAGIC = 0x4E565250  # 'NVRP'
 
@@ -111,6 +120,7 @@ def cmd_annotate(sock, args):
     for _ in range(count):
         ok, method_idx = struct.unpack_from("<BB", rbody, off)
         off += 2
+        degraded = ok == 2  # Fallback ladder answered; see Protocol.h.
         (name_len,) = struct.unpack_from("<I", rbody, off)
         off += 4
         name = rbody[off : off + name_len].decode("utf-8", "replace")
@@ -137,6 +147,7 @@ def cmd_annotate(sock, args):
         print(
             f"  {name} [{METHODS[method_idx]}] "
             f"{'; '.join(plans)} ({cached} cached)"
+            f"{' DEGRADED' if degraded else ''}"
         )
         if args.print_source:
             print(annotated)
@@ -166,10 +177,49 @@ def cmd_reload(sock, args):
     return True
 
 
+def backoff_seconds(attempt, base_ms=50, cap_ms=2000):
+    """Capped exponential backoff with jitter in [0.5, 1.0) of the step
+    (mirrors nv::NetClient::backoffMicros)."""
+    step = min(cap_ms, base_ms << attempt)
+    return step * (0.5 + 0.5 * random.random()) / 1000.0
+
+
+def run_once(args, handler):
+    """One connection, one command. Raises on transport failure; the
+    `connected` flag on the exception tells the retry loop whether any
+    bytes could have reached the daemon."""
+    try:
+        sock = socket.create_connection(
+            (args.host, args.port), timeout=args.timeout
+        )
+    except OSError as e:
+        e.connected = False
+        raise
+    try:
+        with sock:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return handler(sock, args)
+    except (OSError, ConnectionError) as e:
+        e.connected = True
+        raise
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7117)
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="transport-error retries for idempotent commands (default 3)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="per-connection socket timeout in seconds (default 60)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("ping")
@@ -198,13 +248,22 @@ def main():
         "statsz": cmd_statsz,
         "reload": cmd_reload,
     }
-    try:
-        with socket.create_connection((args.host, args.port), timeout=60) as s:
-            s.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            ok = handlers[args.command](s, args)
-    except (OSError, ConnectionError) as e:
-        sys.exit(f"transport error: {e}")
-    sys.exit(0 if ok else 1)
+    idempotent = args.command in ("ping", "annotate", "statsz")
+    last_error = None
+    for attempt in range(1 + max(0, args.retries)):
+        if attempt:
+            time.sleep(backoff_seconds(attempt - 1))
+        try:
+            ok = run_once(args, handlers[args.command])
+        except (OSError, ConnectionError) as e:
+            last_error = e
+            # Reload is not idempotent once a frame may have gone out; a
+            # pure connect failure is always safe to retry.
+            if idempotent or not getattr(e, "connected", True):
+                continue
+            break
+        sys.exit(0 if ok else 1)
+    sys.exit(f"transport error: {last_error}")
 
 
 if __name__ == "__main__":
